@@ -1,0 +1,125 @@
+// Experiment E6 — Figure 8(a) of the paper: "CUTLASS vs cuBLAS" relative
+// performance on GEMM kernels widely used in YOLO.
+//
+// cutlass_sim composes device-wide GEMM from template tile primitives;
+// cublas_sim is the fixed hand-tuned vendor-style kernel. The paper's claim:
+// the template library exhibits performance comparable to the vendor one.
+// The naive single-threaded CPU GEMM anchors the "two orders of magnitude"
+// CPU comparison of Figure 7's discussion.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "kernels/gemm.h"
+#include "support/rng.h"
+
+namespace {
+
+using kernels::GemmShape;
+
+// Square sizes plus YOLO-layer-like shapes (im2col GEMMs: M=filters,
+// N=output pixels, K=patch).
+const std::vector<GemmShape> kShapes = {
+    {128, 128, 128}, {256, 256, 256}, {384, 384, 384}, {512, 512, 512},
+    {16, 4096, 27},  {32, 1024, 144}, {64, 256, 288},  {255, 169, 1024},
+};
+
+std::vector<float> RandomVec(std::size_t n, std::uint64_t seed) {
+  certkit::support::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+  return v;
+}
+
+void BM_GemmCublasSim(benchmark::State& state) {
+  const GemmShape s = kShapes[static_cast<std::size_t>(state.range(0))];
+  auto a = RandomVec(static_cast<std::size_t>(s.m) * s.k, 1);
+  auto b = RandomVec(static_cast<std::size_t>(s.k) * s.n, 2);
+  std::vector<float> c(static_cast<std::size_t>(s.m) * s.n);
+  for (auto _ : state) {
+    kernels::cublas_sim::Sgemm(a.data(), b.data(), c.data(), s);
+    benchmark::DoNotOptimize(c[0]);
+  }
+  state.SetLabel(std::to_string(s.m) + "x" + std::to_string(s.n) + "x" +
+                 std::to_string(s.k));
+  state.SetItemsProcessed(state.iterations() * 2LL * s.m * s.n * s.k);
+}
+BENCHMARK(BM_GemmCublasSim)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+void BM_GemmCutlassSim(benchmark::State& state) {
+  const GemmShape s = kShapes[static_cast<std::size_t>(state.range(0))];
+  auto a = RandomVec(static_cast<std::size_t>(s.m) * s.k, 1);
+  auto b = RandomVec(static_cast<std::size_t>(s.k) * s.n, 2);
+  std::vector<float> c(static_cast<std::size_t>(s.m) * s.n);
+  for (auto _ : state) {
+    kernels::cutlass_sim::Sgemm<>(a.data(), b.data(), c.data(), s);
+    benchmark::DoNotOptimize(c[0]);
+  }
+  state.SetLabel(std::to_string(s.m) + "x" + std::to_string(s.n) + "x" +
+                 std::to_string(s.k));
+  state.SetItemsProcessed(state.iterations() * 2LL * s.m * s.n * s.k);
+}
+BENCHMARK(BM_GemmCutlassSim)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  benchutil::PrintHeader(
+      "Figure 8(a) — CUTLASS-sim performance relative to cuBLAS-sim (1.0 = "
+      "parity; simulated device clock)");
+  auto& device = gpusim::Device::Instance();
+  auto device_time = [&](const std::function<void()>& fn) {
+    double best_t = 1e99;
+    for (int rep = 0; rep < 3; ++rep) {
+      device.ResetTimers();
+      fn();
+      best_t = std::min(best_t, device.simulated_seconds());
+    }
+    return best_t;
+  };
+  std::printf("%-16s %12s %12s %10s\n", "shape(MxNxK)", "cublas-sim",
+              "cutlass-sim", "relative");
+  double worst = 1e9, best = 0.0;
+  for (const GemmShape& s : kShapes) {
+    auto a = RandomVec(static_cast<std::size_t>(s.m) * s.k, 1);
+    auto b = RandomVec(static_cast<std::size_t>(s.k) * s.n, 2);
+    std::vector<float> c(static_cast<std::size_t>(s.m) * s.n);
+    const double t_cublas = device_time(
+        [&] { kernels::cublas_sim::Sgemm(a.data(), b.data(), c.data(), s); });
+    const double t_cutlass = device_time([&] {
+      kernels::cutlass_sim::Sgemm<>(a.data(), b.data(), c.data(), s);
+    });
+    const double rel = t_cublas / t_cutlass;  // >1: cutlass faster
+    worst = std::min(worst, rel);
+    best = std::max(best, rel);
+    std::printf("%4dx%4dx%4d   %9.3f ms %9.3f ms %9.2fx\n", s.m, s.n, s.k,
+                1e3 * t_cublas, 1e3 * t_cutlass, rel);
+  }
+  // Anchor the CPU-BLAS gap on one large shape (device clock vs wall clock).
+  {
+    const GemmShape s{512, 512, 512};
+    auto a = RandomVec(static_cast<std::size_t>(s.m) * s.k, 1);
+    auto b = RandomVec(static_cast<std::size_t>(s.k) * s.n, 2);
+    std::vector<float> c(static_cast<std::size_t>(s.m) * s.n);
+    const double t_dev = device_time(
+        [&] { kernels::cublas_sim::Sgemm(a.data(), b.data(), c.data(), s); });
+    const double t_cpu = benchutil::TimeSeconds(
+        [&] { kernels::cpublas::Sgemm(a.data(), b.data(), c.data(), s); }, 1);
+    std::printf("\nnaive CPU BLAS at 512^3: %.1f ms wall vs %.1f ms device "
+                "clock (%.0fx slower)\n",
+                1e3 * t_cpu, 1e3 * t_dev, t_cpu / t_dev);
+  }
+  std::printf(
+      "\nPaper reference: CUTLASS primitives exhibit performance comparable\n"
+      "to cuBLAS for scalar GEMM computations (relative performance near\n"
+      "1.0 across kernels); range measured here: %.2fx - %.2fx.\n",
+      worst, best);
+  return 0;
+}

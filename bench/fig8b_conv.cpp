@@ -1,0 +1,124 @@
+// Experiment E7 — Figure 8(b) of the paper: "ISAAC vs cuDNN" relative
+// performance on convolution kernels from a variety of domains.
+//
+// isaac_sim is the input-aware auto-tuner (im2col + tuned GEMM tiles, tile
+// choice measured per shape and cached); cudnn_sim is the direct, hand-tuned
+// vendor-style convolution.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "gpusim/gpusim.h"
+#include "kernels/conv.h"
+#include "support/rng.h"
+
+namespace {
+
+using kernels::ConvShape;
+
+struct NamedShape {
+  ConvShape shape;
+  const char* name;
+};
+
+// Vision-stack layer shapes (YOLO-like reductions) plus other domains the
+// figure samples (speech-ish wide, dense pointwise).
+const std::vector<NamedShape> kLayers = {
+    {{1, 3, 64, 64, 16, 3, 3, 1, 1}, "yolo-stem"},
+    {{1, 16, 32, 32, 32, 3, 3, 1, 1}, "yolo-mid"},
+    {{1, 32, 16, 16, 64, 3, 3, 1, 1}, "yolo-deep"},
+    {{1, 64, 8, 8, 128, 3, 3, 1, 1}, "yolo-head"},
+    {{1, 32, 32, 32, 32, 1, 1, 1, 0}, "pointwise"},
+    {{1, 8, 96, 96, 16, 5, 5, 1, 2}, "wide-5x5"},
+    {{4, 16, 24, 24, 32, 3, 3, 1, 1}, "batched"},
+    {{1, 16, 48, 48, 32, 3, 3, 2, 1}, "strided"},
+};
+
+std::vector<float> RandomVec(std::size_t n, std::uint64_t seed) {
+  certkit::support::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+  return v;
+}
+
+void BM_ConvCudnnSim(benchmark::State& state) {
+  const NamedShape& ns = kLayers[static_cast<std::size_t>(state.range(0))];
+  auto in = RandomVec(ns.shape.InputSize(), 1);
+  auto w = RandomVec(ns.shape.WeightSize(), 2);
+  std::vector<float> out(ns.shape.OutputSize());
+  for (auto _ : state) {
+    kernels::cudnn_sim::Conv2d(in.data(), w.data(), nullptr, out.data(),
+                               ns.shape);
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetLabel(ns.name);
+}
+BENCHMARK(BM_ConvCudnnSim)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+void BM_ConvIsaacSim(benchmark::State& state) {
+  const NamedShape& ns = kLayers[static_cast<std::size_t>(state.range(0))];
+  auto in = RandomVec(ns.shape.InputSize(), 1);
+  auto w = RandomVec(ns.shape.WeightSize(), 2);
+  std::vector<float> out(ns.shape.OutputSize());
+  // Auto-tune outside the timed loop.
+  kernels::isaac_sim::Conv2d(in.data(), w.data(), nullptr, out.data(),
+                             ns.shape);
+  for (auto _ : state) {
+    kernels::isaac_sim::Conv2d(in.data(), w.data(), nullptr, out.data(),
+                               ns.shape);
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetLabel(ns.name);
+}
+BENCHMARK(BM_ConvIsaacSim)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  benchutil::PrintHeader(
+      "Figure 8(b) — ISAAC-sim performance relative to cuDNN-sim (1.0 = "
+      "parity; simulated device clock)");
+  auto& device = gpusim::Device::Instance();
+  auto device_time = [&](const std::function<void()>& fn) {
+    double best_t = 1e99;
+    for (int rep = 0; rep < 3; ++rep) {
+      device.ResetTimers();
+      fn();
+      best_t = std::min(best_t, device.simulated_seconds());
+    }
+    return best_t;
+  };
+  std::printf("%-12s %12s %12s %10s %16s\n", "layer", "cudnn-sim",
+              "isaac-sim", "relative", "tuned tile cfg");
+  for (const NamedShape& ns : kLayers) {
+    auto in = RandomVec(ns.shape.InputSize(), 1);
+    auto w = RandomVec(ns.shape.WeightSize(), 2);
+    std::vector<float> out(ns.shape.OutputSize());
+    // Warm the tuner.
+    kernels::isaac_sim::Conv2d(in.data(), w.data(), nullptr, out.data(),
+                               ns.shape);
+    const double t_cudnn = device_time([&] {
+      kernels::cudnn_sim::Conv2d(in.data(), w.data(), nullptr, out.data(),
+                                 ns.shape);
+    });
+    const double t_isaac = device_time([&] {
+      kernels::isaac_sim::Conv2d(in.data(), w.data(), nullptr, out.data(),
+                                 ns.shape);
+    });
+    std::printf("%-12s %9.3f ms %9.3f ms %9.2fx %16d\n", ns.name,
+                1e3 * t_cudnn, 1e3 * t_isaac, t_cudnn / t_isaac,
+                kernels::isaac_sim::TunedConfigIndex(ns.shape));
+  }
+  std::printf(
+      "\nPaper reference: ISAAC provides very competitive performance in\n"
+      "comparison with cuDNN for a variety of workloads (input-aware\n"
+      "auto-tuning picks the tile configuration per shape).\n");
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Extension experiment — the paper's proposed remedy for Observations 3-4:
+// "alternative initiatives like the Brook Auto GPU programming language help
+// in simplifying certification: in the same way that MISRA C constraints C,
+// Brook Auto defines a subset ... that [is] certification friendly, without
+// limiting the expressiveness of the language. For instance, Brook Auto does
+// not expose pointers to the programmer ... Furthermore, Brook Auto achieves
+// competitive performance."
+//
+// Three measurements:
+//  1. Static: the scale_bias kernel written CUDA-style (Figure 4) vs
+//     Brook-Auto-style — MISRA/CUDA-dialect findings per variant.
+//  2. Dynamic: both implementations compute identical results.
+//  3. Performance: stream-API overhead vs the raw-pointer kernel.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ast/parser.h"
+#include "bench/bench_util.h"
+#include "coverage/coverage.h"
+#include "gpusim/brookauto.h"
+#include "rules/misra.h"
+
+namespace {
+
+// ---------------------------------------------------------------- static --
+constexpr const char* kCudaVariant = R"cpp(
+__global__ void scale_bias_gpu(float* output, const float* biases,
+                               float scale, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    output[i] = output[i] * scale + biases[i];
+  }
+}
+
+void scale_bias(float* host_values, const float* host_biases, float scale,
+                int n) {
+  float* dev_values;
+  float* dev_biases;
+  cudaMalloc(&dev_values, n * sizeof(float));
+  cudaMalloc(&dev_biases, n * sizeof(float));
+  cudaMemcpy(dev_values, host_values, n * sizeof(float),
+             cudaMemcpyHostToDevice);
+  cudaMemcpy(dev_biases, host_biases, n * sizeof(float),
+             cudaMemcpyHostToDevice);
+  scale_bias_gpu<<<(n + 255) / 256, 256>>>(dev_values, dev_biases, scale, n);
+  cudaMemcpy(host_values, dev_values, n * sizeof(float),
+             cudaMemcpyDeviceToHost);
+  cudaFree(dev_values);
+  cudaFree(dev_biases);
+}
+)cpp";
+
+constexpr const char* kBrookVariant = R"cpp(
+void scale_bias(brookauto::Stream<float>& values,
+                const brookauto::Stream<float>& biases, float scale) {
+  brookauto::Transform2(values, biases, &values,
+                        [scale](float v, float b) { return v * scale + b; });
+}
+)cpp";
+
+// --------------------------------------------------------------- dynamic --
+std::vector<float> RunBrookScaleBias(const std::vector<float>& values,
+                                     const std::vector<float>& biases,
+                                     float scale, gpusim::Device& device) {
+  brookauto::Stream<float> v(values.size(), device);
+  brookauto::Stream<float> b(biases.size(), device);
+  brookauto::Stream<float> out(values.size(), device);
+  v.Write(values);
+  b.Write(biases);
+  brookauto::Transform2(
+      v, b, &out, [scale](float x, float y) { return x * scale + y; });
+  return out.Read();
+}
+
+std::vector<float> RunCudaStyleScaleBias(const std::vector<float>& values,
+                                         const std::vector<float>& biases,
+                                         float scale,
+                                         gpusim::Device& device) {
+  // Raw-pointer device code, exactly as in Figure 4 (on gpusim).
+  const std::size_t n = values.size();
+  float* dev_values = static_cast<float*>(device.Malloc(n * sizeof(float)));
+  float* dev_biases = static_cast<float*>(device.Malloc(n * sizeof(float)));
+  device.MemcpyHostToDevice(dev_values, values.data(), n * sizeof(float));
+  device.MemcpyHostToDevice(dev_biases, biases.data(), n * sizeof(float));
+  gpusim::Dim3 grid{static_cast<unsigned>((n + 255) / 256), 1, 1};
+  device.Launch(grid, gpusim::Dim3{256, 1, 1},
+                [=](const gpusim::KernelContext& ctx) {
+                  const std::size_t i = ctx.GlobalX();
+                  if (i < n) {
+                    dev_values[i] = dev_values[i] * scale + dev_biases[i];
+                  }
+                });
+  std::vector<float> out(n);
+  device.MemcpyDeviceToHost(out.data(), dev_values, n * sizeof(float));
+  device.Free(dev_values);
+  device.Free(dev_biases);
+  return out;
+}
+
+void BM_ScaleBiasCudaStyle(benchmark::State& state) {
+  certkit::cov::SetProbesEnabled(false);
+  auto& device = gpusim::Device::Instance();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> values(n, 1.5f), biases(n, 0.25f);
+  for (auto _ : state) {
+    auto out = RunCudaStyleScaleBias(values, biases, 2.0f, device);
+    benchmark::DoNotOptimize(out[0]);
+  }
+}
+BENCHMARK(BM_ScaleBiasCudaStyle)->Arg(1 << 14)->Arg(1 << 18)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_ScaleBiasBrookAuto(benchmark::State& state) {
+  certkit::cov::SetProbesEnabled(false);
+  auto& device = gpusim::Device::Instance();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> values(n, 1.5f), biases(n, 0.25f);
+  for (auto _ : state) {
+    auto out = RunBrookScaleBias(values, biases, 2.0f, device);
+    benchmark::DoNotOptimize(out[0]);
+  }
+}
+BENCHMARK(BM_ScaleBiasBrookAuto)->Arg(1 << 14)->Arg(1 << 18)->Unit(
+    benchmark::kMicrosecond);
+
+void PrintStaticComparison() {
+  benchutil::PrintHeader(
+      "Brook Auto extension — static findings: CUDA style vs stream style");
+  struct Variant {
+    const char* name;
+    const char* source;
+  };
+  for (const Variant v : {Variant{"CUDA style (Figure 4)", kCudaVariant},
+                          Variant{"Brook Auto style", kBrookVariant}}) {
+    auto parsed = certkit::ast::ParseSource("variant.cu", v.source);
+    CERTKIT_CHECK(parsed.ok());
+    const auto misra = certkit::rules::CheckMisra(parsed.value());
+    const auto cuda = certkit::rules::AnalyzeCudaDialect(parsed.value());
+    std::int64_t pointer_params = 0;
+    for (const auto& fn : parsed.value().functions) {
+      for (const auto& p : fn.params) {
+        if (p.type_text.find('*') != std::string::npos) ++pointer_params;
+      }
+    }
+    std::printf("  %-24s MISRA findings: %2zu   pointer params: %2lld   "
+                "cudaMalloc/Free sites: %d\n",
+                v.name, misra.findings.size(),
+                static_cast<long long>(pointer_params),
+                cuda.cuda_malloc_calls + cuda.cuda_free_calls);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  PrintStaticComparison();
+
+  benchutil::PrintHeader("Dynamic equivalence and performance");
+  certkit::cov::SetProbesEnabled(false);
+  auto& device = gpusim::Device::Instance();
+  std::vector<float> values(1 << 16), biases(1 << 16);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<float>(i % 97) * 0.25f;
+    biases[i] = static_cast<float>(i % 31) * 0.5f;
+  }
+  const auto cuda_out = RunCudaStyleScaleBias(values, biases, 2.0f, device);
+  const auto brook_out = RunBrookScaleBias(values, biases, 2.0f, device);
+  bool identical = cuda_out == brook_out;
+  std::printf("  identical results      : %s\n", identical ? "yes" : "NO");
+
+  const double t_cuda = benchutil::TimeSeconds(
+      [&] { RunCudaStyleScaleBias(values, biases, 2.0f, device); }, 5);
+  const double t_brook = benchutil::TimeSeconds(
+      [&] { RunBrookScaleBias(values, biases, 2.0f, device); }, 5);
+  std::printf("  CUDA-style wall time   : %8.3f ms\n", 1e3 * t_cuda);
+  std::printf("  Brook-Auto wall time   : %8.3f ms (%.2fx of CUDA style)\n",
+              1e3 * t_brook, t_brook / t_cuda);
+  std::printf(
+      "\nPaper reference: Brook Auto does not expose pointers and achieves\n"
+      "competitive performance with low-level GPU languages — the stream\n"
+      "variant eliminates every pointer/dynamic-memory finding while\n"
+      "computing identical results.\n");
+  return identical ? 0 : 1;
+}

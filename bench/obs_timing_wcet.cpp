@@ -1,0 +1,86 @@
+// Extension experiment — Observation 1's timing dimension: "high code
+// complexity challenges ... timing analysis (e.g., worst-case execution time
+// and response time) estimation."
+//
+// Runs the AD pipeline closed-loop at its 10 Hz period and reports, per
+// stage and for the whole tick: execution-time distribution, high-water
+// mark, envelope WCET, a measurement-based probabilistic WCET (Gumbel/EVT
+// over block maxima), and deadline misses against the 100 ms tick budget.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "ad/pipeline.h"
+#include "bench/bench_util.h"
+#include "coverage/coverage.h"
+#include "support/strings.h"
+#include "timing/timing.h"
+
+namespace {
+
+void BM_PipelineTickTiming(benchmark::State& state) {
+  certkit::cov::SetProbesEnabled(false);
+  adpilot::PilotConfig cfg;
+  cfg.scenario.seed = 44;
+  adpilot::ApolloPilot pilot(cfg);
+  for (auto _ : state) {
+    auto report = pilot.Tick();
+    benchmark::DoNotOptimize(report.time);
+  }
+}
+BENCHMARK(BM_PipelineTickTiming)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using certkit::timing::TimerRegistry;
+  certkit::cov::SetProbesEnabled(false);  // measure release-flavor timing
+  TimerRegistry::Instance().ResetAll();
+
+  constexpr double kDeadline = 0.100;  // the 10 Hz tick budget
+  {
+    adpilot::PilotConfig cfg;
+    cfg.scenario.num_vehicles = 3;
+    cfg.scenario.seed = 77;
+    cfg.goal_x = 400.0;
+    adpilot::ApolloPilot pilot(cfg);
+    pilot.Run(60.0);  // 600 ticks
+  }
+
+  benchutil::PrintHeader(
+      "Observation 1 extension — execution-time analysis of the AD "
+      "pipeline (600 ticks at 10 Hz)");
+  std::printf("%-20s %6s %9s %9s %9s %9s %11s %8s\n", "task", "n",
+              "mean[ms]", "p99[ms]", "HWM[ms]", "env[ms]", "pWCET[ms]",
+              "misses");
+  for (const auto* timer : TimerRegistry::Instance().Timers()) {
+    const auto stats = timer->GetStats();
+    if (stats.count == 0) continue;
+    const double envelope = timer->EstimateWcetEnvelope(1.2);
+    const auto pwcet = timer->EstimatePwcet(1e-9, 20);
+    const long long misses =
+        static_cast<long long>(timer->CountOver(kDeadline));
+    std::printf("%-20s %6lld %9.3f %9.3f %9.3f %9.3f %11s %8lld\n",
+                timer->name().c_str(), static_cast<long long>(stats.count),
+                1e3 * stats.mean, 1e3 * stats.p99, 1e3 * stats.max,
+                1e3 * envelope,
+                pwcet.ok()
+                    ? certkit::support::FormatDouble(1e3 * pwcet.value(), 3)
+                          .c_str()
+                    : "n/a",
+                misses);
+  }
+  std::printf(
+      "\nenv = observed max x 1.2 (envelope bound); pWCET = Gumbel/EVT fit\n"
+      "over block maxima at 1e-9 exceedance per invocation (MBPTA-style).\n"
+      "With the tick's pWCET below the 100 ms budget and zero observed\n"
+      "misses, the 10 Hz response-time requirement holds on this platform;\n"
+      "the paper's point stands that rising code complexity (Observation 1)\n"
+      "is what makes such bounds progressively harder to establish\n"
+      "statically.\n");
+  return 0;
+}

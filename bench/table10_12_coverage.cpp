@@ -1,0 +1,126 @@
+// Experiment — the normative coverage tables behind the paper's §3.2/§3.3:
+// ISO 26262-6 Table 10 (structural coverage at the unit level: statement,
+// branch, MC/DC) and Table 12 (architectural level: function and call
+// coverage), assessed against live measurements:
+//   * Table 10 over the instrumented YOLO-style detector under the
+//     real-scenario tests (the Figure 5 workload);
+//   * Table 12 over the AD pipeline — first after a perception-only unit
+//     test (partial), then after a closed-loop drive (complete).
+#include <benchmark/benchmark.h>
+
+#include "ad/pipeline.h"
+#include "bench/bench_util.h"
+#include "coverage/coverage.h"
+#include "report/renderers.h"
+#include "rules/coverage_assessor.h"
+
+namespace {
+
+void RunDetectorWorkload() {
+  using namespace adpilot;
+  ScenarioConfig cfg;
+  cfg.num_vehicles = 3;
+  cfg.seed = 606;
+  Scenario scenario(cfg);
+  Perception perception;
+  Pose ego{{0.0, -2.0}, 0.0};
+  for (int tick = 0; tick < 20; ++tick) {
+    scenario.Step(0.1);
+    ego.position.x += 0.5;
+    nn::Tensor frame = scenario.RenderCameraFrame(ego);
+    perception.Process(frame, ego, 0.1);
+  }
+}
+
+void BM_PipelineTick(benchmark::State& state) {
+  adpilot::PilotConfig cfg;
+  cfg.scenario.seed = 8;
+  adpilot::ApolloPilot pilot(cfg);
+  for (auto _ : state) {
+    auto report = pilot.Tick();
+    benchmark::DoNotOptimize(report.time);
+  }
+}
+BENCHMARK(BM_PipelineTick)->Unit(benchmark::kMillisecond);
+
+void PrintAssessment(const certkit::rules::TechniqueTable& table,
+                     const certkit::rules::TableAssessment& assessment) {
+  std::printf("%s\n", certkit::report::RenderTechniqueAssessment(
+                          table, assessment)
+                          .c_str());
+  using certkit::rules::Asil;
+  for (Asil asil : {Asil::kA, Asil::kB, Asil::kC, Asil::kD}) {
+    std::printf("  meets ASIL-%s: %s\n", certkit::rules::AsilName(asil),
+                certkit::rules::MeetsAsil(table, assessment, asil) ? "yes"
+                                                                   : "no");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // --- Table 10: unit-level coverage of the detector ---
+  certkit::cov::Registry::Instance().ResetAll();
+  RunDetectorWorkload();
+  std::vector<certkit::cov::CoverageRow> rows;
+  for (const auto& row : certkit::cov::Snapshot()) {
+    if (row.unit.rfind("yolo/", 0) == 0) rows.push_back(row);
+  }
+  benchutil::PrintHeader(
+      "ISO 26262-6 Table 10 — unit-level structural coverage of the "
+      "YOLO-style detector under real-scenario tests");
+  PrintAssessment(certkit::rules::UnitCoverageTable(),
+                  certkit::rules::AssessUnitCoverage(rows));
+  std::printf(
+      "\nObservation 10 (paper): coverage is low with available tests; the\n"
+      "highly-recommended criteria are not met at any ASIL without\n"
+      "additional test cases.\n");
+
+  // --- Table 12: architectural coverage of the AD pipeline ---
+  auto& pipeline_unit =
+      certkit::cov::Registry::Instance().GetOrCreate("adpilot/pipeline.cc");
+
+  benchutil::PrintHeader(
+      "ISO 26262-6 Table 12 — architectural coverage after unit tests only");
+  pipeline_unit.Reset();
+  {
+    // Unit tests drive the modules directly (as tests/ does), never through
+    // the integrated pipeline — so no Tick->stage edge executes and
+    // architectural coverage stays at zero: unit testing alone cannot
+    // provide the integration-level evidence.
+    RunDetectorWorkload();
+  }
+  PrintAssessment(certkit::rules::IntegrationCoverageTable(),
+                  certkit::rules::AssessIntegrationCoverage(
+                      pipeline_unit.FunctionCoverage(),
+                      pipeline_unit.CallCoverage()));
+  std::printf("  uncovered stages:");
+  for (const auto& name : pipeline_unit.UncoveredFunctions()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+
+  benchutil::PrintHeader(
+      "ISO 26262-6 Table 12 — architectural coverage after the closed-loop "
+      "integration drive");
+  pipeline_unit.Reset();
+  {
+    adpilot::PilotConfig cfg;
+    cfg.scenario.seed = 9;
+    adpilot::ApolloPilot pilot(cfg);
+    pilot.Run(3.0);
+  }
+  PrintAssessment(certkit::rules::IntegrationCoverageTable(),
+                  certkit::rules::AssessIntegrationCoverage(
+                      pipeline_unit.FunctionCoverage(),
+                      pipeline_unit.CallCoverage()));
+  std::printf(
+      "\nThe integration drive exercises every pipeline stage and every\n"
+      "Tick->stage call edge — the architectural-coverage evidence ISO\n"
+      "26262-6 asks for at the software-integration level.\n");
+  return 0;
+}

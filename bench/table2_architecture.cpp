@@ -1,0 +1,46 @@
+// Experiment E8 — Table 2 of the paper (ISO 26262-6 Table 3): architectural
+// design techniques, with the per-module size/interface/coupling metrics
+// behind Observation 13 ("main modules of Apollo have from 5k to 60k lines").
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "report/renderers.h"
+#include "rules/assessor.h"
+
+namespace {
+
+void BM_AssessArchitecture(benchmark::State& state) {
+  const auto& corpus = benchutil::Corpus();
+  for (auto _ : state) {
+    certkit::rules::Assessor assessor(&corpus.modules, &corpus.raw_sources);
+    auto table = assessor.AssessArchitecture();
+    benchmark::DoNotOptimize(table.assessments.size());
+  }
+}
+BENCHMARK(BM_AssessArchitecture)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  benchutil::PrintHeader(
+      "Table 2 — Architectural design (ISO26262_6 Table 3)");
+  const auto& corpus = benchutil::Corpus();
+  certkit::rules::Assessor assessor(&corpus.modules, &corpus.raw_sources);
+  const auto assessment = assessor.AssessArchitecture();
+  std::printf("%s\n",
+              certkit::report::RenderTechniqueAssessment(
+                  certkit::rules::ArchitecturalDesignTable(), assessment)
+                  .c_str());
+  benchutil::PrintHeader("Per-module architectural metrics");
+  std::printf("%s\n", certkit::report::RenderArchitecture(
+                          assessor.architecture())
+                          .c_str());
+  std::printf(
+      "Observation 13: AD frameworks do not comply with many architectural\n"
+      "design principles such as restricted size of components/interfaces.\n");
+  return 0;
+}

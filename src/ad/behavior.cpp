@@ -1,0 +1,128 @@
+#include "ad/behavior.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace adpilot {
+
+const char* DrivingBehaviorName(DrivingBehavior behavior) {
+  switch (behavior) {
+    case DrivingBehavior::kCruise:
+      return "cruise";
+    case DrivingBehavior::kFollow:
+      return "follow";
+    case DrivingBehavior::kOvertake:
+      return "overtake";
+    case DrivingBehavior::kStop:
+      return "stop";
+  }
+  return "?";
+}
+
+BehaviorPlanner::BehaviorPlanner(const BehaviorConfig& config)
+    : config_(config) {
+  CERTKIT_CHECK(config.cruise_speed > 0.0 && config.lookahead > 0.0);
+}
+
+BehaviorDecision BehaviorPlanner::Decide(
+    const VehicleState& state,
+    const std::vector<PredictedObstacle>& predictions) const {
+  BehaviorDecision decision;
+  decision.behavior = DrivingBehavior::kCruise;
+  decision.target_speed = config_.cruise_speed;
+  decision.reason = "no lead vehicle within the lookahead";
+
+  // Find the nearest lead: ahead of the ego, inside the lane corridor.
+  const PredictedObstacle* lead = nullptr;
+  double lead_gap = config_.lookahead;
+  for (const auto& p : predictions) {
+    const Vec2 ego = state.pose.WorldToEgo(p.obstacle.position);
+    if (ego.x <= 0.0 || ego.x > config_.lookahead) continue;
+    if (std::abs(ego.y) > config_.corridor_half_width) continue;
+    const double gap = ego.x - p.obstacle.length / 2.0;
+    if (gap < lead_gap) {
+      lead_gap = gap;
+      lead = &p;
+    }
+  }
+  if (lead == nullptr) return decision;
+
+  decision.lead_obstacle_id = lead->obstacle.id;
+  decision.lead_gap = lead_gap;
+  const double lead_speed = lead->obstacle.velocity.Norm();
+
+  // Stationary obstruction close ahead: stop.
+  if (lead_speed < config_.stationary_speed &&
+      lead_gap < config_.stop_gap) {
+    decision.behavior = DrivingBehavior::kStop;
+    decision.target_speed = 0.0;
+    decision.reason = "stationary obstruction ahead";
+    return decision;
+  }
+
+  // Overtake: lead much slower than cruise and the passing corridor free.
+  if (config_.cruise_speed - lead_speed >= config_.overtake_speed_deficit) {
+    bool passing_free = true;
+    for (const auto& p : predictions) {
+      const Vec2 ego = state.pose.WorldToEgo(p.obstacle.position);
+      if (ego.x < -5.0 || ego.x > config_.lookahead) continue;
+      if (std::abs(ego.y - config_.passing_lane_offset) <=
+          config_.corridor_half_width) {
+        passing_free = false;
+        break;
+      }
+    }
+    if (passing_free) {
+      decision.behavior = DrivingBehavior::kOvertake;
+      decision.target_speed = config_.cruise_speed;
+      decision.reason = "lead slower than cruise and passing corridor free";
+      return decision;
+    }
+  }
+
+  // Follow: match the lead with a time-gap buffer; slow further when
+  // closing inside the desired gap.
+  decision.behavior = DrivingBehavior::kFollow;
+  const double desired_gap =
+      std::max(config_.min_gap, config_.time_gap * state.speed);
+  double target = lead_speed;
+  if (lead_gap < desired_gap) {
+    // Proportional backoff, floored at a crawl.
+    const double shortfall =
+        std::clamp((desired_gap - lead_gap) / desired_gap, 0.0, 1.0);
+    target = std::max(0.5, lead_speed * (1.0 - 0.5 * shortfall));
+  }
+  decision.target_speed = std::min(target, config_.cruise_speed);
+  decision.reason = "following the lead vehicle";
+  return decision;
+}
+
+PlannerConfig ApplyBehavior(const PlannerConfig& base,
+                            const BehaviorDecision& decision) {
+  PlannerConfig out = base;
+  switch (decision.behavior) {
+    case DrivingBehavior::kCruise:
+      out.cruise_speed = decision.target_speed;
+      break;
+    case DrivingBehavior::kFollow:
+      out.cruise_speed = std::max(0.1, decision.target_speed);
+      // No lateral excursions while car-following.
+      out.lateral_offsets = {0.0};
+      break;
+    case DrivingBehavior::kOvertake:
+      out.cruise_speed = decision.target_speed;
+      // Bias to the passing side: centerline stays available as fallback.
+      out.lateral_offsets = {4.0, 2.0, 0.0};
+      break;
+    case DrivingBehavior::kStop:
+      out.cruise_speed = std::max(0.1, base.cruise_speed);
+      out.speed_factors = {0.0};  // every candidate brakes to a halt
+      out.lateral_offsets = {0.0};
+      break;
+  }
+  return out;
+}
+
+}  // namespace adpilot

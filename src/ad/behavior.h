@@ -1,0 +1,73 @@
+// adpilot: behavior planning — the decision layer above the lattice planner
+// (Apollo's planning module separates behavior/scenario decisions from
+// trajectory optimization; this mirrors that split).
+//
+// The behavior planner inspects predicted obstacles along the route and
+// selects a driving behavior plus the planner constraints implementing it:
+//   kCruise   — free road: drive at cruise speed, keep the centerline;
+//   kFollow   — slower lead vehicle, passing not worthwhile: match its
+//               speed with a time-gap buffer;
+//   kOvertake — lead clearly slower and the adjacent corridor is free:
+//               keep speed, bias lateral candidates to the passing side;
+//   kStop     — stationary obstruction close ahead: come to a halt.
+#ifndef AD_BEHAVIOR_H_
+#define AD_BEHAVIOR_H_
+
+#include <string>
+#include <vector>
+
+#include "ad/common.h"
+#include "ad/planning.h"
+#include "ad/prediction.h"
+
+namespace adpilot {
+
+enum class DrivingBehavior { kCruise, kFollow, kOvertake, kStop };
+const char* DrivingBehaviorName(DrivingBehavior behavior);
+
+struct BehaviorDecision {
+  DrivingBehavior behavior = DrivingBehavior::kCruise;
+  double target_speed = 0.0;   // m/s the longitudinal profile should seek
+  int lead_obstacle_id = -1;   // -1 when no lead
+  double lead_gap = 0.0;       // longitudinal gap to the lead, meters
+  std::string reason;          // human-readable justification
+};
+
+struct BehaviorConfig {
+  double cruise_speed = 8.0;        // m/s
+  double corridor_half_width = 2.0; // lead detection corridor, meters
+  double lookahead = 40.0;          // how far ahead a lead matters
+  double time_gap = 1.5;            // following time gap, seconds
+  double min_gap = 6.0;             // never follow closer than this
+  double stop_gap = 12.0;           // stationary obstacle -> stop inside this
+  double stationary_speed = 0.5;    // below this a lead is stationary
+  // Overtake only if the lead is at least this much slower than cruise...
+  double overtake_speed_deficit = 3.0;
+  // ...and the passing corridor is free of obstacles within the lookahead.
+  double passing_lane_offset = 4.0;  // lateral offset of the passing corridor
+};
+
+class BehaviorPlanner {
+ public:
+  explicit BehaviorPlanner(const BehaviorConfig& config = {});
+
+  // Decides the behavior for the current situation. Obstacle positions are
+  // evaluated in the ego frame of `state`.
+  BehaviorDecision Decide(
+      const VehicleState& state,
+      const std::vector<PredictedObstacle>& predictions) const;
+
+  const BehaviorConfig& config() const { return config_; }
+
+ private:
+  BehaviorConfig config_;
+};
+
+// Translates a behavior decision into planner constraints: target speed
+// (via cruise_speed and speed factors) and the admissible lateral offsets.
+PlannerConfig ApplyBehavior(const PlannerConfig& base,
+                            const BehaviorDecision& decision);
+
+}  // namespace adpilot
+
+#endif  // AD_BEHAVIOR_H_

@@ -1,0 +1,115 @@
+#include "ad/canbus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace adpilot {
+
+namespace {
+// Fixed-point scaling used on the wire: 1/1000 resolution.
+std::int16_t ToFixed(double v) {
+  return static_cast<std::int16_t>(std::lround(v * 1000.0));
+}
+double FromFixed(std::int16_t v) { return static_cast<double>(v) / 1000.0; }
+}  // namespace
+
+CanFrame EncodeCommand(const ControlCommand& command) {
+  CanFrame frame;
+  frame.can_id = 0x110;  // throttle/brake/steer command frame
+  frame.dlc = 6;
+  const std::int16_t throttle = ToFixed(command.throttle);
+  const std::int16_t brake = ToFixed(command.brake);
+  const std::int16_t steering = ToFixed(command.steering);
+  frame.data[0] = static_cast<std::uint8_t>(throttle & 0xFF);
+  frame.data[1] = static_cast<std::uint8_t>((throttle >> 8) & 0xFF);
+  frame.data[2] = static_cast<std::uint8_t>(brake & 0xFF);
+  frame.data[3] = static_cast<std::uint8_t>((brake >> 8) & 0xFF);
+  frame.data[4] = static_cast<std::uint8_t>(steering & 0xFF);
+  frame.data[5] = static_cast<std::uint8_t>((steering >> 8) & 0xFF);
+  return frame;
+}
+
+// REQ-CAN-001: only frames with the command identifier shall be decoded
+// as actuation commands.
+ControlCommand DecodeCommand(const CanFrame& frame) {
+  CERTKIT_CHECK_MSG(frame.can_id == 0x110, "not a command frame");
+  CERTKIT_CHECK(frame.dlc >= 6);
+  auto read16 = [&](int at) {
+    return static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(frame.data[at]) |
+        (static_cast<std::uint16_t>(frame.data[at + 1]) << 8));
+  };
+  ControlCommand cmd;
+  cmd.throttle = FromFixed(read16(0));
+  cmd.brake = FromFixed(read16(2));
+  cmd.steering = FromFixed(read16(4));
+  return cmd;
+}
+
+SimulatedVehicle::SimulatedVehicle(const Pose& initial_pose,
+                                   const VehicleParams& params,
+                                   std::uint64_t noise_seed)
+    : params_(params), rng_(noise_seed) {
+  state_.pose = initial_pose;
+}
+
+void SimulatedVehicle::Apply(const ControlCommand& command, double dt) {
+  CERTKIT_CHECK(dt > 0.0);
+  // Requested acceleration from pedals.
+  const double requested =
+      std::clamp(command.throttle, 0.0, 1.0) * params_.max_accel -
+      std::clamp(command.brake, 0.0, 1.0) * params_.max_decel -
+      params_.drag * state_.speed;
+  // First-order actuator lag.
+  const double alpha =
+      params_.actuator_lag > 1e-6 ? dt / (params_.actuator_lag + dt) : 1.0;
+  commanded_accel_ += alpha * (requested - commanded_accel_);
+
+  // Kinematic bicycle.
+  const double steer =
+      std::clamp(command.steering, -0.6, 0.6);
+  const double v = state_.speed;
+  const double yaw_rate = v * std::tan(steer) / params_.wheelbase;
+  state_.pose.heading = NormalizeAngle(state_.pose.heading + yaw_rate * dt);
+  state_.pose.position.x += v * std::cos(state_.pose.heading) * dt;
+  state_.pose.position.y += v * std::sin(state_.pose.heading) * dt;
+  state_.speed =
+      std::clamp(v + commanded_accel_ * dt, 0.0, params_.max_speed);
+  state_.yaw_rate = yaw_rate;
+  state_.acceleration = commanded_accel_;
+}
+
+ChassisFeedback SimulatedVehicle::Feedback(double gnss_noise,
+                                           double speed_noise) {
+  ChassisFeedback fb;
+  fb.state = state_;
+  fb.gnss_position = {
+      state_.pose.position.x + rng_.Gaussian(0.0, gnss_noise),
+      state_.pose.position.y + rng_.Gaussian(0.0, gnss_noise)};
+  fb.wheel_speed = std::max(0.0, state_.speed +
+                                     rng_.Gaussian(0.0, speed_noise));
+  return fb;
+}
+
+CanBus::CanBus(const Pose& initial_pose, const VehicleParams& params,
+               std::uint64_t noise_seed)
+    : vehicle_(initial_pose, params, noise_seed) {}
+
+void CanBus::SendCommand(const ControlCommand& command) {
+  queue_.push_back(EncodeCommand(command));
+  ++frames_sent_;
+}
+
+ChassisFeedback CanBus::Step(double dt, double gnss_noise,
+                             double speed_noise) {
+  while (!queue_.empty()) {
+    last_command_ = DecodeCommand(queue_.front());
+    queue_.pop_front();
+  }
+  vehicle_.Apply(last_command_, dt);
+  return vehicle_.Feedback(gnss_noise, speed_noise);
+}
+
+}  // namespace adpilot

@@ -1,0 +1,86 @@
+// adpilot: CAN bus — command transport to the (simulated) vehicle hardware
+// and chassis feedback (the CAN Bus module of Figure 1).
+//
+// The vehicle is a kinematic bicycle model with first-order throttle/brake
+// dynamics; the bus layer frames commands, applies them, and reports
+// chassis state (with configurable sensor noise) back to the AD system.
+#ifndef AD_CANBUS_H_
+#define AD_CANBUS_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "ad/common.h"
+#include "support/rng.h"
+
+namespace adpilot {
+
+// A framed CAN message (simplified: one frame per command field group).
+struct CanFrame {
+  std::uint32_t can_id = 0;
+  std::uint8_t dlc = 8;
+  std::uint8_t data[8] = {};
+};
+
+// Encodes/decodes control commands to frames (fixed-point scaling).
+CanFrame EncodeCommand(const ControlCommand& command);
+ControlCommand DecodeCommand(const CanFrame& frame);
+
+struct VehicleParams {
+  double wheelbase = 2.8;
+  double max_accel = 3.0;        // full-throttle acceleration
+  double max_decel = 6.0;        // full-brake deceleration
+  double drag = 0.05;            // speed-proportional drag
+  double actuator_lag = 0.2;     // first-order lag time constant, seconds
+  double max_speed = 20.0;
+};
+
+struct ChassisFeedback {
+  VehicleState state;   // true kinematics
+  Vec2 gnss_position;   // noisy position fix
+  double wheel_speed;   // noisy speed
+};
+
+// The simulated vehicle behind the bus.
+class SimulatedVehicle {
+ public:
+  SimulatedVehicle(const Pose& initial_pose, const VehicleParams& params,
+                   std::uint64_t noise_seed = 99);
+
+  void Apply(const ControlCommand& command, double dt);
+  ChassisFeedback Feedback(double gnss_noise, double speed_noise);
+
+  const VehicleState& state() const { return state_; }
+
+ private:
+  VehicleParams params_;
+  VehicleState state_;
+  double commanded_accel_ = 0.0;  // post-lag acceleration
+  certkit::support::Xoshiro256 rng_;
+};
+
+// The bus: queues frames, delivers to the vehicle, returns feedback.
+class CanBus {
+ public:
+  CanBus(const Pose& initial_pose, const VehicleParams& params = {},
+         std::uint64_t noise_seed = 99);
+
+  // AD side: send a control command (framed like real traffic).
+  void SendCommand(const ControlCommand& command);
+  // Advance the vehicle, delivering all queued frames; returns feedback.
+  ChassisFeedback Step(double dt, double gnss_noise = 1.0,
+                       double speed_noise = 0.1);
+
+  std::int64_t frames_sent() const { return frames_sent_; }
+  const SimulatedVehicle& vehicle() const { return vehicle_; }
+
+ private:
+  SimulatedVehicle vehicle_;
+  std::deque<CanFrame> queue_;
+  ControlCommand last_command_;
+  std::int64_t frames_sent_ = 0;
+};
+
+}  // namespace adpilot
+
+#endif  // AD_CANBUS_H_

@@ -1,0 +1,14 @@
+#include "ad/common.h"
+
+#include <numbers>
+
+namespace adpilot {
+
+double NormalizeAngle(double angle) {
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  while (angle > std::numbers::pi) angle -= kTwoPi;
+  while (angle <= -std::numbers::pi) angle += kTwoPi;
+  return angle;
+}
+
+}  // namespace adpilot

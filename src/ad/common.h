@@ -1,0 +1,87 @@
+// adpilot: common geometry and message types shared by the AD modules.
+//
+// The pipeline mirrors Figure 1 of the paper: perception (detection +
+// tracking) -> prediction -> localization -> routing -> planning -> control
+// -> CAN bus. World coordinates are meters in a 2D plane; headings are
+// radians, counter-clockwise, 0 along +x.
+#ifndef AD_COMMON_H_
+#define AD_COMMON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace adpilot {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  double Norm() const { return std::sqrt(x * x + y * y); }
+  double DistanceTo(const Vec2& o) const { return (*this - o).Norm(); }
+};
+
+struct Pose {
+  Vec2 position;
+  double heading = 0.0;  // radians
+
+  // World -> ego-frame transform (ego at origin, heading along +x).
+  Vec2 WorldToEgo(const Vec2& world) const {
+    const Vec2 d = world - position;
+    const double c = std::cos(-heading), s = std::sin(-heading);
+    return {c * d.x - s * d.y, s * d.x + c * d.y};
+  }
+  Vec2 EgoToWorld(const Vec2& ego) const {
+    const double c = std::cos(heading), s = std::sin(heading);
+    return {position.x + c * ego.x - s * ego.y,
+            position.y + s * ego.x + c * ego.y};
+  }
+};
+
+// Normalizes an angle to (-pi, pi].
+double NormalizeAngle(double angle);
+
+enum class ObstacleClass { kVehicle = 0, kPedestrian = 1 };
+
+// A perceived (or simulated ground-truth) obstacle.
+struct Obstacle {
+  int id = -1;
+  ObstacleClass cls = ObstacleClass::kVehicle;
+  Vec2 position;       // world frame, center
+  Vec2 velocity;       // world frame, m/s
+  double length = 4.5;  // along heading
+  double width = 2.0;
+  double confidence = 1.0;
+};
+
+struct TrajectoryPoint {
+  Vec2 position;
+  double heading = 0.0;
+  double speed = 0.0;       // m/s
+  double acceleration = 0.0;
+  double t = 0.0;           // relative time, seconds
+};
+
+using Trajectory = std::vector<TrajectoryPoint>;
+
+// Vehicle state as reported by localization / chassis.
+struct VehicleState {
+  Pose pose;
+  double speed = 0.0;          // m/s
+  double yaw_rate = 0.0;       // rad/s
+  double acceleration = 0.0;   // m/s^2
+};
+
+struct ControlCommand {
+  double throttle = 0.0;  // [0, 1]
+  double brake = 0.0;     // [0, 1]
+  double steering = 0.0;  // front-wheel angle, radians, [-0.5, 0.5]
+};
+
+}  // namespace adpilot
+
+#endif  // AD_COMMON_H_

@@ -1,0 +1,89 @@
+#include "ad/control.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace adpilot {
+
+PidController::PidController(double kp, double ki, double kd,
+                             double integral_limit)
+    : kp_(kp), ki_(ki), kd_(kd), integral_limit_(integral_limit) {}
+
+double PidController::Step(double error, double dt) {
+  CERTKIT_CHECK(dt > 0.0);
+  integral_ = std::clamp(integral_ + error * dt, -integral_limit_,
+                         integral_limit_);
+  const double derivative = has_last_ ? (error - last_error_) / dt : 0.0;
+  last_error_ = error;
+  has_last_ = true;
+  return kp_ * error + ki_ * integral_ + kd_ * derivative;
+}
+
+void PidController::Reset() {
+  integral_ = 0.0;
+  last_error_ = 0.0;
+  has_last_ = false;
+}
+
+TrajectoryController::TrajectoryController(const ControllerConfig& config)
+    : config_(config),
+      speed_pid_(config.kp, config.ki, config.kd, config.integral_limit) {}
+
+void TrajectoryController::Reset() { speed_pid_.Reset(); }
+
+// REQ-CTRL-001: steering commands shall be bounded by the configured
+// maximum front-wheel angle.
+// REQ-CTRL-002: on an empty trajectory the controller shall command a
+// full stop.
+ControlCommand TrajectoryController::Compute(const VehicleState& state,
+                                             const Trajectory& trajectory,
+                                             double dt) {
+  ControlCommand cmd;
+  if (trajectory.empty()) {
+    cmd.brake = 1.0;  // no plan: full stop
+    return cmd;
+  }
+
+  // --- longitudinal: PID on the speed of the near-future plan point ---
+  std::size_t speed_idx = 0;
+  for (std::size_t i = 0; i < trajectory.size(); ++i) {
+    if (trajectory[i].t >= dt) {
+      speed_idx = i;
+      break;
+    }
+    speed_idx = i;
+  }
+  const double target_speed = trajectory[speed_idx].speed;
+  const double u = speed_pid_.Step(target_speed - state.speed, dt);
+  if (u >= 0.0) {
+    cmd.throttle = std::min(1.0, u);
+    cmd.brake = 0.0;
+  } else {
+    cmd.throttle = 0.0;
+    cmd.brake = std::min(1.0, -u);
+  }
+
+  // --- lateral: pure pursuit toward a lookahead point ---
+  const double lookahead =
+      config_.lookahead_base + config_.lookahead_gain * state.speed;
+  std::size_t target_idx = trajectory.size() - 1;
+  for (std::size_t i = 0; i < trajectory.size(); ++i) {
+    if (state.pose.position.DistanceTo(trajectory[i].position) >= lookahead) {
+      target_idx = i;
+      break;
+    }
+  }
+  const Vec2 target_ego =
+      state.pose.WorldToEgo(trajectory[target_idx].position);
+  const double ld2 = std::max(1e-3, target_ego.Dot(target_ego));
+  // Pure pursuit: steering = atan(2 L y / ld^2).
+  const double steering =
+      std::atan2(2.0 * config_.wheelbase * target_ego.y, ld2);
+  cmd.steering =
+      std::clamp(steering, -config_.max_steering, config_.max_steering);
+  return cmd;
+}
+
+}  // namespace adpilot

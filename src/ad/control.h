@@ -1,0 +1,49 @@
+// adpilot: control — PID longitudinal control plus pure-pursuit lateral
+// control (the Control module of Figure 1).
+#ifndef AD_CONTROL_H_
+#define AD_CONTROL_H_
+
+#include "ad/common.h"
+
+namespace adpilot {
+
+class PidController {
+ public:
+  PidController(double kp, double ki, double kd, double integral_limit);
+  double Step(double error, double dt);
+  void Reset();
+
+ private:
+  double kp_, ki_, kd_;
+  double integral_limit_;
+  double integral_ = 0.0;
+  double last_error_ = 0.0;
+  bool has_last_ = false;
+};
+
+struct ControllerConfig {
+  double kp = 0.5, ki = 0.1, kd = 0.02;
+  double integral_limit = 2.0;
+  double lookahead_base = 3.0;   // meters
+  double lookahead_gain = 0.5;   // seconds of travel added to the base
+  double wheelbase = 2.8;        // meters
+  double max_steering = 0.5;     // radians
+};
+
+// Tracks a planned trajectory: returns throttle/brake/steering.
+class TrajectoryController {
+ public:
+  explicit TrajectoryController(const ControllerConfig& config = {});
+
+  ControlCommand Compute(const VehicleState& state,
+                         const Trajectory& trajectory, double dt);
+  void Reset();
+
+ private:
+  ControllerConfig config_;
+  PidController speed_pid_;
+};
+
+}  // namespace adpilot
+
+#endif  // AD_CONTROL_H_

@@ -1,0 +1,141 @@
+#include "ad/localization.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace adpilot {
+
+EkfLocalizer::EkfLocalizer(const Pose& initial_pose, double initial_speed,
+                           const LocalizationConfig& config)
+    : config_(config) {
+  x_[0] = initial_pose.position.x;
+  x_[1] = initial_pose.position.y;
+  x_[2] = initial_pose.heading;
+  x_[3] = initial_speed;
+  for (auto& row : p_) {
+    for (auto& v : row) v = 0.0;
+  }
+  p_[0][0] = p_[1][1] = config.init_pos_var;
+  p_[2][2] = config.init_heading_var;
+  p_[3][3] = config.init_speed_var;
+}
+
+void EkfLocalizer::Predict(double acceleration, double yaw_rate, double dt) {
+  CERTKIT_CHECK(dt > 0.0);
+  last_yaw_rate_ = yaw_rate;
+  last_acceleration_ = acceleration;
+  const double theta = x_[2];
+  const double v = x_[3];
+  const double c = std::cos(theta), s = std::sin(theta);
+
+  // Nonlinear propagation.
+  x_[0] += v * c * dt;
+  x_[1] += v * s * dt;
+  x_[2] = NormalizeAngle(theta + yaw_rate * dt);
+  x_[3] += acceleration * dt;
+  if (x_[3] < 0.0) x_[3] = 0.0;
+
+  // Jacobian F = d f / d x.
+  double f[4][4] = {{1.0, 0.0, -v * s * dt, c * dt},
+                    {0.0, 1.0, v * c * dt, s * dt},
+                    {0.0, 0.0, 1.0, 0.0},
+                    {0.0, 0.0, 0.0, 1.0}};
+  // P = F P F^T + Q.
+  double fp[4][4] = {};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      for (int k = 0; k < 4; ++k) fp[i][j] += f[i][k] * p_[k][j];
+    }
+  }
+  double np[4][4] = {};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      for (int k = 0; k < 4; ++k) np[i][j] += fp[i][k] * f[j][k];
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) p_[i][j] = np[i][j];
+  }
+  p_[0][0] += config_.process_pos * dt;
+  p_[1][1] += config_.process_pos * dt;
+  p_[2][2] += config_.process_heading * dt;
+  p_[3][3] += config_.process_speed * dt;
+}
+
+// REQ-LOC-001: position fixes shall be fused with bounded covariance
+// (symmetrized after every update).
+void EkfLocalizer::UpdatePosition(const Vec2& z) {
+  // H = [I2 0 0]. Same 2x2 innovation structure as the tracker filter.
+  const double r = config_.gnss_noise * config_.gnss_noise;
+  const double s00 = p_[0][0] + r, s01 = p_[0][1];
+  const double s10 = p_[1][0], s11 = p_[1][1] + r;
+  const double det = s00 * s11 - s01 * s10;
+  CERTKIT_CHECK_MSG(det > 1e-12, "singular innovation covariance");
+  const double i00 = s11 / det, i01 = -s01 / det;
+  const double i10 = -s10 / det, i11 = s00 / det;
+  const double r0 = z.x - x_[0];
+  const double r1 = z.y - x_[1];
+
+  double k[4][2];
+  for (int i = 0; i < 4; ++i) {
+    k[i][0] = p_[i][0] * i00 + p_[i][1] * i10;
+    k[i][1] = p_[i][0] * i01 + p_[i][1] * i11;
+  }
+  for (int i = 0; i < 4; ++i) x_[i] += k[i][0] * r0 + k[i][1] * r1;
+  x_[2] = NormalizeAngle(x_[2]);
+
+  double np[4][4];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      np[i][j] = p_[i][j] - (k[i][0] * p_[0][j] + k[i][1] * p_[1][j]);
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) p_[i][j] = np[i][j];
+  }
+  SymmetrizeCovariance();
+}
+
+void EkfLocalizer::UpdateSpeed(double measured_speed) {
+  // H = [0 0 0 1], scalar update.
+  const double r = config_.speed_noise * config_.speed_noise;
+  const double s = p_[3][3] + r;
+  CERTKIT_CHECK(s > 1e-12);
+  const double innovation = measured_speed - x_[3];
+  double k[4];
+  for (int i = 0; i < 4; ++i) k[i] = p_[i][3] / s;
+  for (int i = 0; i < 4; ++i) x_[i] += k[i] * innovation;
+  x_[2] = NormalizeAngle(x_[2]);
+  double np[4][4];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      np[i][j] = p_[i][j] - k[i] * p_[3][j];
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) p_[i][j] = np[i][j];
+  }
+  SymmetrizeCovariance();
+}
+
+VehicleState EkfLocalizer::state() const {
+  VehicleState st;
+  st.pose.position = {x_[0], x_[1]};
+  st.pose.heading = x_[2];
+  st.speed = x_[3];
+  st.yaw_rate = last_yaw_rate_;
+  st.acceleration = last_acceleration_;
+  return st;
+}
+
+void EkfLocalizer::SymmetrizeCovariance() {
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      const double avg = 0.5 * (p_[i][j] + p_[j][i]);
+      p_[i][j] = p_[j][i] = avg;
+    }
+  }
+}
+
+}  // namespace adpilot

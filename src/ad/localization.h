@@ -1,0 +1,52 @@
+// adpilot: localization — an extended Kalman filter fusing odometry with a
+// GNSS-like position sensor (the Localization module of Figure 1).
+//
+// State: [x, y, theta, v]. Prediction uses the kinematic bicycle model
+// driven by (acceleration, yaw rate) from the chassis; updates fuse noisy
+// position fixes and speed measurements.
+#ifndef AD_LOCALIZATION_H_
+#define AD_LOCALIZATION_H_
+
+#include "ad/common.h"
+
+namespace adpilot {
+
+struct LocalizationConfig {
+  double init_pos_var = 1.0;
+  double init_heading_var = 0.1;
+  double init_speed_var = 1.0;
+  double process_pos = 0.05;
+  double process_heading = 0.01;
+  double process_speed = 0.2;
+  double gnss_noise = 1.5;   // meters std
+  double speed_noise = 0.2;  // m/s std
+};
+
+class EkfLocalizer {
+ public:
+  EkfLocalizer(const Pose& initial_pose, double initial_speed,
+               const LocalizationConfig& config = {});
+
+  // IMU/odometry propagation.
+  void Predict(double acceleration, double yaw_rate, double dt);
+  // GNSS position fix.
+  void UpdatePosition(const Vec2& measured);
+  // Wheel-speed measurement.
+  void UpdateSpeed(double measured_speed);
+
+  VehicleState state() const;
+  double position_uncertainty() const { return p_[0][0] + p_[1][1]; }
+
+ private:
+  void SymmetrizeCovariance();
+
+  LocalizationConfig config_;
+  double x_[4];     // x, y, theta, v
+  double p_[4][4];  // covariance
+  double last_yaw_rate_ = 0.0;
+  double last_acceleration_ = 0.0;
+};
+
+}  // namespace adpilot
+
+#endif  // AD_LOCALIZATION_H_

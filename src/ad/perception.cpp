@@ -1,0 +1,38 @@
+#include "ad/perception.h"
+
+namespace adpilot {
+
+Perception::Perception(const PerceptionConfig& config)
+    : config_(config), tracker_(config.tracker) {
+  nn::DetectorConfig det_config;
+  det_config.input_h = det_config.input_w = CameraModel::kImageSize;
+  det_config.num_classes = 2;
+  det_config.score_threshold = config.score_threshold;
+  det_config.backend = config.backend;
+  detector_ = std::make_unique<nn::TinyYoloDetector>(det_config);
+  nn::InitBlobDetectorWeights(detector_.get());
+}
+
+// REQ-PERC-001: obstacles shall only be reported after confirmation
+// across consecutive frames (track gating).
+std::vector<Obstacle> Perception::Process(const nn::Tensor& frame,
+                                          const Pose& ego_pose, double dt) {
+  const std::vector<nn::Detection> detections = detector_->Detect(frame);
+
+  last_detections_.clear();
+  for (const nn::Detection& d : detections) {
+    // Back-project the box center from pixels to the ego frame, then world.
+    const Vec2 ego = CameraModel::PixelToEgo(d.x, d.y);
+    Obstacle o;
+    o.id = -1;  // assigned by the tracker
+    o.cls = d.cls == 0 ? ObstacleClass::kVehicle : ObstacleClass::kPedestrian;
+    o.position = ego_pose.EgoToWorld(ego);
+    o.length = d.h * CameraModel::kMetersPerPixel;  // rows are longitudinal
+    o.width = d.w * CameraModel::kMetersPerPixel;
+    o.confidence = d.score;
+    last_detections_.push_back(o);
+  }
+  return tracker_.Update(last_detections_, dt);
+}
+
+}  // namespace adpilot

@@ -1,0 +1,47 @@
+// adpilot: perception — camera-based object detection (the YOLO-backed
+// Perception module of Figure 1, incl. detection and tracking).
+#ifndef AD_PERCEPTION_H_
+#define AD_PERCEPTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "ad/common.h"
+#include "ad/scenario.h"
+#include "ad/tracking.h"
+#include "nn/detector.h"
+
+namespace adpilot {
+
+struct PerceptionConfig {
+  nn::Backend backend = nn::Backend::kClosedSim;
+  float score_threshold = 0.5f;
+  TrackerConfig tracker;
+};
+
+// Runs the detector on camera frames and maintains object tracks in the
+// world frame.
+class Perception {
+ public:
+  explicit Perception(const PerceptionConfig& config = {});
+
+  // One perception cycle: detect on `frame` (rendered at `ego_pose`),
+  // back-project to world, update the tracker. Returns confirmed obstacles.
+  std::vector<Obstacle> Process(const nn::Tensor& frame,
+                                const Pose& ego_pose, double dt);
+
+  // Instantaneous detections of the last cycle (world frame), pre-tracking.
+  const std::vector<Obstacle>& last_detections() const {
+    return last_detections_;
+  }
+
+ private:
+  PerceptionConfig config_;
+  std::unique_ptr<nn::TinyYoloDetector> detector_;
+  Tracker tracker_;
+  std::vector<Obstacle> last_detections_;
+};
+
+}  // namespace adpilot
+
+#endif  // AD_PERCEPTION_H_

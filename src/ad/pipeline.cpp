@@ -1,0 +1,183 @@
+#include "ad/pipeline.h"
+
+#include <algorithm>
+
+#include "coverage/coverage.h"
+#include "support/check.h"
+#include "timing/timing.h"
+
+namespace adpilot {
+
+namespace {
+
+// Architectural-level coverage probes (ISO 26262-6 Table 12): one function
+// probe per pipeline stage, one call probe per Tick -> stage edge.
+struct PipeProbes {
+  certkit::cov::Unit* u;
+  int f_routing, f_perception, f_prediction, f_localization, f_planning,
+      f_control, f_canbus;
+  int c_perception, c_prediction, c_localization, c_planning, c_control,
+      c_canbus;
+};
+
+PipeProbes& P() {
+  static PipeProbes p = [] {
+    PipeProbes q;
+    q.u = &certkit::cov::Registry::Instance().GetOrCreate(
+        "adpilot/pipeline.cc");
+    q.f_routing = q.u->DeclareFunctionProbe("routing::FindRoute");
+    q.f_perception = q.u->DeclareFunctionProbe("perception::Process");
+    q.f_prediction = q.u->DeclareFunctionProbe("prediction::Predict");
+    q.f_localization = q.u->DeclareFunctionProbe("localization::Update");
+    q.f_planning = q.u->DeclareFunctionProbe("planning::PlanTrajectory");
+    q.f_control = q.u->DeclareFunctionProbe("control::Compute");
+    q.f_canbus = q.u->DeclareFunctionProbe("canbus::Step");
+    q.c_perception = q.u->DeclareCallProbe("Tick", "perception");
+    q.c_prediction = q.u->DeclareCallProbe("Tick", "prediction");
+    q.c_localization = q.u->DeclareCallProbe("Tick", "localization");
+    q.c_planning = q.u->DeclareCallProbe("Tick", "planning");
+    q.c_control = q.u->DeclareCallProbe("Tick", "control");
+    q.c_canbus = q.u->DeclareCallProbe("Tick", "canbus");
+    return q;
+  }();
+  return p;
+}
+
+}  // namespace
+
+ApolloPilot::ApolloPilot(const PilotConfig& config)
+    : config_(config),
+      scenario_(config.scenario),
+      perception_(config.perception),
+      behavior_(config.behavior),
+      canbus_(Pose{{0.0, -config.scenario.lane_width / 2.0}, 0.0},
+              config.vehicle) {
+  // Route: lane graph down the road, start near the ego, goal at goal_x.
+  const double spacing = 10.0;
+  const int segments =
+      static_cast<int>(config_.scenario.road_length / spacing) + 1;
+  graph_ = LaneGraph::StraightRoad(config_.scenario.num_lanes, segments,
+                                   spacing, config_.scenario.lane_width);
+  const Pose initial = canbus_.vehicle().state().pose;
+  const int start = graph_.NearestNode(initial.position);
+  const int goal =
+      graph_.NearestNode({config_.goal_x, initial.position.y});
+  P().u->EnterFunction(P().f_routing);
+  auto route = FindRoute(graph_, start, goal);
+  CERTKIT_CHECK_MSG(route.ok(), "no route to goal: "
+                                    << route.status().ToString());
+  route_ = std::move(route).value();
+
+  localizer_ = std::make_unique<EkfLocalizer>(initial, 0.0,
+                                              config_.localization);
+}
+
+TickReport ApolloPilot::Tick() {
+  auto& timers = certkit::timing::TimerRegistry::Instance();
+  certkit::timing::ScopedTimer tick_timer(
+      timers.GetOrCreate("adpilot/tick"));
+  const double dt = config_.tick;
+  TickReport report;
+  time_ += dt;
+  report.time = time_;
+
+  // 1. World advances.
+  scenario_.Step(dt);
+
+  // 2. Localization estimate (used as the ego pose everywhere downstream).
+  VehicleState est = localizer_->state();
+  report.localized = est;
+
+  // 3. Perception on the camera frame rendered at the *estimated* pose.
+  const nn::Tensor frame = scenario_.RenderCameraFrame(est.pose);
+  P().u->EnterFunction(P().f_perception);
+  P().u->CallSite(P().c_perception);
+  std::vector<Obstacle> tracked;
+  {
+    certkit::timing::ScopedTimer timer(
+        timers.GetOrCreate("adpilot/perception"));
+    tracked = perception_.Process(frame, est.pose, dt);
+  }
+  report.detections = perception_.last_detections().size();
+  report.tracked_obstacles = tracked.size();
+
+  // 4. Prediction.
+  P().u->EnterFunction(P().f_prediction);
+  P().u->CallSite(P().c_prediction);
+  std::vector<PredictedObstacle> predictions;
+  {
+    certkit::timing::ScopedTimer timer(
+        timers.GetOrCreate("adpilot/prediction"));
+    predictions = PredictObstacles(tracked, config_.prediction);
+  }
+
+  // 5. Planning along the route.
+  // 5a. Behavior decision (cruise / follow / overtake / stop).
+  const BehaviorDecision decision = behavior_.Decide(est, predictions);
+  report.behavior = decision.behavior;
+
+  P().u->EnterFunction(P().f_planning);
+  P().u->CallSite(P().c_planning);
+  PlanResult plan;
+  {
+    certkit::timing::ScopedTimer timer(
+        timers.GetOrCreate("adpilot/planning"));
+    plan = PlanTrajectory(est, route_,
+                          predictions,
+                          ApplyBehavior(config_.planner, decision));
+  }
+  report.plan_collision_free = plan.collision_free;
+
+  // 6. Control.
+  P().u->EnterFunction(P().f_control);
+  P().u->CallSite(P().c_control);
+  ControlCommand cmd;
+  {
+    certkit::timing::ScopedTimer timer(
+        timers.GetOrCreate("adpilot/control"));
+    cmd = controller_.Compute(est, plan.trajectory, dt);
+  }
+  report.command = cmd;
+
+  // 7. Actuation over the CAN bus; chassis feedback drives localization.
+  P().u->EnterFunction(P().f_canbus);
+  P().u->CallSite(P().c_canbus);
+  canbus_.SendCommand(cmd);
+  const ChassisFeedback fb = canbus_.Step(dt, config_.localization.gnss_noise,
+                                          config_.localization.speed_noise);
+  P().u->EnterFunction(P().f_localization);
+  P().u->CallSite(P().c_localization);
+  localizer_->Predict(fb.state.acceleration, fb.state.yaw_rate, dt);
+  localizer_->UpdatePosition(fb.gnss_position);
+  localizer_->UpdateSpeed(fb.wheel_speed);
+
+  report.ground_truth = fb.state;
+
+  // Safety bookkeeping against ground truth.
+  for (const Obstacle& o : scenario_.ground_truth()) {
+    const double d =
+        fb.state.pose.position.DistanceTo(o.position) -
+        std::max(o.length, o.width) / 2.0;
+    report.min_obstacle_distance =
+        std::min(report.min_obstacle_distance, d);
+  }
+  min_clearance_ = std::min(min_clearance_, report.min_obstacle_distance);
+  return report;
+}
+
+std::vector<TickReport> ApolloPilot::Run(double seconds) {
+  CERTKIT_CHECK(seconds > 0.0);
+  std::vector<TickReport> reports;
+  const int ticks = static_cast<int>(seconds / config_.tick);
+  reports.reserve(static_cast<std::size_t>(ticks));
+  for (int i = 0; i < ticks; ++i) {
+    reports.push_back(Tick());
+  }
+  return reports;
+}
+
+bool ApolloPilot::ReachedGoal() const {
+  return canbus_.vehicle().state().pose.position.x >= config_.goal_x;
+}
+
+}  // namespace adpilot

@@ -1,0 +1,79 @@
+// adpilot: the full AD pipeline of Figure 1 — perception (detection +
+// tracking) -> prediction -> localization -> routing -> planning -> control
+// -> CAN bus, closed over a simulated world.
+#ifndef AD_PIPELINE_H_
+#define AD_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ad/behavior.h"
+#include "ad/canbus.h"
+#include "ad/control.h"
+#include "ad/localization.h"
+#include "ad/perception.h"
+#include "ad/planning.h"
+#include "ad/prediction.h"
+#include "ad/routing.h"
+#include "ad/scenario.h"
+
+namespace adpilot {
+
+struct PilotConfig {
+  ScenarioConfig scenario;
+  PerceptionConfig perception;
+  BehaviorConfig behavior;
+  PredictionConfig prediction;
+  PlannerConfig planner;
+  ControllerConfig controller;
+  LocalizationConfig localization;
+  VehicleParams vehicle;
+  double goal_x = 200.0;  // route goal along the road
+  double tick = 0.1;      // pipeline period, seconds
+};
+
+struct TickReport {
+  double time = 0.0;
+  VehicleState localized;       // EKF estimate
+  VehicleState ground_truth;    // simulator truth
+  std::size_t detections = 0;
+  std::size_t tracked_obstacles = 0;
+  bool plan_collision_free = true;
+  DrivingBehavior behavior = DrivingBehavior::kCruise;
+  double min_obstacle_distance = 1e9;  // ground-truth clearance
+  ControlCommand command;
+};
+
+// The closed-loop autonomous driving stack.
+class ApolloPilot {
+ public:
+  explicit ApolloPilot(const PilotConfig& config);
+
+  // Runs one perception->...->actuation cycle.
+  TickReport Tick();
+
+  // Convenience: run for `seconds`; returns all tick reports.
+  std::vector<TickReport> Run(double seconds);
+
+  bool ReachedGoal() const;
+  double MinClearanceSoFar() const { return min_clearance_; }
+  const Route& route() const { return route_; }
+  Scenario& scenario() { return scenario_; }
+
+ private:
+  PilotConfig config_;
+  Scenario scenario_;
+  LaneGraph graph_;
+  Route route_;
+  Perception perception_;
+  BehaviorPlanner behavior_;
+  std::unique_ptr<EkfLocalizer> localizer_;
+  TrajectoryController controller_;
+  CanBus canbus_;
+  double time_ = 0.0;
+  double min_clearance_ = 1e9;
+};
+
+}  // namespace adpilot
+
+#endif  // AD_PIPELINE_H_

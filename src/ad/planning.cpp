@@ -1,0 +1,255 @@
+#include "ad/planning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.h"
+
+namespace adpilot {
+
+QuinticPolynomial::QuinticPolynomial(double d0, double dd0, double ddd0,
+                                     double d1, double dd1, double ddd1,
+                                     double duration)
+    : duration_(duration) {
+  CERTKIT_CHECK(duration > 0.0);
+  // Closed-form boundary-value solution.
+  const double t = duration;
+  const double t2 = t * t, t3 = t2 * t, t4 = t3 * t, t5 = t4 * t;
+  c_[0] = d0;
+  c_[1] = dd0;
+  c_[2] = ddd0 / 2.0;
+  const double b0 = d1 - c_[0] - c_[1] * t - c_[2] * t2;
+  const double b1 = dd1 - c_[1] - 2.0 * c_[2] * t;
+  const double b2 = ddd1 - 2.0 * c_[2];
+  c_[3] = (10.0 * b0 - 4.0 * b1 * t + b2 * t2 / 2.0) / t3;
+  c_[4] = (-15.0 * b0 + 7.0 * b1 * t - b2 * t2) / t4;
+  c_[5] = (6.0 * b0 - 3.0 * b1 * t + b2 * t2 / 2.0) / t5;
+}
+
+double QuinticPolynomial::Value(double t) const {
+  t = std::clamp(t, 0.0, duration_);
+  return c_[0] + t * (c_[1] + t * (c_[2] + t * (c_[3] + t * (c_[4] +
+                                                             t * c_[5]))));
+}
+
+double QuinticPolynomial::FirstDerivative(double t) const {
+  t = std::clamp(t, 0.0, duration_);
+  return c_[1] +
+         t * (2.0 * c_[2] +
+              t * (3.0 * c_[3] + t * (4.0 * c_[4] + t * 5.0 * c_[5])));
+}
+
+double QuinticPolynomial::SecondDerivative(double t) const {
+  t = std::clamp(t, 0.0, duration_);
+  return 2.0 * c_[2] +
+         t * (6.0 * c_[3] + t * (12.0 * c_[4] + t * 20.0 * c_[5]));
+}
+
+namespace {
+
+// Arc-length parameterized polyline over the route waypoints.
+class ReferenceLine {
+ public:
+  explicit ReferenceLine(const std::vector<Vec2>& waypoints)
+      : points_(waypoints) {
+    CERTKIT_CHECK(points_.size() >= 2);
+    station_.push_back(0.0);
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+      station_.push_back(station_.back() +
+                         points_[i].DistanceTo(points_[i - 1]));
+    }
+  }
+
+  double length() const { return station_.back(); }
+
+  // Position and unit tangent at station s (clamped).
+  void Sample(double s, Vec2* position, Vec2* tangent) const {
+    s = std::clamp(s, 0.0, length());
+    std::size_t seg = 1;
+    while (seg + 1 < station_.size() && station_[seg] < s) ++seg;
+    const double s0 = station_[seg - 1];
+    const double seg_len = station_[seg] - s0;
+    const Vec2 a = points_[seg - 1];
+    const Vec2 b = points_[seg];
+    const double u = seg_len > 1e-9 ? (s - s0) / seg_len : 0.0;
+    *position = a + (b - a) * u;
+    const double norm = (b - a).Norm();
+    *tangent = norm > 1e-9 ? (b - a) * (1.0 / norm) : Vec2{1.0, 0.0};
+  }
+
+  // Projects `p` to (station, lateral offset); positive offset to the left.
+  void Project(const Vec2& p, double* s, double* d) const {
+    double best_s = 0.0, best_d = std::numeric_limits<double>::infinity();
+    double signed_d = 0.0;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+      const Vec2 a = points_[i - 1];
+      const Vec2 b = points_[i];
+      const Vec2 ab = b - a;
+      const double len2 = ab.Dot(ab);
+      const double u =
+          len2 > 1e-12 ? std::clamp((p - a).Dot(ab) / len2, 0.0, 1.0) : 0.0;
+      const Vec2 proj = a + ab * u;
+      const double dist = p.DistanceTo(proj);
+      if (dist < best_d) {
+        best_d = dist;
+        best_s = station_[i - 1] + u * std::sqrt(len2);
+        // Sign via the 2D cross product of tangent x (p - proj).
+        const double cross = ab.x * (p.y - proj.y) - ab.y * (p.x - proj.x);
+        signed_d = cross >= 0.0 ? dist : -dist;
+      }
+    }
+    *s = best_s;
+    *d = signed_d;
+  }
+
+ private:
+  std::vector<Vec2> points_;
+  std::vector<double> station_;
+};
+
+Trajectory EmergencyStop(const VehicleState& state,
+                         const PlannerConfig& config) {
+  Trajectory out;
+  double v = state.speed;
+  Vec2 pos = state.pose.position;
+  const Vec2 dir = {std::cos(state.pose.heading),
+                    std::sin(state.pose.heading)};
+  for (double t = 0.0; t <= config.horizon + 1e-9; t += config.step) {
+    TrajectoryPoint pt;
+    pt.position = pos;
+    pt.heading = state.pose.heading;
+    pt.speed = v;
+    pt.acceleration = v > 0.0 ? -config.max_decel : 0.0;
+    pt.t = t;
+    out.push_back(pt);
+    const double dv = config.max_decel * config.step;
+    const double v_next = std::max(0.0, v - dv);
+    pos = pos + dir * ((v + v_next) / 2.0 * config.step);
+    v = v_next;
+  }
+  return out;
+}
+
+// Minimum distance from trajectory sample k to any predicted obstacle at
+// the matching time.
+bool CollidesAt(const TrajectoryPoint& pt,
+                const std::vector<PredictedObstacle>& predictions,
+                double safety_radius) {
+  for (const PredictedObstacle& p : predictions) {
+    // Find the prediction sample nearest in time (same sampling grid).
+    const Trajectory& traj = p.trajectory;
+    if (traj.empty()) continue;
+    std::size_t idx = 0;
+    double best_dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < traj.size(); ++i) {
+      const double dt = std::abs(traj[i].t - pt.t);
+      if (dt < best_dt) {
+        best_dt = dt;
+        idx = i;
+      }
+    }
+    const double extent =
+        std::max(p.obstacle.length, p.obstacle.width) / 2.0;
+    if (pt.position.DistanceTo(traj[idx].position) <
+        safety_radius + extent) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// REQ-PLAN-001: the planner shall select a collision-free trajectory
+// against all predicted obstacle trajectories over the horizon.
+// REQ-PLAN-002: when no candidate is collision-free, the planner shall
+// command an emergency stop at maximum deceleration.
+PlanResult PlanTrajectory(const VehicleState& state, const Route& route,
+                          const std::vector<PredictedObstacle>& predictions,
+                          const PlannerConfig& config) {
+  PlanResult result;
+  if (route.waypoints.size() < 2) {
+    result.trajectory = EmergencyStop(state, config);
+    result.collision_free = false;
+    return result;
+  }
+  const ReferenceLine ref(route.waypoints);
+  double s0 = 0.0, d0 = 0.0;
+  ref.Project(state.pose.position, &s0, &d0);
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  Trajectory best;
+  bool found = false;
+
+  for (double offset : config.lateral_offsets) {
+    for (double factor : config.speed_factors) {
+      ++result.candidates_evaluated;
+      const double target_speed = config.cruise_speed * factor;
+      // The quintic clamps past its duration, so converging in a fraction
+      // of the horizon holds the target offset for the remainder.
+      QuinticPolynomial lateral(d0, 0.0, 0.0, offset, 0.0, 0.0,
+                                config.horizon *
+                                    config.lateral_horizon_factor);
+      Trajectory traj;
+      double s = s0;
+      double v = state.speed;
+      double accel_cost = 0.0;
+      bool collided = false;
+      for (double t = 0.0; t <= config.horizon + 1e-9; t += config.step) {
+        // Longitudinal: approach the target speed with bounded accel.
+        double a = 0.0;
+        if (v < target_speed) {
+          a = std::min(config.max_accel, (target_speed - v) / config.step);
+        } else if (v > target_speed) {
+          a = std::max(-config.max_decel, (target_speed - v) / config.step);
+        }
+        TrajectoryPoint pt;
+        Vec2 pos, tan;
+        ref.Sample(s, &pos, &tan);
+        const Vec2 normal{-tan.y, tan.x};
+        const double d = lateral.Value(t);
+        pt.position = pos + normal * d;
+        pt.heading = std::atan2(tan.y, tan.x);
+        pt.speed = v;
+        pt.acceleration = a;
+        pt.t = t;
+        if (CollidesAt(pt, predictions, config.safety_radius)) {
+          collided = true;
+          break;
+        }
+        traj.push_back(pt);
+        accel_cost += a * a + lateral.SecondDerivative(t) *
+                                  lateral.SecondDerivative(t);
+        const double v_next =
+            std::clamp(v + a * config.step, 0.0, config.cruise_speed * 1.5);
+        s += (v + v_next) / 2.0 * config.step;
+        v = v_next;
+      }
+      if (collided) continue;
+      const double cost =
+          config.w_offset * offset * offset +
+          config.w_speed_dev * (config.cruise_speed - target_speed) *
+              (config.cruise_speed - target_speed) +
+          config.w_accel * accel_cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = std::move(traj);
+        found = true;
+      }
+    }
+  }
+
+  if (!found) {
+    result.trajectory = EmergencyStop(state, config);
+    result.collision_free = false;
+    result.cost = config.w_collision;
+    return result;
+  }
+  result.trajectory = std::move(best);
+  result.cost = best_cost;
+  result.collision_free = true;
+  return result;
+}
+
+}  // namespace adpilot

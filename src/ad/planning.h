@@ -1,0 +1,62 @@
+// adpilot: planning — a lattice planner that samples lateral-offset
+// candidates along the route, scores them for safety and comfort against
+// predicted obstacle trajectories, and picks the best collision-free one
+// (the Planning module of Figure 1).
+#ifndef AD_PLANNING_H_
+#define AD_PLANNING_H_
+
+#include <vector>
+
+#include "ad/common.h"
+#include "ad/prediction.h"
+#include "ad/routing.h"
+
+namespace adpilot {
+
+struct PlannerConfig {
+  double horizon = 4.0;      // seconds
+  double step = 0.25;        // trajectory sampling period
+  double cruise_speed = 8.0;  // target speed, m/s
+  double max_accel = 2.0;
+  double max_decel = 4.0;
+  std::vector<double> lateral_offsets = {0.0, -2.0, 2.0, -4.0, 4.0};
+  std::vector<double> speed_factors = {1.0, 0.6, 0.3, 0.0};
+  double lateral_horizon_factor = 0.6;  // converge laterally by this * horizon
+  double safety_radius = 1.2;   // clearance beyond the obstacle extent, meters
+  double w_collision = 1e6;
+  double w_offset = 0.5;
+  double w_speed_dev = 1.0;
+  double w_accel = 0.05;
+};
+
+// A quintic polynomial d(t) satisfying boundary conditions; used for the
+// lateral dimension of lattice candidates.
+class QuinticPolynomial {
+ public:
+  QuinticPolynomial(double d0, double dd0, double ddd0, double d1,
+                    double dd1, double ddd1, double duration);
+  double Value(double t) const;
+  double FirstDerivative(double t) const;
+  double SecondDerivative(double t) const;
+
+ private:
+  double c_[6];
+  double duration_;
+};
+
+struct PlanResult {
+  Trajectory trajectory;
+  double cost = 0.0;
+  bool collision_free = true;
+  int candidates_evaluated = 0;
+};
+
+// Plans a trajectory from `state` along `route` avoiding `predictions`.
+// Falls back to an emergency-stop trajectory when every candidate collides.
+PlanResult PlanTrajectory(const VehicleState& state, const Route& route,
+                          const std::vector<PredictedObstacle>& predictions,
+                          const PlannerConfig& config = {});
+
+}  // namespace adpilot
+
+#endif  // AD_PLANNING_H_

@@ -1,0 +1,55 @@
+#include "ad/prediction.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace adpilot {
+
+const char* ManeuverName(Maneuver maneuver) {
+  switch (maneuver) {
+    case Maneuver::kStationary:
+      return "stationary";
+    case Maneuver::kCruising:
+      return "cruising";
+    case Maneuver::kCrossing:
+      return "crossing";
+  }
+  return "?";
+}
+
+std::vector<PredictedObstacle> PredictObstacles(
+    const std::vector<Obstacle>& obstacles, const PredictionConfig& config) {
+  CERTKIT_CHECK(config.horizon > 0.0 && config.step > 0.0);
+  std::vector<PredictedObstacle> out;
+  out.reserve(obstacles.size());
+  for (const Obstacle& o : obstacles) {
+    PredictedObstacle p;
+    p.obstacle = o;
+
+    const double speed = o.velocity.Norm();
+    if (speed < config.stationary_speed) {
+      p.maneuver = Maneuver::kStationary;
+    } else if (std::abs(o.velocity.y) / speed > config.crossing_ratio) {
+      p.maneuver = Maneuver::kCrossing;
+    } else {
+      p.maneuver = Maneuver::kCruising;
+    }
+
+    const Vec2 vel =
+        p.maneuver == Maneuver::kStationary ? Vec2{0.0, 0.0} : o.velocity;
+    const double heading = std::atan2(vel.y, vel.x);
+    for (double t = 0.0; t <= config.horizon + 1e-9; t += config.step) {
+      TrajectoryPoint pt;
+      pt.position = o.position + vel * t;
+      pt.heading = heading;
+      pt.speed = vel.Norm();
+      pt.t = t;
+      p.trajectory.push_back(pt);
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace adpilot

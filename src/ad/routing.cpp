@@ -1,0 +1,134 @@
+#include "ad/routing.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "support/check.h"
+
+namespace adpilot {
+
+int LaneGraph::AddNode(const Vec2& position) {
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(LaneNode{id, position});
+  adjacency_.emplace_back();
+  return id;
+}
+
+void LaneGraph::AddEdge(int from, int to, double length) {
+  CERTKIT_CHECK(from >= 0 && from < node_count());
+  CERTKIT_CHECK(to >= 0 && to < node_count());
+  if (length < 0.0) {
+    length = nodes_[static_cast<std::size_t>(from)].position.DistanceTo(
+        nodes_[static_cast<std::size_t>(to)].position);
+  }
+  adjacency_[static_cast<std::size_t>(from)].push_back(
+      LaneEdge{from, to, length});
+}
+
+const LaneNode& LaneGraph::node(int id) const {
+  CERTKIT_CHECK(id >= 0 && id < node_count());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<LaneEdge>& LaneGraph::edges_from(int id) const {
+  CERTKIT_CHECK(id >= 0 && id < node_count());
+  return adjacency_[static_cast<std::size_t>(id)];
+}
+
+int LaneGraph::NearestNode(const Vec2& position) const {
+  CERTKIT_CHECK(!nodes_.empty());
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const LaneNode& n : nodes_) {
+    const double d = n.position.DistanceTo(position);
+    if (d < best_d) {
+      best_d = d;
+      best = n.id;
+    }
+  }
+  return best;
+}
+
+LaneGraph LaneGraph::StraightRoad(int lanes, int segments, double spacing,
+                                  double lane_width) {
+  CERTKIT_CHECK(lanes >= 1 && segments >= 2 && spacing > 0.0);
+  LaneGraph g;
+  // Node id = lane * segments + index.
+  for (int lane = 0; lane < lanes; ++lane) {
+    const double y =
+        (lane + 0.5) * lane_width - lanes * lane_width / 2.0;
+    for (int i = 0; i < segments; ++i) {
+      g.AddNode({i * spacing, y});
+    }
+  }
+  for (int lane = 0; lane < lanes; ++lane) {
+    for (int i = 0; i + 1 < segments; ++i) {
+      const int a = lane * segments + i;
+      g.AddEdge(a, a + 1);
+      // Diagonal lane changes to adjacent lanes.
+      if (lane + 1 < lanes) {
+        g.AddEdge(a, (lane + 1) * segments + i + 1);
+      }
+      if (lane > 0) {
+        g.AddEdge(a, (lane - 1) * segments + i + 1);
+      }
+    }
+  }
+  return g;
+}
+
+// REQ-ROUTE-001: routing shall fail explicitly (no fallback path) when
+// the goal is unreachable.
+certkit::support::Result<Route> FindRoute(const LaneGraph& graph, int start,
+                                          int goal) {
+  if (start < 0 || start >= graph.node_count() || goal < 0 ||
+      goal >= graph.node_count()) {
+    return certkit::support::InvalidArgumentError(
+        "start or goal outside the graph");
+  }
+  const Vec2 goal_pos = graph.node(goal).position;
+  const std::size_t n = static_cast<std::size_t>(graph.node_count());
+  std::vector<double> g_cost(n, std::numeric_limits<double>::infinity());
+  std::vector<int> parent(n, -1);
+  std::vector<bool> closed(n, false);
+
+  using QueueItem = std::pair<double, int>;  // (f, node)
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> open;
+  g_cost[static_cast<std::size_t>(start)] = 0.0;
+  open.push({graph.node(start).position.DistanceTo(goal_pos), start});
+
+  while (!open.empty()) {
+    const auto [f, u] = open.top();
+    open.pop();
+    if (closed[static_cast<std::size_t>(u)]) continue;
+    closed[static_cast<std::size_t>(u)] = true;
+    if (u == goal) break;
+    for (const LaneEdge& e : graph.edges_from(u)) {
+      const double candidate = g_cost[static_cast<std::size_t>(u)] + e.length;
+      if (candidate < g_cost[static_cast<std::size_t>(e.to)]) {
+        g_cost[static_cast<std::size_t>(e.to)] = candidate;
+        parent[static_cast<std::size_t>(e.to)] = u;
+        open.push(
+            {candidate + graph.node(e.to).position.DistanceTo(goal_pos),
+             e.to});
+      }
+    }
+  }
+
+  if (!closed[static_cast<std::size_t>(goal)]) {
+    return certkit::support::NotFoundError("goal unreachable from start");
+  }
+  Route route;
+  for (int v = goal; v != -1; v = parent[static_cast<std::size_t>(v)]) {
+    route.node_ids.push_back(v);
+  }
+  std::reverse(route.node_ids.begin(), route.node_ids.end());
+  for (int id : route.node_ids) {
+    route.waypoints.push_back(graph.node(id).position);
+  }
+  route.length = g_cost[static_cast<std::size_t>(goal)];
+  return route;
+}
+
+}  // namespace adpilot

@@ -1,0 +1,64 @@
+// adpilot: routing — a lane-level graph with A* shortest-path search
+// (the Routing module of Figure 1).
+#ifndef AD_ROUTING_H_
+#define AD_ROUTING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ad/common.h"
+#include "support/status.h"
+
+namespace adpilot {
+
+struct LaneNode {
+  int id = -1;
+  Vec2 position;
+};
+
+struct LaneEdge {
+  int from = -1;
+  int to = -1;
+  double length = 0.0;  // travel cost, meters
+};
+
+// Directed lane graph.
+class LaneGraph {
+ public:
+  // Adds a node; ids must be dense from 0 in insertion order.
+  int AddNode(const Vec2& position);
+  // Adds a directed edge; length defaults to the Euclidean distance.
+  void AddEdge(int from, int to, double length = -1.0);
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  const LaneNode& node(int id) const;
+  const std::vector<LaneEdge>& edges_from(int id) const;
+
+  // Nearest node to a position.
+  int NearestNode(const Vec2& position) const;
+
+  // Builds a straight multi-lane road: `segments` nodes per lane spaced
+  // `spacing` meters, with lane changes allowed between adjacent lanes.
+  static LaneGraph StraightRoad(int lanes, int segments, double spacing,
+                                double lane_width);
+
+ private:
+  std::vector<LaneNode> nodes_;
+  std::vector<std::vector<LaneEdge>> adjacency_;
+};
+
+struct Route {
+  std::vector<int> node_ids;
+  std::vector<Vec2> waypoints;
+  double length = 0.0;
+};
+
+// A* shortest path (admissible Euclidean heuristic). NotFound if the goal is
+// unreachable.
+certkit::support::Result<Route> FindRoute(const LaneGraph& graph, int start,
+                                          int goal);
+
+}  // namespace adpilot
+
+#endif  // AD_ROUTING_H_

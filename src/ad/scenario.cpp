@@ -1,0 +1,112 @@
+#include "ad/scenario.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace adpilot {
+
+bool CameraModel::EgoToPixel(const Vec2& ego, double* px, double* py) {
+  CERTKIT_CHECK(px != nullptr && py != nullptr);
+  if (ego.x < -kBehind || ego.x >= kAhead || ego.y < -kHalfWidth ||
+      ego.y >= kHalfWidth) {
+    return false;
+  }
+  // Row 0 is the far edge; columns grow to the right (negative y is left).
+  *px = (ego.y + kHalfWidth) / kMetersPerPixel;
+  *py = (kAhead - ego.x) / kMetersPerPixel;
+  return true;
+}
+
+Vec2 CameraModel::PixelToEgo(double px, double py) {
+  return {kAhead - (py + 0.5) * kMetersPerPixel,
+          (px + 0.5) * kMetersPerPixel - kHalfWidth};
+}
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : config_(config), rng_(config.seed) {
+  // Vehicles ahead of the origin in random lanes, driving forward at
+  // varied speeds.
+  for (int i = 0; i < config_.num_vehicles; ++i) {
+    Obstacle v;
+    v.id = i;
+    v.cls = ObstacleClass::kVehicle;
+    const int lane =
+        static_cast<int>(rng_.UniformInt(0, config_.num_lanes - 1));
+    v.position = {20.0 + 25.0 * i + rng_.UniformDouble(0.0, 10.0),
+                  (lane + 0.5) * config_.lane_width -
+                      config_.num_lanes * config_.lane_width / 2.0};
+    v.velocity = {rng_.UniformDouble(2.0, 8.0), 0.0};
+    v.length = 4.5;
+    v.width = 2.0;
+    agents_.push_back(v);
+  }
+  for (int i = 0; i < config_.num_pedestrians; ++i) {
+    Obstacle p;
+    p.id = config_.num_vehicles + i;
+    p.cls = ObstacleClass::kPedestrian;
+    p.position = {30.0 + 20.0 * i, rng_.UniformDouble(-6.0, 6.0)};
+    p.velocity = {0.0, rng_.UniformDouble(-1.0, 1.0)};
+    p.length = 1.0;
+    p.width = 1.0;
+    agents_.push_back(p);
+  }
+}
+
+void Scenario::Step(double dt) {
+  CERTKIT_CHECK(dt > 0.0);
+  time_ += dt;
+  for (Obstacle& a : agents_) {
+    a.position = a.position + a.velocity * dt;
+    // Vehicles loop back so the scenario never empties.
+    if (a.position.x > config_.road_length) {
+      a.position.x -= config_.road_length;
+    }
+    // Pedestrians bounce between the road edges.
+    if (a.cls == ObstacleClass::kPedestrian) {
+      const double half_road =
+          config_.num_lanes * config_.lane_width / 2.0 + 2.0;
+      if (a.position.y > half_road || a.position.y < -half_road) {
+        a.velocity.y = -a.velocity.y;
+      }
+    }
+  }
+}
+
+nn::Tensor Scenario::RenderCameraFrame(const Pose& ego_pose) {
+  constexpr int kSize = CameraModel::kImageSize;
+  nn::Tensor frame(1, 3, kSize, kSize);
+  // Road background with mild sensor noise.
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < kSize; ++y) {
+      for (int x = 0; x < kSize; ++x) {
+        frame.At(0, c, y, x) =
+            20.0f + static_cast<float>(rng_.UniformDouble(0.0, 6.0));
+      }
+    }
+  }
+  // Obstacles as bright axis-aligned rectangles (ego frame).
+  for (const Obstacle& a : agents_) {
+    const Vec2 center = ego_pose.WorldToEgo(a.position);
+    const double hx = a.length / 2.0;
+    const double hy = a.width / 2.0;
+    const float brightness = a.cls == ObstacleClass::kVehicle ? 230.0f
+                                                              : 180.0f;
+    for (double ex = center.x - hx; ex <= center.x + hx;
+         ex += CameraModel::kMetersPerPixel / 2.0) {
+      for (double ey = center.y - hy; ey <= center.y + hy;
+           ey += CameraModel::kMetersPerPixel / 2.0) {
+        double px = 0.0, py = 0.0;
+        if (!CameraModel::EgoToPixel({ex, ey}, &px, &py)) continue;
+        const int ix = std::clamp(static_cast<int>(px), 0, kSize - 1);
+        const int iy = std::clamp(static_cast<int>(py), 0, kSize - 1);
+        for (int c = 0; c < 3; ++c) {
+          frame.At(0, c, iy, ix) = brightness;
+        }
+      }
+    }
+  }
+  return frame;
+}
+
+}  // namespace adpilot

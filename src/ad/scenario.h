@@ -1,0 +1,64 @@
+// adpilot: scenario simulation — ground-truth world plus the synthetic
+// camera that feeds the perception module.
+//
+// The camera is a bird's-eye-view sensor covering a 32m x 32m window in the
+// ego frame (4m behind to 28m ahead, +/-16m lateral) rendered at 0.5 m/px
+// into a 64x64x3 frame: dark road, bright obstacle rectangles — the signal
+// the handcrafted detector weights respond to.
+#ifndef AD_SCENARIO_H_
+#define AD_SCENARIO_H_
+
+#include <vector>
+
+#include "ad/common.h"
+#include "nn/tensor.h"
+#include "support/rng.h"
+
+namespace adpilot {
+
+struct ScenarioConfig {
+  int num_vehicles = 3;
+  int num_pedestrians = 0;
+  double road_length = 400.0;
+  double lane_width = 4.0;
+  int num_lanes = 2;
+  std::uint64_t seed = 1234;
+};
+
+// Camera geometry shared by rendering and detection back-projection.
+struct CameraModel {
+  static constexpr double kMetersPerPixel = 0.5;
+  static constexpr int kImageSize = 64;
+  static constexpr double kAhead = 28.0;   // meters ahead of ego at row 0
+  static constexpr double kBehind = 4.0;   // meters behind at the last row
+  static constexpr double kHalfWidth = 16.0;
+
+  // Ego-frame -> pixel (returns false if outside the window).
+  static bool EgoToPixel(const Vec2& ego, double* px, double* py);
+  // Pixel -> ego-frame (center of the pixel).
+  static Vec2 PixelToEgo(double px, double py);
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& config);
+
+  // Advances every ground-truth agent by dt seconds.
+  void Step(double dt);
+
+  // Renders the camera frame for an ego at `ego_pose`.
+  nn::Tensor RenderCameraFrame(const Pose& ego_pose);
+
+  const std::vector<Obstacle>& ground_truth() const { return agents_; }
+  double time() const { return time_; }
+
+ private:
+  ScenarioConfig config_;
+  certkit::support::Xoshiro256 rng_;
+  std::vector<Obstacle> agents_;
+  double time_ = 0.0;
+};
+
+}  // namespace adpilot
+
+#endif  // AD_SCENARIO_H_

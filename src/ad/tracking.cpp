@@ -1,0 +1,266 @@
+#include "ad/tracking.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/check.h"
+
+namespace adpilot {
+
+std::vector<int> HungarianAssign(const std::vector<std::vector<double>>& cost,
+                                 double infeasible_cost) {
+  const int rows = static_cast<int>(cost.size());
+  if (rows == 0) return {};
+  const int cols = static_cast<int>(cost[0].size());
+  for (const auto& row : cost) {
+    CERTKIT_CHECK_MSG(static_cast<int>(row.size()) == cols,
+                      "cost matrix is ragged");
+  }
+  if (cols == 0) return std::vector<int>(static_cast<std::size_t>(rows), -1);
+
+  // Pad to square with the infeasible cost (classic potentials algorithm,
+  // 1-indexed internals).
+  const int n = std::max(rows, cols);
+  auto a = [&](int i, int j) -> double {
+    if (i <= rows && j <= cols) return cost[i - 1][j - 1];
+    return infeasible_cost;
+  };
+
+  std::vector<double> u(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<int> p(static_cast<std::size_t>(n) + 1, 0);    // col -> row
+  std::vector<int> way(static_cast<std::size_t>(n) + 1, 0);  // col -> prev col
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<std::size_t>(n) + 1,
+                             std::numeric_limits<double>::infinity());
+    std::vector<bool> used(static_cast<std::size_t>(n) + 1, false);
+    do {
+      used[static_cast<std::size_t>(j0)] = true;
+      const int i0 = p[static_cast<std::size_t>(j0)];
+      double delta = std::numeric_limits<double>::infinity();
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const double cur = a(i0, j) - u[static_cast<std::size_t>(i0)] -
+                           v[static_cast<std::size_t>(j)];
+        if (cur < minv[static_cast<std::size_t>(j)]) {
+          minv[static_cast<std::size_t>(j)] = cur;
+          way[static_cast<std::size_t>(j)] = j0;
+        }
+        if (minv[static_cast<std::size_t>(j)] < delta) {
+          delta = minv[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(p[static_cast<std::size_t>(j)])] +=
+              delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<std::size_t>(j0)] != 0);
+    // Augment along the path.
+    do {
+      const int j1 = way[static_cast<std::size_t>(j0)];
+      p[static_cast<std::size_t>(j0)] = p[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> assignment(static_cast<std::size_t>(rows), -1);
+  for (int j = 1; j <= n; ++j) {
+    const int i = p[static_cast<std::size_t>(j)];
+    if (i >= 1 && i <= rows && j <= cols &&
+        cost[static_cast<std::size_t>(i - 1)][static_cast<std::size_t>(j - 1)] <
+            infeasible_cost) {
+      assignment[static_cast<std::size_t>(i - 1)] = j - 1;
+    }
+  }
+  return assignment;
+}
+
+std::vector<int> GreedyAssign(const std::vector<std::vector<double>>& cost,
+                              double infeasible_cost) {
+  const std::size_t rows = cost.size();
+  std::vector<int> assignment(rows, -1);
+  if (rows == 0) return assignment;
+  const std::size_t cols = cost[0].size();
+  std::vector<bool> used(cols, false);
+  for (std::size_t i = 0; i < rows; ++i) {
+    int best = -1;
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (used[j] || cost[i][j] >= infeasible_cost) continue;
+      if (best < 0 || cost[i][j] < cost[i][static_cast<std::size_t>(best)]) {
+        best = static_cast<int>(j);
+      }
+    }
+    if (best >= 0) {
+      assignment[i] = best;
+      used[static_cast<std::size_t>(best)] = true;
+    }
+  }
+  return assignment;
+}
+
+KalmanCv2d::KalmanCv2d(const Vec2& position, double pos_var, double vel_var) {
+  x_[0] = position.x;
+  x_[1] = position.y;
+  x_[2] = 0.0;
+  x_[3] = 0.0;
+  for (auto& row : p_) {
+    for (auto& v : row) v = 0.0;
+  }
+  p_[0][0] = p_[1][1] = pos_var;
+  p_[2][2] = p_[3][3] = vel_var;
+}
+
+void KalmanCv2d::Predict(double dt, double process_noise) {
+  CERTKIT_CHECK(dt > 0.0);
+  // x' = F x with F = [I, dt*I; 0, I].
+  x_[0] += dt * x_[2];
+  x_[1] += dt * x_[3];
+  // P' = F P F^T + Q (Q diagonal, velocity-heavy).
+  // Expand the block form directly.
+  const double dt2 = dt * dt;
+  double np[4][4];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) np[i][j] = p_[i][j];
+  }
+  // Rows/cols 0<-2 and 1<-3 couplings.
+  np[0][0] = p_[0][0] + dt * (p_[2][0] + p_[0][2]) + dt2 * p_[2][2];
+  np[0][2] = p_[0][2] + dt * p_[2][2];
+  np[2][0] = p_[2][0] + dt * p_[2][2];
+  np[1][1] = p_[1][1] + dt * (p_[3][1] + p_[1][3]) + dt2 * p_[3][3];
+  np[1][3] = p_[1][3] + dt * p_[3][3];
+  np[3][1] = p_[3][1] + dt * p_[3][3];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) p_[i][j] = np[i][j];
+  }
+  p_[0][0] += 0.25 * dt2 * process_noise;
+  p_[1][1] += 0.25 * dt2 * process_noise;
+  p_[2][2] += process_noise;
+  p_[3][3] += process_noise;
+}
+
+void KalmanCv2d::Update(const Vec2& z, double measurement_noise) {
+  // H = [I2, 0]; S = H P H^T + R; K = P H^T S^-1 (2x2 inverse).
+  const double s00 = p_[0][0] + measurement_noise;
+  const double s01 = p_[0][1];
+  const double s10 = p_[1][0];
+  const double s11 = p_[1][1] + measurement_noise;
+  const double det = s00 * s11 - s01 * s10;
+  CERTKIT_CHECK_MSG(det > 1e-12, "singular innovation covariance");
+  const double i00 = s11 / det, i01 = -s01 / det;
+  const double i10 = -s10 / det, i11 = s00 / det;
+
+  const double r0 = z.x - x_[0];
+  const double r1 = z.y - x_[1];
+
+  double k[4][2];
+  for (int i = 0; i < 4; ++i) {
+    k[i][0] = p_[i][0] * i00 + p_[i][1] * i10;
+    k[i][1] = p_[i][0] * i01 + p_[i][1] * i11;
+  }
+  for (int i = 0; i < 4; ++i) {
+    x_[i] += k[i][0] * r0 + k[i][1] * r1;
+  }
+  // P = (I - K H) P.
+  double np[4][4];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      np[i][j] = p_[i][j] - (k[i][0] * p_[0][j] + k[i][1] * p_[1][j]);
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) p_[i][j] = np[i][j];
+  }
+}
+
+Tracker::Tracker(const TrackerConfig& config) : config_(config) {}
+
+std::vector<Obstacle> Tracker::Update(const std::vector<Obstacle>& detections,
+                                      double dt) {
+  // 1. Predict all tracks forward.
+  for (Track& t : tracks_) {
+    t.filter.Predict(dt, config_.process_noise);
+  }
+
+  // 2. Associate via Hungarian on gated Euclidean distance.
+  constexpr double kInfeasible = 1e8;
+  std::vector<std::vector<double>> cost(
+      tracks_.size(), std::vector<double>(detections.size(), kInfeasible));
+  for (std::size_t ti = 0; ti < tracks_.size(); ++ti) {
+    for (std::size_t di = 0; di < detections.size(); ++di) {
+      const double d =
+          tracks_[ti].filter.position().DistanceTo(detections[di].position);
+      if (d <= config_.gate_distance &&
+          tracks_[ti].cls == detections[di].cls) {
+        cost[ti][di] = d;
+      }
+    }
+  }
+  std::vector<int> assignment =
+      config_.use_greedy_association ? GreedyAssign(cost, kInfeasible)
+                                     : HungarianAssign(cost, kInfeasible);
+
+  // 3. Update matched tracks; mark misses.
+  std::vector<bool> detection_used(detections.size(), false);
+  for (std::size_t ti = 0; ti < tracks_.size(); ++ti) {
+    const int di = assignment[ti];
+    if (di >= 0) {
+      detection_used[static_cast<std::size_t>(di)] = true;
+      tracks_[ti].filter.Update(detections[static_cast<std::size_t>(di)].position,
+                                config_.measurement_noise);
+      tracks_[ti].hits += 1;
+      tracks_[ti].misses = 0;
+      tracks_[ti].last_confidence =
+          detections[static_cast<std::size_t>(di)].confidence;
+    } else {
+      tracks_[ti].misses += 1;
+      tracks_[ti].hits = 0;
+    }
+  }
+
+  // 4. Spawn tracks for unmatched detections.
+  for (std::size_t di = 0; di < detections.size(); ++di) {
+    if (detection_used[di]) continue;
+    Track t{next_id_++, detections[di].cls,
+            KalmanCv2d(detections[di].position, 4.0, 25.0), 1, 0,
+            detections[di].confidence};
+    tracks_.push_back(std::move(t));
+  }
+
+  // 5. Drop stale tracks.
+  tracks_.erase(std::remove_if(tracks_.begin(), tracks_.end(),
+                               [&](const Track& t) {
+                                 return t.misses > config_.max_misses;
+                               }),
+                tracks_.end());
+
+  // 6. Emit confirmed tracks.
+  std::vector<Obstacle> out;
+  for (const Track& t : tracks_) {
+    if (t.hits < config_.confirm_hits) continue;
+    Obstacle o;
+    o.id = t.id;
+    o.cls = t.cls;
+    o.position = t.filter.position();
+    o.velocity = t.filter.velocity();
+    o.confidence = t.last_confidence;
+    if (t.cls == ObstacleClass::kPedestrian) {
+      o.length = 1.0;
+      o.width = 1.0;
+    }
+    out.push_back(o);
+  }
+  return out;
+}
+
+}  // namespace adpilot

@@ -1,0 +1,83 @@
+// adpilot: object tracking — constant-velocity Kalman filters with Hungarian
+// data association (the Object Tracking stage of Figure 1).
+#ifndef AD_TRACKING_H_
+#define AD_TRACKING_H_
+
+#include <vector>
+
+#include "ad/common.h"
+
+namespace adpilot {
+
+// Optimal assignment (Hungarian / Kuhn–Munkres, O(n^3)) for a rectangular
+// cost matrix given as rows x cols. Returns for each row the assigned column
+// or -1. Entries >= `infeasible_cost` are treated as forbidden pairings.
+std::vector<int> HungarianAssign(
+    const std::vector<std::vector<double>>& cost,
+    double infeasible_cost = 1e8);
+
+// Constant-velocity Kalman filter over state [x, y, vx, vy] with position
+// measurements.
+class KalmanCv2d {
+ public:
+  KalmanCv2d(const Vec2& position, double pos_var, double vel_var);
+
+  void Predict(double dt, double process_noise);
+  void Update(const Vec2& measured_position, double measurement_noise);
+
+  Vec2 position() const { return {x_[0], x_[1]}; }
+  Vec2 velocity() const { return {x_[2], x_[3]}; }
+  // Trace of the position covariance block (uncertainty proxy).
+  double position_uncertainty() const { return p_[0][0] + p_[1][1]; }
+
+ private:
+  double x_[4];      // state
+  double p_[4][4];   // covariance
+};
+
+struct Track {
+  int id = -1;
+  ObstacleClass cls = ObstacleClass::kVehicle;
+  KalmanCv2d filter;
+  int hits = 0;      // consecutive updates
+  int misses = 0;    // consecutive missed associations
+  double last_confidence = 0.0;
+};
+
+struct TrackerConfig {
+  double gate_distance = 6.0;       // max association distance, meters
+  int confirm_hits = 2;             // updates before a track is confirmed
+  int max_misses = 3;               // drop after this many missed frames
+  double process_noise = 0.5;
+  double measurement_noise = 1.0;
+  // Ablation switch: row-greedy nearest-neighbour association instead of
+  // the optimal Hungarian assignment (see bench/ablation_design_choices).
+  bool use_greedy_association = false;
+};
+
+// Row-greedy assignment baseline: each row takes its cheapest unused column
+// below `infeasible_cost`. Suboptimal; exists for the ablation study.
+std::vector<int> GreedyAssign(const std::vector<std::vector<double>>& cost,
+                              double infeasible_cost = 1e8);
+
+// Multi-object tracker: associate detections to tracks each frame.
+class Tracker {
+ public:
+  explicit Tracker(const TrackerConfig& config = {});
+
+  // `detections` are instantaneous obstacle observations (world frame).
+  // Returns the confirmed tracks as obstacles with filtered kinematics.
+  std::vector<Obstacle> Update(const std::vector<Obstacle>& detections,
+                               double dt);
+
+  const std::vector<Track>& tracks() const { return tracks_; }
+
+ private:
+  TrackerConfig config_;
+  std::vector<Track> tracks_;
+  int next_id_ = 0;
+};
+
+}  // namespace adpilot
+
+#endif  // AD_TRACKING_H_

@@ -1,0 +1,33 @@
+#include "corpus/analyze.h"
+
+#include "ast/parser.h"
+
+namespace certkit::corpus {
+
+support::Result<metrics::ModuleAnalysis> AnalyzeGeneratedModule(
+    const GeneratedModule& module) {
+  std::vector<ast::SourceFileModel> files;
+  files.reserve(module.files.size());
+  for (const auto& f : module.files) {
+    auto parsed = ast::ParseSource(f.path, f.content);
+    if (!parsed.ok()) return parsed.status();
+    files.push_back(std::move(parsed).value());
+  }
+  return metrics::AnalyzeModule(module.spec.name, std::move(files));
+}
+
+support::Result<CorpusAnalysis> AnalyzeGeneratedCorpus(
+    const std::vector<GeneratedModule>& corpus) {
+  CorpusAnalysis out;
+  for (const auto& mod : corpus) {
+    auto analyzed = AnalyzeGeneratedModule(mod);
+    if (!analyzed.ok()) return analyzed.status();
+    out.modules.push_back(std::move(analyzed).value());
+    for (const auto& f : mod.files) {
+      out.raw_sources.push_back(rules::RawSource{f.path, f.content});
+    }
+  }
+  return out;
+}
+
+}  // namespace certkit::corpus

@@ -1,0 +1,28 @@
+// certkit corpus: convenience bridge from generated corpus to the analyzers.
+#ifndef CERTKIT_CORPUS_ANALYZE_H_
+#define CERTKIT_CORPUS_ANALYZE_H_
+
+#include <vector>
+
+#include "corpus/generator.h"
+#include "metrics/module_metrics.h"
+#include "rules/assessor.h"
+#include "support/status.h"
+
+namespace certkit::corpus {
+
+// Parses every file of `module` and aggregates module metrics.
+support::Result<metrics::ModuleAnalysis> AnalyzeGeneratedModule(
+    const GeneratedModule& module);
+
+// Parses the whole corpus. Also returns the raw sources (for style checks).
+struct CorpusAnalysis {
+  std::vector<metrics::ModuleAnalysis> modules;
+  std::vector<rules::RawSource> raw_sources;
+};
+support::Result<CorpusAnalysis> AnalyzeGeneratedCorpus(
+    const std::vector<GeneratedModule>& corpus);
+
+}  // namespace certkit::corpus
+
+#endif  // CERTKIT_CORPUS_ANALYZE_H_

@@ -1,0 +1,478 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace certkit::corpus {
+
+namespace {
+
+using support::Xoshiro256;
+
+constexpr std::array<const char*, 10> kVerbs = {
+    "Process", "Update",  "Compute", "Estimate", "Filter",
+    "Track",   "Plan",    "Predict", "Fuse",     "Decode"};
+constexpr std::array<const char*, 10> kNouns = {
+    "Frame", "Obstacle", "Trajectory", "Lane",  "Signal",
+    "Cloud", "Grid",     "Pose",       "Route", "Command"};
+
+std::string FunctionName(Xoshiro256& rng, int index) {
+  return std::string(kVerbs[static_cast<std::size_t>(
+             rng.UniformInt(0, kVerbs.size() - 1))]) +
+         kNouns[static_cast<std::size_t>(
+             rng.UniformInt(0, kNouns.size() - 1))] +
+         std::to_string(index);
+}
+
+// Appends one control-flow block contributing exactly `cost` decisions
+// (cost in {1, 2, 3}) to `body`. `k` varies the literals.
+void EmitBlock(std::string* body, Xoshiro256& rng, int cost, int k) {
+  switch (cost) {
+    case 1: {
+      const int pick = static_cast<int>(rng.UniformInt(0, 2));
+      if (pick == 0) {
+        *body += "  if (x > " + std::to_string(k) + ") {\n";
+        *body += "    x += " + std::to_string(k % 7 + 1) + ";\n";
+        *body += "  }\n";
+      } else if (pick == 1) {
+        *body += "  for (int i = 0; i < " + std::to_string(k % 9 + 2) +
+                 "; ++i) {\n";
+        *body += "    x += i;\n";
+        *body += "  }\n";
+      } else {
+        *body += "  while (x > " + std::to_string(k + 100) + ") {\n";
+        *body += "    x -= " + std::to_string(k % 5 + 1) + ";\n";
+        *body += "  }\n";
+      }
+      break;
+    }
+    case 2: {
+      if (rng.Bernoulli(0.5)) {
+        *body += "  if (x > " + std::to_string(k) + " && limit < " +
+                 std::to_string(k + 3) + ") {\n";
+        *body += "    x -= limit;\n";
+        *body += "  }\n";
+      } else {
+        *body += "  x = (x > " + std::to_string(k) + ") ? x - 1 : x + 1;\n";
+        *body += "  if (limit > " + std::to_string(k % 11) + ") {\n";
+        *body += "    x += limit;\n";
+        *body += "  }\n";
+      }
+      break;
+    }
+    case 3: {
+      *body += "  switch (x % 4) {\n";
+      *body += "    case 0:\n      x += 1;\n      break;\n";
+      *body += "    case 1:\n      x += 2;\n      break;\n";
+      *body += "    case 2:\n      x += 3;\n      break;\n";
+      *body += "    default:\n      x += 4;\n      break;\n";
+      *body += "  }\n";
+      break;
+    }
+    default:
+      CERTKIT_CHECK_MSG(false, "unsupported block cost " << cost);
+  }
+}
+
+struct FunctionPlan {
+  std::string name;
+  int cc_target = 1;
+  bool multi_exit = false;
+  bool recursive = false;
+  bool has_goto = false;
+  int casts = 0;
+  int uninitialized = 0;
+};
+
+std::string EmitFunction(const FunctionPlan& plan, Xoshiro256& rng) {
+  std::string out;
+  if (plan.recursive) {
+    // Fixed shape: CC 2, two exits (recursion implies multi-exit).
+    out += "int " + plan.name + "(int n) {\n";
+    out += "  if (n <= 1) {\n    return 1;\n  }\n";
+    out += "  return n * " + plan.name + "(n - 1);\n";
+    out += "}\n";
+    return out;
+  }
+
+  // Control flow deliberately branches on locals, not parameters: the
+  // subject framework does not validate its inputs (Observation 6).
+  out += "int " + plan.name + "(int a, int b, double c) {\n";
+  out += "  int x = a + b;\n";
+  out += "  int limit = b % 9 + 3;\n";
+  out += "  double scale_factor = c;\n";
+  out += "  x += limit;\n";
+  out += "  scale_factor += x;\n";
+  for (int u = 0; u < plan.uninitialized; ++u) {
+    out += "  int scratch_" + std::to_string(u) + ";\n";
+    out += "  scratch_" + std::to_string(u) + " = a * " +
+           std::to_string(u + 1) + ";\n";
+    out += "  x += scratch_" + std::to_string(u) + ";\n";
+  }
+  for (int cst = 0; cst < plan.casts; ++cst) {
+    if (rng.Bernoulli(0.5)) {
+      out += "  x += static_cast<int>(c) + " + std::to_string(cst) + ";\n";
+    } else {
+      out += "  x += (int)c + " + std::to_string(cst) + ";\n";
+    }
+  }
+
+  int decisions = plan.cc_target - 1;
+  if (plan.multi_exit) {
+    CERTKIT_CHECK(decisions >= 1);
+    out += "  if (x < 0) {\n    return 0;\n  }\n";
+    --decisions;
+  }
+  if (plan.has_goto) {
+    CERTKIT_CHECK(decisions >= 1);
+    out += "  if (limit < 0) {\n    goto fail;\n  }\n";
+    --decisions;
+  }
+  while (decisions > 0) {
+    const int max_cost = std::min(decisions, 3);
+    const int cost = static_cast<int>(rng.UniformInt(1, max_cost));
+    EmitBlock(&out, rng, cost, static_cast<int>(rng.UniformInt(1, 97)));
+    decisions -= cost;
+  }
+
+  if (plan.has_goto) {
+    out += "fail:\n";
+  }
+  out += "  return x;\n";
+  out += "}\n";
+  return out;
+}
+
+std::string EmitCudaKernelPair(const std::string& module, int index) {
+  const std::string kname =
+      std::string("Kernel") +
+      kNouns[static_cast<std::size_t>(index) % kNouns.size()] +
+      std::to_string(index);
+  std::string out;
+  out += "__global__ void " + kname +
+         "(float* out, const float* in, int n) {\n";
+  out += "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n";
+  out += "  if (i < n) {\n";
+  out += "    out[i] = in[i] * 1.5f + " + std::to_string(index) + ".0f;\n";
+  out += "  }\n";
+  out += "}\n\n";
+  out += "void Launch" + kname + "(const float* host_in, float* host_out,\n";
+  out += "                         int n) {\n";
+  out += "  float* dev_in = nullptr;\n";
+  out += "  float* dev_out = nullptr;\n";
+  out += "  cudaMalloc(&dev_in, n * sizeof(float));\n";
+  out += "  cudaMalloc(&dev_out, n * sizeof(float));\n";
+  out += "  cudaMemcpy(dev_in, host_in, n * sizeof(float),\n";
+  out += "             cudaMemcpyHostToDevice);\n";
+  out += "  " + kname + "<<<(n + 255) / 256, 256>>>(dev_out, dev_in, n);\n";
+  out += "  cudaMemcpy(host_out, dev_out, n * sizeof(float),\n";
+  out += "             cudaMemcpyDeviceToHost);\n";
+  out += "  cudaFree(dev_in);\n";
+  out += "  cudaFree(dev_out);\n";
+  out += "}\n";
+  (void)module;
+  return out;
+}
+
+std::int64_t CountLines(const std::string& s) {
+  std::int64_t n = 0;
+  for (char c : s) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<GeneratedFile> GenerateModule(const ModuleSpec& spec,
+                                          std::uint64_t seed) {
+  CERTKIT_CHECK(spec.num_files >= 1);
+  Xoshiro256 rng(seed ^ std::hash<std::string>()(spec.name));
+
+  // --- plan all functions ---
+  std::vector<FunctionPlan> plans;
+  plans.reserve(static_cast<std::size_t>(spec.TotalFunctions()));
+  int name_index = 0;
+  auto add_band = [&](int count, int cc_lo, int cc_hi) {
+    for (int i = 0; i < count; ++i) {
+      FunctionPlan p;
+      p.name = FunctionName(rng, name_index++);
+      p.cc_target = static_cast<int>(rng.UniformInt(cc_lo, cc_hi));
+      plans.push_back(std::move(p));
+    }
+  };
+  // Reserve low-band slots for CUDA pairs (kernel CC2 + wrapper CC1).
+  const int cuda_fn_slots = spec.cuda_kernels * 2;
+  const int low_regular = std::max(0, spec.functions_low - cuda_fn_slots);
+  add_band(low_regular, 2, 10);  // CC >= 2 so multi-exit/goto blocks fit
+  add_band(spec.functions_moderate, 11, 20);
+  add_band(spec.functions_risky, 21, 50);
+  add_band(spec.functions_unstable, 51, 80);
+
+  // Multi-exit assignment: recursion and goto functions are inherently
+  // multi-exit; the remainder of the budget is spread over regular ones.
+  const int total_plans = static_cast<int>(plans.size());
+  int multi_target = static_cast<int>(
+      spec.multi_exit_fraction *
+          static_cast<double>(total_plans + cuda_fn_slots +
+                              spec.ExtraFunctions()) +
+      0.5);
+  // CUDA pairs are single-exit; recursive functions handled below.
+  int recursive_left = std::min(spec.recursive_functions, total_plans);
+  int goto_left = std::min(spec.gotos, total_plans);
+  std::vector<int> order(plans.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  // Deterministic shuffle.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[static_cast<std::size_t>(
+                                rng.UniformInt(0, static_cast<int>(i) - 1))]);
+  }
+  for (int idx : order) {
+    FunctionPlan& p = plans[static_cast<std::size_t>(idx)];
+    if (recursive_left > 0 && p.cc_target <= 10) {
+      // Recursive functions have a fixed CC-2 shape, so only low-band plans
+      // may become recursive (the CC-band calibration must stay exact).
+      p.recursive = true;
+      --recursive_left;
+      if (multi_target > 0) --multi_target;
+      continue;
+    }
+    if (goto_left > 0) {
+      p.has_goto = true;
+      --goto_left;
+      continue;
+    }
+    if (multi_target > 0) {
+      p.multi_exit = true;
+      --multi_target;
+    }
+  }
+
+  // Casts and uninitialized locals spread round-robin.
+  int casts_left = spec.casts;
+  int uninit_left = spec.uninitialized_locals;
+  std::size_t cursor = 0;
+  while (casts_left > 0 && !plans.empty()) {
+    FunctionPlan& p = plans[cursor % plans.size()];
+    if (!p.recursive) {
+      ++p.casts;
+      --casts_left;
+    }
+    ++cursor;
+  }
+  cursor = 0;
+  while (uninit_left > 0 && !plans.empty()) {
+    FunctionPlan& p = plans[cursor % plans.size()];
+    if (!p.recursive) {
+      ++p.uninitialized;
+      --uninit_left;
+    }
+    ++cursor;
+  }
+
+  // --- distribute into files ---
+  std::vector<GeneratedFile> files;
+  const int cc_files = spec.num_files;
+  const bool has_cuda = spec.cuda_kernels > 0;
+  std::vector<std::string> bodies(static_cast<std::size_t>(cc_files));
+
+  // Globals: first file gets the module's state header block.
+  std::vector<std::string> global_decls;
+  for (int g = 0; g < spec.mutable_globals; ++g) {
+    global_decls.push_back("int g_" + spec.name + "_state_" +
+                           std::to_string(g) + " = 0;");
+  }
+  for (int g = 0; g < spec.const_globals; ++g) {
+    global_decls.push_back("const int kLimit" + std::to_string(g) + " = " +
+                           std::to_string(g * 3 + 1) + ";");
+  }
+
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    bodies[i % bodies.size()] += EmitFunction(plans[i], rng) + "\n";
+  }
+
+  const std::int64_t per_file_target =
+      spec.target_loc / (cc_files + (has_cuda ? 1 : 0));
+  for (int f = 0; f < cc_files; ++f) {
+    GeneratedFile file;
+    file.path =
+        spec.name + "/" + spec.name + "_" + std::to_string(f) + ".cc";
+    std::string content;
+    content += "// Module " + spec.name + ", translation unit " +
+               std::to_string(f) + ".\n";
+    content += "// Generated by certkit::corpus for the ISO 26262\n";
+    content += "// adherence reproduction (calibrated to Apollo).\n\n";
+    content += "#include <cstdint>\n\n";
+    content += "namespace apollo {\n";
+    content += "namespace " + spec.name + " {\n\n";
+    // Spread globals across files.
+    for (std::size_t g = static_cast<std::size_t>(f);
+         g < global_decls.size();
+         g += static_cast<std::size_t>(cc_files)) {
+      content += global_decls[g] + "\n";
+    }
+    content += "\n";
+    content += bodies[static_cast<std::size_t>(f)];
+    content += "}  // namespace " + spec.name + "\n";
+    content += "}  // namespace apollo\n";
+
+    // Pad with documentation comments to approach the LOC target.
+    std::int64_t lines = CountLines(content);
+    while (lines < per_file_target) {
+      content += "// Implementation note " + std::to_string(lines) +
+                 ": see the module design document.\n";
+      ++lines;
+    }
+    file.content = std::move(content);
+    files.push_back(std::move(file));
+  }
+
+  // Architecture file: the component class, wide-interface functions, and
+  // the module entry point with its intra-/inter-module calls.
+  {
+    std::string mod_camel = spec.name;
+    mod_camel[0] = static_cast<char>(std::toupper(
+        static_cast<unsigned char>(mod_camel[0])));
+    GeneratedFile arch;
+    arch.path = spec.name + "/" + spec.name + "_component.cc";
+    std::string content;
+    content += "// Component interface of module " + spec.name + ".\n\n";
+    content += "#include <cstdint>\n\n";
+    // Peer entry declarations (cross-module dependencies).
+    for (const std::string& peer : spec.peer_entries) {
+      content += "int " + peer + "(int tick);\n";
+    }
+    content += "\nnamespace apollo {\nnamespace " + spec.name + " {\n\n";
+    if (spec.component_methods > 0) {
+      content += "class " + mod_camel + "Component {\n public:\n";
+      for (int m = 0; m < spec.component_methods; ++m) {
+        content += "  int Handle" + std::to_string(m) +
+                   "(int value) {\n    return value + " +
+                   std::to_string(m) + ";\n  }\n";
+      }
+      content += "};\n\n";
+    }
+    for (int wf = 0; wf < spec.wide_interface_functions; ++wf) {
+      content += "int Configure" + mod_camel + std::to_string(wf) +
+                 "(int a, int b, int e, int f, int g, int h, int i) {\n";
+      content += "  int acc = a + b + e + f + g + h + i;\n";
+      content += "  return acc;\n}\n\n";
+    }
+    // Entry point: calls a few module-local functions (cohesion) and the
+    // peer entries (coupling).
+    content += "int " + mod_camel + "Entry(int tick) {\n";
+    content += "  int result = tick;\n";
+    for (std::size_t q = 0; q < plans.size() && q < 5; ++q) {
+      if (plans[q].recursive) {
+        content += "  result += " + plans[q].name + "(result);\n";
+      } else {
+        content += "  result += " + plans[q].name +
+                   "(result, tick, 0.5);\n";
+      }
+    }
+    for (const std::string& peer : spec.peer_entries) {
+      content += "  result += " + peer + "(tick - 1);\n";
+    }
+    content += "  return result;\n}\n\n";
+    content += "}  // namespace " + spec.name + "\n";
+    content += "}  // namespace apollo\n";
+    arch.content = std::move(content);
+    files.push_back(std::move(arch));
+  }
+
+  if (has_cuda) {
+    GeneratedFile cu;
+    cu.path = spec.name + "/" + spec.name + "_kernels.cu";
+    std::string content;
+    content += "// CUDA kernels of module " + spec.name + ".\n\n";
+    content += "#include <cstdint>\n\n";
+    for (int k = 0; k < spec.cuda_kernels; ++k) {
+      content += EmitCudaKernelPair(spec.name, k) + "\n";
+    }
+    std::int64_t lines = CountLines(content);
+    while (lines < per_file_target) {
+      content += "// Kernel tuning note " + std::to_string(lines) + ".\n";
+      ++lines;
+    }
+    cu.content = std::move(content);
+    files.push_back(std::move(cu));
+  }
+  return files;
+}
+
+std::vector<ModuleSpec> ApolloLikeSpec() {
+  std::vector<ModuleSpec> spec;
+  auto add = [&](const char* name, int files, int low, int mod, int risky,
+                 int unstable, int mut_globals, int const_globals, int casts,
+                 double multi_exit, int gotos, int recursive, int uninit,
+                 int cuda, std::int64_t loc) {
+    ModuleSpec m;
+    m.name = name;
+    m.num_files = files;
+    m.functions_low = low;
+    m.functions_moderate = mod;
+    m.functions_risky = risky;
+    m.functions_unstable = unstable;
+    m.mutable_globals = mut_globals;
+    m.const_globals = const_globals;
+    m.casts = casts;
+    m.multi_exit_fraction = multi_exit;
+    m.gotos = gotos;
+    m.recursive_functions = recursive;
+    m.uninitialized_locals = uninit;
+    m.cuda_kernels = cuda;
+    m.target_loc = loc;
+    spec.push_back(std::move(m));
+  };
+  // name, files, low, moderate, risky, unstable, mutG, constG, casts,
+  // multiExit, gotos, recursive, uninit, cuda, LOC.
+  // CC>10 totals: 160+120+70+50+40+35+25+24+30 = 554 (paper: 554).
+  // Casts total: 1,420 (paper: >1,400). Perception globals: 900 (paper ~900).
+  // Object detection lives in perception: multi-exit 0.41 (paper: 41%).
+  add("perception", 16, 1400, 110, 40, 10, 900, 80, 500, 0.41, 6, 4, 60, 40,
+      60000);
+  add("planning", 12, 900, 85, 30, 5, 110, 60, 260, 0.30, 4, 3, 30, 0,
+      45000);
+  add("prediction", 8, 500, 50, 17, 3, 60, 30, 150, 0.28, 2, 2, 18, 0,
+      25000);
+  add("localization", 7, 420, 36, 12, 2, 50, 25, 120, 0.25, 2, 1, 14, 0,
+      20000);
+  add("map", 7, 400, 30, 9, 1, 40, 25, 100, 0.22, 1, 2, 12, 0, 20000);
+  add("control", 6, 320, 26, 8, 1, 30, 20, 80, 0.24, 1, 1, 10, 0, 15000);
+  add("routing", 5, 220, 19, 5, 1, 25, 15, 60, 0.20, 1, 1, 8, 0, 10000);
+  add("canbus", 5, 220, 18, 5, 1, 30, 15, 60, 0.26, 2, 0, 8, 0, 10000);
+  add("drivers", 6, 320, 22, 7, 1, 45, 20, 90, 0.24, 2, 1, 10, 0, 15000);
+  return spec;
+}
+
+std::vector<GeneratedModule> GenerateCorpus(
+    const std::vector<ModuleSpec>& spec, std::uint64_t seed) {
+  std::vector<GeneratedModule> out;
+  out.reserve(spec.size());
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    ModuleSpec m = spec[i];
+    // Pipeline-shaped dependencies: each module calls up to three
+    // downstream modules' entry points (acyclic).
+    if (m.peer_entries.empty()) {
+      for (std::size_t d = i + 1; d < spec.size() && d <= i + 3; ++d) {
+        std::string peer = spec[d].name;
+        peer[0] = static_cast<char>(std::toupper(
+            static_cast<unsigned char>(peer[0])));
+        m.peer_entries.push_back(peer + "Entry");
+      }
+    }
+    GeneratedModule gm;
+    gm.spec = m;
+    gm.files = GenerateModule(m, seed);
+    out.push_back(std::move(gm));
+  }
+  return out;
+}
+
+}  // namespace certkit::corpus

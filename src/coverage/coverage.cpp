@@ -1,0 +1,315 @@
+#include "coverage/coverage.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace certkit::cov {
+
+namespace {
+
+std::atomic<bool> g_probes_enabled{true};
+
+
+// Per-thread condition accumulation: (unit, decision) -> bitmask of
+// condition values recorded since the decision was last committed.
+struct PendingKey {
+  const Unit* unit;
+  int decision;
+  bool operator==(const PendingKey& o) const {
+    return unit == o.unit && decision == o.decision;
+  }
+};
+struct PendingKeyHash {
+  std::size_t operator()(const PendingKey& k) const {
+    return std::hash<const void*>()(k.unit) ^
+           (std::hash<int>()(k.decision) * 1000003u);
+  }
+};
+
+thread_local std::unordered_map<PendingKey, std::uint64_t, PendingKeyHash>
+    t_pending;
+
+}  // namespace
+
+void SetProbesEnabled(bool enabled) {
+  g_probes_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool ProbesEnabled() {
+  return g_probes_enabled.load(std::memory_order_relaxed);
+}
+
+Unit::Unit(std::string name) : name_(std::move(name)) {}
+
+void Unit::DeclareStatements(int n) {
+  CERTKIT_CHECK(n >= 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n > declared_statements_) {
+    // atomics are not movable; rebuild preserving hits.
+    std::vector<std::atomic<std::uint64_t>> grown(
+        static_cast<std::size_t>(n));
+    for (int i = 0; i < declared_statements_; ++i) {
+      grown[static_cast<std::size_t>(i)].store(
+          stmt_hits_[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    stmt_hits_ = std::move(grown);
+    declared_statements_ = n;
+  }
+}
+
+int Unit::DeclareDecision(int num_conditions) {
+  CERTKIT_CHECK(num_conditions >= 1 && num_conditions <= 64);
+  std::lock_guard<std::mutex> lock(mu_);
+  DecisionRecord rec;
+  rec.num_conditions = num_conditions;
+  decisions_.push_back(std::move(rec));
+  return static_cast<int>(decisions_.size()) - 1;
+}
+
+void Unit::Stmt(int id) {
+  if (!ProbesEnabled()) return;
+  CERTKIT_CHECK_MSG(id >= 0 && id < declared_statements_,
+                    "statement probe " << id << " out of range in unit "
+                                       << name_);
+  stmt_hits_[static_cast<std::size_t>(id)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+bool Unit::Cond(int decision_id, int index, bool value) {
+  if (!ProbesEnabled()) return value;
+  CERTKIT_CHECK(decision_id >= 0 &&
+                decision_id < static_cast<int>(decisions_.size()));
+  CERTKIT_CHECK(index >= 0 && index < 64);
+  auto& mask = t_pending[PendingKey{this, decision_id}];
+  if (value) {
+    mask |= (1ULL << index);
+  } else {
+    mask &= ~(1ULL << index);
+  }
+  return value;
+}
+
+bool Unit::Dec(int decision_id, bool outcome) {
+  if (!ProbesEnabled()) return outcome;
+  CERTKIT_CHECK(decision_id >= 0 &&
+                decision_id < static_cast<int>(decisions_.size()));
+  std::uint64_t mask = 0;
+  auto it = t_pending.find(PendingKey{this, decision_id});
+  if (it != t_pending.end()) {
+    mask = it->second;
+    t_pending.erase(it);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  DecisionRecord& rec = decisions_[static_cast<std::size_t>(decision_id)];
+  if (outcome) {
+    rec.seen_true = true;
+  } else {
+    rec.seen_false = true;
+  }
+  rec.vectors.insert({mask, outcome});
+  return outcome;
+}
+
+bool Unit::Branch(int decision_id, bool outcome) {
+  Cond(decision_id, 0, outcome);
+  return Dec(decision_id, outcome);
+}
+
+int Unit::DeclareFunctionProbe(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  functions_.push_back(NamedProbe{std::move(name), false});
+  return static_cast<int>(functions_.size()) - 1;
+}
+
+void Unit::EnterFunction(int id) {
+  if (!ProbesEnabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  CERTKIT_CHECK(id >= 0 && id < static_cast<int>(functions_.size()));
+  functions_[static_cast<std::size_t>(id)].hit = true;
+}
+
+int Unit::DeclareCallProbe(std::string caller, std::string callee) {
+  std::lock_guard<std::mutex> lock(mu_);
+  calls_.push_back(
+      NamedProbe{std::move(caller) + " -> " + std::move(callee), false});
+  return static_cast<int>(calls_.size()) - 1;
+}
+
+void Unit::CallSite(int id) {
+  if (!ProbesEnabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  CERTKIT_CHECK(id >= 0 && id < static_cast<int>(calls_.size()));
+  calls_[static_cast<std::size_t>(id)].hit = true;
+}
+
+double Unit::FunctionCoverage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (functions_.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (const auto& f : functions_) {
+    if (f.hit) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(functions_.size());
+}
+
+double Unit::CallCoverage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (calls_.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (const auto& c : calls_) {
+    if (c.hit) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(calls_.size());
+}
+
+std::vector<std::string> Unit::UncoveredFunctions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& f : functions_) {
+    if (!f.hit) out.push_back(f.name);
+  }
+  return out;
+}
+
+std::int64_t Unit::statements_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return declared_statements_;
+}
+
+std::int64_t Unit::statements_hit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t n = 0;
+  for (const auto& h : stmt_hits_) {
+    if (h.load(std::memory_order_relaxed) > 0) ++n;
+  }
+  return n;
+}
+
+double Unit::StatementCoverage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (declared_statements_ == 0) return 1.0;
+  std::int64_t n = 0;
+  for (const auto& h : stmt_hits_) {
+    if (h.load(std::memory_order_relaxed) > 0) ++n;
+  }
+  return static_cast<double>(n) / declared_statements_;
+}
+
+double Unit::BranchCoverage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (decisions_.empty()) return 1.0;
+  std::int64_t seen = 0;
+  for (const auto& d : decisions_) {
+    if (d.seen_true) ++seen;
+    if (d.seen_false) ++seen;
+  }
+  return static_cast<double>(seen) /
+         (2.0 * static_cast<double>(decisions_.size()));
+}
+
+std::int64_t Unit::mcdc_conditions_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t n = 0;
+  for (const auto& d : decisions_) n += d.num_conditions;
+  return n;
+}
+
+std::int64_t Unit::mcdc_conditions_demonstrated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t demonstrated = 0;
+  for (const auto& d : decisions_) {
+    for (int c = 0; c < d.num_conditions; ++c) {
+      const std::uint64_t bit = 1ULL << c;
+      bool shown = false;
+      // Unique-cause: two vectors differing only in condition c with
+      // different outcomes.
+      for (auto it1 = d.vectors.begin(); it1 != d.vectors.end() && !shown;
+           ++it1) {
+        const std::uint64_t flipped = it1->first ^ bit;
+        // Both outcomes may exist for a vector; check both.
+        if (d.vectors.count({flipped, !it1->second}) > 0) {
+          shown = true;
+        }
+      }
+      if (shown) ++demonstrated;
+    }
+  }
+  return demonstrated;
+}
+
+double Unit::McdcCoverage() const {
+  const std::int64_t total = mcdc_conditions_total();
+  if (total == 0) return 1.0;
+  return static_cast<double>(mcdc_conditions_demonstrated()) /
+         static_cast<double>(total);
+}
+
+void Unit::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& h : stmt_hits_) h.store(0, std::memory_order_relaxed);
+  for (auto& d : decisions_) {
+    d.seen_true = d.seen_false = false;
+    d.vectors.clear();
+  }
+  for (auto& f : functions_) f.hit = false;
+  for (auto& c : calls_) c.hit = false;
+}
+
+Registry& Registry::Instance() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Unit& Registry::GetOrCreate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = units_.find(name);
+  if (it == units_.end()) {
+    it = units_.emplace(name, std::make_unique<Unit>(name)).first;
+  }
+  return *it->second;
+}
+
+std::vector<const Unit*> Registry::Units() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Unit*> out;
+  out.reserve(units_.size());
+  for (const auto& [name, unit] : units_) out.push_back(unit.get());
+  return out;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, unit] : units_) unit->Reset();
+}
+
+std::vector<CoverageRow> Snapshot() {
+  std::vector<CoverageRow> rows;
+  for (const Unit* u : Registry::Instance().Units()) {
+    rows.push_back(CoverageRow{u->name(), u->StatementCoverage(),
+                               u->BranchCoverage(), u->McdcCoverage()});
+  }
+  return rows;
+}
+
+CoverageRow Average(const std::vector<CoverageRow>& rows) {
+  CoverageRow avg;
+  avg.unit = "average";
+  if (rows.empty()) return avg;
+  for (const auto& r : rows) {
+    avg.statement += r.statement;
+    avg.branch += r.branch;
+    avg.mcdc += r.mcdc;
+  }
+  const double n = static_cast<double>(rows.size());
+  avg.statement /= n;
+  avg.branch /= n;
+  avg.mcdc /= n;
+  return avg;
+}
+
+}  // namespace certkit::cov

@@ -1,0 +1,154 @@
+// certkit coverage: a probe-based structural-coverage runtime implementing
+// the three criteria the paper measures with RapiCover (Figure 5) and with
+// host-compiled CUDA kernels (Figure 6):
+//
+//  * statement coverage — every declared statement probe executed;
+//  * decision (branch) coverage — every decision evaluated to both true
+//    and false;
+//  * MC/DC — for every condition within a decision, two recorded evaluation
+//    vectors differ ONLY in that condition and produce different decision
+//    outcomes (unique-cause MC/DC).
+//
+// Subjects are instrumented explicitly: a translation unit obtains a Unit
+// from the Registry, declares its probe counts, and wraps its statements and
+// conditions with Stmt()/Cond()/Dec() calls. Instrumented conditions are
+// evaluated eagerly (no short-circuit), which is the standard trade-off of
+// source-level instrumentation and is documented in DESIGN.md.
+//
+// Thread safety: probes may fire concurrently (the GPU-on-CPU layer runs
+// kernels on a thread pool). Statement hits are atomic; decision-vector
+// recording takes a per-unit mutex.
+#ifndef CERTKIT_COVERAGE_COVERAGE_H_
+#define CERTKIT_COVERAGE_COVERAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace certkit::cov {
+
+// Global probe switch. Coverage collection is a build flavor in real
+// deployments (instrumented vs release); here it is a runtime flag so the
+// performance benchmarks can run the exact same code uninstrumented.
+// Enabled by default.
+void SetProbesEnabled(bool enabled);
+bool ProbesEnabled();
+
+struct DecisionRecord {
+  int num_conditions = 0;
+  bool seen_true = false;
+  bool seen_false = false;
+  // Distinct evaluation vectors: (condition bitmask, outcome).
+  std::set<std::pair<std::uint64_t, bool>> vectors;
+};
+
+// Coverage state for one instrumented translation unit.
+class Unit {
+ public:
+  explicit Unit(std::string name);
+  Unit(const Unit&) = delete;
+  Unit& operator=(const Unit&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // --- declaration (before execution) ---
+  // Declares `n` statement probes with ids [0, n).
+  void DeclareStatements(int n);
+  // Declares a decision with `num_conditions` conditions (1..64).
+  // Returns its id; ids are dense from 0.
+  int DeclareDecision(int num_conditions);
+
+  // --- probes (during execution) ---
+  // Marks statement `id` executed.
+  void Stmt(int id);
+  // Records condition `index` of decision `decision_id` as `value`;
+  // returns `value` so probes compose inline.
+  bool Cond(int decision_id, int index, bool value);
+  // Records the decision outcome (with the condition vector accumulated by
+  // Cond calls on this thread since the last Dec for this decision);
+  // returns `outcome`.
+  bool Dec(int decision_id, bool outcome);
+
+  // Convenience for single-condition decisions: records condition 0 and the
+  // outcome in one call.
+  bool Branch(int decision_id, bool outcome);
+
+  // --- architectural-level coverage (ISO 26262-6 Table 12) ---
+  // Declares a function probe; EnterFunction marks it executed.
+  int DeclareFunctionProbe(std::string name);
+  void EnterFunction(int id);
+  // Declares a caller->callee edge probe; CallSite marks it executed.
+  int DeclareCallProbe(std::string caller, std::string callee);
+  void CallSite(int id);
+
+  // --- results ---
+  std::int64_t statements_total() const;
+  std::int64_t statements_hit() const;
+  double StatementCoverage() const;  // in [0,1]; 1.0 when nothing declared
+  double BranchCoverage() const;     // outcomes seen / (2 * decisions)
+  double McdcCoverage() const;       // independent conditions / conditions
+  double FunctionCoverage() const;   // functions entered / declared
+  double CallCoverage() const;       // call edges executed / declared
+  // Names of declared-but-never-entered functions (reporting).
+  std::vector<std::string> UncoveredFunctions() const;
+  // Conditions demonstrated independent, per unique-cause analysis.
+  std::int64_t mcdc_conditions_demonstrated() const;
+  std::int64_t mcdc_conditions_total() const;
+
+  void Reset();  // clears execution state, keeps declarations
+
+ private:
+  struct ThreadVec;  // per-thread accumulation of condition bits
+
+  std::string name_;
+  std::vector<std::atomic<std::uint64_t>> stmt_hits_;
+  int declared_statements_ = 0;
+  mutable std::mutex mu_;
+  std::vector<DecisionRecord> decisions_;
+
+  struct NamedProbe {
+    std::string name;
+    bool hit = false;
+  };
+  std::vector<NamedProbe> functions_;
+  std::vector<NamedProbe> calls_;
+};
+
+// Process-wide registry of units, keyed by name.
+class Registry {
+ public:
+  static Registry& Instance();
+
+  // Returns the unit named `name`, creating it on first use.
+  Unit& GetOrCreate(const std::string& name);
+  // Units in name order (stable for reports).
+  std::vector<const Unit*> Units() const;
+  void ResetAll();
+
+ private:
+  Registry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Unit>> units_;
+};
+
+// One row of a coverage report (per file/unit).
+struct CoverageRow {
+  std::string unit;
+  double statement = 0.0;
+  double branch = 0.0;
+  double mcdc = 0.0;
+};
+
+// Snapshot of all registered units.
+std::vector<CoverageRow> Snapshot();
+// Averages across rows (uniform weight per unit, as in Figure 5's summary).
+CoverageRow Average(const std::vector<CoverageRow>& rows);
+
+}  // namespace certkit::cov
+
+#endif  // CERTKIT_COVERAGE_COVERAGE_H_

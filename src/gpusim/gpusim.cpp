@@ -1,0 +1,161 @@
+#include "gpusim/gpusim.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gpusim {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 4;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::ParallelFor(std::uint64_t n,
+                             const std::function<void(std::uint64_t)>& fn) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  job_size_ = n;
+  next_index_ = 0;
+  completed_ = 0;
+  ++generation_;
+  cv_work_.notify_all();
+  // The calling thread participates too.
+  while (true) {
+    const std::uint64_t i = next_index_;
+    if (i >= job_size_) break;
+    ++next_index_;
+    lock.unlock();
+    fn(i);
+    lock.lock();
+    ++completed_;
+  }
+  cv_done_.wait(lock, [this] { return completed_ == job_size_; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_work_.wait(lock, [this, seen_generation] {
+      return shutdown_ || (job_ != nullptr && generation_ != seen_generation &&
+                           next_index_ < job_size_);
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    const auto* job = job_;
+    while (job_ == job && next_index_ < job_size_) {
+      const std::uint64_t i = next_index_++;
+      lock.unlock();
+      (*job)(i);
+      lock.lock();
+      if (++completed_ == job_size_) cv_done_.notify_all();
+    }
+  }
+}
+
+Device& Device::Instance() {
+  static Device* device = new Device();
+  return *device;
+}
+
+Device::Device(unsigned threads) : pool_(threads) {}
+
+Device::~Device() = default;
+
+void* Device::Malloc(std::size_t bytes) {
+  CERTKIT_CHECK(bytes > 0);
+  void* p = std::malloc(bytes);
+  CERTKIT_CHECK_MSG(p != nullptr, "device allocation of " << bytes
+                                                          << " bytes failed");
+  std::lock_guard<std::mutex> lock(mem_mu_);
+  allocations_[p] = bytes;
+  allocated_bytes_ += bytes;
+  return p;
+}
+
+void Device::Free(void* ptr) {
+  if (ptr == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(mem_mu_);
+    auto it = allocations_.find(ptr);
+    CERTKIT_CHECK_MSG(it != allocations_.end(),
+                      "Free of pointer not allocated by this device");
+    allocated_bytes_ -= it->second;
+    allocations_.erase(it);
+  }
+  std::free(ptr);
+}
+
+void Device::MemcpyHostToDevice(void* dst, const void* src,
+                                std::size_t bytes) {
+  std::memcpy(dst, src, bytes);
+}
+
+void Device::MemcpyDeviceToHost(void* dst, const void* src,
+                                std::size_t bytes) {
+  std::memcpy(dst, src, bytes);
+}
+
+std::size_t Device::allocated_bytes() const {
+  std::lock_guard<std::mutex> lock(mem_mu_);
+  return allocated_bytes_;
+}
+
+void Device::set_sm_count(unsigned sms) {
+  CERTKIT_CHECK(sms >= 1);
+  std::lock_guard<std::mutex> lock(time_mu_);
+  sm_count_ = sms;
+}
+
+unsigned Device::sm_count() const {
+  std::lock_guard<std::mutex> lock(time_mu_);
+  return sm_count_;
+}
+
+void Device::ResetTimers() {
+  std::lock_guard<std::mutex> lock(time_mu_);
+  simulated_seconds_ = 0.0;
+  wall_seconds_ = 0.0;
+}
+
+double Device::simulated_seconds() const {
+  std::lock_guard<std::mutex> lock(time_mu_);
+  return simulated_seconds_;
+}
+
+double Device::wall_seconds() const {
+  std::lock_guard<std::mutex> lock(time_mu_);
+  return wall_seconds_;
+}
+
+void Device::RecordLaunch(double wall_seconds, std::uint64_t blocks) {
+  std::lock_guard<std::mutex> lock(time_mu_);
+  wall_seconds_ += wall_seconds;
+  const double occupancy = static_cast<double>(
+      blocks < sm_count_ ? blocks : sm_count_);
+  simulated_seconds_ += wall_seconds / occupancy;
+}
+
+std::size_t Device::allocation_count() const {
+  std::lock_guard<std::mutex> lock(mem_mu_);
+  return allocations_.size();
+}
+
+}  // namespace gpusim

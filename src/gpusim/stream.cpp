@@ -1,0 +1,114 @@
+#include "gpusim/stream.h"
+
+#include <cstring>
+
+#include "support/check.h"
+
+namespace gpusim {
+
+Stream::Stream(Device& device)
+    : device_(device), worker_([this] { WorkerLoop(); }) {}
+
+Stream::~Stream() {
+  Synchronize();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  worker_.join();
+}
+
+void Stream::MemcpyAsync(void* dst, const void* src, std::size_t bytes) {
+  Enqueue([dst, src, bytes] { std::memcpy(dst, src, bytes); });
+}
+
+void Stream::RecordEvent(const std::shared_ptr<Event>& event) {
+  CERTKIT_CHECK(event != nullptr);
+  Enqueue([event] { event->MarkComplete(); });
+}
+
+void Stream::Synchronize() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+bool Stream::Query() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty() && !busy_;
+}
+
+void Stream::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CERTKIT_CHECK_MSG(!shutdown_, "enqueue on a destroyed stream");
+    queue_.push_back(std::move(task));
+  }
+  cv_work_.notify_one();
+}
+
+void Stream::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_work_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (shutdown_ && queue_.empty()) return;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    lock.unlock();
+    task();
+    lock.lock();
+    busy_ = false;
+    if (queue_.empty()) cv_idle_.notify_all();
+  }
+}
+
+std::shared_ptr<Event> Event::Create() {
+  return std::shared_ptr<Event>(new Event());
+}
+
+void Event::Record(Stream& stream) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    recorded_ = true;
+    complete_ = false;
+  }
+  stream.RecordEvent(shared_from_this());
+}
+
+void Event::Synchronize() {
+  std::unique_lock<std::mutex> lock(mu_);
+  CERTKIT_CHECK_MSG(recorded_, "Synchronize on an unrecorded event");
+  cv_.wait(lock, [this] { return complete_; });
+}
+
+bool Event::Query() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return complete_;
+}
+
+double Event::ElapsedSeconds(const Event& start, const Event& end) {
+  std::chrono::steady_clock::time_point t0, t1;
+  {
+    std::lock_guard<std::mutex> lock(start.mu_);
+    CERTKIT_CHECK_MSG(start.complete_, "start event not complete");
+    t0 = start.timestamp_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(end.mu_);
+    CERTKIT_CHECK_MSG(end.complete_, "end event not complete");
+    t1 = end.timestamp_;
+  }
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void Event::MarkComplete() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    complete_ = true;
+    timestamp_ = std::chrono::steady_clock::now();
+  }
+  cv_.notify_all();
+}
+
+}  // namespace gpusim

@@ -1,0 +1,100 @@
+// gpusim: asynchronous streams and events, mirroring cudaStream_t /
+// cudaEvent_t semantics.
+//
+// A Stream is an ordered work queue: operations enqueued on the same stream
+// execute in FIFO order; operations on different streams may overlap.
+// Events record completion points within a stream and support host-side
+// waiting and elapsed-time queries — the structure real CUDA pipelines
+// (including Apollo's perception stack) are built on, and another instance
+// of the paper's Observation 4: the API is built around raw pointers and
+// asynchronously mutated memory.
+#ifndef GPUSIM_STREAM_H_
+#define GPUSIM_STREAM_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "gpusim/gpusim.h"
+
+namespace gpusim {
+
+class Event;
+
+class Stream {
+ public:
+  explicit Stream(Device& device = Device::Instance());
+  ~Stream();  // synchronizes, then joins the worker
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  // Enqueues a kernel launch; returns immediately.
+  template <typename Kernel>
+  void LaunchAsync(Dim3 grid, Dim3 block, Kernel kernel) {
+    Enqueue([this, grid, block, kernel]() mutable {
+      device_.Launch(grid, block, kernel);
+    });
+  }
+
+  // Enqueues an ordered memcpy (both directions share the semantics here).
+  void MemcpyAsync(void* dst, const void* src, std::size_t bytes);
+
+  // Enqueues an event-completion marker (used by Event::Record).
+  void RecordEvent(const std::shared_ptr<Event>& event);
+
+  // Blocks until every operation enqueued so far has executed.
+  void Synchronize();
+  // True when the queue is empty and the worker is idle.
+  bool Query() const;
+
+  Device& device() { return device_; }
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  Device& device_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  bool busy_ = false;
+  bool shutdown_ = false;
+  std::thread worker_;
+};
+
+// A completion marker within a stream.
+class Event : public std::enable_shared_from_this<Event> {
+ public:
+  static std::shared_ptr<Event> Create();
+
+  // Enqueues this event on `stream`; it completes when the stream reaches
+  // it. Re-recording resets completion.
+  void Record(Stream& stream);
+  // Blocks until the event completes. Recording must have happened.
+  void Synchronize();
+  // True when completed.
+  bool Query() const;
+
+  // Wall-clock seconds between two completed events.
+  static double ElapsedSeconds(const Event& start, const Event& end);
+
+  // Internal: called by the stream worker.
+  void MarkComplete();
+
+ private:
+  Event() = default;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool recorded_ = false;
+  bool complete_ = false;
+  std::chrono::steady_clock::time_point timestamp_;
+};
+
+}  // namespace gpusim
+
+#endif  // GPUSIM_STREAM_H_

@@ -1,0 +1,276 @@
+#include "kernels/conv.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "kernels/gemm.h"
+#include "support/check.h"
+
+namespace kernels {
+
+namespace {
+
+float InputAt(const float* input, const ConvShape& s, int n, int c, int y,
+              int x) {
+  if (y < 0 || y >= s.in_h || x < 0 || x >= s.in_w) return 0.0f;
+  return input[((static_cast<std::size_t>(n) * s.in_channels + c) * s.in_h +
+                y) *
+                   s.in_w +
+               x];
+}
+
+}  // namespace
+
+void Conv2dNaive(const float* input, const float* weights, const float* bias,
+                 float* output, const ConvShape& s) {
+  CERTKIT_CHECK(s.in_h > 0 && s.in_w > 0 && s.stride > 0);
+  const int oh = s.OutH(), ow = s.OutW();
+  for (int n = 0; n < s.batch; ++n) {
+    for (int oc = 0; oc < s.out_channels; ++oc) {
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x) {
+          float acc = bias != nullptr ? bias[oc] : 0.0f;
+          for (int ic = 0; ic < s.in_channels; ++ic) {
+            for (int ky = 0; ky < s.kernel_h; ++ky) {
+              for (int kx = 0; kx < s.kernel_w; ++kx) {
+                const int iy = y * s.stride - s.pad + ky;
+                const int ix = x * s.stride - s.pad + kx;
+                acc += InputAt(input, s, n, ic, iy, ix) *
+                       weights[((static_cast<std::size_t>(oc) *
+                                     s.in_channels +
+                                 ic) *
+                                    s.kernel_h +
+                                ky) *
+                                   s.kernel_w +
+                               kx];
+              }
+            }
+          }
+          output[((static_cast<std::size_t>(n) * s.out_channels + oc) * oh +
+                  y) *
+                     ow +
+                 x] = acc;
+        }
+      }
+    }
+  }
+}
+
+namespace cudnn_sim {
+
+void Conv2d(const float* input, const float* weights, const float* bias,
+            float* output, const ConvShape& s, gpusim::Device& device) {
+  CERTKIT_CHECK(s.in_h > 0 && s.in_w > 0 && s.stride > 0);
+  const int oh = s.OutH(), ow = s.OutW();
+  gpusim::Dim3 grid;
+  grid.x = static_cast<unsigned>(s.out_channels);
+  grid.y = static_cast<unsigned>(s.batch);
+  device.Launch(grid, gpusim::Dim3{1, 1, 1},
+                [=](const gpusim::KernelContext& ctx) {
+    const int oc = static_cast<int>(ctx.block_idx.x);
+    const int n = static_cast<int>(ctx.block_idx.y);
+    const float b = bias != nullptr ? bias[oc] : 0.0f;
+    float* out_plane =
+        output + ((static_cast<std::size_t>(n) * s.out_channels + oc) * oh) *
+                     ow;
+    // Initialize with bias.
+    for (int i = 0; i < oh * ow; ++i) out_plane[i] = b;
+    // Tuned loop order: channel-major with kernel offsets hoisted, so the
+    // innermost loop is a contiguous multiply-accumulate along x.
+    for (int ic = 0; ic < s.in_channels; ++ic) {
+      const float* in_plane =
+          input +
+          ((static_cast<std::size_t>(n) * s.in_channels + ic) * s.in_h) *
+              s.in_w;
+      const float* w_plane =
+          weights + ((static_cast<std::size_t>(oc) * s.in_channels + ic) *
+                     s.kernel_h) *
+                        s.kernel_w;
+      for (int ky = 0; ky < s.kernel_h; ++ky) {
+        for (int kx = 0; kx < s.kernel_w; ++kx) {
+          const float wv = w_plane[ky * s.kernel_w + kx];
+          if (wv == 0.0f) continue;
+          for (int y = 0; y < oh; ++y) {
+            const int iy = y * s.stride - s.pad + ky;
+            if (iy < 0 || iy >= s.in_h) continue;
+            const float* in_row = in_plane + static_cast<std::size_t>(iy) *
+                                                 s.in_w;
+            float* out_row = out_plane + static_cast<std::size_t>(y) * ow;
+            // Clamp the x range so the inner loop needs no bounds checks.
+            int x0 = 0;
+            while (x0 < ow && x0 * s.stride - s.pad + kx < 0) ++x0;
+            int x1 = ow;
+            while (x1 > x0 && (x1 - 1) * s.stride - s.pad + kx >= s.in_w) {
+              --x1;
+            }
+            const int base = -s.pad + kx;
+            for (int x = x0; x < x1; ++x) {
+              out_row[x] += wv * in_row[x * s.stride + base];
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace cudnn_sim
+
+namespace isaac_sim {
+
+namespace {
+
+struct ShapeKey {
+  int b, ic, h, w, oc, kh, kw, stride, pad;
+  bool operator<(const ShapeKey& o) const {
+    return std::tie(b, ic, h, w, oc, kh, kw, stride, pad) <
+           std::tie(o.b, o.ic, o.h, o.w, o.oc, o.kh, o.kw, o.stride, o.pad);
+  }
+};
+
+ShapeKey KeyOf(const ConvShape& s) {
+  return ShapeKey{s.batch, s.in_channels, s.in_h,  s.in_w, s.out_channels,
+                  s.kernel_h, s.kernel_w, s.stride, s.pad};
+}
+
+std::mutex g_cache_mu;
+std::map<ShapeKey, int> g_tuned;
+
+// Candidate GEMM tile configurations the auto-tuner explores.
+using GemmFn = void (*)(const float*, const float*, float*, GemmShape,
+                        gpusim::Device&);
+constexpr int kNumCandidates = 4;
+
+void GemmCand0(const float* a, const float* b, float* c, GemmShape s,
+               gpusim::Device& d) {
+  cutlass_sim::Sgemm<32, 32>(a, b, c, s, d);
+}
+void GemmCand1(const float* a, const float* b, float* c, GemmShape s,
+               gpusim::Device& d) {
+  cutlass_sim::Sgemm<64, 64>(a, b, c, s, d);
+}
+void GemmCand2(const float* a, const float* b, float* c, GemmShape s,
+               gpusim::Device& d) {
+  cutlass_sim::Sgemm<16, 128>(a, b, c, s, d);
+}
+void GemmCand3(const float* a, const float* b, float* c, GemmShape s,
+               gpusim::Device& d) {
+  cutlass_sim::Sgemm<128, 16>(a, b, c, s, d);
+}
+
+GemmFn Candidate(int index) {
+  switch (index) {
+    case 0:
+      return &GemmCand0;
+    case 1:
+      return &GemmCand1;
+    case 2:
+      return &GemmCand2;
+    default:
+      return &GemmCand3;
+  }
+}
+
+// im2col: expands input patches into a [Cin*KH*KW, OH*OW] matrix per image.
+// Runs as a device kernel (one block per patch row) so that its cost is part
+// of the device-side time, as it is for the real ISAAC pipeline.
+void Im2Col(const float* input, const ConvShape& s, int n, float* cols,
+            gpusim::Device& device) {
+  const int oh = s.OutH(), ow = s.OutW();
+  const int patch_rows = s.in_channels * s.kernel_h * s.kernel_w;
+  gpusim::Dim3 grid{static_cast<unsigned>(patch_rows), 1, 1};
+  device.Launch(grid, gpusim::Dim3{1, 1, 1},
+                [=](const gpusim::KernelContext& ctx) {
+    const int row = static_cast<int>(ctx.block_idx.x);
+    const int kx = row % s.kernel_w;
+    const int ky = (row / s.kernel_w) % s.kernel_h;
+    const int ic = row / (s.kernel_w * s.kernel_h);
+    float* out_row =
+        cols + static_cast<std::size_t>(row) * oh * ow;
+    std::size_t idx = 0;
+    for (int y = 0; y < oh; ++y) {
+      const int iy = y * s.stride - s.pad + ky;
+      for (int x = 0; x < ow; ++x, ++idx) {
+        const int ix = x * s.stride - s.pad + kx;
+        out_row[idx] = InputAt(input, s, n, ic, iy, ix);
+      }
+    }
+  });
+}
+
+void RunWithConfig(const float* input, const float* weights,
+                   const float* bias, float* output, const ConvShape& s,
+                   int config, gpusim::Device& device,
+                   std::vector<float>* cols_storage) {
+  const int oh = s.OutH(), ow = s.OutW();
+  const int patch = s.in_channels * s.kernel_h * s.kernel_w;
+  cols_storage->resize(static_cast<std::size_t>(patch) * oh * ow);
+  GemmShape gs{s.out_channels, oh * ow, patch};
+  for (int n = 0; n < s.batch; ++n) {
+    Im2Col(input, s, n, cols_storage->data(), device);
+    float* out_image =
+        output + static_cast<std::size_t>(n) * s.out_channels * oh * ow;
+    Candidate(config)(weights, cols_storage->data(), out_image, gs, device);
+    if (bias != nullptr) {
+      for (int oc = 0; oc < s.out_channels; ++oc) {
+        float* plane = out_image + static_cast<std::size_t>(oc) * oh * ow;
+        for (int i = 0; i < oh * ow; ++i) plane[i] += bias[oc];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int CandidateCount() { return kNumCandidates; }
+
+int TunedConfigIndex(const ConvShape& shape) {
+  std::lock_guard<std::mutex> lock(g_cache_mu);
+  auto it = g_tuned.find(KeyOf(shape));
+  return it == g_tuned.end() ? -1 : it->second;
+}
+
+void ResetTuningCache() {
+  std::lock_guard<std::mutex> lock(g_cache_mu);
+  g_tuned.clear();
+}
+
+void Conv2d(const float* input, const float* weights, const float* bias,
+            float* output, const ConvShape& s, gpusim::Device& device) {
+  CERTKIT_CHECK(s.in_h > 0 && s.in_w > 0 && s.stride > 0);
+  int config = -1;
+  {
+    std::lock_guard<std::mutex> lock(g_cache_mu);
+    auto it = g_tuned.find(KeyOf(s));
+    if (it != g_tuned.end()) config = it->second;
+  }
+  std::vector<float> cols;
+  if (config < 0) {
+    // Input-aware auto-tuning: measure every candidate on the live input.
+    double best_time = 0.0;
+    int best = 0;
+    for (int cand = 0; cand < kNumCandidates; ++cand) {
+      const auto t0 = std::chrono::steady_clock::now();
+      RunWithConfig(input, weights, bias, output, s, cand, device, &cols);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double dt = std::chrono::duration<double>(t1 - t0).count();
+      if (cand == 0 || dt < best_time) {
+        best_time = dt;
+        best = cand;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(g_cache_mu);
+      g_tuned[KeyOf(s)] = best;
+    }
+    config = best;
+  }
+  RunWithConfig(input, weights, bias, output, s, config, device, &cols);
+}
+
+}  // namespace isaac_sim
+
+}  // namespace kernels

@@ -1,0 +1,75 @@
+// kernels: 2D convolution implementations used by Figures 7 and 8b.
+//
+//  * cudnn_sim — the "closed-source vendor DNN library": direct convolution
+//    with a tuned loop nest, parallelized over output tiles.
+//  * isaac_sim — the "open-source input-aware auto-tuner" (ISAAC, SC'17):
+//    im2col + tiled GEMM where the tile configuration is selected *per input
+//    shape* by measuring candidate configurations on first use and caching
+//    the winner.
+//  * naive     — single-threaded reference and correctness oracle.
+//
+// Tensors are NCHW row-major float. Weights are [Cout, Cin, KH, KW].
+#ifndef KERNELS_CONV_H_
+#define KERNELS_CONV_H_
+
+#include <cstddef>
+
+#include "gpusim/gpusim.h"
+
+namespace kernels {
+
+struct ConvShape {
+  int batch = 1;
+  int in_channels = 1;
+  int in_h = 0, in_w = 0;
+  int out_channels = 1;
+  int kernel_h = 3, kernel_w = 3;
+  int stride = 1;
+  int pad = 1;
+
+  int OutH() const { return (in_h + 2 * pad - kernel_h) / stride + 1; }
+  int OutW() const { return (in_w + 2 * pad - kernel_w) / stride + 1; }
+  std::size_t InputSize() const {
+    return static_cast<std::size_t>(batch) * in_channels * in_h * in_w;
+  }
+  std::size_t OutputSize() const {
+    return static_cast<std::size_t>(batch) * out_channels * OutH() * OutW();
+  }
+  std::size_t WeightSize() const {
+    return static_cast<std::size_t>(out_channels) * in_channels * kernel_h *
+           kernel_w;
+  }
+  bool operator==(const ConvShape&) const = default;
+};
+
+// Single-threaded reference.
+void Conv2dNaive(const float* input, const float* weights, const float* bias,
+                 float* output, const ConvShape& shape);
+
+namespace cudnn_sim {
+// Direct convolution, parallelized over (batch, out_channel) slices.
+void Conv2d(const float* input, const float* weights, const float* bias,
+            float* output, const ConvShape& shape,
+            gpusim::Device& device = gpusim::Device::Instance());
+}  // namespace cudnn_sim
+
+namespace isaac_sim {
+// im2col + auto-tuned GEMM. The first call for a given shape measures the
+// candidate tile configurations on the live input and caches the fastest
+// (input-aware auto-tuning); subsequent calls use the cached winner.
+void Conv2d(const float* input, const float* weights, const float* bias,
+            float* output, const ConvShape& shape,
+            gpusim::Device& device = gpusim::Device::Instance());
+
+// Exposed for tests: which tile configuration the tuner picked for `shape`
+// (-1 if the shape has not been tuned yet).
+int TunedConfigIndex(const ConvShape& shape);
+// Number of candidate configurations the tuner explores.
+int CandidateCount();
+// Clears the tuning cache (tests).
+void ResetTuningCache();
+}  // namespace isaac_sim
+
+}  // namespace kernels
+
+#endif  // KERNELS_CONV_H_

@@ -1,0 +1,120 @@
+// kernels: single-precision GEMM implementations used by Figures 7 and 8a.
+//
+// Three stand-ins reproduce the paper's library comparison:
+//  * cublas_sim  — the "closed-source vendor library": a fixed, hand-tuned
+//    tiled GEMM (register-blocked inner kernel, one grid block per tile).
+//  * cutlass_sim — the "open-source template library": the same decomposition
+//    expressed as composable C++ templates over tile sizes, so device-wide
+//    GEMMs are constructed from primitives (CUTLASS's design), reaching
+//    performance comparable to the vendor kernel.
+//  * cpublas     — the "CPU BLAS two orders of magnitude slower" reference
+//    point: a single-threaded naive triple loop.
+//
+// All operate on row-major float matrices: C[M,N] = A[M,K] * B[K,N].
+#ifndef KERNELS_GEMM_H_
+#define KERNELS_GEMM_H_
+
+#include <cstddef>
+
+#include "gpusim/gpusim.h"
+#include "support/check.h"
+
+namespace kernels {
+
+struct GemmShape {
+  int m = 0, n = 0, k = 0;
+  bool operator==(const GemmShape&) const = default;
+};
+
+// Naive single-threaded CPU reference (also the correctness oracle).
+namespace cpublas {
+void Sgemm(const float* a, const float* b, float* c, GemmShape shape);
+}  // namespace cpublas
+
+// "Vendor library": fixed tuned configuration.
+namespace cublas_sim {
+void Sgemm(const float* a, const float* b, float* c, GemmShape shape,
+           gpusim::Device& device = gpusim::Device::Instance());
+}  // namespace cublas_sim
+
+// "Open template library": tile sizes are template parameters. A device-wide
+// GEMM is composed from the block-level primitive, as in CUTLASS.
+namespace cutlass_sim {
+
+template <int kTileM, int kTileN>
+struct TileGemm {
+  static_assert(kTileM > 0 && kTileN > 0);
+
+  // Computes the (bm, bn) output tile: a 2x2 register-blocked thread tile
+  // inside the block tile, mirroring CUTLASS's threadblock/warp/thread
+  // decomposition.
+  static void ComputeTile(const float* a, const float* b, float* c,
+                          GemmShape s, int bm, int bn) {
+    const int m0 = bm * kTileM;
+    const int n0 = bn * kTileN;
+    const int m1 = m0 + kTileM < s.m ? m0 + kTileM : s.m;
+    const int n1 = n0 + kTileN < s.n ? n0 + kTileN : s.n;
+
+    int i = m0;
+    for (; i + 2 <= m1; i += 2) {
+      const float* a0 = a + static_cast<std::size_t>(i) * s.k;
+      const float* a1 = a0 + s.k;
+      float* c0 = c + static_cast<std::size_t>(i) * s.n;
+      float* c1 = c0 + s.n;
+      for (int j = n0; j < n1; ++j) {
+        c0[j] = 0.0f;
+        c1[j] = 0.0f;
+      }
+      for (int kk = 0; kk < s.k; ++kk) {
+        const float av0 = a0[kk];
+        const float av1 = a1[kk];
+        const float* brow = b + static_cast<std::size_t>(kk) * s.n;
+        int j = n0;
+        for (; j + 2 <= n1; j += 2) {
+          const float b0 = brow[j];
+          const float b1 = brow[j + 1];
+          c0[j] += av0 * b0;
+          c0[j + 1] += av0 * b1;
+          c1[j] += av1 * b0;
+          c1[j + 1] += av1 * b1;
+        }
+        for (; j < n1; ++j) {
+          c0[j] += av0 * brow[j];
+          c1[j] += av1 * brow[j];
+        }
+      }
+    }
+    for (; i < m1; ++i) {  // remainder row
+      const float* arow = a + static_cast<std::size_t>(i) * s.k;
+      float* crow = c + static_cast<std::size_t>(i) * s.n;
+      for (int j = n0; j < n1; ++j) crow[j] = 0.0f;
+      for (int kk = 0; kk < s.k; ++kk) {
+        const float av = arow[kk];
+        const float* brow = b + static_cast<std::size_t>(kk) * s.n;
+        for (int j = n0; j < n1; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+};
+
+// Device-wide GEMM composed from the tile primitive.
+template <int kTileM = 64, int kTileN = 64>
+void Sgemm(const float* a, const float* b, float* c, GemmShape s,
+           gpusim::Device& device = gpusim::Device::Instance()) {
+  CERTKIT_CHECK(s.m > 0 && s.n > 0 && s.k > 0);
+  gpusim::Dim3 grid;
+  grid.x = static_cast<unsigned>((s.n + kTileN - 1) / kTileN);
+  grid.y = static_cast<unsigned>((s.m + kTileM - 1) / kTileM);
+  device.Launch(grid, gpusim::Dim3{1, 1, 1},
+                [=](const gpusim::KernelContext& ctx) {
+                  TileGemm<kTileM, kTileN>::ComputeTile(
+                      a, b, c, s, static_cast<int>(ctx.block_idx.y),
+                      static_cast<int>(ctx.block_idx.x));
+                });
+}
+
+}  // namespace cutlass_sim
+
+}  // namespace kernels
+
+#endif  // KERNELS_GEMM_H_

@@ -1,0 +1,506 @@
+#include "lex/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "support/check.h"
+
+namespace certkit::lex {
+
+namespace {
+
+using support::ParseError;
+using support::Result;
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+bool IsHexDigit(char c) {
+  return std::isxdigit(static_cast<unsigned char>(c));
+}
+
+// Multi-character punctuators, longest first for maximal munch.
+constexpr std::array<std::string_view, 38> kMultiPunct = {
+    "<<=", ">>=", "...", "->*", "<=>",                                   // 3
+    "::",  "->",  "++",  "--",  "<<",  ">>", "<=", ">=", "==", "!=",     // 2
+    "&&",  "||",  "+=",  "-=",  "*=",  "/=", "%=", "&=", "|=", "^=",
+    "##",  ".*",
+    // single chars fall through
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "=",
+};
+
+// Per-line classification flags accumulated during the scan.
+struct LineFlags {
+  bool has_code = false;
+  bool has_comment = false;
+  bool is_preprocessor = false;
+};
+
+class Scanner {
+ public:
+  Scanner(std::string path, std::string_view src, const LexOptions& options)
+      : path_(std::move(path)), src_(src), options_(options) {
+    // Pre-size line table: one entry per physical line.
+    std::size_t lines = 1;
+    for (char c : src_) {
+      if (c == '\n') ++lines;
+    }
+    if (src_.empty()) lines = 0;
+    line_flags_.resize(lines);
+  }
+
+  Result<LexedFile> Run() {
+    while (!AtEnd()) {
+      if (auto st = SkipWhitespaceAndComments(/*stop_at_newline=*/false);
+          !st.ok()) {
+        return st;
+      }
+      if (AtEnd()) break;
+      if (Peek() == '#' && at_line_start_) {
+        if (auto st = ScanDirective(); !st.ok()) return st;
+        continue;
+      }
+      Token tok;
+      if (auto st = ScanToken(&tok); !st.ok()) return st;
+      MarkCode(tok.line);
+      out_.tokens.push_back(std::move(tok));
+    }
+    FinalizeLineStats();
+    out_.path = path_;
+    return std::move(out_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    CERTKIT_CHECK(!AtEnd());
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+      at_line_start_ = true;
+    } else {
+      ++col_;
+      if (!std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        at_line_start_ = false;
+      }
+    }
+    ++pos_;
+  }
+
+  // Consumes a backslash-newline splice if present at the cursor.
+  bool ConsumeSplice() {
+    if (Peek() == '\\' && (Peek(1) == '\n' ||
+                           (Peek(1) == '\r' && Peek(2) == '\n'))) {
+      const bool saved_line_start = at_line_start_;
+      Advance();  // backslash
+      if (Peek() == '\r') Advance();
+      Advance();  // newline
+      at_line_start_ = saved_line_start;
+      return true;
+    }
+    return false;
+  }
+
+  void MarkCode(std::int32_t line) {
+    if (line >= 1 && static_cast<std::size_t>(line) <= line_flags_.size()) {
+      line_flags_[static_cast<std::size_t>(line) - 1].has_code = true;
+    }
+  }
+  void MarkComment(std::int32_t line) {
+    if (line >= 1 && static_cast<std::size_t>(line) <= line_flags_.size()) {
+      line_flags_[static_cast<std::size_t>(line) - 1].has_comment = true;
+    }
+  }
+  void MarkPreprocessor(std::int32_t line) {
+    if (line >= 1 && static_cast<std::size_t>(line) <= line_flags_.size()) {
+      line_flags_[static_cast<std::size_t>(line) - 1].is_preprocessor = true;
+    }
+  }
+
+  // Skips spaces, splices, and comments. When `stop_at_newline`, returns at
+  // the first real newline (used while scanning directive bodies).
+  support::Status SkipWhitespaceAndComments(bool stop_at_newline) {
+    while (!AtEnd()) {
+      if (ConsumeSplice()) continue;
+      const char c = Peek();
+      if (c == '\n' && stop_at_newline) return support::Status::Ok();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        ++out_.comment_count;
+        MarkComment(line_);
+        const std::int32_t start_line = line_;
+        std::string text;
+        while (!AtEnd() && Peek() != '\n') {
+          if (ConsumeSplice()) {  // line comment continued by splice
+            MarkComment(line_);
+            continue;
+          }
+          if (options_.keep_comments) text.push_back(Peek());
+          Advance();
+        }
+        if (options_.keep_comments) {
+          out_.comments.push_back(
+              lex::Comment{std::move(text), start_line});
+        }
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        ++out_.comment_count;
+        const std::int32_t start_line = line_;
+        std::string text;
+        if (options_.keep_comments) text = "/*";
+        Advance();
+        Advance();
+        MarkComment(start_line);
+        bool closed = false;
+        while (!AtEnd()) {
+          if (Peek() == '*' && Peek(1) == '/') {
+            Advance();
+            Advance();
+            closed = true;
+            if (options_.keep_comments) text += "*/";
+            break;
+          }
+          MarkComment(line_);
+          if (options_.keep_comments) text.push_back(Peek());
+          Advance();
+        }
+        if (!closed) {
+          return ParseError(path_ + ":" + std::to_string(start_line) +
+                            ": unterminated block comment");
+        }
+        MarkComment(line_);
+        if (options_.keep_comments) {
+          out_.comments.push_back(
+              lex::Comment{std::move(text), start_line});
+        }
+        continue;
+      }
+      return support::Status::Ok();
+    }
+    return support::Status::Ok();
+  }
+
+  support::Status ScanToken(Token* tok) {
+    tok->line = line_;
+    tok->column = col_;
+    const char c = Peek();
+
+    // String/char literals, including encoding prefixes and raw strings.
+    if (c == '"') return ScanString(tok, /*raw=*/false);
+    if (c == '\'') return ScanCharLiteral(tok);
+    if (IsIdentStart(c)) {
+      // Peek for literal prefixes: R" L" u" U" u8" uR" u8R" LR" UR".
+      if (auto prefix = MatchLiteralPrefix(); !prefix.empty()) {
+        const bool raw = prefix.back() == 'R';
+        for (std::size_t i = 0; i < prefix.size(); ++i) Advance();
+        if (Peek() == '\'' && !raw) {
+          return ScanCharLiteral(tok, std::string(prefix));
+        }
+        return ScanString(tok, raw, std::string(prefix));
+      }
+      return ScanIdentifier(tok);
+    }
+    if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+      return ScanNumber(tok);
+    }
+    return ScanPunct(tok);
+  }
+
+  // Returns the literal prefix at the cursor if the prefix is immediately
+  // followed by a quote character, else empty.
+  std::string_view MatchLiteralPrefix() const {
+    static constexpr std::array<std::string_view, 9> kPrefixes = {
+        "u8R", "uR", "UR", "LR", "R", "u8", "u", "U", "L"};
+    for (std::string_view p : kPrefixes) {
+      bool match = true;
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        if (Peek(i) != p[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      const char next = Peek(p.size());
+      if (next == '"' || (next == '\'' && p.back() != 'R')) return p;
+    }
+    return {};
+  }
+
+  support::Status ScanIdentifier(Token* tok) {
+    std::string text;
+    while (!AtEnd() && IsIdentCont(Peek())) {
+      text.push_back(Peek());
+      Advance();
+    }
+    tok->text = std::move(text);
+    const bool keyword =
+        IsCppKeyword(tok->text) ||
+        (options_.cuda_dialect && IsCudaKeyword(tok->text));
+    tok->kind = keyword ? TokenKind::kKeyword : TokenKind::kIdentifier;
+    return support::Status::Ok();
+  }
+
+  support::Status ScanNumber(Token* tok) {
+    std::string text;
+    auto take = [&] {
+      text.push_back(Peek());
+      Advance();
+    };
+    bool hex = false;
+    if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      hex = true;
+      take();
+      take();
+      while (!AtEnd() && (IsHexDigit(Peek()) || Peek() == '\'' ||
+                          Peek() == '.')) {
+        take();
+      }
+      // Hex float exponent.
+      if (Peek() == 'p' || Peek() == 'P') {
+        take();
+        if (Peek() == '+' || Peek() == '-') take();
+        while (!AtEnd() && IsDigit(Peek())) take();
+      }
+    } else if (Peek() == '0' && (Peek(1) == 'b' || Peek(1) == 'B')) {
+      take();
+      take();
+      while (!AtEnd() && (Peek() == '0' || Peek() == '1' || Peek() == '\'')) {
+        take();
+      }
+    } else {
+      while (!AtEnd() && (IsDigit(Peek()) || Peek() == '\'')) take();
+      if (Peek() == '.') {
+        take();
+        while (!AtEnd() && (IsDigit(Peek()) || Peek() == '\'')) take();
+      }
+      if (Peek() == 'e' || Peek() == 'E') {
+        take();
+        if (Peek() == '+' || Peek() == '-') take();
+        while (!AtEnd() && IsDigit(Peek())) take();
+      }
+    }
+    // Suffixes: u U l L f F z Z (and combinations).
+    while (!AtEnd() && !hex &&
+           (Peek() == 'u' || Peek() == 'U' || Peek() == 'l' || Peek() == 'L' ||
+            Peek() == 'f' || Peek() == 'F' || Peek() == 'z' || Peek() == 'Z')) {
+      take();
+    }
+    while (!AtEnd() && hex &&
+           (Peek() == 'u' || Peek() == 'U' || Peek() == 'l' || Peek() == 'L' ||
+            Peek() == 'f' || Peek() == 'F')) {
+      take();
+    }
+    tok->kind = TokenKind::kNumber;
+    tok->text = std::move(text);
+    return support::Status::Ok();
+  }
+
+  support::Status ScanString(Token* tok, bool raw, std::string prefix = "") {
+    std::string text = std::move(prefix);
+    const std::int32_t start_line = line_;
+    if (raw) {
+      // R"delim( ... )delim"
+      CERTKIT_CHECK(Peek() == '"');
+      text.push_back('"');
+      Advance();
+      std::string delim;
+      while (!AtEnd() && Peek() != '(') {
+        delim.push_back(Peek());
+        text.push_back(Peek());
+        Advance();
+      }
+      if (AtEnd()) {
+        return ParseError(path_ + ":" + std::to_string(start_line) +
+                          ": malformed raw string delimiter");
+      }
+      text.push_back('(');
+      Advance();
+      const std::string closer = ")" + delim + "\"";
+      while (!AtEnd()) {
+        bool match = true;
+        for (std::size_t i = 0; i < closer.size(); ++i) {
+          if (Peek(i) != closer[i]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          for (std::size_t i = 0; i < closer.size(); ++i) {
+            text.push_back(Peek());
+            Advance();
+          }
+          tok->kind = TokenKind::kString;
+          tok->text = std::move(text);
+          return support::Status::Ok();
+        }
+        text.push_back(Peek());
+        Advance();
+      }
+      return ParseError(path_ + ":" + std::to_string(start_line) +
+                        ": unterminated raw string");
+    }
+    CERTKIT_CHECK(Peek() == '"');
+    text.push_back('"');
+    Advance();
+    while (!AtEnd()) {
+      if (ConsumeSplice()) continue;
+      const char c = Peek();
+      if (c == '\n') {
+        return ParseError(path_ + ":" + std::to_string(start_line) +
+                          ": unterminated string literal");
+      }
+      if (c == '\\') {
+        text.push_back(c);
+        Advance();
+        if (!AtEnd()) {
+          text.push_back(Peek());
+          Advance();
+        }
+        continue;
+      }
+      text.push_back(c);
+      Advance();
+      if (c == '"') {
+        tok->kind = TokenKind::kString;
+        tok->text = std::move(text);
+        return support::Status::Ok();
+      }
+    }
+    return ParseError(path_ + ":" + std::to_string(start_line) +
+                      ": unterminated string literal");
+  }
+
+  support::Status ScanCharLiteral(Token* tok, std::string prefix = "") {
+    std::string text = std::move(prefix);
+    const std::int32_t start_line = line_;
+    CERTKIT_CHECK(Peek() == '\'');
+    text.push_back('\'');
+    Advance();
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c == '\n') break;
+      if (c == '\\') {
+        text.push_back(c);
+        Advance();
+        if (!AtEnd()) {
+          text.push_back(Peek());
+          Advance();
+        }
+        continue;
+      }
+      text.push_back(c);
+      Advance();
+      if (c == '\'') {
+        tok->kind = TokenKind::kChar;
+        tok->text = std::move(text);
+        return support::Status::Ok();
+      }
+    }
+    return ParseError(path_ + ":" + std::to_string(start_line) +
+                      ": unterminated character literal");
+  }
+
+  support::Status ScanPunct(Token* tok) {
+    for (std::string_view p : kMultiPunct) {
+      bool match = true;
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        if (Peek(i) != p[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        tok->kind = TokenKind::kPunct;
+        tok->text = std::string(p);
+        for (std::size_t i = 0; i < p.size(); ++i) Advance();
+        return support::Status::Ok();
+      }
+    }
+    tok->kind = TokenKind::kPunct;
+    tok->text = std::string(1, Peek());
+    Advance();
+    return support::Status::Ok();
+  }
+
+  support::Status ScanDirective() {
+    const std::int32_t start_line = line_;
+    MarkPreprocessor(start_line);
+    Advance();  // '#'
+    if (auto st = SkipWhitespaceAndComments(/*stop_at_newline=*/true);
+        !st.ok()) {
+      return st;
+    }
+    Directive dir;
+    dir.line = start_line;
+    if (!AtEnd() && IsIdentStart(Peek())) {
+      Token name_tok;
+      if (auto st = ScanIdentifier(&name_tok); !st.ok()) return st;
+      dir.name = name_tok.text;
+    }
+    // Lex the remainder of the logical line.
+    while (!AtEnd()) {
+      if (auto st = SkipWhitespaceAndComments(/*stop_at_newline=*/true);
+          !st.ok()) {
+        return st;
+      }
+      if (AtEnd() || Peek() == '\n') break;
+      MarkPreprocessor(line_);
+      Token tok;
+      if (auto st = ScanToken(&tok); !st.ok()) return st;
+      MarkPreprocessor(tok.line);
+      dir.tokens.push_back(std::move(tok));
+    }
+    out_.directives.push_back(std::move(dir));
+    return support::Status::Ok();
+  }
+
+  void FinalizeLineStats() {
+    LineStats& s = out_.lines;
+    s.total = static_cast<std::int64_t>(line_flags_.size());
+    for (const LineFlags& f : line_flags_) {
+      if (f.is_preprocessor) {
+        ++s.preprocessor;
+      } else if (f.has_code) {
+        ++s.code;
+      } else if (f.has_comment) {
+        ++s.comment_only;
+      } else {
+        ++s.blank;
+      }
+    }
+  }
+
+  std::string path_;
+  std::string_view src_;
+  LexOptions options_;
+  std::size_t pos_ = 0;
+  std::int32_t line_ = 1;
+  std::int32_t col_ = 1;
+  bool at_line_start_ = true;
+  std::vector<LineFlags> line_flags_;
+  LexedFile out_;
+};
+
+}  // namespace
+
+Result<LexedFile> Lex(std::string path, std::string_view source,
+                      const LexOptions& options) {
+  Scanner scanner(std::move(path), source, options);
+  return scanner.Run();
+}
+
+}  // namespace certkit::lex

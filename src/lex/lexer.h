@@ -1,0 +1,42 @@
+// certkit lexer: tokenizes raw C/C++/CUDA source.
+//
+// Design notes:
+//  * Works on unpreprocessed source; line continuations (backslash-newline)
+//    are spliced logically but physical line numbers are preserved for
+//    reporting.
+//  * Comments are consumed and counted, never emitted as tokens.
+//  * Raw strings, ordinary strings with escapes, char literals, hex/bin/
+//    floating literals with digit separators and suffixes are handled.
+//  * Preprocessor directives are collected into LexedFile::directives and do
+//    not appear in the main token stream.
+//  * The lexer never fails on valid UTF-8 bytes inside comments/strings; a
+//    genuinely unterminated construct yields a ParseError, because downstream
+//    metrics would otherwise silently miscount.
+#ifndef CERTKIT_LEX_LEXER_H_
+#define CERTKIT_LEX_LEXER_H_
+
+#include <string>
+#include <string_view>
+
+#include "lex/token.h"
+#include "support/status.h"
+
+namespace certkit::lex {
+
+struct LexOptions {
+  // When true (default), CUDA execution-space qualifiers (__global__ etc.)
+  // are classified as keywords; otherwise they are plain identifiers.
+  bool cuda_dialect = true;
+  // When true, comment text is retained in LexedFile::comments (used by the
+  // requirement-traceability analyzer). Off by default: most analyses only
+  // need the counts.
+  bool keep_comments = false;
+};
+
+// Lexes `source` (notional file name `path`, used only for reporting).
+support::Result<LexedFile> Lex(std::string path, std::string_view source,
+                               const LexOptions& options = {});
+
+}  // namespace certkit::lex
+
+#endif  // CERTKIT_LEX_LEXER_H_

@@ -1,0 +1,83 @@
+// certkit lexer: token and line-classification types.
+//
+// The lexer operates on raw (unpreprocessed) C, C++, or CUDA-C++ source, as
+// the paper's tooling (Lizard, style checkers) does. Preprocessor directives
+// are lexed but kept out of the main token stream so the fuzzy parser sees a
+// directive-free token sequence.
+#ifndef CERTKIT_LEX_TOKEN_H_
+#define CERTKIT_LEX_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace certkit::lex {
+
+enum class TokenKind {
+  kIdentifier,  // foo, bar_baz
+  kKeyword,     // if, while, template, __global__ (CUDA dialect)
+  kNumber,      // 42, 0x1F, 3.5f, 0b1010, 1'000'000
+  kString,      // "...", R"(...)", L"...", u8"..."
+  kChar,        // 'a', L'\n'
+  kPunct,       // operators and punctuation, maximal munch
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  std::int32_t line = 0;    // 1-based
+  std::int32_t column = 0;  // 1-based byte column
+
+  bool Is(TokenKind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+  bool IsPunct(std::string_view t) const { return Is(TokenKind::kPunct, t); }
+  bool IsKeyword(std::string_view t) const {
+    return Is(TokenKind::kKeyword, t);
+  }
+  bool IsIdentifier() const { return kind == TokenKind::kIdentifier; }
+};
+
+// One preprocessor directive (logical line, after continuation splicing).
+struct Directive {
+  std::string name;           // "include", "define", "if", ... ("" if bare #)
+  std::int32_t line = 0;      // line of the '#'
+  std::vector<Token> tokens;  // tokens after the directive name
+};
+
+// Per-file physical-line statistics, in the sense used by Figure 3 (LOC) and
+// by the size limits of Table 2.
+struct LineStats {
+  std::int64_t total = 0;         // physical lines
+  std::int64_t blank = 0;         // whitespace only
+  std::int64_t comment_only = 0;  // comment text, no code
+  std::int64_t code = 0;          // at least one code token (NLOC)
+  std::int64_t preprocessor = 0;  // directive lines (incl. continuations)
+};
+
+// A retained comment (populated only with LexOptions::keep_comments).
+struct Comment {
+  std::string text;       // raw text including the // or /* */ markers
+  std::int32_t line = 0;  // line the comment starts on
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;         // code tokens, directives excluded
+  std::vector<Directive> directives;
+  std::vector<Comment> comments;     // only with LexOptions::keep_comments
+  LineStats lines;
+  std::int64_t comment_count = 0;    // number of comments (// or /*...*/)
+};
+
+// True for C/C++/CUDA keywords in the dialect the toolkit analyzes.
+bool IsCppKeyword(std::string_view word);
+// True for CUDA-specific execution-space / memory-space keywords
+// (__global__, __device__, __host__, __shared__, __constant__, ...).
+bool IsCudaKeyword(std::string_view word);
+
+}  // namespace certkit::lex
+
+#endif  // CERTKIT_LEX_TOKEN_H_

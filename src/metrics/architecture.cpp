@@ -1,0 +1,82 @@
+#include "metrics/architecture.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace certkit::metrics {
+
+ArchitectureReport AnalyzeArchitecture(
+    const std::vector<ModuleAnalysis>& modules,
+    const ArchitectureLimits& limits) {
+  ArchitectureReport report;
+
+  // Name-level symbol table: function name -> module index. Ambiguous names
+  // (defined in several modules) are dropped from resolution; the coupling
+  // proxy favours precision over recall.
+  std::unordered_map<std::string, std::size_t> owner;
+  std::unordered_set<std::string> ambiguous;
+  for (std::size_t mi = 0; mi < modules.size(); ++mi) {
+    for (const auto& fm : modules[mi].functions) {
+      auto [it, inserted] = owner.emplace(fm.name, mi);
+      if (!inserted && it->second != mi) {
+        ambiguous.insert(fm.name);
+      }
+    }
+  }
+  for (const auto& name : ambiguous) owner.erase(name);
+
+  for (std::size_t mi = 0; mi < modules.size(); ++mi) {
+    const ModuleAnalysis& mod = modules[mi];
+    report.sizes.push_back(mod.metrics);
+
+    InterfaceStats iface;
+    std::int64_t param_sum = 0;
+    for (const auto& file : mod.files) {
+      for (const auto& type : file.types) {
+        if (type.kind == ast::TypeKind::kEnum) continue;
+        ++iface.class_count;
+        iface.total_public_methods += type.public_method_count;
+        iface.max_public_methods =
+            std::max(iface.max_public_methods, type.public_method_count);
+      }
+    }
+    for (const auto& fm : mod.functions) {
+      param_sum += fm.param_count;
+      iface.max_params = std::max(iface.max_params, fm.param_count);
+      if (fm.param_count > limits.max_params) {
+        ++iface.functions_over_param_limit;
+      }
+    }
+    iface.mean_params = mod.functions.empty()
+                            ? 0.0
+                            : static_cast<double>(param_sum) /
+                                  static_cast<double>(mod.functions.size());
+    report.interfaces.push_back(iface);
+
+    CouplingStats cs;
+    cs.module = mod.name;
+    std::unordered_set<std::size_t> efferent;
+    for (const auto& fm : mod.functions) {
+      for (const auto& callee : fm.callees) {
+        auto it = owner.find(callee);
+        if (it == owner.end()) continue;  // unresolved (stdlib, macro, ...)
+        if (it->second == mi) {
+          ++cs.internal_calls;
+        } else {
+          ++cs.external_calls;
+          efferent.insert(it->second);
+        }
+      }
+    }
+    cs.efferent_modules = static_cast<std::int32_t>(efferent.size());
+    const std::int64_t resolved = cs.internal_calls + cs.external_calls;
+    cs.cohesion = resolved > 0 ? static_cast<double>(cs.internal_calls) /
+                                     static_cast<double>(resolved)
+                               : 1.0;
+    report.coupling.push_back(std::move(cs));
+  }
+  return report;
+}
+
+}  // namespace certkit::metrics

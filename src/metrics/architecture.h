@@ -1,0 +1,65 @@
+// certkit metrics: architectural-design metrics (ISO 26262-6 Table 3;
+// the paper's Table 2).
+//
+// The standard asks for restricted component size, restricted interface
+// size, high cohesion within components and restricted coupling between
+// components. Without full semantic analysis these are measured structurally:
+//  * component size      — LOC / NLOC / function count per module;
+//  * interface size      — public methods per class, parameters per function;
+//  * coupling            — for each module, the number of distinct callee
+//                          names it resolves into *other* modules (efferent
+//                          coupling over the name-level call graph);
+//  * cohesion            — fraction of resolved calls that stay within the
+//                          module (relational cohesion proxy).
+#ifndef CERTKIT_METRICS_ARCHITECTURE_H_
+#define CERTKIT_METRICS_ARCHITECTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/module_metrics.h"
+
+namespace certkit::metrics {
+
+struct InterfaceStats {
+  std::int32_t class_count = 0;
+  std::int32_t total_public_methods = 0;
+  std::int32_t max_public_methods = 0;   // widest class interface
+  std::int32_t max_params = 0;           // widest function signature
+  double mean_params = 0.0;
+  std::int32_t functions_over_param_limit = 0;  // > limit parameters
+};
+
+struct CouplingStats {
+  std::string module;
+  // Distinct other modules this module calls into.
+  std::int32_t efferent_modules = 0;
+  // Resolved call-name edges leaving the module.
+  std::int64_t external_calls = 0;
+  // Resolved call-name edges staying inside the module.
+  std::int64_t internal_calls = 0;
+  // internal / (internal + external); 1.0 when nothing resolves externally.
+  double cohesion = 1.0;
+};
+
+struct ArchitectureReport {
+  std::vector<ModuleMetrics> sizes;          // per-module component size
+  std::vector<InterfaceStats> interfaces;    // parallel to sizes
+  std::vector<CouplingStats> coupling;       // parallel to sizes
+};
+
+struct ArchitectureLimits {
+  std::int64_t max_component_nloc = 10000;  // size limit per component
+  std::int32_t max_params = 5;              // interface-width limit
+  std::int32_t max_public_methods = 20;
+};
+
+// Computes the architectural report over a set of analyzed modules.
+ArchitectureReport AnalyzeArchitecture(
+    const std::vector<ModuleAnalysis>& modules,
+    const ArchitectureLimits& limits = {});
+
+}  // namespace certkit::metrics
+
+#endif  // CERTKIT_METRICS_ARCHITECTURE_H_

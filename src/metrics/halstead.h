@@ -1,0 +1,59 @@
+// certkit metrics: Halstead software-science metrics and the maintainability
+// index — the classic complexity measures that accompany cyclomatic
+// complexity in verification-cost arguments like the paper's Observation 1.
+//
+// Token classification (documented, deterministic):
+//   operators — keyword and punctuation tokens (';', braces and parentheses
+//               included: they are program-structure operators);
+//   operands  — identifiers and literals (numbers, strings, chars).
+//
+// Definitions:
+//   n1/n2 — distinct operators/operands;  N1/N2 — total occurrences;
+//   vocabulary n = n1 + n2;  length N = N1 + N2;
+//   volume V = N log2(n);
+//   difficulty D = (n1 / 2) * (N2 / n2);
+//   effort E = D * V.
+//
+// Maintainability index (classic SEI variant, normalized to 0..100):
+//   MI = max(0, (171 - 5.2 ln(V) - 0.23 CC - 16.2 ln(NLOC)) * 100 / 171).
+#ifndef CERTKIT_METRICS_HALSTEAD_H_
+#define CERTKIT_METRICS_HALSTEAD_H_
+
+#include <cstdint>
+
+#include "ast/source_model.h"
+#include "metrics/function_metrics.h"
+
+namespace certkit::metrics {
+
+struct HalsteadMetrics {
+  std::int64_t distinct_operators = 0;  // n1
+  std::int64_t distinct_operands = 0;   // n2
+  std::int64_t total_operators = 0;     // N1
+  std::int64_t total_operands = 0;      // N2
+
+  std::int64_t Vocabulary() const {
+    return distinct_operators + distinct_operands;
+  }
+  std::int64_t Length() const { return total_operators + total_operands; }
+  double Volume() const;
+  double Difficulty() const;
+  double Effort() const;
+};
+
+// Halstead metrics over a function body (tokens [body_begin, body_end]).
+HalsteadMetrics ComputeHalstead(const ast::SourceFileModel& file,
+                                const ast::FunctionModel& fn);
+
+// Maintainability index from volume, cyclomatic complexity, and NLOC.
+// Degenerate inputs (V or NLOC < 1) clamp to the formula's bounds.
+double MaintainabilityIndex(double volume, int cyclomatic_complexity,
+                            int nloc);
+
+// Convenience: MI of a function, combining both analyses.
+double FunctionMaintainabilityIndex(const ast::SourceFileModel& file,
+                                    const ast::FunctionModel& fn);
+
+}  // namespace certkit::metrics
+
+#endif  // CERTKIT_METRICS_HALSTEAD_H_

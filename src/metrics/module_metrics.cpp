@@ -1,0 +1,50 @@
+#include "metrics/module_metrics.h"
+
+#include <algorithm>
+
+namespace certkit::metrics {
+
+ModuleAnalysis AnalyzeModule(std::string name,
+                             std::vector<ast::SourceFileModel> files) {
+  ModuleAnalysis out;
+  out.name = name;
+  out.metrics.name = std::move(name);
+  out.files = std::move(files);
+
+  std::int64_t cc_sum = 0;
+  for (const auto& file : out.files) {
+    ++out.metrics.file_count;
+    out.metrics.loc += file.lexed.lines.total;
+    out.metrics.nloc += file.lexed.lines.code;
+    out.metrics.comment_lines += file.lexed.lines.comment_only;
+    for (const auto& fn : file.functions) {
+      FunctionMetrics m = ComputeFunctionMetrics(file, fn);
+      ++out.metrics.function_count;
+      cc_sum += m.cyclomatic_complexity;
+      out.metrics.max_cc =
+          std::max(out.metrics.max_cc, m.cyclomatic_complexity);
+      switch (BandOf(m.cyclomatic_complexity)) {
+        case ComplexityBand::kLow:
+          ++out.metrics.cc_low;
+          break;
+        case ComplexityBand::kModerate:
+          ++out.metrics.cc_moderate;
+          break;
+        case ComplexityBand::kRisky:
+          ++out.metrics.cc_risky;
+          break;
+        case ComplexityBand::kUnstable:
+          ++out.metrics.cc_unstable;
+          break;
+      }
+      out.functions.push_back(std::move(m));
+    }
+  }
+  out.metrics.mean_cc =
+      out.metrics.function_count > 0
+          ? static_cast<double>(cc_sum) / out.metrics.function_count
+          : 0.0;
+  return out;
+}
+
+}  // namespace certkit::metrics

@@ -1,0 +1,57 @@
+// certkit metrics: per-module aggregation (Figure 3 of the paper).
+//
+// A "module" is a named set of translation units — in Apollo's case, the
+// top-level components (perception, planning, control, ...). The aggregation
+// reports LOC, function counts, and the cyclomatic-complexity histogram used
+// by Figure 3 (functions with CC over 10 / 20 / 50).
+#ifndef CERTKIT_METRICS_MODULE_METRICS_H_
+#define CERTKIT_METRICS_MODULE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/source_model.h"
+#include "metrics/function_metrics.h"
+
+namespace certkit::metrics {
+
+struct ModuleMetrics {
+  std::string name;
+  std::int32_t file_count = 0;
+  std::int64_t loc = 0;   // physical lines
+  std::int64_t nloc = 0;  // lines with code
+  std::int64_t comment_lines = 0;
+  std::int32_t function_count = 0;
+
+  // CC histogram (Figure 3 buckets).
+  std::int32_t cc_low = 0;       // 1–10
+  std::int32_t cc_moderate = 0;  // 11–20
+  std::int32_t cc_risky = 0;     // 21–50
+  std::int32_t cc_unstable = 0;  // >50
+  std::int32_t max_cc = 0;
+  double mean_cc = 0.0;
+
+  std::int32_t FunctionsOverCc(std::int32_t threshold) const {
+    // Supports the three thresholds the paper plots.
+    if (threshold >= 50) return cc_unstable;
+    if (threshold >= 20) return cc_risky + cc_unstable;
+    return cc_moderate + cc_risky + cc_unstable;
+  }
+};
+
+// One analyzed module: parsed files plus their function metrics.
+struct ModuleAnalysis {
+  std::string name;
+  std::vector<ast::SourceFileModel> files;
+  std::vector<FunctionMetrics> functions;  // across all files
+  ModuleMetrics metrics;
+};
+
+// Aggregates `files` (already parsed) into a ModuleAnalysis.
+ModuleAnalysis AnalyzeModule(std::string name,
+                             std::vector<ast::SourceFileModel> files);
+
+}  // namespace certkit::metrics
+
+#endif  // CERTKIT_METRICS_MODULE_METRICS_H_

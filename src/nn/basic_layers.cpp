@@ -1,0 +1,258 @@
+// BatchNorm, activation, max-pool, and upsample layers, each with its own
+// coverage unit (they model distinct files of the YOLO implementation).
+#include <algorithm>
+#include <limits>
+
+#include "coverage/coverage.h"
+#include "nn/layers.h"
+
+namespace nn {
+
+// ---------------------------------------------------------------- batchnorm
+namespace {
+struct BnProbes {
+  certkit::cov::Unit* u;
+  int d_identity;
+  enum : int { kSApply = 0, kSIdentityFast, kSCount };
+};
+BnProbes& BnP() {
+  static BnProbes p = [] {
+    BnProbes q;
+    q.u = &certkit::cov::Registry::Instance().GetOrCreate(
+        "yolo/batchnorm.cc");
+    q.u->DeclareStatements(BnProbes::kSCount);
+    q.d_identity = q.u->DeclareDecision(2);  // scale==1 && shift==0
+    return q;
+  }();
+  return p;
+}
+}  // namespace
+
+BatchNormLayer::BatchNormLayer(std::vector<float> scale,
+                               std::vector<float> shift)
+    : scale_(std::move(scale)), shift_(std::move(shift)) {
+  CERTKIT_CHECK(scale_.size() == shift_.size());
+  CERTKIT_CHECK(!scale_.empty());
+}
+
+Tensor BatchNormLayer::Forward(const Tensor& input) {
+  BnProbes& p = BnP();
+  CERTKIT_CHECK_MSG(input.c() == static_cast<int>(scale_.size()),
+                    "batchnorm channel mismatch");
+  Tensor out(input.n(), input.c(), input.h(), input.w());
+  for (int n = 0; n < input.n(); ++n) {
+    for (int c = 0; c < input.c(); ++c) {
+      const float s = scale_[static_cast<std::size_t>(c)];
+      const float b = shift_[static_cast<std::size_t>(c)];
+      const bool c_scale1 = p.u->Cond(p.d_identity, 0, s == 1.0f);
+      const bool c_shift0 = p.u->Cond(p.d_identity, 1, b == 0.0f);
+      if (p.u->Dec(p.d_identity, c_scale1 && c_shift0)) {
+        // Identity channel: copy without FMA (fast path).
+        p.u->Stmt(BnProbes::kSIdentityFast);
+        for (int y = 0; y < input.h(); ++y) {
+          for (int x = 0; x < input.w(); ++x) {
+            out.At(n, c, y, x) = input.At(n, c, y, x);
+          }
+        }
+      } else {
+        p.u->Stmt(BnProbes::kSApply);
+        for (int y = 0; y < input.h(); ++y) {
+          for (int x = 0; x < input.w(); ++x) {
+            out.At(n, c, y, x) = s * input.At(n, c, y, x) + b;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- activation
+namespace {
+struct ActProbes {
+  certkit::cov::Unit* u;
+  int d_linear, d_relu, d_negative;
+  enum : int {
+    kSLinear = 0,
+    kSReluClamp,
+    kSReluPass,
+    kSLeakyScale,
+    kSLeakyPass,
+    kSCount
+  };
+};
+ActProbes& ActP() {
+  static ActProbes p = [] {
+    ActProbes q;
+    q.u = &certkit::cov::Registry::Instance().GetOrCreate(
+        "yolo/activation.cc");
+    q.u->DeclareStatements(ActProbes::kSCount);
+    q.d_linear = q.u->DeclareDecision(1);
+    q.d_relu = q.u->DeclareDecision(1);
+    q.d_negative = q.u->DeclareDecision(1);
+    return q;
+  }();
+  return p;
+}
+}  // namespace
+
+ActivationLayer::ActivationLayer(Activation kind, float leaky_slope)
+    : kind_(kind), leaky_slope_(leaky_slope) {}
+
+Tensor ActivationLayer::Forward(const Tensor& input) {
+  ActProbes& p = ActP();
+  Tensor out(input.n(), input.c(), input.h(), input.w());
+  const float* in = input.data();
+  float* o = out.data();
+  if (p.u->Branch(p.d_linear, kind_ == Activation::kLinear)) {
+    p.u->Stmt(ActProbes::kSLinear);
+    std::copy(in, in + input.size(), o);
+    return out;
+  }
+  const bool is_relu =
+      p.u->Branch(p.d_relu, kind_ == Activation::kRelu);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float v = in[i];
+    if (p.u->Branch(p.d_negative, v < 0.0f)) {
+      if (is_relu) {
+        p.u->Stmt(ActProbes::kSReluClamp);
+        o[i] = 0.0f;
+      } else {
+        p.u->Stmt(ActProbes::kSLeakyScale);
+        o[i] = leaky_slope_ * v;
+      }
+    } else {
+      if (is_relu) {
+        p.u->Stmt(ActProbes::kSReluPass);
+      } else {
+        p.u->Stmt(ActProbes::kSLeakyPass);
+      }
+      o[i] = v;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ maxpool
+namespace {
+struct PoolProbes {
+  certkit::cov::Unit* u;
+  int d_in_bounds, d_better;
+  enum : int { kSWindow = 0, kSOutOfBounds, kSUpdateMax, kSCount };
+};
+PoolProbes& PoolP() {
+  static PoolProbes p = [] {
+    PoolProbes q;
+    q.u = &certkit::cov::Registry::Instance().GetOrCreate("yolo/pooling.cc");
+    q.u->DeclareStatements(PoolProbes::kSCount);
+    q.d_in_bounds = q.u->DeclareDecision(2);
+    q.d_better = q.u->DeclareDecision(1);
+    return q;
+  }();
+  return p;
+}
+}  // namespace
+
+MaxPoolLayer::MaxPoolLayer(int size, int stride) : size_(size),
+                                                   stride_(stride) {
+  CERTKIT_CHECK(size > 0 && stride > 0);
+}
+
+Tensor MaxPoolLayer::Forward(const Tensor& input) {
+  PoolProbes& p = PoolP();
+  const int oh = (input.h() - size_) / stride_ + 1;
+  const int ow = (input.w() - size_) / stride_ + 1;
+  CERTKIT_CHECK_MSG(oh > 0 && ow > 0, "pool output would be empty");
+  Tensor out(input.n(), input.c(), oh, ow);
+  for (int n = 0; n < input.n(); ++n) {
+    for (int c = 0; c < input.c(); ++c) {
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x) {
+          p.u->Stmt(PoolProbes::kSWindow);
+          float best = -std::numeric_limits<float>::infinity();
+          for (int ky = 0; ky < size_; ++ky) {
+            for (int kx = 0; kx < size_; ++kx) {
+              const int iy = y * stride_ + ky;
+              const int ix = x * stride_ + kx;
+              const bool cy = p.u->Cond(p.d_in_bounds, 0, iy < input.h());
+              const bool cx = p.u->Cond(p.d_in_bounds, 1, ix < input.w());
+              if (!p.u->Dec(p.d_in_bounds, cy && cx)) {
+                // Ragged edge (stride does not divide the input): skip.
+                p.u->Stmt(PoolProbes::kSOutOfBounds);
+                continue;
+              }
+              const float v = input.At(n, c, iy, ix);
+              if (p.u->Branch(p.d_better, v > best)) {
+                p.u->Stmt(PoolProbes::kSUpdateMax);
+                best = v;
+              }
+            }
+          }
+          out.At(n, c, y, x) = best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- upsample
+namespace {
+struct UpProbes {
+  certkit::cov::Unit* u;
+  int d_factor2;
+  enum : int { kSFast2x = 0, kSGeneric, kSCount };
+};
+UpProbes& UpP() {
+  static UpProbes p = [] {
+    UpProbes q;
+    q.u = &certkit::cov::Registry::Instance().GetOrCreate(
+        "yolo/upsample.cc");
+    q.u->DeclareStatements(UpProbes::kSCount);
+    q.d_factor2 = q.u->DeclareDecision(1);
+    return q;
+  }();
+  return p;
+}
+}  // namespace
+
+UpsampleLayer::UpsampleLayer(int factor) : factor_(factor) {
+  CERTKIT_CHECK(factor >= 1);
+}
+
+Tensor UpsampleLayer::Forward(const Tensor& input) {
+  UpProbes& p = UpP();
+  Tensor out(input.n(), input.c(), input.h() * factor_,
+             input.w() * factor_);
+  if (p.u->Branch(p.d_factor2, factor_ == 2)) {
+    // Unrolled 2x fast path.
+    p.u->Stmt(UpProbes::kSFast2x);
+    for (int n = 0; n < input.n(); ++n) {
+      for (int c = 0; c < input.c(); ++c) {
+        for (int y = 0; y < input.h(); ++y) {
+          for (int x = 0; x < input.w(); ++x) {
+            const float v = input.At(n, c, y, x);
+            out.At(n, c, 2 * y, 2 * x) = v;
+            out.At(n, c, 2 * y, 2 * x + 1) = v;
+            out.At(n, c, 2 * y + 1, 2 * x) = v;
+            out.At(n, c, 2 * y + 1, 2 * x + 1) = v;
+          }
+        }
+      }
+    }
+    return out;
+  }
+  p.u->Stmt(UpProbes::kSGeneric);
+  for (int n = 0; n < input.n(); ++n) {
+    for (int c = 0; c < input.c(); ++c) {
+      for (int y = 0; y < out.h(); ++y) {
+        for (int x = 0; x < out.w(); ++x) {
+          out.At(n, c, y, x) = input.At(n, c, y / factor_, x / factor_);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nn

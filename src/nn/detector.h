@@ -1,0 +1,94 @@
+// nn: the YOLO-style single-shot detector (the paper's object-detection
+// subject, §2 and §3.2).
+#ifndef NN_DETECTOR_H_
+#define NN_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace nn {
+
+struct Detection {
+  float x = 0.0f;  // center, pixels in network-input space
+  float y = 0.0f;
+  float w = 0.0f;
+  float h = 0.0f;
+  float score = 0.0f;
+  int cls = 0;
+};
+
+struct DetectorConfig {
+  int input_h = 64;
+  int input_w = 64;
+  int num_classes = 2;
+  float score_threshold = 0.5f;
+  float nms_iou_threshold = 0.45f;
+  Backend backend = Backend::kClosedSim;
+};
+
+// Sequential network container.
+class Network {
+ public:
+  void Add(std::unique_ptr<Layer> layer);
+  Tensor Forward(const Tensor& input);
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+// Decodes the head tensor (grid of [5 + classes] channels) into detections
+// above the threshold. Channels per cell: tx, ty, tw, th, objectness,
+// class scores.
+std::vector<Detection> DecodeDetections(const Tensor& head,
+                                        const DetectorConfig& config);
+
+// Greedy IoU-based non-maximum suppression (class-aware).
+std::vector<Detection> Nms(std::vector<Detection> detections,
+                           float iou_threshold);
+// Intersection-over-union of two center-format boxes.
+float Iou(const Detection& a, const Detection& b);
+
+// The detector: preprocess -> backbone -> head -> decode -> NMS.
+class TinyYoloDetector {
+ public:
+  explicit TinyYoloDetector(const DetectorConfig& config);
+
+  // Runs detection on a raw frame (any size; values 0..255).
+  std::vector<Detection> Detect(const Tensor& frame);
+
+  const DetectorConfig& config() const { return config_; }
+  Network& network() { return network_; }
+
+ private:
+  DetectorConfig config_;
+  Network network_;
+};
+
+// Weight constructors.
+// Random (He-style) weights — used by the performance benchmarks, where
+// values are irrelevant.
+void InitRandomWeights(TinyYoloDetector* detector, std::uint64_t seed);
+// Handcrafted "blob detector" weights: convolutions average brightness and
+// the head maps bright regions to confident cell-sized detections. This
+// makes the untrained network a *working* detector for the synthetic camera
+// frames of the AD pipeline.
+void InitBlobDetectorWeights(TinyYoloDetector* detector);
+
+// Validated weight blob loading (versioned header + checksum), exercising
+// the error paths a deployed loader needs.
+struct WeightsBlob {
+  std::vector<float> values;
+};
+bool SerializeWeights(const std::vector<float>& values, std::string* out);
+bool DeserializeWeights(const std::string& buffer, WeightsBlob* out,
+                        std::string* error);
+
+}  // namespace nn
+
+#endif  // NN_DETECTOR_H_

@@ -1,0 +1,107 @@
+// nn: layers of the YOLO-style detector.
+//
+// Every layer's implementation file registers a coverage unit named after
+// itself (e.g. "yolo/conv_layer.cc"); the Figure 5 benchmark runs the
+// detector on real-scenario inputs and reports per-file statement, branch,
+// and MC/DC coverage from these probes — the reproduction of the paper's
+// RapiCover measurement of Apollo's object-detection code.
+#ifndef NN_LAYERS_H_
+#define NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace nn {
+
+// Which kernel library backs the convolutions (Figure 7's comparison).
+enum class Backend {
+  kClosedSim,  // cudnn_sim / cublas_sim stand-ins for the vendor libraries
+  kOpenSim,    // isaac_sim / cutlass_sim stand-ins for the open libraries
+  kCpuNaive,   // single-threaded CPU reference (ATLAS/OpenBLAS stand-in)
+};
+const char* BackendName(Backend backend);
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual Tensor Forward(const Tensor& input) = 0;
+  virtual std::string Name() const = 0;
+};
+
+enum class Activation { kLinear, kRelu, kLeakyRelu };
+
+class ConvLayer : public Layer {
+ public:
+  // Weights are [out_c, in_c, k, k]; bias is [out_c] (may be empty).
+  ConvLayer(int in_c, int out_c, int kernel, int stride, int pad,
+            std::vector<float> weights, std::vector<float> bias,
+            Backend backend);
+  Tensor Forward(const Tensor& input) override;
+  std::string Name() const override { return "conv"; }
+  int out_channels() const { return out_c_; }
+  std::vector<float>& mutable_weights() { return weights_; }
+  std::vector<float>& mutable_bias() { return bias_; }
+
+ private:
+  int in_c_, out_c_, kernel_, stride_, pad_;
+  std::vector<float> weights_;
+  std::vector<float> bias_;
+  Backend backend_;
+};
+
+class BatchNormLayer : public Layer {
+ public:
+  // Folded form: y = scale[c] * x + shift[c].
+  BatchNormLayer(std::vector<float> scale, std::vector<float> shift);
+  Tensor Forward(const Tensor& input) override;
+  std::string Name() const override { return "batchnorm"; }
+  std::vector<float>& mutable_scale() { return scale_; }
+  std::vector<float>& mutable_shift() { return shift_; }
+
+ private:
+  std::vector<float> scale_;
+  std::vector<float> shift_;
+};
+
+class ActivationLayer : public Layer {
+ public:
+  explicit ActivationLayer(Activation kind, float leaky_slope = 0.1f);
+  Tensor Forward(const Tensor& input) override;
+  std::string Name() const override { return "activation"; }
+
+ private:
+  Activation kind_;
+  float leaky_slope_;
+};
+
+class MaxPoolLayer : public Layer {
+ public:
+  MaxPoolLayer(int size, int stride);
+  Tensor Forward(const Tensor& input) override;
+  std::string Name() const override { return "maxpool"; }
+
+ private:
+  int size_, stride_;
+};
+
+class UpsampleLayer : public Layer {
+ public:
+  explicit UpsampleLayer(int factor);
+  Tensor Forward(const Tensor& input) override;
+  std::string Name() const override { return "upsample"; }
+
+ private:
+  int factor_;
+};
+
+// Normalizes a raw frame into network input; handles letterboxing when the
+// aspect ratio differs from the target (a path typical square scenarios
+// never exercise — one of the Figure 5 coverage gaps).
+Tensor Preprocess(const Tensor& frame, int target_h, int target_w);
+
+}  // namespace nn
+
+#endif  // NN_LAYERS_H_

@@ -1,0 +1,100 @@
+// Sequential network container and the TinyYolo detector assembly.
+#include "coverage/coverage.h"
+#include "nn/detector.h"
+
+namespace nn {
+
+namespace {
+struct NetProbes {
+  certkit::cov::Unit* u;
+  int d_empty;
+  enum : int { kSForwardLayer = 0, kSEmptyNetwork, kSDetect, kSCount };
+};
+NetProbes& P() {
+  static NetProbes p = [] {
+    NetProbes q;
+    q.u = &certkit::cov::Registry::Instance().GetOrCreate(
+        "yolo/network.cc");
+    q.u->DeclareStatements(NetProbes::kSCount);
+    q.d_empty = q.u->DeclareDecision(1);
+    return q;
+  }();
+  return p;
+}
+}  // namespace
+
+void Network::Add(std::unique_ptr<Layer> layer) {
+  CERTKIT_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Network::Forward(const Tensor& input) {
+  NetProbes& p = P();
+  if (p.u->Branch(p.d_empty, layers_.empty())) {
+    // Degenerate configuration: identity. Never reached by a real detector.
+    p.u->Stmt(NetProbes::kSEmptyNetwork);
+    return input;
+  }
+  Tensor t = input;
+  for (auto& layer : layers_) {
+    p.u->Stmt(NetProbes::kSForwardLayer);
+    t = layer->Forward(t);
+  }
+  return t;
+}
+
+TinyYoloDetector::TinyYoloDetector(const DetectorConfig& config)
+    : config_(config) {
+  CERTKIT_CHECK(config.input_h % 16 == 0 && config.input_w % 16 == 0);
+  const Backend be = config.backend;
+  auto conv = [&](int in_c, int out_c, int k, int stride, int pad) {
+    const std::size_t wn =
+        static_cast<std::size_t>(out_c) * in_c * k * k;
+    network_.Add(std::make_unique<ConvLayer>(
+        in_c, out_c, k, stride, pad, std::vector<float>(wn, 0.0f),
+        std::vector<float>(static_cast<std::size_t>(out_c), 0.0f), be));
+  };
+  auto bn = [&](int channels) {
+    network_.Add(std::make_unique<BatchNormLayer>(
+        std::vector<float>(static_cast<std::size_t>(channels), 1.0f),
+        std::vector<float>(static_cast<std::size_t>(channels), 0.0f)));
+  };
+  auto leaky = [&] {
+    network_.Add(
+        std::make_unique<ActivationLayer>(Activation::kLeakyRelu, 0.1f));
+  };
+  auto pool = [&] { network_.Add(std::make_unique<MaxPoolLayer>(2, 2)); };
+
+  // Backbone: 64 -> 32 -> 16 -> 8, then upsample to a 16x16 detection grid.
+  conv(3, 8, 3, 1, 1);
+  bn(8);
+  leaky();
+  pool();
+  conv(8, 16, 3, 1, 1);
+  bn(16);
+  leaky();
+  pool();
+  conv(16, 32, 3, 1, 1);
+  bn(32);
+  leaky();
+  pool();
+  conv(32, 32, 3, 1, 1);
+  bn(32);
+  leaky();
+  network_.Add(std::make_unique<UpsampleLayer>(2));
+  // Head: 1x1 conv to [tx, ty, tw, th, obj, classes...] with a linear
+  // activation (the decoder applies its own sigmoids).
+  conv(32, 5 + config.num_classes, 1, 1, 0);
+  network_.Add(std::make_unique<ActivationLayer>(Activation::kLinear));
+}
+
+std::vector<Detection> TinyYoloDetector::Detect(const Tensor& frame) {
+  NetProbes& p = P();
+  p.u->Stmt(NetProbes::kSDetect);
+  Tensor input = Preprocess(frame, config_.input_h, config_.input_w);
+  Tensor head = network_.Forward(input);
+  std::vector<Detection> dets = DecodeDetections(head, config_);
+  return Nms(std::move(dets), config_.nms_iou_threshold);
+}
+
+}  // namespace nn

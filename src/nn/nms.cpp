@@ -1,0 +1,90 @@
+// Non-maximum suppression.
+#include <algorithm>
+
+#include "coverage/coverage.h"
+#include "nn/detector.h"
+
+namespace nn {
+
+namespace {
+struct NmsProbes {
+  certkit::cov::Unit* u;
+  int d_suppress;     // same class && IoU over threshold
+  int d_no_overlap;   // zero intersection fast path
+  enum : int {
+    kSKeep = 0,
+    kSSuppress,
+    kSZeroOverlap,
+    kSOverlapCompute,
+    kSCount
+  };
+};
+NmsProbes& P() {
+  static NmsProbes p = [] {
+    NmsProbes q;
+    q.u = &certkit::cov::Registry::Instance().GetOrCreate("yolo/nms.cc");
+    q.u->DeclareStatements(NmsProbes::kSCount);
+    q.d_suppress = q.u->DeclareDecision(2);
+    q.d_no_overlap = q.u->DeclareDecision(2);  // dx <= 0 || dy <= 0
+    return q;
+  }();
+  return p;
+}
+}  // namespace
+
+float Iou(const Detection& a, const Detection& b) {
+  NmsProbes& p = P();
+  const float ax0 = a.x - a.w / 2, ax1 = a.x + a.w / 2;
+  const float ay0 = a.y - a.h / 2, ay1 = a.y + a.h / 2;
+  const float bx0 = b.x - b.w / 2, bx1 = b.x + b.w / 2;
+  const float by0 = b.y - b.h / 2, by1 = b.y + b.h / 2;
+  const float dx = std::min(ax1, bx1) - std::max(ax0, bx0);
+  const float dy = std::min(ay1, by1) - std::max(ay0, by0);
+  const bool no_x = p.u->Cond(p.d_no_overlap, 0, dx <= 0.0f);
+  const bool no_y = p.u->Cond(p.d_no_overlap, 1, dy <= 0.0f);
+  if (p.u->Dec(p.d_no_overlap, no_x || no_y)) {
+    p.u->Stmt(NmsProbes::kSZeroOverlap);
+    return 0.0f;
+  }
+  p.u->Stmt(NmsProbes::kSOverlapCompute);
+  const float inter = dx * dy;
+  const float area_a = a.w * a.h;
+  const float area_b = b.w * b.h;
+  const float uni = area_a + area_b - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+std::vector<Detection> Nms(std::vector<Detection> detections,
+                           float iou_threshold) {
+  NmsProbes& p = P();
+  // Score-descending with a positional tie-break so that equal-score
+  // detections are ordered deterministically regardless of backend.
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.y != b.y) return a.y < b.y;
+              if (a.x != b.x) return a.x < b.x;
+              return a.cls < b.cls;
+            });
+  std::vector<Detection> kept;
+  std::vector<bool> suppressed(detections.size(), false);
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    if (suppressed[i]) continue;
+    p.u->Stmt(NmsProbes::kSKeep);
+    kept.push_back(detections[i]);
+    for (std::size_t j = i + 1; j < detections.size(); ++j) {
+      if (suppressed[j]) continue;
+      const bool same_cls =
+          p.u->Cond(p.d_suppress, 0, detections[i].cls == detections[j].cls);
+      const bool over = p.u->Cond(
+          p.d_suppress, 1, Iou(detections[i], detections[j]) > iou_threshold);
+      if (p.u->Dec(p.d_suppress, same_cls && over)) {
+        p.u->Stmt(NmsProbes::kSSuppress);
+        suppressed[j] = true;
+      }
+    }
+  }
+  return kept;
+}
+
+}  // namespace nn

@@ -1,0 +1,123 @@
+// Frame preprocessing: normalization, resize, and letterboxing.
+#include <algorithm>
+
+#include "coverage/coverage.h"
+#include "nn/layers.h"
+
+namespace nn {
+
+namespace {
+struct PreProbes {
+  certkit::cov::Unit* u;
+  int d_same_size, d_aspect_match, d_pad_pixel;
+  enum : int {
+    kSNormalizeOnly = 0,
+    kSResize,
+    kSLetterboxSetup,
+    kSLetterboxPad,
+    kSLetterboxCopy,
+    kSCount
+  };
+};
+PreProbes& P() {
+  static PreProbes p = [] {
+    PreProbes q;
+    q.u = &certkit::cov::Registry::Instance().GetOrCreate(
+        "yolo/preprocess.cc");
+    q.u->DeclareStatements(PreProbes::kSCount);
+    q.d_same_size = q.u->DeclareDecision(2);  // h match && w match
+    q.d_aspect_match = q.u->DeclareDecision(1);
+    q.d_pad_pixel = q.u->DeclareDecision(2);
+    return q;
+  }();
+  return p;
+}
+
+// Nearest-neighbour sample of channel c at fractional position.
+float Sample(const Tensor& t, int n, int c, float fy, float fx) {
+  int y = static_cast<int>(fy);
+  int x = static_cast<int>(fx);
+  y = std::clamp(y, 0, t.h() - 1);
+  x = std::clamp(x, 0, t.w() - 1);
+  return t.At(n, c, y, x);
+}
+
+}  // namespace
+
+Tensor Preprocess(const Tensor& frame, int target_h, int target_w) {
+  PreProbes& p = P();
+  CERTKIT_CHECK(target_h > 0 && target_w > 0);
+  constexpr float kScale = 1.0f / 255.0f;
+
+  const bool hm = p.u->Cond(p.d_same_size, 0, frame.h() == target_h);
+  const bool wm = p.u->Cond(p.d_same_size, 1, frame.w() == target_w);
+  if (p.u->Dec(p.d_same_size, hm && wm)) {
+    // Already the right size: normalize in place.
+    p.u->Stmt(PreProbes::kSNormalizeOnly);
+    Tensor out(frame.n(), frame.c(), target_h, target_w);
+    const float* in = frame.data();
+    float* o = out.data();
+    for (std::size_t i = 0; i < frame.size(); ++i) o[i] = in[i] * kScale;
+    return out;
+  }
+
+  const float frame_aspect =
+      static_cast<float>(frame.w()) / static_cast<float>(frame.h());
+  const float target_aspect =
+      static_cast<float>(target_w) / static_cast<float>(target_h);
+  Tensor out(frame.n(), frame.c(), target_h, target_w);
+
+  if (p.u->Branch(p.d_aspect_match,
+                  std::abs(frame_aspect - target_aspect) < 1e-6f)) {
+    // Plain resize.
+    p.u->Stmt(PreProbes::kSResize);
+    const float sy = static_cast<float>(frame.h()) / target_h;
+    const float sx = static_cast<float>(frame.w()) / target_w;
+    for (int n = 0; n < frame.n(); ++n) {
+      for (int c = 0; c < frame.c(); ++c) {
+        for (int y = 0; y < target_h; ++y) {
+          for (int x = 0; x < target_w; ++x) {
+            out.At(n, c, y, x) =
+                Sample(frame, n, c, y * sy, x * sx) * kScale;
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  // Letterbox: preserve aspect, pad with mid-grey. Typical square scenario
+  // frames never reach this path — a deliberate Figure 5 coverage gap.
+  p.u->Stmt(PreProbes::kSLetterboxSetup);
+  const float scale =
+      std::min(static_cast<float>(target_w) / frame.w(),
+               static_cast<float>(target_h) / frame.h());
+  const int new_w = static_cast<int>(frame.w() * scale);
+  const int new_h = static_cast<int>(frame.h() * scale);
+  const int off_x = (target_w - new_w) / 2;
+  const int off_y = (target_h - new_h) / 2;
+  for (int n = 0; n < frame.n(); ++n) {
+    for (int c = 0; c < frame.c(); ++c) {
+      for (int y = 0; y < target_h; ++y) {
+        for (int x = 0; x < target_w; ++x) {
+          const bool in_y =
+              p.u->Cond(p.d_pad_pixel, 0, y >= off_y && y < off_y + new_h);
+          const bool in_x =
+              p.u->Cond(p.d_pad_pixel, 1, x >= off_x && x < off_x + new_w);
+          if (p.u->Dec(p.d_pad_pixel, in_y && in_x)) {
+            p.u->Stmt(PreProbes::kSLetterboxCopy);
+            out.At(n, c, y, x) =
+                Sample(frame, n, c, (y - off_y) / scale, (x - off_x) / scale) *
+                kScale;
+          } else {
+            p.u->Stmt(PreProbes::kSLetterboxPad);
+            out.At(n, c, y, x) = 0.5f;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nn

@@ -1,0 +1,51 @@
+// nn: a minimal NCHW float tensor for the detector substrate.
+#ifndef NN_TENSOR_H_
+#define NN_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "support/check.h"
+
+namespace nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int n, int c, int h, int w)
+      : n_(n), c_(c), h_(h), w_(w),
+        data_(static_cast<std::size_t>(n) * c * h * w, 0.0f) {
+    CERTKIT_CHECK(n > 0 && c > 0 && h > 0 && w > 0);
+  }
+
+  int n() const { return n_; }
+  int c() const { return c_; }
+  int h() const { return h_; }
+  int w() const { return w_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& At(int n, int c, int y, int x) {
+    return data_[Index(n, c, y, x)];
+  }
+  float At(int n, int c, int y, int x) const {
+    return data_[Index(n, c, y, x)];
+  }
+
+ private:
+  std::size_t Index(int n, int c, int y, int x) const {
+    CERTKIT_CHECK(n >= 0 && n < n_ && c >= 0 && c < c_ && y >= 0 && y < h_ &&
+                  x >= 0 && x < w_);
+    return ((static_cast<std::size_t>(n) * c_ + c) * h_ + y) * w_ + x;
+  }
+
+  int n_ = 0, c_ = 0, h_ = 0, w_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace nn
+
+#endif  // NN_TENSOR_H_

@@ -1,0 +1,194 @@
+// Weight initialization and the validated weight-blob (de)serializer.
+#include <cmath>
+#include <cstring>
+
+#include "coverage/coverage.h"
+#include "nn/detector.h"
+#include "support/rng.h"
+
+namespace nn {
+
+namespace {
+struct WProbes {
+  certkit::cov::Unit* u;
+  int d_too_short, d_bad_magic, d_bad_count, d_bad_checksum;
+  enum : int {
+    kSSerialize = 0,
+    kSDeserializeOk,
+    kSErrTooShort,
+    kSErrMagic,
+    kSErrCount,
+    kSErrChecksum,
+    kSRandomInit,
+    kSBlobInit,
+    kSCount
+  };
+};
+WProbes& P() {
+  static WProbes p = [] {
+    WProbes q;
+    q.u = &certkit::cov::Registry::Instance().GetOrCreate(
+        "yolo/weights.cc");
+    q.u->DeclareStatements(WProbes::kSCount);
+    q.d_too_short = q.u->DeclareDecision(1);
+    q.d_bad_magic = q.u->DeclareDecision(1);
+    q.d_bad_count = q.u->DeclareDecision(1);
+    q.d_bad_checksum = q.u->DeclareDecision(1);
+    return q;
+  }();
+  return p;
+}
+
+constexpr char kMagic[4] = {'C', 'K', 'W', '1'};
+
+std::uint32_t Checksum(const float* values, std::size_t count) {
+  std::uint32_t sum = 2166136261u;  // FNV-1a over the raw bytes
+  const auto* bytes = reinterpret_cast<const unsigned char*>(values);
+  for (std::size_t i = 0; i < count * sizeof(float); ++i) {
+    sum ^= bytes[i];
+    sum *= 16777619u;
+  }
+  return sum;
+}
+
+// Applies `fn(conv_index, layer)` to every ConvLayer of the detector.
+template <typename Fn>
+void ForEachConv(TinyYoloDetector* detector, Fn&& fn) {
+  Network& net = detector->network();
+  int conv_index = 0;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    if (auto* conv = dynamic_cast<ConvLayer*>(&net.layer(i))) {
+      fn(conv_index++, conv);
+    }
+  }
+}
+
+}  // namespace
+
+void InitRandomWeights(TinyYoloDetector* detector, std::uint64_t seed) {
+  WProbes& p = P();
+  p.u->Stmt(WProbes::kSRandomInit);
+  certkit::support::Xoshiro256 rng(seed);
+  ForEachConv(detector, [&](int, ConvLayer* conv) {
+    auto& w = conv->mutable_weights();
+    const double stddev = std::sqrt(2.0 / static_cast<double>(w.size()));
+    for (auto& v : w) {
+      v = static_cast<float>(rng.Gaussian(0.0, stddev));
+    }
+    for (auto& b : conv->mutable_bias()) {
+      b = static_cast<float>(rng.Gaussian(0.0, 0.01));
+    }
+  });
+  // Trained batch-norm parameters are not identity.
+  Network& net = detector->network();
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    if (auto* bn = dynamic_cast<BatchNormLayer*>(&net.layer(i))) {
+      for (auto& s : bn->mutable_scale()) {
+        s = static_cast<float>(rng.UniformDouble(0.8, 1.2));
+      }
+      for (auto& sh : bn->mutable_shift()) {
+        sh = static_cast<float>(rng.Gaussian(0.0, 0.05));
+      }
+    }
+  }
+}
+
+void InitBlobDetectorWeights(TinyYoloDetector* detector) {
+  WProbes& p = P();
+  p.u->Stmt(WProbes::kSBlobInit);
+  const int classes = detector->config().num_classes;
+  ForEachConv(detector, [&](int conv_index, ConvLayer* conv) {
+    auto& w = conv->mutable_weights();
+    auto& b = conv->mutable_bias();
+    if (conv_index < 4) {
+      // Backbone convolutions: per-output-channel averaging of all inputs,
+      // so activations track local brightness.
+      // Weight layout [out_c, in_c, k, k]; each value 1 / (in_c * k * k)
+      // normalizes the average.
+      const std::size_t fan_in = w.size() / b.size();  // in_c * k * k
+      const float norm = 1.0f / static_cast<float>(fan_in);
+      for (auto& v : w) v = norm;
+      for (auto& bias : b) bias = 0.0f;
+      return;
+    }
+    // Head (1x1): channels are [tx, ty, tw, th, obj, cls...], inputs are 32
+    // brightness channels.
+    const int in_c = 32;
+    std::fill(w.begin(), w.end(), 0.0f);
+    std::fill(b.begin(), b.end(), 0.0f);
+    // tx, ty: zero -> sigmoid 0.5 -> box centered in its cell.
+    // tw, th: bias 1.1 -> box about 3 cells wide.
+    b[2] = 1.1f;
+    b[3] = 1.1f;
+    // Objectness: 0.5 per brightness channel. The averaging backbone
+    // dilutes a car-sized blob (~9x4 px) to v ~= 0.33 at its head cell
+    // while road background sits near v ~= 0.09, so the bias separates
+    // those two operating points (logits ~ +1.8 vs ~ -1.9).
+    for (int c = 0; c < in_c; ++c) {
+      w[static_cast<std::size_t>(4) * in_c + c] = 0.5f;
+    }
+    b[4] = -3.4f;
+    // Class 0 wins unconditionally (single-class scenarios).
+    if (classes > 0) b[5] = 1.0f;
+  });
+}
+
+bool SerializeWeights(const std::vector<float>& values, std::string* out) {
+  WProbes& p = P();
+  p.u->Stmt(WProbes::kSSerialize);
+  CERTKIT_CHECK(out != nullptr);
+  out->clear();
+  out->append(kMagic, sizeof(kMagic));
+  const std::uint32_t count = static_cast<std::uint32_t>(values.size());
+  out->append(reinterpret_cast<const char*>(&count), sizeof(count));
+  out->append(reinterpret_cast<const char*>(values.data()),
+              values.size() * sizeof(float));
+  const std::uint32_t sum = Checksum(values.data(), values.size());
+  out->append(reinterpret_cast<const char*>(&sum), sizeof(sum));
+  return true;
+}
+
+bool DeserializeWeights(const std::string& buffer, WeightsBlob* out,
+                        std::string* error) {
+  WProbes& p = P();
+  CERTKIT_CHECK(out != nullptr && error != nullptr);
+  constexpr std::size_t kHeader = sizeof(kMagic) + sizeof(std::uint32_t);
+  if (p.u->Branch(p.d_too_short, buffer.size() < kHeader + sizeof(std::uint32_t))) {
+    p.u->Stmt(WProbes::kSErrTooShort);
+    *error = "weight blob too short";
+    return false;
+  }
+  if (p.u->Branch(p.d_bad_magic,
+                  std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) != 0)) {
+    p.u->Stmt(WProbes::kSErrMagic);
+    *error = "bad magic";
+    return false;
+  }
+  std::uint32_t count = 0;
+  std::memcpy(&count, buffer.data() + sizeof(kMagic), sizeof(count));
+  const std::size_t expected =
+      kHeader + static_cast<std::size_t>(count) * sizeof(float) +
+      sizeof(std::uint32_t);
+  if (p.u->Branch(p.d_bad_count, buffer.size() != expected)) {
+    p.u->Stmt(WProbes::kSErrCount);
+    *error = "count does not match payload size";
+    return false;
+  }
+  out->values.resize(count);
+  std::memcpy(out->values.data(), buffer.data() + kHeader,
+              static_cast<std::size_t>(count) * sizeof(float));
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, buffer.data() + expected - sizeof(stored),
+              sizeof(stored));
+  if (p.u->Branch(p.d_bad_checksum,
+                  stored != Checksum(out->values.data(),
+                                     out->values.size()))) {
+    p.u->Stmt(WProbes::kSErrChecksum);
+    *error = "checksum mismatch";
+    return false;
+  }
+  p.u->Stmt(WProbes::kSDeserializeOk);
+  return true;
+}
+
+}  // namespace nn

@@ -1,0 +1,105 @@
+#include "report/renderers.h"
+
+#include "report/table.h"
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace certkit::report {
+
+namespace {
+std::string Num(std::int64_t v) { return std::to_string(v); }
+}  // namespace
+
+std::string RenderTechniqueAssessment(
+    const rules::TechniqueTable& table,
+    const rules::TableAssessment& assessment) {
+  CERTKIT_CHECK(table.techniques.size() == assessment.assessments.size());
+  Table out({"#", "Technique", "A", "B", "C", "D", "Verdict", "Evidence"});
+  for (std::size_t i = 0; i < table.techniques.size(); ++i) {
+    const auto& tech = table.techniques[i];
+    const auto& assess = assessment.assessments[i];
+    out.AddRow({tech.id, tech.name,
+                rules::RecommendationMark(tech.At(rules::Asil::kA)),
+                rules::RecommendationMark(tech.At(rules::Asil::kB)),
+                rules::RecommendationMark(tech.At(rules::Asil::kC)),
+                rules::RecommendationMark(tech.At(rules::Asil::kD)),
+                rules::VerdictName(assess.verdict), assess.evidence});
+  }
+  return table.caption + "\n" + out.ToAscii();
+}
+
+std::string RenderModuleComplexity(
+    const std::vector<metrics::ModuleMetrics>& modules) {
+  Table out({"Module", "LOC", "NLOC", "Files", "Functions", "CC>10", "CC>20",
+             "CC>50", "MaxCC", "MeanCC"});
+  std::int64_t loc = 0, funcs = 0, over10 = 0, over20 = 0, over50 = 0;
+  for (const auto& m : modules) {
+    out.AddRow({m.name, Num(m.loc), Num(m.nloc), Num(m.file_count),
+                Num(m.function_count), Num(m.FunctionsOverCc(10)),
+                Num(m.FunctionsOverCc(20)), Num(m.FunctionsOverCc(50)),
+                Num(m.max_cc), support::FormatDouble(m.mean_cc, 2)});
+    loc += m.loc;
+    funcs += m.function_count;
+    over10 += m.FunctionsOverCc(10);
+    over20 += m.FunctionsOverCc(20);
+    over50 += m.FunctionsOverCc(50);
+  }
+  out.AddRow({"TOTAL", Num(loc), "", "", Num(funcs), Num(over10), Num(over20),
+              Num(over50), "", ""});
+  return out.ToAscii();
+}
+
+std::string RenderCoverage(const std::vector<cov::CoverageRow>& rows,
+                           bool include_mcdc) {
+  std::vector<std::string> headers = {"Unit", "Statement", "Branch"};
+  if (include_mcdc) headers.push_back("MC/DC");
+  Table out(headers);
+  for (const auto& r : rows) {
+    std::vector<std::string> cells = {r.unit, Percent(r.statement),
+                                      Percent(r.branch)};
+    if (include_mcdc) cells.push_back(Percent(r.mcdc));
+    out.AddRow(std::move(cells));
+  }
+  const cov::CoverageRow avg = cov::Average(rows);
+  std::vector<std::string> cells = {"AVERAGE", Percent(avg.statement),
+                                    Percent(avg.branch)};
+  if (include_mcdc) cells.push_back(Percent(avg.mcdc));
+  out.AddRow(std::move(cells));
+  return out.ToAscii();
+}
+
+std::string RenderArchitecture(const metrics::ArchitectureReport& report) {
+  Table out({"Module", "NLOC", "Classes", "MaxPubMethods", "MeanParams",
+             "MaxParams", "EfferentModules", "Cohesion"});
+  for (std::size_t i = 0; i < report.sizes.size(); ++i) {
+    const auto& size = report.sizes[i];
+    const auto& iface = report.interfaces[i];
+    const auto& coup = report.coupling[i];
+    out.AddRow({size.name, Num(size.nloc), Num(iface.class_count),
+                Num(iface.max_public_methods),
+                support::FormatDouble(iface.mean_params, 2),
+                Num(iface.max_params), Num(coup.efferent_modules),
+                support::FormatDouble(coup.cohesion, 2)});
+  }
+  return out.ToAscii();
+}
+
+std::string RenderUnitDesignStats(
+    const std::vector<rules::UnitDesignStats>& stats) {
+  Table out({"Module", "Funcs", "MultiExit", "DynAlloc", "Uninit", "Shadow",
+             "MutGlobals", "PtrParams", "Casts", "Goto", "Recursion"});
+  for (const auto& s : stats) {
+    out.AddRow({s.module, Num(s.functions_total),
+                Num(s.functions_multi_exit) + " (" +
+                    Percent(s.MultiExitFraction()) + ")",
+                Num(s.dynamic_alloc_sites), Num(s.uninitialized_locals),
+                Num(s.shadowing_decls), Num(s.mutable_globals),
+                Num(s.pointer_params), Num(s.explicit_casts),
+                Num(s.goto_statements),
+                Num(s.recursive_functions_direct) + "+" +
+                    Num(s.recursion_cycles_indirect) + "cyc"});
+  }
+  return out.ToAscii();
+}
+
+}  // namespace certkit::report

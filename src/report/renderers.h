@@ -1,0 +1,39 @@
+// certkit report: renderers that turn analysis results into the tables the
+// paper prints.
+#ifndef CERTKIT_REPORT_RENDERERS_H_
+#define CERTKIT_REPORT_RENDERERS_H_
+
+#include <string>
+#include <vector>
+
+#include "coverage/coverage.h"
+#include "metrics/architecture.h"
+#include "metrics/module_metrics.h"
+#include "rules/iso26262.h"
+#include "rules/unit_design.h"
+
+namespace certkit::report {
+
+// ISO technique table with per-ASIL marks, assessed verdicts and evidence —
+// the layout of the paper's Tables 1–3 extended with the measured columns.
+std::string RenderTechniqueAssessment(const rules::TechniqueTable& table,
+                                      const rules::TableAssessment& assessment);
+
+// Figure 3 data: per-module LOC, functions, and CC-threshold counts.
+std::string RenderModuleComplexity(
+    const std::vector<metrics::ModuleMetrics>& modules);
+
+// Figure 5 / Figure 6 data: per-unit coverage rows plus the average.
+std::string RenderCoverage(const std::vector<cov::CoverageRow>& rows,
+                           bool include_mcdc);
+
+// Table 2 support: per-module architectural metrics.
+std::string RenderArchitecture(const metrics::ArchitectureReport& report);
+
+// Table 3 support: per-module unit-design statistics.
+std::string RenderUnitDesignStats(
+    const std::vector<rules::UnitDesignStats>& stats);
+
+}  // namespace certkit::report
+
+#endif  // CERTKIT_REPORT_RENDERERS_H_

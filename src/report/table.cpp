@@ -1,0 +1,89 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace certkit::report {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CERTKIT_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  CERTKIT_CHECK_MSG(cells.size() == headers_.size(),
+                    "row has " << cells.size() << " cells, table has "
+                               << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToAscii() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ' + row[c] + std::string(widths[c] - row[c].size(), ' ') +
+              " |";
+    }
+    return line + '\n';
+  };
+  std::string sep = "+";
+  for (std::size_t w : widths) sep += std::string(w + 2, '-') + '+';
+  sep += '\n';
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    return '"' + support::ReplaceAll(cell, "\"", "\"\"") + '"';
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << escape(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Table::ToMarkdown() const {
+  auto render_row = [](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (const auto& cell : row) line += ' ' + cell + " |";
+    return line + '\n';
+  };
+  std::string out = render_row(headers_) + "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out += " --- |";
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Percent(double ratio) {
+  return support::FormatDouble(100.0 * ratio, 1) + "%";
+}
+
+}  // namespace certkit::report

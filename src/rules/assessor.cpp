@@ -1,0 +1,428 @@
+#include "rules/assessor.h"
+
+#include <unordered_map>
+
+#include "support/strings.h"
+
+namespace certkit::rules {
+
+namespace {
+
+using support::FormatDouble;
+
+std::string Num(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+Assessor::Assessor(const std::vector<metrics::ModuleAnalysis>* modules,
+                   const std::vector<RawSource>* raw_sources,
+                   const AssessorThresholds& thresholds)
+    : modules_(*modules), thresholds_(thresholds) {
+  std::unordered_map<std::string, const std::string*> raw_by_path;
+  if (raw_sources != nullptr) {
+    for (const auto& rs : *raw_sources) raw_by_path[rs.path] = &rs.text;
+  }
+
+  std::vector<ast::SourceFileModel const*> all_files;
+  for (const auto& mod : modules_) {
+    unit_design_.push_back(AnalyzeUnitDesign(mod));
+    total_functions_ += mod.metrics.function_count;
+    total_nloc_ += mod.metrics.nloc;
+    for (const auto& file : mod.files) {
+      all_files.push_back(&file);
+      total_casts_ += static_cast<std::int64_t>(file.casts.size());
+      misra_reports_.push_back(CheckMisra(file));
+      auto it = raw_by_path.find(file.path);
+      if (it != raw_by_path.end()) {
+        StyleResult sr = CheckStyle(file, *it->second);
+        style_total_.lines_checked += sr.stats.lines_checked;
+        style_total_.violations += sr.stats.violations;
+        // Naming-only subtotal for Table 1 row 8.
+        for (const auto& f : sr.report.findings) {
+          if (support::StartsWith(f.rule_id, "STYLE-") &&
+              (support::Contains(f.rule_id, "NAME"))) {
+            ++naming_total_.violations;
+          }
+        }
+        naming_total_.lines_checked +=
+            static_cast<std::int64_t>(file.types.size() +
+                                      file.functions.size() +
+                                      file.globals.size() +
+                                      file.macros.size());
+      }
+    }
+  }
+  // Defensive analysis groups by module (cross-module name resolution adds
+  // little and copying file models is heavy).
+  for (const auto& mod : modules_) {
+    DefensiveResult dr = AnalyzeDefensive(mod.files);
+    defensive_.stats.functions_with_params +=
+        dr.stats.functions_with_params;
+    defensive_.stats.functions_validating_inputs +=
+        dr.stats.functions_validating_inputs;
+    defensive_.stats.call_sites_checked += dr.stats.call_sites_checked;
+    defensive_.stats.discarded_results += dr.stats.discarded_results;
+    defensive_.stats.assertion_sites += dr.stats.assertion_sites;
+    for (auto& f : dr.report.findings) {
+      defensive_.report.findings.push_back(std::move(f));
+    }
+    defensive_.report.entities_checked += dr.report.entities_checked;
+  }
+  architecture_ = metrics::AnalyzeArchitecture(
+      modules_, metrics::ArchitectureLimits{thresholds_.max_component_nloc,
+                                            thresholds_.max_params, 20});
+}
+
+std::int64_t Assessor::functions_cc_over(int threshold) const {
+  std::int64_t n = 0;
+  for (const auto& mod : modules_) {
+    n += mod.metrics.FunctionsOverCc(threshold);
+  }
+  return n;
+}
+
+TableAssessment Assessor::AssessCodingGuidelines() {
+  TableAssessment out;
+  out.table_id = CodingGuidelinesTable().id;
+
+  // Row 1: enforcement of low complexity (Observation 1).
+  {
+    const std::int64_t over10 = functions_cc_over(10);
+    const double fraction =
+        total_functions_ > 0
+            ? static_cast<double>(over10) / static_cast<double>(total_functions_)
+            : 0.0;
+    Verdict v = over10 == 0 ? Verdict::kCompliant
+                : fraction <= thresholds_.cc_over10_partial_fraction
+                    ? Verdict::kPartial
+                    : Verdict::kNonCompliant;
+    out.assessments.push_back(
+        {"1", v,
+         Num(over10) + " of " + Num(total_functions_) +
+             " functions have cyclomatic complexity > 10 (" +
+             FormatDouble(100.0 * fraction, 1) + "%)",
+         1});
+  }
+
+  // Row 2: use language subsets (Observation 2; Obs. 3–4 for GPU code).
+  {
+    std::int64_t required_violations = 0, total_violations = 0;
+    for (const auto& rep : misra_reports_) {
+      for (const auto& f : rep.findings) {
+        ++total_violations;
+        if (f.severity == Severity::kRequired) ++required_violations;
+      }
+    }
+    Verdict v = total_violations == 0 ? Verdict::kCompliant
+                : required_violations == 0 ? Verdict::kPartial
+                                           : Verdict::kNonCompliant;
+    out.assessments.push_back(
+        {"2", v,
+         Num(total_violations) + " MISRA-subset violations (" +
+             Num(required_violations) + " of required rules); no language "
+             "subset exists for the GPU dialect",
+         2});
+  }
+
+  // Row 3: strong typing (Observation 5).
+  {
+    const double per_knloc =
+        total_nloc_ > 0 ? 1000.0 * static_cast<double>(total_casts_) /
+                              static_cast<double>(total_nloc_)
+                        : 0.0;
+    Verdict v = total_casts_ == 0 ? Verdict::kCompliant
+                : per_knloc <= thresholds_.casts_per_knloc_partial
+                    ? Verdict::kPartial
+                    : Verdict::kNonCompliant;
+    out.assessments.push_back(
+        {"3", v,
+         Num(total_casts_) + " explicit casts (" +
+             FormatDouble(per_knloc, 2) + " per kNLOC)",
+         5});
+  }
+
+  // Row 4: defensive implementation (Observation 6).
+  {
+    const double ratio = defensive_.stats.InputValidationRatio();
+    Verdict v = ratio >= thresholds_.defensive_compliant_ratio
+                    ? Verdict::kCompliant
+                : ratio >= thresholds_.defensive_partial_ratio
+                    ? Verdict::kPartial
+                    : Verdict::kNonCompliant;
+    out.assessments.push_back(
+        {"4", v,
+         FormatDouble(100.0 * ratio, 1) +
+             "% of parameterized functions validate inputs; " +
+             Num(defensive_.stats.discarded_results) +
+             " call sites discard non-void results",
+         6});
+  }
+
+  // Row 5: established design principles (Observation 7).
+  {
+    std::int64_t mutable_globals = 0;
+    for (const auto& ud : unit_design_) {
+      mutable_globals += ud.stats.mutable_globals;
+    }
+    Verdict v = mutable_globals == 0 ? Verdict::kCompliant
+                : mutable_globals <= 20 ? Verdict::kPartial
+                                        : Verdict::kNonCompliant;
+    out.assessments.push_back(
+        {"5", v, Num(mutable_globals) + " mutable file-scope variables", 7});
+  }
+
+  // Row 6: unambiguous graphical representation — N/A for C/C++ source.
+  out.assessments.push_back(
+      {"6", Verdict::kNotApplicable,
+       "not applicable: the framework is written in C/C++, not in a "
+       "graphical modeling language",
+       0});
+
+  // Row 7: style guides (Observation 8).
+  {
+    const double ratio = style_total_.ComplianceRatio();
+    Verdict v = ratio >= thresholds_.style_compliant_ratio
+                    ? Verdict::kCompliant
+                    : Verdict::kPartial;
+    out.assessments.push_back(
+        {"7", v,
+         "style compliance " + FormatDouble(100.0 * ratio, 1) + "% (" +
+             Num(style_total_.violations) + " findings over " +
+             Num(style_total_.lines_checked) + " checked entities)",
+         8});
+  }
+
+  // Row 8: naming conventions (Observation 9).
+  {
+    const double ratio =
+        naming_total_.lines_checked > 0
+            ? 1.0 - static_cast<double>(naming_total_.violations) /
+                        static_cast<double>(naming_total_.lines_checked)
+            : 1.0;
+    Verdict v = ratio >= thresholds_.style_compliant_ratio
+                    ? Verdict::kCompliant
+                    : Verdict::kPartial;
+    out.assessments.push_back(
+        {"8", v,
+         "naming compliance " + FormatDouble(100.0 * ratio, 1) + "% (" +
+             Num(naming_total_.violations) + " of " +
+             Num(naming_total_.lines_checked) + " named declarations)",
+         9});
+  }
+  return out;
+}
+
+TableAssessment Assessor::AssessArchitecture() {
+  TableAssessment out;
+  out.table_id = ArchitecturalDesignTable().id;
+
+  // Row 1: hierarchical structure.
+  {
+    std::int64_t cross_edges = 0;
+    for (const auto& c : architecture_.coupling) {
+      cross_edges += c.external_calls;
+    }
+    out.assessments.push_back(
+        {"1", modules_.size() > 1 ? Verdict::kPartial : Verdict::kNonCompliant,
+         Num(static_cast<std::int64_t>(modules_.size())) +
+             " top-level components, " + Num(cross_edges) +
+             " cross-component call edges; hierarchy derivable by tooling",
+         13});
+  }
+
+  // Row 2: restricted size of components (Observation 13).
+  {
+    std::int64_t oversize = 0;
+    std::int64_t max_nloc = 0;
+    for (const auto& m : architecture_.sizes) {
+      if (m.nloc > thresholds_.max_component_nloc) ++oversize;
+      if (m.nloc > max_nloc) max_nloc = m.nloc;
+    }
+    Verdict v = oversize == 0 ? Verdict::kCompliant : Verdict::kNonCompliant;
+    out.assessments.push_back(
+        {"2", v,
+         Num(oversize) + " of " +
+             Num(static_cast<std::int64_t>(architecture_.sizes.size())) +
+             " components exceed " + Num(thresholds_.max_component_nloc) +
+             " NLOC (largest: " + Num(max_nloc) + ")",
+         13});
+  }
+
+  // Row 3: restricted size of interfaces.
+  {
+    std::int64_t wide = 0;
+    std::int32_t max_params = 0;
+    for (const auto& i : architecture_.interfaces) {
+      wide += i.functions_over_param_limit;
+      if (i.max_params > max_params) max_params = i.max_params;
+    }
+    Verdict v = wide == 0 ? Verdict::kCompliant
+                : wide <= total_functions_ / 50 ? Verdict::kPartial
+                                                : Verdict::kNonCompliant;
+    out.assessments.push_back(
+        {"3", v,
+         Num(wide) + " functions exceed " + Num(thresholds_.max_params) +
+             " parameters (max " + Num(max_params) + ")",
+         13});
+  }
+
+  // Rows 4–5: cohesion / coupling.
+  {
+    double min_cohesion = 1.0;
+    std::int32_t max_efferent = 0;
+    for (const auto& c : architecture_.coupling) {
+      if (c.cohesion < min_cohesion) min_cohesion = c.cohesion;
+      if (c.efferent_modules > max_efferent) {
+        max_efferent = c.efferent_modules;
+      }
+    }
+    Verdict v4 = min_cohesion >= thresholds_.cohesion_compliant
+                     ? Verdict::kCompliant
+                 : min_cohesion >= thresholds_.cohesion_partial
+                     ? Verdict::kPartial
+                     : Verdict::kNonCompliant;
+    out.assessments.push_back(
+        {"4", v4,
+         "minimum component cohesion " + FormatDouble(min_cohesion, 2) +
+             " (intra-component call fraction)",
+         13});
+    Verdict v5 = max_efferent <= thresholds_.max_efferent_modules
+                     ? Verdict::kCompliant
+                     : Verdict::kPartial;
+    out.assessments.push_back(
+        {"5", v5,
+         "maximum efferent coupling " + Num(max_efferent) +
+             " components (limit " + Num(thresholds_.max_efferent_modules) +
+             ")",
+         13});
+  }
+
+  // Row 6: scheduling properties — not statically assessable from source.
+  out.assessments.push_back(
+      {"6", Verdict::kNotApplicable,
+       "not statically assessable: requires the deployed task/executor "
+       "configuration, not source text",
+       0});
+
+  // Row 7: restricted use of interrupts.
+  {
+    std::int64_t interrupt_constructs = 0;
+    for (const auto& mod : modules_) {
+      for (const auto& file : mod.files) {
+        for (const auto& fn : file.functions) {
+          if (support::Contains(fn.name, "signal_handler") ||
+              support::Contains(fn.name, "interrupt") ||
+              support::Contains(fn.name, "isr_")) {
+            ++interrupt_constructs;
+          }
+        }
+        for (const auto& t : file.lexed.tokens) {
+          if (t.IsIdentifier() &&
+              (t.text == "signal" || t.text == "sigaction")) {
+            ++interrupt_constructs;
+          }
+        }
+      }
+    }
+    out.assessments.push_back(
+        {"7",
+         interrupt_constructs == 0 ? Verdict::kCompliant : Verdict::kPartial,
+         Num(interrupt_constructs) + " interrupt/signal-handling constructs",
+         0});
+  }
+  return out;
+}
+
+TableAssessment Assessor::AssessUnitDesign() {
+  TableAssessment out;
+  out.table_id = UnitDesignTable().id;
+
+  UnitDesignStats total;
+  for (const auto& ud : unit_design_) {
+    const UnitDesignStats& s = ud.stats;
+    total.functions_total += s.functions_total;
+    total.functions_multi_exit += s.functions_multi_exit;
+    total.dynamic_alloc_sites += s.dynamic_alloc_sites;
+    total.uninitialized_locals += s.uninitialized_locals;
+    total.shadowing_decls += s.shadowing_decls;
+    total.mutable_globals += s.mutable_globals;
+    total.const_globals += s.const_globals;
+    total.pointer_params += s.pointer_params;
+    total.pointer_derefs += s.pointer_derefs;
+    total.explicit_casts += s.explicit_casts;
+    total.global_write_sites += s.global_write_sites;
+    total.goto_statements += s.goto_statements;
+    total.recursive_functions_direct += s.recursive_functions_direct;
+    total.recursion_cycles_indirect += s.recursion_cycles_indirect;
+  }
+
+  const double knloc =
+      total_nloc_ > 0 ? static_cast<double>(total_nloc_) / 1000.0 : 1.0;
+  auto rate_verdict = [&](std::int64_t count) {
+    if (count == 0) return Verdict::kCompliant;
+    return (static_cast<double>(count) / knloc) <=
+                   thresholds_.unit_partial_rate_per_knloc
+               ? Verdict::kPartial
+               : Verdict::kNonCompliant;
+  };
+
+  out.assessments.push_back(
+      {"1",
+       total.functions_multi_exit == 0 ? Verdict::kCompliant
+       : total.MultiExitFraction() <= 0.05 ? Verdict::kPartial
+                                           : Verdict::kNonCompliant,
+       FormatDouble(100.0 * total.MultiExitFraction(), 1) +
+           "% of functions have multiple exit points (" +
+           Num(total.functions_multi_exit) + " of " +
+           Num(total.functions_total) + ")",
+       14});
+  out.assessments.push_back(
+      {"2", rate_verdict(total.dynamic_alloc_sites),
+       Num(total.dynamic_alloc_sites) + " dynamic allocation sites "
+       "(new/malloc/cudaMalloc)",
+       14});
+  out.assessments.push_back(
+      {"3", rate_verdict(total.uninitialized_locals),
+       Num(total.uninitialized_locals) + " uninitialized scalar locals", 14});
+  out.assessments.push_back(
+      {"4", rate_verdict(total.shadowing_decls),
+       Num(total.shadowing_decls) + " locals reuse an existing name", 14});
+  out.assessments.push_back(
+      {"5", rate_verdict(total.mutable_globals),
+       Num(total.mutable_globals) + " mutable globals (" +
+           Num(total.const_globals) + " const)",
+       14});
+  out.assessments.push_back(
+      {"6", rate_verdict(total.pointer_params),
+       Num(total.pointer_params) + " pointer parameters, " +
+           Num(total.pointer_derefs) + " -> dereferences",
+       14});
+  out.assessments.push_back(
+      {"7", rate_verdict(total.explicit_casts),
+       Num(total.explicit_casts) + " explicit conversions (implicit "
+       "conversions not lexically decidable)",
+       14});
+  out.assessments.push_back(
+      {"8", rate_verdict(total.global_write_sites),
+       Num(total.global_write_sites) + " writes to file-scope state from "
+       "function bodies",
+       14});
+  out.assessments.push_back(
+      {"9",
+       total.goto_statements == 0 ? Verdict::kCompliant
+                                  : Verdict::kNonCompliant,
+       Num(total.goto_statements) + " unconditional jumps (goto)", 14});
+  out.assessments.push_back(
+      {"10",
+       (total.recursive_functions_direct + total.recursion_cycles_indirect) ==
+               0
+           ? Verdict::kCompliant
+           : Verdict::kPartial,
+       Num(total.recursive_functions_direct) + " directly recursive "
+           "functions, " +
+           Num(total.recursion_cycles_indirect) + " indirect cycles",
+       14});
+  return out;
+}
+
+}  // namespace certkit::rules

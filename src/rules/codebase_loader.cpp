@@ -1,0 +1,56 @@
+#include "rules/codebase_loader.h"
+
+#include <filesystem>
+#include <map>
+
+#include "ast/parser.h"
+#include "support/io.h"
+
+namespace certkit::rules {
+
+namespace fs = std::filesystem;
+
+support::Result<Codebase> LoadCodebase(const std::string& root,
+                                       const LoadOptions& options) {
+  auto files = support::ListFiles(root, options.extensions);
+  if (!files.ok()) return files.status();
+
+  std::map<std::string, std::vector<std::string>> by_module;
+  for (const std::string& path : files.value()) {
+    const fs::path rel = fs::relative(path, root);
+    const std::string module = rel.has_parent_path()
+                                   ? rel.begin()->string()
+                                   : fs::path(root).filename().string();
+    by_module[module].push_back(path);
+  }
+
+  Codebase out;
+  ast::ParseOptions parse_opts;
+  parse_opts.lex_options.keep_comments = true;
+  for (auto& [module, paths] : by_module) {
+    std::vector<ast::SourceFileModel> parsed;
+    for (const std::string& path : paths) {
+      auto content = support::ReadFile(path);
+      if (!content.ok()) {
+        out.skipped.push_back(path);
+        continue;
+      }
+      auto model = ast::ParseSource(path, content.value(), parse_opts);
+      if (!model.ok()) {
+        out.skipped.push_back(path);
+        continue;
+      }
+      out.raw_sources.push_back(
+          RawSource{path, std::move(content).value()});
+      out.traces.push_back(AnalyzeTraceability(model.value()));
+      parsed.push_back(std::move(model).value());
+    }
+    if (!parsed.empty()) {
+      out.modules.push_back(
+          metrics::AnalyzeModule(module, std::move(parsed)));
+    }
+  }
+  return out;
+}
+
+}  // namespace certkit::rules

@@ -1,0 +1,38 @@
+// certkit rules: loads a C/C++/CUDA source tree from disk into analyzable
+// form — the shared front door for the CLI tool and the examples.
+#ifndef CERTKIT_RULES_CODEBASE_LOADER_H_
+#define CERTKIT_RULES_CODEBASE_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "metrics/module_metrics.h"
+#include "rules/assessor.h"
+#include "rules/traceability.h"
+#include "support/status.h"
+
+namespace certkit::rules {
+
+struct Codebase {
+  // One module per first-level subdirectory of the root (files directly at
+  // the root form a module named after the root itself).
+  std::vector<metrics::ModuleAnalysis> modules;
+  std::vector<RawSource> raw_sources;
+  std::vector<TraceReport> traces;  // per file, comments retained
+  std::vector<std::string> skipped;  // unreadable/unparseable paths
+};
+
+struct LoadOptions {
+  std::vector<std::string> extensions = {".cc", ".cpp", ".cxx", ".h",
+                                         ".hpp",  ".cu",  ".cuh"};
+};
+
+// Recursively loads and parses every matching file under `root`.
+// NotFound if the directory does not exist; files that fail to read or
+// parse are recorded in `skipped`, not fatal.
+support::Result<Codebase> LoadCodebase(const std::string& root,
+                                       const LoadOptions& options = {});
+
+}  // namespace certkit::rules
+
+#endif  // CERTKIT_RULES_CODEBASE_LOADER_H_

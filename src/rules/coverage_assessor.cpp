@@ -1,0 +1,63 @@
+#include "rules/coverage_assessor.h"
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace certkit::rules {
+
+namespace {
+
+Verdict VerdictFor(double coverage, const CoverageThresholds& t) {
+  if (coverage >= t.compliant) return Verdict::kCompliant;
+  if (coverage >= t.partial) return Verdict::kPartial;
+  return Verdict::kNonCompliant;
+}
+
+std::string Evidence(const char* metric, double value) {
+  return std::string(metric) + " coverage " +
+         support::FormatDouble(100.0 * value, 1) + "%";
+}
+
+}  // namespace
+
+TableAssessment AssessUnitCoverage(const std::vector<cov::CoverageRow>& rows,
+                                   const CoverageThresholds& thresholds) {
+  const cov::CoverageRow avg = cov::Average(rows);
+  TableAssessment out;
+  out.table_id = UnitCoverageTable().id;
+  out.assessments.push_back({"1", VerdictFor(avg.statement, thresholds),
+                             Evidence("statement", avg.statement), 10});
+  out.assessments.push_back({"2", VerdictFor(avg.branch, thresholds),
+                             Evidence("branch", avg.branch), 10});
+  out.assessments.push_back({"3", VerdictFor(avg.mcdc, thresholds),
+                             Evidence("MC/DC", avg.mcdc), 10});
+  return out;
+}
+
+TableAssessment AssessIntegrationCoverage(
+    double function_coverage, double call_coverage,
+    const CoverageThresholds& thresholds) {
+  CERTKIT_CHECK(function_coverage >= 0.0 && function_coverage <= 1.0);
+  CERTKIT_CHECK(call_coverage >= 0.0 && call_coverage <= 1.0);
+  TableAssessment out;
+  out.table_id = IntegrationCoverageTable().id;
+  out.assessments.push_back({"1", VerdictFor(function_coverage, thresholds),
+                             Evidence("function", function_coverage), 0});
+  out.assessments.push_back({"2", VerdictFor(call_coverage, thresholds),
+                             Evidence("call", call_coverage), 0});
+  return out;
+}
+
+bool MeetsAsil(const TechniqueTable& table, const TableAssessment& assessment,
+               Asil asil) {
+  CERTKIT_CHECK(table.techniques.size() == assessment.assessments.size());
+  for (std::size_t i = 0; i < table.techniques.size(); ++i) {
+    if (!Satisfies(assessment.assessments[i].verdict,
+                   table.techniques[i].At(asil))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace certkit::rules

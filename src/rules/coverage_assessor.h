@@ -1,0 +1,41 @@
+// certkit rules: assessing measured structural coverage against the
+// ISO 26262-6 coverage tables (the normative backdrop of the paper's §3.2:
+// "ISO 26262 does not specify a particular coverage figure; its parent
+// standard IEC 61508 recommends 100% coverage for all metrics. In ISO 26262,
+// either branch or code statement are highly recommended for all ASIL").
+#ifndef CERTKIT_RULES_COVERAGE_ASSESSOR_H_
+#define CERTKIT_RULES_COVERAGE_ASSESSOR_H_
+
+#include <vector>
+
+#include "coverage/coverage.h"
+#include "rules/iso26262.h"
+
+namespace certkit::rules {
+
+struct CoverageThresholds {
+  // IEC 61508 recommends 100%; an agreed rationale can justify less. The
+  // partial band reflects "high but incomplete with documented gaps".
+  double compliant = 0.999;
+  double partial = 0.80;
+};
+
+// Assesses ISO 26262-6 Table 10 (statement/branch/MC/DC) against the
+// uniform average of the measured per-unit rows.
+TableAssessment AssessUnitCoverage(const std::vector<cov::CoverageRow>& rows,
+                                   const CoverageThresholds& thresholds = {});
+
+// Assesses ISO 26262-6 Table 12 (function/call coverage) against measured
+// architectural-level figures.
+TableAssessment AssessIntegrationCoverage(
+    double function_coverage, double call_coverage,
+    const CoverageThresholds& thresholds = {});
+
+// True when every technique of `table` that is highly recommended at `asil`
+// is satisfied by the corresponding assessment verdict.
+bool MeetsAsil(const TechniqueTable& table, const TableAssessment& assessment,
+               Asil asil);
+
+}  // namespace certkit::rules
+
+#endif  // CERTKIT_RULES_COVERAGE_ASSESSOR_H_

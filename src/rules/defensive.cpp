@@ -1,0 +1,137 @@
+#include "rules/defensive.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace certkit::rules {
+
+namespace {
+
+using lex::Token;
+using lex::TokenKind;
+
+bool IsAssertLikeName(std::string_view name) {
+  static const std::unordered_set<std::string_view> kSet = {
+      "assert",        "static_assert", "CHECK",         "DCHECK",
+      "CHECK_NOTNULL", "CHECK_GE",      "CHECK_GT",      "CHECK_LE",
+      "CHECK_LT",      "CHECK_EQ",      "CHECK_NE",      "ASSERT",
+      "CERTKIT_CHECK", "CERTKIT_CHECK_MSG", "ACHECK",    "AERROR_IF",
+      "EXPECT_TRUE",   "ASSERT_TRUE"};
+  return kSet.contains(name);
+}
+
+// True if any token in (open, close) is an identifier naming a parameter.
+bool SpanMentionsParam(const std::vector<Token>& toks, std::size_t open,
+                       std::size_t close,
+                       const std::unordered_set<std::string>& params) {
+  for (std::size_t i = open + 1; i < close; ++i) {
+    if (toks[i].IsIdentifier() && params.contains(toks[i].text)) return true;
+  }
+  return false;
+}
+
+std::size_t MatchParen(const std::vector<Token>& toks, std::size_t open,
+                       std::size_t end) {
+  int depth = 0;
+  for (std::size_t i = open; i <= end && i < toks.size(); ++i) {
+    if (toks[i].IsPunct("(")) ++depth;
+    if (toks[i].IsPunct(")")) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return end;
+}
+
+}  // namespace
+
+DefensiveResult AnalyzeDefensive(
+    const std::vector<ast::SourceFileModel>& files) {
+  DefensiveResult result;
+  result.report.checker = "defensive";
+  DefensiveStats& s = result.stats;
+  CheckReport& rep = result.report;
+
+  // Known non-void functions (by name) across the file set.
+  std::unordered_set<std::string> nonvoid;
+  std::unordered_set<std::string> known;
+  for (const auto& file : files) {
+    for (const auto& fn : file.functions) {
+      known.insert(fn.name);
+      if (!fn.returns_void) nonvoid.insert(fn.name);
+    }
+  }
+
+  for (const auto& file : files) {
+    const auto& toks = file.lexed.tokens;
+    for (const auto& fn : file.functions) {
+      ++rep.entities_checked;
+      std::unordered_set<std::string> params;
+      for (const auto& p : fn.params) {
+        if (!p.name.empty() && p.name != "...") params.insert(p.name);
+      }
+
+      // --- input validation ---
+      if (!params.empty()) {
+        ++s.functions_with_params;
+        bool validates = false;
+        for (std::size_t i = fn.body_begin; i <= fn.body_end && !validates;
+             ++i) {
+          const Token& t = toks[i];
+          const bool is_if = t.IsKeyword("if");
+          const bool is_assert = t.IsIdentifier() &&
+                                 IsAssertLikeName(t.text) &&
+                                 i + 1 <= fn.body_end &&
+                                 toks[i + 1].IsPunct("(");
+          if (is_assert) ++s.assertion_sites;
+          if (!is_if && !is_assert) continue;
+          const std::size_t open = i + 1;
+          if (open > fn.body_end || !toks[open].IsPunct("(")) continue;
+          const std::size_t close = MatchParen(toks, open, fn.body_end);
+          if (SpanMentionsParam(toks, open, close, params)) {
+            validates = true;
+          }
+        }
+        if (validates) {
+          ++s.functions_validating_inputs;
+        } else {
+          rep.Add("DEF-INPUT", Severity::kWarning, file.path, fn.start_line,
+                  "function '" + fn.name + "' (" +
+                      std::to_string(params.size()) +
+                      " parameter(s)) never validates its inputs");
+        }
+      }
+
+      // --- discarded results ---
+      // Expression statements of the form `name ( ... ) ;` at statement
+      // start, where `name` is a known non-void function.
+      bool at_stmt_start = true;
+      for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+        const Token& t = toks[i];
+        if (t.IsPunct(";") || t.IsPunct("{") || t.IsPunct("}")) {
+          at_stmt_start = true;
+          continue;
+        }
+        if (!at_stmt_start) continue;
+        at_stmt_start = false;
+        if (!t.IsIdentifier() || !known.contains(t.text)) continue;
+        if (i + 1 >= fn.body_end || !toks[i + 1].IsPunct("(")) continue;
+        const std::size_t close = MatchParen(toks, i + 1, fn.body_end);
+        if (close + 1 > fn.body_end || !toks[close + 1].IsPunct(";")) {
+          continue;  // part of a larger expression: result is consumed
+        }
+        ++s.call_sites_checked;
+        if (nonvoid.contains(t.text)) {
+          ++s.discarded_results;
+          rep.Add("DEF-RESULT", Severity::kWarning, file.path, t.line,
+                  "result of non-void '" + t.text + "' is discarded in '" +
+                      fn.name + "'");
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace certkit::rules

@@ -1,0 +1,63 @@
+// certkit rules: error-detection and error-handling mechanism census
+// (ISO 26262-6 Table 4 "mechanisms for error detection" and Table 5
+// "mechanisms for error handling" at the software architectural level).
+//
+// The paper touches these through §3.1.4 (defensive implementation) and
+// §3.1.5 ("the code properly uses C++ exception handling in most of the
+// cases"). This analyzer counts the structural evidence:
+//   * range/plausibility checking — assertion-family call sites and
+//     parameter-referencing guards (shared with the defensive analyzer);
+//   * exception handling — try blocks, catch handlers, throw sites, and
+//     catch-all handlers;
+//   * status-code discipline — functions whose declared return type is a
+//     Status/Result/error-code type;
+//   * data-integrity mechanisms — checksum/CRC call sites;
+//   * graceful degradation — named fallback/degraded/emergency paths.
+#ifndef CERTKIT_RULES_ERROR_HANDLING_H_
+#define CERTKIT_RULES_ERROR_HANDLING_H_
+
+#include <vector>
+
+#include "ast/source_model.h"
+#include "rules/iso26262.h"
+
+namespace certkit::rules {
+
+struct ErrorHandlingStats {
+  std::int64_t functions_total = 0;
+  std::int64_t try_blocks = 0;
+  std::int64_t catch_handlers = 0;
+  std::int64_t catch_all_handlers = 0;  // catch (...)
+  std::int64_t throw_sites = 0;
+  std::int64_t assertion_sites = 0;     // assert/CHECK family
+  std::int64_t status_returning_functions = 0;
+  std::int64_t checksum_sites = 0;      // checksum/crc identifiers
+  std::int64_t degradation_sites = 0;   // fallback/degraded/emergency names
+
+  double AssertionDensityPerFunction() const {
+    return functions_total > 0
+               ? static_cast<double>(assertion_sites) /
+                     static_cast<double>(functions_total)
+               : 0.0;
+  }
+};
+
+// Counts the mechanisms in one parsed file.
+ErrorHandlingStats AnalyzeErrorHandling(const ast::SourceFileModel& file);
+// Element-wise sum.
+ErrorHandlingStats MergeErrorHandling(
+    const std::vector<ErrorHandlingStats>& parts);
+
+// ISO 26262-6 Table 4 (error detection) and Table 5 (error handling).
+const TechniqueTable& ErrorDetectionTable();
+const TechniqueTable& ErrorHandlingTable();
+
+// Assesses the two tables against measured mechanism counts. Techniques
+// that cannot be decided from source text (external monitoring, control
+// flow monitoring hardware) are marked not-applicable with an explanation.
+TableAssessment AssessErrorDetection(const ErrorHandlingStats& stats);
+TableAssessment AssessErrorHandling(const ErrorHandlingStats& stats);
+
+}  // namespace certkit::rules
+
+#endif  // CERTKIT_RULES_ERROR_HANDLING_H_

@@ -1,0 +1,17 @@
+#include "rules/finding.h"
+
+namespace certkit::rules {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kRequired:
+      return "required";
+  }
+  return "?";
+}
+
+}  // namespace certkit::rules

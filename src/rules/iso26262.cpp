@@ -1,0 +1,166 @@
+#include "rules/iso26262.h"
+
+namespace certkit::rules {
+
+namespace {
+constexpr Recommendation kOO = Recommendation::kNone;
+constexpr Recommendation kR = Recommendation::kRecommended;
+constexpr Recommendation kHR = Recommendation::kHighlyRecommended;
+}  // namespace
+
+const char* AsilName(Asil asil) {
+  switch (asil) {
+    case Asil::kA:
+      return "A";
+    case Asil::kB:
+      return "B";
+    case Asil::kC:
+      return "C";
+    case Asil::kD:
+      return "D";
+  }
+  return "?";
+}
+
+const char* RecommendationMark(Recommendation r) {
+  switch (r) {
+    case Recommendation::kNone:
+      return "o";
+    case Recommendation::kRecommended:
+      return "+";
+    case Recommendation::kHighlyRecommended:
+      return "++";
+  }
+  return "?";
+}
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kCompliant:
+      return "compliant";
+    case Verdict::kPartial:
+      return "partial";
+    case Verdict::kNonCompliant:
+      return "non-compliant";
+    case Verdict::kNotApplicable:
+      return "n/a";
+  }
+  return "?";
+}
+
+const TechniqueTable& CodingGuidelinesTable() {
+  static const TechniqueTable kTable = {
+      "ISO26262-6:Table1",
+      "Modeling/coding guidelines (ISO26262_6 Table 1)",
+      {
+          {"1", "Enforcement of low complexity", {kHR, kHR, kHR, kHR}},
+          {"2", "Use language subsets", {kHR, kHR, kHR, kHR}},
+          {"3", "Enforcement of strong typing", {kHR, kHR, kHR, kHR}},
+          {"4", "Use defensive implementation techniques", {kOO, kR, kHR, kHR}},
+          {"5", "Use established design principles", {kR, kR, kR, kHR}},
+          {"6", "Use unambiguous graphical representation", {kR, kHR, kHR, kHR}},
+          {"7", "Use style guides", {kR, kHR, kHR, kHR}},
+          {"8", "Use naming conventions", {kHR, kHR, kHR, kHR}},
+      },
+  };
+  return kTable;
+}
+
+const TechniqueTable& ArchitecturalDesignTable() {
+  static const TechniqueTable kTable = {
+      "ISO26262-6:Table3",
+      "Architectural design (ISO26262_6 Table 3)",
+      {
+          {"1", "Hierarchical structure of SW components", {kHR, kHR, kHR, kHR}},
+          {"2", "Restricted size of software components", {kHR, kHR, kHR, kHR}},
+          {"3", "Restricted size of interfaces", {kR, kR, kR, kR}},
+          {"4", "High cohesion in each software component", {kR, kHR, kHR, kHR}},
+          {"5", "Restricted coupling between SW components", {kR, kHR, kHR, kHR}},
+          {"6", "Appropriate scheduling properties", {kHR, kHR, kHR, kHR}},
+          {"7", "Restricted use of interrupts", {kR, kR, kR, kHR}},
+      },
+  };
+  return kTable;
+}
+
+const TechniqueTable& UnitDesignTable() {
+  static const TechniqueTable kTable = {
+      "ISO26262-6:Table8",
+      "SW unit design & implement. (ISO26262_6 Table 8)",
+      {
+          {"1", "One entry and one exit point in functions", {kHR, kHR, kHR, kHR}},
+          {"2",
+           "No dynamic objects or variables, or else online test during "
+           "their creation",
+           {kR, kHR, kHR, kHR}},
+          {"3", "Initialization of variables", {kHR, kHR, kHR, kHR}},
+          {"4", "No multiple use of variable names", {kR, kHR, kHR, kHR}},
+          {"5", "Avoid global variables or justify usage", {kR, kR, kHR, kHR}},
+          {"6", "Limited use of pointers", {kOO, kR, kR, kHR}},
+          {"7", "No implicit type conversions", {kR, kHR, kHR, kHR}},
+          {"8", "No hidden data flow or control flow", {kR, kHR, kHR, kHR}},
+          {"9", "No unconditional jumps", {kHR, kHR, kHR, kHR}},
+          {"10", "No recursions", {kR, kR, kHR, kHR}},
+      },
+  };
+  return kTable;
+}
+
+const TechniqueTable& UnitVerificationTable() {
+  static const TechniqueTable kTable = {
+      "ISO26262-6:Table9",
+      "Methods for software unit verification (ISO26262_6 Table 9)",
+      {
+          {"1", "Walk-through", {kHR, kR, kOO, kOO}},
+          {"2", "Inspection", {kR, kHR, kHR, kHR}},
+          {"3", "Semi-formal verification", {kR, kR, kHR, kHR}},
+          {"4", "Formal verification", {kOO, kOO, kR, kR}},
+          {"5", "Control flow analysis", {kR, kR, kHR, kHR}},
+          {"6", "Data flow analysis", {kR, kR, kHR, kHR}},
+          {"7", "Static code analysis", {kR, kHR, kHR, kHR}},
+          {"8", "Semantic code analysis", {kR, kR, kR, kR}},
+      },
+  };
+  return kTable;
+}
+
+const TechniqueTable& UnitCoverageTable() {
+  static const TechniqueTable kTable = {
+      "ISO26262-6:Table10",
+      "Structural coverage metrics at the unit level (ISO26262_6 Table 10)",
+      {
+          {"1", "Statement coverage", {kHR, kHR, kR, kR}},
+          {"2", "Branch coverage", {kR, kHR, kHR, kHR}},
+          {"3", "MC/DC (modified condition/decision coverage)",
+           {kR, kR, kR, kHR}},
+      },
+  };
+  return kTable;
+}
+
+const TechniqueTable& IntegrationCoverageTable() {
+  static const TechniqueTable kTable = {
+      "ISO26262-6:Table12",
+      "Structural coverage at the architectural level (ISO26262_6 Table 12)",
+      {
+          {"1", "Function coverage", {kR, kR, kHR, kHR}},
+          {"2", "Call coverage", {kR, kR, kHR, kHR}},
+      },
+  };
+  return kTable;
+}
+
+bool Satisfies(Verdict verdict, Recommendation recommendation) {
+  if (verdict == Verdict::kNotApplicable) return true;
+  switch (recommendation) {
+    case Recommendation::kNone:
+      return true;
+    case Recommendation::kRecommended:
+      return verdict == Verdict::kCompliant || verdict == Verdict::kPartial;
+    case Recommendation::kHighlyRecommended:
+      return verdict == Verdict::kCompliant;
+  }
+  return false;
+}
+
+}  // namespace certkit::rules

@@ -1,0 +1,90 @@
+// certkit rules: the ISO 26262 Part 6 technique tables assessed in the paper.
+//
+// Three tables are modeled, with the exact technique lists and per-ASIL
+// recommendation levels the paper reproduces:
+//  * Table 1 of the paper  = ISO 26262-6 Table 1 (modeling/coding guidelines)
+//  * Table 2 of the paper  = ISO 26262-6 Table 3 (architectural design)
+//  * Table 3 of the paper  = ISO 26262-6 Table 8 (unit design & implement.)
+//
+// Recommendation notation: ++ highly recommended, + recommended, o no
+// recommendation for/against at that ASIL.
+#ifndef CERTKIT_RULES_ISO26262_H_
+#define CERTKIT_RULES_ISO26262_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace certkit::rules {
+
+enum class Asil { kA = 0, kB = 1, kC = 2, kD = 3 };
+const char* AsilName(Asil asil);
+
+enum class Recommendation {
+  kNone,                // 'o'
+  kRecommended,         // '+'
+  kHighlyRecommended,   // '++'
+};
+const char* RecommendationMark(Recommendation r);  // "o", "+", "++"
+
+// One technique row of an ISO 26262-6 table.
+struct Technique {
+  std::string id;    // e.g. "1a" — stable identifier within its table
+  std::string name;  // the technique text as printed in the paper
+  std::array<Recommendation, 4> by_asil;  // indexed by Asil
+
+  Recommendation At(Asil asil) const {
+    return by_asil[static_cast<std::size_t>(asil)];
+  }
+};
+
+struct TechniqueTable {
+  std::string id;       // "ISO26262-6:Table1", ...
+  std::string caption;  // as printed in the paper
+  std::vector<Technique> techniques;
+};
+
+// The three tables, verbatim from the paper.
+const TechniqueTable& CodingGuidelinesTable();    // paper Table 1
+const TechniqueTable& ArchitecturalDesignTable(); // paper Table 2
+const TechniqueTable& UnitDesignTable();          // paper Table 3
+
+// Further ISO 26262-6 tables behind the paper's §3.2–3.3 (unit testing and
+// structural coverage): methods for software unit verification (Table 9),
+// structural coverage metrics at the unit level (Table 10: statement ++/++,
+// branch +/++, MC/DC +/++ by ASIL), and structural coverage at the
+// architectural level (Table 12: function and call coverage).
+const TechniqueTable& UnitVerificationTable();      // ISO 26262-6 Table 9
+const TechniqueTable& UnitCoverageTable();          // ISO 26262-6 Table 10
+const TechniqueTable& IntegrationCoverageTable();   // ISO 26262-6 Table 12
+
+// Assessment verdict for one technique against a measured codebase.
+enum class Verdict {
+  kCompliant,     // evidence of systematic adherence
+  kPartial,       // adhered to in part, gaps identified
+  kNonCompliant,  // no evidence of adherence / widespread violations
+  kNotApplicable, // e.g. "unambiguous graphical representation" for C/C++
+};
+const char* VerdictName(Verdict verdict);
+
+struct TechniqueAssessment {
+  std::string technique_id;
+  Verdict verdict = Verdict::kNonCompliant;
+  std::string evidence;  // quantitative evidence string for the report
+  // The paper's observation number this maps to, 0 if none.
+  int observation = 0;
+};
+
+struct TableAssessment {
+  std::string table_id;
+  std::vector<TechniqueAssessment> assessments;
+};
+
+// True when the verdict satisfies the recommendation level at `asil`:
+// a '++' technique needs kCompliant; a '+' technique accepts kPartial;
+// 'o' and kNotApplicable always pass.
+bool Satisfies(Verdict verdict, Recommendation recommendation);
+
+}  // namespace certkit::rules
+
+#endif  // CERTKIT_RULES_ISO26262_H_

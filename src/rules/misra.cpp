@@ -1,0 +1,388 @@
+#include "rules/misra.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "metrics/function_metrics.h"
+#include "support/strings.h"
+
+namespace certkit::rules {
+
+namespace {
+
+using lex::Token;
+using lex::TokenKind;
+
+const std::unordered_set<std::string_view>& StdlibAllocNames() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "malloc", "calloc", "realloc", "free", "aligned_alloc"};
+  return kSet;
+}
+
+const std::unordered_set<std::string_view>& CudaAllocNames() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "cudaMalloc", "cudaMallocManaged", "cudaMallocHost", "cudaFree",
+      "cudaFreeHost"};
+  return kSet;
+}
+
+const std::unordered_set<std::string_view>& StdioNames() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "printf", "fprintf", "sprintf", "snprintf", "scanf",  "fscanf",
+      "sscanf", "gets",    "puts",    "fopen",    "fclose", "getchar",
+      "putchar"};
+  return kSet;
+}
+
+// Octal iff it starts with 0, has more digits, and is not hex/binary/float.
+bool IsOctalConstant(const std::string& text) {
+  if (text.size() < 2 || text[0] != '0') return false;
+  const char second = text[1];
+  if (second == 'x' || second == 'X' || second == 'b' || second == 'B') {
+    return false;
+  }
+  for (char c : text) {
+    if (c == '.' || c == 'e' || c == 'E' || c == 'f' || c == 'F') {
+      return false;  // floating literal like 0.5
+    }
+  }
+  return second >= '0' && second <= '7';
+}
+
+// A number token that is clearly floating (has '.', exponent, or f suffix).
+bool IsFloatLiteral(const Token& t) {
+  if (t.kind != TokenKind::kNumber) return false;
+  const std::string& s = t.text;
+  if (s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    return s.find('p') != std::string::npos ||
+           s.find('P') != std::string::npos;
+  }
+  return s.find('.') != std::string::npos ||
+         s.find('e') != std::string::npos ||
+         s.find('E') != std::string::npos ||
+         s.find('f') != std::string::npos ||
+         s.find('F') != std::string::npos;
+}
+
+// Finds the index of the token matching `open` at `start` (which must be the
+// opener), scanning within [start, end]. Returns `end` on imbalance.
+std::size_t MatchForward(const std::vector<Token>& toks, std::size_t start,
+                         std::size_t end, std::string_view open,
+                         std::string_view close) {
+  int depth = 0;
+  for (std::size_t i = start; i <= end && i < toks.size(); ++i) {
+    if (toks[i].IsPunct(open)) ++depth;
+    if (toks[i].IsPunct(close)) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return end;
+}
+
+// Skips forward from `i` to the first token that is not part of `( ... )`
+// attached to a control keyword. Returns index of the token after ')'.
+std::size_t AfterConditionParens(const std::vector<Token>& toks,
+                                 std::size_t i, std::size_t end) {
+  std::size_t j = i + 1;
+  if (j <= end && toks[j].IsPunct("(")) {
+    j = MatchForward(toks, j, end, "(", ")") + 1;
+  }
+  return j;
+}
+
+class MisraChecker {
+ public:
+  MisraChecker(const ast::SourceFileModel& file, const MisraOptions& options,
+               CheckReport* report)
+      : file_(file), options_(options), report_(report),
+        toks_(file.lexed.tokens) {}
+
+  void Run() {
+    CheckDirectives();
+    CheckFileLevelTokens();
+    for (const auto& fn : file_.functions) {
+      ++report_->entities_checked;
+      CheckFunction(fn);
+    }
+  }
+
+ private:
+  void CheckDirectives() {
+    for (const auto& d : file_.lexed.directives) {
+      if (d.name == "undef") {
+        report_->Add("MISRA-20.5", Severity::kWarning, file_.path, d.line,
+                     "#undef shall not be used");
+      }
+    }
+    for (const auto& m : file_.macros) {
+      if (m.function_like) {
+        report_->Add("MISRA-D4.9", Severity::kInfo, file_.path, m.line,
+                     "function-like macro '" + m.name + "' should be a "
+                     "function");
+      }
+    }
+  }
+
+  void CheckFileLevelTokens() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.IsKeyword("union")) {
+        report_->Add("MISRA-19.2", Severity::kWarning, file_.path, t.line,
+                     "the union keyword should not be used");
+      }
+      if (t.kind == TokenKind::kNumber && IsOctalConstant(t.text)) {
+        report_->Add("MISRA-7.1", Severity::kWarning, file_.path, t.line,
+                     "octal constant '" + t.text + "'");
+      }
+      if ((t.IsPunct("==") || t.IsPunct("!=")) && i > 0 &&
+          i + 1 < toks_.size() &&
+          (IsFloatLiteral(toks_[i - 1]) || IsFloatLiteral(toks_[i + 1]))) {
+        report_->Add("MISRA-13.3", Severity::kWarning, file_.path, t.line,
+                     "floating-point equality comparison");
+      }
+    }
+    for (const auto& c : file_.casts) {
+      if (c.kind == ast::CastKind::kCStyle) {
+        report_->Add("MISRA-11.4", Severity::kWarning, file_.path, c.line,
+                     "C-style cast to '" + c.target_text +
+                         "' — use a named cast");
+      }
+    }
+  }
+
+  void CheckFunction(const ast::FunctionModel& fn) {
+    const metrics::FunctionMetrics fm =
+        metrics::ComputeFunctionMetrics(file_, fn);
+
+    for (const auto& param : fn.params) {
+      if (param.name == "...") {
+        report_->Add("MISRA-17.1", Severity::kRequired, file_.path,
+                     fn.start_line,
+                     "function '" + fn.name + "' takes variadic arguments");
+      }
+    }
+
+    if (fm.goto_count > 0) {
+      report_->Add("MISRA-15.1", Severity::kRequired, file_.path,
+                   fn.start_line,
+                   "function '" + fn.name + "' uses goto (" +
+                       std::to_string(fm.goto_count) + " occurrence(s))");
+    }
+    if (fm.return_count > 1) {
+      report_->Add("MISRA-15.5", Severity::kWarning, file_.path,
+                   fn.start_line,
+                   "function '" + fn.name + "' has " +
+                       std::to_string(fm.return_count) + " return points");
+    }
+    if (fm.is_recursive_direct) {
+      report_->Add("MISRA-17.2", Severity::kRequired, file_.path,
+                   fn.start_line,
+                   "function '" + fn.name + "' calls itself recursively");
+    }
+
+    CheckDynamicMemory(fn);
+    CheckStdio(fn);
+    CheckCompoundBodies(fn);
+    CheckSwitches(fn);
+    if (options_.check_unused_params) CheckUnusedParams(fn, fm);
+  }
+
+  void CheckDynamicMemory(const ast::FunctionModel& fn) {
+    for (std::size_t i = fn.body_begin; i <= fn.body_end; ++i) {
+      const Token& t = toks_[i];
+      if (t.IsIdentifier() && i + 1 <= fn.body_end &&
+          toks_[i + 1].IsPunct("(")) {
+        if (StdlibAllocNames().contains(t.text)) {
+          report_->Add("MISRA-21.3", Severity::kRequired, file_.path, t.line,
+                       "dynamic memory via '" + t.text + "'");
+        } else if (options_.include_dialect_analogues &&
+                   CudaAllocNames().contains(t.text)) {
+          report_->Add("MISRA-21.3", Severity::kRequired, file_.path, t.line,
+                       "CUDA dynamic device memory via '" + t.text + "'");
+        }
+      }
+      if (options_.include_dialect_analogues &&
+          (t.IsKeyword("new") || t.IsKeyword("delete"))) {
+        // `operator new` definitions excluded by requiring expression
+        // position (previous token not `operator`).
+        if (i > fn.body_begin && toks_[i - 1].IsKeyword("operator")) continue;
+        report_->Add("MISRA-21.3", Severity::kRequired, file_.path, t.line,
+                     std::string("dynamic memory via '") + t.text + "'");
+      }
+    }
+  }
+
+  void CheckStdio(const ast::FunctionModel& fn) {
+    for (std::size_t i = fn.body_begin; i <= fn.body_end; ++i) {
+      const Token& t = toks_[i];
+      if (t.IsIdentifier() && StdioNames().contains(t.text) &&
+          i + 1 <= fn.body_end && toks_[i + 1].IsPunct("(")) {
+        // Qualified std::printf also matches — the rule targets the call.
+        report_->Add("MISRA-21.6", Severity::kWarning, file_.path, t.line,
+                     "standard I/O function '" + t.text + "' used");
+      }
+    }
+  }
+
+  void CheckCompoundBodies(const ast::FunctionModel& fn) {
+    for (std::size_t i = fn.body_begin; i <= fn.body_end; ++i) {
+      const Token& t = toks_[i];
+      const bool has_condition =
+          t.IsKeyword("if") || t.IsKeyword("for") || t.IsKeyword("while");
+      if (!has_condition && !t.IsKeyword("else") && !t.IsKeyword("do")) {
+        continue;
+      }
+      // `while` of do-while ends with ';' — not a body.
+      std::size_t body_at;
+      if (has_condition) {
+        body_at = AfterConditionParens(toks_, i, fn.body_end);
+      } else {
+        body_at = i + 1;
+      }
+      if (body_at > fn.body_end) continue;
+      const Token& b = toks_[body_at];
+      if (t.IsKeyword("while") && b.IsPunct(";")) continue;  // do-while tail
+      if (t.IsKeyword("else") && b.IsKeyword("if")) continue;  // else-if
+      if (!b.IsPunct("{")) {
+        report_->Add("MISRA-15.6", Severity::kWarning, file_.path, t.line,
+                     "body of '" + t.text + "' is not a compound statement");
+      }
+    }
+  }
+
+  void CheckSwitches(const ast::FunctionModel& fn) {
+    for (std::size_t i = fn.body_begin; i <= fn.body_end; ++i) {
+      if (!toks_[i].IsKeyword("switch")) continue;
+      std::size_t j = AfterConditionParens(toks_, i, fn.body_end);
+      if (j > fn.body_end || !toks_[j].IsPunct("{")) continue;
+      const std::size_t close = MatchForward(toks_, j, fn.body_end, "{", "}");
+      CheckOneSwitch(i, j, close);
+      // Nested switches inside are found by the outer loop as it advances.
+    }
+  }
+
+  void CheckOneSwitch(std::size_t switch_idx, std::size_t open,
+                      std::size_t close) {
+    bool has_default = false;
+    // Track case labels at switch depth (depth 1 relative to `open`).
+    int depth = 0;
+    std::size_t last_label = 0;      // token index of the last case/default
+    bool label_open = false;         // inside a case body
+    bool body_nonempty = false;
+    bool terminated = true;          // break/return/continue/goto/[[fallthrough]]
+    for (std::size_t i = open; i <= close; ++i) {
+      const Token& t = toks_[i];
+      if (t.IsPunct("{")) {
+        ++depth;
+        continue;
+      }
+      if (t.IsPunct("}")) {
+        --depth;
+        continue;
+      }
+      const bool is_label = (t.IsKeyword("case") || t.IsKeyword("default")) &&
+                            depth == 1;
+      if (is_label) {
+        if (t.IsKeyword("default")) has_default = true;
+        if (label_open && body_nonempty && !terminated) {
+          report_->Add("MISRA-16.1", Severity::kWarning, file_.path,
+                       toks_[last_label].line,
+                       "implicit fallthrough between switch cases");
+        }
+        last_label = i;
+        label_open = true;
+        body_nonempty = false;
+        terminated = false;
+        // Skip the label expression up to ':'.
+        while (i <= close && !toks_[i].IsPunct(":")) ++i;
+        continue;
+      }
+      if (!label_open) continue;
+      if (t.IsKeyword("break") || t.IsKeyword("return") ||
+          t.IsKeyword("continue") || t.IsKeyword("goto") ||
+          t.IsKeyword("throw")) {
+        terminated = true;
+        continue;
+      }
+      if (t.IsIdentifier() && t.text == "fallthrough") {
+        terminated = true;  // [[fallthrough]]
+        continue;
+      }
+      if (!t.IsPunct(";")) body_nonempty = true;
+    }
+    if (!has_default) {
+      report_->Add("MISRA-16.4", Severity::kWarning, file_.path,
+                   toks_[switch_idx].line, "switch without default label");
+    }
+  }
+
+  void CheckUnusedParams(const ast::FunctionModel& fn,
+                         const metrics::FunctionMetrics& fm) {
+    (void)fm;
+    for (const auto& p : fn.params) {
+      if (p.name.empty() || p.name == "...") continue;
+      bool used = false;
+      for (std::size_t i = fn.body_begin; i <= fn.body_end; ++i) {
+        if (toks_[i].IsIdentifier() && toks_[i].text == p.name) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) {
+        report_->Add("MISRA-2.7", Severity::kInfo, file_.path, fn.start_line,
+                     "parameter '" + p.name + "' of '" + fn.name +
+                         "' is unused");
+      }
+    }
+  }
+
+  const ast::SourceFileModel& file_;
+  const MisraOptions& options_;
+  CheckReport* report_;
+  const std::vector<Token>& toks_;
+};
+
+}  // namespace
+
+CheckReport CheckMisra(const ast::SourceFileModel& file,
+                       const MisraOptions& options) {
+  CheckReport report;
+  report.checker = "misra";
+  MisraChecker checker(file, options, &report);
+  checker.Run();
+  return report;
+}
+
+CudaDialectStats AnalyzeCudaDialect(const ast::SourceFileModel& file) {
+  CudaDialectStats stats;
+  const auto& toks = file.lexed.tokens;
+  for (const auto& fn : file.functions) {
+    if (fn.is_cuda_kernel) {
+      ++stats.kernel_count;
+      std::int32_t ptr_params = 0;
+      for (const auto& p : fn.params) {
+        if (support::Contains(p.type_text, "*")) ++ptr_params;
+      }
+      stats.kernel_pointer_params += ptr_params;
+      if (ptr_params > 0) ++stats.kernels_with_pointer_params;
+    }
+    if (fn.is_cuda_device) ++stats.device_fn_count;
+  }
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].IsIdentifier() || !toks[i + 1].IsPunct("(")) continue;
+    const std::string& name = toks[i].text;
+    if (name == "cudaMalloc" || name == "cudaMallocManaged" ||
+        name == "cudaMallocHost") {
+      ++stats.cuda_malloc_calls;
+    } else if (name == "cudaMemcpy" || name == "cudaMemcpyAsync") {
+      ++stats.cuda_memcpy_calls;
+    } else if (name == "cudaFree" || name == "cudaFreeHost") {
+      ++stats.cuda_free_calls;
+    }
+  }
+  return stats;
+}
+
+}  // namespace certkit::rules

@@ -1,0 +1,69 @@
+// certkit rules: a lexically checkable subset of MISRA C:2012 (plus C++/CUDA
+// analogues), in the spirit of the paper's §3.1.2 "Use of language subsets".
+//
+// MISRA C:2012 stipulates 143 rules; a static checker without full semantic
+// analysis can decide a meaningful subset of them. The rules implemented here
+// are the ones the paper's observations rest on (dynamic memory, pointers,
+// exits, jumps, recursion) plus the classic lexically decidable rules.
+//
+// Implemented rules:
+//   MISRA-15.1   goto shall not be used
+//   MISRA-15.5   single point of exit at the end of a function
+//   MISRA-15.6   loop/selection bodies shall be compound statements
+//   MISRA-16.1   switch: no implicit fallthrough between non-empty cases
+//   MISRA-16.4   every switch shall have a default label
+//   MISRA-17.2   functions shall not call themselves (direct recursion)
+//   MISRA-19.2   the union keyword should not be used
+//   MISRA-20.5   #undef should not be used
+//   MISRA-21.3   stdlib dynamic memory shall not be used (malloc/free/...);
+//                C++ new/delete and CUDA cudaMalloc/cudaFree are reported
+//                under the same rule as dialect analogues
+//   MISRA-21.6   standard I/O shall not be used (printf/scanf/...)
+//   MISRA-11.4   cast-like conversions via C-style casts are flagged
+//   MISRA-2.7    there should be no unused parameters
+//   MISRA-D4.9   function-like macros should not be used (Directive 4.9)
+//   MISRA-7.1    octal constants shall not be used
+//   MISRA-13.3   floating-point values shall not be compared for equality
+//                (classic guideline; flagged when == or != touches a
+//                floating literal)
+//   MISRA-17.1   the features of <stdarg.h> shall not be used (variadic
+//                parameters)
+#ifndef CERTKIT_RULES_MISRA_H_
+#define CERTKIT_RULES_MISRA_H_
+
+#include "ast/source_model.h"
+#include "rules/finding.h"
+
+namespace certkit::rules {
+
+struct MisraOptions {
+  // When true, C++ `new`/`delete` and CUDA `cudaMalloc`/`cudaFree`/`cudaNew`
+  // count as dynamic-memory violations (rule 21.3 analogues).
+  bool include_dialect_analogues = true;
+  // When true, rule 2.7 (unused parameters) is checked; noisy on interface-
+  // conforming callbacks, so it can be disabled.
+  bool check_unused_params = true;
+};
+
+// Runs the MISRA subset over one parsed file. `entities_checked` counts
+// function definitions.
+CheckReport CheckMisra(const ast::SourceFileModel& file,
+                       const MisraOptions& options = {});
+
+// CUDA-dialect census for Observations 3–4: how device code uses pointers
+// and dynamic memory (Figure 4 discussion).
+struct CudaDialectStats {
+  std::int32_t kernel_count = 0;        // __global__ functions
+  std::int32_t device_fn_count = 0;     // __device__ functions
+  std::int32_t kernel_pointer_params = 0;
+  std::int32_t kernels_with_pointer_params = 0;
+  std::int32_t cuda_malloc_calls = 0;   // cudaMalloc / cudaMallocManaged
+  std::int32_t cuda_memcpy_calls = 0;
+  std::int32_t cuda_free_calls = 0;
+};
+
+CudaDialectStats AnalyzeCudaDialect(const ast::SourceFileModel& file);
+
+}  // namespace certkit::rules
+
+#endif  // CERTKIT_RULES_MISRA_H_

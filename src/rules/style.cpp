@@ -1,0 +1,132 @@
+#include "rules/style.h"
+
+#include <string>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace certkit::rules {
+
+namespace {
+
+using support::IsMacroCase;
+using support::IsSnakeCase;
+using support::IsUpperCamelCase;
+using support::StartsWith;
+
+bool IsConstantName(std::string_view name) {
+  // kUpperCamelCase.
+  return name.size() >= 2 && name[0] == 'k' &&
+         IsUpperCamelCase(name.substr(1));
+}
+
+bool HasIncludeGuardOrPragmaOnce(const ast::SourceFileModel& file) {
+  bool has_ifndef = false, has_define = false;
+  for (const auto& d : file.lexed.directives) {
+    if (d.name == "pragma" && !d.tokens.empty() &&
+        d.tokens[0].text == "once") {
+      return true;
+    }
+    if (d.name == "ifndef") has_ifndef = true;
+    if (d.name == "define" && has_ifndef) has_define = true;
+  }
+  return has_ifndef && has_define;
+}
+
+}  // namespace
+
+StyleResult CheckStyle(const ast::SourceFileModel& file,
+                       std::string_view raw_source,
+                       const StyleOptions& options) {
+  StyleResult result;
+  result.report.checker = "style";
+  CheckReport& rep = result.report;
+
+  // --- line-level checks ---
+  std::vector<std::string> lines = support::Split(raw_source, '\n');
+  // A trailing newline produces one empty final field; that is the desired
+  // EOF state, so drop it from per-line checks.
+  const bool ends_with_newline =
+      !raw_source.empty() && raw_source.back() == '\n';
+  if (ends_with_newline && !lines.empty()) lines.pop_back();
+
+  result.stats.lines_checked = static_cast<std::int64_t>(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::int32_t ln = static_cast<std::int32_t>(i + 1);
+    if (static_cast<int>(line.size()) > options.max_line_length) {
+      rep.Add("STYLE-LINELEN", Severity::kInfo, file.path, ln,
+              "line is " + std::to_string(line.size()) + " columns (limit " +
+                  std::to_string(options.max_line_length) + ")");
+    }
+    if (line.find('\t') != std::string::npos) {
+      rep.Add("STYLE-TAB", Severity::kInfo, file.path, ln,
+              "tab character in source line");
+    }
+    if (!line.empty() &&
+        (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+      rep.Add("STYLE-TRAILWS", Severity::kInfo, file.path, ln,
+              "trailing whitespace");
+    }
+  }
+  if (!raw_source.empty() && !ends_with_newline) {
+    rep.Add("STYLE-EOFNL", Severity::kInfo, file.path,
+            static_cast<std::int32_t>(lines.size()),
+            "file does not end with a newline");
+  }
+
+  // --- naming checks ---
+  if (options.check_naming) {
+    result.stats.lines_checked +=
+        static_cast<std::int64_t>(file.types.size() + file.functions.size() +
+                                  file.globals.size() + file.macros.size());
+    for (const auto& ty : file.types) {
+      if (ty.name == "<anonymous>") continue;
+      if (!IsUpperCamelCase(ty.name)) {
+        rep.Add("STYLE-TYPENAME", Severity::kInfo, file.path, ty.line,
+                "type '" + ty.name + "' is not UpperCamelCase");
+      }
+    }
+    for (const auto& fn : file.functions) {
+      if (fn.name == "<anonymous>" || StartsWith(fn.name, "operator") ||
+          StartsWith(fn.name, "~")) {
+        continue;
+      }
+      // Constructors share the (UpperCamelCase) type name — fine either way.
+      if (!IsUpperCamelCase(fn.name) && !IsSnakeCase(fn.name) &&
+          !IsMacroCase(fn.name)) {  // MACRO_CASE: test/registration macros
+        rep.Add("STYLE-FUNCNAME", Severity::kInfo, file.path, fn.start_line,
+                "function '" + fn.name +
+                    "' is neither UpperCamelCase nor snake_case");
+      }
+    }
+    for (const auto& g : file.globals) {
+      if (g.is_const) {
+        if (!IsConstantName(g.name) && !IsMacroCase(g.name)) {
+          rep.Add("STYLE-CONSTNAME", Severity::kInfo, file.path, g.line,
+                  "constant '" + g.name + "' is not kUpperCamelCase");
+        }
+      } else if (!IsSnakeCase(g.name)) {
+        rep.Add("STYLE-VARNAME", Severity::kInfo, file.path, g.line,
+                "variable '" + g.name + "' is not snake_case");
+      }
+    }
+    for (const auto& m : file.macros) {
+      if (!IsMacroCase(m.name)) {
+        rep.Add("STYLE-MACRONAME", Severity::kInfo, file.path, m.line,
+                "macro '" + m.name + "' is not MACRO_CASE");
+      }
+    }
+  }
+
+  if (options.is_header && !HasIncludeGuardOrPragmaOnce(file)) {
+    rep.Add("STYLE-GUARD", Severity::kWarning, file.path, 1,
+            "header has neither an include guard nor #pragma once");
+  }
+
+  result.stats.violations = static_cast<std::int64_t>(rep.findings.size());
+  rep.entities_checked = result.stats.lines_checked;
+  return result;
+}
+
+}  // namespace certkit::rules

@@ -1,0 +1,110 @@
+#include "rules/traceability.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace certkit::rules {
+
+std::vector<std::string> ExtractRequirementTags(const std::string& text) {
+  std::vector<std::string> tags;
+  std::size_t pos = 0;
+  while ((pos = text.find("REQ-", pos)) != std::string::npos) {
+    // The tag must not be a suffix of a longer identifier (e.g. FOO_REQ-).
+    if (pos > 0) {
+      const char before = text[pos - 1];
+      if (std::isalnum(static_cast<unsigned char>(before)) ||
+          before == '_' || before == '-') {
+        pos += 4;
+        continue;
+      }
+    }
+    std::size_t end = pos + 4;
+    while (end < text.size() &&
+           (std::isupper(static_cast<unsigned char>(text[end])) ||
+            std::isdigit(static_cast<unsigned char>(text[end])) ||
+            text[end] == '-')) {
+      ++end;
+    }
+    // Trim trailing dashes (punctuation like "REQ-X-").
+    std::size_t trimmed = end;
+    while (trimmed > pos + 4 && text[trimmed - 1] == '-') --trimmed;
+    if (trimmed > pos + 4) {
+      tags.push_back(text.substr(pos, trimmed - pos));
+    }
+    pos = end;
+  }
+  return tags;
+}
+
+TraceReport AnalyzeTraceability(const ast::SourceFileModel& file) {
+  TraceReport report;
+  report.functions_total = static_cast<std::int64_t>(file.functions.size());
+
+  // Functions sorted by start line (parser emits them in order, but be
+  // defensive).
+  std::vector<const ast::FunctionModel*> fns;
+  fns.reserve(file.functions.size());
+  for (const auto& fn : file.functions) fns.push_back(&fn);
+  std::sort(fns.begin(), fns.end(),
+            [](const ast::FunctionModel* a, const ast::FunctionModel* b) {
+              return a->start_line < b->start_line;
+            });
+
+  std::set<std::string> traced;
+  for (const auto& comment : file.lexed.comments) {
+    const auto tags = ExtractRequirementTags(comment.text);
+    if (tags.empty()) continue;
+    // Link to the function whose span contains the comment line, or else
+    // the next function starting at/after it.
+    const ast::FunctionModel* target = nullptr;
+    for (const ast::FunctionModel* fn : fns) {
+      if (comment.line >= fn->start_line && comment.line <= fn->end_line) {
+        target = fn;
+        break;
+      }
+      if (fn->start_line >= comment.line) {
+        target = fn;
+        break;
+      }
+    }
+    for (const auto& tag : tags) {
+      RequirementLink link;
+      link.requirement = tag;
+      link.file = file.path;
+      link.comment_line = comment.line;
+      if (target != nullptr) {
+        link.function = target->qualified_name;
+        traced.insert(target->qualified_name);
+      }
+      report.links.push_back(std::move(link));
+    }
+  }
+
+  for (const auto& fn : file.functions) {
+    if (!traced.contains(fn.qualified_name)) {
+      report.untraced_functions.push_back(fn.qualified_name);
+    }
+  }
+  return report;
+}
+
+TraceReport MergeTraceReports(const std::vector<TraceReport>& reports) {
+  TraceReport merged;
+  for (const auto& r : reports) {
+    merged.functions_total += r.functions_total;
+    merged.links.insert(merged.links.end(), r.links.begin(), r.links.end());
+    merged.untraced_functions.insert(merged.untraced_functions.end(),
+                                     r.untraced_functions.begin(),
+                                     r.untraced_functions.end());
+  }
+  return merged;
+}
+
+std::vector<std::string> TraceReport::Requirements() const {
+  std::set<std::string> unique;
+  for (const auto& link : links) unique.insert(link.requirement);
+  return {unique.begin(), unique.end()};
+}
+
+}  // namespace certkit::rules

@@ -1,0 +1,367 @@
+#include "rules/unit_design.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace certkit::rules {
+
+namespace {
+
+using lex::Token;
+using lex::TokenKind;
+
+bool IsScalarTypeKeyword(const Token& t) {
+  if (t.kind != TokenKind::kKeyword) return false;
+  static const std::unordered_set<std::string_view> kSet = {
+      "int",  "float", "double", "char", "long",
+      "short", "bool",  "unsigned", "signed", "wchar_t"};
+  return kSet.contains(t.text);
+}
+
+bool IsAllocName(std::string_view name) {
+  static const std::unordered_set<std::string_view> kSet = {
+      "malloc", "calloc", "realloc", "aligned_alloc",
+      "cudaMalloc", "cudaMallocManaged", "cudaMallocHost"};
+  return kSet.contains(name);
+}
+
+// Tarjan's strongly-connected-components algorithm, iterative to be safe on
+// large call graphs.
+class TarjanScc {
+ public:
+  explicit TarjanScc(const std::vector<std::vector<int>>& adj)
+      : adj_(adj), n_(static_cast<int>(adj.size())) {
+    index_.assign(n_, -1);
+    lowlink_.assign(n_, 0);
+    on_stack_.assign(n_, false);
+  }
+
+  std::vector<std::vector<int>> Run() {
+    for (int v = 0; v < n_; ++v) {
+      if (index_[v] == -1) Strongconnect(v);
+    }
+    return sccs_;
+  }
+
+ private:
+  struct Frame {
+    int v;
+    std::size_t edge = 0;
+  };
+
+  void Strongconnect(int root) {
+    std::vector<Frame> frames;
+    frames.push_back({root});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const int v = f.v;
+      if (f.edge == 0) {
+        index_[v] = lowlink_[v] = counter_++;
+        stack_.push_back(v);
+        on_stack_[v] = true;
+      }
+      bool descended = false;
+      while (f.edge < adj_[v].size()) {
+        const int w = adj_[v][f.edge++];
+        if (index_[w] == -1) {
+          frames.push_back({w});
+          descended = true;
+          break;
+        }
+        if (on_stack_[w]) {
+          lowlink_[v] = std::min(lowlink_[v], index_[w]);
+        }
+      }
+      if (descended) continue;
+      if (lowlink_[v] == index_[v]) {
+        std::vector<int> scc;
+        while (true) {
+          const int w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = false;
+          scc.push_back(w);
+          if (w == v) break;
+        }
+        sccs_.push_back(std::move(scc));
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const int parent = frames.back().v;
+        lowlink_[parent] = std::min(lowlink_[parent], lowlink_[v]);
+      }
+    }
+  }
+
+  const std::vector<std::vector<int>>& adj_;
+  int n_;
+  int counter_ = 0;
+  std::vector<int> index_, lowlink_;
+  std::vector<bool> on_stack_;
+  std::vector<int> stack_;
+  std::vector<std::vector<int>> sccs_;
+};
+
+// Scans a function body for local declarations, collecting uninitialized
+// scalar locals and names that shadow file-scope variables or parameters.
+void ScanLocals(const ast::SourceFileModel& file,
+                const ast::FunctionModel& fn,
+                const std::unordered_set<std::string>& global_names,
+                UnitDesignStats* stats, CheckReport* report) {
+  const auto& toks = file.lexed.tokens;
+  std::unordered_set<std::string> param_names;
+  for (const auto& p : fn.params) param_names.insert(p.name);
+  std::unordered_set<std::string> seen_locals;
+
+  // Statement starts are tokens following ';', '{', or '}'.
+  bool at_stmt_start = true;
+  for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+    const Token& t = toks[i];
+    if (t.IsPunct(";") || t.IsPunct("{") || t.IsPunct("}")) {
+      at_stmt_start = true;
+      continue;
+    }
+    if (!at_stmt_start) continue;
+    at_stmt_start = false;
+
+    // Match: [static|const|unsigned|...]* scalar-type+ declarator-list.
+    std::size_t j = i;
+    bool is_const = false;
+    while (j < fn.body_end &&
+           (toks[j].IsKeyword("static") || toks[j].IsKeyword("const") ||
+            toks[j].IsKeyword("constexpr") || toks[j].IsKeyword("volatile") ||
+            toks[j].IsKeyword("register"))) {
+      if (toks[j].IsKeyword("const") || toks[j].IsKeyword("constexpr")) {
+        is_const = true;
+      }
+      ++j;
+    }
+    if (j >= fn.body_end || !IsScalarTypeKeyword(toks[j])) continue;
+    while (j < fn.body_end && IsScalarTypeKeyword(toks[j])) ++j;
+
+    // Declarator list: [*&]* name [array] [= init | {init} | (init)] , ...
+    while (j < fn.body_end) {
+      while (j < fn.body_end &&
+             (toks[j].IsPunct("*") || toks[j].IsPunct("&"))) {
+        ++j;
+      }
+      if (j >= fn.body_end || !toks[j].IsIdentifier()) break;
+      const std::string name = toks[j].text;
+      const std::int32_t line = toks[j].line;
+      ++j;
+      // Array extents.
+      bool is_array = false;
+      while (j < fn.body_end && toks[j].IsPunct("[")) {
+        is_array = true;
+        int depth = 0;
+        while (j < fn.body_end) {
+          if (toks[j].IsPunct("[")) ++depth;
+          if (toks[j].IsPunct("]")) {
+            --depth;
+            if (depth == 0) {
+              ++j;
+              break;
+            }
+          }
+          ++j;
+        }
+      }
+      const bool initialized =
+          j < fn.body_end &&
+          (toks[j].IsPunct("=") || toks[j].IsPunct("{") ||
+           toks[j].IsPunct("("));
+      const bool ends_decl =
+          j < fn.body_end && (toks[j].IsPunct(";") || toks[j].IsPunct(","));
+      if (!initialized && !ends_decl) break;  // not a declaration after all
+
+      if (!initialized && !is_const) {
+        ++stats->uninitialized_locals;
+        report->Add("UNIT-3", Severity::kRequired, file.path, line,
+                    std::string("local '") + name + "' in '" + fn.name +
+                        (is_array ? "' (array) is not initialized"
+                                  : "' is not initialized"));
+      }
+      if (global_names.contains(name) || param_names.contains(name) ||
+          seen_locals.contains(name)) {
+        ++stats->shadowing_decls;
+        report->Add("UNIT-4", Severity::kWarning, file.path, line,
+                    "local '" + name + "' in '" + fn.name +
+                        "' reuses an existing variable name");
+      }
+      seen_locals.insert(name);
+
+      // Advance past the initializer to the ',' or ';'.
+      int paren = 0, brace = 0, bracket = 0;
+      while (j < fn.body_end) {
+        const Token& u = toks[j];
+        if (u.IsPunct("(")) ++paren;
+        if (u.IsPunct(")")) --paren;
+        if (u.IsPunct("{")) ++brace;
+        if (u.IsPunct("}")) --brace;
+        if (u.IsPunct("[")) ++bracket;
+        if (u.IsPunct("]")) --bracket;
+        if (paren == 0 && brace == 0 && bracket == 0) {
+          if (u.IsPunct(",")) {
+            ++j;
+            break;
+          }
+          if (u.IsPunct(";")) break;
+        }
+        if (paren < 0 || brace < 0) break;  // malformed
+        ++j;
+      }
+      if (j < fn.body_end && toks[j].IsPunct(";")) break;
+      if (j >= fn.body_end) break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> FindRecursionCycles(
+    const metrics::ModuleAnalysis& module) {
+  // Index function names.
+  std::unordered_map<std::string, int> id_of;
+  std::vector<std::string> names;
+  for (const auto& fm : module.functions) {
+    if (id_of.emplace(fm.name, static_cast<int>(names.size())).second) {
+      names.push_back(fm.name);
+    }
+  }
+  std::vector<std::vector<int>> adj(names.size());
+  for (const auto& fm : module.functions) {
+    const int u = id_of.at(fm.name);
+    for (const auto& callee : fm.callees) {
+      auto it = id_of.find(callee);
+      if (it != id_of.end() && it->second != u) {
+        adj[u].push_back(it->second);
+      }
+    }
+  }
+  TarjanScc tarjan(adj);
+  std::vector<std::vector<std::string>> cycles;
+  for (const auto& scc : tarjan.Run()) {
+    if (scc.size() < 2) continue;
+    std::vector<std::string> cycle;
+    cycle.reserve(scc.size());
+    for (int v : scc) cycle.push_back(names[static_cast<std::size_t>(v)]);
+    std::sort(cycle.begin(), cycle.end());
+    cycles.push_back(std::move(cycle));
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+UnitDesignResult AnalyzeUnitDesign(const metrics::ModuleAnalysis& module) {
+  UnitDesignResult result;
+  result.stats.module = module.name;
+  result.report.checker = "unit-design";
+  UnitDesignStats& s = result.stats;
+  CheckReport& rep = result.report;
+
+  // Global-name set for shadowing and global-write detection.
+  std::unordered_set<std::string> global_names;
+  for (const auto& file : module.files) {
+    for (const auto& g : file.globals) {
+      if (g.is_const) {
+        ++s.const_globals;
+      } else if (!g.is_extern_decl) {
+        ++s.mutable_globals;
+        rep.Add("UNIT-5", Severity::kWarning, file.path, g.line,
+                "mutable file-scope variable '" + g.qualified_name + "'");
+      }
+      if (!g.is_const) global_names.insert(g.name);
+    }
+  }
+
+  for (const auto& file : module.files) {
+    for (const auto& c : file.casts) {
+      ++s.explicit_casts;
+      (void)c;
+    }
+    rep.entities_checked +=
+        static_cast<std::int64_t>(file.functions.size());
+
+    for (const auto& fn : file.functions) {
+      ++s.functions_total;
+      const auto& toks = file.lexed.tokens;
+
+      // Row 1: exits.
+      std::int64_t returns = 0;
+      for (std::size_t i = fn.body_begin; i <= fn.body_end; ++i) {
+        if (toks[i].IsKeyword("return")) ++returns;
+        if (toks[i].IsKeyword("goto")) {
+          ++s.goto_statements;
+          rep.Add("UNIT-9", Severity::kRequired, file.path, toks[i].line,
+                  "unconditional jump (goto) in '" + fn.name + "'");
+        }
+        if (toks[i].IsPunct("->")) ++s.pointer_derefs;
+        // Row 2: allocation sites.
+        if (toks[i].IsKeyword("new") &&
+            !(i > fn.body_begin && toks[i - 1].IsKeyword("operator"))) {
+          ++s.dynamic_alloc_sites;
+          rep.Add("UNIT-2", Severity::kWarning, file.path, toks[i].line,
+                  "dynamic object creation (new) in '" + fn.name + "'");
+        }
+        if (toks[i].IsIdentifier() && IsAllocName(toks[i].text) &&
+            i + 1 <= fn.body_end && toks[i + 1].IsPunct("(")) {
+          ++s.dynamic_alloc_sites;
+          rep.Add("UNIT-2", Severity::kWarning, file.path, toks[i].line,
+                  "dynamic allocation via '" + toks[i].text + "' in '" +
+                      fn.name + "'");
+        }
+        // Row 8: global writes (global name followed by an assignment op).
+        if (toks[i].IsIdentifier() && global_names.contains(toks[i].text) &&
+            i + 1 <= fn.body_end) {
+          const Token& nx = toks[i + 1];
+          if (nx.IsPunct("=") || nx.IsPunct("+=") || nx.IsPunct("-=") ||
+              nx.IsPunct("*=") || nx.IsPunct("/=") || nx.IsPunct("++") ||
+              nx.IsPunct("--")) {
+            ++s.global_write_sites;
+            rep.Add("UNIT-8", Severity::kWarning, file.path, toks[i].line,
+                    "write to file-scope variable '" + toks[i].text +
+                        "' in '" + fn.name + "'");
+          }
+        }
+      }
+      if (returns > 1) {
+        ++s.functions_multi_exit;
+        rep.Add("UNIT-1", Severity::kWarning, file.path, fn.start_line,
+                "function '" + fn.name + "' has " + std::to_string(returns) +
+                    " exit points");
+      }
+
+      // Row 6: pointer parameters.
+      for (const auto& p : fn.params) {
+        if (support::Contains(p.type_text, "*")) {
+          ++s.pointer_params;
+        }
+      }
+
+      ScanLocals(file, fn, global_names, &s, &rep);
+    }
+  }
+
+  // Row 10: recursion.
+  for (const auto& fm : module.functions) {
+    if (fm.is_recursive_direct) {
+      ++s.recursive_functions_direct;
+      rep.Add("UNIT-10", Severity::kWarning, "", fm.start_line,
+              "function '" + fm.name + "' is directly recursive");
+    }
+  }
+  const auto cycles = FindRecursionCycles(module);
+  s.recursion_cycles_indirect = static_cast<std::int64_t>(cycles.size());
+  for (const auto& cycle : cycles) {
+    rep.Add("UNIT-10", Severity::kWarning, "", 0,
+            "indirect recursion cycle: " +
+                support::Join(cycle, " -> "));
+  }
+
+  return result;
+}
+
+}  // namespace certkit::rules

@@ -1,0 +1,17 @@
+#include "support/check.h"
+
+#include <sstream>
+
+namespace certkit::support {
+
+void FailCheck(const char* expr, const char* file, int line,
+               const std::string& message) {
+  std::ostringstream os;
+  os << "CERTKIT_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace certkit::support

@@ -1,0 +1,48 @@
+// certkit support: contract-checking macros.
+//
+// CERTKIT_CHECK is used for programming-error contracts (preconditions,
+// invariants). Violations are unrecoverable and abort via std::logic_error so
+// that tests can observe them. Recoverable conditions (I/O failures, malformed
+// input) use support::Status / support::Result instead.
+#ifndef CERTKIT_SUPPORT_CHECK_H_
+#define CERTKIT_SUPPORT_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace certkit::support {
+
+// Thrown on contract violation. Deriving from std::logic_error signals that
+// the failure is a bug in the caller, not an environmental condition.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void FailCheck(const char* expr, const char* file, int line,
+                            const std::string& message);
+
+}  // namespace certkit::support
+
+// Evaluates `cond`; on failure throws ContractViolation with location info.
+// Always enabled (not compiled out in release builds): the analysis library
+// favours early detection over the negligible cost of the branch.
+#define CERTKIT_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::certkit::support::FailCheck(#cond, __FILE__, __LINE__, "");          \
+    }                                                                        \
+  } while (false)
+
+#define CERTKIT_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::std::ostringstream certkit_check_os_;                                \
+      certkit_check_os_ << msg;                                              \
+      ::certkit::support::FailCheck(#cond, __FILE__, __LINE__,               \
+                                    certkit_check_os_.str());                \
+    }                                                                        \
+  } while (false)
+
+#endif  // CERTKIT_SUPPORT_CHECK_H_

@@ -1,0 +1,65 @@
+#include "support/flags.h"
+
+#include <cstdlib>
+
+#include "support/strings.h"
+
+namespace certkit::support {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (!StartsWith(token, "--")) {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+std::optional<std::string> FlagParser::Get(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string FlagParser::GetOr(const std::string& name,
+                              const std::string& fallback) const {
+  return Get(name).value_or(fallback);
+}
+
+std::optional<long long> FlagParser::GetInt(const std::string& name,
+                                            long long fallback) const {
+  auto v = Get(name);
+  if (!v.has_value()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  auto v = Get(name);
+  if (!v.has_value()) return false;
+  return *v != "false" && *v != "0";
+}
+
+std::vector<std::string> FlagParser::FlagNames() const {
+  std::vector<std::string> out;
+  out.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) out.push_back(name);
+  return out;
+}
+
+}  // namespace certkit::support

@@ -1,0 +1,45 @@
+// certkit support: a minimal command-line flag parser for the CLI tool.
+//
+// Recognized syntax: `--name=value`, `--name value`, boolean `--name`, and
+// positional arguments. Unknown flags are collected and can be rejected by
+// the caller.
+#ifndef CERTKIT_SUPPORT_FLAGS_H_
+#define CERTKIT_SUPPORT_FLAGS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace certkit::support {
+
+class FlagParser {
+ public:
+  // Parses argv[1..argc). A token starting with "--" is a flag; if it
+  // contains '=', the value is inline; otherwise, if the next token exists
+  // and is not itself a flag, it is consumed as the value; otherwise the
+  // flag is boolean ("true").
+  FlagParser(int argc, const char* const* argv);
+
+  // Value of --name ("name" without dashes), or nullopt.
+  std::optional<std::string> Get(const std::string& name) const;
+  std::string GetOr(const std::string& name,
+                    const std::string& fallback) const;
+  // Integer flag; `fallback` when absent; nullopt on a malformed number.
+  std::optional<long long> GetInt(const std::string& name,
+                                  long long fallback) const;
+  // True when the flag is present (any value except "false"/"0").
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  // Names seen on the command line, for unknown-flag rejection.
+  std::vector<std::string> FlagNames() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace certkit::support
+
+#endif  // CERTKIT_SUPPORT_FLAGS_H_

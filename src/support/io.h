@@ -1,0 +1,26 @@
+// certkit support: filesystem helpers used by the analyzers and reports.
+#ifndef CERTKIT_SUPPORT_IO_H_
+#define CERTKIT_SUPPORT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace certkit::support {
+
+// Reads an entire file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+// Writes `content` to `path`, creating parent directories as needed.
+Status WriteFile(const std::string& path, const std::string& content);
+
+// Recursively lists regular files under `dir` whose name ends with one of
+// `extensions` (e.g. {".cc", ".h"}); empty `extensions` matches everything.
+// Results are sorted for determinism.
+Result<std::vector<std::string>> ListFiles(
+    const std::string& dir, const std::vector<std::string>& extensions);
+
+}  // namespace certkit::support
+
+#endif  // CERTKIT_SUPPORT_IO_H_

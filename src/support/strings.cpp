@@ -1,0 +1,156 @@
+#include "support/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "support/check.h"
+
+namespace certkit::support {
+
+namespace {
+bool IsSpaceChar(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+bool IsLowerChar(char c) {
+  return std::islower(static_cast<unsigned char>(c)) != 0;
+}
+bool IsUpperChar(char c) {
+  return std::isupper(static_cast<unsigned char>(c)) != 0;
+}
+bool IsDigitChar(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && IsSpaceChar(s[i])) ++i;
+    const std::size_t begin = i;
+    while (i < s.size() && !IsSpaceChar(s[i])) ++i;
+    if (i > begin) out.emplace_back(s.substr(begin, i - begin));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  std::size_t begin = 0;
+  while (begin < s.size() && IsSpaceChar(s[begin])) ++begin;
+  std::size_t end = s.size();
+  while (end > begin && IsSpaceChar(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool Contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return out;
+}
+
+bool IsSnakeCase(std::string_view id) {
+  if (id.empty()) return false;
+  if (!IsLowerChar(id.front())) return false;
+  for (char c : id) {
+    if (!IsLowerChar(c) && !IsDigitChar(c) && c != '_') return false;
+  }
+  return !Contains(id, "__") && id.back() != '_';
+}
+
+bool IsUpperCamelCase(std::string_view id) {
+  if (id.empty() || !IsUpperChar(id.front())) return false;
+  for (char c : id) {
+    if (!IsLowerChar(c) && !IsUpperChar(c) && !IsDigitChar(c)) return false;
+  }
+  return true;
+}
+
+bool IsLowerCamelCase(std::string_view id) {
+  if (id.empty() || !IsLowerChar(id.front())) return false;
+  for (char c : id) {
+    if (!IsLowerChar(c) && !IsUpperChar(c) && !IsDigitChar(c)) return false;
+  }
+  return true;
+}
+
+bool IsMacroCase(std::string_view id) {
+  if (id.empty() || !IsUpperChar(id.front())) return false;
+  for (char c : id) {
+    if (!IsUpperChar(c) && !IsDigitChar(c) && c != '_') return false;
+  }
+  return true;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  CERTKIT_CHECK(!from.empty());
+  std::string out;
+  out.reserve(s.size());
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(s.substr(start));
+      return out;
+    }
+    out.append(s.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+std::string FormatDouble(double v, int decimals) {
+  CERTKIT_CHECK(decimals >= 0 && decimals <= 17);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace certkit::support

@@ -1,0 +1,46 @@
+// certkit support: small string utilities shared by the analyzers.
+#ifndef CERTKIT_SUPPORT_STRINGS_H_
+#define CERTKIT_SUPPORT_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace certkit::support {
+
+// Splits `s` on `sep`; adjacent separators yield empty fields.
+// Split("a,,b", ',') == {"a", "", "b"}. Split("", ',') == {""}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits on any whitespace run; no empty fields are produced.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool Contains(std::string_view s, std::string_view needle);
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+// Identifier-style predicates used by the naming-convention checkers.
+bool IsSnakeCase(std::string_view id);       // lower_case_with_underscores
+bool IsUpperCamelCase(std::string_view id);  // UpperCamelCase
+bool IsLowerCamelCase(std::string_view id);  // lowerCamelCase
+bool IsMacroCase(std::string_view id);       // UPPER_CASE_WITH_UNDERSCORES
+
+// Replaces all occurrences of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+// Formats `v` with `decimals` digits after the point (locale-independent).
+std::string FormatDouble(double v, int decimals);
+
+}  // namespace certkit::support
+
+#endif  // CERTKIT_SUPPORT_STRINGS_H_

@@ -1,0 +1,157 @@
+#include "timing/timing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "support/check.h"
+
+namespace certkit::timing {
+
+namespace {
+
+// Index-based quantile on a sorted vector (nearest-rank).
+double Quantile(const std::vector<double>& sorted, double q) {
+  CERTKIT_CHECK(!sorted.empty());
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+constexpr double kEulerMascheroni = 0.5772156649015329;
+
+}  // namespace
+
+ExecutionTimer::ExecutionTimer(std::string name) : name_(std::move(name)) {}
+
+void ExecutionTimer::Record(double seconds) {
+  CERTKIT_CHECK_MSG(seconds >= 0.0, "negative execution time");
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(seconds);
+}
+
+std::int64_t ExecutionTimer::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(samples_.size());
+}
+
+TimingStats ExecutionTimer::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TimingStats stats;
+  stats.count = static_cast<std::int64_t>(samples_.size());
+  if (samples_.empty()) return stats;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  stats.min = sorted.front();
+  stats.max = sorted.back();
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  stats.mean = sum / static_cast<double>(sorted.size());
+  stats.p95 = Quantile(sorted, 0.95);
+  stats.p99 = Quantile(sorted, 0.99);
+  return stats;
+}
+
+std::int64_t ExecutionTimer::CountOver(double deadline) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t n = 0;
+  for (double v : samples_) {
+    if (v > deadline) ++n;
+  }
+  return n;
+}
+
+double ExecutionTimer::EstimateWcetEnvelope(double margin) const {
+  CERTKIT_CHECK(margin >= 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end()) * margin;
+}
+
+support::Result<double> ExecutionTimer::EstimatePwcet(
+    double exceedance_probability, int block_size) const {
+  if (exceedance_probability <= 0.0 || exceedance_probability >= 1.0) {
+    return support::InvalidArgumentError(
+        "exceedance probability must be in (0, 1)");
+  }
+  if (block_size < 1) {
+    return support::InvalidArgumentError("block size must be positive");
+  }
+  std::vector<double> maxima;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t start = 0;
+         start + static_cast<std::size_t>(block_size) <= samples_.size();
+         start += static_cast<std::size_t>(block_size)) {
+      double block_max = samples_[start];
+      for (std::size_t i = start + 1;
+           i < start + static_cast<std::size_t>(block_size); ++i) {
+        block_max = std::max(block_max, samples_[i]);
+      }
+      maxima.push_back(block_max);
+    }
+  }
+  if (maxima.size() < 2) {
+    return support::InvalidArgumentError(
+        "need at least 2 full blocks of samples for the EVT fit");
+  }
+
+  // Method-of-moments Gumbel fit to the block maxima.
+  double sum = 0.0;
+  for (double v : maxima) sum += v;
+  const double mean = sum / static_cast<double>(maxima.size());
+  double var = 0.0;
+  for (double v : maxima) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(maxima.size() - 1);
+  const double stddev = std::sqrt(var);
+  if (stddev < 1e-15) {
+    // Degenerate (constant) maxima: the bound is the constant itself.
+    return mean;
+  }
+  const double beta = stddev * std::numbers::sqrt3 * std::numbers::sqrt2 /
+                      std::numbers::pi;  // s * sqrt(6) / pi
+  const double mu = mean - kEulerMascheroni * beta;
+
+  // Per-invocation exceedance -> per-block exceedance.
+  const double block_exceedance =
+      1.0 - std::pow(1.0 - exceedance_probability, block_size);
+  // Gumbel quantile at probability (1 - block_exceedance).
+  const double q = 1.0 - block_exceedance;
+  return mu - beta * std::log(-std::log(q));
+}
+
+void ExecutionTimer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+}
+
+TimerRegistry& TimerRegistry::Instance() {
+  static TimerRegistry* registry = new TimerRegistry();
+  return *registry;
+}
+
+ExecutionTimer& TimerRegistry::GetOrCreate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(name, std::make_unique<ExecutionTimer>(name)).first;
+  }
+  return *it->second;
+}
+
+std::vector<const ExecutionTimer*> TimerRegistry::Timers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const ExecutionTimer*> out;
+  out.reserve(timers_.size());
+  for (const auto& [name, timer] : timers_) out.push_back(timer.get());
+  return out;
+}
+
+void TimerRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, timer] : timers_) timer->Reset();
+}
+
+}  // namespace certkit::timing

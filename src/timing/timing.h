@@ -1,0 +1,108 @@
+// certkit timing: execution-time measurement and WCET estimation support.
+//
+// Observation 1 of the paper ties cyclomatic complexity directly to timing
+// analysis: "Such high code complexity challenges the functional
+// verification of the code as well as its timing analysis (e.g., worst-case
+// execution time and response time) estimation." This module provides the
+// measurement side of that analysis for the AD pipeline:
+//
+//  * ExecutionTimer — collects per-invocation execution times of a task and
+//    reports the high-water mark, distribution quantiles, and deadline
+//    misses;
+//  * EstimateWcetEnvelope — the classical measurement-based bound: observed
+//    maximum times an engineering margin;
+//  * EstimatePwcet — a measurement-based probabilistic WCET in the MBPTA
+//    tradition: a Gumbel (EVT) tail fitted to block maxima by the method of
+//    moments, evaluated at a target exceedance probability;
+//  * ScopedTimer — RAII measurement of a code region.
+//
+// All statistics are deterministic functions of the recorded samples.
+#ifndef CERTKIT_TIMING_TIMING_H_
+#define CERTKIT_TIMING_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace certkit::timing {
+
+struct TimingStats {
+  std::int64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;   // the high-water mark (HWM)
+  double mean = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class ExecutionTimer {
+ public:
+  explicit ExecutionTimer(std::string name);
+
+  void Record(double seconds);
+  std::int64_t sample_count() const;
+  const std::string& name() const { return name_; }
+
+  TimingStats GetStats() const;
+
+  // Samples strictly above `deadline` seconds.
+  std::int64_t CountOver(double deadline) const;
+
+  // Envelope WCET: max observed * margin (margin >= 1).
+  double EstimateWcetEnvelope(double margin = 1.2) const;
+
+  // Probabilistic WCET: Gumbel fit over block maxima (method of moments),
+  // evaluated at the given exceedance probability per invocation.
+  // Requires at least 2 blocks of `block_size` samples; returns
+  // InvalidArgument otherwise. Smaller probabilities give larger bounds.
+  support::Result<double> EstimatePwcet(double exceedance_probability,
+                                        int block_size = 10) const;
+
+  void Reset();
+
+ private:
+  std::string name_;
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+// Named-timer registry (one per task/stage).
+class TimerRegistry {
+ public:
+  static TimerRegistry& Instance();
+  ExecutionTimer& GetOrCreate(const std::string& name);
+  std::vector<const ExecutionTimer*> Timers() const;
+  void ResetAll();
+
+ private:
+  TimerRegistry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ExecutionTimer>> timers_;
+};
+
+// RAII region timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(ExecutionTimer& timer)
+      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    timer_.Record(std::chrono::duration<double>(end - start_).count());
+  }
+
+ private:
+  ExecutionTimer& timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace certkit::timing
+
+#endif  // CERTKIT_TIMING_TIMING_H_

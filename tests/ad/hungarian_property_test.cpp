@@ -1,0 +1,90 @@
+// Property test: the Hungarian assignment is optimal — verified against a
+// brute-force enumeration of all permutations on random cost matrices.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "ad/tracking.h"
+#include "support/rng.h"
+
+namespace adpilot {
+namespace {
+
+double AssignmentCost(const std::vector<std::vector<double>>& cost,
+                      const std::vector<int>& perm) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    total += cost[i][static_cast<std::size_t>(perm[i])];
+  }
+  return total;
+}
+
+// Minimal total cost over all complete assignments (square matrix).
+double BruteForceOptimum(const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    best = std::min(best, AssignmentCost(cost, perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+class HungarianOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianOptimality, MatchesBruteForceOnRandomMatrices) {
+  const int n = GetParam();
+  certkit::support::Xoshiro256 rng(1000 + static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::vector<double>> cost(
+        static_cast<std::size_t>(n),
+        std::vector<double>(static_cast<std::size_t>(n)));
+    for (auto& row : cost) {
+      for (auto& v : row) v = rng.UniformDouble(0.0, 100.0);
+    }
+    const auto assignment = HungarianAssign(cost);
+    // Complete and injective.
+    std::vector<bool> used(static_cast<std::size_t>(n), false);
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      ASSERT_GE(assignment[static_cast<std::size_t>(i)], 0);
+      const auto j = static_cast<std::size_t>(assignment[i]);
+      ASSERT_FALSE(used[j]);
+      used[j] = true;
+      total += cost[static_cast<std::size_t>(i)][j];
+    }
+    // Optimal.
+    const double optimum = BruteForceOptimum(cost);
+    EXPECT_NEAR(total, optimum, 1e-9)
+        << "suboptimal assignment on trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HungarianOptimality,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+TEST(HungarianOptimality, IntegerCostsWithTies) {
+  certkit::support::Xoshiro256 rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 5;
+    std::vector<std::vector<double>> cost(
+        n, std::vector<double>(n));
+    for (auto& row : cost) {
+      for (auto& v : row) v = static_cast<double>(rng.UniformInt(0, 3));
+    }
+    const auto assignment = HungarianAssign(cost);
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      total += cost[static_cast<std::size_t>(i)]
+                   [static_cast<std::size_t>(assignment[i])];
+    }
+    EXPECT_NEAR(total, BruteForceOptimum(cost), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace adpilot

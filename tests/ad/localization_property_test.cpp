@@ -1,0 +1,94 @@
+// Property tests for the EKF localizer: covariance health and robustness
+// under sensor dropout.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ad/localization.h"
+#include "support/rng.h"
+
+namespace adpilot {
+namespace {
+
+using certkit::support::Xoshiro256;
+
+TEST(EkfPropertyTest, UncertaintyShrinksOnUpdateGrowsOnPredict) {
+  EkfLocalizer ekf(Pose{{0.0, 0.0}, 0.0}, 5.0);
+  const double initial = ekf.position_uncertainty();
+  ekf.Predict(0.0, 0.0, 0.5);
+  const double after_predict = ekf.position_uncertainty();
+  EXPECT_GT(after_predict, initial);
+  ekf.UpdatePosition({2.5, 0.0});
+  EXPECT_LT(ekf.position_uncertainty(), after_predict);
+}
+
+TEST(EkfPropertyTest, UncertaintyStaysPositiveAndBoundedOverLongRuns) {
+  Xoshiro256 rng(31);
+  EkfLocalizer ekf(Pose{{0.0, 0.0}, 0.0}, 5.0);
+  double true_x = 0.0, true_y = 0.0, heading = 0.0, speed = 5.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double yaw_rate = 0.05 * std::sin(i * 0.01);
+    heading += yaw_rate * 0.1;
+    true_x += speed * std::cos(heading) * 0.1;
+    true_y += speed * std::sin(heading) * 0.1;
+    ekf.Predict(0.0, yaw_rate, 0.1);
+    ekf.UpdatePosition({true_x + rng.Gaussian(0.0, 1.5),
+                        true_y + rng.Gaussian(0.0, 1.5)});
+    ekf.UpdateSpeed(speed + rng.Gaussian(0.0, 0.2));
+    ASSERT_GT(ekf.position_uncertainty(), 0.0) << "tick " << i;
+    ASSERT_LT(ekf.position_uncertainty(), 100.0) << "tick " << i;
+  }
+  // After 200 s of curving motion the estimate still tracks the truth.
+  const VehicleState st = ekf.state();
+  EXPECT_NEAR(st.pose.position.x, true_x, 3.0);
+  EXPECT_NEAR(st.pose.position.y, true_y, 3.0);
+}
+
+TEST(EkfPropertyTest, SurvivesGnssDropout) {
+  Xoshiro256 rng(32);
+  EkfLocalizer ekf(Pose{{0.0, 0.0}, 0.0}, 5.0);
+  double true_x = 0.0;
+  double unc_before_dropout = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    true_x += 0.5;
+    ekf.Predict(0.0, 0.0, 0.1);
+    const bool dropout = i >= 100 && i < 200;  // 10 s without fixes
+    if (!dropout) {
+      ekf.UpdatePosition({true_x + rng.Gaussian(0.0, 1.0),
+                          rng.Gaussian(0.0, 1.0)});
+    }
+    ekf.UpdateSpeed(5.0 + rng.Gaussian(0.0, 0.2));
+    if (i == 99) unc_before_dropout = ekf.position_uncertainty();
+    if (i == 199) {
+      // Dead-reckoning only: uncertainty must have grown.
+      EXPECT_GT(ekf.position_uncertainty(), unc_before_dropout);
+      // But odometry keeps the estimate in the right neighbourhood.
+      EXPECT_NEAR(ekf.state().pose.position.x, true_x, 8.0);
+    }
+  }
+  // Recovery after the dropout window.
+  EXPECT_NEAR(ekf.state().pose.position.x, true_x, 2.0);
+  EXPECT_LT(ekf.position_uncertainty(), unc_before_dropout * 2.0);
+}
+
+TEST(EkfPropertyTest, HeadingStaysNormalized) {
+  EkfLocalizer ekf(Pose{{0.0, 0.0}, 3.0}, 2.0);
+  for (int i = 0; i < 500; ++i) {
+    ekf.Predict(0.0, 0.5, 0.1);  // constant turn, many wraps
+    ekf.UpdateSpeed(2.0);
+  }
+  const double heading = ekf.state().pose.heading;
+  EXPECT_GT(heading, -3.1416);
+  EXPECT_LE(heading, 3.1416);
+}
+
+TEST(EkfPropertyTest, SpeedNeverNegative) {
+  EkfLocalizer ekf(Pose{{0.0, 0.0}, 0.0}, 0.5);
+  for (int i = 0; i < 100; ++i) {
+    ekf.Predict(-3.0, 0.0, 0.1);  // hard braking past zero
+    EXPECT_GE(ekf.state().speed, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace adpilot

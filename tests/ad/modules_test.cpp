@@ -1,0 +1,368 @@
+// Tests for scenario/camera, prediction, localization, routing, planning,
+// control, and CAN bus modules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "ad/canbus.h"
+#include "ad/control.h"
+#include "ad/localization.h"
+#include "ad/planning.h"
+#include "ad/prediction.h"
+#include "ad/routing.h"
+#include "ad/scenario.h"
+
+namespace adpilot {
+namespace {
+
+TEST(GeometryTest, PoseTransformsRoundTrip) {
+  Pose pose{{10.0, 5.0}, std::numbers::pi / 3};
+  const Vec2 world{17.0, -2.0};
+  const Vec2 ego = pose.WorldToEgo(world);
+  const Vec2 back = pose.EgoToWorld(ego);
+  EXPECT_NEAR(back.x, world.x, 1e-9);
+  EXPECT_NEAR(back.y, world.y, 1e-9);
+}
+
+TEST(GeometryTest, NormalizeAngle) {
+  EXPECT_NEAR(NormalizeAngle(3 * std::numbers::pi), std::numbers::pi, 1e-9);
+  EXPECT_NEAR(NormalizeAngle(-3 * std::numbers::pi), std::numbers::pi, 1e-9);
+  EXPECT_NEAR(NormalizeAngle(0.5), 0.5, 1e-12);
+}
+
+TEST(CameraModelTest, PixelRoundTrip) {
+  const Vec2 ego{10.0, -3.0};
+  double px = 0, py = 0;
+  ASSERT_TRUE(CameraModel::EgoToPixel(ego, &px, &py));
+  const Vec2 back = CameraModel::PixelToEgo(px, py);
+  EXPECT_NEAR(back.x, ego.x, CameraModel::kMetersPerPixel);
+  EXPECT_NEAR(back.y, ego.y, CameraModel::kMetersPerPixel);
+}
+
+TEST(CameraModelTest, OutOfWindowRejected) {
+  double px, py;
+  EXPECT_FALSE(CameraModel::EgoToPixel({-10.0, 0.0}, &px, &py));
+  EXPECT_FALSE(CameraModel::EgoToPixel({50.0, 0.0}, &px, &py));
+  EXPECT_FALSE(CameraModel::EgoToPixel({10.0, 20.0}, &px, &py));
+}
+
+TEST(ScenarioTest, RendersObstaclesAsBrightPixels) {
+  ScenarioConfig cfg;
+  cfg.num_vehicles = 1;
+  cfg.seed = 5;
+  Scenario scenario(cfg);
+  const Obstacle& v = scenario.ground_truth()[0];
+  Pose ego{{v.position.x - 15.0, v.position.y}, 0.0};
+  nn::Tensor frame = scenario.RenderCameraFrame(ego);
+  double px = 0, py = 0;
+  ASSERT_TRUE(CameraModel::EgoToPixel(ego.WorldToEgo(v.position), &px, &py));
+  EXPECT_GT(frame.At(0, 0, static_cast<int>(py), static_cast<int>(px)),
+            200.0f);
+  EXPECT_LT(frame.At(0, 0, 0, 0), 30.0f);  // background
+}
+
+TEST(ScenarioTest, StepMovesAgents) {
+  ScenarioConfig cfg;
+  cfg.num_vehicles = 2;
+  Scenario scenario(cfg);
+  const double x_before = scenario.ground_truth()[0].position.x;
+  scenario.Step(1.0);
+  EXPECT_GT(scenario.ground_truth()[0].position.x, x_before);
+}
+
+TEST(PredictionTest, ManeuverClassification) {
+  Obstacle still;
+  still.velocity = {0.1, 0.0};
+  Obstacle cruising;
+  cruising.velocity = {8.0, 0.5};
+  Obstacle crossing;
+  crossing.velocity = {0.5, 2.0};
+  auto preds = PredictObstacles({still, cruising, crossing});
+  ASSERT_EQ(preds.size(), 3u);
+  EXPECT_EQ(preds[0].maneuver, Maneuver::kStationary);
+  EXPECT_EQ(preds[1].maneuver, Maneuver::kCruising);
+  EXPECT_EQ(preds[2].maneuver, Maneuver::kCrossing);
+}
+
+TEST(PredictionTest, TrajectoryRolloutMatchesVelocity) {
+  Obstacle o;
+  o.position = {10.0, 0.0};
+  o.velocity = {4.0, 0.0};
+  PredictionConfig cfg;
+  cfg.horizon = 2.0;
+  cfg.step = 0.5;
+  auto preds = PredictObstacles({o}, cfg);
+  ASSERT_EQ(preds.size(), 1u);
+  const Trajectory& tr = preds[0].trajectory;
+  ASSERT_EQ(tr.size(), 5u);  // t = 0, 0.5, 1.0, 1.5, 2.0
+  EXPECT_NEAR(tr.back().position.x, 18.0, 1e-9);
+  EXPECT_NEAR(tr.back().t, 2.0, 1e-9);
+}
+
+TEST(PredictionTest, StationaryStaysPut) {
+  Obstacle o;
+  o.position = {5.0, 5.0};
+  o.velocity = {0.05, 0.05};
+  auto preds = PredictObstacles({o});
+  EXPECT_NEAR(preds[0].trajectory.back().position.x, 5.0, 1e-9);
+}
+
+TEST(LocalizationTest, TracksStraightDrive) {
+  EkfLocalizer ekf(Pose{{0.0, 0.0}, 0.0}, 5.0);
+  // Drive straight at 5 m/s with perfect sensors.
+  for (int i = 1; i <= 50; ++i) {
+    ekf.Predict(0.0, 0.0, 0.1);
+    ekf.UpdatePosition({0.5 * i, 0.0});
+    ekf.UpdateSpeed(5.0);
+  }
+  const VehicleState st = ekf.state();
+  EXPECT_NEAR(st.pose.position.x, 25.0, 0.5);
+  EXPECT_NEAR(st.pose.position.y, 0.0, 0.3);
+  EXPECT_NEAR(st.speed, 5.0, 0.2);
+}
+
+TEST(LocalizationTest, FusesNoisyGnss) {
+  certkit::support::Xoshiro256 rng(3);
+  EkfLocalizer ekf(Pose{{0.0, 0.0}, 0.0}, 5.0);
+  double true_x = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    true_x += 0.5;  // 5 m/s * 0.1 s
+    ekf.Predict(0.0, 0.0, 0.1);
+    ekf.UpdatePosition({true_x + rng.Gaussian(0.0, 1.5),
+                        rng.Gaussian(0.0, 1.5)});
+    ekf.UpdateSpeed(5.0 + rng.Gaussian(0.0, 0.2));
+  }
+  // The fused estimate is much tighter than a single GNSS fix.
+  EXPECT_NEAR(ekf.state().pose.position.x, true_x, 1.0);
+  EXPECT_NEAR(ekf.state().pose.position.y, 0.0, 1.0);
+}
+
+TEST(LocalizationTest, HeadingFollowsYawRate) {
+  EkfLocalizer ekf(Pose{{0.0, 0.0}, 0.0}, 2.0);
+  for (int i = 0; i < 10; ++i) {
+    ekf.Predict(0.0, 0.1, 0.1);  // 0.1 rad/s for 1 s
+  }
+  EXPECT_NEAR(ekf.state().pose.heading, 0.1, 1e-6);
+}
+
+TEST(RoutingTest, StraightRoadShortestPath) {
+  LaneGraph g = LaneGraph::StraightRoad(2, 10, 10.0, 4.0);
+  const int start = g.NearestNode({0.0, -2.0});
+  const int goal = g.NearestNode({90.0, -2.0});
+  auto route = FindRoute(g, start, goal);
+  ASSERT_TRUE(route.ok());
+  EXPECT_NEAR(route.value().length, 90.0, 1e-6);
+  EXPECT_EQ(route.value().node_ids.front(), start);
+  EXPECT_EQ(route.value().node_ids.back(), goal);
+}
+
+TEST(RoutingTest, LaneChangeWhenGoalInOtherLane) {
+  LaneGraph g = LaneGraph::StraightRoad(2, 10, 10.0, 4.0);
+  const int start = g.NearestNode({0.0, -2.0});
+  const int goal = g.NearestNode({90.0, 2.0});
+  auto route = FindRoute(g, start, goal);
+  ASSERT_TRUE(route.ok());
+  // One diagonal lane change: slightly longer than 90.
+  EXPECT_GT(route.value().length, 90.0);
+  EXPECT_LT(route.value().length, 95.0);
+}
+
+TEST(RoutingTest, UnreachableGoal) {
+  LaneGraph g;
+  const int a = g.AddNode({0.0, 0.0});
+  const int b = g.AddNode({10.0, 0.0});
+  g.AddEdge(b, a);  // edge points the wrong way
+  auto route = FindRoute(g, a, b);
+  EXPECT_FALSE(route.ok());
+  EXPECT_EQ(route.status().code(), certkit::support::StatusCode::kNotFound);
+}
+
+TEST(RoutingTest, InvalidNodeIds) {
+  LaneGraph g = LaneGraph::StraightRoad(1, 3, 10.0, 4.0);
+  EXPECT_FALSE(FindRoute(g, -1, 0).ok());
+  EXPECT_FALSE(FindRoute(g, 0, 99).ok());
+}
+
+TEST(QuinticTest, BoundaryConditions) {
+  QuinticPolynomial q(1.0, 0.5, -0.2, 3.0, 0.0, 0.0, 4.0);
+  EXPECT_NEAR(q.Value(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(q.FirstDerivative(0.0), 0.5, 1e-9);
+  EXPECT_NEAR(q.SecondDerivative(0.0), -0.2, 1e-9);
+  EXPECT_NEAR(q.Value(4.0), 3.0, 1e-6);
+  EXPECT_NEAR(q.FirstDerivative(4.0), 0.0, 1e-6);
+  EXPECT_NEAR(q.SecondDerivative(4.0), 0.0, 1e-6);
+}
+
+Route StraightRouteTo(double x) {
+  Route r;
+  for (double s = 0.0; s <= x + 10.0; s += 10.0) {
+    r.waypoints.push_back({s, 0.0});
+    r.node_ids.push_back(static_cast<int>(s / 10.0));
+  }
+  r.length = r.waypoints.back().x;
+  return r;
+}
+
+TEST(PlanningTest, CruisesOnEmptyRoad) {
+  VehicleState state;
+  state.pose = {{0.0, 0.0}, 0.0};
+  state.speed = 5.0;
+  auto plan = PlanTrajectory(state, StraightRouteTo(100.0), {});
+  EXPECT_TRUE(plan.collision_free);
+  ASSERT_FALSE(plan.trajectory.empty());
+  // Picks the zero-offset full-speed candidate: stays on the centerline
+  // and accelerates toward cruise speed.
+  EXPECT_NEAR(plan.trajectory.back().position.y, 0.0, 0.1);
+  EXPECT_GT(plan.trajectory.back().speed, 5.0);
+}
+
+TEST(PlanningTest, SwervesAroundStationaryObstacle) {
+  VehicleState state;
+  state.pose = {{0.0, 0.0}, 0.0};
+  state.speed = 6.0;
+  PredictedObstacle blocker;
+  blocker.obstacle.position = {18.0, 0.0};
+  blocker.maneuver = Maneuver::kStationary;
+  for (double t = 0.0; t <= 4.01; t += 0.25) {
+    TrajectoryPoint pt;
+    pt.position = {18.0, 0.0};
+    pt.t = t;
+    blocker.trajectory.push_back(pt);
+  }
+  auto plan = PlanTrajectory(state, StraightRouteTo(100.0), {blocker});
+  EXPECT_TRUE(plan.collision_free);
+  // The chosen path leaves the centerline at some point.
+  double max_offset = 0.0;
+  for (const auto& pt : plan.trajectory) {
+    max_offset = std::max(max_offset, std::abs(pt.position.y));
+  }
+  EXPECT_GT(max_offset, 1.0);
+}
+
+TEST(PlanningTest, EmergencyStopWhenFullyBlocked) {
+  VehicleState state;
+  state.pose = {{0.0, 0.0}, 0.0};
+  state.speed = 6.0;
+  // Wall of stationary obstacles across every lateral offset, close ahead.
+  std::vector<PredictedObstacle> wall;
+  for (double y = -6.0; y <= 6.0; y += 2.0) {
+    PredictedObstacle p;
+    p.obstacle.position = {6.0, y};
+    p.maneuver = Maneuver::kStationary;
+    for (double t = 0.0; t <= 4.01; t += 0.25) {
+      TrajectoryPoint pt;
+      pt.position = {6.0, y};
+      pt.t = t;
+      p.trajectory.push_back(pt);
+    }
+    wall.push_back(std::move(p));
+  }
+  auto plan = PlanTrajectory(state, StraightRouteTo(100.0), wall);
+  EXPECT_FALSE(plan.collision_free);
+  // Emergency stop: speed decreases monotonically to zero.
+  ASSERT_GE(plan.trajectory.size(), 2u);
+  EXPECT_LE(plan.trajectory.back().speed, plan.trajectory.front().speed);
+  EXPECT_NEAR(plan.trajectory.back().speed, 0.0, 1.5);
+}
+
+TEST(ControlTest, PidDrivesErrorDown) {
+  PidController pid(0.8, 0.2, 0.0, 2.0);
+  double speed = 0.0;
+  const double target = 5.0;
+  for (int i = 0; i < 300; ++i) {
+    const double u = pid.Step(target - speed, 0.1);
+    speed += std::clamp(u, -1.0, 1.0) * 3.0 * 0.1;  // simple plant
+  }
+  EXPECT_NEAR(speed, target, 0.4);
+}
+
+TEST(ControlTest, SteersTowardOffsetTrajectory) {
+  TrajectoryController controller;
+  VehicleState state;
+  state.pose = {{0.0, 0.0}, 0.0};
+  state.speed = 5.0;
+  Trajectory traj;
+  for (double t = 0.0; t <= 3.01; t += 0.25) {
+    TrajectoryPoint pt;
+    pt.position = {5.0 * t, 2.0};  // path offset to the left
+    pt.speed = 5.0;
+    pt.t = t;
+    traj.push_back(pt);
+  }
+  const ControlCommand cmd = controller.Compute(state, traj, 0.1);
+  EXPECT_GT(cmd.steering, 0.01);  // steer left (positive)
+}
+
+TEST(ControlTest, EmptyTrajectoryBrakes) {
+  TrajectoryController controller;
+  VehicleState state;
+  state.speed = 5.0;
+  const ControlCommand cmd = controller.Compute(state, {}, 0.1);
+  EXPECT_EQ(cmd.brake, 1.0);
+  EXPECT_EQ(cmd.throttle, 0.0);
+}
+
+TEST(CanBusTest, CommandFrameRoundTrip) {
+  ControlCommand cmd;
+  cmd.throttle = 0.375;
+  cmd.brake = 0.0;
+  cmd.steering = -0.123;
+  const CanFrame frame = EncodeCommand(cmd);
+  const ControlCommand back = DecodeCommand(frame);
+  EXPECT_NEAR(back.throttle, cmd.throttle, 1e-3);
+  EXPECT_NEAR(back.brake, cmd.brake, 1e-3);
+  EXPECT_NEAR(back.steering, cmd.steering, 1e-3);
+}
+
+TEST(CanBusTest, DecodeWrongIdIsContractViolation) {
+  CanFrame frame;
+  frame.can_id = 0x999;
+  EXPECT_THROW(DecodeCommand(frame), certkit::support::ContractViolation);
+}
+
+TEST(CanBusTest, ThrottleAccelerates) {
+  CanBus bus(Pose{{0.0, 0.0}, 0.0});
+  ControlCommand cmd;
+  cmd.throttle = 1.0;
+  for (int i = 0; i < 50; ++i) {
+    bus.SendCommand(cmd);
+    bus.Step(0.1, 0.0, 0.0);
+  }
+  EXPECT_GT(bus.vehicle().state().speed, 5.0);
+  EXPECT_GT(bus.vehicle().state().pose.position.x, 10.0);
+  EXPECT_EQ(bus.frames_sent(), 50);
+}
+
+TEST(CanBusTest, BrakeStops) {
+  CanBus bus(Pose{{0.0, 0.0}, 0.0});
+  ControlCommand go;
+  go.throttle = 1.0;
+  for (int i = 0; i < 50; ++i) {
+    bus.SendCommand(go);
+    bus.Step(0.1, 0.0, 0.0);
+  }
+  ControlCommand stop;
+  stop.brake = 1.0;
+  for (int i = 0; i < 80; ++i) {
+    bus.SendCommand(stop);
+    bus.Step(0.1, 0.0, 0.0);
+  }
+  EXPECT_NEAR(bus.vehicle().state().speed, 0.0, 0.1);
+}
+
+TEST(CanBusTest, SteeringTurnsVehicle) {
+  CanBus bus(Pose{{0.0, 0.0}, 0.0});
+  ControlCommand cmd;
+  cmd.throttle = 0.5;
+  cmd.steering = 0.2;
+  for (int i = 0; i < 50; ++i) {
+    bus.SendCommand(cmd);
+    bus.Step(0.1, 0.0, 0.0);
+  }
+  EXPECT_GT(bus.vehicle().state().pose.heading, 0.1);
+  EXPECT_GT(bus.vehicle().state().pose.position.y, 0.5);
+}
+
+}  // namespace
+}  // namespace adpilot

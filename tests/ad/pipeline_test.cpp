@@ -1,0 +1,112 @@
+// Integration tests: perception over rendered frames and the full
+// closed-loop pipeline.
+#include "ad/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace adpilot {
+namespace {
+
+TEST(PerceptionIntegrationTest, DetectsVehicleInRenderedFrame) {
+  ScenarioConfig scfg;
+  scfg.num_vehicles = 1;
+  scfg.seed = 11;
+  Scenario scenario(scfg);
+  const Obstacle& truth = scenario.ground_truth()[0];
+  Pose ego{{truth.position.x - 15.0, truth.position.y}, 0.0};
+
+  Perception perception;
+  // Two frames to let the tracker confirm.
+  std::vector<Obstacle> tracked;
+  for (int i = 0; i < 3; ++i) {
+    nn::Tensor frame = scenario.RenderCameraFrame(ego);
+    tracked = perception.Process(frame, ego, 0.1);
+  }
+  ASSERT_FALSE(perception.last_detections().empty());
+  ASSERT_FALSE(tracked.empty());
+  // The tracked obstacle is near the ground-truth vehicle (detector
+  // resolution is ~2m cells; the tracker smooths).
+  EXPECT_NEAR(tracked[0].position.x, truth.position.x, 4.0);
+  EXPECT_NEAR(tracked[0].position.y, truth.position.y, 4.0);
+}
+
+TEST(PerceptionIntegrationTest, EmptyRoadYieldsNothing) {
+  ScenarioConfig scfg;
+  scfg.num_vehicles = 0;
+  Scenario scenario(scfg);
+  Pose ego{{0.0, 0.0}, 0.0};
+  Perception perception;
+  nn::Tensor frame = scenario.RenderCameraFrame(ego);
+  auto tracked = perception.Process(frame, ego, 0.1);
+  EXPECT_TRUE(perception.last_detections().empty());
+  EXPECT_TRUE(tracked.empty());
+}
+
+TEST(PipelineTest, DrivesForwardWithoutCollision) {
+  PilotConfig cfg;
+  cfg.scenario.num_vehicles = 2;
+  cfg.scenario.seed = 21;
+  cfg.goal_x = 120.0;
+  ApolloPilot pilot(cfg);
+  auto reports = pilot.Run(20.0);
+  ASSERT_FALSE(reports.empty());
+  // The car makes forward progress...
+  EXPECT_GT(reports.back().ground_truth.pose.position.x, 20.0);
+  // ...and never hits anything (clearance stays positive).
+  EXPECT_GT(pilot.MinClearanceSoFar(), 0.0);
+}
+
+TEST(PipelineTest, LocalizationStaysNearGroundTruth) {
+  PilotConfig cfg;
+  cfg.scenario.num_vehicles = 1;
+  cfg.scenario.seed = 22;
+  ApolloPilot pilot(cfg);
+  auto reports = pilot.Run(10.0);
+  for (const TickReport& r : reports) {
+    const double err = r.localized.pose.position.DistanceTo(
+        r.ground_truth.pose.position);
+    EXPECT_LT(err, 3.0) << "at t=" << r.time;
+  }
+}
+
+TEST(PipelineTest, PerceivesTrafficDuringRun) {
+  PilotConfig cfg;
+  cfg.scenario.num_vehicles = 3;
+  cfg.scenario.seed = 23;
+  ApolloPilot pilot(cfg);
+  auto reports = pilot.Run(10.0);
+  std::size_t frames_with_tracks = 0;
+  for (const TickReport& r : reports) {
+    if (r.tracked_obstacles > 0) ++frames_with_tracks;
+  }
+  // Traffic ahead is visible most of the time.
+  EXPECT_GT(frames_with_tracks, reports.size() / 3);
+}
+
+TEST(PipelineTest, RouteSpansStartToGoal) {
+  PilotConfig cfg;
+  cfg.goal_x = 150.0;
+  ApolloPilot pilot(cfg);
+  const Route& route = pilot.route();
+  ASSERT_GE(route.waypoints.size(), 2u);
+  EXPECT_LT(route.waypoints.front().x, 15.0);
+  EXPECT_GT(route.waypoints.back().x, 140.0);
+}
+
+TEST(PipelineTest, DeterministicForSameSeed) {
+  PilotConfig cfg;
+  cfg.scenario.seed = 31;
+  ApolloPilot a(cfg);
+  ApolloPilot b(cfg);
+  auto ra = a.Run(3.0);
+  auto rb = b.Run(3.0);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra[i].ground_truth.pose.position.x,
+                     rb[i].ground_truth.pose.position.x);
+    EXPECT_EQ(ra[i].tracked_obstacles, rb[i].tracked_obstacles);
+  }
+}
+
+}  // namespace
+}  // namespace adpilot

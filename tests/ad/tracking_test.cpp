@@ -1,0 +1,201 @@
+// Tests for Hungarian assignment, the Kalman filter, and the tracker.
+#include "ad/tracking.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace adpilot {
+namespace {
+
+TEST(HungarianTest, IdentityMatrix) {
+  std::vector<std::vector<double>> cost = {
+      {0.0, 9.0, 9.0}, {9.0, 0.0, 9.0}, {9.0, 9.0, 0.0}};
+  EXPECT_EQ(HungarianAssign(cost), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(HungarianTest, AntiDiagonal) {
+  std::vector<std::vector<double>> cost = {
+      {9.0, 9.0, 0.0}, {9.0, 0.0, 9.0}, {0.0, 9.0, 9.0}};
+  EXPECT_EQ(HungarianAssign(cost), (std::vector<int>{2, 1, 0}));
+}
+
+TEST(HungarianTest, OptimalNotGreedy) {
+  // Greedy picks (0,0)=1, forcing (1,1)=10 (total 11); optimum is
+  // (0,1)+(1,0) = 2+3 = 5.
+  std::vector<std::vector<double>> cost = {{1.0, 2.0}, {3.0, 10.0}};
+  EXPECT_EQ(HungarianAssign(cost), (std::vector<int>{1, 0}));
+}
+
+TEST(HungarianTest, RectangularMoreRows) {
+  std::vector<std::vector<double>> cost = {{1.0}, {0.5}, {2.0}};
+  auto a = HungarianAssign(cost);
+  ASSERT_EQ(a.size(), 3u);
+  // Only one column: the cheapest row gets it.
+  EXPECT_EQ(a[1], 0);
+  EXPECT_EQ(a[0], -1);
+  EXPECT_EQ(a[2], -1);
+}
+
+TEST(HungarianTest, RectangularMoreCols) {
+  std::vector<std::vector<double>> cost = {{5.0, 1.0, 3.0}};
+  EXPECT_EQ(HungarianAssign(cost), (std::vector<int>{1}));
+}
+
+TEST(HungarianTest, InfeasibleEntriesUnassigned) {
+  std::vector<std::vector<double>> cost = {{1e9, 1e9}, {1.0, 1e9}};
+  auto a = HungarianAssign(cost, 1e8);
+  EXPECT_EQ(a[0], -1);
+  EXPECT_EQ(a[1], 0);
+}
+
+TEST(HungarianTest, EmptyInputs) {
+  EXPECT_TRUE(HungarianAssign({}).empty());
+  std::vector<std::vector<double>> no_cols = {{}, {}};
+  EXPECT_EQ(HungarianAssign(no_cols), (std::vector<int>{-1, -1}));
+}
+
+TEST(HungarianTest, RandomMatricesBeatGreedyOrMatch) {
+  certkit::support::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 5;
+    std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+    for (auto& row : cost) {
+      for (auto& v : row) v = rng.UniformDouble(0.0, 10.0);
+    }
+    auto assignment = HungarianAssign(cost);
+    double hungarian_total = 0.0;
+    std::vector<bool> col_used(n, false);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_GE(assignment[i], 0);
+      ASSERT_FALSE(col_used[assignment[i]]) << "duplicate column";
+      col_used[assignment[i]] = true;
+      hungarian_total += cost[i][assignment[i]];
+    }
+    // Greedy baseline.
+    double greedy_total = 0.0;
+    std::vector<bool> used(n, false);
+    for (int i = 0; i < n; ++i) {
+      int best = -1;
+      for (int j = 0; j < n; ++j) {
+        if (!used[j] && (best < 0 || cost[i][j] < cost[i][best])) best = j;
+      }
+      used[best] = true;
+      greedy_total += cost[i][best];
+    }
+    EXPECT_LE(hungarian_total, greedy_total + 1e-9);
+  }
+}
+
+TEST(KalmanTest, ConvergesToStaticTarget) {
+  KalmanCv2d kf({0.0, 0.0}, 10.0, 10.0);
+  for (int i = 0; i < 50; ++i) {
+    kf.Predict(0.1, 0.1);
+    kf.Update({5.0, -3.0}, 0.5);
+  }
+  EXPECT_NEAR(kf.position().x, 5.0, 0.2);
+  EXPECT_NEAR(kf.position().y, -3.0, 0.2);
+  EXPECT_NEAR(kf.velocity().Norm(), 0.0, 0.3);
+}
+
+TEST(KalmanTest, EstimatesVelocity) {
+  KalmanCv2d kf({0.0, 0.0}, 1.0, 10.0);
+  // Target moving at (2, 1) m/s, measured every 0.1 s.
+  for (int i = 1; i <= 100; ++i) {
+    kf.Predict(0.1, 0.1);
+    kf.Update({2.0 * 0.1 * i, 1.0 * 0.1 * i}, 0.01);
+  }
+  EXPECT_NEAR(kf.velocity().x, 2.0, 0.2);
+  EXPECT_NEAR(kf.velocity().y, 1.0, 0.2);
+}
+
+TEST(KalmanTest, UncertaintyShrinksWithUpdates) {
+  KalmanCv2d kf({0.0, 0.0}, 10.0, 10.0);
+  const double before = kf.position_uncertainty();
+  kf.Predict(0.1, 0.1);
+  kf.Update({0.0, 0.0}, 1.0);
+  EXPECT_LT(kf.position_uncertainty(), before);
+}
+
+Obstacle Det(double x, double y, ObstacleClass cls = ObstacleClass::kVehicle) {
+  Obstacle o;
+  o.position = {x, y};
+  o.cls = cls;
+  o.confidence = 0.9;
+  return o;
+}
+
+TEST(TrackerTest, ConfirmsAfterEnoughHits) {
+  Tracker tracker;
+  EXPECT_TRUE(tracker.Update({Det(10, 0)}, 0.1).empty());  // 1 hit
+  auto confirmed = tracker.Update({Det(10.2, 0)}, 0.1);    // 2 hits
+  ASSERT_EQ(confirmed.size(), 1u);
+  EXPECT_NEAR(confirmed[0].position.x, 10.1, 0.5);
+}
+
+TEST(TrackerTest, DropsAfterMisses) {
+  TrackerConfig cfg;
+  cfg.max_misses = 2;
+  Tracker tracker(cfg);
+  tracker.Update({Det(10, 0)}, 0.1);
+  tracker.Update({Det(10, 0)}, 0.1);
+  EXPECT_EQ(tracker.tracks().size(), 1u);
+  tracker.Update({}, 0.1);
+  tracker.Update({}, 0.1);
+  tracker.Update({}, 0.1);  // misses exceed the limit
+  EXPECT_TRUE(tracker.tracks().empty());
+}
+
+TEST(TrackerTest, KeepsIdentitiesOfTwoCrossingObjects) {
+  Tracker tracker;
+  // Two objects far apart, moving toward each other slowly; the gate keeps
+  // associations unambiguous per frame.
+  std::vector<int> ids_a, ids_b;
+  for (int i = 0; i < 10; ++i) {
+    const double t = 0.1 * i;
+    auto confirmed = tracker.Update(
+        {Det(10 + 2 * t, 0), Det(40 - 2 * t, 0)}, 0.1);
+    if (confirmed.size() == 2) {
+      // Sorted output order is track insertion order; record ids by x.
+      const Obstacle& left =
+          confirmed[0].position.x < confirmed[1].position.x ? confirmed[0]
+                                                            : confirmed[1];
+      const Obstacle& right =
+          confirmed[0].position.x < confirmed[1].position.x ? confirmed[1]
+                                                            : confirmed[0];
+      ids_a.push_back(left.id);
+      ids_b.push_back(right.id);
+    }
+  }
+  ASSERT_GE(ids_a.size(), 5u);
+  for (std::size_t i = 1; i < ids_a.size(); ++i) {
+    EXPECT_EQ(ids_a[i], ids_a[0]);
+    EXPECT_EQ(ids_b[i], ids_b[0]);
+  }
+  EXPECT_NE(ids_a[0], ids_b[0]);
+}
+
+TEST(TrackerTest, ClassMismatchIsNotAssociated) {
+  Tracker tracker;
+  tracker.Update({Det(10, 0, ObstacleClass::kVehicle)}, 0.1);
+  tracker.Update({Det(10, 0, ObstacleClass::kVehicle)}, 0.1);
+  // A pedestrian at the same spot must start a new track, not update.
+  tracker.Update({Det(10, 0, ObstacleClass::kPedestrian)}, 0.1);
+  EXPECT_EQ(tracker.tracks().size(), 2u);
+}
+
+TEST(TrackerTest, VelocityEstimateFromTracking) {
+  Tracker tracker;
+  std::vector<Obstacle> confirmed;
+  for (int i = 0; i < 30; ++i) {
+    confirmed = tracker.Update({Det(5.0 + 0.5 * i, 0)}, 0.1);  // 5 m/s
+  }
+  ASSERT_EQ(confirmed.size(), 1u);
+  EXPECT_NEAR(confirmed[0].velocity.x, 5.0, 1.0);
+  EXPECT_NEAR(confirmed[0].velocity.y, 0.0, 0.5);
+}
+
+}  // namespace
+}  // namespace adpilot

@@ -1,0 +1,201 @@
+// Edge-case tests for the fuzzy parser: modern-C++ constructs the analyzer
+// meets in real automotive codebases.
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace certkit::ast {
+namespace {
+
+SourceFileModel MustParse(std::string_view src) {
+  auto r = ParseSource("edge.cc", src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(ParserEdgeTest, NestedClassMethods) {
+  SourceFileModel m = MustParse(
+      "class Outer {\n"
+      " public:\n"
+      "  class Inner {\n"
+      "   public:\n"
+      "    int Get() { return 1; }\n"
+      "  };\n"
+      "  int Use() { return 2; }\n"
+      "};\n");
+  ASSERT_EQ(m.types.size(), 2u);
+  ASSERT_EQ(m.functions.size(), 2u);
+  EXPECT_EQ(m.functions[0].qualified_name, "Outer::Inner::Get");
+  EXPECT_EQ(m.functions[1].qualified_name, "Outer::Use");
+}
+
+TEST(ParserEdgeTest, InlineNamespace) {
+  SourceFileModel m = MustParse(
+      "namespace api {\n"
+      "inline namespace v2 {\n"
+      "void Call() {}\n"
+      "}\n"
+      "}\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  // `inline` is consumed as a specifier; the namespace scope still applies.
+  EXPECT_NE(m.functions[0].qualified_name.find("Call"), std::string::npos);
+}
+
+TEST(ParserEdgeTest, ConstexprAndStaticFunctions) {
+  SourceFileModel m = MustParse(
+      "constexpr int Square(int x) { return x * x; }\n"
+      "static double Half(double v) { return v / 2; }\n");
+  ASSERT_EQ(m.functions.size(), 2u);
+  EXPECT_EQ(m.functions[0].name, "Square");
+  EXPECT_TRUE(m.functions[1].is_static);
+}
+
+TEST(ParserEdgeTest, CallOperatorOverload) {
+  SourceFileModel m = MustParse(
+      "struct Functor {\n"
+      "  int operator()(int x) const { return x + 1; }\n"
+      "  bool operator<(const Functor& o) const { return false; }\n"
+      "};\n");
+  ASSERT_EQ(m.functions.size(), 2u);
+  EXPECT_EQ(m.functions[0].name, "operator()");
+  EXPECT_EQ(m.functions[1].name, "operator<");
+}
+
+TEST(ParserEdgeTest, ConversionOperator) {
+  SourceFileModel m = MustParse(
+      "struct Wrapper { operator bool() const { return true; } };");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "operatorbool");
+}
+
+TEST(ParserEdgeTest, OutOfLineTemplateMethod) {
+  SourceFileModel m = MustParse(
+      "template <typename T> class Box { T v_; public: T Get(); };\n"
+      "template <typename T>\n"
+      "T Box<T>::Get() { return v_; }\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "Get");
+  EXPECT_EQ(m.functions[0].qualified_name, "Box::Get");
+}
+
+TEST(ParserEdgeTest, AttributesOnFunctions) {
+  SourceFileModel m = MustParse(
+      "[[nodiscard]] int Compute() { return 3; }\n"
+      "void Deprecated() {}\n");
+  ASSERT_EQ(m.functions.size(), 2u);
+  EXPECT_EQ(m.functions[0].name, "Compute");
+}
+
+TEST(ParserEdgeTest, LambdaInsideFunctionFoldedIn) {
+  SourceFileModel m = MustParse(
+      "int f() {\n"
+      "  auto add = [](int a, int b) { return a + b; };\n"
+      "  return add(1, 2);\n"
+      "}\n");
+  // The lambda body belongs to f's extent (documented behavior).
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "f");
+}
+
+TEST(ParserEdgeTest, VirtualOverrideFinal) {
+  SourceFileModel m = MustParse(
+      "struct Base { virtual int Act() { return 0; } virtual ~Base() {} };\n"
+      "struct Derived final : Base {\n"
+      "  int Act() override final { return 1; }\n"
+      "};\n");
+  ASSERT_EQ(m.types.size(), 2u);
+  EXPECT_EQ(m.types[1].name, "Derived");
+  ASSERT_EQ(m.functions.size(), 3u);
+  EXPECT_EQ(m.functions[2].qualified_name, "Derived::Act");
+}
+
+TEST(ParserEdgeTest, MultipleDeclaratorsOneStatement) {
+  SourceFileModel m = MustParse("int a = 1, b = 2;\n");
+  // The fuzzy parser records at least the statement's declaration intent;
+  // exact multi-declarator splitting is a documented approximation.
+  EXPECT_GE(m.globals.size(), 1u);
+}
+
+TEST(ParserEdgeTest, FunctionPointerParameter) {
+  SourceFileModel m = MustParse(
+      "int Apply(int (*fn)(int), int v) { return fn(v); }\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "Apply");
+  EXPECT_EQ(m.functions[0].params.size(), 2u);
+}
+
+TEST(ParserEdgeTest, DefaultMemberInitializers) {
+  SourceFileModel m = MustParse(
+      "struct Config {\n"
+      "  int retries = 3;\n"
+      "  double timeout{1.5};\n"
+      "  int Limit() const { return retries; }\n"
+      "};\n");
+  ASSERT_EQ(m.types.size(), 1u);
+  EXPECT_EQ(m.types[0].field_count, 2);
+  EXPECT_EQ(m.types[0].method_count, 1);
+  EXPECT_TRUE(m.globals.empty());
+}
+
+TEST(ParserEdgeTest, EnumValuesDoNotLeakAsGlobals) {
+  SourceFileModel m = MustParse(
+      "enum class Mode { kAuto = 0, kManual = 1 };\n"
+      "enum Flags { kRead = 1, kWrite = 2 };\n");
+  EXPECT_EQ(m.types.size(), 2u);
+  EXPECT_TRUE(m.globals.empty());
+  EXPECT_TRUE(m.functions.empty());
+}
+
+TEST(ParserEdgeTest, StaticAssertAtNamespaceScope) {
+  SourceFileModel m = MustParse(
+      "static_assert(sizeof(int) == 4, \"ILP32/LP64 expected\");\n"
+      "int after = 1;\n");
+  ASSERT_EQ(m.globals.size(), 1u);
+  EXPECT_EQ(m.globals[0].name, "after");
+}
+
+TEST(ParserEdgeTest, RawStringWithBracesDoesNotConfuseScopes) {
+  SourceFileModel m = MustParse(
+      "const char* kJson = R\"({\"a\": {\"b\": 1}})\";\n"
+      "void After() {}\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "After");
+}
+
+TEST(ParserEdgeTest, PreprocessorConditionalsIgnoredStructurally) {
+  SourceFileModel m = MustParse(
+      "#ifdef USE_GPU\n"
+      "void GpuPath() {}\n"
+      "#else\n"
+      "void CpuPath() {}\n"
+      "#endif\n");
+  // Both branches are visible to the unpreprocessed analyzer (as with
+  // Lizard) — the directive lines themselves are not code.
+  EXPECT_EQ(m.functions.size(), 2u);
+}
+
+TEST(ParserEdgeTest, TrailingCommaAndPackExpansion) {
+  SourceFileModel m = MustParse(
+      "template <typename... Args>\n"
+      "int Sum(Args... args) { return (args + ... + 0); }\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "Sum");
+}
+
+TEST(ParserEdgeTest, UsingAliasTemplate) {
+  SourceFileModel m = MustParse(
+      "template <typename T> using Vec = std::vector<T>;\n"
+      "int g = 0;\n");
+  EXPECT_EQ(m.typedef_count, 1);
+  ASSERT_EQ(m.globals.size(), 1u);
+}
+
+TEST(ParserEdgeTest, NoexceptExpressionInSignature) {
+  SourceFileModel m = MustParse(
+      "void Risky(int x) noexcept(noexcept(x + 1)) { (void)x; }\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "Risky");
+}
+
+}  // namespace
+}  // namespace certkit::ast

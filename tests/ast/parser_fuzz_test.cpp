@@ -1,0 +1,122 @@
+// Robustness property test: the fuzzy parser must terminate without
+// crashing on arbitrarily mutated inputs — truncations, deletions, and
+// byte swaps of otherwise-valid source. (This is the contract that lets the
+// analyzer run over arbitrary real-world snapshots, as Lizard does for the
+// paper.)
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "corpus/generator.h"
+#include "support/rng.h"
+
+namespace certkit::ast {
+namespace {
+
+std::string BaseSource() {
+  corpus::ModuleSpec spec;
+  spec.name = "fuzz";
+  spec.num_files = 1;
+  spec.functions_low = 15;
+  spec.functions_moderate = 3;
+  spec.functions_risky = 1;
+  spec.mutable_globals = 4;
+  spec.const_globals = 2;
+  spec.casts = 6;
+  spec.multi_exit_fraction = 0.3;
+  spec.gotos = 1;
+  spec.recursive_functions = 1;
+  spec.uninitialized_locals = 2;
+  spec.cuda_kernels = 2;
+  spec.target_loc = 400;
+  auto files = corpus::GenerateModule(spec, 99);
+  std::string all;
+  for (const auto& f : files) all += f.content;
+  return all;
+}
+
+// Every parse must return; success or ParseError are both acceptable.
+void MustTerminate(const std::string& src) {
+  auto result = ParseSource("fuzz.cc", src);
+  if (result.ok()) {
+    // Token ranges of reported functions must be self-consistent.
+    const auto& m = result.value();
+    for (const auto& fn : m.functions) {
+      ASSERT_LE(fn.sig_begin, fn.body_begin);
+      ASSERT_LE(fn.body_begin, fn.body_end);
+      ASSERT_LT(fn.body_end, m.lexed.tokens.size());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, Truncations) {
+  const std::string base = BaseSource();
+  support::Xoshiro256 rng(1);
+  for (int i = 0; i < 60; ++i) {
+    const auto cut = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(base.size())));
+    MustTerminate(base.substr(0, cut));
+  }
+}
+
+TEST(ParserFuzzTest, RandomDeletions) {
+  const std::string base = BaseSource();
+  support::Xoshiro256 rng(2);
+  for (int i = 0; i < 60; ++i) {
+    std::string mutated = base;
+    const auto start = static_cast<std::size_t>(rng.UniformInt(
+        0, static_cast<std::int64_t>(mutated.size()) - 1));
+    const auto len = static_cast<std::size_t>(rng.UniformInt(1, 200));
+    mutated.erase(start, len);
+    MustTerminate(mutated);
+  }
+}
+
+TEST(ParserFuzzTest, RandomByteSwaps) {
+  const std::string base = BaseSource();
+  support::Xoshiro256 rng(3);
+  const char kReplacements[] = "{}()<>;:*&\"'/\\#@$%";
+  for (int i = 0; i < 60; ++i) {
+    std::string mutated = base;
+    for (int m = 0; m < 10; ++m) {
+      const auto pos = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(mutated.size()) - 1));
+      mutated[pos] = kReplacements[rng.UniformInt(
+          0, static_cast<std::int64_t>(sizeof(kReplacements)) - 2)];
+    }
+    MustTerminate(mutated);
+  }
+}
+
+TEST(ParserFuzzTest, PathologicalNesting) {
+  // Deep but bounded nesting must not blow the stack (the parser iterates).
+  std::string deep = "void f() { int x = 0;\n";
+  for (int i = 0; i < 2000; ++i) deep += "if (x) {\n";
+  for (int i = 0; i < 2000; ++i) deep += "}\n";
+  deep += "}\n";
+  MustTerminate(deep);
+
+  std::string parens = "int g() { return ";
+  for (int i = 0; i < 5000; ++i) parens += "(";
+  parens += "1";
+  for (int i = 0; i < 5000; ++i) parens += ")";
+  parens += "; }";
+  MustTerminate(parens);
+}
+
+TEST(ParserFuzzTest, GarbageBytes) {
+  support::Xoshiro256 rng(4);
+  for (int i = 0; i < 30; ++i) {
+    std::string garbage;
+    const auto len = static_cast<std::size_t>(rng.UniformInt(0, 2000));
+    for (std::size_t b = 0; b < len; ++b) {
+      // Printable ASCII plus whitespace; the lexer contract covers text.
+      garbage.push_back(
+          static_cast<char>(rng.UniformInt(32, 126)));
+      if (rng.Bernoulli(0.05)) garbage.push_back('\n');
+    }
+    MustTerminate(garbage);
+  }
+}
+
+}  // namespace
+}  // namespace certkit::ast

@@ -1,0 +1,415 @@
+// Unit tests for the fuzzy C/C++/CUDA structural parser.
+#include "ast/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace certkit::ast {
+namespace {
+
+SourceFileModel MustParse(std::string_view src) {
+  auto r = ParseSource("test.cc", src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(ParserTest, FreeFunction) {
+  SourceFileModel m = MustParse("int add(int a, int b) { return a + b; }");
+  ASSERT_EQ(m.functions.size(), 1u);
+  const FunctionModel& f = m.functions[0];
+  EXPECT_EQ(f.name, "add");
+  EXPECT_EQ(f.qualified_name, "add");
+  ASSERT_EQ(f.params.size(), 2u);
+  EXPECT_EQ(f.params[0].name, "a");
+  EXPECT_EQ(f.params[1].name, "b");
+  EXPECT_EQ(f.params[0].type_text, "int");
+  EXPECT_FALSE(f.is_method);
+}
+
+TEST(ParserTest, FunctionDeclarationNotRecorded) {
+  SourceFileModel m = MustParse("int add(int a, int b);");
+  EXPECT_TRUE(m.functions.empty());
+}
+
+TEST(ParserTest, NamespaceQualification) {
+  SourceFileModel m = MustParse(
+      "namespace outer { namespace inner {\n"
+      "void f() {}\n"
+      "} }\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].qualified_name, "outer::inner::f");
+}
+
+TEST(ParserTest, Cpp17NestedNamespace) {
+  SourceFileModel m = MustParse("namespace a::b { void g() {} }");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].qualified_name, "a::b::g");
+}
+
+TEST(ParserTest, AnonymousNamespace) {
+  SourceFileModel m = MustParse("namespace { void hidden() {} }");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].qualified_name, "hidden");
+}
+
+TEST(ParserTest, ClassWithMethods) {
+  SourceFileModel m = MustParse(
+      "class Tracker {\n"
+      " public:\n"
+      "  void Update(double dt) { t_ += dt; }\n"
+      "  int Count() const { return n_; }\n"
+      " private:\n"
+      "  void Internal() {}\n"
+      "  double t_;\n"
+      "  int n_;\n"
+      "};\n");
+  ASSERT_EQ(m.types.size(), 1u);
+  EXPECT_EQ(m.types[0].name, "Tracker");
+  EXPECT_EQ(m.types[0].method_count, 3);
+  EXPECT_EQ(m.types[0].public_method_count, 2);
+  EXPECT_EQ(m.types[0].field_count, 2);
+  ASSERT_EQ(m.functions.size(), 3u);
+  EXPECT_EQ(m.functions[0].qualified_name, "Tracker::Update");
+  EXPECT_TRUE(m.functions[0].is_method);
+  // Class data members are not globals.
+  EXPECT_TRUE(m.globals.empty());
+}
+
+TEST(ParserTest, StructDefaultPublic) {
+  SourceFileModel m = MustParse("struct P { int x() { return 1; } };");
+  ASSERT_EQ(m.types.size(), 1u);
+  EXPECT_EQ(m.types[0].kind, TypeKind::kStruct);
+  EXPECT_EQ(m.types[0].public_method_count, 1);
+}
+
+TEST(ParserTest, OutOfLineMethodDefinition) {
+  SourceFileModel m = MustParse(
+      "class A { public: void run(); };\n"
+      "void A::run() { }\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "run");
+  EXPECT_EQ(m.functions[0].qualified_name, "A::run");
+  EXPECT_TRUE(m.functions[0].is_method);
+}
+
+TEST(ParserTest, ConstructorAndDestructor) {
+  SourceFileModel m = MustParse(
+      "class B {\n"
+      " public:\n"
+      "  B() : x_(0) {}\n"
+      "  ~B() {}\n"
+      " private:\n"
+      "  int x_;\n"
+      "};\n");
+  ASSERT_EQ(m.functions.size(), 2u);
+  EXPECT_EQ(m.functions[0].name, "B");
+  EXPECT_EQ(m.functions[1].name, "~B");
+}
+
+TEST(ParserTest, OperatorOverload) {
+  SourceFileModel m = MustParse(
+      "struct V { double x; };\n"
+      "V operator+(const V& a, const V& b) { return {a.x + b.x}; }\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "operator+");
+  EXPECT_EQ(m.functions[0].params.size(), 2u);
+}
+
+TEST(ParserTest, TemplateFunction) {
+  SourceFileModel m = MustParse(
+      "template <typename T, int N>\n"
+      "T sum(const T (&arr)[N]) { T s{}; for (int i = 0; i < N; ++i) s += "
+      "arr[i]; return s; }\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "sum");
+}
+
+TEST(ParserTest, TemplateClassWithMethod) {
+  SourceFileModel m = MustParse(
+      "template <class T> class Box {\n"
+      " public:\n"
+      "  T Get() { return v_; }\n"
+      " private:\n"
+      "  T v_;\n"
+      "};\n");
+  ASSERT_EQ(m.types.size(), 1u);
+  EXPECT_EQ(m.types[0].name, "Box");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].qualified_name, "Box::Get");
+}
+
+TEST(ParserTest, TrailingReturnType) {
+  SourceFileModel m = MustParse("auto f(int x) -> double { return x * 2.0; }");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "f");
+}
+
+TEST(ParserTest, NoexceptAndConstQualifiers) {
+  SourceFileModel m = MustParse(
+      "struct S { int g() const noexcept { return 0; } };");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "g");
+}
+
+TEST(ParserTest, CudaKernelFlags) {
+  SourceFileModel m = MustParse(
+      "__global__ void scale(float* out, int n) { }\n"
+      "__device__ float helper(float x) { return x; }\n");
+  ASSERT_EQ(m.functions.size(), 2u);
+  EXPECT_TRUE(m.functions[0].is_cuda_kernel);
+  EXPECT_FALSE(m.functions[0].is_cuda_device);
+  EXPECT_TRUE(m.functions[1].is_cuda_device);
+  EXPECT_FALSE(m.functions[1].is_cuda_kernel);
+}
+
+TEST(ParserTest, GlobalVariables) {
+  SourceFileModel m = MustParse(
+      "int counter = 0;\n"
+      "static double rate;\n"
+      "const int kMax = 10;\n"
+      "extern int external_thing;\n");
+  ASSERT_EQ(m.globals.size(), 4u);
+  EXPECT_EQ(m.globals[0].name, "counter");
+  EXPECT_TRUE(m.globals[0].has_initializer);
+  EXPECT_EQ(m.globals[1].name, "rate");
+  EXPECT_TRUE(m.globals[1].is_static);
+  EXPECT_FALSE(m.globals[1].has_initializer);
+  EXPECT_TRUE(m.globals[2].is_const);
+  EXPECT_TRUE(m.globals[3].is_extern_decl);
+}
+
+TEST(ParserTest, GlobalInNamespace) {
+  SourceFileModel m = MustParse("namespace cfg { int verbosity = 2; }");
+  ASSERT_EQ(m.globals.size(), 1u);
+  EXPECT_EQ(m.globals[0].qualified_name, "cfg::verbosity");
+}
+
+TEST(ParserTest, BraceInitializedGlobal) {
+  SourceFileModel m = MustParse("int x{3};");
+  ASSERT_EQ(m.globals.size(), 1u);
+  EXPECT_EQ(m.globals[0].name, "x");
+  EXPECT_TRUE(m.globals[0].has_initializer);
+}
+
+TEST(ParserTest, NamedCasts) {
+  SourceFileModel m = MustParse(
+      "void f(void* p) {\n"
+      "  int a = static_cast<int>(1.5);\n"
+      "  auto* b = reinterpret_cast<char*>(p);\n"
+      "  const auto* c = const_cast<const int*>(&a);\n"
+      "  auto* d = dynamic_cast<int*>(b);\n"
+      "}\n");
+  ASSERT_EQ(m.casts.size(), 4u);
+  EXPECT_EQ(m.casts[0].kind, CastKind::kStaticCast);
+  EXPECT_EQ(m.casts[0].target_text, "int");
+  EXPECT_EQ(m.casts[1].kind, CastKind::kReinterpretCast);
+  EXPECT_EQ(m.casts[2].kind, CastKind::kConstCast);
+  EXPECT_EQ(m.casts[3].kind, CastKind::kDynamicCast);
+}
+
+TEST(ParserTest, CStyleCastDetected) {
+  SourceFileModel m = MustParse(
+      "void f(double d, void* p) {\n"
+      "  int a = (int)d;\n"
+      "  float* q = (float*)p;\n"
+      "  unsigned long u = (unsigned long)a;\n"
+      "}\n");
+  int c_style = 0;
+  for (const auto& c : m.casts) {
+    if (c.kind == CastKind::kCStyle) ++c_style;
+  }
+  EXPECT_EQ(c_style, 3);
+}
+
+TEST(ParserTest, CallParensNotCastFalsePositive) {
+  SourceFileModel m = MustParse(
+      "int g(int v);\n"
+      "void f() {\n"
+      "  int x = g(3);\n"
+      "  if (x) { x = (x); }\n"
+      "  while (x > 0) { --x; }\n"
+      "}\n");
+  for (const auto& c : m.casts) {
+    EXPECT_NE(c.kind, CastKind::kCStyle)
+        << "false positive on line " << c.line << ": " << c.target_text;
+  }
+}
+
+TEST(ParserTest, FunctionalCast) {
+  SourceFileModel m = MustParse("void f(double d) { int x = int(d); }");
+  ASSERT_EQ(m.casts.size(), 1u);
+  EXPECT_EQ(m.casts[0].kind, CastKind::kFunctional);
+}
+
+TEST(ParserTest, IncludesAndMacros) {
+  SourceFileModel m = MustParse(
+      "#include <vector>\n"
+      "#include \"local/thing.h\"\n"
+      "#define LIMIT 64\n"
+      "#define SQUARE(x) ((x) * (x))\n");
+  ASSERT_EQ(m.includes.size(), 2u);
+  EXPECT_EQ(m.includes[0], "<vector>");
+  EXPECT_EQ(m.includes[1], "\"local/thing.h\"");
+  ASSERT_EQ(m.macros.size(), 2u);
+  EXPECT_EQ(m.macros[0].name, "LIMIT");
+  EXPECT_FALSE(m.macros[0].function_like);
+  EXPECT_EQ(m.macros[1].name, "SQUARE");
+  EXPECT_TRUE(m.macros[1].function_like);
+}
+
+TEST(ParserTest, UsingAndTypedefCounted) {
+  SourceFileModel m = MustParse(
+      "using namespace std;\n"
+      "using Row = int;\n"
+      "typedef double Real;\n"
+      "using std::vector;\n");
+  EXPECT_EQ(m.using_namespace_count, 1);
+  EXPECT_EQ(m.typedef_count, 2);
+}
+
+TEST(ParserTest, EnumRecorded) {
+  SourceFileModel m = MustParse(
+      "enum class Mode : int { kA, kB };\n"
+      "enum Legacy { KX, KY };\n");
+  ASSERT_EQ(m.types.size(), 2u);
+  EXPECT_EQ(m.types[0].kind, TypeKind::kEnum);
+  EXPECT_EQ(m.types[0].name, "Mode");
+  EXPECT_EQ(m.types[1].name, "Legacy");
+}
+
+TEST(ParserTest, ForwardDeclarationNotAType) {
+  SourceFileModel m = MustParse("class Fwd;\nstruct S2;\n");
+  EXPECT_TRUE(m.types.empty());
+}
+
+TEST(ParserTest, ElaboratedTypeVariable) {
+  SourceFileModel m = MustParse("struct Point pt;\n");
+  EXPECT_TRUE(m.types.empty());
+  ASSERT_EQ(m.globals.size(), 1u);
+  EXPECT_EQ(m.globals[0].name, "pt");
+}
+
+TEST(ParserTest, ExternCBlock) {
+  SourceFileModel m = MustParse(
+      "extern \"C\" {\n"
+      "int c_func(int x) { return x; }\n"
+      "}\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].qualified_name, "c_func");
+}
+
+TEST(ParserTest, DefaultArgumentsInParams) {
+  SourceFileModel m = MustParse("void f(int a = 3, double b = 4.5) {}");
+  ASSERT_EQ(m.functions.size(), 1u);
+  ASSERT_EQ(m.functions[0].params.size(), 2u);
+  EXPECT_EQ(m.functions[0].params[0].name, "a");
+  EXPECT_EQ(m.functions[0].params[1].name, "b");
+}
+
+TEST(ParserTest, VoidParameterListIsEmpty) {
+  SourceFileModel m = MustParse("int f(void) { return 1; }");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_TRUE(m.functions[0].params.empty());
+}
+
+TEST(ParserTest, VariadicParameter) {
+  SourceFileModel m = MustParse("int printf_like(const char* fmt, ...) { return 0; }");
+  ASSERT_EQ(m.functions.size(), 1u);
+  ASSERT_EQ(m.functions[0].params.size(), 2u);
+  EXPECT_EQ(m.functions[0].params[1].name, "...");
+}
+
+TEST(ParserTest, TemplatedParameterTypesNotSplitOnComma) {
+  SourceFileModel m = MustParse(
+      "void f(std::map<int, double> m, std::pair<int, int> p) {}");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].params.size(), 2u);
+}
+
+TEST(ParserTest, FunctionBodyLineRange) {
+  SourceFileModel m = MustParse(
+      "int f() {\n"
+      "  int a = 1;\n"
+      "  return a;\n"
+      "}\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].start_line, 1);
+  EXPECT_EQ(m.functions[0].end_line, 4);
+}
+
+TEST(ParserTest, DefaultedAndDeletedNotDefinitions) {
+  SourceFileModel m = MustParse(
+      "struct T {\n"
+      "  T() = default;\n"
+      "  T(const T&) = delete;\n"
+      "  void real() {}\n"
+      "};\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "real");
+}
+
+TEST(ParserTest, MemberInitializerListWithBraces) {
+  SourceFileModel m = MustParse(
+      "struct W {\n"
+      "  W() : v_{1, 2, 3}, n_(0) { n_ = 1; }\n"
+      "  int v_[3];\n"
+      "  int n_;\n"
+      "};\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "W");
+}
+
+TEST(ParserTest, GtestStyleMacroTreatedAsFunction) {
+  // The fuzzy parser intentionally treats TEST(a, b) { ... } as a function —
+  // exactly what Lizard does, and what makes test code measurable.
+  SourceFileModel m = MustParse("TEST(Suite, Name) { EXPECT_TRUE(true); }");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "TEST");
+}
+
+TEST(ParserTest, MalformedInputDoesNotCrash) {
+  // Unbalanced braces, stray tokens — fuzzy parser must survive.
+  auto r1 = ParseSource("bad1.cc", "void f() { if (x { y; }");
+  EXPECT_TRUE(r1.ok());
+  auto r2 = ParseSource("bad2.cc", "} } } ) ) ;; class ;");
+  EXPECT_TRUE(r2.ok());
+  auto r3 = ParseSource("bad3.cc", "template < forever");
+  EXPECT_TRUE(r3.ok());
+}
+
+TEST(ParserTest, FunctionTryBlock) {
+  SourceFileModel m = MustParse(
+      "int f() try { return g(); } catch (...) { return -1; }");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "f");
+}
+
+// Parameterized sweep: N generated functions are all found, with correct
+// parameter counts.
+class ParserFunctionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFunctionSweep, AllFunctionsFound) {
+  const int n = GetParam();
+  std::string src;
+  for (int i = 0; i < n; ++i) {
+    src += "int fn" + std::to_string(i) + "(";
+    for (int p = 0; p < i % 4; ++p) {
+      if (p) src += ", ";
+      src += "int p" + std::to_string(p);
+    }
+    src += ") { return " + std::to_string(i) + "; }\n";
+  }
+  SourceFileModel m = MustParse(src);
+  ASSERT_EQ(m.functions.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(m.functions[i].name, "fn" + std::to_string(i));
+    EXPECT_EQ(m.functions[i].params.size(), static_cast<std::size_t>(i % 4));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ParserFunctionSweep,
+                         ::testing::Values(1, 5, 32, 200));
+
+}  // namespace
+}  // namespace certkit::ast

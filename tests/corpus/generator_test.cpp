@@ -1,0 +1,143 @@
+// Tests for the corpus generator: the generated code must be parseable and
+// its measured statistics must match the calibrated specification.
+#include "corpus/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/analyze.h"
+#include "metrics/module_metrics.h"
+#include "rules/unit_design.h"
+
+namespace certkit::corpus {
+namespace {
+
+ModuleSpec SmallSpec() {
+  ModuleSpec spec;
+  spec.name = "demo";
+  spec.num_files = 3;
+  spec.functions_low = 40;
+  spec.functions_moderate = 10;
+  spec.functions_risky = 5;
+  spec.functions_unstable = 2;
+  spec.mutable_globals = 12;
+  spec.const_globals = 4;
+  spec.casts = 25;
+  spec.multi_exit_fraction = 0.4;
+  spec.gotos = 2;
+  spec.recursive_functions = 1;
+  spec.uninitialized_locals = 6;
+  spec.cuda_kernels = 3;
+  spec.target_loc = 3000;
+  return spec;
+}
+
+TEST(CorpusGeneratorTest, DeterministicForSeed) {
+  const ModuleSpec spec = SmallSpec();
+  auto a = GenerateModule(spec, 42);
+  auto b = GenerateModule(spec, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].path, b[i].path);
+    EXPECT_EQ(a[i].content, b[i].content);
+  }
+  auto c = GenerateModule(spec, 43);
+  EXPECT_NE(a[0].content, c[0].content);
+}
+
+TEST(CorpusGeneratorTest, GeneratedCodeParses) {
+  GeneratedModule gm{SmallSpec(), GenerateModule(SmallSpec(), 7)};
+  auto analyzed = AnalyzeGeneratedModule(gm);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+}
+
+TEST(CorpusGeneratorTest, ComplexityBandsMatchSpec) {
+  const ModuleSpec spec = SmallSpec();
+  GeneratedModule gm{spec, GenerateModule(spec, 7)};
+  auto analyzed = AnalyzeGeneratedModule(gm);
+  ASSERT_TRUE(analyzed.ok());
+  const auto& m = analyzed.value().metrics;
+  // CUDA kernel pairs consume low-band slots; architecture extras (component
+  // methods, wide-interface functions, the entry point) come on top.
+  EXPECT_EQ(m.function_count,
+            spec.TotalFunctions() + spec.ExtraFunctions());
+  EXPECT_EQ(m.cc_moderate, spec.functions_moderate);
+  EXPECT_EQ(m.cc_risky, spec.functions_risky);
+  EXPECT_EQ(m.cc_unstable, spec.functions_unstable);
+  EXPECT_EQ(m.FunctionsOverCc(10),
+            spec.functions_moderate + spec.functions_risky +
+                spec.functions_unstable);
+}
+
+TEST(CorpusGeneratorTest, GlobalsAndCastsMatchSpec) {
+  const ModuleSpec spec = SmallSpec();
+  GeneratedModule gm{spec, GenerateModule(spec, 7)};
+  auto analyzed = AnalyzeGeneratedModule(gm);
+  ASSERT_TRUE(analyzed.ok());
+  auto ud = rules::AnalyzeUnitDesign(analyzed.value());
+  EXPECT_EQ(ud.stats.mutable_globals, spec.mutable_globals);
+  EXPECT_EQ(ud.stats.const_globals, spec.const_globals);
+  EXPECT_EQ(ud.stats.explicit_casts, spec.casts);
+  EXPECT_EQ(ud.stats.goto_statements, spec.gotos);
+  EXPECT_EQ(ud.stats.recursive_functions_direct, spec.recursive_functions);
+  EXPECT_EQ(ud.stats.uninitialized_locals, spec.uninitialized_locals);
+}
+
+TEST(CorpusGeneratorTest, MultiExitFractionApproximatesSpec) {
+  const ModuleSpec spec = SmallSpec();
+  GeneratedModule gm{spec, GenerateModule(spec, 7)};
+  auto analyzed = AnalyzeGeneratedModule(gm);
+  ASSERT_TRUE(analyzed.ok());
+  auto ud = rules::AnalyzeUnitDesign(analyzed.value());
+  EXPECT_NEAR(ud.stats.MultiExitFraction(), spec.multi_exit_fraction, 0.06);
+}
+
+TEST(CorpusGeneratorTest, LocApproximatesTarget) {
+  const ModuleSpec spec = SmallSpec();
+  GeneratedModule gm{spec, GenerateModule(spec, 7)};
+  auto analyzed = AnalyzeGeneratedModule(gm);
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_GE(analyzed.value().metrics.loc, spec.target_loc * 9 / 10);
+  EXPECT_LE(analyzed.value().metrics.loc, spec.target_loc * 2);
+}
+
+TEST(CorpusGeneratorTest, CudaFileEmitted) {
+  const ModuleSpec spec = SmallSpec();
+  auto files = GenerateModule(spec, 7);
+  bool has_cu = false;
+  for (const auto& f : files) {
+    if (f.path.ends_with(".cu")) {
+      has_cu = true;
+      EXPECT_NE(f.content.find("__global__"), std::string::npos);
+      EXPECT_NE(f.content.find("cudaMalloc"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(has_cu);
+}
+
+TEST(ApolloLikeSpecTest, CalibrationTotalsMatchPaper) {
+  const auto spec = ApolloLikeSpec();
+  ASSERT_EQ(spec.size(), 9u);
+  int cc_over_10 = 0;
+  int casts = 0;
+  std::int64_t loc = 0;
+  int perception_globals = 0;
+  for (const auto& m : spec) {
+    cc_over_10 +=
+        m.functions_moderate + m.functions_risky + m.functions_unstable;
+    casts += m.casts;
+    loc += m.target_loc;
+    if (m.name == "perception") perception_globals = m.mutable_globals;
+  }
+  EXPECT_EQ(cc_over_10, 554);     // paper: 554 functions with CC > 10
+  EXPECT_GT(casts, 1400);         // paper: > 1,400 explicit casts
+  EXPECT_EQ(loc, 220000);         // paper: > 220k LOC
+  EXPECT_EQ(perception_globals, 900);  // paper: ~900 globals in perception
+  // Module sizes within the 5k–60k band of Observation 13.
+  for (const auto& m : spec) {
+    EXPECT_GE(m.target_loc, 5000) << m.name;
+    EXPECT_LE(m.target_loc, 60000) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace certkit::corpus

@@ -1,0 +1,233 @@
+// Unit tests for the coverage runtime: statement, branch, and MC/DC.
+#include "coverage/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/check.h"
+
+namespace certkit::cov {
+namespace {
+
+TEST(CoverageTest, StatementCoverageBasics) {
+  Unit u("u1");
+  u.DeclareStatements(4);
+  EXPECT_EQ(u.statements_total(), 4);
+  EXPECT_DOUBLE_EQ(u.StatementCoverage(), 0.0);
+  u.Stmt(0);
+  u.Stmt(2);
+  u.Stmt(2);  // repeat hits count once
+  EXPECT_EQ(u.statements_hit(), 2);
+  EXPECT_DOUBLE_EQ(u.StatementCoverage(), 0.5);
+  u.Stmt(1);
+  u.Stmt(3);
+  EXPECT_DOUBLE_EQ(u.StatementCoverage(), 1.0);
+}
+
+TEST(CoverageTest, EmptyUnitIsFullyCovered) {
+  Unit u("empty");
+  EXPECT_DOUBLE_EQ(u.StatementCoverage(), 1.0);
+  EXPECT_DOUBLE_EQ(u.BranchCoverage(), 1.0);
+  EXPECT_DOUBLE_EQ(u.McdcCoverage(), 1.0);
+}
+
+TEST(CoverageTest, OutOfRangeStatementProbeIsContractViolation) {
+  Unit u("u");
+  u.DeclareStatements(2);
+  EXPECT_THROW(u.Stmt(2), support::ContractViolation);
+  EXPECT_THROW(u.Stmt(-1), support::ContractViolation);
+}
+
+TEST(CoverageTest, BranchCoverageNeedsBothOutcomes) {
+  Unit u("u");
+  const int d = u.DeclareDecision(1);
+  EXPECT_DOUBLE_EQ(u.BranchCoverage(), 0.0);  // declared but never executed
+  u.Branch(d, true);
+  EXPECT_DOUBLE_EQ(u.BranchCoverage(), 0.5);
+  u.Branch(d, true);  // same outcome adds nothing
+  EXPECT_DOUBLE_EQ(u.BranchCoverage(), 0.5);
+  u.Branch(d, false);
+  EXPECT_DOUBLE_EQ(u.BranchCoverage(), 1.0);
+}
+
+TEST(CoverageTest, BranchCoverageAveragesAcrossDecisions) {
+  Unit u("u");
+  const int d0 = u.DeclareDecision(1);
+  const int d1 = u.DeclareDecision(1);
+  u.Branch(d0, true);
+  u.Branch(d0, false);
+  u.Branch(d1, true);
+  EXPECT_DOUBLE_EQ(u.BranchCoverage(), 0.75);  // 3 of 4 outcomes
+}
+
+TEST(CoverageTest, McdcSingleConditionEqualsBranch) {
+  Unit u("u");
+  const int d = u.DeclareDecision(1);
+  u.Branch(d, true);
+  EXPECT_DOUBLE_EQ(u.McdcCoverage(), 0.0);  // only one vector
+  u.Branch(d, false);
+  EXPECT_DOUBLE_EQ(u.McdcCoverage(), 1.0);  // {1,T} vs {0,F} differ in c0
+}
+
+TEST(CoverageTest, McdcTwoConditionAnd) {
+  // outcome = a && b. Unique-cause pairs: a needs (T,T)/(F,T); b needs
+  // (T,T)/(T,F).
+  Unit u("u");
+  const int d = u.DeclareDecision(2);
+  auto run = [&](bool a, bool b) {
+    bool ca = u.Cond(d, 0, a);
+    bool cb = u.Cond(d, 1, b);
+    u.Dec(d, ca && cb);
+  };
+  run(true, true);
+  EXPECT_EQ(u.mcdc_conditions_demonstrated(), 0);
+  run(false, true);  // demonstrates a
+  EXPECT_EQ(u.mcdc_conditions_demonstrated(), 1);
+  run(true, false);  // demonstrates b
+  EXPECT_EQ(u.mcdc_conditions_demonstrated(), 2);
+  EXPECT_DOUBLE_EQ(u.McdcCoverage(), 1.0);
+  // Branch coverage is also complete (T and F outcomes seen).
+  EXPECT_DOUBLE_EQ(u.BranchCoverage(), 1.0);
+}
+
+TEST(CoverageTest, McdcAllFourVectorsOfOrStillNeedUniqueCausePairs) {
+  // outcome = a || b with vectors (F,F) and (T,T) only: branch coverage is
+  // complete but NO condition is demonstrated independently... actually
+  // (F,F)->F and (T,T)->T differ in both conditions, so neither is shown.
+  Unit u("u");
+  const int d = u.DeclareDecision(2);
+  auto run = [&](bool a, bool b) {
+    u.Cond(d, 0, a);
+    u.Cond(d, 1, b);
+    u.Dec(d, a || b);
+  };
+  run(false, false);
+  run(true, true);
+  EXPECT_DOUBLE_EQ(u.BranchCoverage(), 1.0);
+  EXPECT_EQ(u.mcdc_conditions_demonstrated(), 0);
+  run(true, false);  // (T,F)->T with (F,F)->F shows a; with (T,T)->T nothing
+  EXPECT_EQ(u.mcdc_conditions_demonstrated(), 1);
+  run(false, true);  // shows b against (F,F)
+  EXPECT_EQ(u.mcdc_conditions_demonstrated(), 2);
+}
+
+TEST(CoverageTest, McdcThreeConditions) {
+  // outcome = a && (b || c).
+  Unit u("u");
+  const int d = u.DeclareDecision(3);
+  auto run = [&](bool a, bool b, bool c) {
+    u.Cond(d, 0, a);
+    u.Cond(d, 1, b);
+    u.Cond(d, 2, c);
+    u.Dec(d, a && (b || c));
+  };
+  // Classic minimal unique-cause set for a && (b || c):
+  run(true, true, false);   // T
+  run(false, true, false);  // F — shows a
+  run(true, false, false);  // F — shows b
+  run(true, false, true);   // T — shows c
+  EXPECT_EQ(u.mcdc_conditions_demonstrated(), 3);
+  EXPECT_DOUBLE_EQ(u.McdcCoverage(), 1.0);
+}
+
+TEST(CoverageTest, ResetClearsExecutionKeepsDeclarations) {
+  Unit u("u");
+  u.DeclareStatements(2);
+  const int d = u.DeclareDecision(1);
+  u.Stmt(0);
+  u.Branch(d, true);
+  u.Reset();
+  EXPECT_EQ(u.statements_total(), 2);
+  EXPECT_EQ(u.statements_hit(), 0);
+  EXPECT_DOUBLE_EQ(u.BranchCoverage(), 0.0);
+}
+
+TEST(CoverageTest, RegistryCreatesAndFinds) {
+  Unit& a = Registry::Instance().GetOrCreate("reg/alpha.cc");
+  Unit& b = Registry::Instance().GetOrCreate("reg/alpha.cc");
+  EXPECT_EQ(&a, &b);
+  Registry::Instance().GetOrCreate("reg/beta.cc");
+  auto units = Registry::Instance().Units();
+  int found = 0;
+  for (const Unit* u : units) {
+    if (u->name() == "reg/alpha.cc" || u->name() == "reg/beta.cc") ++found;
+  }
+  EXPECT_EQ(found, 2);
+}
+
+TEST(CoverageTest, SnapshotAndAverage) {
+  Unit& a = Registry::Instance().GetOrCreate("snap/a.cc");
+  a.DeclareStatements(2);
+  a.Stmt(0);
+  auto rows = Snapshot();
+  ASSERT_FALSE(rows.empty());
+  CoverageRow avg = Average(rows);
+  EXPECT_GE(avg.statement, 0.0);
+  EXPECT_LE(avg.statement, 1.0);
+}
+
+TEST(CoverageTest, ConcurrentStatementProbes) {
+  Unit u("mt");
+  u.DeclareStatements(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&u] {
+      for (int i = 0; i < 64; ++i) {
+        for (int rep = 0; rep < 100; ++rep) u.Stmt(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(u.StatementCoverage(), 1.0);
+  EXPECT_EQ(u.statements_hit(), 64);
+}
+
+TEST(CoverageTest, ConcurrentDecisionProbes) {
+  Unit u("mt2");
+  const int d = u.DeclareDecision(2);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&u, d, t] {
+      for (int i = 0; i < 200; ++i) {
+        const bool a = (i + t) % 2 == 0;
+        const bool b = i % 3 == 0;
+        u.Cond(d, 0, a);
+        u.Cond(d, 1, b);
+        u.Dec(d, a && b);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(u.BranchCoverage(), 1.0);
+  EXPECT_EQ(u.mcdc_conditions_demonstrated(), 2);
+}
+
+// Property sweep: with a decision of N independent conditions driven through
+// the 2^N full truth table of `AND`, every condition is demonstrated.
+class McdcSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(McdcSweep, FullTruthTableDemonstratesAllForAnd) {
+  const int n = GetParam();
+  Unit u("sweep");
+  const int d = u.DeclareDecision(n);
+  for (std::uint64_t v = 0; v < (1ULL << n); ++v) {
+    bool outcome = true;
+    for (int c = 0; c < n; ++c) {
+      const bool val = (v >> c) & 1ULL;
+      u.Cond(d, c, val);
+      outcome = outcome && val;
+    }
+    u.Dec(d, outcome);
+  }
+  EXPECT_EQ(u.mcdc_conditions_demonstrated(), n);
+  EXPECT_DOUBLE_EQ(u.McdcCoverage(), 1.0);
+  EXPECT_DOUBLE_EQ(u.BranchCoverage(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Conditions, McdcSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 10));
+
+}  // namespace
+}  // namespace certkit::cov

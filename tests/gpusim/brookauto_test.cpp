@@ -1,0 +1,111 @@
+// Tests for the Brook-Auto-style stream layer.
+#include "gpusim/brookauto.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace brookauto {
+namespace {
+
+TEST(StreamTest, WriteReadRoundTrip) {
+  gpusim::Device device(1);
+  Stream<float> s(8, device);
+  std::vector<float> host = {1, 2, 3, 4, 5, 6, 7, 8};
+  s.Write(host);
+  EXPECT_EQ(s.Read(), host);
+}
+
+TEST(StreamTest, SizeMismatchIsContractViolation) {
+  gpusim::Device device(1);
+  Stream<float> s(4, device);
+  std::vector<float> wrong = {1, 2, 3};
+  EXPECT_THROW(s.Write(wrong), certkit::support::ContractViolation);
+}
+
+TEST(StreamTest, EmptyStreamRejected) {
+  gpusim::Device device(1);
+  EXPECT_THROW(Stream<float>(0, device),
+               certkit::support::ContractViolation);
+}
+
+TEST(StreamTest, RaiiReleasesDeviceMemory) {
+  gpusim::Device device(1);
+  {
+    Stream<double> s(100, device);
+    EXPECT_EQ(device.allocated_bytes(), 100 * sizeof(double));
+  }
+  EXPECT_EQ(device.allocated_bytes(), 0u);
+}
+
+TEST(TransformTest, ElementwiseMap) {
+  gpusim::Device device(1);
+  Stream<float> in(5, device), out(5, device);
+  in.Write({1, 2, 3, 4, 5});
+  Transform(in, &out, [](float v) { return v * 2.0f + 1.0f; });
+  EXPECT_EQ(out.Read(), (std::vector<float>{3, 5, 7, 9, 11}));
+}
+
+TEST(TransformTest, ScaleBiasZip) {
+  // The paper's Figure 4 kernel, pointer-free: out = out * scale + bias.
+  gpusim::Device device(1);
+  Stream<float> values(4, device), biases(4, device), out(4, device);
+  values.Write({1, 2, 3, 4});
+  biases.Write({10, 20, 30, 40});
+  Transform2(values, biases, &out,
+             [](float v, float b) { return v * 2.0f + b; });
+  EXPECT_EQ(out.Read(), (std::vector<float>{12, 24, 36, 48}));
+}
+
+TEST(TransformTest, SizeMismatchRejected) {
+  gpusim::Device device(1);
+  Stream<float> a(4, device), b(5, device), out(4, device);
+  EXPECT_THROW(
+      Transform2(a, b, &out, [](float x, float y) { return x + y; }),
+      certkit::support::ContractViolation);
+}
+
+TEST(GatherTest, ThreePointStencilWithZeroBoundary) {
+  gpusim::Device device(1);
+  Stream<float> in(4, device), out(4, device);
+  in.Write({1, 2, 3, 4});
+  Gather(in, &out, [](const Window<float>& w) {
+    return w[-1] + w[0] + w[+1];
+  });
+  // Boundaries read as 0: [0+1+2, 1+2+3, 2+3+4, 3+4+0].
+  EXPECT_EQ(out.Read(), (std::vector<float>{3, 6, 9, 7}));
+}
+
+TEST(GatherTest, CustomBoundaryValue) {
+  gpusim::Device device(1);
+  Stream<float> in(2, device), out(2, device);
+  in.Write({5, 6});
+  Gather(in, &out, [](const Window<float>& w) { return w[-1] + w[+1]; },
+         100.0f);
+  EXPECT_EQ(out.Read(), (std::vector<float>{106, 105}));
+}
+
+TEST(ReduceTest, SumAndMax) {
+  gpusim::Device device(1);
+  Stream<int> s(6, device);
+  s.Write({3, 1, 4, 1, 5, 9});
+  EXPECT_EQ(Reduce(s, 0, [](int a, int b) { return a + b; }), 23);
+  EXPECT_EQ(Reduce(s, 0, [](int a, int b) { return a > b ? a : b; }), 9);
+}
+
+TEST(BrookAutoTest, LargeStreamMatchesScalarLoop) {
+  gpusim::Device device(2);
+  const std::size_t n = 10000;
+  std::vector<float> host(n);
+  std::iota(host.begin(), host.end(), 0.0f);
+  Stream<float> in(n, device), out(n, device);
+  in.Write(host);
+  Transform(in, &out, [](float v) { return v * 0.5f - 3.0f; });
+  const auto result = out.Read();
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_FLOAT_EQ(result[i], host[i] * 0.5f - 3.0f);
+  }
+}
+
+}  // namespace
+}  // namespace brookauto

@@ -1,0 +1,243 @@
+// Unit tests for the certkit lexer.
+#include "lex/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace certkit::lex {
+namespace {
+
+LexedFile MustLex(std::string_view src, const LexOptions& opts = {}) {
+  auto r = Lex("test.cc", src, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+std::vector<std::string> Texts(const LexedFile& f) {
+  std::vector<std::string> out;
+  for (const auto& t : f.tokens) out.push_back(t.text);
+  return out;
+}
+
+TEST(LexerTest, EmptySource) {
+  LexedFile f = MustLex("");
+  EXPECT_TRUE(f.tokens.empty());
+  EXPECT_EQ(f.lines.total, 0);
+}
+
+TEST(LexerTest, SimpleStatement) {
+  LexedFile f = MustLex("int x = 42;");
+  ASSERT_EQ(f.tokens.size(), 5u);
+  EXPECT_EQ(f.tokens[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(f.tokens[0].text, "int");
+  EXPECT_EQ(f.tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(f.tokens[1].text, "x");
+  EXPECT_EQ(f.tokens[2].text, "=");
+  EXPECT_EQ(f.tokens[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(f.tokens[3].text, "42");
+  EXPECT_EQ(f.tokens[4].text, ";");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  LexedFile f = MustLex("int a;\n  double b;\n");
+  ASSERT_EQ(f.tokens.size(), 6u);
+  EXPECT_EQ(f.tokens[0].line, 1);
+  EXPECT_EQ(f.tokens[0].column, 1);
+  EXPECT_EQ(f.tokens[3].line, 2);
+  EXPECT_EQ(f.tokens[3].column, 3);  // after two spaces
+}
+
+TEST(LexerTest, LineComment) {
+  LexedFile f = MustLex("int a; // trailing comment\n// full line\nint b;");
+  EXPECT_EQ(Texts(f), (std::vector<std::string>{"int", "a", ";", "int", "b",
+                                                ";"}));
+  EXPECT_EQ(f.comment_count, 2);
+  EXPECT_EQ(f.lines.comment_only, 1);  // line 2 only
+  EXPECT_EQ(f.lines.code, 2);
+}
+
+TEST(LexerTest, BlockCommentSpanningLines) {
+  LexedFile f = MustLex("int a; /* one\n two\n three */ int b;");
+  EXPECT_EQ(Texts(f), (std::vector<std::string>{"int", "a", ";", "int", "b",
+                                                ";"}));
+  EXPECT_EQ(f.comment_count, 1);
+  EXPECT_EQ(f.lines.comment_only, 1);  // middle line is comment-only
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  auto r = Lex("t.cc", "int a; /* oops");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), support::StatusCode::kParseError);
+}
+
+TEST(LexerTest, StringLiterals) {
+  LexedFile f = MustLex(R"(const char* s = "hi \"there\"";)");
+  ASSERT_GE(f.tokens.size(), 1u);
+  bool found = false;
+  for (const auto& t : f.tokens) {
+    if (t.kind == TokenKind::kString) {
+      EXPECT_EQ(t.text, "\"hi \\\"there\\\"\"");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, RawStringLiteral) {
+  LexedFile f = MustLex("auto s = R\"x(a \" b )\" c)x\";");
+  bool found = false;
+  for (const auto& t : f.tokens) {
+    if (t.kind == TokenKind::kString) {
+      EXPECT_EQ(t.text, "R\"x(a \" b )\" c)x\"");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, EncodingPrefixedStrings) {
+  LexedFile f = MustLex("auto a = L\"w\"; auto b = u8\"u\"; auto c = U'c';");
+  int strings = 0, chars = 0;
+  for (const auto& t : f.tokens) {
+    if (t.kind == TokenKind::kString) ++strings;
+    if (t.kind == TokenKind::kChar) ++chars;
+  }
+  EXPECT_EQ(strings, 2);
+  EXPECT_EQ(chars, 1);
+}
+
+TEST(LexerTest, CharLiteralWithEscape) {
+  LexedFile f = MustLex(R"(char c = '\n';)");
+  bool found = false;
+  for (const auto& t : f.tokens) {
+    if (t.kind == TokenKind::kChar) {
+      EXPECT_EQ(t.text, "'\\n'");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, NumberFormats) {
+  LexedFile f = MustLex(
+      "auto a = 0x1Fu; auto b = 0b1010; auto c = 1'000'000; auto d = 3.5e-2f; "
+      "auto e = .5; auto g = 0x1.8p3;");
+  std::vector<std::string> nums;
+  for (const auto& t : f.tokens) {
+    if (t.kind == TokenKind::kNumber) nums.push_back(t.text);
+  }
+  EXPECT_EQ(nums, (std::vector<std::string>{"0x1Fu", "0b1010", "1'000'000",
+                                            "3.5e-2f", ".5", "0x1.8p3"}));
+}
+
+TEST(LexerTest, MaximalMunchOperators) {
+  LexedFile f = MustLex("a <<= b; c ->* d; e <=> g; h >>= i; j ... k;");
+  std::vector<std::string> ops;
+  for (const auto& t : f.tokens) {
+    if (t.kind == TokenKind::kPunct && t.text != ";") ops.push_back(t.text);
+  }
+  EXPECT_EQ(ops, (std::vector<std::string>{"<<=", "->*", "<=>", ">>=", "..."}));
+}
+
+TEST(LexerTest, ScopeAndArrow) {
+  LexedFile f = MustLex("a::b->c;");
+  EXPECT_EQ(Texts(f), (std::vector<std::string>{"a", "::", "b", "->", "c",
+                                                ";"}));
+}
+
+TEST(LexerTest, PreprocessorDirectivesSeparated) {
+  LexedFile f = MustLex("#include <vector>\n#define N 4\nint x = N;");
+  ASSERT_EQ(f.directives.size(), 2u);
+  EXPECT_EQ(f.directives[0].name, "include");
+  EXPECT_EQ(f.directives[1].name, "define");
+  ASSERT_EQ(f.directives[1].tokens.size(), 2u);
+  EXPECT_EQ(f.directives[1].tokens[0].text, "N");
+  // Main token stream excludes directive tokens.
+  EXPECT_EQ(Texts(f), (std::vector<std::string>{"int", "x", "=", "N", ";"}));
+  EXPECT_EQ(f.lines.preprocessor, 2);
+}
+
+TEST(LexerTest, DirectiveWithContinuation) {
+  LexedFile f = MustLex("#define MAX(a, b) \\\n  ((a) > (b) ? (a) : (b))\nint x;");
+  ASSERT_EQ(f.directives.size(), 1u);
+  EXPECT_EQ(f.directives[0].name, "define");
+  EXPECT_GT(f.directives[0].tokens.size(), 5u);
+  EXPECT_EQ(Texts(f), (std::vector<std::string>{"int", "x", ";"}));
+  EXPECT_EQ(f.lines.preprocessor, 2);  // both physical lines
+}
+
+TEST(LexerTest, SpliceBetweenTokens) {
+  LexedFile f = MustLex("int a\\\n= 3;");
+  EXPECT_EQ(Texts(f), (std::vector<std::string>{"int", "a", "=", "3", ";"}));
+}
+
+TEST(LexerTest, CudaKeywordsInCudaDialect) {
+  LexedFile f = MustLex("__global__ void k() {}");
+  ASSERT_FALSE(f.tokens.empty());
+  EXPECT_EQ(f.tokens[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(f.tokens[0].text, "__global__");
+}
+
+TEST(LexerTest, CudaKeywordsDisabled) {
+  LexOptions opts;
+  opts.cuda_dialect = false;
+  LexedFile f = MustLex("__global__ void k() {}", opts);
+  EXPECT_EQ(f.tokens[0].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, LineStatsClassification) {
+  const char* src =
+      "// header comment\n"
+      "\n"
+      "#include <a>\n"
+      "int main() {\n"
+      "  return 0;  // inline\n"
+      "}\n";
+  LexedFile f = MustLex(src);
+  EXPECT_EQ(f.lines.total, 7);  // trailing newline makes an empty 7th line
+  EXPECT_EQ(f.lines.comment_only, 1);
+  EXPECT_EQ(f.lines.preprocessor, 1);
+  EXPECT_EQ(f.lines.code, 3);
+  EXPECT_EQ(f.lines.blank, 2);
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  auto r = Lex("t.cc", "const char* s = \"abc\nint x;");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(LexerTest, DigraphFreePunctuation) {
+  LexedFile f = MustLex("x = a % b ^ c | d;");
+  std::vector<std::string> got = Texts(f);
+  EXPECT_EQ(got, (std::vector<std::string>{"x", "=", "a", "%", "b", "^", "c",
+                                           "|", "d", ";"}));
+}
+
+// Property-style sweep: lexing arbitrary operator soup never loses track of
+// line numbers.
+class LexerLineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LexerLineSweep, TokenLinesMonotonic) {
+  const int lines = GetParam();
+  std::string src;
+  for (int i = 0; i < lines; ++i) {
+    src += "int v" + std::to_string(i) + " = " + std::to_string(i) + ";\n";
+  }
+  LexedFile f = MustLex(src);
+  EXPECT_EQ(f.lines.total, lines + (lines > 0 ? 1 : 0));
+  EXPECT_EQ(f.lines.code, lines);
+  int last = 0;
+  for (const auto& t : f.tokens) {
+    EXPECT_GE(t.line, last);
+    last = t.line;
+  }
+  EXPECT_EQ(f.tokens.size(), static_cast<std::size_t>(lines) * 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LexerLineSweep,
+                         ::testing::Values(0, 1, 2, 10, 100, 1000));
+
+}  // namespace
+}  // namespace certkit::lex

@@ -1,0 +1,119 @@
+// Tests for module aggregation and architectural metrics (Table 2 support).
+#include "metrics/architecture.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "metrics/module_metrics.h"
+
+namespace certkit::metrics {
+namespace {
+
+ModuleAnalysis Module(const std::string& name, std::string_view src) {
+  auto r = ast::ParseSource(name + "/file.cc", src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<ast::SourceFileModel> files;
+  files.push_back(std::move(r).value());
+  return AnalyzeModule(name, std::move(files));
+}
+
+TEST(ModuleMetricsTest, AggregatesAcrossFiles) {
+  auto a = ast::ParseSource("m/a.cc", "void f1() {}\nvoid f2() {}\n");
+  auto b = ast::ParseSource("m/b.cc", "int g(int x) { return x ? 1 : 0; }\n");
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::vector<ast::SourceFileModel> files;
+  files.push_back(std::move(a).value());
+  files.push_back(std::move(b).value());
+  ModuleAnalysis mod = AnalyzeModule("m", std::move(files));
+  EXPECT_EQ(mod.metrics.file_count, 2);
+  EXPECT_EQ(mod.metrics.function_count, 3);
+  EXPECT_EQ(mod.metrics.cc_low, 3);
+  EXPECT_EQ(mod.metrics.max_cc, 2);
+  EXPECT_NEAR(mod.metrics.mean_cc, 4.0 / 3.0, 1e-9);
+}
+
+TEST(ModuleMetricsTest, FunctionsOverCcThresholds) {
+  ModuleMetrics m;
+  m.cc_low = 10;
+  m.cc_moderate = 5;
+  m.cc_risky = 3;
+  m.cc_unstable = 2;
+  EXPECT_EQ(m.FunctionsOverCc(10), 10);
+  EXPECT_EQ(m.FunctionsOverCc(20), 5);
+  EXPECT_EQ(m.FunctionsOverCc(50), 2);
+}
+
+TEST(ArchitectureTest, ResolvedCallsSplitIntraVsInter) {
+  // Module "low" defines Leaf; module "high" calls it plus its own Local.
+  std::vector<ModuleAnalysis> modules;
+  modules.push_back(Module("low", "int Leaf(int x) { return x; }\n"));
+  modules.push_back(Module(
+      "high",
+      "int Local(int x) { return x + 1; }\n"
+      "int Top(int x) { return Local(x) + Leaf(x); }\n"));
+  ArchitectureReport report = AnalyzeArchitecture(modules);
+  ASSERT_EQ(report.coupling.size(), 2u);
+  const CouplingStats& low = report.coupling[0];
+  const CouplingStats& high = report.coupling[1];
+  EXPECT_EQ(low.external_calls, 0);
+  EXPECT_EQ(high.external_calls, 1);   // Top -> Leaf
+  EXPECT_EQ(high.internal_calls, 1);   // Top -> Local
+  EXPECT_EQ(high.efferent_modules, 1);
+  EXPECT_DOUBLE_EQ(high.cohesion, 0.5);
+  EXPECT_DOUBLE_EQ(low.cohesion, 1.0);  // nothing resolves externally
+}
+
+TEST(ArchitectureTest, AmbiguousNamesDroppedFromResolution) {
+  // `Shared` is defined in both modules: calls to it must not create edges.
+  std::vector<ModuleAnalysis> modules;
+  modules.push_back(Module("a", "int Shared(int x) { return x; }\n"));
+  modules.push_back(Module(
+      "b",
+      "int Shared(int x) { return -x; }\n"
+      "int User(int x) { return Shared(x); }\n"));
+  ArchitectureReport report = AnalyzeArchitecture(modules);
+  EXPECT_EQ(report.coupling[1].external_calls, 0);
+  EXPECT_EQ(report.coupling[1].internal_calls, 0);
+}
+
+TEST(ArchitectureTest, InterfaceStatsCountWideSignatures) {
+  std::vector<ModuleAnalysis> modules;
+  modules.push_back(Module(
+      "wide",
+      "int Narrow(int a) { return a; }\n"
+      "int Wide(int a, int b, int c, int d, int e, int f) {\n"
+      "  return a + b + c + d + e + f;\n"
+      "}\n"));
+  ArchitectureLimits limits;
+  limits.max_params = 5;
+  ArchitectureReport report = AnalyzeArchitecture(modules, limits);
+  ASSERT_EQ(report.interfaces.size(), 1u);
+  EXPECT_EQ(report.interfaces[0].functions_over_param_limit, 1);
+  EXPECT_EQ(report.interfaces[0].max_params, 6);
+  EXPECT_NEAR(report.interfaces[0].mean_params, 3.5, 1e-9);
+}
+
+TEST(ArchitectureTest, ClassInterfaceWidth) {
+  std::vector<ModuleAnalysis> modules;
+  modules.push_back(Module(
+      "cls",
+      "class Api {\n"
+      " public:\n"
+      "  void A() {}\n"
+      "  void B() {}\n"
+      " private:\n"
+      "  void C() {}\n"
+      "};\n"));
+  ArchitectureReport report = AnalyzeArchitecture(modules);
+  EXPECT_EQ(report.interfaces[0].class_count, 1);
+  EXPECT_EQ(report.interfaces[0].max_public_methods, 2);
+}
+
+TEST(ArchitectureTest, EmptyModuleListIsEmptyReport) {
+  ArchitectureReport report = AnalyzeArchitecture({});
+  EXPECT_TRUE(report.sizes.empty());
+  EXPECT_TRUE(report.coupling.empty());
+}
+
+}  // namespace
+}  // namespace certkit::metrics

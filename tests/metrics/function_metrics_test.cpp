@@ -1,0 +1,179 @@
+// Unit tests for per-function metrics (Lizard-rule cyclomatic complexity).
+#include "metrics/function_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace certkit::metrics {
+namespace {
+
+FunctionMetrics MetricsOf(std::string_view src, std::size_t index = 0) {
+  auto r = ast::ParseSource("test.cc", src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  const ast::SourceFileModel& m = r.value();
+  EXPECT_LT(index, m.functions.size());
+  return ComputeFunctionMetrics(m, m.functions[index]);
+}
+
+TEST(FunctionMetricsTest, StraightLineComplexityIsOne) {
+  FunctionMetrics m = MetricsOf("int f() { int a = 1; int b = 2; return a + b; }");
+  EXPECT_EQ(m.cyclomatic_complexity, 1);
+}
+
+TEST(FunctionMetricsTest, SingleIfIsTwo) {
+  FunctionMetrics m = MetricsOf("int f(int x) { if (x) return 1; return 0; }");
+  EXPECT_EQ(m.cyclomatic_complexity, 2);
+}
+
+TEST(FunctionMetricsTest, NestedIfsAddLinearly) {
+  FunctionMetrics m = MetricsOf(
+      "int f(int x, int y) { if (x) { if (y) return 2; } return 0; }");
+  EXPECT_EQ(m.cyclomatic_complexity, 3);
+}
+
+TEST(FunctionMetricsTest, ElseDoesNotAdd) {
+  FunctionMetrics m = MetricsOf(
+      "int f(int x) { if (x) { return 1; } else { return 2; } }");
+  EXPECT_EQ(m.cyclomatic_complexity, 2);
+}
+
+TEST(FunctionMetricsTest, LogicalOperatorsAdd) {
+  FunctionMetrics m = MetricsOf(
+      "int f(int a, int b, int c) { if (a && b || c) return 1; return 0; }");
+  EXPECT_EQ(m.cyclomatic_complexity, 4);  // 1 + if + && + ||
+}
+
+TEST(FunctionMetricsTest, TernaryAdds) {
+  FunctionMetrics m = MetricsOf("int f(int x) { return x ? 1 : 2; }");
+  EXPECT_EQ(m.cyclomatic_complexity, 2);
+}
+
+TEST(FunctionMetricsTest, SwitchCasesAdd) {
+  FunctionMetrics m = MetricsOf(
+      "int f(int x) {\n"
+      "  switch (x) {\n"
+      "    case 0: return 1;\n"
+      "    case 1: return 2;\n"
+      "    case 2: return 3;\n"
+      "    default: return 0;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(m.cyclomatic_complexity, 4);  // 1 + 3 cases (default free)
+}
+
+TEST(FunctionMetricsTest, LoopsAdd) {
+  FunctionMetrics m = MetricsOf(
+      "int f(int n) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < n; ++i) s += i;\n"
+      "  while (s > 100) s /= 2;\n"
+      "  return s;\n"
+      "}\n");
+  EXPECT_EQ(m.cyclomatic_complexity, 3);
+}
+
+TEST(FunctionMetricsTest, DoWhileCountsOnce) {
+  FunctionMetrics m = MetricsOf(
+      "int f(int n) { int s = 0; do { s += n; --n; } while (n > 0); return s; }");
+  // `do...while` is one loop: its `while` contributes the single decision.
+  EXPECT_EQ(m.cyclomatic_complexity, 2);
+}
+
+TEST(FunctionMetricsTest, CatchAdds) {
+  FunctionMetrics m = MetricsOf(
+      "int f() { try { return g(); } catch (const std::exception& e) { "
+      "return -1; } }");
+  EXPECT_EQ(m.cyclomatic_complexity, 2);
+}
+
+TEST(FunctionMetricsTest, NlocCountsCodeLines) {
+  FunctionMetrics m = MetricsOf(
+      "int f() {\n"
+      "  int a = 1;\n"
+      "\n"
+      "  // comment only\n"
+      "  return a;\n"
+      "}\n");
+  EXPECT_EQ(m.nloc, 4);  // '{' line, two statements, '}' line
+}
+
+TEST(FunctionMetricsTest, ReturnAndGotoCounts) {
+  FunctionMetrics m = MetricsOf(
+      "int f(int x) {\n"
+      "  if (x < 0) return -1;\n"
+      "  if (x == 0) goto done;\n"
+      "  return x;\n"
+      "done:\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(m.return_count, 3);
+  EXPECT_EQ(m.goto_count, 1);
+}
+
+TEST(FunctionMetricsTest, DirectRecursionDetected) {
+  FunctionMetrics m =
+      MetricsOf("int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }");
+  EXPECT_TRUE(m.is_recursive_direct);
+}
+
+TEST(FunctionMetricsTest, NonRecursiveNotFlagged) {
+  FunctionMetrics m = MetricsOf("int f(int n) { return g(n) + h(n); }");
+  EXPECT_FALSE(m.is_recursive_direct);
+}
+
+TEST(FunctionMetricsTest, CalleesCollectedSortedUnique) {
+  FunctionMetrics m = MetricsOf(
+      "void f() { alpha(); beta(); alpha(); obj.gamma(); }");
+  EXPECT_EQ(m.callees,
+            (std::vector<std::string>{"alpha", "beta", "gamma"}));
+}
+
+TEST(FunctionMetricsTest, NestingDepth) {
+  FunctionMetrics m = MetricsOf(
+      "void f(int n) {\n"
+      "  if (n) {\n"
+      "    for (int i = 0; i < n; ++i) {\n"
+      "      if (i % 2) {\n"
+      "        g();\n"
+      "      }\n"
+      "    }\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(m.max_nesting_depth, 3);
+}
+
+TEST(FunctionMetricsTest, ParamCount) {
+  FunctionMetrics m = MetricsOf("void f(int a, double b, char c) {}");
+  EXPECT_EQ(m.param_count, 3);
+}
+
+TEST(FunctionMetricsTest, ComplexityBands) {
+  EXPECT_EQ(BandOf(1), ComplexityBand::kLow);
+  EXPECT_EQ(BandOf(10), ComplexityBand::kLow);
+  EXPECT_EQ(BandOf(11), ComplexityBand::kModerate);
+  EXPECT_EQ(BandOf(20), ComplexityBand::kModerate);
+  EXPECT_EQ(BandOf(21), ComplexityBand::kRisky);
+  EXPECT_EQ(BandOf(50), ComplexityBand::kRisky);
+  EXPECT_EQ(BandOf(51), ComplexityBand::kUnstable);
+}
+
+// Property: a chain of N sequential `if` statements has CC = N + 1 exactly.
+class ComplexityChainSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComplexityChainSweep, LinearInDecisions) {
+  const int n = GetParam();
+  std::string body;
+  for (int i = 0; i < n; ++i) {
+    body += "if (x > " + std::to_string(i) + ") ++x;\n";
+  }
+  FunctionMetrics m = MetricsOf("int f(int x) {\n" + body + "return x;\n}\n");
+  EXPECT_EQ(m.cyclomatic_complexity, n + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, ComplexityChainSweep,
+                         ::testing::Values(0, 1, 9, 10, 19, 20, 49, 50, 51,
+                                           120));
+
+}  // namespace
+}  // namespace certkit::metrics

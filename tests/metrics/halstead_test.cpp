@@ -1,0 +1,105 @@
+// Tests for Halstead metrics and the maintainability index.
+#include "metrics/halstead.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ast/parser.h"
+
+namespace certkit::metrics {
+namespace {
+
+HalsteadMetrics Halstead(std::string_view src) {
+  auto r = ast::ParseSource("h.cc", src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().functions.size(), 1u);
+  return ComputeHalstead(r.value(), r.value().functions[0]);
+}
+
+TEST(HalsteadTest, HandComputedTinyFunction) {
+  // Body tokens: { return a + b ; }
+  // operators: '{' return '+' ';' '}'  -> distinct 5, total 5
+  // operands:  a b                     -> distinct 2, total 2
+  HalsteadMetrics m = Halstead("int f(int a, int b) { return a + b; }");
+  EXPECT_EQ(m.distinct_operators, 5);
+  EXPECT_EQ(m.total_operators, 5);
+  EXPECT_EQ(m.distinct_operands, 2);
+  EXPECT_EQ(m.total_operands, 2);
+  EXPECT_EQ(m.Vocabulary(), 7);
+  EXPECT_EQ(m.Length(), 7);
+  EXPECT_NEAR(m.Volume(), 7.0 * std::log2(7.0), 1e-9);
+  EXPECT_NEAR(m.Difficulty(), (5.0 / 2.0) * (2.0 / 2.0), 1e-9);
+  EXPECT_NEAR(m.Effort(), m.Difficulty() * m.Volume(), 1e-9);
+}
+
+TEST(HalsteadTest, RepeatedOperandsCountTotals) {
+  HalsteadMetrics m = Halstead("int f(int a) { return a + a + a; }");
+  EXPECT_EQ(m.distinct_operands, 1);  // only `a`
+  EXPECT_EQ(m.total_operands, 3);
+}
+
+TEST(HalsteadTest, LiteralsAreOperands) {
+  HalsteadMetrics m = Halstead(
+      "int f() { const char* s = \"x\"; return 42 + 'c' * 0; }");
+  // operands: s, "x", 42, 'c', 0 — note `char` is a keyword (operator).
+  EXPECT_EQ(m.distinct_operands, 5);
+}
+
+TEST(HalsteadTest, VolumeGrowsWithCode) {
+  HalsteadMetrics small = Halstead("int f() { return 1; }");
+  HalsteadMetrics large = Halstead(
+      "int f(int a, int b, int c) {\n"
+      "  int x = a * b + c;\n"
+      "  int y = x / (a + 1);\n"
+      "  int z = y % (b + 2);\n"
+      "  return x + y + z;\n"
+      "}\n");
+  EXPECT_GT(large.Volume(), small.Volume());
+  EXPECT_GT(large.Effort(), small.Effort());
+}
+
+TEST(MaintainabilityIndexTest, BoundsAndMonotonicity) {
+  // Tiny, simple code -> high MI.
+  const double simple = MaintainabilityIndex(10.0, 1, 3);
+  EXPECT_GT(simple, 80.0);
+  EXPECT_LE(simple, 100.0);
+  // Monotone decreasing in volume, complexity, and size.
+  EXPECT_GT(MaintainabilityIndex(100.0, 5, 20),
+            MaintainabilityIndex(10000.0, 5, 20));
+  EXPECT_GT(MaintainabilityIndex(100.0, 5, 20),
+            MaintainabilityIndex(100.0, 60, 20));
+  EXPECT_GT(MaintainabilityIndex(100.0, 5, 20),
+            MaintainabilityIndex(100.0, 5, 2000));
+  // Clamped to [0, 100].
+  EXPECT_EQ(MaintainabilityIndex(1e12, 300, 100000), 0.0);
+}
+
+TEST(MaintainabilityIndexTest, DegenerateInputsClamp) {
+  EXPECT_LE(MaintainabilityIndex(0.0, 1, 0), 100.0);
+  EXPECT_GE(MaintainabilityIndex(0.0, 1, 0), 0.0);
+}
+
+TEST(MaintainabilityIndexTest, ComplexGeneratedFunctionScoresLower) {
+  // A CC~30 function from the corpus generator scores well below a trivial
+  // one — the Observation-1 story in MI terms.
+  auto simple = ast::ParseSource("s.cc", "int f() { return 1; }");
+  ASSERT_TRUE(simple.ok());
+  const double mi_simple = FunctionMaintainabilityIndex(
+      simple.value(), simple.value().functions[0]);
+
+  std::string body = "int g(int x) {\n";
+  for (int i = 0; i < 30; ++i) {
+    body += "  if (x > " + std::to_string(i) + ") { x += " +
+            std::to_string(i) + "; }\n";
+  }
+  body += "  return x;\n}\n";
+  auto complex_fn = ast::ParseSource("c.cc", body);
+  ASSERT_TRUE(complex_fn.ok());
+  const double mi_complex = FunctionMaintainabilityIndex(
+      complex_fn.value(), complex_fn.value().functions[0]);
+  EXPECT_LT(mi_complex, mi_simple - 20.0);
+}
+
+}  // namespace
+}  // namespace certkit::metrics

@@ -1,0 +1,127 @@
+// Property tests for detection decoding and non-maximum suppression.
+#include <gtest/gtest.h>
+
+#include "nn/detector.h"
+#include "support/rng.h"
+
+namespace nn {
+namespace {
+
+using certkit::support::Xoshiro256;
+
+std::vector<Detection> RandomDetections(int n, Xoshiro256& rng) {
+  std::vector<Detection> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Detection d;
+    d.x = static_cast<float>(rng.UniformDouble(0.0, 64.0));
+    d.y = static_cast<float>(rng.UniformDouble(0.0, 64.0));
+    d.w = static_cast<float>(rng.UniformDouble(2.0, 16.0));
+    d.h = static_cast<float>(rng.UniformDouble(2.0, 16.0));
+    d.score = static_cast<float>(rng.UniformDouble(0.01, 1.0));
+    d.cls = static_cast<int>(rng.UniformInt(0, 1));
+    out.push_back(d);
+  }
+  return out;
+}
+
+TEST(NmsPropertyTest, IdempotentOnItsOwnOutput) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto dets = RandomDetections(30, rng);
+    auto once = Nms(dets, 0.45f);
+    auto twice = Nms(once, 0.45f);
+    ASSERT_EQ(once.size(), twice.size()) << "trial " << trial;
+  }
+}
+
+TEST(NmsPropertyTest, OutputIsSubsetAndSorted) {
+  Xoshiro256 rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto dets = RandomDetections(25, rng);
+    auto kept = Nms(dets, 0.45f);
+    ASSERT_LE(kept.size(), dets.size());
+    for (std::size_t i = 1; i < kept.size(); ++i) {
+      ASSERT_GE(kept[i - 1].score, kept[i].score);
+    }
+    // No two same-class survivors overlap above the threshold.
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      for (std::size_t j = i + 1; j < kept.size(); ++j) {
+        if (kept[i].cls != kept[j].cls) continue;
+        ASSERT_LE(Iou(kept[i], kept[j]), 0.45f + 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(NmsPropertyTest, ThresholdOneKeepsEverything) {
+  Xoshiro256 rng(7);
+  auto dets = RandomDetections(15, rng);
+  // IoU can never exceed 1, so threshold 1.0 suppresses nothing.
+  EXPECT_EQ(Nms(dets, 1.0f).size(), dets.size());
+}
+
+TEST(NmsPropertyTest, ThresholdZeroLeavesDisjointPerClass) {
+  Xoshiro256 rng(8);
+  auto dets = RandomDetections(25, rng);
+  auto kept = Nms(dets, 0.0f);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    for (std::size_t j = i + 1; j < kept.size(); ++j) {
+      if (kept[i].cls != kept[j].cls) continue;
+      ASSERT_EQ(Iou(kept[i], kept[j]), 0.0f);
+    }
+  }
+}
+
+TEST(IouPropertyTest, RangeAndSymmetry) {
+  Xoshiro256 rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto pair = RandomDetections(2, rng);
+    const float ab = Iou(pair[0], pair[1]);
+    const float ba = Iou(pair[1], pair[0]);
+    ASSERT_GE(ab, 0.0f);
+    ASSERT_LE(ab, 1.0f + 1e-6f);
+    ASSERT_NEAR(ab, ba, 1e-6f);
+  }
+}
+
+TEST(DecodePropertyTest, AllDetectionsWithinImageAfterClamp) {
+  DetectorConfig cfg;
+  cfg.num_classes = 2;
+  cfg.score_threshold = 0.3f;
+  Xoshiro256 rng(10);
+  Tensor head(1, 7, 16, 16);
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    head.data()[i] = static_cast<float>(rng.Gaussian(0.0, 2.0));
+  }
+  const auto dets = DecodeDetections(head, cfg);
+  for (const auto& d : dets) {
+    ASSERT_GE(d.x - d.w / 2, -1e-3f);
+    ASSERT_LE(d.x + d.w / 2, 64.0f + 1e-3f);
+    ASSERT_GE(d.y - d.h / 2, -1e-3f);
+    ASSERT_LE(d.y + d.h / 2, 64.0f + 1e-3f);
+    ASSERT_GE(d.score, cfg.score_threshold);
+    ASSERT_GE(d.cls, 0);
+    ASSERT_LT(d.cls, cfg.num_classes);
+  }
+}
+
+TEST(DecodePropertyTest, HigherThresholdIsSubset) {
+  DetectorConfig low_cfg, high_cfg;
+  low_cfg.score_threshold = 0.3f;
+  high_cfg.score_threshold = 0.7f;
+  Xoshiro256 rng(11);
+  Tensor head(1, 7, 16, 16);
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    head.data()[i] = static_cast<float>(rng.Gaussian(0.0, 2.0));
+  }
+  const auto low = DecodeDetections(head, low_cfg);
+  const auto high = DecodeDetections(head, high_cfg);
+  EXPECT_LE(high.size(), low.size());
+  for (const auto& d : high) {
+    ASSERT_GE(d.score, 0.7f);
+  }
+}
+
+}  // namespace
+}  // namespace nn

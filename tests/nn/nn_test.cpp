@@ -1,0 +1,326 @@
+// Tests for the tensor, layers, detector, and weight blob of the nn library.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "nn/detector.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace nn {
+namespace {
+
+TEST(TensorTest, ShapeAndIndexing) {
+  Tensor t(2, 3, 4, 5);
+  EXPECT_EQ(t.size(), 120u);
+  t.At(1, 2, 3, 4) = 7.5f;
+  EXPECT_EQ(t.At(1, 2, 3, 4), 7.5f);
+  EXPECT_EQ(t.At(0, 0, 0, 0), 0.0f);
+}
+
+TEST(TensorTest, OutOfRangeIsContractViolation) {
+  Tensor t(1, 1, 2, 2);
+  EXPECT_THROW(t.At(0, 0, 2, 0), certkit::support::ContractViolation);
+  EXPECT_THROW(t.At(0, 1, 0, 0), certkit::support::ContractViolation);
+}
+
+TEST(LayerTest, BatchNormAppliesScaleShift) {
+  BatchNormLayer bn({2.0f, 1.0f}, {1.0f, 0.0f});
+  Tensor in(1, 2, 1, 2);
+  in.At(0, 0, 0, 0) = 3.0f;
+  in.At(0, 0, 0, 1) = -1.0f;
+  in.At(0, 1, 0, 0) = 5.0f;
+  Tensor out = bn.Forward(in);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 0, 0), 7.0f);   // 2*3+1
+  EXPECT_FLOAT_EQ(out.At(0, 0, 0, 1), -1.0f);  // 2*-1+1
+  EXPECT_FLOAT_EQ(out.At(0, 1, 0, 0), 5.0f);   // identity channel
+}
+
+TEST(LayerTest, ActivationKinds) {
+  Tensor in(1, 1, 1, 3);
+  in.At(0, 0, 0, 0) = -2.0f;
+  in.At(0, 0, 0, 1) = 0.0f;
+  in.At(0, 0, 0, 2) = 3.0f;
+
+  ActivationLayer relu(Activation::kRelu);
+  Tensor r = relu.Forward(in);
+  EXPECT_FLOAT_EQ(r.At(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(r.At(0, 0, 0, 2), 3.0f);
+
+  ActivationLayer leaky(Activation::kLeakyRelu, 0.1f);
+  Tensor l = leaky.Forward(in);
+  EXPECT_FLOAT_EQ(l.At(0, 0, 0, 0), -0.2f);
+  EXPECT_FLOAT_EQ(l.At(0, 0, 0, 2), 3.0f);
+
+  ActivationLayer linear(Activation::kLinear);
+  Tensor li = linear.Forward(in);
+  EXPECT_FLOAT_EQ(li.At(0, 0, 0, 0), -2.0f);
+}
+
+TEST(LayerTest, MaxPoolHalvesAndTakesMax) {
+  MaxPoolLayer pool(2, 2);
+  Tensor in(1, 1, 4, 4);
+  float v = 0.0f;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) in.At(0, 0, y, x) = v++;
+  }
+  Tensor out = pool.Forward(in);
+  EXPECT_EQ(out.h(), 2);
+  EXPECT_EQ(out.w(), 2);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 1, 1), 15.0f);
+}
+
+TEST(LayerTest, UpsampleDoubles) {
+  UpsampleLayer up(2);
+  Tensor in(1, 1, 2, 2);
+  in.At(0, 0, 0, 0) = 1.0f;
+  in.At(0, 0, 1, 1) = 4.0f;
+  Tensor out = up.Forward(in);
+  EXPECT_EQ(out.h(), 4);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 3, 3), 4.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 3, 2), 4.0f);
+}
+
+TEST(LayerTest, UpsampleGenericFactor) {
+  UpsampleLayer up(3);
+  Tensor in(1, 1, 2, 2);
+  in.At(0, 0, 1, 1) = 9.0f;
+  Tensor out = up.Forward(in);
+  EXPECT_EQ(out.h(), 6);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 5, 5), 9.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 3, 3), 9.0f);
+}
+
+TEST(LayerTest, ConvLayerIdentityKernel) {
+  // 1x1 conv with weight 1 is the identity.
+  ConvLayer conv(1, 1, 1, 1, 0, {1.0f}, {0.0f}, Backend::kCpuNaive);
+  Tensor in(1, 1, 3, 3);
+  in.At(0, 0, 1, 1) = 2.5f;
+  Tensor out = conv.Forward(in);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 1, 1), 2.5f);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 0, 0), 0.0f);
+}
+
+TEST(LayerTest, ConvBackendsAgree) {
+  const int in_c = 3, out_c = 4, k = 3;
+  std::vector<float> w(static_cast<std::size_t>(out_c) * in_c * k * k);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = 0.01f * static_cast<float>(i % 17) - 0.05f;
+  }
+  std::vector<float> bias = {0.1f, -0.2f, 0.3f, 0.0f};
+  Tensor in(1, in_c, 16, 16);
+  for (int c = 0; c < in_c; ++c) {
+    for (int y = 0; y < 16; ++y) {
+      for (int x = 0; x < 16; ++x) {
+        in.At(0, c, y, x) = 0.1f * static_cast<float>((c + y + x) % 7);
+      }
+    }
+  }
+  ConvLayer closed(in_c, out_c, k, 1, 1, w, bias, Backend::kClosedSim);
+  ConvLayer open(in_c, out_c, k, 1, 1, w, bias, Backend::kOpenSim);
+  ConvLayer naive(in_c, out_c, k, 1, 1, w, bias, Backend::kCpuNaive);
+  Tensor a = closed.Forward(in);
+  Tensor b = open.Forward(in);
+  Tensor c = naive.Forward(in);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a.data()[i], c.data()[i], 1e-4f);
+    ASSERT_NEAR(b.data()[i], c.data()[i], 1e-4f);
+  }
+}
+
+TEST(PreprocessTest, SameSizeNormalizesOnly) {
+  Tensor frame(1, 3, 64, 64);
+  frame.At(0, 0, 0, 0) = 255.0f;
+  Tensor out = Preprocess(frame, 64, 64);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 0, 0), 1.0f);
+}
+
+TEST(PreprocessTest, ResizeSameAspect) {
+  Tensor frame(1, 1, 32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) frame.At(0, 0, y, x) = 255.0f;
+  }
+  Tensor out = Preprocess(frame, 64, 64);
+  EXPECT_EQ(out.h(), 64);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 32, 32), 1.0f);
+}
+
+TEST(PreprocessTest, LetterboxPadsOffAspect) {
+  Tensor frame(1, 1, 32, 64);  // 2:1 — letterboxed into a square
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 64; ++x) frame.At(0, 0, y, x) = 255.0f;
+  }
+  Tensor out = Preprocess(frame, 64, 64);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 0, 0), 0.5f);   // top pad
+  EXPECT_FLOAT_EQ(out.At(0, 0, 32, 32), 1.0f);  // content
+  EXPECT_FLOAT_EQ(out.At(0, 0, 63, 0), 0.5f);   // bottom pad
+}
+
+TEST(DetectionTest, IouProperties) {
+  Detection a{10, 10, 4, 4, 1.0f, 0};
+  EXPECT_FLOAT_EQ(Iou(a, a), 1.0f);
+  Detection far{100, 100, 4, 4, 1.0f, 0};
+  EXPECT_FLOAT_EQ(Iou(a, far), 0.0f);
+  Detection half{12, 10, 4, 4, 1.0f, 0};  // overlap 2x4=8, union 24
+  EXPECT_NEAR(Iou(a, half), 8.0f / 24.0f, 1e-5f);
+  EXPECT_NEAR(Iou(a, half), Iou(half, a), 1e-6f);  // symmetry
+}
+
+TEST(DetectionTest, NmsSuppressesOverlapsKeepsBest) {
+  std::vector<Detection> dets = {
+      {10, 10, 8, 8, 0.9f, 0},
+      {11, 10, 8, 8, 0.8f, 0},   // overlaps the first -> suppressed
+      {40, 40, 8, 8, 0.7f, 0},   // separate -> kept
+      {11, 10, 8, 8, 0.75f, 1},  // overlaps but other class -> kept
+  };
+  auto kept = Nms(dets, 0.45f);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_FLOAT_EQ(kept[0].score, 0.9f);  // sorted by score
+}
+
+TEST(DetectionTest, DecodeThresholds) {
+  DetectorConfig cfg;
+  cfg.input_h = cfg.input_w = 64;
+  cfg.num_classes = 2;
+  cfg.score_threshold = 0.5f;
+  Tensor head(1, 7, 16, 16);  // logits default 0 -> sigmoid 0.5
+  // One confident cell.
+  head.At(0, 4, 8, 8) = 4.0f;  // objectness logit
+  head.At(0, 5, 8, 8) = 2.0f;  // class 0
+  // All other cells sit exactly at 0.5 — on the threshold, accepted; push
+  // them below by lowering their objectness logits.
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      if (y == 8 && x == 8) continue;
+      head.At(0, 4, y, x) = -4.0f;
+    }
+  }
+  auto dets = DecodeDetections(head, cfg);
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_EQ(dets[0].cls, 0);
+  EXPECT_NEAR(dets[0].x, (8 + 0.5f) * 4.0f, 1e-3f);
+  EXPECT_GT(dets[0].score, 0.9f);
+}
+
+TEST(DetectorTest, BlobDetectorFindsBrightRectangle) {
+  DetectorConfig cfg;
+  cfg.backend = Backend::kClosedSim;
+  TinyYoloDetector detector(cfg);
+  InitBlobDetectorWeights(&detector);
+
+  Tensor frame(1, 3, 64, 64);
+  // Dark background, bright 16x16 blob centered at (24, 40) [x, y].
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < 64; ++y) {
+      for (int x = 0; x < 64; ++x) frame.At(0, c, y, x) = 20.0f;
+    }
+  }
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 32; y < 48; ++y) {
+      for (int x = 16; x < 32; ++x) frame.At(0, c, y, x) = 230.0f;
+    }
+  }
+  auto dets = detector.Detect(frame);
+  ASSERT_FALSE(dets.empty());
+  // The best detection lands within the blob.
+  const Detection& best = dets.front();
+  EXPECT_GT(best.x, 12.0f);
+  EXPECT_LT(best.x, 36.0f);
+  EXPECT_GT(best.y, 28.0f);
+  EXPECT_LT(best.y, 52.0f);
+}
+
+TEST(DetectorTest, EmptyFrameYieldsNoDetections) {
+  DetectorConfig cfg;
+  TinyYoloDetector detector(cfg);
+  InitBlobDetectorWeights(&detector);
+  Tensor frame(1, 3, 64, 64);
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < 64; ++y) {
+      for (int x = 0; x < 64; ++x) frame.At(0, c, y, x) = 15.0f;
+    }
+  }
+  auto dets = detector.Detect(frame);
+  EXPECT_TRUE(dets.empty());
+}
+
+TEST(DetectorTest, BackendsProduceSameDetections) {
+  Tensor frame(1, 3, 64, 64);
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < 64; ++y) {
+      for (int x = 0; x < 64; ++x) {
+        frame.At(0, c, y, x) = (y >= 20 && y < 40 && x >= 20 && x < 40)
+                                   ? 220.0f
+                                   : 25.0f;
+      }
+    }
+  }
+  std::vector<std::vector<Detection>> results;
+  for (Backend be :
+       {Backend::kClosedSim, Backend::kOpenSim, Backend::kCpuNaive}) {
+    DetectorConfig cfg;
+    cfg.backend = be;
+    TinyYoloDetector det(cfg);
+    InitBlobDetectorWeights(&det);
+    auto dets = det.Detect(frame);
+    // Scores differ in the last ulp across backends (different summation
+    // orders), so compare the detections as position-sorted sets.
+    std::sort(dets.begin(), dets.end(),
+              [](const Detection& a, const Detection& b) {
+                return std::tie(a.y, a.x) < std::tie(b.y, b.x);
+              });
+    results.push_back(std::move(dets));
+  }
+  ASSERT_EQ(results[0].size(), results[1].size());
+  ASSERT_EQ(results[0].size(), results[2].size());
+  for (std::size_t i = 0; i < results[0].size(); ++i) {
+    EXPECT_NEAR(results[0][i].x, results[2][i].x, 0.5f);
+    EXPECT_NEAR(results[1][i].x, results[2][i].x, 0.5f);
+    EXPECT_NEAR(results[0][i].y, results[2][i].y, 0.5f);
+    EXPECT_NEAR(results[1][i].y, results[2][i].y, 0.5f);
+  }
+}
+
+TEST(WeightsBlobTest, RoundTrip) {
+  std::vector<float> values = {1.5f, -2.25f, 0.0f, 1e6f};
+  std::string buffer;
+  ASSERT_TRUE(SerializeWeights(values, &buffer));
+  WeightsBlob blob;
+  std::string error;
+  ASSERT_TRUE(DeserializeWeights(buffer, &blob, &error)) << error;
+  EXPECT_EQ(blob.values, values);
+}
+
+TEST(WeightsBlobTest, RejectsCorruption) {
+  std::vector<float> values = {1.0f, 2.0f};
+  std::string buffer;
+  SerializeWeights(values, &buffer);
+  WeightsBlob blob;
+  std::string error;
+
+  std::string truncated = buffer.substr(0, 4);
+  EXPECT_FALSE(DeserializeWeights(truncated, &blob, &error));
+  EXPECT_EQ(error, "weight blob too short");
+
+  std::string bad_magic = buffer;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DeserializeWeights(bad_magic, &blob, &error));
+  EXPECT_EQ(error, "bad magic");
+
+  std::string bad_payload = buffer + "zz";
+  EXPECT_FALSE(DeserializeWeights(bad_payload, &blob, &error));
+  EXPECT_EQ(error, "count does not match payload size");
+
+  std::string flipped = buffer;
+  flipped[9] = static_cast<char>(flipped[9] ^ 0x40);  // corrupt a float
+  EXPECT_FALSE(DeserializeWeights(flipped, &blob, &error));
+  EXPECT_EQ(error, "checksum mismatch");
+}
+
+}  // namespace
+}  // namespace nn

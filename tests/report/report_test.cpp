@@ -1,0 +1,120 @@
+// Tests for the report engine: table rendering and domain renderers.
+#include <gtest/gtest.h>
+
+#include "report/renderers.h"
+#include "report/table.h"
+#include "rules/assessor.h"
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace certkit::report {
+namespace {
+
+TEST(TableTest, AsciiAlignsColumns) {
+  Table t({"Name", "N"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"bb", "100"});
+  const std::string out = t.ToAscii();
+  EXPECT_NE(out.find("| Name  | N   |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1   |"), std::string::npos);
+  EXPECT_NE(out.find("| bb    | 100 |"), std::string::npos);
+  // Frame lines above header, below header, below body.
+  std::size_t seps = 0;
+  for (const auto& line : support::Split(out, '\n')) {
+    if (!line.empty() && line.front() == '+') ++seps;
+  }
+  EXPECT_EQ(seps, 3u);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.AddRow({"plain", "with,comma"});
+  t.AddRow({"with\"quote", "multi\nline"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+}
+
+TEST(TableTest, MarkdownHasSeparatorRow) {
+  Table t({"x", "y"});
+  t.AddRow({"1", "2"});
+  const std::string md = t.ToMarkdown();
+  EXPECT_NE(md.find("| x | y |"), std::string::npos);
+  EXPECT_NE(md.find("| --- | --- |"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(TableTest, WrongCellCountIsContractViolation) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), support::ContractViolation);
+}
+
+TEST(TableTest, EmptyHeadersRejected) {
+  EXPECT_THROW(Table({}), support::ContractViolation);
+}
+
+TEST(PercentTest, Formatting) {
+  EXPECT_EQ(Percent(0.831), "83.1%");
+  EXPECT_EQ(Percent(1.0), "100.0%");
+  EXPECT_EQ(Percent(0.0), "0.0%");
+}
+
+TEST(RenderersTest, TechniqueAssessmentRendersAllRows) {
+  const auto& table = rules::CodingGuidelinesTable();
+  rules::TableAssessment assessment;
+  assessment.table_id = table.id;
+  for (const auto& tech : table.techniques) {
+    assessment.assessments.push_back(
+        {tech.id, rules::Verdict::kPartial, "evidence for " + tech.id, 0});
+  }
+  const std::string out = RenderTechniqueAssessment(table, assessment);
+  for (const auto& tech : table.techniques) {
+    EXPECT_NE(out.find(tech.name), std::string::npos) << tech.name;
+  }
+  EXPECT_NE(out.find("partial"), std::string::npos);
+  EXPECT_NE(out.find("++"), std::string::npos);
+}
+
+TEST(RenderersTest, TechniqueAssessmentSizeMismatchRejected) {
+  const auto& table = rules::CodingGuidelinesTable();
+  rules::TableAssessment wrong;  // empty
+  EXPECT_THROW(RenderTechniqueAssessment(table, wrong),
+               support::ContractViolation);
+}
+
+TEST(RenderersTest, ModuleComplexityIncludesTotals) {
+  metrics::ModuleMetrics m;
+  m.name = "demo";
+  m.loc = 1000;
+  m.nloc = 700;
+  m.file_count = 3;
+  m.function_count = 40;
+  m.cc_low = 30;
+  m.cc_moderate = 7;
+  m.cc_risky = 2;
+  m.cc_unstable = 1;
+  m.max_cc = 66;
+  m.mean_cc = 6.5;
+  const std::string out = RenderModuleComplexity({m});
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("TOTAL"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);  // CC>10 = 7+2+1
+}
+
+TEST(RenderersTest, CoverageTableWithAndWithoutMcdc) {
+  std::vector<cov::CoverageRow> rows = {
+      {"file_a.cc", 0.8, 0.7, 0.6},
+      {"file_b.cc", 1.0, 1.0, 1.0},
+  };
+  const std::string with = RenderCoverage(rows, true);
+  EXPECT_NE(with.find("MC/DC"), std::string::npos);
+  EXPECT_NE(with.find("AVERAGE"), std::string::npos);
+  EXPECT_NE(with.find("90.0%"), std::string::npos);  // avg statement
+  const std::string without = RenderCoverage(rows, false);
+  EXPECT_EQ(without.find("MC/DC"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace certkit::report

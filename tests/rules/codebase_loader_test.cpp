@@ -1,0 +1,90 @@
+// Tests for the disk-based codebase loader.
+#include "rules/codebase_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "support/io.h"
+
+namespace certkit::rules {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CodebaseLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() / "certkit_loader_test").string();
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void WriteSource(const std::string& rel, const std::string& content) {
+    ASSERT_TRUE(support::WriteFile(root_ + "/" + rel, content).ok());
+  }
+
+  std::string root_;
+};
+
+TEST_F(CodebaseLoaderTest, GroupsByFirstLevelDirectory) {
+  WriteSource("alpha/a.cc", "void AlphaFn() {}\n");
+  WriteSource("alpha/b.cc", "void AlphaFn2() {}\n");
+  WriteSource("beta/c.cc", "void BetaFn() {}\n");
+  WriteSource("root_file.cc", "void RootFn() {}\n");
+  WriteSource("notes.txt", "not source\n");
+
+  auto loaded = LoadCodebase(root_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Codebase& cb = loaded.value();
+  ASSERT_EQ(cb.modules.size(), 3u);  // alpha, beta, <root>
+  EXPECT_TRUE(cb.skipped.empty());
+  std::size_t total_functions = 0;
+  for (const auto& m : cb.modules) {
+    total_functions += static_cast<std::size_t>(m.metrics.function_count);
+  }
+  EXPECT_EQ(total_functions, 4u);
+  EXPECT_EQ(cb.raw_sources.size(), 4u);
+}
+
+TEST_F(CodebaseLoaderTest, MissingDirectoryIsNotFound) {
+  auto loaded = LoadCodebase(root_ + "/nope");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), support::StatusCode::kNotFound);
+}
+
+TEST_F(CodebaseLoaderTest, UnparseableFileIsSkippedNotFatal) {
+  WriteSource("mod/good.cc", "void Good() {}\n");
+  WriteSource("mod/bad.cc", "/* unterminated comment\n");
+  auto loaded = LoadCodebase(root_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().skipped.size(), 1u);
+  EXPECT_NE(loaded.value().skipped[0].find("bad.cc"), std::string::npos);
+  ASSERT_EQ(loaded.value().modules.size(), 1u);
+  EXPECT_EQ(loaded.value().modules[0].metrics.function_count, 1);
+}
+
+TEST_F(CodebaseLoaderTest, TracesCollectedWithComments) {
+  WriteSource("mod/traced.cc",
+              "// REQ-T-1: do the thing\nvoid DoThing() {}\n");
+  auto loaded = LoadCodebase(root_);
+  ASSERT_TRUE(loaded.ok());
+  const auto merged = MergeTraceReports(loaded.value().traces);
+  ASSERT_EQ(merged.links.size(), 1u);
+  EXPECT_EQ(merged.links[0].requirement, "REQ-T-1");
+  EXPECT_EQ(merged.links[0].function, "DoThing");
+}
+
+TEST_F(CodebaseLoaderTest, CustomExtensions) {
+  WriteSource("mod/a.cc", "void A() {}\n");
+  WriteSource("mod/b.inc", "void B() {}\n");
+  LoadOptions opts;
+  opts.extensions = {".inc"};
+  auto loaded = LoadCodebase(root_, opts);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().modules.size(), 1u);
+  EXPECT_EQ(loaded.value().modules[0].metrics.function_count, 1);
+}
+
+}  // namespace
+}  // namespace certkit::rules

@@ -1,0 +1,112 @@
+// Tests for function/call coverage probes and the ISO coverage-table
+// assessor (Tables 9, 10, 12).
+#include <gtest/gtest.h>
+
+#include "coverage/coverage.h"
+#include "rules/coverage_assessor.h"
+
+namespace certkit::rules {
+namespace {
+
+TEST(FunctionCoverageTest, TracksEnteredFunctions) {
+  cov::Unit u("fc");
+  const int f0 = u.DeclareFunctionProbe("alpha");
+  const int f1 = u.DeclareFunctionProbe("beta");
+  (void)f1;
+  EXPECT_DOUBLE_EQ(u.FunctionCoverage(), 0.0);
+  u.EnterFunction(f0);
+  EXPECT_DOUBLE_EQ(u.FunctionCoverage(), 0.5);
+  EXPECT_EQ(u.UncoveredFunctions(), (std::vector<std::string>{"beta"}));
+  u.EnterFunction(f0);  // re-entry changes nothing
+  EXPECT_DOUBLE_EQ(u.FunctionCoverage(), 0.5);
+}
+
+TEST(FunctionCoverageTest, CallEdges) {
+  cov::Unit u("cc");
+  const int c0 = u.DeclareCallProbe("main", "helper");
+  const int c1 = u.DeclareCallProbe("main", "other");
+  (void)c1;
+  EXPECT_DOUBLE_EQ(u.CallCoverage(), 0.0);
+  u.CallSite(c0);
+  EXPECT_DOUBLE_EQ(u.CallCoverage(), 0.5);
+}
+
+TEST(FunctionCoverageTest, ResetClears) {
+  cov::Unit u("rc");
+  const int f = u.DeclareFunctionProbe("x");
+  const int c = u.DeclareCallProbe("a", "b");
+  u.EnterFunction(f);
+  u.CallSite(c);
+  u.Reset();
+  EXPECT_DOUBLE_EQ(u.FunctionCoverage(), 0.0);
+  EXPECT_DOUBLE_EQ(u.CallCoverage(), 0.0);
+}
+
+TEST(FunctionCoverageTest, NoDeclaredProbesIsFullyCovered) {
+  cov::Unit u("empty");
+  EXPECT_DOUBLE_EQ(u.FunctionCoverage(), 1.0);
+  EXPECT_DOUBLE_EQ(u.CallCoverage(), 1.0);
+}
+
+TEST(Iso26262CoverageTablesTest, Table10Levels) {
+  const TechniqueTable& t = UnitCoverageTable();
+  ASSERT_EQ(t.techniques.size(), 3u);
+  // Statement: ++ at A/B; branch: ++ at B..D; MC/DC: ++ only at D.
+  EXPECT_EQ(t.techniques[0].At(Asil::kA), Recommendation::kHighlyRecommended);
+  EXPECT_EQ(t.techniques[1].At(Asil::kD), Recommendation::kHighlyRecommended);
+  EXPECT_EQ(t.techniques[2].At(Asil::kC), Recommendation::kRecommended);
+  EXPECT_EQ(t.techniques[2].At(Asil::kD), Recommendation::kHighlyRecommended);
+}
+
+TEST(Iso26262CoverageTablesTest, Table9And12Shapes) {
+  EXPECT_EQ(UnitVerificationTable().techniques.size(), 8u);
+  EXPECT_EQ(IntegrationCoverageTable().techniques.size(), 2u);
+}
+
+TEST(CoverageAssessorTest, VerdictBands) {
+  std::vector<cov::CoverageRow> rows = {{"u", 1.0, 0.9, 0.5}};
+  auto assessment = AssessUnitCoverage(rows);
+  ASSERT_EQ(assessment.assessments.size(), 3u);
+  EXPECT_EQ(assessment.assessments[0].verdict, Verdict::kCompliant);
+  EXPECT_EQ(assessment.assessments[1].verdict, Verdict::kPartial);
+  EXPECT_EQ(assessment.assessments[2].verdict, Verdict::kNonCompliant);
+}
+
+TEST(CoverageAssessorTest, AveragesAcrossUnits) {
+  std::vector<cov::CoverageRow> rows = {{"a", 1.0, 1.0, 1.0},
+                                        {"b", 0.0, 0.0, 0.0}};
+  auto assessment = AssessUnitCoverage(rows);
+  // 50% average: below the partial band on all criteria.
+  for (const auto& a : assessment.assessments) {
+    EXPECT_EQ(a.verdict, Verdict::kNonCompliant);
+  }
+}
+
+TEST(CoverageAssessorTest, IntegrationCoverage) {
+  auto full = AssessIntegrationCoverage(1.0, 1.0);
+  EXPECT_EQ(full.assessments[0].verdict, Verdict::kCompliant);
+  EXPECT_EQ(full.assessments[1].verdict, Verdict::kCompliant);
+  auto partial = AssessIntegrationCoverage(0.85, 0.3);
+  EXPECT_EQ(partial.assessments[0].verdict, Verdict::kPartial);
+  EXPECT_EQ(partial.assessments[1].verdict, Verdict::kNonCompliant);
+}
+
+TEST(CoverageAssessorTest, MeetsAsilSemantics) {
+  // Full coverage meets every ASIL of Table 10.
+  std::vector<cov::CoverageRow> full_rows = {{"u", 1.0, 1.0, 1.0}};
+  auto full = AssessUnitCoverage(full_rows);
+  for (Asil asil : {Asil::kA, Asil::kB, Asil::kC, Asil::kD}) {
+    EXPECT_TRUE(MeetsAsil(UnitCoverageTable(), full, asil));
+  }
+  // Statement-only coverage: statement 100% but branch/MCDC low — fails
+  // ASIL B..D (branch ++) but also fails A? Statement ++ at A satisfied,
+  // branch '+' at A accepts partial but not non-compliant.
+  std::vector<cov::CoverageRow> stmt_only = {{"u", 1.0, 0.85, 0.85}};
+  auto partial = AssessUnitCoverage(stmt_only);
+  EXPECT_TRUE(MeetsAsil(UnitCoverageTable(), partial, Asil::kA));
+  EXPECT_FALSE(MeetsAsil(UnitCoverageTable(), partial, Asil::kB));
+  EXPECT_FALSE(MeetsAsil(UnitCoverageTable(), partial, Asil::kD));
+}
+
+}  // namespace
+}  // namespace certkit::rules

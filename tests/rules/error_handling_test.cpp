@@ -1,0 +1,120 @@
+// Tests for the error-detection/handling mechanism census (Tables 4 & 5).
+#include "rules/error_handling.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace certkit::rules {
+namespace {
+
+ErrorHandlingStats Analyze(std::string_view src) {
+  auto r = ast::ParseSource("eh.cc", src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return AnalyzeErrorHandling(r.value());
+}
+
+TEST(ErrorHandlingTest, ExceptionCensus) {
+  ErrorHandlingStats s = Analyze(
+      "int f() {\n"
+      "  try {\n"
+      "    if (bad()) throw 1;\n"
+      "    return g();\n"
+      "  } catch (const std::exception& e) {\n"
+      "    return -1;\n"
+      "  } catch (...) {\n"
+      "    return -2;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(s.try_blocks, 1);
+  EXPECT_EQ(s.catch_handlers, 2);
+  EXPECT_EQ(s.catch_all_handlers, 1);
+  EXPECT_EQ(s.throw_sites, 1);
+}
+
+TEST(ErrorHandlingTest, AssertionCensus) {
+  ErrorHandlingStats s = Analyze(
+      "void f(int x) {\n"
+      "  assert(x > 0);\n"
+      "  CHECK(x < 100);\n"
+      "  CERTKIT_CHECK(x != 50);\n"
+      "}\n");
+  EXPECT_EQ(s.assertion_sites, 3);
+  EXPECT_EQ(s.functions_total, 1);
+  EXPECT_DOUBLE_EQ(s.AssertionDensityPerFunction(), 3.0);
+}
+
+TEST(ErrorHandlingTest, StatusReturnDetection) {
+  ErrorHandlingStats s = Analyze(
+      "Status DoWork(int x) { return Status(); }\n"
+      "support::Result<int> Parse(const char* s) { return 1; }\n"
+      "int Plain(int x) { return x; }\n");
+  EXPECT_EQ(s.functions_total, 3);
+  EXPECT_EQ(s.status_returning_functions, 2);
+}
+
+TEST(ErrorHandlingTest, ChecksumAndDegradationSites) {
+  ErrorHandlingStats s = Analyze(
+      "void f(const char* data, int n) {\n"
+      "  unsigned sum = ComputeChecksum(data, n);\n"
+      "  unsigned c = crc32(data, n);\n"
+      "  if (sum != c) { EnterDegradedMode(); }\n"
+      "  EmergencyStop();\n"
+      "}\n");
+  EXPECT_EQ(s.checksum_sites, 2);
+  EXPECT_EQ(s.degradation_sites, 2);
+}
+
+TEST(ErrorHandlingTest, MergeSums) {
+  ErrorHandlingStats a = Analyze("void f() { assert(true); }\n");
+  ErrorHandlingStats b = Analyze("void g() { try { h(); } catch (...) {} }\n");
+  ErrorHandlingStats m = MergeErrorHandling({a, b});
+  EXPECT_EQ(m.functions_total, 2);
+  EXPECT_EQ(m.assertion_sites, 1);
+  EXPECT_EQ(m.try_blocks, 1);
+}
+
+TEST(ErrorHandlingTest, Table4AssessmentShape) {
+  ErrorHandlingStats s;
+  s.functions_total = 10;
+  s.assertion_sites = 5;  // 0.5 per function -> compliant
+  s.checksum_sites = 1;
+  auto assessment = AssessErrorDetection(s);
+  ASSERT_EQ(assessment.assessments.size(),
+            ErrorDetectionTable().techniques.size());
+  EXPECT_EQ(assessment.assessments[0].verdict, Verdict::kCompliant);
+  EXPECT_EQ(assessment.assessments[2].verdict, Verdict::kPartial);
+  EXPECT_EQ(assessment.assessments[3].verdict, Verdict::kNotApplicable);
+}
+
+TEST(ErrorHandlingTest, Table5AssessmentShape) {
+  ErrorHandlingStats bare;  // nothing present
+  auto assessment = AssessErrorHandling(bare);
+  ASSERT_EQ(assessment.assessments.size(),
+            ErrorHandlingTable().techniques.size());
+  EXPECT_EQ(assessment.assessments[0].verdict, Verdict::kNonCompliant);
+  EXPECT_EQ(assessment.assessments[1].verdict, Verdict::kNonCompliant);
+
+  ErrorHandlingStats rich;
+  rich.catch_handlers = 3;
+  rich.try_blocks = 3;
+  rich.degradation_sites = 2;
+  rich.checksum_sites = 1;
+  auto better = AssessErrorHandling(rich);
+  EXPECT_EQ(better.assessments[0].verdict, Verdict::kPartial);
+  EXPECT_EQ(better.assessments[1].verdict, Verdict::kPartial);
+}
+
+TEST(ErrorHandlingTest, OwnPipelineHasEmergencyPaths) {
+  // The adpilot planner's EmergencyStop is exactly the graceful-degradation
+  // evidence Table 5 asks about — check the census finds it in real code.
+  ErrorHandlingStats s = Analyze(
+      "Trajectory EmergencyStop(const VehicleState& state) {\n"
+      "  Trajectory out;\n"
+      "  return out;\n"
+      "}\n");
+  EXPECT_GE(s.degradation_sites, 1);
+}
+
+}  // namespace
+}  // namespace certkit::rules

@@ -1,0 +1,255 @@
+// Unit tests for the MISRA-subset checker.
+#include "rules/misra.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace certkit::rules {
+namespace {
+
+CheckReport Check(std::string_view src, const MisraOptions& opts = {}) {
+  auto r = ast::ParseSource("test.cc", src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return CheckMisra(r.value(), opts);
+}
+
+TEST(MisraTest, GotoFlagged) {
+  CheckReport rep = Check(
+      "int f(int x) {\n"
+      "  if (x) goto out;\n"
+      "  x = 1;\n"
+      "out:\n"
+      "  return x;\n"
+      "}\n");
+  EXPECT_EQ(rep.CountRule("MISRA-15.1"), 1);
+}
+
+TEST(MisraTest, MultipleReturnsFlagged) {
+  CheckReport rep = Check(
+      "int f(int x) { if (x) { return 1; } return 0; }");
+  EXPECT_EQ(rep.CountRule("MISRA-15.5"), 1);
+}
+
+TEST(MisraTest, SingleReturnClean) {
+  CheckReport rep = Check("int f(int x) { int r = x; return r; }");
+  EXPECT_EQ(rep.CountRule("MISRA-15.5"), 0);
+}
+
+TEST(MisraTest, DirectRecursionFlagged) {
+  CheckReport rep = Check(
+      "int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }");
+  EXPECT_EQ(rep.CountRule("MISRA-17.2"), 1);
+}
+
+TEST(MisraTest, MallocAndFreeFlagged) {
+  CheckReport rep = Check(
+      "void f(int n) {\n"
+      "  int* p = (int*)malloc(n);\n"
+      "  free(p);\n"
+      "}\n");
+  EXPECT_EQ(rep.CountRule("MISRA-21.3"), 2);
+}
+
+TEST(MisraTest, NewDeleteFlaggedAsDialectAnalogue) {
+  CheckReport rep = Check("void f() { int* p = new int; delete p; }");
+  EXPECT_EQ(rep.CountRule("MISRA-21.3"), 2);
+}
+
+TEST(MisraTest, NewDeleteIgnoredWhenAnaloguesOff) {
+  MisraOptions opts;
+  opts.include_dialect_analogues = false;
+  CheckReport rep = Check("void f() { int* p = new int; delete p; }", opts);
+  EXPECT_EQ(rep.CountRule("MISRA-21.3"), 0);
+}
+
+TEST(MisraTest, CudaMallocFlagged) {
+  CheckReport rep = Check(
+      "void f(float** d, int n) { cudaMalloc(d, n); cudaFree(*d); }");
+  EXPECT_EQ(rep.CountRule("MISRA-21.3"), 2);
+}
+
+TEST(MisraTest, StdioFlagged) {
+  CheckReport rep = Check(
+      "void f() { printf(\"x\"); fprintf(stderr, \"y\"); }");
+  EXPECT_EQ(rep.CountRule("MISRA-21.6"), 2);
+}
+
+TEST(MisraTest, NonCompoundBodiesFlagged) {
+  CheckReport rep = Check(
+      "int f(int x) {\n"
+      "  if (x) x = 1;\n"             // non-compound if
+      "  while (x > 0) --x;\n"        // non-compound while
+      "  for (int i = 0; i < 3; ++i) ++x;\n"  // non-compound for
+      "  return x;\n"
+      "}\n");
+  EXPECT_EQ(rep.CountRule("MISRA-15.6"), 3);
+}
+
+TEST(MisraTest, CompoundBodiesClean) {
+  CheckReport rep = Check(
+      "int f(int x) {\n"
+      "  if (x) { x = 1; } else { x = 2; }\n"
+      "  while (x > 0) { --x; }\n"
+      "  do { ++x; } while (x < 2);\n"
+      "  return x;\n"
+      "}\n");
+  EXPECT_EQ(rep.CountRule("MISRA-15.6"), 0);
+}
+
+TEST(MisraTest, ElseIfChainAllowed) {
+  CheckReport rep = Check(
+      "int f(int x) {\n"
+      "  if (x == 1) { return 1; } else if (x == 2) { return 2; } else { "
+      "return 0; }\n"
+      "}\n");
+  EXPECT_EQ(rep.CountRule("MISRA-15.6"), 0);
+}
+
+TEST(MisraTest, SwitchWithoutDefaultFlagged) {
+  CheckReport rep = Check(
+      "int f(int x) {\n"
+      "  switch (x) {\n"
+      "    case 0: return 1;\n"
+      "    case 1: return 2;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(rep.CountRule("MISRA-16.4"), 1);
+}
+
+TEST(MisraTest, SwitchWithDefaultClean) {
+  CheckReport rep = Check(
+      "int f(int x) {\n"
+      "  switch (x) { case 0: return 1; default: return 0; }\n"
+      "}\n");
+  EXPECT_EQ(rep.CountRule("MISRA-16.4"), 0);
+}
+
+TEST(MisraTest, FallthroughFlagged) {
+  CheckReport rep = Check(
+      "int f(int x) {\n"
+      "  int r = 0;\n"
+      "  switch (x) {\n"
+      "    case 0: r = 1;\n"     // falls through
+      "    case 1: r = 2; break;\n"
+      "    default: break;\n"
+      "  }\n"
+      "  return r;\n"
+      "}\n");
+  EXPECT_EQ(rep.CountRule("MISRA-16.1"), 1);
+}
+
+TEST(MisraTest, AnnotatedFallthroughAllowed) {
+  CheckReport rep = Check(
+      "int f(int x) {\n"
+      "  int r = 0;\n"
+      "  switch (x) {\n"
+      "    case 0: r = 1; [[fallthrough]];\n"
+      "    case 1: r = 2; break;\n"
+      "    default: break;\n"
+      "  }\n"
+      "  return r;\n"
+      "}\n");
+  EXPECT_EQ(rep.CountRule("MISRA-16.1"), 0);
+}
+
+TEST(MisraTest, EmptyCaseStackingAllowed) {
+  CheckReport rep = Check(
+      "int f(int x) {\n"
+      "  switch (x) {\n"
+      "    case 0:\n"
+      "    case 1: return 2;\n"
+      "    default: return 0;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(rep.CountRule("MISRA-16.1"), 0);
+}
+
+TEST(MisraTest, UnionFlagged) {
+  CheckReport rep = Check("union U { int i; float f; };");
+  EXPECT_GE(rep.CountRule("MISRA-19.2"), 1);
+}
+
+TEST(MisraTest, UndefFlagged) {
+  CheckReport rep = Check("#define A 1\n#undef A\n");
+  EXPECT_EQ(rep.CountRule("MISRA-20.5"), 1);
+}
+
+TEST(MisraTest, FunctionLikeMacroFlagged) {
+  CheckReport rep = Check("#define SQ(x) ((x) * (x))\n#define N 4\n");
+  EXPECT_EQ(rep.CountRule("MISRA-D4.9"), 1);
+}
+
+TEST(MisraTest, CStyleCastFlagged) {
+  CheckReport rep = Check("void f(double d) { int x = (int)d; (void)x; }");
+  EXPECT_GE(rep.CountRule("MISRA-11.4"), 1);
+}
+
+TEST(MisraTest, UnusedParamFlagged) {
+  CheckReport rep = Check("int f(int used, int unused) { return used; }");
+  EXPECT_EQ(rep.CountRule("MISRA-2.7"), 1);
+}
+
+TEST(MisraTest, EntitiesCheckedCountsFunctions) {
+  CheckReport rep = Check("void a() {}\nvoid b() {}\nint c;\n");
+  EXPECT_EQ(rep.entities_checked, 2);
+}
+
+TEST(MisraTest, CleanMisraCodePasses) {
+  CheckReport rep = Check(
+      "static int add(int a, int b) {\n"
+      "  int result = a + b;\n"
+      "  return result;\n"
+      "}\n");
+  EXPECT_TRUE(rep.findings.empty())
+      << rep.findings.front().rule_id << ": " << rep.findings.front().message;
+}
+
+TEST(MisraTest, OctalConstantFlagged) {
+  CheckReport rep = Check("const int perms = 0755;\nconst int zero = 0;\n"
+                          "const int hex = 0x1F;\nconst double f = 0.5;\n");
+  EXPECT_EQ(rep.CountRule("MISRA-7.1"), 1);
+}
+
+TEST(MisraTest, FloatEqualityFlagged) {
+  CheckReport rep = Check(
+      "bool f(double d) { return d == 1.5; }\n"
+      "bool g(double d) { return 0.25f != d; }\n"
+      "bool h(int i) { return i == 3; }\n");
+  EXPECT_EQ(rep.CountRule("MISRA-13.3"), 2);
+}
+
+TEST(MisraTest, VariadicFunctionFlagged) {
+  CheckReport rep = Check(
+      "int log_fmt(const char* fmt, ...) { return 0; }\n"
+      "int plain(int a) { return a; }\n");
+  EXPECT_EQ(rep.CountRule("MISRA-17.1"), 1);
+}
+
+TEST(CudaDialectTest, KernelCensus) {
+  auto r = ast::ParseSource(
+      "k.cu",
+      "__global__ void scale(float* out, const float* in, int n) {\n"
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+      "  if (i < n) { out[i] = in[i] * 2.0f; }\n"
+      "}\n"
+      "__device__ float helper(float x) { return x * x; }\n"
+      "void host(float* d, int n) {\n"
+      "  cudaMalloc(&d, n);\n"
+      "  cudaMemcpy(d, d, n, cudaMemcpyHostToDevice);\n"
+      "  cudaFree(d);\n"
+      "}\n");
+  ASSERT_TRUE(r.ok());
+  CudaDialectStats s = AnalyzeCudaDialect(r.value());
+  EXPECT_EQ(s.kernel_count, 1);
+  EXPECT_EQ(s.device_fn_count, 1);
+  EXPECT_EQ(s.kernel_pointer_params, 2);
+  EXPECT_EQ(s.kernels_with_pointer_params, 1);
+  EXPECT_EQ(s.cuda_malloc_calls, 1);
+  EXPECT_EQ(s.cuda_memcpy_calls, 1);
+  EXPECT_EQ(s.cuda_free_calls, 1);
+}
+
+}  // namespace
+}  // namespace certkit::rules

@@ -1,0 +1,186 @@
+// Unit tests for the style checker and the defensive-programming analyzer.
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "rules/defensive.h"
+#include "rules/style.h"
+
+namespace certkit::rules {
+namespace {
+
+StyleResult Style(std::string_view src, const StyleOptions& opts = {}) {
+  auto r = ast::ParseSource("test.cc", src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return CheckStyle(r.value(), src, opts);
+}
+
+TEST(StyleTest, LongLineFlagged) {
+  std::string long_line = "int x = 0; // " + std::string(90, 'x') + "\n";
+  StyleResult sr = Style(long_line);
+  EXPECT_EQ(sr.report.CountRule("STYLE-LINELEN"), 1);
+}
+
+TEST(StyleTest, ShortLinesClean) {
+  StyleResult sr = Style("int x = 0;\n");
+  EXPECT_EQ(sr.report.CountRule("STYLE-LINELEN"), 0);
+}
+
+TEST(StyleTest, TabFlagged) {
+  StyleResult sr = Style("int main() {\n\treturn 0;\n}\n");
+  EXPECT_EQ(sr.report.CountRule("STYLE-TAB"), 1);
+}
+
+TEST(StyleTest, TrailingWhitespaceFlagged) {
+  StyleResult sr = Style("int x = 0;  \nint y = 1;\n");
+  EXPECT_EQ(sr.report.CountRule("STYLE-TRAILWS"), 1);
+}
+
+TEST(StyleTest, MissingFinalNewlineFlagged) {
+  StyleResult sr = Style("int x = 0;");
+  EXPECT_EQ(sr.report.CountRule("STYLE-EOFNL"), 1);
+}
+
+TEST(StyleTest, TypeNamingChecked) {
+  StyleResult sr = Style(
+      "class GoodName {};\n"
+      "class bad_name {};\n"
+      "struct alsoBad {};\n");
+  EXPECT_EQ(sr.report.CountRule("STYLE-TYPENAME"), 2);
+}
+
+TEST(StyleTest, FunctionNamingChecked) {
+  StyleResult sr = Style(
+      "void GoodFunc() {}\n"
+      "void also_good() {}\n"
+      "void BadOne_mixed() {}\n");
+  EXPECT_EQ(sr.report.CountRule("STYLE-FUNCNAME"), 1);
+}
+
+TEST(StyleTest, ConstantNamingChecked) {
+  StyleResult sr = Style(
+      "const int kMaxItems = 5;\n"
+      "const int MAX_LEGACY = 6;\n"   // MACRO_CASE allowed for constants
+      "const int wrong_const = 7;\n");
+  EXPECT_EQ(sr.report.CountRule("STYLE-CONSTNAME"), 1);
+}
+
+TEST(StyleTest, VariableNamingChecked) {
+  StyleResult sr = Style(
+      "int good_var = 1;\n"
+      "int BadVar = 2;\n");
+  EXPECT_EQ(sr.report.CountRule("STYLE-VARNAME"), 1);
+}
+
+TEST(StyleTest, MacroNamingChecked) {
+  StyleResult sr = Style(
+      "#define GOOD_MACRO 1\n"
+      "#define badMacro 2\n");
+  EXPECT_EQ(sr.report.CountRule("STYLE-MACRONAME"), 1);
+}
+
+TEST(StyleTest, HeaderGuardRequiredForHeaders) {
+  StyleOptions opts;
+  opts.is_header = true;
+  StyleResult without = Style("int x = 0;\n", opts);
+  EXPECT_EQ(without.report.CountRule("STYLE-GUARD"), 1);
+
+  StyleResult with_guard = Style(
+      "#ifndef FOO_H_\n#define FOO_H_\nint x = 0;\n#endif\n", opts);
+  EXPECT_EQ(with_guard.report.CountRule("STYLE-GUARD"), 0);
+
+  StyleResult with_pragma = Style("#pragma once\nint x = 0;\n", opts);
+  EXPECT_EQ(with_pragma.report.CountRule("STYLE-GUARD"), 0);
+}
+
+TEST(StyleTest, ComplianceRatioReflectsViolations) {
+  StyleResult clean = Style("int good_var = 1;\nint also_good = 2;\n");
+  EXPECT_DOUBLE_EQ(clean.stats.ComplianceRatio(), 1.0);
+  std::string messy;
+  for (int i = 0; i < 10; ++i) messy += "int V" + std::to_string(i) + " = 0;\n";
+  StyleResult bad = Style(messy);
+  EXPECT_LT(bad.stats.ComplianceRatio(), 1.0);
+}
+
+// --- defensive ---
+
+DefensiveResult Defensive(std::string_view src) {
+  auto r = ast::ParseSource("test.cc", src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<ast::SourceFileModel> files;
+  files.push_back(std::move(r).value());
+  return AnalyzeDefensive(files);
+}
+
+TEST(DefensiveTest, IfOnParamCountsAsValidation) {
+  DefensiveResult d = Defensive(
+      "int f(int x) {\n"
+      "  if (x < 0) { return -1; }\n"
+      "  return x;\n"
+      "}\n");
+  EXPECT_EQ(d.stats.functions_with_params, 1);
+  EXPECT_EQ(d.stats.functions_validating_inputs, 1);
+  EXPECT_EQ(d.report.CountRule("DEF-INPUT"), 0);
+}
+
+TEST(DefensiveTest, AssertOnParamCountsAsValidation) {
+  DefensiveResult d = Defensive(
+      "int f(int x) { assert(x >= 0); return x + 1; }");
+  EXPECT_EQ(d.stats.functions_validating_inputs, 1);
+  EXPECT_EQ(d.stats.assertion_sites, 1);
+}
+
+TEST(DefensiveTest, NoValidationFlagged) {
+  DefensiveResult d = Defensive("int f(int x) { return x * 2; }");
+  EXPECT_EQ(d.stats.functions_with_params, 1);
+  EXPECT_EQ(d.stats.functions_validating_inputs, 0);
+  EXPECT_EQ(d.report.CountRule("DEF-INPUT"), 1);
+}
+
+TEST(DefensiveTest, ParameterlessFunctionsNotCounted) {
+  DefensiveResult d = Defensive("int f() { return 1; }");
+  EXPECT_EQ(d.stats.functions_with_params, 0);
+  EXPECT_DOUBLE_EQ(d.stats.InputValidationRatio(), 1.0);
+}
+
+TEST(DefensiveTest, IfOnUnrelatedVariableNotValidation) {
+  DefensiveResult d = Defensive(
+      "int f(int x) {\n"
+      "  int y = 3;\n"
+      "  if (y > 0) { y = 4; }\n"
+      "  return x + y;\n"
+      "}\n");
+  EXPECT_EQ(d.stats.functions_validating_inputs, 0);
+}
+
+TEST(DefensiveTest, DiscardedNonVoidResultFlagged) {
+  DefensiveResult d = Defensive(
+      "int compute(int x) { return x * 2; }\n"
+      "void user(int x) {\n"
+      "  if (x) { compute(x); }\n"        // result discarded
+      "  int y = compute(x);\n"           // result used
+      "  (void)y;\n"
+      "}\n");
+  EXPECT_EQ(d.stats.discarded_results, 1);
+  EXPECT_EQ(d.report.CountRule("DEF-RESULT"), 1);
+}
+
+TEST(DefensiveTest, VoidCallNotFlagged) {
+  DefensiveResult d = Defensive(
+      "void log_it(int x) { (void)x; }\n"
+      "void user(int x) { log_it(x); }\n");
+  EXPECT_EQ(d.stats.discarded_results, 0);
+}
+
+TEST(DefensiveTest, RatiosAggregate) {
+  DefensiveResult d = Defensive(
+      "int a(int x) { if (x) { return 1; } return 0; }\n"
+      "int b(int x) { return x; }\n"
+      "int c(int x) { assert(x); return x; }\n"
+      "int d(int x) { return -x; }\n");
+  EXPECT_EQ(d.stats.functions_with_params, 4);
+  EXPECT_EQ(d.stats.functions_validating_inputs, 2);
+  EXPECT_DOUBLE_EQ(d.stats.InputValidationRatio(), 0.5);
+}
+
+}  // namespace
+}  // namespace certkit::rules

@@ -1,0 +1,110 @@
+// Tests for requirement-to-code traceability.
+#include "rules/traceability.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace certkit::rules {
+namespace {
+
+ast::SourceFileModel ParseWithComments(std::string_view src) {
+  ast::ParseOptions opts;
+  opts.lex_options.keep_comments = true;
+  auto r = ast::ParseSource("trace.cc", src, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(ExtractTagsTest, BasicForms) {
+  EXPECT_EQ(ExtractRequirementTags("// REQ-PLAN-001: plan safely"),
+            (std::vector<std::string>{"REQ-PLAN-001"}));
+  EXPECT_EQ(ExtractRequirementTags("/* covers REQ-A1 and REQ-B2 */"),
+            (std::vector<std::string>{"REQ-A1", "REQ-B2"}));
+  EXPECT_TRUE(ExtractRequirementTags("no tags here").empty());
+}
+
+TEST(ExtractTagsTest, RejectsEmbeddedAndEmpty) {
+  // Suffix of a longer identifier is not a tag.
+  EXPECT_TRUE(ExtractRequirementTags("FOO_REQ-123").empty());
+  // Bare "REQ-" with nothing after it is not a tag.
+  EXPECT_TRUE(ExtractRequirementTags("see REQ- for details").empty());
+  // Trailing punctuation is trimmed.
+  EXPECT_EQ(ExtractRequirementTags("REQ-X9."),
+            (std::vector<std::string>{"REQ-X9"}));
+}
+
+TEST(ExtractTagsTest, LowercaseStopsTheTag) {
+  EXPECT_EQ(ExtractRequirementTags("REQ-ABCdef"),
+            (std::vector<std::string>{"REQ-ABC"}));
+}
+
+TEST(TraceabilityTest, CommentAboveFunctionLinks) {
+  auto model = ParseWithComments(
+      "// REQ-CTRL-001: the controller shall bound steering.\n"
+      "double Clamp(double v) { return v; }\n"
+      "double Untraced(double v) { return v; }\n");
+  TraceReport report = AnalyzeTraceability(model);
+  ASSERT_EQ(report.links.size(), 1u);
+  EXPECT_EQ(report.links[0].requirement, "REQ-CTRL-001");
+  EXPECT_EQ(report.links[0].function, "Clamp");
+  ASSERT_EQ(report.untraced_functions.size(), 1u);
+  EXPECT_EQ(report.untraced_functions[0], "Untraced");
+  EXPECT_DOUBLE_EQ(report.TraceabilityRatio(), 0.5);
+}
+
+TEST(TraceabilityTest, CommentInsideFunctionLinksToIt) {
+  auto model = ParseWithComments(
+      "int f(int x) {\n"
+      "  // REQ-SAFE-7: reject negative inputs\n"
+      "  if (x < 0) { return -1; }\n"
+      "  return x;\n"
+      "}\n");
+  TraceReport report = AnalyzeTraceability(model);
+  ASSERT_EQ(report.links.size(), 1u);
+  EXPECT_EQ(report.links[0].function, "f");
+  EXPECT_TRUE(report.untraced_functions.empty());
+}
+
+TEST(TraceabilityTest, MultipleTagsOneFunction) {
+  auto model = ParseWithComments(
+      "// Implements REQ-A-1 and REQ-A-2.\n"
+      "void g() {}\n");
+  TraceReport report = AnalyzeTraceability(model);
+  EXPECT_EQ(report.links.size(), 2u);
+  EXPECT_EQ(report.Requirements(),
+            (std::vector<std::string>{"REQ-A-1", "REQ-A-2"}));
+}
+
+TEST(TraceabilityTest, DanglingTagHasEmptyFunction) {
+  auto model = ParseWithComments(
+      "void h() {}\n"
+      "// REQ-LOST-1: text after the last function\n");
+  TraceReport report = AnalyzeTraceability(model);
+  ASSERT_EQ(report.links.size(), 1u);
+  EXPECT_TRUE(report.links[0].function.empty());
+}
+
+TEST(TraceabilityTest, WithoutKeptCommentsEverythingUntraced) {
+  auto r = ast::ParseSource("t.cc",
+                            "// REQ-X-1\nvoid f() {}\n");  // default options
+  ASSERT_TRUE(r.ok());
+  TraceReport report = AnalyzeTraceability(r.value());
+  EXPECT_TRUE(report.links.empty());
+  EXPECT_EQ(report.untraced_functions.size(), 1u);
+}
+
+TEST(TraceabilityTest, MergeAccumulates) {
+  auto a = AnalyzeTraceability(ParseWithComments(
+      "// REQ-M-1\nvoid f1() {}\n"));
+  auto b = AnalyzeTraceability(ParseWithComments(
+      "void f2() {}\n"));
+  TraceReport merged = MergeTraceReports({a, b});
+  EXPECT_EQ(merged.functions_total, 2);
+  EXPECT_EQ(merged.links.size(), 1u);
+  EXPECT_EQ(merged.untraced_functions.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.TraceabilityRatio(), 0.5);
+}
+
+}  // namespace
+}  // namespace certkit::rules

@@ -1,0 +1,68 @@
+// Tests for the command-line flag parser.
+#include "support/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace certkit::support {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  auto p = Parse({"assess", "src/dir"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "assess");
+  EXPECT_EQ(p.positional()[1], "src/dir");
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  auto p = Parse({"--asil=C", "--max=10"});
+  EXPECT_EQ(p.GetOr("asil", "D"), "C");
+  EXPECT_EQ(p.GetInt("max", 0).value(), 10);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  auto p = Parse({"--asil", "B", "cmd"});
+  EXPECT_EQ(p.GetOr("asil", "D"), "B");
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "cmd");
+}
+
+TEST(FlagsTest, BooleanFlag) {
+  auto p = Parse({"--csv", "--verbose", "--quiet=false"});
+  EXPECT_TRUE(p.GetBool("csv"));
+  EXPECT_TRUE(p.GetBool("verbose"));
+  EXPECT_FALSE(p.GetBool("quiet"));
+  EXPECT_FALSE(p.GetBool("absent"));
+}
+
+TEST(FlagsTest, BooleanFollowedByFlag) {
+  // --csv followed by another flag must not consume it as a value.
+  auto p = Parse({"--csv", "--max=3"});
+  EXPECT_TRUE(p.GetBool("csv"));
+  EXPECT_EQ(p.GetInt("max", 0).value(), 3);
+}
+
+TEST(FlagsTest, MissingFlagUsesFallback) {
+  auto p = Parse({"cmd"});
+  EXPECT_EQ(p.GetOr("asil", "D"), "D");
+  EXPECT_EQ(p.GetInt("max", 42).value(), 42);
+  EXPECT_FALSE(p.Get("asil").has_value());
+}
+
+TEST(FlagsTest, MalformedIntIsNullopt) {
+  auto p = Parse({"--max=ten"});
+  EXPECT_FALSE(p.GetInt("max", 0).has_value());
+}
+
+TEST(FlagsTest, FlagNamesListed) {
+  auto p = Parse({"--a=1", "--b"});
+  const auto names = p.FlagNames();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+}  // namespace
+}  // namespace certkit::support

@@ -1,0 +1,128 @@
+// Tests for the execution-time measurement and WCET estimation module.
+#include "timing/timing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "support/rng.h"
+
+namespace certkit::timing {
+namespace {
+
+TEST(TimerTest, StatsOnKnownSamples) {
+  ExecutionTimer t("t");
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) t.Record(v);
+  const TimingStats s = t.GetStats();
+  EXPECT_EQ(s.count, 5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_GE(s.p95, 4.0);
+  EXPECT_LE(s.p95, 5.0);
+}
+
+TEST(TimerTest, EmptyTimerStats) {
+  ExecutionTimer t("empty");
+  const TimingStats s = t.GetStats();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(t.EstimateWcetEnvelope(), 0.0);
+}
+
+TEST(TimerTest, CountOverDeadline) {
+  ExecutionTimer t("d");
+  for (double v : {0.05, 0.08, 0.12, 0.09, 0.15}) t.Record(v);
+  EXPECT_EQ(t.CountOver(0.10), 2);
+  EXPECT_EQ(t.CountOver(0.20), 0);
+  EXPECT_EQ(t.CountOver(0.0), 5);
+}
+
+TEST(TimerTest, EnvelopeWcet) {
+  ExecutionTimer t("e");
+  t.Record(0.10);
+  t.Record(0.25);
+  EXPECT_DOUBLE_EQ(t.EstimateWcetEnvelope(1.2), 0.30);
+  EXPECT_DOUBLE_EQ(t.EstimateWcetEnvelope(1.0), 0.25);
+}
+
+TEST(TimerTest, NegativeSampleRejected) {
+  ExecutionTimer t("n");
+  EXPECT_THROW(t.Record(-0.1), support::ContractViolation);
+}
+
+TEST(TimerTest, ResetClears) {
+  ExecutionTimer t("r");
+  t.Record(1.0);
+  t.Reset();
+  EXPECT_EQ(t.sample_count(), 0);
+}
+
+TEST(PwcetTest, RequiresEnoughBlocks) {
+  ExecutionTimer t("few");
+  for (int i = 0; i < 15; ++i) t.Record(0.01);
+  // 15 samples, block size 10 -> only one full block.
+  EXPECT_FALSE(t.EstimatePwcet(1e-6, 10).ok());
+  for (int i = 0; i < 10; ++i) t.Record(0.01);
+  EXPECT_TRUE(t.EstimatePwcet(1e-6, 10).ok());
+}
+
+TEST(PwcetTest, InvalidProbabilityRejected) {
+  ExecutionTimer t("p");
+  for (int i = 0; i < 40; ++i) t.Record(0.01);
+  EXPECT_FALSE(t.EstimatePwcet(0.0).ok());
+  EXPECT_FALSE(t.EstimatePwcet(1.0).ok());
+  EXPECT_FALSE(t.EstimatePwcet(1e-6, 0).ok());
+}
+
+TEST(PwcetTest, ConstantSamplesGiveConstantBound) {
+  ExecutionTimer t("c");
+  for (int i = 0; i < 50; ++i) t.Record(0.02);
+  auto bound = t.EstimatePwcet(1e-9, 10);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_NEAR(bound.value(), 0.02, 1e-12);
+}
+
+TEST(PwcetTest, BoundExceedsObservedMaxAndGrowsWithRarity) {
+  ExecutionTimer t("g");
+  support::Xoshiro256 rng(99);
+  for (int i = 0; i < 500; ++i) {
+    // Right-skewed execution times around 10 ms.
+    t.Record(0.010 + std::abs(rng.Gaussian(0.0, 0.002)));
+  }
+  auto p6 = t.EstimatePwcet(1e-6, 10);
+  auto p9 = t.EstimatePwcet(1e-9, 10);
+  ASSERT_TRUE(p6.ok());
+  ASSERT_TRUE(p9.ok());
+  const TimingStats stats = t.GetStats();
+  EXPECT_GT(p6.value(), stats.p99);
+  EXPECT_GT(p9.value(), p6.value());  // rarer exceedance -> larger bound
+  // Sanity: still the same order of magnitude as the observations.
+  EXPECT_LT(p9.value(), stats.max * 5.0);
+}
+
+TEST(ScopedTimerTest, RecordsElapsed) {
+  ExecutionTimer t("s");
+  {
+    ScopedTimer scope(t);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(t.sample_count(), 1);
+  EXPECT_GE(t.GetStats().max, 0.004);
+}
+
+TEST(RegistryTest, NamedTimers) {
+  auto& a = TimerRegistry::Instance().GetOrCreate("stage/x");
+  auto& b = TimerRegistry::Instance().GetOrCreate("stage/x");
+  EXPECT_EQ(&a, &b);
+  a.Record(0.5);
+  bool found = false;
+  for (const auto* t : TimerRegistry::Instance().Timers()) {
+    if (t->name() == "stage/x") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace certkit::timing

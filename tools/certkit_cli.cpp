@@ -1,0 +1,269 @@
+// certkit — the command-line front end of the assessment toolkit.
+//
+//   certkit metrics <dir> [--csv]          Figure-3-style module table
+//   certkit misra <dir> [--max N]          MISRA-subset findings
+//   certkit style <dir> [--max N]          style-guide findings
+//   certkit assess <dir> [--asil D]        the three ISO 26262-6 tables +
+//                                          gap list at the target ASIL
+//   certkit trace <dir>                    requirement traceability
+//
+// Exit status: 0 on success; 1 on usage/input errors; for `assess`, 2 when
+// the codebase does not meet the target ASIL (CI-friendly).
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "report/renderers.h"
+#include "report/table.h"
+#include "rules/assessor.h"
+#include "rules/codebase_loader.h"
+#include "rules/misra.h"
+#include "metrics/halstead.h"
+#include "rules/style.h"
+#include "support/strings.h"
+#include "support/flags.h"
+
+namespace {
+
+using certkit::rules::Codebase;
+using certkit::rules::LoadCodebase;
+using certkit::support::FlagParser;
+
+int Usage() {
+  std::printf(
+      "usage: certkit <command> <source-dir> [flags]\n"
+      "commands:\n"
+      "  metrics <dir> [--csv]   per-module LOC/functions/complexity\n"
+      "  functions <dir>         per-function metrics CSV (Lizard-style)\n"
+      "  misra <dir> [--max N]   MISRA-subset findings (default N=25)\n"
+      "  style <dir> [--max N]   style-guide findings\n"
+      "  assess <dir> [--asil X] ISO 26262-6 tables + ASIL gap list\n"
+      "  trace <dir>             requirement-to-code traceability\n");
+  return 1;
+}
+
+certkit::support::Result<Codebase> Load(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    return certkit::support::InvalidArgumentError("missing <source-dir>");
+  }
+  return LoadCodebase(flags.positional()[1]);
+}
+
+int CmdMetrics(const FlagParser& flags) {
+  auto codebase = Load(flags);
+  if (!codebase.ok()) {
+    std::printf("error: %s\n", codebase.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<certkit::metrics::ModuleMetrics> rows;
+  for (const auto& m : codebase.value().modules) rows.push_back(m.metrics);
+  if (flags.GetBool("csv")) {
+    certkit::report::Table table(
+        {"module", "loc", "nloc", "functions", "cc_over10", "cc_over20",
+         "cc_over50", "max_cc"});
+    for (const auto& m : rows) {
+      table.AddRow({m.name, std::to_string(m.loc), std::to_string(m.nloc),
+                    std::to_string(m.function_count),
+                    std::to_string(m.FunctionsOverCc(10)),
+                    std::to_string(m.FunctionsOverCc(20)),
+                    std::to_string(m.FunctionsOverCc(50)),
+                    std::to_string(m.max_cc)});
+    }
+    std::printf("%s", table.ToCsv().c_str());
+  } else {
+    std::printf("%s",
+                certkit::report::RenderModuleComplexity(rows).c_str());
+  }
+  return 0;
+}
+
+int PrintFindings(const std::vector<certkit::rules::Finding>& findings,
+                  long long max_shown) {
+  long long shown = 0;
+  for (const auto& f : findings) {
+    if (shown++ >= max_shown) {
+      std::printf("  ... and %zu more (raise --max to see them)\n",
+                  findings.size() - static_cast<std::size_t>(max_shown));
+      break;
+    }
+    std::printf("  %s:%d [%s] %s\n", f.file.c_str(), f.line,
+                f.rule_id.c_str(), f.message.c_str());
+  }
+  std::printf("total findings: %zu\n", findings.size());
+  return 0;
+}
+
+// Per-function metrics in Lizard-style CSV: the raw data behind Figure 3.
+int CmdFunctions(const FlagParser& flags) {
+  auto codebase = Load(flags);
+  if (!codebase.ok()) {
+    std::printf("error: %s\n", codebase.status().ToString().c_str());
+    return 1;
+  }
+  certkit::report::Table table({"module", "function", "cc", "nloc",
+                                "params", "returns", "tokens", "mi"});
+  for (const auto& mod : codebase.value().modules) {
+    for (const auto& file : mod.files) {
+      for (const auto& fn : file.functions) {
+        const auto m = certkit::metrics::ComputeFunctionMetrics(file, fn);
+        const double mi =
+            certkit::metrics::FunctionMaintainabilityIndex(file, fn);
+        table.AddRow({mod.name, m.qualified_name,
+                      std::to_string(m.cyclomatic_complexity),
+                      std::to_string(m.nloc), std::to_string(m.param_count),
+                      std::to_string(m.return_count),
+                      std::to_string(m.token_count),
+                      certkit::support::FormatDouble(mi, 1)});
+      }
+    }
+  }
+  std::printf("%s", table.ToCsv().c_str());
+  return 0;
+}
+
+int CmdMisra(const FlagParser& flags) {
+  auto codebase = Load(flags);
+  if (!codebase.ok()) {
+    std::printf("error: %s\n", codebase.status().ToString().c_str());
+    return 1;
+  }
+  const auto max_shown = flags.GetInt("max", 25);
+  if (!max_shown.has_value()) {
+    std::printf("error: --max must be an integer\n");
+    return 1;
+  }
+  std::vector<certkit::rules::Finding> findings;
+  for (const auto& mod : codebase.value().modules) {
+    for (const auto& file : mod.files) {
+      auto report = certkit::rules::CheckMisra(file);
+      findings.insert(findings.end(), report.findings.begin(),
+                      report.findings.end());
+    }
+  }
+  return PrintFindings(findings, *max_shown);
+}
+
+int CmdStyle(const FlagParser& flags) {
+  auto codebase = Load(flags);
+  if (!codebase.ok()) {
+    std::printf("error: %s\n", codebase.status().ToString().c_str());
+    return 1;
+  }
+  const auto max_shown = flags.GetInt("max", 25);
+  if (!max_shown.has_value()) {
+    std::printf("error: --max must be an integer\n");
+    return 1;
+  }
+  // Index raw text by path for the line-level checks.
+  std::map<std::string, const std::string*> raw;
+  for (const auto& rs : codebase.value().raw_sources) {
+    raw[rs.path] = &rs.text;
+  }
+  std::vector<certkit::rules::Finding> findings;
+  for (const auto& mod : codebase.value().modules) {
+    for (const auto& file : mod.files) {
+      auto it = raw.find(file.path);
+      if (it == raw.end()) continue;
+      certkit::rules::StyleOptions opts;
+      opts.is_header = file.path.ends_with(".h") ||
+                       file.path.ends_with(".hpp") ||
+                       file.path.ends_with(".cuh");
+      auto result = certkit::rules::CheckStyle(file, *it->second, opts);
+      findings.insert(findings.end(), result.report.findings.begin(),
+                      result.report.findings.end());
+    }
+  }
+  return PrintFindings(findings, *max_shown);
+}
+
+int CmdAssess(const FlagParser& flags) {
+  auto codebase = Load(flags);
+  if (!codebase.ok()) {
+    std::printf("error: %s\n", codebase.status().ToString().c_str());
+    return 1;
+  }
+  const std::string asil_name = flags.GetOr("asil", "D");
+  certkit::rules::Asil asil;
+  if (asil_name == "A") {
+    asil = certkit::rules::Asil::kA;
+  } else if (asil_name == "B") {
+    asil = certkit::rules::Asil::kB;
+  } else if (asil_name == "C") {
+    asil = certkit::rules::Asil::kC;
+  } else if (asil_name == "D") {
+    asil = certkit::rules::Asil::kD;
+  } else {
+    std::printf("error: --asil must be one of A, B, C, D\n");
+    return 1;
+  }
+
+  const Codebase& cb = codebase.value();
+  certkit::rules::Assessor assessor(&cb.modules, &cb.raw_sources);
+  struct Entry {
+    const certkit::rules::TechniqueTable* table;
+    certkit::rules::TableAssessment assessment;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({&certkit::rules::CodingGuidelinesTable(),
+                     assessor.AssessCodingGuidelines()});
+  entries.push_back({&certkit::rules::ArchitecturalDesignTable(),
+                     assessor.AssessArchitecture()});
+  entries.push_back(
+      {&certkit::rules::UnitDesignTable(), assessor.AssessUnitDesign()});
+
+  int gaps = 0;
+  for (const auto& e : entries) {
+    std::printf("%s\n", certkit::report::RenderTechniqueAssessment(
+                            *e.table, e.assessment)
+                            .c_str());
+    for (std::size_t i = 0; i < e.table->techniques.size(); ++i) {
+      if (!certkit::rules::Satisfies(e.assessment.assessments[i].verdict,
+                                     e.table->techniques[i].At(asil))) {
+        ++gaps;
+        std::printf("ASIL-%s gap: %s — %s\n", asil_name.c_str(),
+                    e.table->techniques[i].name.c_str(),
+                    e.assessment.assessments[i].evidence.c_str());
+      }
+    }
+  }
+  std::printf("\n%d technique(s) below the ASIL-%s recommendation\n", gaps,
+              asil_name.c_str());
+  return gaps == 0 ? 0 : 2;
+}
+
+int CmdTrace(const FlagParser& flags) {
+  auto codebase = Load(flags);
+  if (!codebase.ok()) {
+    std::printf("error: %s\n", codebase.status().ToString().c_str());
+    return 1;
+  }
+  const auto trace =
+      certkit::rules::MergeTraceReports(codebase.value().traces);
+  for (const auto& link : trace.links) {
+    std::printf("  %-16s %s:%d -> %s\n", link.requirement.c_str(),
+                link.file.c_str(), link.comment_line,
+                link.function.empty() ? "(dangling)" : link.function.c_str());
+  }
+  std::printf("requirements: %zu distinct; traced functions: %.1f%% "
+              "(%lld of %lld untraced)\n",
+              trace.Requirements().size(), 100.0 * trace.TraceabilityRatio(),
+              static_cast<long long>(trace.untraced_functions.size()),
+              static_cast<long long>(trace.functions_total));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string command = flags.positional()[0];
+  if (command == "metrics") return CmdMetrics(flags);
+  if (command == "functions") return CmdFunctions(flags);
+  if (command == "misra") return CmdMisra(flags);
+  if (command == "style") return CmdStyle(flags);
+  if (command == "assess") return CmdAssess(flags);
+  if (command == "trace") return CmdTrace(flags);
+  std::printf("unknown command '%s'\n", command.c_str());
+  return Usage();
+}
