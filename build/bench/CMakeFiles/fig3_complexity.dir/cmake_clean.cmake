@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_complexity.dir/fig3_complexity.cpp.o"
+  "CMakeFiles/fig3_complexity.dir/fig3_complexity.cpp.o.d"
+  "fig3_complexity"
+  "fig3_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

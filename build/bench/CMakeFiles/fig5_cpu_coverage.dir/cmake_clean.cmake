@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cpu_coverage.dir/fig5_cpu_coverage.cpp.o"
+  "CMakeFiles/fig5_cpu_coverage.dir/fig5_cpu_coverage.cpp.o.d"
+  "fig5_cpu_coverage"
+  "fig5_cpu_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cpu_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

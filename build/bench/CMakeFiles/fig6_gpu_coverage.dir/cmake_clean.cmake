@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gpu_coverage.dir/fig6_gpu_coverage.cpp.o"
+  "CMakeFiles/fig6_gpu_coverage.dir/fig6_gpu_coverage.cpp.o.d"
+  "fig6_gpu_coverage"
+  "fig6_gpu_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gpu_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_objdet_libs.dir/fig7_objdet_libs.cpp.o"
+  "CMakeFiles/fig7_objdet_libs.dir/fig7_objdet_libs.cpp.o.d"
+  "fig7_objdet_libs"
+  "fig7_objdet_libs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_objdet_libs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

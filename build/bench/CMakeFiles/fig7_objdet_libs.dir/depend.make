@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_objdet_libs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_gemm.dir/fig8a_gemm.cpp.o"
+  "CMakeFiles/fig8a_gemm.dir/fig8a_gemm.cpp.o.d"
+  "fig8a_gemm"
+  "fig8a_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_conv.dir/fig8b_conv.cpp.o"
+  "CMakeFiles/fig8b_conv.dir/fig8b_conv.cpp.o.d"
+  "fig8b_conv"
+  "fig8b_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

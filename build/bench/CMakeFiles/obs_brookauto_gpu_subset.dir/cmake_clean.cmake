@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_brookauto_gpu_subset.dir/obs_brookauto_gpu_subset.cpp.o"
+  "CMakeFiles/obs_brookauto_gpu_subset.dir/obs_brookauto_gpu_subset.cpp.o.d"
+  "obs_brookauto_gpu_subset"
+  "obs_brookauto_gpu_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_brookauto_gpu_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

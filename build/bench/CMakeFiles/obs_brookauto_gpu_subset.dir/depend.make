@@ -1,0 +1,2 @@
+# Empty dependencies file for obs_brookauto_gpu_subset.
+# This may be replaced when dependencies are built.

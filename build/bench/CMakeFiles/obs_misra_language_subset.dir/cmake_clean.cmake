@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_misra_language_subset.dir/obs_misra_language_subset.cpp.o"
+  "CMakeFiles/obs_misra_language_subset.dir/obs_misra_language_subset.cpp.o.d"
+  "obs_misra_language_subset"
+  "obs_misra_language_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_misra_language_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

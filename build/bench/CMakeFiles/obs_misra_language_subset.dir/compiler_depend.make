@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for obs_misra_language_subset.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for obs_misra_language_subset.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_timing_wcet.dir/obs_timing_wcet.cpp.o"
+  "CMakeFiles/obs_timing_wcet.dir/obs_timing_wcet.cpp.o.d"
+  "obs_timing_wcet"
+  "obs_timing_wcet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_timing_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

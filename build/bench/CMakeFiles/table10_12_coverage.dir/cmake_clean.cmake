@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_12_coverage.dir/table10_12_coverage.cpp.o"
+  "CMakeFiles/table10_12_coverage.dir/table10_12_coverage.cpp.o.d"
+  "table10_12_coverage"
+  "table10_12_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_12_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

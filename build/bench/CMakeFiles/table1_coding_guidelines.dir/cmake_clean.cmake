@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_coding_guidelines.dir/table1_coding_guidelines.cpp.o"
+  "CMakeFiles/table1_coding_guidelines.dir/table1_coding_guidelines.cpp.o.d"
+  "table1_coding_guidelines"
+  "table1_coding_guidelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_coding_guidelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

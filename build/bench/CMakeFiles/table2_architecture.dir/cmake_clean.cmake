@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_architecture.dir/table2_architecture.cpp.o"
+  "CMakeFiles/table2_architecture.dir/table2_architecture.cpp.o.d"
+  "table2_architecture"
+  "table2_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

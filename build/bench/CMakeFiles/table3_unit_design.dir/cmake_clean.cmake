@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_unit_design.dir/table3_unit_design.cpp.o"
+  "CMakeFiles/table3_unit_design.dir/table3_unit_design.cpp.o.d"
+  "table3_unit_design"
+  "table3_unit_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_unit_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

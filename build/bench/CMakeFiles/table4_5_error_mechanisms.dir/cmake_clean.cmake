@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_5_error_mechanisms.dir/table4_5_error_mechanisms.cpp.o"
+  "CMakeFiles/table4_5_error_mechanisms.dir/table4_5_error_mechanisms.cpp.o.d"
+  "table4_5_error_mechanisms"
+  "table4_5_error_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_5_error_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

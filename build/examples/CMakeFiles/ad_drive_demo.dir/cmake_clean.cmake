@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_drive_demo.dir/ad_drive_demo.cpp.o"
+  "CMakeFiles/ad_drive_demo.dir/ad_drive_demo.cpp.o.d"
+  "ad_drive_demo"
+  "ad_drive_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_drive_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

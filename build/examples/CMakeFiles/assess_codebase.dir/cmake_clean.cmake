@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assess_codebase.dir/assess_codebase.cpp.o"
+  "CMakeFiles/assess_codebase.dir/assess_codebase.cpp.o.d"
+  "assess_codebase"
+  "assess_codebase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assess_codebase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

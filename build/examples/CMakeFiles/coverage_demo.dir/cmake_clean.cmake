@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_demo.dir/coverage_demo.cpp.o"
+  "CMakeFiles/coverage_demo.dir/coverage_demo.cpp.o.d"
+  "coverage_demo"
+  "coverage_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lex")
+subdirs("ast")
+subdirs("metrics")
+subdirs("rules")
+subdirs("coverage")
+subdirs("report")
+subdirs("corpus")
+subdirs("gpusim")
+subdirs("kernels")
+subdirs("nn")
+subdirs("ad")
+subdirs("timing")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ad/behavior.cpp" "src/ad/CMakeFiles/adpilot.dir/behavior.cpp.o" "gcc" "src/ad/CMakeFiles/adpilot.dir/behavior.cpp.o.d"
+  "/root/repo/src/ad/canbus.cpp" "src/ad/CMakeFiles/adpilot.dir/canbus.cpp.o" "gcc" "src/ad/CMakeFiles/adpilot.dir/canbus.cpp.o.d"
+  "/root/repo/src/ad/common.cpp" "src/ad/CMakeFiles/adpilot.dir/common.cpp.o" "gcc" "src/ad/CMakeFiles/adpilot.dir/common.cpp.o.d"
+  "/root/repo/src/ad/control.cpp" "src/ad/CMakeFiles/adpilot.dir/control.cpp.o" "gcc" "src/ad/CMakeFiles/adpilot.dir/control.cpp.o.d"
+  "/root/repo/src/ad/localization.cpp" "src/ad/CMakeFiles/adpilot.dir/localization.cpp.o" "gcc" "src/ad/CMakeFiles/adpilot.dir/localization.cpp.o.d"
+  "/root/repo/src/ad/perception.cpp" "src/ad/CMakeFiles/adpilot.dir/perception.cpp.o" "gcc" "src/ad/CMakeFiles/adpilot.dir/perception.cpp.o.d"
+  "/root/repo/src/ad/pipeline.cpp" "src/ad/CMakeFiles/adpilot.dir/pipeline.cpp.o" "gcc" "src/ad/CMakeFiles/adpilot.dir/pipeline.cpp.o.d"
+  "/root/repo/src/ad/planning.cpp" "src/ad/CMakeFiles/adpilot.dir/planning.cpp.o" "gcc" "src/ad/CMakeFiles/adpilot.dir/planning.cpp.o.d"
+  "/root/repo/src/ad/prediction.cpp" "src/ad/CMakeFiles/adpilot.dir/prediction.cpp.o" "gcc" "src/ad/CMakeFiles/adpilot.dir/prediction.cpp.o.d"
+  "/root/repo/src/ad/routing.cpp" "src/ad/CMakeFiles/adpilot.dir/routing.cpp.o" "gcc" "src/ad/CMakeFiles/adpilot.dir/routing.cpp.o.d"
+  "/root/repo/src/ad/scenario.cpp" "src/ad/CMakeFiles/adpilot.dir/scenario.cpp.o" "gcc" "src/ad/CMakeFiles/adpilot.dir/scenario.cpp.o.d"
+  "/root/repo/src/ad/tracking.cpp" "src/ad/CMakeFiles/adpilot.dir/tracking.cpp.o" "gcc" "src/ad/CMakeFiles/adpilot.dir/tracking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/certkit_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/certkit_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/certkit_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

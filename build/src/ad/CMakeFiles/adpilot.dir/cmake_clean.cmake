@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adpilot.dir/behavior.cpp.o"
+  "CMakeFiles/adpilot.dir/behavior.cpp.o.d"
+  "CMakeFiles/adpilot.dir/canbus.cpp.o"
+  "CMakeFiles/adpilot.dir/canbus.cpp.o.d"
+  "CMakeFiles/adpilot.dir/common.cpp.o"
+  "CMakeFiles/adpilot.dir/common.cpp.o.d"
+  "CMakeFiles/adpilot.dir/control.cpp.o"
+  "CMakeFiles/adpilot.dir/control.cpp.o.d"
+  "CMakeFiles/adpilot.dir/localization.cpp.o"
+  "CMakeFiles/adpilot.dir/localization.cpp.o.d"
+  "CMakeFiles/adpilot.dir/perception.cpp.o"
+  "CMakeFiles/adpilot.dir/perception.cpp.o.d"
+  "CMakeFiles/adpilot.dir/pipeline.cpp.o"
+  "CMakeFiles/adpilot.dir/pipeline.cpp.o.d"
+  "CMakeFiles/adpilot.dir/planning.cpp.o"
+  "CMakeFiles/adpilot.dir/planning.cpp.o.d"
+  "CMakeFiles/adpilot.dir/prediction.cpp.o"
+  "CMakeFiles/adpilot.dir/prediction.cpp.o.d"
+  "CMakeFiles/adpilot.dir/routing.cpp.o"
+  "CMakeFiles/adpilot.dir/routing.cpp.o.d"
+  "CMakeFiles/adpilot.dir/scenario.cpp.o"
+  "CMakeFiles/adpilot.dir/scenario.cpp.o.d"
+  "CMakeFiles/adpilot.dir/tracking.cpp.o"
+  "CMakeFiles/adpilot.dir/tracking.cpp.o.d"
+  "libadpilot.a"
+  "libadpilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adpilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

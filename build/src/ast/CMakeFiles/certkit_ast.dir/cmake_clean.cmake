@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certkit_ast.dir/parser.cpp.o"
+  "CMakeFiles/certkit_ast.dir/parser.cpp.o.d"
+  "libcertkit_ast.a"
+  "libcertkit_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certkit_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certkit_corpus.dir/analyze.cpp.o"
+  "CMakeFiles/certkit_corpus.dir/analyze.cpp.o.d"
+  "CMakeFiles/certkit_corpus.dir/generator.cpp.o"
+  "CMakeFiles/certkit_corpus.dir/generator.cpp.o.d"
+  "libcertkit_corpus.a"
+  "libcertkit_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certkit_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcertkit_corpus.a"
+)

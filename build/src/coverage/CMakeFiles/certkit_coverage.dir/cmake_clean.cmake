@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certkit_coverage.dir/coverage.cpp.o"
+  "CMakeFiles/certkit_coverage.dir/coverage.cpp.o.d"
+  "libcertkit_coverage.a"
+  "libcertkit_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certkit_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

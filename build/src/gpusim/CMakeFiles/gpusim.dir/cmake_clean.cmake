@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim.dir/gpusim.cpp.o"
+  "CMakeFiles/gpusim.dir/gpusim.cpp.o.d"
+  "CMakeFiles/gpusim.dir/stream.cpp.o"
+  "CMakeFiles/gpusim.dir/stream.cpp.o.d"
+  "libgpusim.a"
+  "libgpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels.dir/conv.cpp.o"
+  "CMakeFiles/kernels.dir/conv.cpp.o.d"
+  "CMakeFiles/kernels.dir/gemm.cpp.o"
+  "CMakeFiles/kernels.dir/gemm.cpp.o.d"
+  "CMakeFiles/kernels.dir/stencil.cpp.o"
+  "CMakeFiles/kernels.dir/stencil.cpp.o.d"
+  "libkernels.a"
+  "libkernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

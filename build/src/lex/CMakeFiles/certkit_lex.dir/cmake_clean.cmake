@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certkit_lex.dir/lexer.cpp.o"
+  "CMakeFiles/certkit_lex.dir/lexer.cpp.o.d"
+  "CMakeFiles/certkit_lex.dir/token.cpp.o"
+  "CMakeFiles/certkit_lex.dir/token.cpp.o.d"
+  "libcertkit_lex.a"
+  "libcertkit_lex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certkit_lex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certkit_metrics.dir/architecture.cpp.o"
+  "CMakeFiles/certkit_metrics.dir/architecture.cpp.o.d"
+  "CMakeFiles/certkit_metrics.dir/function_metrics.cpp.o"
+  "CMakeFiles/certkit_metrics.dir/function_metrics.cpp.o.d"
+  "CMakeFiles/certkit_metrics.dir/halstead.cpp.o"
+  "CMakeFiles/certkit_metrics.dir/halstead.cpp.o.d"
+  "CMakeFiles/certkit_metrics.dir/module_metrics.cpp.o"
+  "CMakeFiles/certkit_metrics.dir/module_metrics.cpp.o.d"
+  "libcertkit_metrics.a"
+  "libcertkit_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certkit_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/basic_layers.cpp" "src/nn/CMakeFiles/nn.dir/basic_layers.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/basic_layers.cpp.o.d"
+  "/root/repo/src/nn/conv_layer.cpp" "src/nn/CMakeFiles/nn.dir/conv_layer.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/conv_layer.cpp.o.d"
+  "/root/repo/src/nn/detection.cpp" "src/nn/CMakeFiles/nn.dir/detection.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/detection.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/nms.cpp" "src/nn/CMakeFiles/nn.dir/nms.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/nms.cpp.o.d"
+  "/root/repo/src/nn/preprocess.cpp" "src/nn/CMakeFiles/nn.dir/preprocess.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/preprocess.cpp.o.d"
+  "/root/repo/src/nn/weights.cpp" "src/nn/CMakeFiles/nn.dir/weights.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/certkit_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/certkit_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

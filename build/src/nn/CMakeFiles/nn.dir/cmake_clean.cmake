@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn.dir/basic_layers.cpp.o"
+  "CMakeFiles/nn.dir/basic_layers.cpp.o.d"
+  "CMakeFiles/nn.dir/conv_layer.cpp.o"
+  "CMakeFiles/nn.dir/conv_layer.cpp.o.d"
+  "CMakeFiles/nn.dir/detection.cpp.o"
+  "CMakeFiles/nn.dir/detection.cpp.o.d"
+  "CMakeFiles/nn.dir/network.cpp.o"
+  "CMakeFiles/nn.dir/network.cpp.o.d"
+  "CMakeFiles/nn.dir/nms.cpp.o"
+  "CMakeFiles/nn.dir/nms.cpp.o.d"
+  "CMakeFiles/nn.dir/preprocess.cpp.o"
+  "CMakeFiles/nn.dir/preprocess.cpp.o.d"
+  "CMakeFiles/nn.dir/weights.cpp.o"
+  "CMakeFiles/nn.dir/weights.cpp.o.d"
+  "libnn.a"
+  "libnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

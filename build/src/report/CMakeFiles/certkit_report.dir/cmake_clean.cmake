@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certkit_report.dir/renderers.cpp.o"
+  "CMakeFiles/certkit_report.dir/renderers.cpp.o.d"
+  "CMakeFiles/certkit_report.dir/table.cpp.o"
+  "CMakeFiles/certkit_report.dir/table.cpp.o.d"
+  "libcertkit_report.a"
+  "libcertkit_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certkit_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

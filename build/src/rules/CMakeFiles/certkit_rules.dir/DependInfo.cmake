@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/assessor.cpp" "src/rules/CMakeFiles/certkit_rules.dir/assessor.cpp.o" "gcc" "src/rules/CMakeFiles/certkit_rules.dir/assessor.cpp.o.d"
+  "/root/repo/src/rules/codebase_loader.cpp" "src/rules/CMakeFiles/certkit_rules.dir/codebase_loader.cpp.o" "gcc" "src/rules/CMakeFiles/certkit_rules.dir/codebase_loader.cpp.o.d"
+  "/root/repo/src/rules/coverage_assessor.cpp" "src/rules/CMakeFiles/certkit_rules.dir/coverage_assessor.cpp.o" "gcc" "src/rules/CMakeFiles/certkit_rules.dir/coverage_assessor.cpp.o.d"
+  "/root/repo/src/rules/defensive.cpp" "src/rules/CMakeFiles/certkit_rules.dir/defensive.cpp.o" "gcc" "src/rules/CMakeFiles/certkit_rules.dir/defensive.cpp.o.d"
+  "/root/repo/src/rules/error_handling.cpp" "src/rules/CMakeFiles/certkit_rules.dir/error_handling.cpp.o" "gcc" "src/rules/CMakeFiles/certkit_rules.dir/error_handling.cpp.o.d"
+  "/root/repo/src/rules/finding.cpp" "src/rules/CMakeFiles/certkit_rules.dir/finding.cpp.o" "gcc" "src/rules/CMakeFiles/certkit_rules.dir/finding.cpp.o.d"
+  "/root/repo/src/rules/iso26262.cpp" "src/rules/CMakeFiles/certkit_rules.dir/iso26262.cpp.o" "gcc" "src/rules/CMakeFiles/certkit_rules.dir/iso26262.cpp.o.d"
+  "/root/repo/src/rules/misra.cpp" "src/rules/CMakeFiles/certkit_rules.dir/misra.cpp.o" "gcc" "src/rules/CMakeFiles/certkit_rules.dir/misra.cpp.o.d"
+  "/root/repo/src/rules/style.cpp" "src/rules/CMakeFiles/certkit_rules.dir/style.cpp.o" "gcc" "src/rules/CMakeFiles/certkit_rules.dir/style.cpp.o.d"
+  "/root/repo/src/rules/traceability.cpp" "src/rules/CMakeFiles/certkit_rules.dir/traceability.cpp.o" "gcc" "src/rules/CMakeFiles/certkit_rules.dir/traceability.cpp.o.d"
+  "/root/repo/src/rules/unit_design.cpp" "src/rules/CMakeFiles/certkit_rules.dir/unit_design.cpp.o" "gcc" "src/rules/CMakeFiles/certkit_rules.dir/unit_design.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/certkit_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/certkit_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/certkit_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/certkit_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/certkit_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

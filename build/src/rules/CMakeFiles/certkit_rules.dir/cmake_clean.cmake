@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certkit_rules.dir/assessor.cpp.o"
+  "CMakeFiles/certkit_rules.dir/assessor.cpp.o.d"
+  "CMakeFiles/certkit_rules.dir/codebase_loader.cpp.o"
+  "CMakeFiles/certkit_rules.dir/codebase_loader.cpp.o.d"
+  "CMakeFiles/certkit_rules.dir/coverage_assessor.cpp.o"
+  "CMakeFiles/certkit_rules.dir/coverage_assessor.cpp.o.d"
+  "CMakeFiles/certkit_rules.dir/defensive.cpp.o"
+  "CMakeFiles/certkit_rules.dir/defensive.cpp.o.d"
+  "CMakeFiles/certkit_rules.dir/error_handling.cpp.o"
+  "CMakeFiles/certkit_rules.dir/error_handling.cpp.o.d"
+  "CMakeFiles/certkit_rules.dir/finding.cpp.o"
+  "CMakeFiles/certkit_rules.dir/finding.cpp.o.d"
+  "CMakeFiles/certkit_rules.dir/iso26262.cpp.o"
+  "CMakeFiles/certkit_rules.dir/iso26262.cpp.o.d"
+  "CMakeFiles/certkit_rules.dir/misra.cpp.o"
+  "CMakeFiles/certkit_rules.dir/misra.cpp.o.d"
+  "CMakeFiles/certkit_rules.dir/style.cpp.o"
+  "CMakeFiles/certkit_rules.dir/style.cpp.o.d"
+  "CMakeFiles/certkit_rules.dir/traceability.cpp.o"
+  "CMakeFiles/certkit_rules.dir/traceability.cpp.o.d"
+  "CMakeFiles/certkit_rules.dir/unit_design.cpp.o"
+  "CMakeFiles/certkit_rules.dir/unit_design.cpp.o.d"
+  "libcertkit_rules.a"
+  "libcertkit_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certkit_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certkit_support.dir/check.cpp.o"
+  "CMakeFiles/certkit_support.dir/check.cpp.o.d"
+  "CMakeFiles/certkit_support.dir/flags.cpp.o"
+  "CMakeFiles/certkit_support.dir/flags.cpp.o.d"
+  "CMakeFiles/certkit_support.dir/io.cpp.o"
+  "CMakeFiles/certkit_support.dir/io.cpp.o.d"
+  "CMakeFiles/certkit_support.dir/rng.cpp.o"
+  "CMakeFiles/certkit_support.dir/rng.cpp.o.d"
+  "CMakeFiles/certkit_support.dir/status.cpp.o"
+  "CMakeFiles/certkit_support.dir/status.cpp.o.d"
+  "CMakeFiles/certkit_support.dir/strings.cpp.o"
+  "CMakeFiles/certkit_support.dir/strings.cpp.o.d"
+  "libcertkit_support.a"
+  "libcertkit_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certkit_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

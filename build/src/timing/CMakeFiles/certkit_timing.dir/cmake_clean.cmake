@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certkit_timing.dir/timing.cpp.o"
+  "CMakeFiles/certkit_timing.dir/timing.cpp.o.d"
+  "libcertkit_timing.a"
+  "libcertkit_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certkit_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

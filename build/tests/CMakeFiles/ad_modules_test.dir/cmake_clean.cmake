@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_modules_test.dir/ad/modules_test.cpp.o"
+  "CMakeFiles/ad_modules_test.dir/ad/modules_test.cpp.o.d"
+  "ad_modules_test"
+  "ad_modules_test.pdb"
+  "ad_modules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_modules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

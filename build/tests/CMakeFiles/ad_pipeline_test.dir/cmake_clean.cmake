@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_pipeline_test.dir/ad/pipeline_test.cpp.o"
+  "CMakeFiles/ad_pipeline_test.dir/ad/pipeline_test.cpp.o.d"
+  "ad_pipeline_test"
+  "ad_pipeline_test.pdb"
+  "ad_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ad/behavior_test.cpp" "tests/CMakeFiles/behavior_test.dir/ad/behavior_test.cpp.o" "gcc" "tests/CMakeFiles/behavior_test.dir/ad/behavior_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ad/CMakeFiles/adpilot.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/certkit_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/certkit_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/certkit_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

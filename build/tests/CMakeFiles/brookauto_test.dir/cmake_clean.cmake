@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brookauto_test.dir/gpusim/brookauto_test.cpp.o"
+  "CMakeFiles/brookauto_test.dir/gpusim/brookauto_test.cpp.o.d"
+  "brookauto_test"
+  "brookauto_test.pdb"
+  "brookauto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brookauto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

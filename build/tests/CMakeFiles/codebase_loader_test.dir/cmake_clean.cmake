@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codebase_loader_test.dir/rules/codebase_loader_test.cpp.o"
+  "CMakeFiles/codebase_loader_test.dir/rules/codebase_loader_test.cpp.o.d"
+  "codebase_loader_test"
+  "codebase_loader_test.pdb"
+  "codebase_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codebase_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_generator_test.dir/corpus/generator_test.cpp.o"
+  "CMakeFiles/corpus_generator_test.dir/corpus/generator_test.cpp.o.d"
+  "corpus_generator_test"
+  "corpus_generator_test.pdb"
+  "corpus_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

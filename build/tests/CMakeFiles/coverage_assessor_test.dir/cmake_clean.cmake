@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_assessor_test.dir/rules/coverage_assessor_test.cpp.o"
+  "CMakeFiles/coverage_assessor_test.dir/rules/coverage_assessor_test.cpp.o.d"
+  "coverage_assessor_test"
+  "coverage_assessor_test.pdb"
+  "coverage_assessor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_assessor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_metrics_test.dir/metrics/function_metrics_test.cpp.o"
+  "CMakeFiles/function_metrics_test.dir/metrics/function_metrics_test.cpp.o.d"
+  "function_metrics_test"
+  "function_metrics_test.pdb"
+  "function_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

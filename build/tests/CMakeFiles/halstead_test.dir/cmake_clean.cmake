@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halstead_test.dir/metrics/halstead_test.cpp.o"
+  "CMakeFiles/halstead_test.dir/metrics/halstead_test.cpp.o.d"
+  "halstead_test"
+  "halstead_test.pdb"
+  "halstead_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halstead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hungarian_property_test.dir/ad/hungarian_property_test.cpp.o"
+  "CMakeFiles/hungarian_property_test.dir/ad/hungarian_property_test.cpp.o.d"
+  "hungarian_property_test"
+  "hungarian_property_test.pdb"
+  "hungarian_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hungarian_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iso26262_test.dir/rules/iso26262_test.cpp.o"
+  "CMakeFiles/iso26262_test.dir/rules/iso26262_test.cpp.o.d"
+  "iso26262_test"
+  "iso26262_test.pdb"
+  "iso26262_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iso26262_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localization_property_test.dir/ad/localization_property_test.cpp.o"
+  "CMakeFiles/localization_property_test.dir/ad/localization_property_test.cpp.o.d"
+  "localization_property_test"
+  "localization_property_test.pdb"
+  "localization_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localization_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

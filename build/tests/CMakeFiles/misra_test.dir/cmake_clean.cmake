@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misra_test.dir/rules/misra_test.cpp.o"
+  "CMakeFiles/misra_test.dir/rules/misra_test.cpp.o.d"
+  "misra_test"
+  "misra_test.pdb"
+  "misra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ast/parser_fuzz_test.cpp" "tests/CMakeFiles/parser_fuzz_test.dir/ast/parser_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/parser_fuzz_test.dir/ast/parser_fuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/certkit_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/certkit_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/certkit_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/certkit_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/certkit_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/certkit_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/certkit_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/style_defensive_test.dir/rules/style_defensive_test.cpp.o"
+  "CMakeFiles/style_defensive_test.dir/rules/style_defensive_test.cpp.o.d"
+  "style_defensive_test"
+  "style_defensive_test.pdb"
+  "style_defensive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/style_defensive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traceability_test.dir/rules/traceability_test.cpp.o"
+  "CMakeFiles/traceability_test.dir/rules/traceability_test.cpp.o.d"
+  "traceability_test"
+  "traceability_test.pdb"
+  "traceability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traceability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_design_test.dir/rules/unit_design_test.cpp.o"
+  "CMakeFiles/unit_design_test.dir/rules/unit_design_test.cpp.o.d"
+  "unit_design_test"
+  "unit_design_test.pdb"
+  "unit_design_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

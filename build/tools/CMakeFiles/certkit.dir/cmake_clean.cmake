@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certkit.dir/certkit_cli.cpp.o"
+  "CMakeFiles/certkit.dir/certkit_cli.cpp.o.d"
+  "certkit"
+  "certkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
