@@ -1,0 +1,125 @@
+// Experiment — AnalysisDriver thread scaling over the Apollo-like corpus.
+//
+// Runs the parallel single-pass front end at --jobs 1/2/4/8 and reports, as
+// JSON on stdout: wall time (median of 3), files/sec, and the measured
+// speedup over 1 job. Because wall-clock speedup is bounded by the physical
+// core count of the host (this repository's reference container has a single
+// core — the same reason gpusim keeps a simulated device clock, see
+// DESIGN.md), the report also derives `balance_speedup`: each file's serial
+// analysis cost is measured once, the costs are greedily partitioned into N
+// bins (longest-processing-time first), and sum/max-bin gives the
+// critical-path speedup the driver's map phase achieves with N workers given
+// perfect cores. On a multi-core host measured_speedup approaches it.
+//
+//   $ ./driver_scaling            # JSON to stdout
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "corpus/analyze.h"
+#include "corpus/generator.h"
+#include "driver/analysis_driver.h"
+#include "support/check.h"
+
+namespace {
+
+using certkit::driver::AnalysisDriver;
+using certkit::driver::DriverOptions;
+using certkit::driver::SourceInput;
+
+double Seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double MedianOf3(const std::function<void()>& fn) {
+  double t[3];
+  for (double& x : t) x = Seconds(fn);
+  std::sort(t, t + 3);
+  return t[1];
+}
+
+// Longest-processing-time-first partition of `costs` into `bins`; returns
+// total-work / heaviest-bin — the speedup an ideal N-core schedule of the
+// per-file map phase would reach.
+double BalanceSpeedup(std::vector<double> costs, int bins) {
+  if (costs.empty() || bins <= 1) return 1.0;
+  std::sort(costs.begin(), costs.end(), std::greater<double>());
+  std::vector<double> load(static_cast<std::size_t>(bins), 0.0);
+  double total = 0.0;
+  for (const double c : costs) {
+    *std::min_element(load.begin(), load.end()) += c;
+    total += c;
+  }
+  const double heaviest = *std::max_element(load.begin(), load.end());
+  return heaviest > 0.0 ? total / heaviest : 1.0;
+}
+
+}  // namespace
+
+int main() {
+  const auto corpus = certkit::corpus::GenerateCorpus(
+      certkit::corpus::ApolloLikeSpec(), benchutil::kCorpusSeed);
+  const auto inputs = certkit::corpus::CorpusSourceInputs(corpus);
+
+  // Per-file serial cost, measured once (driver with one worker, one file).
+  std::vector<double> file_costs;
+  file_costs.reserve(inputs.size());
+  {
+    DriverOptions options;
+    options.jobs = 1;
+    AnalysisDriver driver(options);
+    for (const auto& input : inputs) {
+      file_costs.push_back(Seconds([&] {
+        auto analyzed = driver.AnalyzeSources({input});
+        CERTKIT_CHECK(analyzed.ok());
+      }));
+    }
+  }
+
+  const int kJobs[] = {1, 2, 4, 8};
+  double base_seconds = 0.0;
+  std::string runs;
+  for (const int jobs : kJobs) {
+    DriverOptions options;
+    options.jobs = jobs;
+    AnalysisDriver driver(options);
+    const double seconds = MedianOf3([&] {
+      auto analyzed = driver.AnalyzeSources(inputs);
+      CERTKIT_CHECK(analyzed.ok());
+      CERTKIT_CHECK(analyzed.value().files.size() == inputs.size());
+    });
+    if (jobs == 1) base_seconds = seconds;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n    {\"jobs\": %d, \"seconds\": %.4f, "
+                  "\"files_per_sec\": %.1f, \"measured_speedup\": %.2f, "
+                  "\"balance_speedup\": %.2f}",
+                  runs.empty() ? "" : ",", jobs, seconds,
+                  seconds > 0.0 ? inputs.size() / seconds : 0.0,
+                  seconds > 0.0 ? base_seconds / seconds : 0.0,
+                  BalanceSpeedup(file_costs, jobs));
+    runs += buf;
+  }
+
+  std::printf(
+      "{\n"
+      "  \"benchmark\": \"driver_scaling\",\n"
+      "  \"files\": %zu,\n"
+      "  \"hardware_concurrency\": %u,\n"
+      "  \"speedup_note\": \"measured_speedup is wall-clock and bounded by "
+      "the physical cores of this host; balance_speedup is the "
+      "critical-path speedup of the per-file map phase from measured "
+      "per-file costs (LPT partition)\",\n"
+      "  \"runs\": [%s\n  ]\n"
+      "}\n",
+      inputs.size(), std::thread::hardware_concurrency(), runs.c_str());
+  return 0;
+}

@@ -14,16 +14,19 @@
 namespace {
 
 void BM_AnalyzeCorpusComplexity(benchmark::State& state) {
-  // Times the full pipeline: generate + lex + parse + aggregate one module.
+  // Times the full single-pass pipeline over one module: generate, then the
+  // driver's per-file map (lex + parse + metrics + rule passes) and ordered
+  // reduce.
   const auto spec = certkit::corpus::ApolloLikeSpec();
   const auto& module_spec = spec[static_cast<std::size_t>(state.range(0))];
   for (auto _ : state) {
     auto files = certkit::corpus::GenerateModule(module_spec,
                                                  benchutil::kCorpusSeed);
     certkit::corpus::GeneratedModule gm{module_spec, std::move(files)};
-    auto analyzed = certkit::corpus::AnalyzeGeneratedModule(gm);
+    auto analyzed = certkit::corpus::AnalyzeGeneratedCorpus({gm});
     CERTKIT_CHECK(analyzed.ok());
-    benchmark::DoNotOptimize(analyzed.value().metrics.function_count);
+    benchmark::DoNotOptimize(
+        analyzed.value().modules.front().metrics.function_count);
   }
   state.SetLabel(module_spec.name);
 }

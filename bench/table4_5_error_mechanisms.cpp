@@ -11,12 +11,34 @@
 //      emergency-stop degradation path.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <string>
+
 #include "bench/bench_util.h"
+#include "driver/codebase_loader.h"
 #include "report/renderers.h"
-#include "rules/codebase_loader.h"
 #include "rules/error_handling.h"
+#include "support/flags.h"
 
 namespace {
+
+// Locates this repository's AD stack. Honors --root (path to the source
+// tree to assess); otherwise tries the working directory, then the repo
+// layout relative to the benchmark binary (build/bench/<exe> -> ../../src/ad)
+// so the bench also works when not launched from the repository root.
+std::string ResolveOwnStackRoot(const certkit::support::FlagParser& flags,
+                                const char* argv0) {
+  if (const auto root = flags.Get("root"); root.has_value()) return *root;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_directory("src/ad", ec)) return "src/ad";
+  const fs::path relative_to_exe =
+      fs::path(argv0).parent_path() / ".." / ".." / "src" / "ad";
+  if (fs::is_directory(relative_to_exe, ec)) {
+    return relative_to_exe.lexically_normal().string();
+  }
+  return "src/ad";
+}
 
 certkit::rules::ErrorHandlingStats CorpusStats() {
   std::vector<certkit::rules::ErrorHandlingStats> parts;
@@ -67,6 +89,7 @@ void PrintSubject(const char* label,
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  const certkit::support::FlagParser flags(argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
@@ -75,20 +98,23 @@ int main(int argc, char** argv) {
       CorpusStats());
 
   // Subject 2: this repository's AD stack, if its sources are reachable.
-  auto own = certkit::rules::LoadCodebase("src/ad");
-  if (own.ok() && !own.value().modules.empty()) {
+  const std::string own_root = ResolveOwnStackRoot(flags, argv[0]);
+  auto own = certkit::driver::LoadCodebase(own_root);
+  if (own.ok() && !own.value().modules().empty()) {
     std::vector<certkit::rules::ErrorHandlingStats> parts;
-    for (const auto& mod : own.value().modules) {
+    for (const auto& mod : own.value().modules()) {
       for (const auto& file : mod.files) {
         parts.push_back(certkit::rules::AnalyzeErrorHandling(file));
       }
     }
-    PrintSubject("Tables 4 & 5 — subject 2: this repository's AD stack "
-                 "(src/ad)",
+    PrintSubject(("Tables 4 & 5 — subject 2: this repository's AD stack (" +
+                  own_root + ")")
+                     .c_str(),
                  certkit::rules::MergeErrorHandling(parts));
   } else {
-    std::printf("(src/ad not reachable from the working directory — "
-                "run from the repository root to assess the AD stack)\n");
+    std::printf("(%s not reachable — pass --root <dir> or run from the "
+                "repository root to assess the AD stack)\n",
+                own_root.c_str());
   }
   std::printf(
       "Paper context: Observation 6 — AD frameworks do not implement\n"

@@ -4,93 +4,53 @@
 //
 //   $ ./assess_codebase src/ad        # assess the adpilot stack
 //   $ ./assess_codebase src           # assess everything under src/
+//   $ ./assess_codebase src --jobs 4  # pin the analysis worker count
 //
 // Every directory directly under the given root becomes one "module"
-// (component); files at the root itself form the module "<root>".
+// (component); files at the root itself form the module "<root>". All the
+// reading/parsing/metric work happens inside driver::AnalysisDriver — this
+// example only renders the precomputed artifacts.
 #include <cstdio>
-#include <filesystem>
-#include <map>
 #include <string>
-#include <vector>
 
-#include "ast/parser.h"
-#include "metrics/module_metrics.h"
+#include "driver/analysis_driver.h"
 #include "report/renderers.h"
 #include "rules/assessor.h"
-#include "rules/traceability.h"
-#include "support/io.h"
-
-namespace fs = std::filesystem;
+#include "support/flags.h"
 
 int main(int argc, char** argv) {
-  const std::string root = argc > 1 ? argv[1] : "src/ad";
-  auto files = certkit::support::ListFiles(
-      root, {".cc", ".cpp", ".cxx", ".h", ".hpp", ".cu", ".cuh"});
-  if (!files.ok()) {
-    std::printf("cannot list '%s': %s\nusage: %s <source-dir>\n",
-                root.c_str(), files.status().ToString().c_str(), argv[0]);
+  certkit::support::FlagParser flags(argc, argv);
+  const std::string root =
+      flags.positional().empty() ? "src/ad" : flags.positional()[0];
+
+  certkit::driver::DriverOptions options;
+  options.jobs = static_cast<int>(flags.GetInt("jobs", 0).value_or(0));
+  certkit::driver::AnalysisDriver driver(options);
+  auto analyzed = driver.AnalyzeTree(root);
+  if (!analyzed.ok()) {
+    std::printf("cannot analyze '%s': %s\nusage: %s <source-dir> [--jobs N]\n",
+                root.c_str(), analyzed.status().ToString().c_str(), argv[0]);
     return 1;
   }
-  if (files.value().empty()) {
+  const certkit::driver::CodebaseAnalysis& cb = analyzed.value();
+  for (const std::string& path : cb.skipped) {
+    std::printf("  skipping %s: unreadable or unparseable\n", path.c_str());
+  }
+  if (cb.files.empty()) {
     std::printf("no C/C++/CUDA sources under '%s'\n", root.c_str());
     return 1;
   }
-
-  // Group files into modules by first-level subdirectory.
-  std::map<std::string, std::vector<std::string>> by_module;
-  for (const std::string& path : files.value()) {
-    const fs::path rel = fs::relative(path, root);
-    const std::string module =
-        rel.has_parent_path() ? rel.begin()->string()
-                              : fs::path(root).filename().string();
-    by_module[module].push_back(path);
-  }
-
-  std::vector<certkit::metrics::ModuleAnalysis> modules;
-  std::vector<certkit::rules::RawSource> raw_sources;
-  std::vector<certkit::rules::TraceReport> traces;
-  std::size_t parsed_files = 0;
-  certkit::ast::ParseOptions parse_opts;
-  parse_opts.lex_options.keep_comments = true;  // requirement traceability
-  for (auto& [module, paths] : by_module) {
-    std::vector<certkit::ast::SourceFileModel> parsed;
-    for (const std::string& path : paths) {
-      auto content = certkit::support::ReadFile(path);
-      if (!content.ok()) {
-        std::printf("  skipping %s: %s\n", path.c_str(),
-                    content.status().ToString().c_str());
-        continue;
-      }
-      auto model =
-          certkit::ast::ParseSource(path, content.value(), parse_opts);
-      if (!model.ok()) {
-        std::printf("  skipping %s: %s\n", path.c_str(),
-                    model.status().ToString().c_str());
-        continue;
-      }
-      raw_sources.push_back(
-          certkit::rules::RawSource{path, std::move(content).value()});
-      traces.push_back(
-          certkit::rules::AnalyzeTraceability(model.value()));
-      parsed.push_back(std::move(model).value());
-      ++parsed_files;
-    }
-    if (!parsed.empty()) {
-      modules.push_back(
-          certkit::metrics::AnalyzeModule(module, std::move(parsed)));
-    }
-  }
   std::printf("Assessing '%s': %zu files across %zu modules\n\n",
-              root.c_str(), parsed_files, modules.size());
+              root.c_str(), cb.files.size(), cb.modules.size());
 
   // Figure-3-style module table.
-  std::vector<certkit::metrics::ModuleMetrics> metric_rows;
-  for (const auto& m : modules) metric_rows.push_back(m.metrics);
-  std::printf("%s\n",
-              certkit::report::RenderModuleComplexity(metric_rows).c_str());
+  std::printf("%s\n", certkit::report::RenderModuleComplexity(
+                          cb.ModuleMetricsRows())
+                          .c_str());
 
-  // The three ISO 26262-6 technique tables.
-  certkit::rules::Assessor assessor(&modules, &raw_sources);
+  // The three ISO 26262-6 technique tables, from the precomputed per-file
+  // and per-module artifacts.
+  certkit::rules::Assessor assessor(cb.MakeAssessorInputs());
   std::printf("%s\n", certkit::report::RenderTechniqueAssessment(
                           certkit::rules::CodingGuidelinesTable(),
                           assessor.AssessCodingGuidelines())
@@ -121,8 +81,7 @@ int main(int argc, char** argv) {
   };
   // Requirement traceability (ISO 26262 life-cycle: link requirements to
   // the code implementing them).
-  const certkit::rules::TraceReport trace =
-      certkit::rules::MergeTraceReports(traces);
+  const certkit::rules::TraceReport trace = cb.MergedTrace();
   std::printf("=== requirement traceability ===\n");
   std::printf("  requirement tags    : %zu distinct\n",
               trace.Requirements().size());

@@ -1,14 +1,11 @@
-// certkit quickstart: parse a C++/CUDA snippet, compute metrics, and run the
-// guideline checkers — the 60-second tour of the public API.
+// certkit quickstart: analyze a C++/CUDA snippet through the shared
+// AnalysisDriver and read the precomputed artifacts — the 60-second tour of
+// the public API.
 //
 //   $ ./quickstart
 #include <cstdio>
 
-#include "ast/parser.h"
-#include "metrics/function_metrics.h"
-#include "metrics/module_metrics.h"
-#include "rules/misra.h"
-#include "rules/style.h"
+#include "driver/analysis_driver.h"
 #include "rules/unit_design.h"
 
 int main() {
@@ -39,12 +36,20 @@ fail:
 }
 )cpp";
 
-  auto parsed = certkit::ast::ParseSource("snippet.cu", source);
-  if (!parsed.ok()) {
-    std::printf("parse failed: %s\n", parsed.status().ToString().c_str());
+  // One driver call replaces the parse → metrics → rule-checker sequence:
+  // every artifact below comes out of this single analysis pass.
+  certkit::driver::DriverOptions options;
+  options.default_module = "snippet";
+  certkit::driver::AnalysisDriver driver(options);
+  auto analyzed = driver.AnalyzeSources({{"snippet.cu", source}});
+  if (!analyzed.ok() || analyzed.value().files.empty()) {
+    std::printf("analysis failed\n");
     return 1;
   }
-  const certkit::ast::SourceFileModel& model = parsed.value();
+  const certkit::driver::CodebaseAnalysis& cb = analyzed.value();
+  const certkit::driver::FileAnalysis& fa = cb.files[0];
+  const certkit::ast::SourceFileModel& model =
+      cb.modules[fa.module_index].files[fa.file_index];
 
   std::printf("=== structure ===\n");
   std::printf("functions: %zu, globals: %zu, casts: %zu, includes: %zu\n\n",
@@ -52,26 +57,22 @@ fail:
               model.casts.size(), model.includes.size());
 
   std::printf("=== per-function metrics (Lizard rule) ===\n");
-  for (const auto& fn : model.functions) {
-    const auto m = certkit::metrics::ComputeFunctionMetrics(model, fn);
+  for (std::size_t i = 0; i < fa.functions.size(); ++i) {
+    const auto& m = fa.functions[i];
     std::printf("  %-18s CC=%-3d NLOC=%-3d params=%d returns=%d %s\n",
                 m.qualified_name.c_str(), m.cyclomatic_complexity, m.nloc,
                 m.param_count, m.return_count,
-                fn.is_cuda_kernel ? "[CUDA kernel]" : "");
+                model.functions[i].is_cuda_kernel ? "[CUDA kernel]" : "");
   }
 
   std::printf("\n=== MISRA-subset findings ===\n");
-  const auto misra = certkit::rules::CheckMisra(model);
-  for (const auto& f : misra.findings) {
+  for (const auto& f : fa.misra.findings) {
     std::printf("  %s:%d [%s] %s\n", f.file.c_str(), f.line,
                 f.rule_id.c_str(), f.message.c_str());
   }
 
   std::printf("\n=== unit-design statistics (ISO 26262-6 Table 8) ===\n");
-  std::vector<certkit::ast::SourceFileModel> files;
-  files.push_back(model);  // copy: the module takes ownership
-  auto module = certkit::metrics::AnalyzeModule("snippet", std::move(files));
-  const auto unit = certkit::rules::AnalyzeUnitDesign(module);
+  const auto& unit = cb.unit_design[fa.module_index];
   std::printf("  multi-exit functions : %lld of %lld\n",
               static_cast<long long>(unit.stats.functions_multi_exit),
               static_cast<long long>(unit.stats.functions_total));

@@ -16,18 +16,31 @@ support::Result<metrics::ModuleAnalysis> AnalyzeGeneratedModule(
   return metrics::AnalyzeModule(module.spec.name, std::move(files));
 }
 
-support::Result<CorpusAnalysis> AnalyzeGeneratedCorpus(
+std::vector<driver::SourceInput> CorpusSourceInputs(
     const std::vector<GeneratedModule>& corpus) {
-  CorpusAnalysis out;
+  std::vector<driver::SourceInput> inputs;
   for (const auto& mod : corpus) {
-    auto analyzed = AnalyzeGeneratedModule(mod);
-    if (!analyzed.ok()) return analyzed.status();
-    out.modules.push_back(std::move(analyzed).value());
     for (const auto& f : mod.files) {
-      out.raw_sources.push_back(rules::RawSource{f.path, f.content});
+      inputs.push_back(driver::SourceInput{f.path, f.content});
     }
   }
-  return out;
+  return inputs;
+}
+
+support::Result<CorpusAnalysis> AnalyzeGeneratedCorpus(
+    const std::vector<GeneratedModule>& corpus, int jobs) {
+  driver::DriverOptions opts;
+  opts.jobs = jobs;
+  driver::AnalysisDriver d(opts);
+  auto analyzed = d.AnalyzeSources(CorpusSourceInputs(corpus));
+  if (!analyzed.ok()) return analyzed.status();
+  // A generated file that fails to parse is a corpus bug, not an input
+  // problem — surface it instead of silently skipping.
+  if (!analyzed.value().skipped.empty()) {
+    return support::InvalidArgumentError("generated file failed to parse: " +
+                                         analyzed.value().skipped.front());
+  }
+  return analyzed;
 }
 
 }  // namespace certkit::corpus

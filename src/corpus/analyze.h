@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "corpus/generator.h"
+#include "driver/analysis_driver.h"
 #include "metrics/module_metrics.h"
 #include "rules/assessor.h"
 #include "support/status.h"
@@ -15,12 +16,15 @@ namespace certkit::corpus {
 support::Result<metrics::ModuleAnalysis> AnalyzeGeneratedModule(
     const GeneratedModule& module);
 
-// Parses the whole corpus. Also returns the raw sources (for style checks).
-struct CorpusAnalysis {
-  std::vector<metrics::ModuleAnalysis> modules;
-  std::vector<rules::RawSource> raw_sources;
-};
+// Analyzes the whole corpus through the shared AnalysisDriver — one
+// FileAnalysis per generated file, merged in stable path order. `jobs` <= 0
+// selects the hardware concurrency.
+using CorpusAnalysis = driver::CodebaseAnalysis;
 support::Result<CorpusAnalysis> AnalyzeGeneratedCorpus(
+    const std::vector<GeneratedModule>& corpus, int jobs = 0);
+
+// The generated corpus flattened into driver inputs (sorted by path).
+std::vector<driver::SourceInput> CorpusSourceInputs(
     const std::vector<GeneratedModule>& corpus);
 
 }  // namespace certkit::corpus

@@ -1,0 +1,209 @@
+#include "driver/analysis_driver.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <utility>
+
+#include "rules/defensive.h"
+#include "support/io.h"
+#include "support/strings.h"
+#include "support/thread_pool.h"
+
+namespace certkit::driver {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsHeaderPath(const std::string& path) {
+  return support::EndsWith(path, ".h") || support::EndsWith(path, ".hpp") ||
+         support::EndsWith(path, ".cuh");
+}
+
+// What one worker produces for one file. The model travels separately from
+// the public FileAnalysis because it is moved into the owning ModuleAnalysis
+// at merge time.
+struct WorkerResult {
+  bool ok = false;
+  FileAnalysis analysis;
+  ast::SourceFileModel model;
+};
+
+// The per-file map step: parse + every per-file pass, computed exactly once.
+WorkerResult AnalyzeOneFile(std::string path, std::string module,
+                            std::string text, const DriverOptions& options) {
+  WorkerResult out;
+  ast::ParseOptions parse_opts;
+  parse_opts.lex_options.keep_comments = options.keep_comments;
+  auto model = ast::ParseSource(path, text, parse_opts);
+  if (!model.ok()) {
+    out.analysis.path = std::move(path);
+    return out;  // ok == false -> skipped
+  }
+  out.model = std::move(model).value();
+
+  FileAnalysis& fa = out.analysis;
+  fa.path = std::move(path);
+  fa.module = std::move(module);
+  fa.functions = metrics::ComputeFileFunctionMetrics(out.model);
+  fa.trace = rules::AnalyzeTraceability(out.model);
+  fa.misra = rules::CheckMisra(out.model, options.misra);
+  rules::StyleOptions style_opts;
+  style_opts.max_line_length = options.style_max_line_length;
+  style_opts.is_header = IsHeaderPath(fa.path);
+  fa.style = rules::CheckStyle(out.model, text, style_opts);
+  for (const auto& f : fa.style.report.findings) {
+    if (support::StartsWith(f.rule_id, "STYLE-") &&
+        support::Contains(f.rule_id, "NAME")) {
+      ++fa.naming_violations;
+    }
+  }
+  fa.naming_entities = static_cast<std::int64_t>(
+      out.model.types.size() + out.model.functions.size() +
+      out.model.globals.size() + out.model.macros.size());
+  fa.explicit_casts = static_cast<std::int64_t>(out.model.casts.size());
+  fa.text = std::move(text);
+  out.ok = true;
+  return out;
+}
+
+// The ordered reduce: folds per-file worker results (already in stable path
+// order) into the merged artifact, then runs the per-module phase on the
+// pool. Deterministic for any pool size: every output slot is indexed.
+CodebaseAnalysis MergeResults(std::vector<WorkerResult> results,
+                              support::ThreadPool& pool) {
+  CodebaseAnalysis out;
+
+  // Group by module key; std::map gives stable name order.
+  std::map<std::string, std::vector<std::size_t>> by_module;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok) {
+      out.skipped.push_back(results[i].analysis.path);
+      continue;
+    }
+    by_module[results[i].analysis.module].push_back(i);
+  }
+
+  for (auto& [module, indices] : by_module) {
+    const std::size_t module_index = out.modules.size();
+    std::vector<ast::SourceFileModel> models;
+    std::vector<std::vector<metrics::FunctionMetrics>> file_functions;
+    std::vector<std::size_t> file_ids;
+    models.reserve(indices.size());
+    file_functions.reserve(indices.size());
+    for (std::size_t file_index = 0; file_index < indices.size();
+         ++file_index) {
+      WorkerResult& r = results[indices[file_index]];
+      r.analysis.module_index = module_index;
+      r.analysis.file_index = file_index;
+      models.push_back(std::move(r.model));
+      // ModuleAnalysis::functions wants its own copy (it outlives reshuffles
+      // of `files`); FileAnalysis keeps the per-file view.
+      file_functions.push_back(r.analysis.functions);
+      file_ids.push_back(out.files.size());
+      out.files.push_back(std::move(r.analysis));
+    }
+    out.modules.push_back(metrics::MergeModule(module, std::move(models),
+                                               std::move(file_functions)));
+    out.files_by_module.push_back(std::move(file_ids));
+  }
+
+  // Per-module phase: unit design and defensive analysis, in parallel,
+  // stored by module index (stable regardless of scheduling).
+  out.unit_design.resize(out.modules.size());
+  out.defensive.resize(out.modules.size());
+  pool.ParallelFor(out.modules.size(), [&](std::size_t m) {
+    out.unit_design[m] = rules::AnalyzeUnitDesign(out.modules[m]);
+    out.defensive[m] = rules::AnalyzeDefensive(out.modules[m].files);
+  });
+  return out;
+}
+
+}  // namespace
+
+rules::AssessorInputs CodebaseAnalysis::MakeAssessorInputs() const {
+  rules::AssessorInputs in;
+  in.modules = &modules;
+  in.unit_design = unit_design;
+  for (std::size_t m = 0; m < modules.size(); ++m) {
+    in.total_functions += modules[m].metrics.function_count;
+    in.total_nloc += modules[m].metrics.nloc;
+    for (std::size_t id : files_by_module[m]) {
+      const FileAnalysis& fa = files[id];
+      in.total_casts += fa.explicit_casts;
+      in.misra_reports.push_back(fa.misra);
+      in.style_total.lines_checked += fa.style.stats.lines_checked;
+      in.style_total.violations += fa.style.stats.violations;
+      in.naming_total.lines_checked += fa.naming_entities;
+      in.naming_total.violations += fa.naming_violations;
+    }
+  }
+  for (const auto& dr : defensive) {
+    rules::MergeDefensive(dr, &in.defensive);
+  }
+  return in;
+}
+
+rules::TraceReport CodebaseAnalysis::MergedTrace() const {
+  std::vector<rules::TraceReport> reports;
+  reports.reserve(files.size());
+  for (const auto& fa : files) reports.push_back(fa.trace);
+  return rules::MergeTraceReports(reports);
+}
+
+std::vector<metrics::ModuleMetrics> CodebaseAnalysis::ModuleMetricsRows()
+    const {
+  std::vector<metrics::ModuleMetrics> rows;
+  rows.reserve(modules.size());
+  for (const auto& m : modules) rows.push_back(m.metrics);
+  return rows;
+}
+
+AnalysisDriver::AnalysisDriver(const DriverOptions& options)
+    : options_(options) {}
+
+support::Result<CodebaseAnalysis> AnalysisDriver::AnalyzeSources(
+    std::vector<SourceInput> sources) const {
+  std::sort(sources.begin(), sources.end(),
+            [](const SourceInput& a, const SourceInput& b) {
+              return a.path < b.path;
+            });
+  support::ThreadPool pool(support::ThreadPool::ResolveJobs(options_.jobs));
+  std::vector<WorkerResult> results(sources.size());
+  pool.ParallelFor(sources.size(), [&](std::size_t i) {
+    const fs::path p(sources[i].path);
+    const std::string module = p.has_parent_path()
+                                   ? p.begin()->string()
+                                   : options_.default_module;
+    results[i] = AnalyzeOneFile(sources[i].path, module,
+                                std::move(sources[i].content), options_);
+  });
+  return MergeResults(std::move(results), pool);
+}
+
+support::Result<CodebaseAnalysis> AnalysisDriver::AnalyzeTree(
+    const std::string& root) const {
+  auto files = support::ListFiles(root, options_.extensions);
+  if (!files.ok()) return files.status();
+  const std::vector<std::string>& paths = files.value();
+
+  support::ThreadPool pool(support::ThreadPool::ResolveJobs(options_.jobs));
+  std::vector<WorkerResult> results(paths.size());
+  pool.ParallelFor(paths.size(), [&](std::size_t i) {
+    const fs::path rel = fs::relative(paths[i], root);
+    const std::string module = rel.has_parent_path()
+                                   ? rel.begin()->string()
+                                   : fs::path(root).filename().string();
+    auto content = support::ReadFile(paths[i]);
+    if (!content.ok()) {
+      results[i].analysis.path = paths[i];  // ok == false -> skipped
+      return;
+    }
+    results[i] = AnalyzeOneFile(paths[i], module,
+                                std::move(content).value(), options_);
+  });
+  return MergeResults(std::move(results), pool);
+}
+
+}  // namespace certkit::driver

@@ -1,0 +1,26 @@
+#include "driver/codebase_loader.h"
+
+namespace certkit::driver {
+
+support::Result<Codebase> LoadCodebase(const std::string& root,
+                                       const LoadOptions& options) {
+  DriverOptions driver_opts;
+  driver_opts.extensions = options.extensions;
+  driver_opts.jobs = options.jobs;
+  AnalysisDriver driver(driver_opts);
+  auto analyzed = driver.AnalyzeTree(root);
+  if (!analyzed.ok()) return analyzed.status();
+
+  Codebase out;
+  out.analysis = std::move(analyzed).value();
+  out.skipped = out.analysis.skipped;
+  out.raw_sources.reserve(out.analysis.files.size());
+  out.traces.reserve(out.analysis.files.size());
+  for (const auto& fa : out.analysis.files) {
+    out.raw_sources.push_back(rules::RawSource{fa.path, fa.text});
+    out.traces.push_back(fa.trace);
+  }
+  return out;
+}
+
+}  // namespace certkit::driver

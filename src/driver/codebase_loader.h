@@ -1,0 +1,47 @@
+// certkit driver: loads a C/C++/CUDA source tree from disk into analyzable
+// form — a thin compatibility wrapper over AnalysisDriver for callers that
+// only want modules, raw text, and traces.
+#ifndef CERTKIT_DRIVER_CODEBASE_LOADER_H_
+#define CERTKIT_DRIVER_CODEBASE_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "driver/analysis_driver.h"
+#include "metrics/module_metrics.h"
+#include "rules/assessor.h"
+#include "rules/traceability.h"
+#include "support/status.h"
+
+namespace certkit::driver {
+
+struct Codebase {
+  std::vector<rules::RawSource> raw_sources;  // per file, path order
+  std::vector<rules::TraceReport> traces;     // per file, comments retained
+  std::vector<std::string> skipped;  // unreadable/unparseable paths
+
+  // The full artifact the Codebase view was extracted from.
+  CodebaseAnalysis analysis;
+
+  // One module per first-level subdirectory of the root (files directly at
+  // the root form a module named after the root itself).
+  const std::vector<metrics::ModuleAnalysis>& modules() const {
+    return analysis.modules;
+  }
+};
+
+struct LoadOptions {
+  std::vector<std::string> extensions = {".cc", ".cpp", ".cxx", ".h",
+                                         ".hpp",  ".cu",  ".cuh"};
+  int jobs = 0;  // <= 0: hardware concurrency
+};
+
+// Recursively loads and analyzes every matching file under `root` via
+// AnalysisDriver. NotFound if the directory does not exist; files that fail
+// to read or parse are recorded in `skipped`, not fatal.
+support::Result<Codebase> LoadCodebase(const std::string& root,
+                                       const LoadOptions& options = {});
+
+}  // namespace certkit::driver
+
+#endif  // CERTKIT_DRIVER_CODEBASE_LOADER_H_

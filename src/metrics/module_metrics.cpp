@@ -2,23 +2,37 @@
 
 #include <algorithm>
 
+#include "support/check.h"
+
 namespace certkit::metrics {
 
-ModuleAnalysis AnalyzeModule(std::string name,
-                             std::vector<ast::SourceFileModel> files) {
+std::vector<FunctionMetrics> ComputeFileFunctionMetrics(
+    const ast::SourceFileModel& file) {
+  std::vector<FunctionMetrics> out;
+  out.reserve(file.functions.size());
+  for (const auto& fn : file.functions) {
+    out.push_back(ComputeFunctionMetrics(file, fn));
+  }
+  return out;
+}
+
+ModuleAnalysis MergeModule(
+    std::string name, std::vector<ast::SourceFileModel> files,
+    std::vector<std::vector<FunctionMetrics>> file_functions) {
+  CERTKIT_CHECK(files.size() == file_functions.size());
   ModuleAnalysis out;
   out.name = name;
   out.metrics.name = std::move(name);
   out.files = std::move(files);
 
   std::int64_t cc_sum = 0;
-  for (const auto& file : out.files) {
+  for (std::size_t f = 0; f < out.files.size(); ++f) {
+    const auto& file = out.files[f];
     ++out.metrics.file_count;
     out.metrics.loc += file.lexed.lines.total;
     out.metrics.nloc += file.lexed.lines.code;
     out.metrics.comment_lines += file.lexed.lines.comment_only;
-    for (const auto& fn : file.functions) {
-      FunctionMetrics m = ComputeFunctionMetrics(file, fn);
+    for (auto& m : file_functions[f]) {
       ++out.metrics.function_count;
       cc_sum += m.cyclomatic_complexity;
       out.metrics.max_cc =
@@ -45,6 +59,17 @@ ModuleAnalysis AnalyzeModule(std::string name,
           ? static_cast<double>(cc_sum) / out.metrics.function_count
           : 0.0;
   return out;
+}
+
+ModuleAnalysis AnalyzeModule(std::string name,
+                             std::vector<ast::SourceFileModel> files) {
+  std::vector<std::vector<FunctionMetrics>> file_functions;
+  file_functions.reserve(files.size());
+  for (const auto& file : files) {
+    file_functions.push_back(ComputeFileFunctionMetrics(file));
+  }
+  return MergeModule(std::move(name), std::move(files),
+                     std::move(file_functions));
 }
 
 }  // namespace certkit::metrics

@@ -48,7 +48,22 @@ struct ModuleAnalysis {
   ModuleMetrics metrics;
 };
 
-// Aggregates `files` (already parsed) into a ModuleAnalysis.
+// Computes the per-function metrics of one parsed file, in declaration
+// order. This is the expensive per-file pass; AnalysisDriver runs it once
+// per file on a worker thread and merges with MergeModule.
+std::vector<FunctionMetrics> ComputeFileFunctionMetrics(
+    const ast::SourceFileModel& file);
+
+// Aggregates files whose function metrics are already computed (one inner
+// vector per file, in the same order as `files`) into a ModuleAnalysis.
+// Performs no per-function recomputation.
+ModuleAnalysis MergeModule(
+    std::string name, std::vector<ast::SourceFileModel> files,
+    std::vector<std::vector<FunctionMetrics>> file_functions);
+
+// Aggregates `files` (already parsed) into a ModuleAnalysis, computing the
+// per-file function metrics serially. Equivalent to ComputeFileFunctionMetrics
+// + MergeModule.
 ModuleAnalysis AnalyzeModule(std::string name,
                              std::vector<ast::SourceFileModel> files);
 

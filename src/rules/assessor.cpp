@@ -14,68 +14,84 @@ std::string Num(std::int64_t v) { return std::to_string(v); }
 
 }  // namespace
 
-Assessor::Assessor(const std::vector<metrics::ModuleAnalysis>* modules,
-                   const std::vector<RawSource>* raw_sources,
-                   const AssessorThresholds& thresholds)
-    : modules_(*modules), thresholds_(thresholds) {
+void AccumulateStyle(const StyleResult& result,
+                     const ast::SourceFileModel& file, StyleStats* style_total,
+                     StyleStats* naming_total) {
+  style_total->lines_checked += result.stats.lines_checked;
+  style_total->violations += result.stats.violations;
+  for (const auto& f : result.report.findings) {
+    if (support::StartsWith(f.rule_id, "STYLE-") &&
+        support::Contains(f.rule_id, "NAME")) {
+      ++naming_total->violations;
+    }
+  }
+  naming_total->lines_checked += static_cast<std::int64_t>(
+      file.types.size() + file.functions.size() + file.globals.size() +
+      file.macros.size());
+}
+
+void MergeDefensive(DefensiveResult part, DefensiveResult* total) {
+  total->stats.functions_with_params += part.stats.functions_with_params;
+  total->stats.functions_validating_inputs +=
+      part.stats.functions_validating_inputs;
+  total->stats.call_sites_checked += part.stats.call_sites_checked;
+  total->stats.discarded_results += part.stats.discarded_results;
+  total->stats.assertion_sites += part.stats.assertion_sites;
+  for (auto& f : part.report.findings) {
+    total->report.findings.push_back(std::move(f));
+  }
+  total->report.entities_checked += part.report.entities_checked;
+}
+
+AssessorInputs ComputeAssessorInputs(
+    const std::vector<metrics::ModuleAnalysis>& modules,
+    const std::vector<RawSource>* raw_sources) {
+  AssessorInputs in;
+  in.modules = &modules;
+
   std::unordered_map<std::string, const std::string*> raw_by_path;
   if (raw_sources != nullptr) {
     for (const auto& rs : *raw_sources) raw_by_path[rs.path] = &rs.text;
   }
 
-  std::vector<ast::SourceFileModel const*> all_files;
-  for (const auto& mod : modules_) {
-    unit_design_.push_back(AnalyzeUnitDesign(mod));
-    total_functions_ += mod.metrics.function_count;
-    total_nloc_ += mod.metrics.nloc;
+  for (const auto& mod : modules) {
+    in.unit_design.push_back(AnalyzeUnitDesign(mod));
+    in.total_functions += mod.metrics.function_count;
+    in.total_nloc += mod.metrics.nloc;
     for (const auto& file : mod.files) {
-      all_files.push_back(&file);
-      total_casts_ += static_cast<std::int64_t>(file.casts.size());
-      misra_reports_.push_back(CheckMisra(file));
+      in.total_casts += static_cast<std::int64_t>(file.casts.size());
+      in.misra_reports.push_back(CheckMisra(file));
       auto it = raw_by_path.find(file.path);
       if (it != raw_by_path.end()) {
         StyleResult sr = CheckStyle(file, *it->second);
-        style_total_.lines_checked += sr.stats.lines_checked;
-        style_total_.violations += sr.stats.violations;
-        // Naming-only subtotal for Table 1 row 8.
-        for (const auto& f : sr.report.findings) {
-          if (support::StartsWith(f.rule_id, "STYLE-") &&
-              (support::Contains(f.rule_id, "NAME"))) {
-            ++naming_total_.violations;
-          }
-        }
-        naming_total_.lines_checked +=
-            static_cast<std::int64_t>(file.types.size() +
-                                      file.functions.size() +
-                                      file.globals.size() +
-                                      file.macros.size());
+        AccumulateStyle(sr, file, &in.style_total, &in.naming_total);
       }
     }
   }
   // Defensive analysis groups by module (cross-module name resolution adds
   // little and copying file models is heavy).
-  for (const auto& mod : modules_) {
-    DefensiveResult dr = AnalyzeDefensive(mod.files);
-    defensive_.stats.functions_with_params +=
-        dr.stats.functions_with_params;
-    defensive_.stats.functions_validating_inputs +=
-        dr.stats.functions_validating_inputs;
-    defensive_.stats.call_sites_checked += dr.stats.call_sites_checked;
-    defensive_.stats.discarded_results += dr.stats.discarded_results;
-    defensive_.stats.assertion_sites += dr.stats.assertion_sites;
-    for (auto& f : dr.report.findings) {
-      defensive_.report.findings.push_back(std::move(f));
-    }
-    defensive_.report.entities_checked += dr.report.entities_checked;
+  for (const auto& mod : modules) {
+    MergeDefensive(AnalyzeDefensive(mod.files), &in.defensive);
   }
-  architecture_ = metrics::AnalyzeArchitecture(
-      modules_, metrics::ArchitectureLimits{thresholds_.max_component_nloc,
-                                            thresholds_.max_params, 20});
+  return in;
 }
+
+Assessor::Assessor(AssessorInputs inputs, const AssessorThresholds& thresholds)
+    : inputs_(std::move(inputs)), thresholds_(thresholds) {
+  architecture_ = metrics::AnalyzeArchitecture(
+      *inputs_.modules,
+      metrics::ArchitectureLimits{thresholds_.max_component_nloc,
+                                  thresholds_.max_params, 20});
+}
+
+Assessor::Assessor(const std::vector<metrics::ModuleAnalysis>* modules,
+                   const std::vector<RawSource>* raw_sources,
+                   const AssessorThresholds& thresholds)
+    : Assessor(ComputeAssessorInputs(*modules, raw_sources), thresholds) {}
 
 std::int64_t Assessor::functions_cc_over(int threshold) const {
   std::int64_t n = 0;
-  for (const auto& mod : modules_) {
+  for (const auto& mod : *inputs_.modules) {
     n += mod.metrics.FunctionsOverCc(threshold);
   }
   return n;
@@ -89,8 +105,8 @@ TableAssessment Assessor::AssessCodingGuidelines() {
   {
     const std::int64_t over10 = functions_cc_over(10);
     const double fraction =
-        total_functions_ > 0
-            ? static_cast<double>(over10) / static_cast<double>(total_functions_)
+        inputs_.total_functions > 0
+            ? static_cast<double>(over10) / static_cast<double>(inputs_.total_functions)
             : 0.0;
     Verdict v = over10 == 0 ? Verdict::kCompliant
                 : fraction <= thresholds_.cc_over10_partial_fraction
@@ -98,7 +114,7 @@ TableAssessment Assessor::AssessCodingGuidelines() {
                     : Verdict::kNonCompliant;
     out.assessments.push_back(
         {"1", v,
-         Num(over10) + " of " + Num(total_functions_) +
+         Num(over10) + " of " + Num(inputs_.total_functions) +
              " functions have cyclomatic complexity > 10 (" +
              FormatDouble(100.0 * fraction, 1) + "%)",
          1});
@@ -107,7 +123,7 @@ TableAssessment Assessor::AssessCodingGuidelines() {
   // Row 2: use language subsets (Observation 2; Obs. 3–4 for GPU code).
   {
     std::int64_t required_violations = 0, total_violations = 0;
-    for (const auto& rep : misra_reports_) {
+    for (const auto& rep : inputs_.misra_reports) {
       for (const auto& f : rep.findings) {
         ++total_violations;
         if (f.severity == Severity::kRequired) ++required_violations;
@@ -127,23 +143,23 @@ TableAssessment Assessor::AssessCodingGuidelines() {
   // Row 3: strong typing (Observation 5).
   {
     const double per_knloc =
-        total_nloc_ > 0 ? 1000.0 * static_cast<double>(total_casts_) /
-                              static_cast<double>(total_nloc_)
+        inputs_.total_nloc > 0 ? 1000.0 * static_cast<double>(inputs_.total_casts) /
+                              static_cast<double>(inputs_.total_nloc)
                         : 0.0;
-    Verdict v = total_casts_ == 0 ? Verdict::kCompliant
+    Verdict v = inputs_.total_casts == 0 ? Verdict::kCompliant
                 : per_knloc <= thresholds_.casts_per_knloc_partial
                     ? Verdict::kPartial
                     : Verdict::kNonCompliant;
     out.assessments.push_back(
         {"3", v,
-         Num(total_casts_) + " explicit casts (" +
+         Num(inputs_.total_casts) + " explicit casts (" +
              FormatDouble(per_knloc, 2) + " per kNLOC)",
          5});
   }
 
   // Row 4: defensive implementation (Observation 6).
   {
-    const double ratio = defensive_.stats.InputValidationRatio();
+    const double ratio = inputs_.defensive.stats.InputValidationRatio();
     Verdict v = ratio >= thresholds_.defensive_compliant_ratio
                     ? Verdict::kCompliant
                 : ratio >= thresholds_.defensive_partial_ratio
@@ -153,7 +169,7 @@ TableAssessment Assessor::AssessCodingGuidelines() {
         {"4", v,
          FormatDouble(100.0 * ratio, 1) +
              "% of parameterized functions validate inputs; " +
-             Num(defensive_.stats.discarded_results) +
+             Num(inputs_.defensive.stats.discarded_results) +
              " call sites discard non-void results",
          6});
   }
@@ -161,7 +177,7 @@ TableAssessment Assessor::AssessCodingGuidelines() {
   // Row 5: established design principles (Observation 7).
   {
     std::int64_t mutable_globals = 0;
-    for (const auto& ud : unit_design_) {
+    for (const auto& ud : inputs_.unit_design) {
       mutable_globals += ud.stats.mutable_globals;
     }
     Verdict v = mutable_globals == 0 ? Verdict::kCompliant
@@ -180,24 +196,24 @@ TableAssessment Assessor::AssessCodingGuidelines() {
 
   // Row 7: style guides (Observation 8).
   {
-    const double ratio = style_total_.ComplianceRatio();
+    const double ratio = inputs_.style_total.ComplianceRatio();
     Verdict v = ratio >= thresholds_.style_compliant_ratio
                     ? Verdict::kCompliant
                     : Verdict::kPartial;
     out.assessments.push_back(
         {"7", v,
          "style compliance " + FormatDouble(100.0 * ratio, 1) + "% (" +
-             Num(style_total_.violations) + " findings over " +
-             Num(style_total_.lines_checked) + " checked entities)",
+             Num(inputs_.style_total.violations) + " findings over " +
+             Num(inputs_.style_total.lines_checked) + " checked entities)",
          8});
   }
 
   // Row 8: naming conventions (Observation 9).
   {
     const double ratio =
-        naming_total_.lines_checked > 0
-            ? 1.0 - static_cast<double>(naming_total_.violations) /
-                        static_cast<double>(naming_total_.lines_checked)
+        inputs_.naming_total.lines_checked > 0
+            ? 1.0 - static_cast<double>(inputs_.naming_total.violations) /
+                        static_cast<double>(inputs_.naming_total.lines_checked)
             : 1.0;
     Verdict v = ratio >= thresholds_.style_compliant_ratio
                     ? Verdict::kCompliant
@@ -205,8 +221,8 @@ TableAssessment Assessor::AssessCodingGuidelines() {
     out.assessments.push_back(
         {"8", v,
          "naming compliance " + FormatDouble(100.0 * ratio, 1) + "% (" +
-             Num(naming_total_.violations) + " of " +
-             Num(naming_total_.lines_checked) + " named declarations)",
+             Num(inputs_.naming_total.violations) + " of " +
+             Num(inputs_.naming_total.lines_checked) + " named declarations)",
          9});
   }
   return out;
@@ -223,8 +239,8 @@ TableAssessment Assessor::AssessArchitecture() {
       cross_edges += c.external_calls;
     }
     out.assessments.push_back(
-        {"1", modules_.size() > 1 ? Verdict::kPartial : Verdict::kNonCompliant,
-         Num(static_cast<std::int64_t>(modules_.size())) +
+        {"1", inputs_.modules->size() > 1 ? Verdict::kPartial : Verdict::kNonCompliant,
+         Num(static_cast<std::int64_t>(inputs_.modules->size())) +
              " top-level components, " + Num(cross_edges) +
              " cross-component call edges; hierarchy derivable by tooling",
          13});
@@ -257,7 +273,7 @@ TableAssessment Assessor::AssessArchitecture() {
       if (i.max_params > max_params) max_params = i.max_params;
     }
     Verdict v = wide == 0 ? Verdict::kCompliant
-                : wide <= total_functions_ / 50 ? Verdict::kPartial
+                : wide <= inputs_.total_functions / 50 ? Verdict::kPartial
                                                 : Verdict::kNonCompliant;
     out.assessments.push_back(
         {"3", v,
@@ -307,7 +323,7 @@ TableAssessment Assessor::AssessArchitecture() {
   // Row 7: restricted use of interrupts.
   {
     std::int64_t interrupt_constructs = 0;
-    for (const auto& mod : modules_) {
+    for (const auto& mod : *inputs_.modules) {
       for (const auto& file : mod.files) {
         for (const auto& fn : file.functions) {
           if (support::Contains(fn.name, "signal_handler") ||
@@ -338,7 +354,7 @@ TableAssessment Assessor::AssessUnitDesign() {
   out.table_id = UnitDesignTable().id;
 
   UnitDesignStats total;
-  for (const auto& ud : unit_design_) {
+  for (const auto& ud : inputs_.unit_design) {
     const UnitDesignStats& s = ud.stats;
     total.functions_total += s.functions_total;
     total.functions_multi_exit += s.functions_multi_exit;
@@ -357,7 +373,7 @@ TableAssessment Assessor::AssessUnitDesign() {
   }
 
   const double knloc =
-      total_nloc_ > 0 ? static_cast<double>(total_nloc_) / 1000.0 : 1.0;
+      inputs_.total_nloc > 0 ? static_cast<double>(inputs_.total_nloc) / 1000.0 : 1.0;
   auto rate_verdict = [&](std::int64_t count) {
     if (count == 0) return Verdict::kCompliant;
     return (static_cast<double>(count) / knloc) <=

@@ -50,9 +50,52 @@ struct RawSource {
   std::string text;
 };
 
+// Everything the assessor consumes, precomputed. The driver fills this in
+// parallel (one FileAnalysis per worker, merged in stable order); the legacy
+// serial path is ComputeAssessorInputs below. `modules` must outlive the
+// Assessor — the assessor only aggregates, it never re-walks file models
+// except for the architecture/interrupt scans that depend on thresholds.
+struct AssessorInputs {
+  const std::vector<metrics::ModuleAnalysis>* modules = nullptr;
+  std::vector<UnitDesignResult> unit_design;  // one per module, module order
+  std::vector<CheckReport> misra_reports;     // one per file, stable order
+  DefensiveResult defensive;                  // merged across modules
+  StyleStats style_total;
+  StyleStats naming_total;
+  std::int64_t total_functions = 0;
+  std::int64_t total_nloc = 0;
+  std::int64_t total_casts = 0;
+};
+
+// Adds one file's style result into the running totals. The naming subtotal
+// (Table 1 row 8) counts STYLE-*NAME* findings over the file's named
+// declarations (types, functions, globals, macros).
+void AccumulateStyle(const StyleResult& result,
+                     const ast::SourceFileModel& file, StyleStats* style_total,
+                     StyleStats* naming_total);
+
+// Merges one module's defensive result into `total`: stats are summed,
+// findings appended in call order (keep the call order stable for
+// deterministic reports).
+void MergeDefensive(DefensiveResult part, DefensiveResult* total);
+
+// Serial reference computation of AssessorInputs — runs the MISRA, style,
+// defensive, and unit-design passes over every module on the calling thread.
+// AnalysisDriver produces the same inputs from per-file artifacts computed
+// in parallel; this function is the single-threaded oracle the determinism
+// tests compare against.
+AssessorInputs ComputeAssessorInputs(
+    const std::vector<metrics::ModuleAnalysis>& modules,
+    const std::vector<RawSource>* raw_sources = nullptr);
+
 // Full assessment of a codebase organized into modules.
 class Assessor {
  public:
+  // Preferred: assess from precomputed inputs (see AnalysisDriver).
+  explicit Assessor(AssessorInputs inputs,
+                    const AssessorThresholds& thresholds = {});
+
+  // Legacy convenience: computes the inputs serially, then assesses.
   Assessor(const std::vector<metrics::ModuleAnalysis>* modules,
            const std::vector<RawSource>* raw_sources = nullptr,
            const AssessorThresholds& thresholds = {});
@@ -66,35 +109,27 @@ class Assessor {
 
   // Aggregated evidence, exposed for reports and benchmarks.
   const std::vector<UnitDesignResult>& unit_design() const {
-    return unit_design_;
+    return inputs_.unit_design;
   }
   const std::vector<CheckReport>& misra_reports() const {
-    return misra_reports_;
+    return inputs_.misra_reports;
   }
-  const DefensiveStats& defensive() const { return defensive_.stats; }
+  const DefensiveStats& defensive() const {
+    return inputs_.defensive.stats;
+  }
   const metrics::ArchitectureReport& architecture() const {
     return architecture_;
   }
-  const StyleStats& style() const { return style_total_; }
-  std::int64_t total_functions() const { return total_functions_; }
-  std::int64_t total_nloc() const { return total_nloc_; }
-  std::int64_t total_explicit_casts() const { return total_casts_; }
+  const StyleStats& style() const { return inputs_.style_total; }
+  std::int64_t total_functions() const { return inputs_.total_functions; }
+  std::int64_t total_nloc() const { return inputs_.total_nloc; }
+  std::int64_t total_explicit_casts() const { return inputs_.total_casts; }
   std::int64_t functions_cc_over(int threshold) const;
 
  private:
-  const std::vector<metrics::ModuleAnalysis>& modules_;
+  AssessorInputs inputs_;
   AssessorThresholds thresholds_;
-
-  std::vector<UnitDesignResult> unit_design_;
-  std::vector<CheckReport> misra_reports_;
-  DefensiveResult defensive_;
   metrics::ArchitectureReport architecture_;
-  StyleStats style_total_;
-  StyleStats naming_total_;
-
-  std::int64_t total_functions_ = 0;
-  std::int64_t total_nloc_ = 0;
-  std::int64_t total_casts_ = 0;
 };
 
 }  // namespace certkit::rules

@@ -17,7 +17,11 @@ Status WriteFile(const std::string& path, const std::string& content);
 
 // Recursively lists regular files under `dir` whose name ends with one of
 // `extensions` (e.g. {".cc", ".h"}); empty `extensions` matches everything.
-// Results are sorted for determinism.
+//
+// Guarantee: the returned paths are in ascending lexicographic order,
+// regardless of filesystem iteration order. The parallel AnalysisDriver
+// relies on this to assign work and merge results in a stable order, so the
+// same tree always produces bit-identical analyses — do not weaken it.
 Result<std::vector<std::string>> ListFiles(
     const std::string& dir, const std::vector<std::string>& extensions);
 

@@ -1,0 +1,130 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace certkit::support {
+
+int ThreadPool::ResolveJobs(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = num_threads < 0 ? ResolveJobs(num_threads) : num_threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  // Shared per-call state: a dynamic iteration counter, first-error capture,
+  // and the completion rendezvous. It lives on the heap and every helper
+  // task holds a shared_ptr, so the condition variable is guaranteed to
+  // outlive the last notify_one even if the calling thread has already
+  // observed completion and returned from its wait. The calling thread
+  // participates, so a 0-worker pool (or a pool busy with other work) still
+  // makes progress.
+  struct LoopState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    int helpers_finished = 0;
+  };
+  auto state = std::make_shared<LoopState>();
+
+  auto run = [state, n, &fn] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1);
+      if (i >= n || state->failed.load()) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mu);
+        if (!state->failed.exchange(true)) {
+          state->error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  // One runner per worker (capped by n, minus the calling thread's share).
+  const std::size_t helpers =
+      workers_.empty() ? 0
+                       : std::min(n > 0 ? n - 1 : 0,
+                                  static_cast<std::size_t>(workers_.size()));
+  const int helper_count = static_cast<int>(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Submit([run, state] {
+      run();
+      {
+        std::lock_guard<std::mutex> lock(state->done_mu);
+        ++state->helpers_finished;
+      }
+      state->done_cv.notify_one();
+    });
+  }
+  run();  // the calling thread drains iterations too
+  {
+    std::unique_lock<std::mutex> lock(state->done_mu);
+    state->done_cv.wait(
+        lock, [&] { return state->helpers_finished == helper_count; });
+  }
+  if (state->failed.load()) std::rethrow_exception(state->error);
+}
+
+}  // namespace certkit::support

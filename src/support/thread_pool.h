@@ -1,0 +1,79 @@
+// certkit support: a small fixed-size thread pool with fork-join helpers.
+//
+// The pool is deliberately simple — a locked deque, no work stealing — because
+// the analysis workloads it serves (one task per source file) are coarse
+// enough that queue contention is negligible. ParallelFor/ParallelMap are the
+// intended entry points: they block until every iteration has finished and
+// rethrow the first exception raised by any iteration, so callers get the
+// same error behavior as a serial loop.
+//
+// Determinism contract: ParallelMap writes result i to slot i, so output
+// order never depends on scheduling. Any pool size (including 0, which runs
+// everything inline on the calling thread) produces identical results.
+#ifndef CERTKIT_SUPPORT_THREAD_POOL_H_
+#define CERTKIT_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace certkit::support {
+
+class ThreadPool {
+ public:
+  // `num_threads` < 0 selects the hardware concurrency (at least 1);
+  // 0 creates no worker threads — tasks then run inline on the submitting
+  // thread, which makes single-threaded debugging and TSan baselines easy.
+  explicit ThreadPool(int num_threads = -1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `task` (runs it inline when the pool has no workers). Tasks
+  // must not throw; use ParallelFor for exception-propagating work.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has completed.
+  void Wait();
+
+  // Runs fn(0) .. fn(n-1), distributing iterations dynamically over the
+  // workers (plus the calling thread, which also drains iterations). Blocks
+  // until all iterations finish; if any iteration throws, the first
+  // exception (by completion time) is rethrown after the loop has drained.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Picks a worker count: `requested` <= 0 means hardware concurrency.
+  static int ResolveJobs(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable wake_cv_;   // workers: work available / stopping
+  std::condition_variable idle_cv_;   // Wait(): queue drained and idle
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+// Maps i -> fn(i) for i in [0, n) in parallel; result i lands in slot i, so
+// the output is independent of scheduling. T must be default-constructible
+// and movable.
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(ThreadPool& pool, std::size_t n, const Fn& fn) {
+  std::vector<T> out(n);
+  pool.ParallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace certkit::support
+
+#endif  // CERTKIT_SUPPORT_THREAD_POOL_H_

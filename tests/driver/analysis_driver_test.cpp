@@ -1,0 +1,250 @@
+// Tests for the parallel single-pass analysis driver: artifact shape and the
+// bit-identical-for-any-thread-count determinism contract.
+#include "driver/analysis_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/analyze.h"
+#include "corpus/generator.h"
+#include "support/io.h"
+
+namespace certkit::driver {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A small multi-module corpus exercising every per-file pass: complexity
+// bands, casts, globals, gotos, multi-exit functions, CUDA kernels.
+std::vector<corpus::ModuleSpec> SmallSpec() {
+  std::vector<corpus::ModuleSpec> spec(3);
+  spec[0].name = "perception";
+  spec[0].num_files = 4;
+  spec[0].functions_low = 20;
+  spec[0].functions_moderate = 5;
+  spec[0].functions_risky = 2;
+  spec[0].mutable_globals = 12;
+  spec[0].casts = 15;
+  spec[0].multi_exit_fraction = 0.4;
+  spec[0].cuda_kernels = 2;
+  spec[0].target_loc = 900;
+  spec[1].name = "planning";
+  spec[1].num_files = 3;
+  spec[1].functions_low = 15;
+  spec[1].gotos = 2;
+  spec[1].recursive_functions = 1;
+  spec[1].target_loc = 700;
+  spec[2].name = "control";
+  spec[2].num_files = 2;
+  spec[2].functions_low = 10;
+  spec[2].uninitialized_locals = 3;
+  spec[2].target_loc = 500;
+  return spec;
+}
+
+std::vector<SourceInput> SmallCorpusInputs() {
+  return corpus::CorpusSourceInputs(
+      corpus::GenerateCorpus(SmallSpec(), /*seed=*/26262));
+}
+
+// Serializes every scheduling-sensitive artifact of an analysis. Two runs
+// are considered identical iff their fingerprints match byte-for-byte.
+std::string Fingerprint(const CodebaseAnalysis& cb) {
+  std::ostringstream out;
+  for (const auto& m : cb.modules) {
+    out << "module " << m.name << " files=" << m.metrics.file_count
+        << " loc=" << m.metrics.loc << " nloc=" << m.metrics.nloc
+        << " fns=" << m.metrics.function_count
+        << " cc=" << m.metrics.cc_low << '/' << m.metrics.cc_moderate << '/'
+        << m.metrics.cc_risky << '/' << m.metrics.cc_unstable
+        << " max=" << m.metrics.max_cc << " mean=" << m.metrics.mean_cc
+        << '\n';
+    for (const auto& fn : m.functions) {
+      out << "  fn " << fn.qualified_name << " cc=" << fn.cyclomatic_complexity
+          << " nloc=" << fn.nloc << " tokens=" << fn.token_count << '\n';
+    }
+  }
+  for (const auto& fa : cb.files) {
+    out << "file " << fa.path << " module=" << fa.module << " idx=("
+        << fa.module_index << ',' << fa.file_index << ')'
+        << " fns=" << fa.functions.size()
+        << " casts=" << fa.explicit_casts
+        << " naming=" << fa.naming_violations << '/' << fa.naming_entities
+        << " style=" << fa.style.stats.violations << '/'
+        << fa.style.stats.lines_checked << '\n';
+    for (const auto& f : fa.misra.findings) {
+      out << "  misra " << f.file << ':' << f.line << ' ' << f.rule_id << '\n';
+    }
+    for (const auto& f : fa.style.report.findings) {
+      out << "  style " << f.file << ':' << f.line << ' ' << f.rule_id << '\n';
+    }
+    for (const auto& link : fa.trace.links) {
+      out << "  trace " << link.requirement << ' ' << link.file << ':'
+          << link.comment_line << "->" << link.function << '\n';
+    }
+  }
+  for (const auto& ud : cb.unit_design) {
+    out << "unit " << ud.stats.module << " total=" << ud.stats.functions_total
+        << " multiexit=" << ud.stats.functions_multi_exit
+        << " alloc=" << ud.stats.dynamic_alloc_sites
+        << " uninit=" << ud.stats.uninitialized_locals
+        << " shadow=" << ud.stats.shadowing_decls << '\n';
+  }
+  for (const auto& d : cb.defensive) {
+    out << "defensive params=" << d.stats.functions_with_params
+        << " validating=" << d.stats.functions_validating_inputs
+        << " calls=" << d.stats.call_sites_checked
+        << " discarded=" << d.stats.discarded_results
+        << " asserts=" << d.stats.assertion_sites
+        << " findings=" << d.report.findings.size() << '\n';
+  }
+  for (const auto& s : cb.skipped) out << "skipped " << s << '\n';
+
+  const auto trace = cb.MergedTrace();
+  out << "trace reqs=" << trace.Requirements().size()
+      << " ratio=" << trace.TraceabilityRatio() << '\n';
+
+  rules::Assessor assessor(cb.MakeAssessorInputs());
+  const std::vector<rules::TableAssessment> tables = {
+      assessor.AssessCodingGuidelines(), assessor.AssessArchitecture(),
+      assessor.AssessUnitDesign()};
+  for (const auto& table : tables) {
+    for (const auto& a : table.assessments) {
+      out << "verdict " << a.technique_id << ' '
+          << static_cast<int>(a.verdict) << ' ' << a.evidence << '\n';
+    }
+  }
+  return out.str();
+}
+
+CodebaseAnalysis AnalyzeWithJobs(int jobs) {
+  DriverOptions options;
+  options.jobs = jobs;
+  AnalysisDriver driver(options);
+  auto analyzed = driver.AnalyzeSources(SmallCorpusInputs());
+  EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  return std::move(analyzed).value();
+}
+
+TEST(AnalysisDriverTest, ArtifactShape) {
+  const auto cb = AnalyzeWithJobs(2);
+  ASSERT_EQ(cb.modules.size(), 3u);
+  EXPECT_EQ(cb.modules[0].name, "control");  // sorted by name
+  EXPECT_EQ(cb.modules[1].name, "perception");
+  EXPECT_EQ(cb.modules[2].name, "planning");
+  ASSERT_EQ(cb.files_by_module.size(), cb.modules.size());
+  ASSERT_EQ(cb.unit_design.size(), cb.modules.size());
+  ASSERT_EQ(cb.defensive.size(), cb.modules.size());
+  EXPECT_TRUE(cb.skipped.empty());
+
+  // Files are globally path-sorted and the indices are self-consistent.
+  for (std::size_t i = 1; i < cb.files.size(); ++i) {
+    EXPECT_LT(cb.files[i - 1].path, cb.files[i].path);
+  }
+  std::size_t indexed = 0;
+  for (std::size_t m = 0; m < cb.files_by_module.size(); ++m) {
+    for (std::size_t file_index = 0;
+         file_index < cb.files_by_module[m].size(); ++file_index) {
+      const FileAnalysis& fa = cb.files[cb.files_by_module[m][file_index]];
+      EXPECT_EQ(fa.module_index, m);
+      EXPECT_EQ(fa.file_index, file_index);
+      EXPECT_EQ(fa.module, cb.modules[m].name);
+      // The per-file metrics line up with the model stored in the module.
+      ASSERT_LT(fa.file_index, cb.modules[m].files.size());
+      EXPECT_EQ(fa.functions.size(),
+                cb.modules[m].files[fa.file_index].functions.size());
+      EXPECT_EQ(fa.path, cb.modules[m].files[fa.file_index].path);
+      ++indexed;
+    }
+  }
+  EXPECT_EQ(indexed, cb.files.size());
+}
+
+TEST(AnalysisDriverTest, ModuleAggregatesMatchSerialAnalyzeModule) {
+  const auto cb = AnalyzeWithJobs(4);
+  const auto generated = corpus::GenerateCorpus(SmallSpec(), /*seed=*/26262);
+  for (const auto& gm : generated) {
+    auto serial = corpus::AnalyzeGeneratedModule(gm);
+    ASSERT_TRUE(serial.ok());
+    for (const auto& m : cb.modules) {
+      if (m.name != gm.spec.name) continue;
+      EXPECT_EQ(m.metrics.loc, serial.value().metrics.loc);
+      EXPECT_EQ(m.metrics.function_count,
+                serial.value().metrics.function_count);
+      EXPECT_EQ(m.metrics.max_cc, serial.value().metrics.max_cc);
+      EXPECT_DOUBLE_EQ(m.metrics.mean_cc, serial.value().metrics.mean_cc);
+    }
+  }
+}
+
+TEST(AnalysisDriverTest, DeterministicAcrossJobCounts) {
+  const std::string baseline = Fingerprint(AnalyzeWithJobs(1));
+  EXPECT_FALSE(baseline.empty());
+  for (const int jobs : {2, 4, 8}) {
+    EXPECT_EQ(baseline, Fingerprint(AnalyzeWithJobs(jobs)))
+        << "analysis changed with --jobs " << jobs;
+  }
+}
+
+TEST(AnalysisDriverTest, TreeAnalysisMatchesInMemoryAnalysis) {
+  const std::string root =
+      (fs::temp_directory_path() / "certkit_driver_tree_test").string();
+  fs::remove_all(root);
+  for (const auto& input : SmallCorpusInputs()) {
+    ASSERT_TRUE(
+        support::WriteFile(root + "/" + input.path, input.content).ok());
+  }
+
+  DriverOptions serial, eight;
+  serial.jobs = 1;
+  eight.jobs = 8;
+  auto a = AnalysisDriver(serial).AnalyzeTree(root);
+  auto b = AnalysisDriver(eight).AnalyzeTree(root);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(Fingerprint(a.value()), Fingerprint(b.value()));
+  // Same modules and totals as the in-memory run (paths differ by the
+  // root prefix, so compare aggregates rather than fingerprints).
+  const auto in_memory = AnalyzeWithJobs(1);
+  ASSERT_EQ(a.value().modules.size(), in_memory.modules.size());
+  for (std::size_t m = 0; m < in_memory.modules.size(); ++m) {
+    EXPECT_EQ(a.value().modules[m].name, in_memory.modules[m].name);
+    EXPECT_EQ(a.value().modules[m].metrics.nloc,
+              in_memory.modules[m].metrics.nloc);
+    EXPECT_EQ(a.value().modules[m].metrics.function_count,
+              in_memory.modules[m].metrics.function_count);
+  }
+  fs::remove_all(root);
+}
+
+TEST(AnalysisDriverTest, UnparseableSourceIsSkippedNotFatal) {
+  DriverOptions options;
+  options.jobs = 2;
+  AnalysisDriver driver(options);
+  auto analyzed = driver.AnalyzeSources(
+      {{"mod/good.cc", "void Good() {}\n"},
+       {"mod/bad.cc", "/* unterminated comment\n"}});
+  ASSERT_TRUE(analyzed.ok());
+  ASSERT_EQ(analyzed.value().skipped.size(), 1u);
+  EXPECT_EQ(analyzed.value().skipped[0], "mod/bad.cc");
+  ASSERT_EQ(analyzed.value().files.size(), 1u);
+  EXPECT_EQ(analyzed.value().files[0].path, "mod/good.cc");
+}
+
+TEST(AnalysisDriverTest, DefaultModuleForBarePaths) {
+  DriverOptions options;
+  options.jobs = 1;
+  options.default_module = "snippet";
+  AnalysisDriver driver(options);
+  auto analyzed = driver.AnalyzeSources({{"lone.cc", "void Lone() {}\n"}});
+  ASSERT_TRUE(analyzed.ok());
+  ASSERT_EQ(analyzed.value().modules.size(), 1u);
+  EXPECT_EQ(analyzed.value().modules[0].name, "snippet");
+}
+
+}  // namespace
+}  // namespace certkit::driver

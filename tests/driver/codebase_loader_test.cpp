@@ -1,0 +1,118 @@
+// Tests for the disk-based codebase loader (driver-backed).
+#include "driver/codebase_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "support/io.h"
+
+namespace certkit::driver {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CodebaseLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test case: ctest runs the cases as parallel processes, and
+    // a shared directory would let one SetUp clobber another's tree.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = (fs::temp_directory_path() /
+             (std::string("certkit_loader_test_") + info->name()))
+                .string();
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void WriteSource(const std::string& rel, const std::string& content) {
+    ASSERT_TRUE(support::WriteFile(root_ + "/" + rel, content).ok());
+  }
+
+  std::string root_;
+};
+
+TEST_F(CodebaseLoaderTest, GroupsByFirstLevelDirectory) {
+  WriteSource("alpha/a.cc", "void AlphaFn() {}\n");
+  WriteSource("alpha/b.cc", "void AlphaFn2() {}\n");
+  WriteSource("beta/c.cc", "void BetaFn() {}\n");
+  WriteSource("root_file.cc", "void RootFn() {}\n");
+  WriteSource("notes.txt", "not source\n");
+
+  auto loaded = LoadCodebase(root_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Codebase& cb = loaded.value();
+  ASSERT_EQ(cb.modules().size(), 3u);  // alpha, beta, <root>
+  EXPECT_TRUE(cb.skipped.empty());
+  std::size_t total_functions = 0;
+  for (const auto& m : cb.modules()) {
+    total_functions += static_cast<std::size_t>(m.metrics.function_count);
+  }
+  EXPECT_EQ(total_functions, 4u);
+  EXPECT_EQ(cb.raw_sources.size(), 4u);
+}
+
+TEST_F(CodebaseLoaderTest, MissingDirectoryIsNotFound) {
+  auto loaded = LoadCodebase(root_ + "/nope");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), support::StatusCode::kNotFound);
+}
+
+TEST_F(CodebaseLoaderTest, UnparseableFileIsSkippedNotFatal) {
+  WriteSource("mod/good.cc", "void Good() {}\n");
+  WriteSource("mod/bad.cc", "/* unterminated comment\n");
+  auto loaded = LoadCodebase(root_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().skipped.size(), 1u);
+  EXPECT_NE(loaded.value().skipped[0].find("bad.cc"), std::string::npos);
+  ASSERT_EQ(loaded.value().modules().size(), 1u);
+  EXPECT_EQ(loaded.value().modules()[0].metrics.function_count, 1);
+}
+
+TEST_F(CodebaseLoaderTest, TracesCollectedWithComments) {
+  WriteSource("mod/traced.cc",
+              "// REQ-T-1: do the thing\nvoid DoThing() {}\n");
+  auto loaded = LoadCodebase(root_);
+  ASSERT_TRUE(loaded.ok());
+  const auto merged = rules::MergeTraceReports(loaded.value().traces);
+  ASSERT_EQ(merged.links.size(), 1u);
+  EXPECT_EQ(merged.links[0].requirement, "REQ-T-1");
+  EXPECT_EQ(merged.links[0].function, "DoThing");
+}
+
+TEST_F(CodebaseLoaderTest, CustomExtensions) {
+  WriteSource("mod/a.cc", "void A() {}\n");
+  WriteSource("mod/b.inc", "void B() {}\n");
+  LoadOptions opts;
+  opts.extensions = {".inc"};
+  auto loaded = LoadCodebase(root_, opts);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().modules().size(), 1u);
+  EXPECT_EQ(loaded.value().modules()[0].metrics.function_count, 1);
+}
+
+TEST_F(CodebaseLoaderTest, JobsCountDoesNotChangeResult) {
+  WriteSource("alpha/a.cc", "void A() { if (1) {} }\nvoid B() {}\n");
+  WriteSource("alpha/b.cc", "int g;\nvoid C(int* p) { *p = 1; }\n");
+  WriteSource("beta/c.cc", "// REQ-X-9: beta\nvoid D() {}\n");
+  LoadOptions serial, parallel_opts;
+  serial.jobs = 1;
+  parallel_opts.jobs = 8;
+  auto a = LoadCodebase(root_, serial);
+  auto b = LoadCodebase(root_, parallel_opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().modules().size(), b.value().modules().size());
+  for (std::size_t i = 0; i < a.value().modules().size(); ++i) {
+    EXPECT_EQ(a.value().modules()[i].name, b.value().modules()[i].name);
+    EXPECT_EQ(a.value().modules()[i].metrics.function_count,
+              b.value().modules()[i].metrics.function_count);
+  }
+  ASSERT_EQ(a.value().raw_sources.size(), b.value().raw_sources.size());
+  for (std::size_t i = 0; i < a.value().raw_sources.size(); ++i) {
+    EXPECT_EQ(a.value().raw_sources[i].path, b.value().raw_sources[i].path);
+  }
+}
+
+}  // namespace
+}  // namespace certkit::driver

@@ -48,7 +48,7 @@ TEST(EndToEndTest, CorpusReproducesFigure3Headline) {
 
 TEST(EndToEndTest, AssessorVerdictsMatchPaperObservations) {
   const auto& corpus = Corpus();
-  certkit::rules::Assessor assessor(&corpus.modules, &corpus.raw_sources);
+  certkit::rules::Assessor assessor(corpus.MakeAssessorInputs());
 
   const auto t1 = assessor.AssessCodingGuidelines();
   using certkit::rules::Verdict;

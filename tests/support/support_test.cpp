@@ -256,6 +256,27 @@ TEST(IoTest, ListFilesFiltersAndSorts) {
   fs::remove_all(dir);
 }
 
+TEST(IoTest, ListFilesIsLexicographicallySortedAcrossDirectories) {
+  // The AnalysisDriver's determinism contract rests on this ordering
+  // guarantee (see io.h), so assert it over a deliberately shuffled layout.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "certkit_sort_test";
+  fs::remove_all(dir);
+  const std::vector<std::string> rel = {
+      "zeta/a.cc", "alpha/z.cc", "alpha/a.cc", "mid.cc",
+      "alpha/nested/m.cc", "beta/b.cc", "aaa.cc"};
+  for (const auto& r : rel) {
+    ASSERT_TRUE(WriteFile((dir / r).string(), "x").ok());
+  }
+  auto listed = ListFiles(dir.string(), {".cc"});
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed.value().size(), rel.size());
+  for (std::size_t i = 1; i < listed.value().size(); ++i) {
+    EXPECT_LT(listed.value()[i - 1], listed.value()[i]);
+  }
+  fs::remove_all(dir);
+}
+
 TEST(IoTest, ListFilesOnMissingDirFails) {
   auto r = ListFiles("/nonexistent/certkit/dir", {});
   EXPECT_FALSE(r.ok());

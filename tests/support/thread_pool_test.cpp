@@ -1,0 +1,101 @@
+// Tests for the fixed-size thread pool behind the analysis driver.
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace certkit::support {
+namespace {
+
+TEST(ThreadPoolTest, ResolveJobs) {
+  EXPECT_EQ(ThreadPool::ResolveJobs(3), 3);
+  EXPECT_GE(ThreadPool::ResolveJobs(0), 1);
+  EXPECT_GE(ThreadPool::ResolveJobs(-1), 1);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllComplete) {
+  for (const int workers : {1, 2, 8}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(pool.thread_count(), workers);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 100) << "workers=" << workers;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const int workers : {0, 1, 4}) {
+    ThreadPool pool(workers);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " workers " << workers;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  for (const int workers : {0, 1, 4}) {
+    ThreadPool pool(workers);
+    EXPECT_THROW(
+        pool.ParallelFor(100,
+                         [&](std::size_t i) {
+                           if (i == 37) throw std::runtime_error("boom");
+                         }),
+        std::runtime_error)
+        << "workers=" << workers;
+    // The pool must stay usable after an exception drained.
+    std::atomic<int> counter{0};
+    pool.ParallelFor(10, [&](std::size_t) { counter.fetch_add(1); });
+    EXPECT_EQ(counter.load(), 10);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesSlotOrder) {
+  for (const int workers : {0, 1, 4}) {
+    ThreadPool pool(workers);
+    const auto out = ParallelMap<int>(
+        pool, 500, [](std::size_t i) { return static_cast<int>(i * 2); });
+    ASSERT_EQ(out.size(), 500u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], static_cast<int>(i * 2));
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ManyMoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  std::vector<int> data(10000, 0);
+  pool.ParallelFor(data.size(), [&](std::size_t i) { data[i] = 1; });
+  EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0),
+            static_cast<int>(data.size()));
+}
+
+}  // namespace
+}  // namespace certkit::support

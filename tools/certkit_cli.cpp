@@ -7,26 +7,28 @@
 //                                          gap list at the target ASIL
 //   certkit trace <dir>                    requirement traceability
 //
+// All commands accept --jobs N to set the analysis worker count (default:
+// hardware concurrency). Output is bit-identical for every N — the driver
+// merges per-file artifacts in stable path order.
+//
 // Exit status: 0 on success; 1 on usage/input errors; for `assess`, 2 when
 // the codebase does not meet the target ASIL (CI-friendly).
 #include <cstdio>
-#include <map>
 #include <string>
 
+#include "driver/analysis_driver.h"
+#include "metrics/halstead.h"
 #include "report/renderers.h"
 #include "report/table.h"
 #include "rules/assessor.h"
-#include "rules/codebase_loader.h"
-#include "rules/misra.h"
-#include "metrics/halstead.h"
-#include "rules/style.h"
-#include "support/strings.h"
 #include "support/flags.h"
+#include "support/strings.h"
 
 namespace {
 
-using certkit::rules::Codebase;
-using certkit::rules::LoadCodebase;
+using certkit::driver::AnalysisDriver;
+using certkit::driver::CodebaseAnalysis;
+using certkit::driver::DriverOptions;
 using certkit::support::FlagParser;
 
 int Usage() {
@@ -38,25 +40,33 @@ int Usage() {
       "  misra <dir> [--max N]   MISRA-subset findings (default N=25)\n"
       "  style <dir> [--max N]   style-guide findings\n"
       "  assess <dir> [--asil X] ISO 26262-6 tables + ASIL gap list\n"
-      "  trace <dir>             requirement-to-code traceability\n");
+      "  trace <dir>             requirement-to-code traceability\n"
+      "common flags:\n"
+      "  --jobs N                analysis threads (default: all cores)\n");
   return 1;
 }
 
-certkit::support::Result<Codebase> Load(const FlagParser& flags) {
+certkit::support::Result<CodebaseAnalysis> Load(const FlagParser& flags) {
   if (flags.positional().size() < 2) {
     return certkit::support::InvalidArgumentError("missing <source-dir>");
   }
-  return LoadCodebase(flags.positional()[1]);
+  const auto jobs = flags.GetInt("jobs", 0);
+  if (!jobs.has_value()) {
+    return certkit::support::InvalidArgumentError("--jobs must be an integer");
+  }
+  DriverOptions options;
+  options.jobs = static_cast<int>(*jobs);
+  AnalysisDriver driver(options);
+  return driver.AnalyzeTree(flags.positional()[1]);
 }
 
 int CmdMetrics(const FlagParser& flags) {
-  auto codebase = Load(flags);
-  if (!codebase.ok()) {
-    std::printf("error: %s\n", codebase.status().ToString().c_str());
+  auto analysis = Load(flags);
+  if (!analysis.ok()) {
+    std::printf("error: %s\n", analysis.status().ToString().c_str());
     return 1;
   }
-  std::vector<certkit::metrics::ModuleMetrics> rows;
-  for (const auto& m : codebase.value().modules) rows.push_back(m.metrics);
+  const auto rows = analysis.value().ModuleMetricsRows();
   if (flags.GetBool("csv")) {
     certkit::report::Table table(
         {"module", "loc", "nloc", "functions", "cc_over10", "cc_over20",
@@ -94,21 +104,27 @@ int PrintFindings(const std::vector<certkit::rules::Finding>& findings,
 }
 
 // Per-function metrics in Lizard-style CSV: the raw data behind Figure 3.
+// The metrics themselves are precomputed by the driver; only the
+// maintainability index (which needs the parsed model) is derived here.
 int CmdFunctions(const FlagParser& flags) {
-  auto codebase = Load(flags);
-  if (!codebase.ok()) {
-    std::printf("error: %s\n", codebase.status().ToString().c_str());
+  auto analysis = Load(flags);
+  if (!analysis.ok()) {
+    std::printf("error: %s\n", analysis.status().ToString().c_str());
     return 1;
   }
+  const CodebaseAnalysis& cb = analysis.value();
   certkit::report::Table table({"module", "function", "cc", "nloc",
                                 "params", "returns", "tokens", "mi"});
-  for (const auto& mod : codebase.value().modules) {
-    for (const auto& file : mod.files) {
-      for (const auto& fn : file.functions) {
-        const auto m = certkit::metrics::ComputeFunctionMetrics(file, fn);
-        const double mi =
-            certkit::metrics::FunctionMaintainabilityIndex(file, fn);
-        table.AddRow({mod.name, m.qualified_name,
+  for (const auto& file_indices : cb.files_by_module) {
+    for (const std::size_t fi : file_indices) {
+      const auto& fa = cb.files[fi];
+      const auto& model =
+          cb.modules[fa.module_index].files[fa.file_index];
+      for (std::size_t k = 0; k < fa.functions.size(); ++k) {
+        const auto& m = fa.functions[k];
+        const double mi = certkit::metrics::FunctionMaintainabilityIndex(
+            model, model.functions[k]);
+        table.AddRow({fa.module, m.qualified_name,
                       std::to_string(m.cyclomatic_complexity),
                       std::to_string(m.nloc), std::to_string(m.param_count),
                       std::to_string(m.return_count),
@@ -122,9 +138,9 @@ int CmdFunctions(const FlagParser& flags) {
 }
 
 int CmdMisra(const FlagParser& flags) {
-  auto codebase = Load(flags);
-  if (!codebase.ok()) {
-    std::printf("error: %s\n", codebase.status().ToString().c_str());
+  auto analysis = Load(flags);
+  if (!analysis.ok()) {
+    std::printf("error: %s\n", analysis.status().ToString().c_str());
     return 1;
   }
   const auto max_shown = flags.GetInt("max", 25);
@@ -133,9 +149,9 @@ int CmdMisra(const FlagParser& flags) {
     return 1;
   }
   std::vector<certkit::rules::Finding> findings;
-  for (const auto& mod : codebase.value().modules) {
-    for (const auto& file : mod.files) {
-      auto report = certkit::rules::CheckMisra(file);
+  for (const auto& file_indices : analysis.value().files_by_module) {
+    for (const std::size_t fi : file_indices) {
+      const auto& report = analysis.value().files[fi].misra;
       findings.insert(findings.end(), report.findings.begin(),
                       report.findings.end());
     }
@@ -144,9 +160,9 @@ int CmdMisra(const FlagParser& flags) {
 }
 
 int CmdStyle(const FlagParser& flags) {
-  auto codebase = Load(flags);
-  if (!codebase.ok()) {
-    std::printf("error: %s\n", codebase.status().ToString().c_str());
+  auto analysis = Load(flags);
+  if (!analysis.ok()) {
+    std::printf("error: %s\n", analysis.status().ToString().c_str());
     return 1;
   }
   const auto max_shown = flags.GetInt("max", 25);
@@ -154,32 +170,21 @@ int CmdStyle(const FlagParser& flags) {
     std::printf("error: --max must be an integer\n");
     return 1;
   }
-  // Index raw text by path for the line-level checks.
-  std::map<std::string, const std::string*> raw;
-  for (const auto& rs : codebase.value().raw_sources) {
-    raw[rs.path] = &rs.text;
-  }
   std::vector<certkit::rules::Finding> findings;
-  for (const auto& mod : codebase.value().modules) {
-    for (const auto& file : mod.files) {
-      auto it = raw.find(file.path);
-      if (it == raw.end()) continue;
-      certkit::rules::StyleOptions opts;
-      opts.is_header = file.path.ends_with(".h") ||
-                       file.path.ends_with(".hpp") ||
-                       file.path.ends_with(".cuh");
-      auto result = certkit::rules::CheckStyle(file, *it->second, opts);
-      findings.insert(findings.end(), result.report.findings.begin(),
-                      result.report.findings.end());
+  for (const auto& file_indices : analysis.value().files_by_module) {
+    for (const std::size_t fi : file_indices) {
+      const auto& report = analysis.value().files[fi].style.report;
+      findings.insert(findings.end(), report.findings.begin(),
+                      report.findings.end());
     }
   }
   return PrintFindings(findings, *max_shown);
 }
 
 int CmdAssess(const FlagParser& flags) {
-  auto codebase = Load(flags);
-  if (!codebase.ok()) {
-    std::printf("error: %s\n", codebase.status().ToString().c_str());
+  auto analysis = Load(flags);
+  if (!analysis.ok()) {
+    std::printf("error: %s\n", analysis.status().ToString().c_str());
     return 1;
   }
   const std::string asil_name = flags.GetOr("asil", "D");
@@ -197,8 +202,8 @@ int CmdAssess(const FlagParser& flags) {
     return 1;
   }
 
-  const Codebase& cb = codebase.value();
-  certkit::rules::Assessor assessor(&cb.modules, &cb.raw_sources);
+  const CodebaseAnalysis& cb = analysis.value();
+  certkit::rules::Assessor assessor(cb.MakeAssessorInputs());
   struct Entry {
     const certkit::rules::TechniqueTable* table;
     certkit::rules::TableAssessment assessment;
@@ -232,13 +237,12 @@ int CmdAssess(const FlagParser& flags) {
 }
 
 int CmdTrace(const FlagParser& flags) {
-  auto codebase = Load(flags);
-  if (!codebase.ok()) {
-    std::printf("error: %s\n", codebase.status().ToString().c_str());
+  auto analysis = Load(flags);
+  if (!analysis.ok()) {
+    std::printf("error: %s\n", analysis.status().ToString().c_str());
     return 1;
   }
-  const auto trace =
-      certkit::rules::MergeTraceReports(codebase.value().traces);
+  const auto trace = analysis.value().MergedTrace();
   for (const auto& link : trace.links) {
     std::printf("  %-16s %s:%d -> %s\n", link.requirement.c_str(),
                 link.file.c_str(), link.comment_line,
