@@ -2,11 +2,31 @@
 // perception -> tracking -> prediction -> localization -> routing ->
 // planning -> control -> CAN bus, over a simulated road with traffic.
 //
-//   $ ./ad_drive_demo [seconds]
+// The runtime safety layer (src/ad/safety) monitors every cycle; pass a
+// fault name to watch it respond to an injected fault:
+//
+//   $ ./ad_drive_demo [seconds] [fault]
+//     fault in: sensor_dropout detection_nan detection_range
+//               stale_localization can_bit_flip can_frame_drop
+//               timing_overrun
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
 
 #include "ad/pipeline.h"
+
+namespace {
+
+std::optional<adpilot::FaultKind> ParseFaultKind(const char* name) {
+  for (int k = 0; k < adpilot::kNumFaultKinds; ++k) {
+    const auto kind = static_cast<adpilot::FaultKind>(k);
+    if (std::strcmp(name, adpilot::FaultKindName(kind)) == 0) return kind;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const double seconds = argc > 1 ? std::atof(argv[1]) : 30.0;
@@ -17,23 +37,49 @@ int main(int argc, char** argv) {
   cfg.goal_x = 200.0;
 
   adpilot::ApolloPilot pilot(cfg);
+
+  adpilot::FaultInjector* injector = nullptr;
+  adpilot::FaultCampaignConfig campaign;
+  if (argc > 2) {
+    const auto kind = ParseFaultKind(argv[2]);
+    if (!kind.has_value()) {
+      std::fprintf(stderr, "unknown fault kind: %s\n", argv[2]);
+      return 2;
+    }
+    campaign.seed = cfg.scenario.seed;
+    campaign.faults.push_back({*kind, /*onset_tick=*/50,
+                               /*duration_ticks=*/40, /*magnitude=*/1.0});
+    static adpilot::FaultInjector static_injector(campaign);
+    injector = &static_injector;
+    pilot.SetFaultInjector(injector);
+    std::printf("Injecting %s over ticks [50, 90).\n",
+                adpilot::FaultKindName(*kind));
+  }
+
   std::printf("Route: %zu waypoints, %.0f m. Driving for %.0f s...\n\n",
               pilot.route().waypoints.size(), pilot.route().length, seconds);
-  std::printf("%6s %9s %9s %7s %6s %7s %9s %9s %8s\n", "t[s]", "x[m]",
+  std::printf("%6s %9s %9s %7s %6s %7s %9s %9s %8s %9s\n", "t[s]", "x[m]",
               "y[m]", "v[m/s]", "dets", "tracks", "clear[m]", "behavior",
-              "plan");
+              "plan", "safety");
 
   const auto reports = pilot.Run(seconds);
   for (std::size_t i = 0; i < reports.size(); ++i) {
     if (i % 20 != 19) continue;  // print every 2 seconds
     const adpilot::TickReport& r = reports[i];
-    std::printf("%6.1f %9.2f %9.2f %7.2f %6zu %7zu %9.2f %9s %8s\n",
+    char clearance[16];
+    if (r.obstacle_in_range) {
+      std::snprintf(clearance, sizeof(clearance), "%9.2f",
+                    r.min_obstacle_distance);
+    } else {
+      std::snprintf(clearance, sizeof(clearance), "%9s", "none");
+    }
+    std::printf("%6.1f %9.2f %9.2f %7.2f %6zu %7zu %s %9s %8s %9s\n",
                 r.time, r.ground_truth.pose.position.x,
                 r.ground_truth.pose.position.y, r.ground_truth.speed,
-                r.detections, r.tracked_obstacles,
-                r.min_obstacle_distance,
+                r.detections, r.tracked_obstacles, clearance,
                 adpilot::DrivingBehaviorName(r.behavior),
-                r.plan_collision_free ? "ok" : "E-STOP");
+                r.plan_collision_free ? "ok" : "E-STOP",
+                adpilot::SafetyStateName(r.safety_state));
   }
 
   std::printf("\n=== drive summary ===\n");
@@ -41,12 +87,27 @@ int main(int argc, char** argv) {
               reports.back().ground_truth.pose.position.x);
   std::printf("  goal reached      : %s\n",
               pilot.ReachedGoal() ? "yes" : "no");
-  std::printf("  minimum clearance : %.2f m %s\n", pilot.MinClearanceSoFar(),
-              pilot.MinClearanceSoFar() > 0.0 ? "(no collision)"
-                                              : "(COLLISION)");
+  if (pilot.HasClearanceSample()) {
+    std::printf("  minimum clearance : %.2f m %s\n", pilot.MinClearanceSoFar(),
+                pilot.MinClearanceSoFar() > 0.0 ? "(no collision)"
+                                                : "(COLLISION)");
+  } else {
+    std::printf("  minimum clearance : no obstacles encountered\n");
+  }
   const double loc_err = reports.back().localized.pose.position.DistanceTo(
       reports.back().ground_truth.pose.position);
   std::printf("  final localization error: %.2f m (GNSS noise: %.1f m)\n",
               loc_err, cfg.localization.gnss_noise);
-  return pilot.MinClearanceSoFar() > 0.0 ? 0 : 1;
+  std::printf("  safety            : state %s | violations %lld | "
+              "handled %lld\n",
+              adpilot::SafetyStateName(pilot.safety_state()),
+              static_cast<long long>(pilot.safety_log().size()),
+              static_cast<long long>(pilot.safety_log().CountHandled()));
+  if (injector != nullptr) {
+    std::printf("  faults injected   : %lld\n",
+                static_cast<long long>(injector->total_injected()));
+  }
+  const bool collided =
+      pilot.HasClearanceSample() && pilot.MinClearanceSoFar() <= 0.0;
+  return collided ? 1 : 0;
 }

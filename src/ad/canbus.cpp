@@ -8,17 +8,42 @@
 namespace adpilot {
 
 namespace {
-// Fixed-point scaling used on the wire: 1/1000 resolution.
+// Fixed-point scaling used on the wire: 1/1000 resolution, saturated to the
+// int16 range. Values beyond +/-32.767 used to wrap silently on the wire
+// (e.g. a steering angle of +40 rad decoded as a hard-left command) — the
+// defensive-programming gap Observation 4 flags. Non-finite inputs encode
+// as 0; the safety monitors upstream are expected to have replaced them.
 std::int16_t ToFixed(double v) {
-  return static_cast<std::int16_t>(std::lround(v * 1000.0));
+  if (!std::isfinite(v)) return 0;
+  const long scaled = std::lround(v * 1000.0);
+  return static_cast<std::int16_t>(
+      std::clamp<long>(scaled, INT16_MIN, INT16_MAX));
 }
 double FromFixed(std::int16_t v) { return static_cast<double>(v) / 1000.0; }
 }  // namespace
 
+std::uint16_t CommandFrameChecksum(const CanFrame& frame) {
+  // Fletcher-16 over the six payload bytes.
+  std::uint32_t sum1 = 0, sum2 = 0;
+  for (int i = 0; i < 6; ++i) {
+    sum1 = (sum1 + frame.data[i]) % 255u;
+    sum2 = (sum2 + sum1) % 255u;
+  }
+  return static_cast<std::uint16_t>((sum2 << 8) | sum1);
+}
+
+bool VerifyCommandFrame(const CanFrame& frame) {
+  if (frame.can_id != 0x110 || frame.dlc < 8) return false;
+  const std::uint16_t expected = CommandFrameChecksum(frame);
+  const std::uint16_t actual = static_cast<std::uint16_t>(
+      frame.data[6] | (static_cast<std::uint16_t>(frame.data[7]) << 8));
+  return expected == actual;
+}
+
 CanFrame EncodeCommand(const ControlCommand& command) {
   CanFrame frame;
   frame.can_id = 0x110;  // throttle/brake/steer command frame
-  frame.dlc = 6;
+  frame.dlc = 8;
   const std::int16_t throttle = ToFixed(command.throttle);
   const std::int16_t brake = ToFixed(command.brake);
   const std::int16_t steering = ToFixed(command.steering);
@@ -28,6 +53,9 @@ CanFrame EncodeCommand(const ControlCommand& command) {
   frame.data[3] = static_cast<std::uint8_t>((brake >> 8) & 0xFF);
   frame.data[4] = static_cast<std::uint8_t>(steering & 0xFF);
   frame.data[5] = static_cast<std::uint8_t>((steering >> 8) & 0xFF);
+  const std::uint16_t checksum = CommandFrameChecksum(frame);
+  frame.data[6] = static_cast<std::uint8_t>(checksum & 0xFF);
+  frame.data[7] = static_cast<std::uint8_t>((checksum >> 8) & 0xFF);
   return frame;
 }
 
@@ -105,8 +133,19 @@ void CanBus::SendCommand(const ControlCommand& command) {
 ChassisFeedback CanBus::Step(double dt, double gnss_noise,
                              double speed_noise) {
   while (!queue_.empty()) {
-    last_command_ = DecodeCommand(queue_.front());
+    CanFrame frame = queue_.front();
     queue_.pop_front();
+    if (frame_fault_ && !frame_fault_(&frame)) {
+      continue;  // frame lost on the wire
+    }
+    // Receiver-side validity check: a corrupted frame is discarded and the
+    // vehicle keeps executing the last valid command.
+    if (!VerifyCommandFrame(frame)) {
+      ++frames_rejected_;
+      continue;
+    }
+    last_command_ = DecodeCommand(frame);
+    ++frames_delivered_;
   }
   vehicle_.Apply(last_command_, dt);
   return vehicle_.Feedback(gnss_noise, speed_noise);

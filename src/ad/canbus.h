@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 
 #include "ad/common.h"
 #include "support/rng.h"
@@ -22,9 +23,17 @@ struct CanFrame {
   std::uint8_t data[8] = {};
 };
 
-// Encodes/decodes control commands to frames (fixed-point scaling).
+// Encodes/decodes control commands to frames (fixed-point scaling, saturated
+// to the int16 wire range). Command frames carry a Fletcher-16 checksum over
+// the payload bytes so the receiver can detect corruption on the wire
+// (ISO 26262-6 Table 4 "information redundancy").
 CanFrame EncodeCommand(const ControlCommand& command);
 ControlCommand DecodeCommand(const CanFrame& frame);
+
+// Fletcher-16 over data[0..5] of a command frame.
+std::uint16_t CommandFrameChecksum(const CanFrame& frame);
+// True when `frame` is a well-formed command frame (id, dlc, checksum).
+bool VerifyCommandFrame(const CanFrame& frame);
 
 struct VehicleParams {
   double wheelbase = 2.8;
@@ -60,8 +69,16 @@ class SimulatedVehicle {
 };
 
 // The bus: queues frames, delivers to the vehicle, returns feedback.
+//
+// Receiver-side defense: frames that fail VerifyCommandFrame (wrong id,
+// short dlc, checksum mismatch — e.g. after injected bit flips) are rejected
+// and the vehicle keeps executing the last valid command.
 class CanBus {
  public:
+  // A wire-level fault hook (fault injection): may mutate the frame in
+  // transit; returning false drops the frame entirely.
+  using FrameFault = std::function<bool(CanFrame*)>;
+
   CanBus(const Pose& initial_pose, const VehicleParams& params = {},
          std::uint64_t noise_seed = 99);
 
@@ -71,14 +88,24 @@ class CanBus {
   ChassisFeedback Step(double dt, double gnss_noise = 1.0,
                        double speed_noise = 0.1);
 
+  // Installs (or clears, with nullptr) the wire fault hook.
+  void SetFrameFault(FrameFault fault) { frame_fault_ = std::move(fault); }
+
   std::int64_t frames_sent() const { return frames_sent_; }
+  // Frames accepted by the receiver (valid id + checksum).
+  std::int64_t frames_delivered() const { return frames_delivered_; }
+  // Frames discarded by the receiver-side validity check.
+  std::int64_t frames_rejected() const { return frames_rejected_; }
   const SimulatedVehicle& vehicle() const { return vehicle_; }
 
  private:
   SimulatedVehicle vehicle_;
   std::deque<CanFrame> queue_;
   ControlCommand last_command_;
+  FrameFault frame_fault_;
   std::int64_t frames_sent_ = 0;
+  std::int64_t frames_delivered_ = 0;
+  std::int64_t frames_rejected_ = 0;
 };
 
 }  // namespace adpilot

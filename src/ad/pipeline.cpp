@@ -1,6 +1,7 @@
 #include "ad/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "coverage/coverage.h"
 #include "support/check.h"
@@ -51,7 +52,13 @@ ApolloPilot::ApolloPilot(const PilotConfig& config)
       perception_(config.perception),
       behavior_(config.behavior),
       canbus_(Pose{{0.0, -config.scenario.lane_width / 2.0}, 0.0},
-              config.vehicle) {
+              config.vehicle),
+      range_monitor_(config.safety),
+      plausibility_monitor_(config.safety),
+      watchdog_(config.safety,
+                &certkit::timing::TimerRegistry::Instance().GetOrCreate(
+                    "adpilot/tick_effective")),
+      degradation_(config.safety) {
   // Route: lane graph down the road, start near the ego, goal at goal_x.
   const double spacing = 10.0;
   const int segments =
@@ -70,40 +77,89 @@ ApolloPilot::ApolloPilot(const PilotConfig& config)
 
   localizer_ = std::make_unique<EkfLocalizer>(initial, 0.0,
                                               config_.localization);
+  last_published_est_ = localizer_->state();
+}
+
+void ApolloPilot::SetFaultInjector(FaultInjector* injector) {
+  injector_ = injector;
+  if (injector_ == nullptr) {
+    canbus_.SetFrameFault(nullptr);
+    return;
+  }
+  canbus_.SetFrameFault([this](CanFrame* frame) {
+    if (injector_->DropFrame()) return false;
+    injector_->MutateFrame(frame);
+    return true;
+  });
 }
 
 TickReport ApolloPilot::Tick() {
   auto& timers = certkit::timing::TimerRegistry::Instance();
   certkit::timing::ScopedTimer tick_timer(
       timers.GetOrCreate("adpilot/tick"));
+  const auto tick_start = std::chrono::steady_clock::now();
   const double dt = config_.tick;
+  const bool safety_on = config_.safety.enabled;
   TickReport report;
+  ++tick_index_;
   time_ += dt;
   report.time = time_;
+  const std::int64_t log_at_tick_start = safety_log_.size();
+
+  if (injector_ != nullptr) injector_->BeginTick(tick_index_);
+  control_flow_monitor_.BeginTick(tick_index_);
 
   // 1. World advances.
   scenario_.Step(dt);
 
   // 2. Localization estimate (used as the ego pose everywhere downstream).
+  // A stale-localization fault freezes the published estimate at its last
+  // value; the plausibility monitor compares whatever is published against
+  // its dead-reckoning envelope (propagated from last tick's odometry).
   VehicleState est = localizer_->state();
+  if (injector_ != nullptr && injector_->StaleLocalization()) {
+    est = last_published_est_;
+  }
+  last_published_est_ = est;
   report.localized = est;
+  if (safety_on) {
+    plausibility_monitor_.Check(tick_index_, est, &safety_log_);
+  }
 
   // 3. Perception on the camera frame rendered at the *estimated* pose.
-  const nn::Tensor frame = scenario_.RenderCameraFrame(est.pose);
-  P().u->EnterFunction(P().f_perception);
-  P().u->CallSite(P().c_perception);
+  // A sensor-dropout fault loses the frame: the perception stage does not
+  // run (the control-flow monitor flags the missing stage) and the pipeline
+  // coasts on the previous tick's tracks.
   std::vector<Obstacle> tracked;
-  {
-    certkit::timing::ScopedTimer timer(
-        timers.GetOrCreate("adpilot/perception"));
-    tracked = perception_.Process(frame, est.pose, dt);
+  if (injector_ != nullptr && injector_->SensorDropout()) {
+    tracked = last_tracked_;
+    report.detections = 0;
+  } else {
+    const nn::Tensor frame = scenario_.RenderCameraFrame(est.pose);
+    P().u->EnterFunction(P().f_perception);
+    P().u->CallSite(P().c_perception);
+    control_flow_monitor_.Enter(TickStage::kPerception);
+    {
+      certkit::timing::ScopedTimer timer(
+          timers.GetOrCreate("adpilot/perception"));
+      tracked = perception_.Process(frame, est.pose, dt);
+    }
+    report.detections = perception_.last_detections().size();
   }
-  report.detections = perception_.last_detections().size();
+  if (injector_ != nullptr) injector_->CorruptObstacles(&tracked);
+  // Table 4 range check on the perception output; implausible obstacles are
+  // discarded before they reach prediction/planning.
+  if (safety_on) {
+    range_monitor_.CheckAndSanitizeObstacles(tick_index_, est.pose, &tracked,
+                                             &safety_log_);
+  }
+  last_tracked_ = tracked;
   report.tracked_obstacles = tracked.size();
 
   // 4. Prediction.
   P().u->EnterFunction(P().f_prediction);
   P().u->CallSite(P().c_prediction);
+  control_flow_monitor_.Enter(TickStage::kPrediction);
   std::vector<PredictedObstacle> predictions;
   {
     certkit::timing::ScopedTimer timer(
@@ -118,6 +174,7 @@ TickReport ApolloPilot::Tick() {
 
   P().u->EnterFunction(P().f_planning);
   P().u->CallSite(P().c_planning);
+  control_flow_monitor_.Enter(TickStage::kPlanning);
   PlanResult plan;
   {
     certkit::timing::ScopedTimer timer(
@@ -131,37 +188,99 @@ TickReport ApolloPilot::Tick() {
   // 6. Control.
   P().u->EnterFunction(P().f_control);
   P().u->CallSite(P().c_control);
+  control_flow_monitor_.Enter(TickStage::kControl);
   ControlCommand cmd;
   {
     certkit::timing::ScopedTimer timer(
         timers.GetOrCreate("adpilot/control"));
     cmd = controller_.Compute(est, plan.trajectory, dt);
   }
+  bool overridden = false;
+
+  if (safety_on) {
+    // Table 4 range check on the actuation output (critical on failure).
+    overridden |= range_monitor_.CheckCommand(tick_index_, &cmd, &safety_log_);
+
+    // Deadline watchdog over the tick execution time (plus any injected
+    // overrun). Checked before actuation so a timing fault can degrade this
+    // very cycle.
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      tick_start)
+            .count() +
+        (injector_ != nullptr ? injector_->TimingOverrunSeconds() : 0.0);
+    watchdog_.Check(tick_index_, elapsed, &safety_log_);
+
+    // Close the tick's verdict: everything logged since the last tally
+    // (including last tick's post-actuation monitors) drives degradation.
+    std::size_t warnings = 0, criticals = 0;
+    safety_log_.TallySince(violations_tallied_, &warnings, &criticals);
+    violations_tallied_ = safety_log_.size();
+    degradation_.Update(warnings, criticals);
+    overridden |= degradation_.ApplyToCommand(&cmd, est.speed);
+  }
+  report.safety_state = degradation_.state();
   report.command = cmd;
+  report.command_overridden = overridden;
 
   // 7. Actuation over the CAN bus; chassis feedback drives localization.
   P().u->EnterFunction(P().f_canbus);
   P().u->CallSite(P().c_canbus);
+  control_flow_monitor_.Enter(TickStage::kCanBus);
+  const std::int64_t delivered_before = canbus_.frames_delivered();
+  const std::int64_t rejected_before = canbus_.frames_rejected();
   canbus_.SendCommand(cmd);
   const ChassisFeedback fb = canbus_.Step(dt, config_.localization.gnss_noise,
                                           config_.localization.speed_noise);
+  if (safety_on) {
+    // Bus supervision: a corrupted frame was rejected by the receiver-side
+    // checksum, a lost frame never arrived. Both are handled by the bus
+    // holding the last valid command.
+    if (canbus_.frames_rejected() > rejected_before) {
+      safety_log_.Record({tick_index_, MonitorId::kCanBus, Severity::kWarning,
+                          /*handled=*/true,
+                          "corrupted command frame rejected by checksum"});
+    } else if (canbus_.frames_delivered() == delivered_before) {
+      safety_log_.Record({tick_index_, MonitorId::kCanBus, Severity::kWarning,
+                          /*handled=*/true,
+                          "command frame lost; holding last valid command"});
+    }
+  }
+
   P().u->EnterFunction(P().f_localization);
   P().u->CallSite(P().c_localization);
+  control_flow_monitor_.Enter(TickStage::kLocalization);
   localizer_->Predict(fb.state.acceleration, fb.state.yaw_rate, dt);
   localizer_->UpdatePosition(fb.gnss_position);
   localizer_->UpdateSpeed(fb.wheel_speed);
+  // Advance the dead-reckoning envelope with this tick's odometry; it is
+  // compared against the published estimate at the top of the next tick.
+  plausibility_monitor_.Propagate(fb.state.acceleration, fb.state.yaw_rate,
+                                  dt);
 
   report.ground_truth = fb.state;
 
-  // Safety bookkeeping against ground truth.
+  if (safety_on) {
+    control_flow_monitor_.EndTick(&safety_log_);
+  }
+  report.new_violations =
+      static_cast<std::size_t>(safety_log_.size() - log_at_tick_start);
+
+  // Safety bookkeeping against ground truth. An empty world is reported as
+  // the explicit no-obstacle state, not a sentinel distance.
   for (const Obstacle& o : scenario_.ground_truth()) {
     const double d =
         fb.state.pose.position.DistanceTo(o.position) -
         std::max(o.length, o.width) / 2.0;
-    report.min_obstacle_distance =
-        std::min(report.min_obstacle_distance, d);
+    if (!report.obstacle_in_range || d < report.min_obstacle_distance) {
+      report.min_obstacle_distance = d;
+    }
+    report.obstacle_in_range = true;
   }
-  min_clearance_ = std::min(min_clearance_, report.min_obstacle_distance);
+  if (report.obstacle_in_range) {
+    min_clearance_ = std::min(min_clearance_, report.min_obstacle_distance);
+    clearance_sampled_ = true;
+  }
   return report;
 }
 

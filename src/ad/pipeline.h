@@ -4,6 +4,7 @@
 #ifndef AD_PIPELINE_H_
 #define AD_PIPELINE_H_
 
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -15,6 +16,9 @@
 #include "ad/planning.h"
 #include "ad/prediction.h"
 #include "ad/routing.h"
+#include "ad/safety/degradation.h"
+#include "ad/safety/fault_injector.h"
+#include "ad/safety/monitors.h"
 #include "ad/scenario.h"
 
 namespace adpilot {
@@ -28,20 +32,28 @@ struct PilotConfig {
   ControllerConfig controller;
   LocalizationConfig localization;
   VehicleParams vehicle;
+  SafetyConfig safety;    // runtime monitors + degradation policy
   double goal_x = 200.0;  // route goal along the road
   double tick = 0.1;      // pipeline period, seconds
 };
 
 struct TickReport {
   double time = 0.0;
-  VehicleState localized;       // EKF estimate
+  VehicleState localized;       // EKF estimate (as published downstream)
   VehicleState ground_truth;    // simulator truth
   std::size_t detections = 0;
   std::size_t tracked_obstacles = 0;
   bool plan_collision_free = true;
   DrivingBehavior behavior = DrivingBehavior::kCruise;
-  double min_obstacle_distance = 1e9;  // ground-truth clearance
-  ControlCommand command;
+  // Ground-truth clearance. Valid only when `obstacle_in_range` is true —
+  // an empty world reports the explicit no-obstacle state rather than a
+  // sentinel distance.
+  bool obstacle_in_range = false;
+  double min_obstacle_distance = 0.0;
+  ControlCommand command;       // the command actually sent to the CAN bus
+  SafetyState safety_state = SafetyState::kNominal;
+  std::size_t new_violations = 0;   // monitor violations logged this tick
+  bool command_overridden = false;  // safety layer replaced/limited the plan
 };
 
 // The closed-loop autonomous driving stack.
@@ -56,9 +68,21 @@ class ApolloPilot {
   std::vector<TickReport> Run(double seconds);
 
   bool ReachedGoal() const;
+  // True once at least one tick observed a ground-truth obstacle; until
+  // then MinClearanceSoFar() has no sample and returns +infinity.
+  bool HasClearanceSample() const { return clearance_sampled_; }
   double MinClearanceSoFar() const { return min_clearance_; }
   const Route& route() const { return route_; }
   Scenario& scenario() { return scenario_; }
+
+  // Installs a fault injector (non-owning; may be nullptr to clear). The
+  // injector perturbs sensor, localization, timing, and CAN-bus data flows;
+  // the safety monitors are expected to detect and contain the faults.
+  void SetFaultInjector(FaultInjector* injector);
+
+  const SafetyLog& safety_log() const { return safety_log_; }
+  SafetyState safety_state() const { return degradation_.state(); }
+  const CanBus& canbus() const { return canbus_; }
 
  private:
   PilotConfig config_;
@@ -71,7 +95,21 @@ class ApolloPilot {
   TrajectoryController controller_;
   CanBus canbus_;
   double time_ = 0.0;
-  double min_clearance_ = 1e9;
+  std::int64_t tick_index_ = 0;
+  double min_clearance_ = std::numeric_limits<double>::infinity();
+  bool clearance_sampled_ = false;
+
+  // Runtime safety layer (ISO 26262-6 Tables 4/5).
+  SafetyLog safety_log_;
+  RangeMonitor range_monitor_;
+  PlausibilityMonitor plausibility_monitor_;
+  DeadlineWatchdog watchdog_;
+  ControlFlowMonitor control_flow_monitor_;
+  DegradationManager degradation_;
+  FaultInjector* injector_ = nullptr;  // non-owning
+  std::int64_t violations_tallied_ = 0;
+  VehicleState last_published_est_;
+  std::vector<Obstacle> last_tracked_;
 };
 
 }  // namespace adpilot

@@ -1,0 +1,88 @@
+#include "ad/safety/degradation.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace adpilot {
+
+const char* SafetyStateName(SafetyState state) {
+  switch (state) {
+    case SafetyState::kNominal: return "nominal";
+    case SafetyState::kLimpHome: return "limp_home";
+    case SafetyState::kSafeStop: return "safe_stop";
+  }
+  return "unknown";
+}
+
+DegradationManager::DegradationManager(const SafetyConfig& config)
+    : config_(config) {
+  CERTKIT_CHECK(config.limp_home_after >= 1);
+  CERTKIT_CHECK(config.safe_stop_after >= 1);
+  CERTKIT_CHECK(config.recover_after >= 1);
+}
+
+void DegradationManager::TransitionTo(SafetyState next) {
+  if (next == state_) return;
+  state_ = next;
+  ++transitions_;
+  consecutive_degraded_ = 0;
+  consecutive_clean_ = 0;
+}
+
+SafetyState DegradationManager::Update(std::size_t warnings,
+                                       std::size_t criticals) {
+  if (state_ == SafetyState::kSafeStop) return state_;  // latched
+  if (criticals > 0) {
+    TransitionTo(SafetyState::kSafeStop);
+    return state_;
+  }
+  if (warnings > 0) {
+    ++consecutive_degraded_;
+    consecutive_clean_ = 0;
+    if (state_ == SafetyState::kNominal &&
+        consecutive_degraded_ >= config_.limp_home_after) {
+      TransitionTo(SafetyState::kLimpHome);
+      consecutive_degraded_ = config_.limp_home_after;
+    } else if (state_ == SafetyState::kLimpHome &&
+               consecutive_degraded_ >= config_.safe_stop_after) {
+      TransitionTo(SafetyState::kSafeStop);
+    }
+  } else {
+    ++consecutive_clean_;
+    consecutive_degraded_ = 0;
+    if (state_ == SafetyState::kLimpHome &&
+        consecutive_clean_ >= config_.recover_after) {
+      TransitionTo(SafetyState::kNominal);
+    }
+  }
+  return state_;
+}
+
+bool DegradationManager::ApplyToCommand(ControlCommand* command,
+                                        double current_speed) const {
+  CERTKIT_CHECK(command != nullptr);
+  const ControlCommand before = *command;
+  switch (state_) {
+    case SafetyState::kNominal:
+      return false;
+    case SafetyState::kLimpHome:
+      command->throttle =
+          std::min(command->throttle, config_.limp_home_throttle);
+      if (current_speed > config_.limp_home_speed) {
+        command->throttle = 0.0;
+        command->brake = std::max(command->brake, 0.3);
+      }
+      break;
+    case SafetyState::kSafeStop:
+      command->throttle = 0.0;
+      command->brake = 1.0;
+      command->steering = 0.0;
+      break;
+  }
+  return before.throttle != command->throttle ||
+         before.brake != command->brake ||
+         before.steering != command->steering;
+}
+
+}  // namespace adpilot

@@ -25,6 +25,20 @@ Vec2 CameraModel::PixelToEgo(double px, double py) {
 
 Scenario::Scenario(const ScenarioConfig& config)
     : config_(config), rng_(config.seed) {
+  // REQ-SCEN-001: a scenario shall only be constructed from a valid world
+  // description. In particular num_lanes == 0 would underflow the lane
+  // sampling bound below.
+  CERTKIT_CHECK_MSG(config.num_lanes >= 1,
+                    "scenario requires at least one lane (num_lanes = "
+                        << config.num_lanes << ")");
+  CERTKIT_CHECK_MSG(config.num_vehicles >= 0,
+                    "negative vehicle count: " << config.num_vehicles);
+  CERTKIT_CHECK_MSG(config.num_pedestrians >= 0,
+                    "negative pedestrian count: " << config.num_pedestrians);
+  CERTKIT_CHECK_MSG(config.lane_width > 0.0,
+                    "lane width must be positive: " << config.lane_width);
+  CERTKIT_CHECK_MSG(config.road_length > 0.0,
+                    "road length must be positive: " << config.road_length);
   // Vehicles ahead of the origin in random lanes, driving forward at
   // varied speeds.
   for (int i = 0; i < config_.num_vehicles; ++i) {

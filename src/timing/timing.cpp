@@ -10,14 +10,18 @@ namespace certkit::timing {
 
 namespace {
 
-// Index-based quantile on a sorted vector (nearest-rank).
+// Nearest-rank quantile on a sorted vector: the smallest sample whose rank
+// ceil(q * N) covers at least fraction q of the distribution. q = 0 yields
+// the minimum, q = 1 the maximum. WCET percentiles must never interpolate
+// below an observed sample, so the returned value is always a member of the
+// sample set.
 double Quantile(const std::vector<double>& sorted, double q) {
   CERTKIT_CHECK(!sorted.empty());
-  const double rank = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  CERTKIT_CHECK(q >= 0.0 && q <= 1.0);
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
 }
 
 constexpr double kEulerMascheroni = 0.5772156649015329;

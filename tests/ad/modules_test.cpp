@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "ad/canbus.h"
@@ -313,6 +314,71 @@ TEST(CanBusTest, CommandFrameRoundTrip) {
   EXPECT_NEAR(back.throttle, cmd.throttle, 1e-3);
   EXPECT_NEAR(back.brake, cmd.brake, 1e-3);
   EXPECT_NEAR(back.steering, cmd.steering, 1e-3);
+}
+
+TEST(CanBusTest, EncodeSaturatesAtWireRange) {
+  // The fixed-point wire format covers ±32.767 in steps of 1e-3. Commands
+  // beyond that range must saturate, not wrap: the historical bug turned a
+  // large positive steering demand into a large negative one.
+  ControlCommand extreme;
+  extreme.throttle = 40.0;    // 40000 > INT16_MAX = 32767
+  extreme.brake = -40.0;
+  extreme.steering = 1e9;
+  const ControlCommand back = DecodeCommand(EncodeCommand(extreme));
+  EXPECT_DOUBLE_EQ(back.throttle, 32.767);
+  EXPECT_DOUBLE_EQ(back.brake, -32.768);
+  EXPECT_DOUBLE_EQ(back.steering, 32.767);
+
+  // Exactly at the boundary: still round-trips losslessly.
+  ControlCommand edge;
+  edge.throttle = 32.767;
+  edge.brake = -32.768;
+  edge.steering = 0.0;
+  const ControlCommand edge_back = DecodeCommand(EncodeCommand(edge));
+  EXPECT_DOUBLE_EQ(edge_back.throttle, 32.767);
+  EXPECT_DOUBLE_EQ(edge_back.brake, -32.768);
+}
+
+TEST(CanBusTest, EncodeMapsNonFiniteToZero) {
+  ControlCommand cmd;
+  cmd.throttle = std::numeric_limits<double>::quiet_NaN();
+  cmd.brake = std::numeric_limits<double>::infinity();
+  cmd.steering = -std::numeric_limits<double>::infinity();
+  const ControlCommand back = DecodeCommand(EncodeCommand(cmd));
+  EXPECT_DOUBLE_EQ(back.throttle, 0.0);
+  EXPECT_DOUBLE_EQ(back.brake, 0.0);
+  EXPECT_DOUBLE_EQ(back.steering, 0.0);
+}
+
+TEST(CanBusTest, CommandFrameCarriesValidChecksum) {
+  ControlCommand cmd;
+  cmd.throttle = 0.7;
+  cmd.steering = -0.2;
+  CanFrame frame = EncodeCommand(cmd);
+  EXPECT_EQ(frame.dlc, 8);
+  EXPECT_TRUE(VerifyCommandFrame(frame));
+  frame.data[2] ^= 0x10;
+  EXPECT_FALSE(VerifyCommandFrame(frame));
+}
+
+TEST(ScenarioTest, RejectsInvalidConfig) {
+  ScenarioConfig no_lanes;
+  no_lanes.num_lanes = 0;  // would underflow the lane sampling bound
+  EXPECT_THROW(Scenario{no_lanes}, certkit::support::ContractViolation);
+  ScenarioConfig negative_vehicles;
+  negative_vehicles.num_vehicles = -1;
+  EXPECT_THROW(Scenario{negative_vehicles},
+               certkit::support::ContractViolation);
+  ScenarioConfig negative_pedestrians;
+  negative_pedestrians.num_pedestrians = -2;
+  EXPECT_THROW(Scenario{negative_pedestrians},
+               certkit::support::ContractViolation);
+  ScenarioConfig flat_lane;
+  flat_lane.lane_width = 0.0;
+  EXPECT_THROW(Scenario{flat_lane}, certkit::support::ContractViolation);
+  ScenarioConfig no_road;
+  no_road.road_length = -10.0;
+  EXPECT_THROW(Scenario{no_road}, certkit::support::ContractViolation);
 }
 
 TEST(CanBusTest, DecodeWrongIdIsContractViolation) {

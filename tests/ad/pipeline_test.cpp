@@ -93,6 +93,39 @@ TEST(PipelineTest, RouteSpansStartToGoal) {
   EXPECT_GT(route.waypoints.back().x, 140.0);
 }
 
+TEST(PipelineTest, EmptyWorldReportsNoObstacleStateNotSentinel) {
+  PilotConfig cfg;
+  cfg.scenario.num_vehicles = 0;
+  cfg.scenario.num_pedestrians = 0;
+  ApolloPilot pilot(cfg);
+  auto reports = pilot.Run(5.0);
+  for (const TickReport& r : reports) {
+    EXPECT_FALSE(r.obstacle_in_range);
+    // The distance field is defined only when an obstacle is in range; it
+    // must never leak a placeholder magnitude.
+    EXPECT_DOUBLE_EQ(r.min_obstacle_distance, 0.0);
+  }
+  EXPECT_FALSE(pilot.HasClearanceSample());
+}
+
+TEST(PipelineTest, ClearanceSampledOnceTrafficAppears) {
+  PilotConfig cfg;
+  cfg.scenario.num_vehicles = 2;
+  cfg.scenario.seed = 33;
+  ApolloPilot pilot(cfg);
+  auto reports = pilot.Run(5.0);
+  EXPECT_TRUE(pilot.HasClearanceSample());
+  bool any_in_range = false;
+  for (const TickReport& r : reports) {
+    if (r.obstacle_in_range) {
+      any_in_range = true;
+      EXPECT_GT(r.min_obstacle_distance, 0.0);
+      EXPECT_LT(r.min_obstacle_distance, 1000.0);
+    }
+  }
+  EXPECT_TRUE(any_in_range);
+}
+
 TEST(PipelineTest, DeterministicForSameSeed) {
   PilotConfig cfg;
   cfg.scenario.seed = 31;

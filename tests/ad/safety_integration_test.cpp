@@ -1,0 +1,158 @@
+// Integration tests: fault injection against the full closed-loop pipeline.
+//
+// The acceptance property of the runtime safety layer: under a sustained
+// NaN-corrupted detection stream the vehicle ends in safe-stop and no
+// non-finite value ever reaches the CAN bus encoder. TickReport.command is
+// the command actually handed to EncodeCommand, so asserting it finite on
+// every tick proves the containment end to end.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ad/pipeline.h"
+
+namespace adpilot {
+namespace {
+
+PilotConfig CampaignPilotConfig(std::uint64_t seed) {
+  PilotConfig cfg;
+  cfg.scenario.num_vehicles = 3;
+  cfg.scenario.seed = seed;
+  cfg.goal_x = 200.0;
+  cfg.safety.limp_home_after = 3;
+  cfg.safety.safe_stop_after = 10;
+  // The watchdog measures real wall-clock time, and sanitizer builds slow a
+  // tick by an order of magnitude. A generous deadline keeps these tests
+  // deterministic under TSan/ASan; injected overruns exceed it explicitly.
+  cfg.safety.tick_deadline = 5.0;
+  return cfg;
+}
+
+FaultCampaignConfig SingleFault(FaultKind kind, std::int64_t onset,
+                                std::int64_t duration,
+                                double magnitude = 1.0) {
+  FaultCampaignConfig campaign;
+  campaign.seed = 77;
+  campaign.faults.push_back({kind, onset, duration, magnitude});
+  return campaign;
+}
+
+bool CommandFinite(const ControlCommand& c) {
+  return std::isfinite(c.throttle) && std::isfinite(c.brake) &&
+         std::isfinite(c.steering);
+}
+
+TEST(SafetyIntegrationTest, NaNDetectionStreamEndsInSafeStopWithFiniteBus) {
+  PilotConfig cfg = CampaignPilotConfig(101);
+  ApolloPilot pilot(cfg);
+  // NaN corruption live from tick 10 for the rest of the run.
+  FaultInjector injector(SingleFault(FaultKind::kDetectionNaN, 10, 1000));
+  pilot.SetFaultInjector(&injector);
+
+  bool ever_overridden = false;
+  for (int t = 0; t < 200; ++t) {
+    const TickReport report = pilot.Tick();
+    // The invariant under test: nothing non-finite reaches EncodeCommand.
+    ASSERT_TRUE(CommandFinite(report.command)) << "tick " << t;
+    ever_overridden = ever_overridden || report.command_overridden;
+  }
+
+  EXPECT_GT(injector.injected(FaultKind::kDetectionNaN), 0);
+  // Every corrupted obstacle was caught by the range monitor...
+  EXPECT_GT(pilot.safety_log().CountByMonitor(MonitorId::kRange), 0);
+  // ...and the sustained fault degraded the vehicle into a safe stop.
+  EXPECT_EQ(pilot.safety_state(), SafetyState::kSafeStop);
+  EXPECT_TRUE(ever_overridden);
+  // Safe-stop means stopped: full braking has drained the speed.
+  EXPECT_LT(pilot.canbus().vehicle().state().speed, 0.5);
+}
+
+TEST(SafetyIntegrationTest, SensorDropoutTripsControlFlowMonitor) {
+  PilotConfig cfg = CampaignPilotConfig(102);
+  ApolloPilot pilot(cfg);
+  FaultInjector injector(SingleFault(FaultKind::kSensorDropout, 20, 5));
+  pilot.SetFaultInjector(&injector);
+  for (int t = 0; t < 60; ++t) pilot.Tick();
+
+  EXPECT_EQ(injector.injected(FaultKind::kSensorDropout), 5);
+  // Each dropped frame shows up as a broken stage sequence.
+  EXPECT_GE(pilot.safety_log().CountByMonitor(MonitorId::kControlFlow), 5);
+  // A 5-tick dropout degrades (limp-home after 3) but must not latch a
+  // safe stop (criticals only come from the command monitor).
+  EXPECT_NE(pilot.safety_state(), SafetyState::kSafeStop);
+}
+
+TEST(SafetyIntegrationTest, BitFlipsAreRejectedByChecksum) {
+  PilotConfig cfg = CampaignPilotConfig(103);
+  ApolloPilot pilot(cfg);
+  FaultInjector injector(SingleFault(FaultKind::kCanBitFlip, 15, 20));
+  pilot.SetFaultInjector(&injector);
+  for (int t = 0; t < 60; ++t) {
+    const TickReport report = pilot.Tick();
+    ASSERT_TRUE(CommandFinite(report.command));
+  }
+  EXPECT_EQ(injector.injected(FaultKind::kCanBitFlip), 20);
+  // Fletcher-16 catches every flipped frame; the bus supervisor logs them.
+  EXPECT_EQ(pilot.canbus().frames_rejected(), 20);
+  EXPECT_EQ(pilot.safety_log().CountByMonitor(MonitorId::kCanBus), 20);
+}
+
+TEST(SafetyIntegrationTest, StaleLocalizationTripsPlausibilityMonitor) {
+  PilotConfig cfg = CampaignPilotConfig(104);
+  ApolloPilot pilot(cfg);
+  // Freeze the published estimate for 3 seconds while the vehicle drives.
+  FaultInjector injector(
+      SingleFault(FaultKind::kStaleLocalization, 60, 30));
+  pilot.SetFaultInjector(&injector);
+  for (int t = 0; t < 120; ++t) pilot.Tick();
+  EXPECT_EQ(injector.injected(FaultKind::kStaleLocalization), 30);
+  EXPECT_GE(pilot.safety_log().CountByMonitor(MonitorId::kPlausibility), 1);
+}
+
+TEST(SafetyIntegrationTest, TimingOverrunTripsWatchdog) {
+  PilotConfig cfg = CampaignPilotConfig(105);
+  ApolloPilot pilot(cfg);
+  // Injected overrun must exceed the generous sanitizer-safe deadline.
+  FaultInjector injector(SingleFault(FaultKind::kTimingOverrun, 10, 4,
+                                     /*seconds=*/10.0));
+  pilot.SetFaultInjector(&injector);
+  for (int t = 0; t < 40; ++t) pilot.Tick();
+  EXPECT_EQ(injector.injected(FaultKind::kTimingOverrun), 4);
+  EXPECT_EQ(pilot.safety_log().CountByMonitor(MonitorId::kDeadline), 4);
+}
+
+TEST(SafetyIntegrationTest, FaultFreeRunStaysNominal) {
+  PilotConfig cfg = CampaignPilotConfig(106);
+  ApolloPilot pilot(cfg);
+  auto reports = pilot.Run(20.0);
+  for (const TickReport& r : reports) {
+    EXPECT_EQ(r.safety_state, SafetyState::kNominal);
+    EXPECT_FALSE(r.command_overridden);
+  }
+  EXPECT_EQ(pilot.safety_log().size(), 0);
+  EXPECT_EQ(pilot.canbus().frames_rejected(), 0);
+}
+
+TEST(SafetyIntegrationTest, CampaignIsDeterministicForSameSeed) {
+  PilotConfig cfg = CampaignPilotConfig(107);
+  ApolloPilot a(cfg);
+  ApolloPilot b(cfg);
+  FaultInjector ia(SingleFault(FaultKind::kDetectionRange, 20, 30));
+  FaultInjector ib(SingleFault(FaultKind::kDetectionRange, 20, 30));
+  a.SetFaultInjector(&ia);
+  b.SetFaultInjector(&ib);
+  for (int t = 0; t < 100; ++t) {
+    const TickReport ra = a.Tick();
+    const TickReport rb = b.Tick();
+    EXPECT_DOUBLE_EQ(ra.ground_truth.pose.position.x,
+                     rb.ground_truth.pose.position.x);
+    EXPECT_EQ(ra.safety_state, rb.safety_state);
+    EXPECT_EQ(ra.new_violations, rb.new_violations);
+  }
+  EXPECT_EQ(ia.total_injected(), ib.total_injected());
+  EXPECT_EQ(a.safety_log().size(), b.safety_log().size());
+}
+
+}  // namespace
+}  // namespace adpilot

@@ -23,6 +23,29 @@ TEST(TimerTest, StatsOnKnownSamples) {
   EXPECT_LE(s.p95, 5.0);
 }
 
+TEST(TimerTest, QuantilesUseNearestRank) {
+  // The WCET percentiles are nearest-rank by definition: the reported value
+  // must be an observed sample, never an interpolation below one. For
+  // samples 1..100, p95 is exactly the 95th sample and p99 the 99th.
+  ExecutionTimer t("nr");
+  for (int i = 1; i <= 100; ++i) t.Record(static_cast<double>(i));
+  const TimingStats s = t.GetStats();
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+
+  // Small sample sets round up to the covering rank: for {1, 2},
+  // ceil(0.95 * 2) = 2 -> the maximum.
+  ExecutionTimer small("nr_small");
+  small.Record(1.0);
+  small.Record(2.0);
+  EXPECT_DOUBLE_EQ(small.GetStats().p95, 2.0);
+
+  ExecutionTimer one("nr_one");
+  one.Record(7.0);
+  EXPECT_DOUBLE_EQ(one.GetStats().p95, 7.0);
+  EXPECT_DOUBLE_EQ(one.GetStats().p99, 7.0);
+}
+
 TEST(TimerTest, EmptyTimerStats) {
   ExecutionTimer t("empty");
   const TimingStats s = t.GetStats();
