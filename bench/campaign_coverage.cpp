@@ -1,0 +1,62 @@
+// Experiment E-campaign — coverage-guided scenario campaign vs the fixed
+// Figure-5 scenario set.
+//
+// Runs the campaign engine (src/campaign/) for a few generations and emits
+// one JSON document: per-generation coverage per criterion per yolo/ file,
+// oracle tallies, the kept corpus, and (with --timing) candidates/sec at
+// --jobs N. Without --timing the output is byte-identical for a fixed
+// --seed across any --jobs value; the fleet-determinism test relies on
+// exactly that.
+//
+// Usage:
+//   campaign_coverage [--seed N] [--jobs N] [--population N]
+//                     [--generations N] [--timing] [--baseline]
+//
+// --baseline additionally runs the fixed Figure-5 scenario set first and
+// prepends its coverage rows, so one invocation yields the comparison table
+// EXPERIMENTS.md reports.
+#include <cstdio>
+#include <string>
+
+#include "campaign/baseline.h"
+#include "campaign/coverage_map.h"
+#include "campaign/runner.h"
+#include "coverage/coverage.h"
+#include "support/flags.h"
+
+int main(int argc, char** argv) {
+  certkit::support::FlagParser flags(argc, argv);
+  certkit::campaign::CampaignConfig config;
+  config.seed = static_cast<std::uint64_t>(*flags.GetInt("seed", 1));
+  config.jobs = static_cast<int>(*flags.GetInt("jobs", 1));
+  config.population = static_cast<int>(*flags.GetInt("population", 12));
+  config.generations = static_cast<int>(*flags.GetInt("generations", 4));
+  config.ticks = static_cast<int>(*flags.GetInt("ticks", 25));
+  config.include_timing = flags.GetBool("timing");
+
+  std::string baseline_json;
+  if (flags.GetBool("baseline")) {
+    const certkit::cov::CoverSet baseline =
+        certkit::campaign::CaptureFigure5Baseline();
+    certkit::campaign::CoverageMap map;
+    map.Merge(baseline);
+    baseline_json = certkit::campaign::CoverageRowsJson(
+        map.Rows(config.unit_prefix));
+    // Comparison mode seeds the campaign with the baseline cover, so the
+    // campaign's final rows dominate the baseline rows (the campaign adds
+    // tests on top of the existing suite — it never discards them).
+    config.seed_with_fig5 = true;
+  }
+
+  certkit::campaign::CampaignRunner runner(config);
+  const certkit::campaign::CampaignResult result = runner.Run();
+  const std::string campaign_json = certkit::campaign::CampaignJson(result);
+
+  if (baseline_json.empty()) {
+    std::printf("%s\n", campaign_json.c_str());
+  } else {
+    std::printf("{\"fig5_baseline\":%s,\"campaign\":%s}\n",
+                baseline_json.c_str(), campaign_json.c_str());
+  }
+  return 0;
+}

@@ -5,7 +5,10 @@ namespace adpilot {
 Perception::Perception(const PerceptionConfig& config)
     : config_(config), tracker_(config.tracker) {
   nn::DetectorConfig det_config;
-  det_config.input_h = det_config.input_w = CameraModel::kImageSize;
+  det_config.input_h = config.detector_input_h > 0 ? config.detector_input_h
+                                                   : CameraModel::kImageSize;
+  det_config.input_w = config.detector_input_w > 0 ? config.detector_input_w
+                                                   : CameraModel::kImageSize;
   det_config.num_classes = 2;
   det_config.score_threshold = config.score_threshold;
   det_config.backend = config.backend;

@@ -16,6 +16,11 @@ namespace adpilot {
 struct PerceptionConfig {
   nn::Backend backend = nn::Backend::kClosedSim;
   float score_threshold = 0.5f;
+  // Detector input size; 0 means "match the camera" (CameraModel::kImageSize).
+  // Non-matching sizes exercise the detector's resize/letterbox front end —
+  // the campaign engine mutates these to reach those branches.
+  int detector_input_h = 0;
+  int detector_input_w = 0;
   TrackerConfig tracker;
 };
 

@@ -92,6 +92,23 @@ void SafetyLog::TallySince(std::int64_t from, std::size_t* warnings,
   }
 }
 
+SafetySummary SafetyLog::Summarize() const {
+  SafetySummary summary;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Violation& v : violations_) {
+    ++summary.total;
+    if (v.severity == Severity::kCritical) {
+      ++summary.criticals;
+    } else {
+      ++summary.warnings;
+    }
+    if (v.handled) ++summary.handled;
+    const int m = static_cast<int>(v.monitor);
+    if (m >= 0 && m < kNumMonitors) ++summary.by_monitor[m];
+  }
+  return summary;
+}
+
 RangeMonitor::RangeMonitor(const SafetyConfig& config) : config_(config) {}
 
 std::size_t RangeMonitor::CheckAndSanitizeObstacles(

@@ -85,6 +85,18 @@ struct Violation {
   std::string message;
 };
 
+// Aggregate verdict over a SafetyLog — the safety oracle a test-generation
+// campaign scores candidates with. Per-monitor tallies give a "novel
+// outcome" signal (a candidate that first trips a monitor is kept even if
+// it adds no structural coverage).
+struct SafetySummary {
+  std::int64_t total = 0;
+  std::int64_t warnings = 0;
+  std::int64_t criticals = 0;
+  std::int64_t handled = 0;
+  std::int64_t by_monitor[kNumMonitors] = {0, 0, 0, 0, 0, 0};
+};
+
 // Append-only, thread-safe violation log.
 class SafetyLog {
  public:
@@ -98,6 +110,8 @@ class SafetyLog {
   // size() value); used by the pipeline to close each tick's verdict.
   void TallySince(std::int64_t from, std::size_t* warnings,
                   std::size_t* criticals) const;
+  // Aggregate oracle verdict over the whole log.
+  SafetySummary Summarize() const;
 
  private:
   mutable std::mutex mu_;

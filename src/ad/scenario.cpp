@@ -1,10 +1,73 @@
 #include "ad/scenario.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <sstream>
 
 #include "support/check.h"
 
 namespace adpilot {
+
+std::string ValidateScenarioConfig(const ScenarioConfig& config) {
+  std::ostringstream reason;
+  if (config.num_lanes < 1) {
+    reason << "scenario requires at least one lane (num_lanes = "
+           << config.num_lanes << ")";
+  } else if (config.num_vehicles < 0) {
+    reason << "negative vehicle count: " << config.num_vehicles;
+  } else if (config.num_vehicles > ScenarioConfig::kMaxVehicles) {
+    reason << "vehicle count " << config.num_vehicles << " exceeds cap "
+           << ScenarioConfig::kMaxVehicles;
+  } else if (config.num_pedestrians < 0) {
+    reason << "negative pedestrian count: " << config.num_pedestrians;
+  } else if (config.num_pedestrians > ScenarioConfig::kMaxPedestrians) {
+    reason << "pedestrian count " << config.num_pedestrians << " exceeds cap "
+           << ScenarioConfig::kMaxPedestrians;
+  } else if (!(config.lane_width > 0.0)) {
+    reason << "lane width must be positive: " << config.lane_width;
+  } else if (!(config.road_length > 0.0)) {
+    reason << "road length must be positive: " << config.road_length;
+  } else if (!(config.vehicle_speed_min >= 0.0)) {
+    reason << "vehicle speed min must be non-negative: "
+           << config.vehicle_speed_min;
+  } else if (!(config.vehicle_speed_max > config.vehicle_speed_min)) {
+    reason << "vehicle speed range is empty: [" << config.vehicle_speed_min
+           << ", " << config.vehicle_speed_max << ")";
+  }
+  return reason.str();
+}
+
+ScenarioConfig ClampScenarioConfig(const ScenarioConfig& config) {
+  ScenarioConfig out = config;
+  out.num_vehicles =
+      std::clamp(out.num_vehicles, 0, ScenarioConfig::kMaxVehicles);
+  out.num_pedestrians =
+      std::clamp(out.num_pedestrians, 0, ScenarioConfig::kMaxPedestrians);
+  out.num_lanes = std::clamp(out.num_lanes, 1, 8);
+  out.lane_width = std::clamp(out.lane_width, 2.0, 8.0);
+  out.road_length = std::clamp(out.road_length, 50.0, 2000.0);
+  out.vehicle_speed_min = std::clamp(out.vehicle_speed_min, 0.0, 30.0);
+  if (out.vehicle_speed_max <= out.vehicle_speed_min) {
+    out.vehicle_speed_max = out.vehicle_speed_min + 1.0;
+  }
+  out.vehicle_speed_max = std::clamp(out.vehicle_speed_max,
+                                     out.vehicle_speed_min + 0.5, 40.0);
+  return out;
+}
+
+std::string ScenarioConfigJson(const ScenarioConfig& config) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"num_vehicles\":%d,\"num_pedestrians\":%d,\"road_length\":%.3f,"
+      "\"lane_width\":%.3f,\"num_lanes\":%d,\"vehicle_speed_min\":%.3f,"
+      "\"vehicle_speed_max\":%.3f,\"seed\":%llu}",
+      config.num_vehicles, config.num_pedestrians, config.road_length,
+      config.lane_width, config.num_lanes, config.vehicle_speed_min,
+      config.vehicle_speed_max,
+      static_cast<unsigned long long>(config.seed));
+  return buf;
+}
 
 bool CameraModel::EgoToPixel(const Vec2& ego, double* px, double* py) {
   CERTKIT_CHECK(px != nullptr && py != nullptr);
@@ -28,17 +91,8 @@ Scenario::Scenario(const ScenarioConfig& config)
   // REQ-SCEN-001: a scenario shall only be constructed from a valid world
   // description. In particular num_lanes == 0 would underflow the lane
   // sampling bound below.
-  CERTKIT_CHECK_MSG(config.num_lanes >= 1,
-                    "scenario requires at least one lane (num_lanes = "
-                        << config.num_lanes << ")");
-  CERTKIT_CHECK_MSG(config.num_vehicles >= 0,
-                    "negative vehicle count: " << config.num_vehicles);
-  CERTKIT_CHECK_MSG(config.num_pedestrians >= 0,
-                    "negative pedestrian count: " << config.num_pedestrians);
-  CERTKIT_CHECK_MSG(config.lane_width > 0.0,
-                    "lane width must be positive: " << config.lane_width);
-  CERTKIT_CHECK_MSG(config.road_length > 0.0,
-                    "road length must be positive: " << config.road_length);
+  const std::string reason = ValidateScenarioConfig(config);
+  CERTKIT_CHECK_MSG(reason.empty(), "REQ-SCEN-001: " << reason);
   // Vehicles ahead of the origin in random lanes, driving forward at
   // varied speeds.
   for (int i = 0; i < config_.num_vehicles; ++i) {
@@ -50,7 +104,9 @@ Scenario::Scenario(const ScenarioConfig& config)
     v.position = {20.0 + 25.0 * i + rng_.UniformDouble(0.0, 10.0),
                   (lane + 0.5) * config_.lane_width -
                       config_.num_lanes * config_.lane_width / 2.0};
-    v.velocity = {rng_.UniformDouble(2.0, 8.0), 0.0};
+    v.velocity = {rng_.UniformDouble(config_.vehicle_speed_min,
+                                     config_.vehicle_speed_max),
+                  0.0};
     v.length = 4.5;
     v.width = 2.0;
     agents_.push_back(v);

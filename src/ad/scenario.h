@@ -8,6 +8,7 @@
 #ifndef AD_SCENARIO_H_
 #define AD_SCENARIO_H_
 
+#include <string>
 #include <vector>
 
 #include "ad/common.h"
@@ -17,13 +18,36 @@
 namespace adpilot {
 
 struct ScenarioConfig {
+  // Upper actor bounds (REQ-SCEN-001): beyond these the synthetic road
+  // cannot place agents meaningfully and campaign mutation stops growing.
+  static constexpr int kMaxVehicles = 32;
+  static constexpr int kMaxPedestrians = 32;
+
   int num_vehicles = 3;
   int num_pedestrians = 0;
   double road_length = 400.0;
   double lane_width = 4.0;
   int num_lanes = 2;
+  // Initial vehicle speed range sampled per vehicle (m/s). Defaults match
+  // the historical hard-coded range, so seeded RNG sequences are unchanged.
+  double vehicle_speed_min = 2.0;
+  double vehicle_speed_max = 8.0;
   std::uint64_t seed = 1234;
 };
+
+// REQ-SCEN-001 validation: returns an empty string when `config` describes
+// a constructible world, otherwise a human-readable reason. Scenario's
+// constructor enforces this with CERTKIT_CHECK.
+std::string ValidateScenarioConfig(const ScenarioConfig& config);
+
+// Forces `config` into the valid envelope (actor counts into
+// [0, kMax*], geometry positive, speed range ordered). Used by the
+// campaign mutator so arbitrary mutations always yield runnable scenarios.
+ScenarioConfig ClampScenarioConfig(const ScenarioConfig& config);
+
+// Single-line JSON serialization of `config` (stable key order), used by
+// the campaign engine to report reproducible candidates.
+std::string ScenarioConfigJson(const ScenarioConfig& config);
 
 // Camera geometry shared by rendering and detection back-projection.
 struct CameraModel {

@@ -1,0 +1,96 @@
+#include "campaign/baseline.h"
+
+#include <string>
+#include <vector>
+
+#include "ad/perception.h"
+#include "ad/scenario.h"
+#include "nn/detector.h"
+
+namespace certkit::campaign {
+
+void RunFigure5ScenarioSet() {
+  using namespace adpilot;
+  // Three scenario variants = the available "real-scenario tests".
+  for (std::uint64_t seed : {101ULL, 202ULL, 303ULL}) {
+    ScenarioConfig cfg;
+    cfg.num_vehicles = 3;
+    cfg.num_pedestrians = 1;
+    cfg.seed = seed;
+    Scenario scenario(cfg);
+    Perception perception;
+    Pose ego{{0.0, -2.0}, 0.0};
+    for (int tick = 0; tick < 15; ++tick) {
+      scenario.Step(0.1);
+      ego.position.x += 0.6;  // ego advances through traffic
+      nn::Tensor frame = scenario.RenderCameraFrame(ego);
+      perception.Process(frame, ego, 0.1);
+    }
+  }
+  // One pass on the open-library build variant (the paper's Figure 7 setup
+  // is exercised by the same tests).
+  {
+    ScenarioConfig cfg;
+    cfg.num_vehicles = 2;
+    cfg.seed = 404;
+    Scenario scenario(cfg);
+    PerceptionConfig pcfg;
+    pcfg.backend = nn::Backend::kOpenSim;
+    Perception perception(pcfg);
+    Pose ego{{0.0, -2.0}, 0.0};
+    for (int tick = 0; tick < 5; ++tick) {
+      scenario.Step(0.1);
+      nn::Tensor frame = scenario.RenderCameraFrame(ego);
+      perception.Process(frame, ego, 0.1);
+    }
+  }
+  // One smoke pass on the CPU-fallback build (no accelerator available).
+  {
+    ScenarioConfig cfg;
+    cfg.num_vehicles = 1;
+    cfg.seed = 505;
+    Scenario scenario(cfg);
+    PerceptionConfig pcfg;
+    pcfg.backend = nn::Backend::kCpuNaive;
+    Perception perception(pcfg);
+    Pose ego{{0.0, -2.0}, 0.0};
+    nn::Tensor frame = scenario.RenderCameraFrame(ego);
+    perception.Process(frame, ego, 0.1);
+  }
+  // One pass with production-style random weights and a high-resolution
+  // camera frame that the preprocessor must downscale.
+  {
+    nn::DetectorConfig dcfg;
+    dcfg.num_classes = 2;
+    dcfg.score_threshold = 0.35f;  // tuned-down deployment variant
+    nn::TinyYoloDetector detector(dcfg);
+    nn::InitRandomWeights(&detector, 2024);
+    nn::Tensor hires(1, 3, 128, 128);
+    for (int c = 0; c < 3; ++c) {
+      for (int y = 0; y < 128; ++y) {
+        for (int x = 0; x < 128; ++x) {
+          hires.At(0, c, y, x) =
+              (y >= 40 && y < 80 && x >= 40 && x < 80) ? 220.0f : 25.0f;
+        }
+      }
+    }
+    auto dets = detector.Detect(hires);
+    (void)dets;
+  }
+  // The deployment flow also serializes/loads weights once (happy path —
+  // the loader's error handling stays uncovered, as in a real test bench).
+  std::vector<float> values(64, 0.5f);
+  std::string buffer;
+  nn::SerializeWeights(values, &buffer);
+  nn::WeightsBlob blob;
+  std::string error;
+  nn::DeserializeWeights(buffer, &blob, &error);
+}
+
+cov::CoverSet CaptureFigure5Baseline() {
+  cov::ThreadCapture capture;
+  RunFigure5ScenarioSet();
+  return capture.Take();
+}
+
+}  // namespace certkit::campaign

@@ -1,0 +1,25 @@
+// certkit campaign: the fixed Figure-5 "real-scenario test" set, factored
+// out of bench/fig5_cpu_coverage so both the bench and the campaign can
+// compare against the identical baseline.
+#ifndef CERTKIT_CAMPAIGN_BASELINE_H_
+#define CERTKIT_CAMPAIGN_BASELINE_H_
+
+#include "coverage/coverage.h"
+
+namespace certkit::campaign {
+
+// Executes the paper-style fixed scenario tests (three seeded traffic
+// scenarios, one open-backend pass, one CPU-fallback pass, a hi-res
+// random-weight detector pass, and a weights happy-path round trip) against
+// the instrumented detector. Probes land in the global cov::Registry as
+// usual.
+void RunFigure5ScenarioSet();
+
+// Runs the same set under a cov::ThreadCapture and returns exactly the
+// coverage it produces, without resetting or reading global registry tallies
+// (other tests in the process stay unaffected).
+cov::CoverSet CaptureFigure5Baseline();
+
+}  // namespace certkit::campaign
+
+#endif  // CERTKIT_CAMPAIGN_BASELINE_H_

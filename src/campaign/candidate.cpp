@@ -1,0 +1,40 @@
+#include "campaign/candidate.h"
+
+#include <sstream>
+
+namespace certkit::campaign {
+
+const char* BackendTag(nn::Backend backend) {
+  switch (backend) {
+    case nn::Backend::kClosedSim:
+      return "closed";
+    case nn::Backend::kOpenSim:
+      return "open";
+    case nn::Backend::kCpuNaive:
+      return "cpu";
+  }
+  return "?";
+}
+
+std::string CandidateJson(const Candidate& candidate) {
+  std::ostringstream out;
+  out << "{\"id\":" << candidate.id << ",\"parent\":" << candidate.parent_id
+      << ",\"generation\":" << candidate.generation
+      << ",\"scenario\":" << adpilot::ScenarioConfigJson(candidate.scenario)
+      << ",\"backend\":\"" << BackendTag(candidate.backend) << "\""
+      << ",\"detector_input\":[" << candidate.detector_input_h << ","
+      << candidate.detector_input_w << "]"
+      << ",\"ticks\":" << candidate.ticks << ",\"fault_seed\":"
+      << candidate.fault_seed << ",\"faults\":[";
+  for (std::size_t i = 0; i < candidate.faults.size(); ++i) {
+    const adpilot::FaultSpec& f = candidate.faults[i];
+    if (i > 0) out << ",";
+    out << "{\"kind\":\"" << adpilot::FaultKindName(f.kind)
+        << "\",\"onset\":" << f.onset_tick << ",\"duration\":"
+        << f.duration_ticks << ",\"magnitude\":" << f.magnitude << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace certkit::campaign

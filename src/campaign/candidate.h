@@ -1,0 +1,48 @@
+// certkit campaign: one test-generation candidate — everything needed to
+// reproduce a single closed-loop pipeline run bit-for-bit.
+//
+// A candidate pairs a scenario description with a perception variant and a
+// fault plan. The campaign engine evolves a pool of candidates toward
+// uncovered structure (Figure 5's gaps: letterboxing, backend variants,
+// relu/upsample paths) and unseen safety-oracle outcomes.
+#ifndef CERTKIT_CAMPAIGN_CANDIDATE_H_
+#define CERTKIT_CAMPAIGN_CANDIDATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ad/safety/fault_injector.h"
+#include "ad/scenario.h"
+#include "nn/layers.h"
+
+namespace certkit::campaign {
+
+struct Candidate {
+  // Lineage (reporting only — never feeds the evaluation).
+  std::int64_t id = 0;
+  std::int64_t parent_id = -1;  // -1: seed-pool candidate
+  int generation = 0;
+
+  // The run description. Every stochastic element is derived from these
+  // seeds, so a candidate re-executes identically on any thread and any
+  // --jobs count.
+  adpilot::ScenarioConfig scenario;
+  std::vector<adpilot::FaultSpec> faults;
+  std::uint64_t fault_seed = 7;
+  nn::Backend backend = nn::Backend::kCpuNaive;
+  // Detector input size; 0 = camera-native. Non-square values reach the
+  // preprocessor's letterbox path that fixed scenario tests never take.
+  int detector_input_h = 0;
+  int detector_input_w = 0;
+  int ticks = 25;  // closed-loop cycles to run
+};
+
+const char* BackendTag(nn::Backend backend);
+
+// Single-line JSON of `candidate` (stable key order; no volatile fields).
+std::string CandidateJson(const Candidate& candidate);
+
+}  // namespace certkit::campaign
+
+#endif  // CERTKIT_CAMPAIGN_CANDIDATE_H_

@@ -1,0 +1,42 @@
+#include "campaign/coverage_map.h"
+
+#include <cstdio>
+
+namespace certkit::campaign {
+
+std::int64_t CoverageMap::Merge(const cov::CoverSet& cover) {
+  const std::int64_t added = cov::MergeCover(&merged_, cover);
+  total_facts_ += added;
+  return added;
+}
+
+std::vector<cov::CoverageRow> CoverageMap::Rows(
+    const std::string& prefix) const {
+  // Units come from the merged cover, not the global registry: the registry
+  // accumulates units from everything the process has ever run, which would
+  // make the row set depend on history outside the campaign.
+  std::vector<cov::CoverageRow> rows;
+  for (const auto& [name, cover] : merged_) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    rows.push_back(
+        cov::CoverRow(cov::Registry::Instance().GetOrCreate(name), cover));
+  }
+  return rows;
+}
+
+std::string CoverageRowsJson(const std::vector<cov::CoverageRow>& rows) {
+  std::string out = "[";
+  char buf[256];
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"unit\":\"%s\",\"statement\":%.4f,\"branch\":%.4f,"
+                  "\"mcdc\":%.4f}",
+                  i > 0 ? "," : "", rows[i].unit.c_str(), rows[i].statement,
+                  rows[i].branch, rows[i].mcdc);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace certkit::campaign

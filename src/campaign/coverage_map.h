@@ -1,0 +1,44 @@
+// certkit campaign: the campaign's own view of structural coverage.
+//
+// The global cov::Registry accumulates probes from *everything* that has run
+// in the process (benchmark warm-ups, other tests, other campaign workers).
+// The campaign instead merges only the per-candidate covers captured with
+// cov::ThreadCapture, so its coverage numbers are a pure function of the
+// candidate set — independent of --jobs and of whatever else the process did.
+#ifndef CERTKIT_CAMPAIGN_COVERAGE_MAP_H_
+#define CERTKIT_CAMPAIGN_COVERAGE_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coverage/coverage.h"
+
+namespace certkit::campaign {
+
+class CoverageMap {
+ public:
+  // Merges a candidate's captured cover; returns the number of new probe
+  // facts (statements, decision outcomes, MC/DC vectors) — the greybox
+  // "adds coverage" keep signal.
+  std::int64_t Merge(const cov::CoverSet& cover);
+
+  // Coverage rows for every unit in the merged cover whose name starts with
+  // `prefix` (empty prefix = all units), rated against the unit's declared
+  // probe totals.
+  std::vector<cov::CoverageRow> Rows(const std::string& prefix) const;
+
+  const cov::CoverSet& merged() const { return merged_; }
+  std::int64_t total_facts() const { return total_facts_; }
+
+ private:
+  cov::CoverSet merged_;
+  std::int64_t total_facts_ = 0;
+};
+
+// Renders `rows` as a JSON array of per-unit objects (stable order/format).
+std::string CoverageRowsJson(const std::vector<cov::CoverageRow>& rows);
+
+}  // namespace certkit::campaign
+
+#endif  // CERTKIT_CAMPAIGN_COVERAGE_MAP_H_

@@ -1,0 +1,159 @@
+#include "campaign/mutation.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace certkit::campaign {
+
+namespace {
+
+// Detector input sizes the detector accepts (multiples of 16); 0 means
+// camera-native 64. Non-square combinations reach the letterbox branch.
+constexpr int kDetectorSizes[] = {0, 32, 48, 64, 96, 128};
+constexpr int kNumDetectorSizes = 6;
+
+constexpr nn::Backend kBackends[] = {
+    nn::Backend::kCpuNaive, nn::Backend::kClosedSim, nn::Backend::kOpenSim};
+
+// Timing-overrun magnitudes are chosen far above any plausible deadline so
+// the watchdog verdict never depends on measured wall-clock time.
+constexpr double kOverrunSeconds = 30.0;
+
+adpilot::FaultSpec MakeFault(adpilot::FaultKind kind, std::int64_t onset,
+                             std::int64_t duration, double magnitude) {
+  adpilot::FaultSpec f;
+  f.kind = kind;
+  f.onset_tick = onset;
+  f.duration_ticks = duration;
+  f.magnitude = magnitude;
+  return f;
+}
+
+double FaultMagnitude(adpilot::FaultKind kind,
+                      certkit::support::Xoshiro256* rng) {
+  switch (kind) {
+    case adpilot::FaultKind::kTimingOverrun:
+      return kOverrunSeconds;
+    case adpilot::FaultKind::kCanBitFlip:
+      return static_cast<double>(rng->UniformInt(1, 4));
+    case adpilot::FaultKind::kDetectionRange:
+      return static_cast<double>(rng->UniformInt(200, 500));
+    default:
+      return 1.0;
+  }
+}
+
+}  // namespace
+
+MutationScheduler::MutationScheduler(std::uint64_t seed, int default_ticks)
+    : rng_(seed), default_ticks_(std::clamp(default_ticks, 5, 60)) {}
+
+Candidate MutationScheduler::SeedCandidate(int index) {
+  Candidate c;
+  c.id = next_id_++;
+  c.parent_id = -1;
+  c.generation = 0;
+
+  c.scenario.num_vehicles = index % 5;             // 0..4 incl. empty world
+  c.scenario.num_pedestrians = (index / 2) % 3;    // 0..2
+  c.scenario.num_lanes = 1 + index % 3;
+  c.scenario.seed = rng_.Next();
+  c.ticks = default_ticks_;
+
+  // Cycle detector-input shapes; odd indices get a non-square input so the
+  // seed pool already contains letterbox-reaching candidates.
+  const int h = kDetectorSizes[index % kNumDetectorSizes];
+  const int w = (index % 2 == 1)
+                    ? kDetectorSizes[(index + 2) % kNumDetectorSizes]
+                    : h;
+  c.detector_input_h = h;
+  c.detector_input_w = w;
+  c.backend = kBackends[index % 3];
+
+  c.fault_seed = rng_.Next();
+  const auto kind =
+      static_cast<adpilot::FaultKind>(index % adpilot::kNumFaultKinds);
+  if (index % 3 != 0) {  // a third of the pool runs fault-free
+    c.faults.push_back(
+        MakeFault(kind, 2 + index % 5, 3, FaultMagnitude(kind, &rng_)));
+  }
+  c.scenario = adpilot::ClampScenarioConfig(c.scenario);
+  return c;
+}
+
+Candidate MutationScheduler::Mutate(const Candidate& parent) {
+  Candidate c = parent;
+  c.id = next_id_++;
+  c.parent_id = parent.id;
+  c.generation = parent.generation + 1;
+  const int mutations = static_cast<int>(rng_.UniformInt(1, 3));
+  for (int i = 0; i < mutations; ++i) MutateOnce(&c);
+  c.scenario = adpilot::ClampScenarioConfig(c.scenario);
+  CERTKIT_CHECK(adpilot::ValidateScenarioConfig(c.scenario).empty());
+  return c;
+}
+
+void MutationScheduler::MutateOnce(Candidate* c) {
+  switch (rng_.UniformInt(0, 8)) {
+    case 0:  // actor counts
+      c->scenario.num_vehicles +=
+          static_cast<int>(rng_.UniformInt(-2, 3));
+      c->scenario.num_pedestrians +=
+          static_cast<int>(rng_.UniformInt(-1, 2));
+      break;
+    case 1:  // road geometry
+      c->scenario.num_lanes += static_cast<int>(rng_.UniformInt(-1, 1));
+      c->scenario.lane_width += rng_.UniformDouble(-1.0, 1.0);
+      c->scenario.road_length += rng_.UniformDouble(-100.0, 100.0);
+      break;
+    case 2:  // speed envelope
+      c->scenario.vehicle_speed_min += rng_.UniformDouble(-2.0, 2.0);
+      c->scenario.vehicle_speed_max += rng_.UniformDouble(-3.0, 6.0);
+      break;
+    case 3:  // re-roll world placement
+      c->scenario.seed = rng_.Next();
+      break;
+    case 4: {  // detector input shape
+      c->detector_input_h =
+          kDetectorSizes[rng_.UniformInt(0, kNumDetectorSizes - 1)];
+      c->detector_input_w =
+          kDetectorSizes[rng_.UniformInt(0, kNumDetectorSizes - 1)];
+      break;
+    }
+    case 5:  // kernel-library backend
+      c->backend = kBackends[rng_.UniformInt(0, 2)];
+      break;
+    case 6: {  // add / replace a fault
+      const auto kind = static_cast<adpilot::FaultKind>(
+          rng_.UniformInt(0, adpilot::kNumFaultKinds - 1));
+      const auto fault = MakeFault(
+          kind, rng_.UniformInt(1, std::max(2, c->ticks - 4)),
+          rng_.UniformInt(1, 6), FaultMagnitude(kind, &rng_));
+      if (c->faults.size() >= 3) {
+        c->faults[static_cast<std::size_t>(
+            rng_.UniformInt(0, static_cast<std::int64_t>(c->faults.size()) -
+                                   1))] = fault;
+      } else {
+        c->faults.push_back(fault);
+      }
+      c->fault_seed = rng_.Next();
+      break;
+    }
+    case 7:  // drop a fault
+      if (!c->faults.empty()) {
+        c->faults.erase(c->faults.begin() +
+                        rng_.UniformInt(
+                            0, static_cast<std::int64_t>(c->faults.size()) -
+                                   1));
+      }
+      break;
+    default:  // run length
+      c->ticks = static_cast<int>(
+          std::clamp<std::int64_t>(c->ticks + rng_.UniformInt(-10, 10), 5,
+                                   60));
+      break;
+  }
+}
+
+}  // namespace certkit::campaign

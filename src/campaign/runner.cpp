@@ -1,0 +1,218 @@
+#include "campaign/runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+#include "ad/pipeline.h"
+#include "campaign/baseline.h"
+#include "campaign/mutation.h"
+#include "support/check.h"
+#include "support/thread_pool.h"
+
+namespace certkit::campaign {
+
+namespace {
+
+// The accelerator-simulating backends (closed/open) run their kernels on
+// the process-wide gpusim device pool, whose fork-join state is not
+// reentrant — two concurrent pilots on those backends would interleave
+// kernel jobs. CPU-naive candidates run lock-free; the others take this
+// mutex for the duration of their run.
+std::mutex g_accel_mu;
+
+double Elapsed(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+std::string RowJson(const cov::CoverageRow& row) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"unit\":\"%s\",\"statement\":%.4f,\"branch\":%.4f,"
+                "\"mcdc\":%.4f}",
+                row.unit.c_str(), row.statement, row.branch, row.mcdc);
+  return buf;
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(const CampaignConfig& config)
+    : config_(config) {
+  CERTKIT_CHECK(config.population >= 1);
+  CERTKIT_CHECK(config.generations >= 1);
+}
+
+EvalResult CampaignRunner::Evaluate(const Candidate& candidate) {
+  using namespace adpilot;
+  std::unique_lock<std::mutex> accel_lock(g_accel_mu, std::defer_lock);
+  if (candidate.backend != nn::Backend::kCpuNaive) accel_lock.lock();
+
+  PilotConfig cfg;
+  cfg.scenario = candidate.scenario;
+  cfg.perception.backend = candidate.backend;
+  cfg.perception.detector_input_h = candidate.detector_input_h;
+  cfg.perception.detector_input_w = candidate.detector_input_w;
+  // Generous real-time budget: the watchdog must only trip on the fault
+  // plan's synthetic overruns (magnitudes far above this), never on actual
+  // execution time — otherwise sanitizer builds would change the verdict.
+  cfg.safety.tick_deadline = 5.0;
+
+  FaultCampaignConfig fault_cfg;
+  fault_cfg.seed = candidate.fault_seed;
+  fault_cfg.faults = candidate.faults;
+
+  EvalResult result;
+  cov::ThreadCapture capture;
+  ApolloPilot pilot(cfg);
+  FaultInjector injector(fault_cfg);
+  pilot.SetFaultInjector(&injector);
+  std::vector<TickReport> reports;
+  reports.reserve(static_cast<std::size_t>(candidate.ticks));
+  for (int t = 0; t < candidate.ticks; ++t) {
+    reports.push_back(pilot.Tick());
+  }
+  result.verdict = Judge(pilot, reports);
+  result.cover = capture.Take();
+  return result;
+}
+
+CampaignResult CampaignRunner::Run() {
+  const auto t_start = std::chrono::steady_clock::now();
+  CampaignResult result;
+  result.config = config_;
+
+  MutationScheduler scheduler(config_.seed, config_.ticks);
+  // Parent selection draws from its own serial stream so adding mutation
+  // operators never perturbs which parents get picked.
+  support::Xoshiro256 select_rng(config_.seed ^ 0xA5A5A5A5DEADBEEFULL);
+  Oracle oracle;
+  CoverageMap cover_map;
+  support::ThreadPool pool(config_.jobs <= 0
+                               ? -1
+                               : config_.jobs - 1);  // caller drains too
+
+  if (config_.seed_with_fig5) {
+    cover_map.Merge(CaptureFigure5Baseline());
+  }
+
+  for (int gen = 0; gen < config_.generations; ++gen) {
+    const auto t_gen = std::chrono::steady_clock::now();
+    // --- breed (serial, seeded) ---
+    std::vector<Candidate> batch;
+    batch.reserve(static_cast<std::size_t>(config_.population));
+    for (int i = 0; i < config_.population; ++i) {
+      if (gen == 0 || result.corpus.empty()) {
+        batch.push_back(
+            scheduler.SeedCandidate(gen * config_.population + i));
+      } else {
+        const auto pick = static_cast<std::size_t>(select_rng.UniformInt(
+            0, static_cast<std::int64_t>(result.corpus.size()) - 1));
+        batch.push_back(scheduler.Mutate(result.corpus[pick]));
+      }
+    }
+
+    // --- evaluate (parallel; slot i holds candidate i's result) ---
+    std::vector<EvalResult> evals = support::ParallelMap<EvalResult>(
+        pool, batch.size(),
+        [&batch](std::size_t i) { return Evaluate(batch[i]); });
+
+    // --- merge (serial, stable candidate order) ---
+    GenerationStats stats;
+    stats.generation = gen;
+    stats.evaluated = static_cast<int>(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::int64_t new_facts = cover_map.Merge(evals[i].cover);
+      const bool novel_outcome = oracle.Observe(evals[i].verdict);
+      stats.new_facts += new_facts;
+      if (new_facts > 0 || novel_outcome) {
+        result.corpus.push_back(batch[i]);
+        ++stats.kept;
+      }
+    }
+    result.evaluated_total += stats.evaluated;
+    stats.distinct_outcomes = oracle.distinct_outcomes();
+    stats.rows = cover_map.Rows(config_.unit_prefix);
+    stats.average = cov::Average(stats.rows);
+    stats.seconds = Elapsed(t_gen);
+    result.generations.push_back(std::move(stats));
+  }
+
+  result.distinct_outcomes = oracle.distinct_outcomes();
+  result.safety_totals = oracle.totals();
+  result.collisions = oracle.collisions();
+  result.non_finite_commands = oracle.non_finite_commands();
+  result.safe_stops = oracle.safe_stops();
+  result.merged = cover_map.merged();
+  result.final_rows = cover_map.Rows(config_.unit_prefix);
+  result.final_average = cov::Average(result.final_rows);
+  result.total_seconds = Elapsed(t_start);
+  return result;
+}
+
+std::string CampaignJson(const CampaignResult& result) {
+  const bool timing = result.config.include_timing;
+  std::ostringstream out;
+  out << "{\"campaign\":{\"seed\":" << result.config.seed
+      << ",\"population\":" << result.config.population
+      << ",\"generations\":" << result.config.generations
+      << ",\"unit_prefix\":\"" << result.config.unit_prefix << "\"";
+  if (timing) out << ",\"jobs\":" << result.config.jobs;
+  out << "},\"generations\":[";
+  for (std::size_t g = 0; g < result.generations.size(); ++g) {
+    const GenerationStats& s = result.generations[g];
+    if (g > 0) out << ",";
+    out << "{\"generation\":" << s.generation << ",\"evaluated\":"
+        << s.evaluated << ",\"kept\":" << s.kept << ",\"new_facts\":"
+        << s.new_facts << ",\"distinct_outcomes\":" << s.distinct_outcomes
+        << ",\"coverage\":" << CoverageRowsJson(s.rows)
+        << ",\"average\":" << RowJson(s.average);
+    if (timing) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    ",\"seconds\":%.3f,\"candidates_per_sec\":%.2f",
+                    s.seconds,
+                    s.seconds > 0.0 ? s.evaluated / s.seconds : 0.0);
+      out << buf;
+    }
+    out << "}";
+  }
+  out << "],\"corpus\":[";
+  for (std::size_t i = 0; i < result.corpus.size(); ++i) {
+    if (i > 0) out << ",";
+    out << CandidateJson(result.corpus[i]);
+  }
+  out << "],\"oracle\":{\"distinct_outcomes\":" << result.distinct_outcomes
+      << ",\"violations\":" << result.safety_totals.total
+      << ",\"warnings\":" << result.safety_totals.warnings
+      << ",\"criticals\":" << result.safety_totals.criticals
+      << ",\"handled\":" << result.safety_totals.handled
+      << ",\"by_monitor\":{";
+  for (int m = 0; m < adpilot::kNumMonitors; ++m) {
+    if (m > 0) out << ",";
+    out << "\"" << adpilot::MonitorName(static_cast<adpilot::MonitorId>(m))
+        << "\":" << result.safety_totals.by_monitor[m];
+  }
+  out << "},\"collisions\":" << result.collisions
+      << ",\"non_finite_commands\":" << result.non_finite_commands
+      << ",\"safe_stops\":" << result.safe_stops
+      << "},\"final_coverage\":" << CoverageRowsJson(result.final_rows)
+      << ",\"final_average\":" << RowJson(result.final_average);
+  if (timing) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"timing\":{\"jobs\":%d,\"total_seconds\":%.3f,"
+                  "\"candidates_per_sec\":%.2f}",
+                  result.config.jobs, result.total_seconds,
+                  result.total_seconds > 0.0
+                      ? result.evaluated_total / result.total_seconds
+                      : 0.0);
+    out << buf;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace certkit::campaign

@@ -1,0 +1,100 @@
+// certkit campaign: the coverage-guided campaign loop.
+//
+// One generation = breed a batch of candidates (serial, seeded), evaluate
+// the batch on the thread pool (each worker runs a full ApolloPilot under a
+// cov::ThreadCapture), then merge covers and oracle verdicts serially in
+// candidate-index order. Candidates that add coverage facts or produce a
+// previously unseen oracle outcome join the corpus and become mutation
+// parents.
+//
+// Determinism contract (mirrors the PR-1 driver): breeding and merging are
+// serial and seeded; evaluation is a pure function of the candidate; and
+// ParallelMap puts result i in slot i — so a fixed --seed produces
+// byte-identical campaign JSON for any --jobs count. Wall-clock throughput
+// is reported only behind include_timing, which callers leave off when they
+// compare outputs.
+#ifndef CERTKIT_CAMPAIGN_RUNNER_H_
+#define CERTKIT_CAMPAIGN_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ad/safety/monitors.h"
+#include "campaign/candidate.h"
+#include "campaign/coverage_map.h"
+#include "campaign/oracle.h"
+#include "coverage/coverage.h"
+
+namespace certkit::campaign {
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  int jobs = 1;          // fleet width; <= 0 selects hardware concurrency
+  int population = 12;   // candidates bred per generation
+  int generations = 4;
+  int ticks = 25;        // run length of seed-pool candidates
+  std::string unit_prefix = "yolo/";  // units reported in the JSON
+  bool include_timing = false;  // adds wall-clock fields (nondeterministic)
+  // Greybox-style seeding: pre-merge the fixed Figure-5 scenario set's
+  // cover before generation 0, so the campaign explicitly hunts coverage
+  // *beyond* the existing tests and its final numbers dominate the baseline.
+  bool seed_with_fig5 = false;
+};
+
+// A candidate's evaluation: its captured cover and oracle verdict.
+struct EvalResult {
+  cov::CoverSet cover;
+  OracleVerdict verdict;
+};
+
+struct GenerationStats {
+  int generation = 0;
+  int evaluated = 0;
+  int kept = 0;                       // candidates that joined the corpus
+  std::int64_t new_facts = 0;         // probe facts first seen this gen
+  std::int64_t distinct_outcomes = 0; // oracle signatures seen so far
+  std::vector<cov::CoverageRow> rows; // cumulative, after this generation
+  cov::CoverageRow average;
+  double seconds = 0.0;               // wall clock (include_timing only)
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  std::vector<GenerationStats> generations;
+  std::vector<Candidate> corpus;
+  std::int64_t evaluated_total = 0;
+  std::int64_t distinct_outcomes = 0;
+  adpilot::SafetySummary safety_totals;
+  std::int64_t collisions = 0;
+  std::int64_t non_finite_commands = 0;
+  std::int64_t safe_stops = 0;
+  cov::CoverSet merged;  // final campaign cover (tests diff against this)
+  std::vector<cov::CoverageRow> final_rows;
+  cov::CoverageRow final_average;
+  double total_seconds = 0.0;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(const CampaignConfig& config);
+
+  CampaignResult Run();
+
+  // Evaluates one candidate end-to-end: builds the pilot, installs the fault
+  // plan, runs `candidate.ticks` cycles under a ThreadCapture, and returns
+  // the captured cover plus the oracle verdict. Pure function of the
+  // candidate; safe to call from pool workers (accelerator-simulating
+  // backends are internally serialized — the gpusim device pool is shared).
+  static EvalResult Evaluate(const Candidate& candidate);
+
+ private:
+  CampaignConfig config_;
+};
+
+// Renders `result` as the campaign JSON document (schema in DESIGN.md).
+std::string CampaignJson(const CampaignResult& result);
+
+}  // namespace certkit::campaign
+
+#endif  // CERTKIT_CAMPAIGN_RUNNER_H_

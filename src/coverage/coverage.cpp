@@ -32,7 +32,58 @@ struct PendingKeyHash {
 thread_local std::unordered_map<PendingKey, std::uint64_t, PendingKeyHash>
     t_pending;
 
+// The calling thread's active probe capture (nullptr when none).
+thread_local ThreadCapture* t_capture = nullptr;
+
 }  // namespace
+
+std::int64_t McdcDemonstrated(
+    int num_conditions,
+    const std::set<std::pair<std::uint64_t, bool>>& vectors) {
+  std::int64_t demonstrated = 0;
+  for (int c = 0; c < num_conditions; ++c) {
+    const std::uint64_t bit = 1ULL << c;
+    bool shown = false;
+    // Unique-cause: two vectors differing only in condition c with
+    // different outcomes.
+    for (auto it = vectors.begin(); it != vectors.end() && !shown; ++it) {
+      const std::uint64_t flipped = it->first ^ bit;
+      // Both outcomes may exist for a vector; check both.
+      if (vectors.count({flipped, !it->second}) > 0) {
+        shown = true;
+      }
+    }
+    if (shown) ++demonstrated;
+  }
+  return demonstrated;
+}
+
+std::int64_t MergeCover(CoverSet* dst, const CoverSet& src) {
+  CERTKIT_CHECK(dst != nullptr);
+  std::int64_t new_facts = 0;
+  for (const auto& [name, unit_cover] : src) {
+    UnitCover& into = (*dst)[name];
+    for (const int stmt : unit_cover.stmts) {
+      if (into.stmts.insert(stmt).second) ++new_facts;
+    }
+    for (const auto& [id, dec] : unit_cover.decisions) {
+      DecisionCover& d = into.decisions[id];
+      d.num_conditions = std::max(d.num_conditions, dec.num_conditions);
+      if (dec.seen_true && !d.seen_true) {
+        d.seen_true = true;
+        ++new_facts;
+      }
+      if (dec.seen_false && !d.seen_false) {
+        d.seen_false = true;
+        ++new_facts;
+      }
+      for (const auto& vec : dec.vectors) {
+        if (d.vectors.insert(vec).second) ++new_facts;
+      }
+    }
+  }
+  return new_facts;
+}
 
 void SetProbesEnabled(bool enabled) {
   g_probes_enabled.store(enabled, std::memory_order_relaxed);
@@ -78,6 +129,7 @@ void Unit::Stmt(int id) {
                                        << name_);
   stmt_hits_[static_cast<std::size_t>(id)].fetch_add(
       1, std::memory_order_relaxed);
+  if (t_capture != nullptr) t_capture->captured_[this].stmts.insert(id);
 }
 
 bool Unit::Cond(int decision_id, int index, bool value) {
@@ -104,14 +156,28 @@ bool Unit::Dec(int decision_id, bool outcome) {
     mask = it->second;
     t_pending.erase(it);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  DecisionRecord& rec = decisions_[static_cast<std::size_t>(decision_id)];
-  if (outcome) {
-    rec.seen_true = true;
-  } else {
-    rec.seen_false = true;
+  int num_conditions = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DecisionRecord& rec = decisions_[static_cast<std::size_t>(decision_id)];
+    if (outcome) {
+      rec.seen_true = true;
+    } else {
+      rec.seen_false = true;
+    }
+    rec.vectors.insert({mask, outcome});
+    num_conditions = rec.num_conditions;
   }
-  rec.vectors.insert({mask, outcome});
+  if (t_capture != nullptr) {
+    DecisionCover& dec = t_capture->captured_[this].decisions[decision_id];
+    dec.num_conditions = num_conditions;
+    if (outcome) {
+      dec.seen_true = true;
+    } else {
+      dec.seen_false = true;
+    }
+    dec.vectors.insert({mask, outcome});
+  }
   return outcome;
 }
 
@@ -223,23 +289,42 @@ std::int64_t Unit::mcdc_conditions_demonstrated() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::int64_t demonstrated = 0;
   for (const auto& d : decisions_) {
-    for (int c = 0; c < d.num_conditions; ++c) {
-      const std::uint64_t bit = 1ULL << c;
-      bool shown = false;
-      // Unique-cause: two vectors differing only in condition c with
-      // different outcomes.
-      for (auto it1 = d.vectors.begin(); it1 != d.vectors.end() && !shown;
-           ++it1) {
-        const std::uint64_t flipped = it1->first ^ bit;
-        // Both outcomes may exist for a vector; check both.
-        if (d.vectors.count({flipped, !it1->second}) > 0) {
-          shown = true;
-        }
-      }
-      if (shown) ++demonstrated;
-    }
+    demonstrated += McdcDemonstrated(d.num_conditions, d.vectors);
   }
   return demonstrated;
+}
+
+int Unit::declared_decisions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(decisions_.size());
+}
+
+int Unit::decision_conditions(int decision_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CERTKIT_CHECK(decision_id >= 0 &&
+                decision_id < static_cast<int>(decisions_.size()));
+  return decisions_[static_cast<std::size_t>(decision_id)].num_conditions;
+}
+
+UnitCover Unit::TakeCover() const {
+  UnitCover cover;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < declared_statements_; ++i) {
+    if (stmt_hits_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed) > 0) {
+      cover.stmts.insert(i);
+    }
+  }
+  for (int i = 0; i < static_cast<int>(decisions_.size()); ++i) {
+    const DecisionRecord& rec = decisions_[static_cast<std::size_t>(i)];
+    if (!rec.seen_true && !rec.seen_false && rec.vectors.empty()) continue;
+    DecisionCover& dec = cover.decisions[i];
+    dec.num_conditions = rec.num_conditions;
+    dec.seen_true = rec.seen_true;
+    dec.seen_false = rec.seen_false;
+    dec.vectors = rec.vectors;
+  }
+  return cover;
 }
 
 double Unit::McdcCoverage() const {
@@ -294,6 +379,77 @@ std::vector<CoverageRow> Snapshot() {
                                u->BranchCoverage(), u->McdcCoverage()});
   }
   return rows;
+}
+
+CoverSet SnapshotCover() {
+  CoverSet cover;
+  for (const Unit* u : Registry::Instance().Units()) {
+    cover[u->name()] = u->TakeCover();
+  }
+  return cover;
+}
+
+CoverageRow CoverRow(const Unit& unit, const UnitCover& cover) {
+  CoverageRow row;
+  row.unit = unit.name();
+
+  const std::int64_t stmts_total = unit.statements_total();
+  if (stmts_total == 0) {
+    row.statement = 1.0;
+  } else {
+    std::int64_t hit = 0;
+    for (const int id : cover.stmts) {
+      if (id >= 0 && id < stmts_total) ++hit;
+    }
+    row.statement = static_cast<double>(hit) /
+                    static_cast<double>(stmts_total);
+  }
+
+  const int decisions = unit.declared_decisions();
+  if (decisions == 0) {
+    row.branch = 1.0;
+    row.mcdc = 1.0;
+    return row;
+  }
+  std::int64_t outcomes = 0;
+  std::int64_t conditions_total = 0;
+  std::int64_t conditions_shown = 0;
+  for (int d = 0; d < decisions; ++d) {
+    const int num_conditions = unit.decision_conditions(d);
+    conditions_total += num_conditions;
+    const auto it = cover.decisions.find(d);
+    if (it == cover.decisions.end()) continue;
+    if (it->second.seen_true) ++outcomes;
+    if (it->second.seen_false) ++outcomes;
+    conditions_shown += McdcDemonstrated(num_conditions, it->second.vectors);
+  }
+  row.branch = static_cast<double>(outcomes) / (2.0 * decisions);
+  row.mcdc = conditions_total == 0
+                 ? 1.0
+                 : static_cast<double>(conditions_shown) /
+                       static_cast<double>(conditions_total);
+  return row;
+}
+
+ThreadCapture::ThreadCapture() {
+  CERTKIT_CHECK_MSG(t_capture == nullptr,
+                    "nested ThreadCapture on the same thread");
+  t_capture = this;
+}
+
+ThreadCapture::~ThreadCapture() {
+  if (t_capture == this) t_capture = nullptr;
+}
+
+CoverSet ThreadCapture::Take() {
+  CERTKIT_CHECK_MSG(t_capture == this,
+                    "ThreadCapture::Take on a different thread");
+  CoverSet out;
+  for (auto& [unit, cover] : captured_) {
+    out[unit->name()] = std::move(cover);
+  }
+  captured_.clear();
+  return out;
 }
 
 CoverageRow Average(const std::vector<CoverageRow>& rows) {

@@ -47,6 +47,49 @@ struct DecisionRecord {
   std::set<std::pair<std::uint64_t, bool>> vectors;
 };
 
+// Unique-cause MC/DC analysis over a recorded vector set: the number of
+// conditions (out of `num_conditions`) for which two vectors exist that
+// differ ONLY in that condition and produce different decision outcomes.
+// Vectors differing in more than one condition (masking vectors) never
+// form a demonstrating pair. Shared by Unit and by detached covers.
+std::int64_t McdcDemonstrated(
+    int num_conditions,
+    const std::set<std::pair<std::uint64_t, bool>>& vectors);
+
+// --- diffable coverage covers (campaign-engine support) -------------------
+//
+// A "cover" is the execution state of coverage probes detached from the
+// declaring Unit: which statement probes fired, which decision outcomes and
+// evaluation vectors were seen. Covers are cheap to take (per-unit lock
+// only — no global pause), cheap to diff, and merge monotonically, which is
+// what a coverage-guided test-generation loop needs.
+
+// Execution state of one decision, detached from its Unit.
+struct DecisionCover {
+  int num_conditions = 0;
+  bool seen_true = false;
+  bool seen_false = false;
+  std::set<std::pair<std::uint64_t, bool>> vectors;
+
+  bool operator==(const DecisionCover&) const = default;
+};
+
+// Execution state of one unit.
+struct UnitCover {
+  std::set<int> stmts;                   // statement probe ids that fired
+  std::map<int, DecisionCover> decisions;  // by decision id
+
+  bool operator==(const UnitCover&) const = default;
+};
+
+// Covers for many units, keyed by unit name (stable iteration order).
+using CoverSet = std::map<std::string, UnitCover>;
+
+// Merges `src` into `dst`. Returns the number of probe facts in `src` that
+// were new to `dst`: first-seen statements, decision outcomes, and
+// evaluation vectors. Zero means `src` adds no coverage.
+std::int64_t MergeCover(CoverSet* dst, const CoverSet& src);
+
 // Coverage state for one instrumented translation unit.
 class Unit {
  public:
@@ -85,6 +128,15 @@ class Unit {
   // Declares a caller->callee edge probe; CallSite marks it executed.
   int DeclareCallProbe(std::string caller, std::string callee);
   void CallSite(int id);
+
+  // --- declared totals (for computing rates against detached covers) ---
+  int declared_decisions() const;
+  // Conditions of decision `decision_id` (declared; 1..64).
+  int decision_conditions(int decision_id) const;
+
+  // Cheap diffable snapshot of this unit's execution state. Takes only this
+  // unit's mutex — probes on other threads (and other units) keep running.
+  UnitCover TakeCover() const;
 
   // --- results ---
   std::int64_t statements_total() const;
@@ -148,6 +200,37 @@ struct CoverageRow {
 std::vector<CoverageRow> Snapshot();
 // Averages across rows (uniform weight per unit, as in Figure 5's summary).
 CoverageRow Average(const std::vector<CoverageRow>& rows);
+
+// Covers of all registered units (per-unit locks only; no global pause).
+CoverSet SnapshotCover();
+
+// Coverage rates of `cover` measured against `unit`'s declarations. The
+// cover need not have been taken from `unit`, but probe ids are interpreted
+// against its declared statement/decision layout; ids beyond the
+// declarations are ignored.
+CoverageRow CoverRow(const Unit& unit, const UnitCover& cover);
+
+// Captures every probe the *calling thread* fires between construction and
+// Take()/destruction, in addition to the normal global recording. This is
+// how a fleet worker attributes coverage to the one candidate it is
+// executing while other workers hammer the same Units concurrently: the
+// capture is thread-local, so it sees exactly this thread's probes and
+// costs the other threads nothing. At most one capture may be active per
+// thread; the object must be used on the thread that created it.
+class ThreadCapture {
+ public:
+  ThreadCapture();
+  ~ThreadCapture();
+  ThreadCapture(const ThreadCapture&) = delete;
+  ThreadCapture& operator=(const ThreadCapture&) = delete;
+
+  // Returns everything captured so far and clears the buffer.
+  CoverSet Take();
+
+ private:
+  friend class Unit;
+  std::map<const Unit*, UnitCover> captured_;
+};
 
 }  // namespace certkit::cov
 

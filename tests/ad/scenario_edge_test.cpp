@@ -1,0 +1,142 @@
+// Scenario edge cases the campaign mutator is allowed to generate: empty
+// worlds, maximum actor counts, and egos posed far outside the road extent.
+// None of these may crash, produce non-finite pixels, or trip REQ-SCEN-001
+// validation incorrectly.
+#include "ad/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace adpilot {
+namespace {
+
+bool FrameIsFinite(const nn::Tensor& frame) {
+  const float* data = frame.data();
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    if (!std::isfinite(data[i])) return false;
+  }
+  return true;
+}
+
+TEST(ScenarioEdgeTest, ZeroActorScenarioRendersBackgroundOnly) {
+  ScenarioConfig cfg;
+  cfg.num_vehicles = 0;
+  cfg.num_pedestrians = 0;
+  EXPECT_TRUE(ValidateScenarioConfig(cfg).empty());
+  Scenario scenario(cfg);
+  EXPECT_TRUE(scenario.ground_truth().empty());
+  scenario.Step(0.1);
+  const Pose ego{{0.0, 0.0}, 0.0};
+  const nn::Tensor frame = scenario.RenderCameraFrame(ego);
+  ASSERT_TRUE(FrameIsFinite(frame));
+  // Pure road background: noise floor only, no obstacle brightness.
+  const float* data = frame.data();
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_GE(data[i], 20.0f);
+    EXPECT_LT(data[i], 26.0f);
+  }
+}
+
+TEST(ScenarioEdgeTest, MaximumActorCountsAreValidAndRender) {
+  ScenarioConfig cfg;
+  cfg.num_vehicles = ScenarioConfig::kMaxVehicles;
+  cfg.num_pedestrians = ScenarioConfig::kMaxPedestrians;
+  EXPECT_TRUE(ValidateScenarioConfig(cfg).empty());
+  Scenario scenario(cfg);
+  EXPECT_EQ(scenario.ground_truth().size(),
+            static_cast<std::size_t>(ScenarioConfig::kMaxVehicles +
+                                     ScenarioConfig::kMaxPedestrians));
+  for (int i = 0; i < 20; ++i) scenario.Step(0.1);
+  for (const Obstacle& a : scenario.ground_truth()) {
+    EXPECT_TRUE(std::isfinite(a.position.x) && std::isfinite(a.position.y));
+    EXPECT_TRUE(std::isfinite(a.velocity.x) && std::isfinite(a.velocity.y));
+  }
+  EXPECT_TRUE(FrameIsFinite(scenario.RenderCameraFrame({{0.0, 0.0}, 0.0})));
+}
+
+TEST(ScenarioEdgeTest, OverCapActorCountsAreRejected) {
+  ScenarioConfig vehicles;
+  vehicles.num_vehicles = ScenarioConfig::kMaxVehicles + 1;
+  EXPECT_FALSE(ValidateScenarioConfig(vehicles).empty());
+  EXPECT_THROW(Scenario{vehicles}, certkit::support::ContractViolation);
+
+  ScenarioConfig pedestrians;
+  pedestrians.num_pedestrians = ScenarioConfig::kMaxPedestrians + 1;
+  EXPECT_FALSE(ValidateScenarioConfig(pedestrians).empty());
+  EXPECT_THROW(Scenario{pedestrians}, certkit::support::ContractViolation);
+}
+
+TEST(ScenarioEdgeTest, EgoOutsideRoadExtentRendersSafely) {
+  ScenarioConfig cfg;
+  cfg.num_vehicles = 3;
+  cfg.num_pedestrians = 2;
+  Scenario scenario(cfg);
+  // Far behind the road start, far past its end, far off to the side, and
+  // rotated arbitrarily: every view must render finite pixels without any
+  // agent landing in the window incorrectly.
+  const Pose poses[] = {{{-500.0, 0.0}, 0.0},
+                        {{1.0e6, 0.0}, 0.0},
+                        {{200.0, 4000.0}, 2.5},
+                        {{-1.0e5, -1.0e5}, -3.0}};
+  for (const Pose& ego : poses) {
+    const nn::Tensor frame = scenario.RenderCameraFrame(ego);
+    ASSERT_TRUE(FrameIsFinite(frame));
+    const float* data = frame.data();
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      EXPECT_GE(data[i], 20.0f);  // background only: no agents in view
+      EXPECT_LT(data[i], 26.0f);
+    }
+  }
+}
+
+TEST(ScenarioEdgeTest, SpeedRangeFieldsAreHonoredAndValidated) {
+  ScenarioConfig cfg;
+  cfg.num_vehicles = 8;
+  cfg.vehicle_speed_min = 5.0;
+  cfg.vehicle_speed_max = 5.5;
+  Scenario scenario(cfg);
+  for (const Obstacle& a : scenario.ground_truth()) {
+    EXPECT_GE(a.velocity.x, 5.0);
+    EXPECT_LT(a.velocity.x, 5.5);
+  }
+
+  ScenarioConfig inverted = cfg;
+  inverted.vehicle_speed_min = 6.0;
+  inverted.vehicle_speed_max = 6.0;  // empty range
+  EXPECT_FALSE(ValidateScenarioConfig(inverted).empty());
+  EXPECT_THROW(Scenario{inverted}, certkit::support::ContractViolation);
+
+  ScenarioConfig negative = cfg;
+  negative.vehicle_speed_min = -1.0;
+  EXPECT_FALSE(ValidateScenarioConfig(negative).empty());
+}
+
+TEST(ScenarioEdgeTest, ClampProducesConstructibleConfigsFromGarbage) {
+  ScenarioConfig garbage;
+  garbage.num_vehicles = 9999;
+  garbage.num_pedestrians = -5;
+  garbage.num_lanes = 0;
+  garbage.lane_width = -3.0;
+  garbage.road_length = 1.0;
+  garbage.vehicle_speed_min = 100.0;
+  garbage.vehicle_speed_max = -2.0;
+  const ScenarioConfig clamped = ClampScenarioConfig(garbage);
+  EXPECT_TRUE(ValidateScenarioConfig(clamped).empty())
+      << ValidateScenarioConfig(clamped);
+  EXPECT_NO_THROW(Scenario{clamped});
+}
+
+TEST(ScenarioEdgeTest, ConfigJsonIsStable) {
+  const ScenarioConfig cfg;  // defaults
+  EXPECT_EQ(ScenarioConfigJson(cfg),
+            "{\"num_vehicles\":3,\"num_pedestrians\":0,"
+            "\"road_length\":400.000,\"lane_width\":4.000,\"num_lanes\":2,"
+            "\"vehicle_speed_min\":2.000,\"vehicle_speed_max\":8.000,"
+            "\"seed\":1234}");
+}
+
+}  // namespace
+}  // namespace adpilot

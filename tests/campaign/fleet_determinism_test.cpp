@@ -1,0 +1,104 @@
+// Fleet determinism: the campaign's output is a pure function of its seed.
+//
+// The same --seed with --jobs 1 and --jobs 4 must produce byte-identical
+// campaign JSON (candidates are bred and merged serially in stable order;
+// only evaluation fans out). This mirrors the PR-1 analysis-driver
+// guarantee and is what makes campaign results citable evidence. Runs under
+// the `concurrency` ctest label so the TSan build tree exercises the
+// parallel fleet (shared cov::Registry units, the gpusim accelerator pool,
+// and thread-local capture) for data races.
+#include "campaign/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/mutation.h"
+#include "coverage/coverage.h"
+
+namespace certkit::campaign {
+namespace {
+
+CampaignConfig SmallConfig(int jobs) {
+  CampaignConfig config;
+  config.seed = 77;
+  config.jobs = jobs;
+  config.population = 4;
+  config.generations = 2;
+  config.ticks = 10;
+  return config;
+}
+
+TEST(FleetDeterminismTest, SameSeedSameJsonAcrossJobCounts) {
+  const std::string serial =
+      CampaignJson(CampaignRunner(SmallConfig(1)).Run());
+  const std::string fleet =
+      CampaignJson(CampaignRunner(SmallConfig(4)).Run());
+  EXPECT_EQ(serial, fleet);
+  // Sanity: the campaign actually did something.
+  EXPECT_NE(serial.find("\"new_facts\":"), std::string::npos);
+  EXPECT_NE(serial.find("yolo/preprocess.cc"), std::string::npos);
+}
+
+TEST(FleetDeterminismTest, RepeatedFleetRunsAreIdentical) {
+  const std::string first =
+      CampaignJson(CampaignRunner(SmallConfig(4)).Run());
+  const std::string second =
+      CampaignJson(CampaignRunner(SmallConfig(4)).Run());
+  EXPECT_EQ(first, second);
+}
+
+TEST(FleetDeterminismTest, EvaluateIsAPureFunctionOfTheCandidate) {
+  MutationScheduler scheduler(5, /*default_ticks=*/8);
+  const Candidate candidate = scheduler.SeedCandidate(1);
+  const EvalResult a = CampaignRunner::Evaluate(candidate);
+  const EvalResult b = CampaignRunner::Evaluate(candidate);
+  EXPECT_EQ(OutcomeSignature(a.verdict), OutcomeSignature(b.verdict));
+  EXPECT_EQ(a.cover, b.cover) << "captured covers differ between runs";
+  EXPECT_FALSE(a.cover.empty());
+}
+
+// The underpinning of per-candidate attribution: a thread's capture sees
+// exactly the probes that thread fired, however many other threads hammer
+// the same unit concurrently.
+TEST(FleetDeterminismTest, ThreadCaptureIsolatesConcurrentWorkers) {
+  cov::Unit& unit = cov::Registry::Instance().GetOrCreate(
+      "campaign_test/capture_isolation");
+  static constexpr int kThreads = 4;
+  static constexpr int kStmtsPerThread = 8;
+  static bool declared = false;
+  if (!declared) {
+    unit.DeclareStatements(kThreads * kStmtsPerThread);
+    declared = true;
+  }
+  std::vector<cov::CoverSet> captured(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &unit, &captured] {
+      cov::ThreadCapture capture;
+      for (int rep = 0; rep < 50; ++rep) {
+        for (int s = 0; s < kStmtsPerThread; ++s) {
+          unit.Stmt(t * kStmtsPerThread + s);
+        }
+      }
+      captured[static_cast<std::size_t>(t)] = capture.Take();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    const cov::UnitCover& cover =
+        captured[static_cast<std::size_t>(t)]
+            .at("campaign_test/capture_isolation");
+    EXPECT_EQ(cover.stmts.size(), static_cast<std::size_t>(kStmtsPerThread));
+    for (const int id : cover.stmts) {
+      EXPECT_GE(id, t * kStmtsPerThread);
+      EXPECT_LT(id, (t + 1) * kStmtsPerThread);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace certkit::campaign

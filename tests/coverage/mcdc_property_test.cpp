@@ -1,0 +1,152 @@
+// Property tests for unique-cause MC/DC analysis.
+//
+// The defining property: a condition is demonstrated independent only by a
+// pair of evaluation vectors that differ in EXACTLY that condition and flip
+// the decision outcome. Vector pairs differing in more than one condition
+// (masking vectors) must never form a demonstrating pair — a classic way
+// for a coverage tool to over-report MC/DC.
+#include "coverage/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace certkit::cov {
+namespace {
+
+using VectorSet = std::set<std::pair<std::uint64_t, bool>>;
+
+// Brute-force reference: condition c is demonstrated iff two vectors exist
+// with XOR exactly bit c and different outcomes.
+std::int64_t McdcReference(int num_conditions, const VectorSet& vectors) {
+  std::int64_t demonstrated = 0;
+  for (int c = 0; c < num_conditions; ++c) {
+    bool shown = false;
+    for (const auto& a : vectors) {
+      for (const auto& b : vectors) {
+        if ((a.first ^ b.first) == (1ULL << c) && a.second != b.second) {
+          shown = true;
+        }
+      }
+    }
+    if (shown) ++demonstrated;
+  }
+  return demonstrated;
+}
+
+TEST(McdcPropertyTest, UniqueCausePairIsCounted) {
+  // 3 conditions; vectors 000 -> F and 100 -> T differ only in condition 2.
+  VectorSet vectors{{0b000, false}, {0b100, true}};
+  EXPECT_EQ(McdcDemonstrated(3, vectors), 1);
+}
+
+TEST(McdcPropertyTest, MaskingVectorsDoNotCount) {
+  // 00 -> F and 11 -> T flip the outcome but differ in BOTH conditions:
+  // neither condition is shown to act independently.
+  VectorSet vectors{{0b00, false}, {0b11, true}};
+  EXPECT_EQ(McdcDemonstrated(2, vectors), 0);
+
+  // Same through the probe API: full branch coverage, zero MC/DC.
+  Unit u("mcdc/masking");
+  const int d = u.DeclareDecision(2);
+  u.Cond(d, 0, false);
+  u.Cond(d, 1, false);
+  u.Dec(d, false);
+  u.Cond(d, 0, true);
+  u.Cond(d, 1, true);
+  u.Dec(d, true);
+  EXPECT_DOUBLE_EQ(u.BranchCoverage(), 1.0);
+  EXPECT_EQ(u.mcdc_conditions_demonstrated(), 0);
+}
+
+TEST(McdcPropertyTest, SameOutcomeSingleBitPairDoesNotCount) {
+  // Differ only in condition 0 but with the SAME outcome: no demonstration.
+  VectorSet vectors{{0b0, true}, {0b1, true}};
+  EXPECT_EQ(McdcDemonstrated(1, vectors), 0);
+}
+
+TEST(McdcPropertyTest, EvenParityVectorSetsNeverDemonstrateAnything) {
+  // Any two vectors of even parity differ in at least two bit positions, so
+  // a set of even-parity vectors consists entirely of masking pairs — MC/DC
+  // must be zero for every condition, whatever the outcomes.
+  support::Xoshiro256 rng(20260805);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int num_conditions = static_cast<int>(rng.UniformInt(2, 12));
+    VectorSet vectors;
+    const int entries = static_cast<int>(rng.UniformInt(1, 24));
+    for (int i = 0; i < entries; ++i) {
+      std::uint64_t v = rng.Next() & ((1ULL << num_conditions) - 1);
+      if (__builtin_popcountll(v) % 2 != 0) v ^= 1ULL;  // force even parity
+      vectors.insert({v, rng.Bernoulli(0.5)});
+    }
+    EXPECT_EQ(McdcDemonstrated(num_conditions, vectors), 0)
+        << "trial " << trial;
+  }
+}
+
+TEST(McdcPropertyTest, MatchesBruteForceReferenceOnRandomTables) {
+  support::Xoshiro256 rng(404242);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int num_conditions = static_cast<int>(rng.UniformInt(1, 10));
+    VectorSet vectors;
+    const int entries = static_cast<int>(rng.UniformInt(0, 30));
+    for (int i = 0; i < entries; ++i) {
+      const std::uint64_t v = rng.Next() & ((1ULL << num_conditions) - 1);
+      vectors.insert({v, rng.Bernoulli(0.5)});
+    }
+    EXPECT_EQ(McdcDemonstrated(num_conditions, vectors),
+              McdcReference(num_conditions, vectors))
+        << "trial " << trial;
+  }
+}
+
+TEST(McdcPropertyTest, SixtyFourConditionBoundary) {
+  Unit u("mcdc/wide");
+  const int d = u.DeclareDecision(64);
+  EXPECT_EQ(u.decision_conditions(d), 64);
+  // Flip only the top condition (bit 63) with opposite outcomes.
+  for (int c = 0; c < 64; ++c) u.Cond(d, c, false);
+  u.Dec(d, false);
+  for (int c = 0; c < 63; ++c) u.Cond(d, c, false);
+  u.Cond(d, 63, true);
+  u.Dec(d, true);
+  EXPECT_EQ(u.mcdc_conditions_demonstrated(), 1);
+  EXPECT_EQ(u.mcdc_conditions_total(), 64);
+
+  // The same pair via the free function, using the top bit explicitly.
+  VectorSet vectors{{0ULL, false}, {1ULL << 63, true}};
+  EXPECT_EQ(McdcDemonstrated(64, vectors), 1);
+}
+
+TEST(McdcPropertyTest, DeclareDecisionRejectsOutOfRangeConditionCounts) {
+  Unit u("mcdc/declare");
+  EXPECT_THROW(u.DeclareDecision(0), support::ContractViolation);
+  EXPECT_THROW(u.DeclareDecision(-3), support::ContractViolation);
+  EXPECT_THROW(u.DeclareDecision(65), support::ContractViolation);
+  EXPECT_NO_THROW(u.DeclareDecision(1));
+  EXPECT_NO_THROW(u.DeclareDecision(64));
+}
+
+TEST(McdcPropertyTest, MergeCoverCountsOnlyNewFacts) {
+  CoverSet a;
+  CoverSet b;
+  b["unit"].stmts = {0, 1};
+  b["unit"].decisions[0].num_conditions = 2;
+  b["unit"].decisions[0].seen_true = true;
+  b["unit"].decisions[0].vectors = {{0b11, true}};
+  // First merge: 2 statements + 1 outcome + 1 vector = 4 new facts.
+  EXPECT_EQ(MergeCover(&a, b), 4);
+  // Re-merging the same cover adds nothing.
+  EXPECT_EQ(MergeCover(&a, b), 0);
+  // A cover with one extra vector adds exactly one fact.
+  b["unit"].decisions[0].vectors.insert({0b01, true});
+  EXPECT_EQ(MergeCover(&a, b), 1);
+}
+
+}  // namespace
+}  // namespace certkit::cov

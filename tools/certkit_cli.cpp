@@ -6,16 +6,19 @@
 //   certkit assess <dir> [--asil D]        the three ISO 26262-6 tables +
 //                                          gap list at the target ASIL
 //   certkit trace <dir>                    requirement traceability
+//   certkit campaign [--seed N] [--jobs N] coverage-guided scenario campaign
 //
-// All commands accept --jobs N to set the analysis worker count (default:
-// hardware concurrency). Output is bit-identical for every N — the driver
-// merges per-file artifacts in stable path order.
+// All commands accept --jobs N to set the worker count (default: hardware
+// concurrency). Output is bit-identical for every N — analysis merges
+// per-file artifacts in stable path order, and the campaign merges
+// candidate results in stable seed order.
 //
 // Exit status: 0 on success; 1 on usage/input errors; for `assess`, 2 when
 // the codebase does not meet the target ASIL (CI-friendly).
 #include <cstdio>
 #include <string>
 
+#include "campaign/runner.h"
 #include "driver/analysis_driver.h"
 #include "metrics/halstead.h"
 #include "report/renderers.h"
@@ -41,6 +44,8 @@ int Usage() {
       "  style <dir> [--max N]   style-guide findings\n"
       "  assess <dir> [--asil X] ISO 26262-6 tables + ASIL gap list\n"
       "  trace <dir>             requirement-to-code traceability\n"
+      "  campaign [--seed N] [--population N] [--generations N] [--timing]\n"
+      "                          coverage-guided scenario campaign (JSON)\n"
       "common flags:\n"
       "  --jobs N                analysis threads (default: all cores)\n");
   return 1;
@@ -256,12 +261,38 @@ int CmdTrace(const FlagParser& flags) {
   return 0;
 }
 
+// Coverage-guided scenario campaign over the in-repo AD pipeline. Unlike
+// the analysis commands this needs no <source-dir>: the subject is the
+// instrumented detector compiled into the binary.
+int CmdCampaign(const FlagParser& flags) {
+  certkit::campaign::CampaignConfig config;
+  const auto seed = flags.GetInt("seed", 1);
+  const auto jobs = flags.GetInt("jobs", 0);
+  const auto population = flags.GetInt("population", 12);
+  const auto generations = flags.GetInt("generations", 4);
+  if (!seed || !jobs || !population || !generations) {
+    std::printf("error: campaign flags must be integers\n");
+    return 1;
+  }
+  config.seed = static_cast<std::uint64_t>(*seed);
+  config.jobs = static_cast<int>(*jobs);
+  config.population = static_cast<int>(*population);
+  config.generations = static_cast<int>(*generations);
+  const auto ticks = flags.GetInt("ticks", 25);
+  if (ticks) config.ticks = static_cast<int>(*ticks);
+  config.include_timing = flags.GetBool("timing");
+  certkit::campaign::CampaignRunner runner(config);
+  std::printf("%s\n", certkit::campaign::CampaignJson(runner.Run()).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   if (flags.positional().empty()) return Usage();
   const std::string command = flags.positional()[0];
+  if (command == "campaign") return CmdCampaign(flags);
   if (command == "metrics") return CmdMetrics(flags);
   if (command == "functions") return CmdFunctions(flags);
   if (command == "misra") return CmdMisra(flags);
