@@ -11,10 +11,15 @@
 // Usage:
 //   campaign_coverage [--seed N] [--jobs N] [--population N]
 //                     [--generations N] [--timing] [--baseline]
+//                     [--trace-out F] [--metrics-out F]
 //
 // --baseline additionally runs the fixed Figure-5 scenario set first and
 // prepends its coverage rows, so one invocation yields the comparison table
-// EXPERIMENTS.md reports.
+// EXPERIMENTS.md reports. --trace-out enables span capture: the campaign
+// registers one track per candidate plus its control track, exported as a
+// Chrome trace-event file; --metrics-out snapshots the obs metrics
+// registry. Both exports honor the same determinism contract as the
+// campaign JSON (byte-identical across --jobs unless --timing is given).
 #include <cstdio>
 #include <string>
 
@@ -22,7 +27,10 @@
 #include "campaign/coverage_map.h"
 #include "campaign/runner.h"
 #include "coverage/coverage.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/flags.h"
+#include "support/io.h"
 
 int main(int argc, char** argv) {
   certkit::support::FlagParser flags(argc, argv);
@@ -33,6 +41,11 @@ int main(int argc, char** argv) {
   config.generations = static_cast<int>(*flags.GetInt("generations", 4));
   config.ticks = static_cast<int>(*flags.GetInt("ticks", 25));
   config.include_timing = flags.GetBool("timing");
+  const std::string trace_out = flags.GetOr("trace-out", "");
+  const std::string metrics_out = flags.GetOr("metrics-out", "");
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    certkit::obs::SetTracingEnabled(true);
+  }
 
   std::string baseline_json;
   if (flags.GetBool("baseline")) {
@@ -57,6 +70,30 @@ int main(int argc, char** argv) {
   } else {
     std::printf("{\"fig5_baseline\":%s,\"campaign\":%s}\n",
                 baseline_json.c_str(), campaign_json.c_str());
+  }
+
+  // Export errors go to stderr: stdout carries the JSON document above.
+  if (!trace_out.empty()) {
+    const auto status = certkit::support::WriteFile(
+        trace_out,
+        certkit::obs::ChromeTraceJson(
+            certkit::obs::TraceRecorder::Instance().Snapshot(),
+            config.include_timing));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    const auto status = certkit::support::WriteFile(
+        metrics_out,
+        certkit::obs::MetricsJson(
+            certkit::obs::MetricsRegistry::Instance().Snapshot(),
+            config.include_timing));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }

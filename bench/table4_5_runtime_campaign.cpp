@@ -11,6 +11,13 @@
 //
 //   $ ./table4_5_runtime_campaign [--seed N] [--ticks T]
 //                                 [--onset K] [--duration D]
+//                                 [--trace-out F] [--metrics-out F]
+//                                 [--timing]
+//
+// --trace-out captures each fault run as one track of a Chrome trace-event
+// file (chrome://tracing / Perfetto); --metrics-out snapshots the obs
+// metrics registry after the matrix. Both exports are deterministic for a
+// fixed --seed unless --timing adds the wall-clock fields.
 //
 // Output is a single JSON document (schema documented in README.md). The
 // run is deterministic for a fixed --seed: all randomness — the scenario,
@@ -19,11 +26,15 @@
 // over the real tick cost so wall-clock jitter cannot change the counts.
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ad/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/flags.h"
+#include "support/io.h"
 #include "timing/timing.h"
 
 namespace {
@@ -142,15 +153,33 @@ int main(int argc, char** argv) {
   const long long ticks = flags.GetInt("ticks", 300).value_or(300);
   const long long onset = flags.GetInt("onset", 40).value_or(40);
   const long long duration = flags.GetInt("duration", 25).value_or(25);
+  const std::string trace_out = flags.GetOr("trace-out", "");
+  const std::string metrics_out = flags.GetOr("metrics-out", "");
+  const bool timing = flags.GetBool("timing");
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    certkit::obs::SetTracingEnabled(true);
+  }
+
+  // Each fault run becomes one trace track labeled by its kind; the matrix
+  // is serial, so the track order is fixed.
+  const auto traced_run = [&](const adpilot::FaultKind* kind) {
+    std::optional<certkit::obs::SpanCapture> capture;
+    if (certkit::obs::TracingEnabled()) capture.emplace();
+    CampaignRun run = RunOne(kind, static_cast<std::uint64_t>(seed), ticks,
+                             onset, duration);
+    if (capture.has_value()) {
+      certkit::obs::TraceRecorder::Instance().AddTrack(
+          std::string("fault ") + run.fault, capture->Take());
+    }
+    return run;
+  };
 
   std::vector<CampaignRun> runs;
-  runs.push_back(RunOne(nullptr, static_cast<std::uint64_t>(seed), ticks,
-                        onset, duration));
+  runs.push_back(traced_run(nullptr));
   for (int k = 0; k < adpilot::kNumFaultKinds; ++k) {
     certkit::timing::TimerRegistry::Instance().ResetAll();
     const auto kind = static_cast<adpilot::FaultKind>(k);
-    runs.push_back(RunOne(&kind, static_cast<std::uint64_t>(seed), ticks,
-                          onset, duration));
+    runs.push_back(traced_run(&kind));
   }
 
   long long total_injected = 0, total_detected = 0, total_handled = 0;
@@ -181,5 +210,27 @@ int main(int argc, char** argv) {
   std::printf("    \"total_nonfinite_commands\": %lld\n", total_nonfinite);
   std::printf("  }\n");
   std::printf("}\n");
+
+  // Export errors go to stderr: stdout carries the JSON document above.
+  if (!trace_out.empty()) {
+    const auto status = certkit::support::WriteFile(
+        trace_out,
+        certkit::obs::ChromeTraceJson(
+            certkit::obs::TraceRecorder::Instance().Snapshot(), timing));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    const auto status = certkit::support::WriteFile(
+        metrics_out,
+        certkit::obs::MetricsJson(
+            certkit::obs::MetricsRegistry::Instance().Snapshot(), timing));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
   return total_nonfinite == 0 ? 0 : 1;
 }

@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "coverage/coverage.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 #include "timing/timing.h"
 
@@ -42,6 +44,53 @@ PipeProbes& P() {
     return q;
   }();
   return p;
+}
+
+// Observability sinks, one set per pipeline stage: the ExecutionTimer that
+// WCET/pWCET estimation reads and the per-stage duration histogram, both fed
+// by the same obs::Span that records the trace event — one instrumentation
+// point, three consumers. References are stable across
+// MetricsRegistry::ResetAll / TimerRegistry::ResetAll (both reset values in
+// place), so caching them is safe.
+struct StageSinks {
+  certkit::timing::ExecutionTimer* timer;
+  certkit::obs::Histogram* hist;
+};
+
+struct PipeObs {
+  StageSinks tick, perception, prediction, planning, control, canbus,
+      localization, safety;
+  certkit::obs::Counter* ticks;
+};
+
+PipeObs& O() {
+  static PipeObs o = [] {
+    auto& timers = certkit::timing::TimerRegistry::Instance();
+    auto& metrics = certkit::obs::MetricsRegistry::Instance();
+    // Stage costs on this workload sit between ~10us (control) and ~10ms
+    // (perception on the simulated detector); half-decade buckets cover the
+    // whole range with an overflow bucket for pathological cycles.
+    const std::vector<double> bounds = {1e-5, 5e-5, 1e-4, 5e-4, 1e-3,
+                                        5e-3, 1e-2, 5e-2, 1e-1, 5e-1};
+    auto mk = [&](const char* stage) {
+      return StageSinks{
+          &timers.GetOrCreate(std::string("adpilot/") + stage),
+          &metrics.GetHistogram(
+              std::string("adpilot/stage_seconds/") + stage, bounds)};
+    };
+    PipeObs q;
+    q.tick = mk("tick");
+    q.perception = mk("perception");
+    q.prediction = mk("prediction");
+    q.planning = mk("planning");
+    q.control = mk("control");
+    q.canbus = mk("canbus");
+    q.localization = mk("localization");
+    q.safety = mk("safety");
+    q.ticks = &metrics.GetCounter("adpilot/ticks");
+    return q;
+  }();
+  return o;
 }
 
 }  // namespace
@@ -94,9 +143,9 @@ void ApolloPilot::SetFaultInjector(FaultInjector* injector) {
 }
 
 TickReport ApolloPilot::Tick() {
-  auto& timers = certkit::timing::TimerRegistry::Instance();
-  certkit::timing::ScopedTimer tick_timer(
-      timers.GetOrCreate("adpilot/tick"));
+  certkit::obs::Span tick_span("tick", "pipeline", O().tick.timer,
+                               O().tick.hist);
+  O().ticks->Add();
   const auto tick_start = std::chrono::steady_clock::now();
   const double dt = config_.tick;
   const bool safety_on = config_.safety.enabled;
@@ -110,7 +159,10 @@ TickReport ApolloPilot::Tick() {
   control_flow_monitor_.BeginTick(tick_index_);
 
   // 1. World advances.
-  scenario_.Step(dt);
+  {
+    certkit::obs::Span span("scenario", "pipeline");
+    scenario_.Step(dt);
+  }
 
   // 2. Localization estimate (used as the ego pose everywhere downstream).
   // A stale-localization fault freezes the published estimate at its last
@@ -140,8 +192,8 @@ TickReport ApolloPilot::Tick() {
     P().u->CallSite(P().c_perception);
     control_flow_monitor_.Enter(TickStage::kPerception);
     {
-      certkit::timing::ScopedTimer timer(
-          timers.GetOrCreate("adpilot/perception"));
+      certkit::obs::Span span("perception", "pipeline",
+                              O().perception.timer, O().perception.hist);
       tracked = perception_.Process(frame, est.pose, dt);
     }
     report.detections = perception_.last_detections().size();
@@ -162,8 +214,8 @@ TickReport ApolloPilot::Tick() {
   control_flow_monitor_.Enter(TickStage::kPrediction);
   std::vector<PredictedObstacle> predictions;
   {
-    certkit::timing::ScopedTimer timer(
-        timers.GetOrCreate("adpilot/prediction"));
+    certkit::obs::Span span("prediction", "pipeline", O().prediction.timer,
+                            O().prediction.hist);
     predictions = PredictObstacles(tracked, config_.prediction);
   }
 
@@ -177,8 +229,8 @@ TickReport ApolloPilot::Tick() {
   control_flow_monitor_.Enter(TickStage::kPlanning);
   PlanResult plan;
   {
-    certkit::timing::ScopedTimer timer(
-        timers.GetOrCreate("adpilot/planning"));
+    certkit::obs::Span span("planning", "pipeline", O().planning.timer,
+                            O().planning.hist);
     plan = PlanTrajectory(est, route_,
                           predictions,
                           ApplyBehavior(config_.planner, decision));
@@ -191,13 +243,15 @@ TickReport ApolloPilot::Tick() {
   control_flow_monitor_.Enter(TickStage::kControl);
   ControlCommand cmd;
   {
-    certkit::timing::ScopedTimer timer(
-        timers.GetOrCreate("adpilot/control"));
+    certkit::obs::Span span("control", "pipeline", O().control.timer,
+                            O().control.hist);
     cmd = controller_.Compute(est, plan.trajectory, dt);
   }
   bool overridden = false;
 
   if (safety_on) {
+    certkit::obs::Span span("safety", "safety", O().safety.timer,
+                            O().safety.hist);
     // Table 4 range check on the actuation output (critical on failure).
     overridden |= range_monitor_.CheckCommand(tick_index_, &cmd, &safety_log_);
 
@@ -229,9 +283,14 @@ TickReport ApolloPilot::Tick() {
   control_flow_monitor_.Enter(TickStage::kCanBus);
   const std::int64_t delivered_before = canbus_.frames_delivered();
   const std::int64_t rejected_before = canbus_.frames_rejected();
-  canbus_.SendCommand(cmd);
-  const ChassisFeedback fb = canbus_.Step(dt, config_.localization.gnss_noise,
-                                          config_.localization.speed_noise);
+  ChassisFeedback fb;
+  {
+    certkit::obs::Span span("canbus", "pipeline", O().canbus.timer,
+                            O().canbus.hist);
+    canbus_.SendCommand(cmd);
+    fb = canbus_.Step(dt, config_.localization.gnss_noise,
+                      config_.localization.speed_noise);
+  }
   if (safety_on) {
     // Bus supervision: a corrupted frame was rejected by the receiver-side
     // checksum, a lost frame never arrived. Both are handled by the bus
@@ -250,9 +309,13 @@ TickReport ApolloPilot::Tick() {
   P().u->EnterFunction(P().f_localization);
   P().u->CallSite(P().c_localization);
   control_flow_monitor_.Enter(TickStage::kLocalization);
-  localizer_->Predict(fb.state.acceleration, fb.state.yaw_rate, dt);
-  localizer_->UpdatePosition(fb.gnss_position);
-  localizer_->UpdateSpeed(fb.wheel_speed);
+  {
+    certkit::obs::Span span("localization", "pipeline",
+                            O().localization.timer, O().localization.hist);
+    localizer_->Predict(fb.state.acceleration, fb.state.yaw_rate, dt);
+    localizer_->UpdatePosition(fb.gnss_position);
+    localizer_->UpdateSpeed(fb.wheel_speed);
+  }
   // Advance the dead-reckoning envelope with this tick's odometry; it is
   // compared against the published estimate at the top of the next tick.
   plausibility_monitor_.Propagate(fb.state.acceleration, fb.state.yaw_rate,

@@ -1,7 +1,9 @@
 #include "ad/safety/degradation.h"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/metrics.h"
 #include "support/check.h"
 
 namespace adpilot {
@@ -26,6 +28,15 @@ void DegradationManager::TransitionTo(SafetyState next) {
   if (next == state_) return;
   state_ = next;
   ++transitions_;
+  // Mirror the Table 5 evidence into the metrics registry: total degradation
+  // transitions plus a per-target-state breakdown (transitions_to/safe_stop
+  // counts every latched emergency stop across the process).
+  auto& metrics = certkit::obs::MetricsRegistry::Instance();
+  metrics.GetCounter("safety/transitions").Add();
+  metrics
+      .GetCounter(std::string("safety/transitions_to/") +
+                  SafetyStateName(next))
+      .Add();
   consecutive_degraded_ = 0;
   consecutive_clean_ = 0;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "support/check.h"
 
 namespace adpilot {
@@ -12,6 +13,40 @@ namespace {
 
 bool FiniteVec(const Vec2& v) {
   return std::isfinite(v.x) && std::isfinite(v.y);
+}
+
+// Monitor activity is mirrored into the obs MetricsRegistry at the single
+// choke point every violation passes through (SafetyLog::Record), so the
+// SafetySummary tallies are queryable live — per monitor, per severity,
+// and handled — instead of only by walking the log. Counter increments
+// commute, so fleet workers hammering their own SafetyLogs still produce
+// --jobs-independent totals.
+struct SafetyCounters {
+  certkit::obs::Counter* total;
+  certkit::obs::Counter* warnings;
+  certkit::obs::Counter* criticals;
+  certkit::obs::Counter* handled;
+  certkit::obs::Counter* by_monitor[kNumMonitors];
+  certkit::obs::Counter* deadline_misses;
+};
+
+SafetyCounters& Counters() {
+  static SafetyCounters c = [] {
+    auto& metrics = certkit::obs::MetricsRegistry::Instance();
+    SafetyCounters q;
+    q.total = &metrics.GetCounter("safety/violations");
+    q.warnings = &metrics.GetCounter("safety/warnings");
+    q.criticals = &metrics.GetCounter("safety/criticals");
+    q.handled = &metrics.GetCounter("safety/handled");
+    for (int m = 0; m < kNumMonitors; ++m) {
+      q.by_monitor[m] = &metrics.GetCounter(
+          std::string("safety/violations/") +
+          MonitorName(static_cast<MonitorId>(m)));
+    }
+    q.deadline_misses = &metrics.GetCounter("safety/deadline_misses");
+    return q;
+  }();
+  return c;
 }
 
 }  // namespace
@@ -41,6 +76,16 @@ const char* TickStageName(TickStage stage) {
 }
 
 void SafetyLog::Record(Violation violation) {
+  SafetyCounters& counters = Counters();
+  counters.total->Add();
+  if (violation.severity == Severity::kCritical) {
+    counters.criticals->Add();
+  } else {
+    counters.warnings->Add();
+  }
+  if (violation.handled) counters.handled->Add();
+  const int m = static_cast<int>(violation.monitor);
+  if (m >= 0 && m < kNumMonitors) counters.by_monitor[m]->Add();
   std::lock_guard<std::mutex> lock(mu_);
   violations_.push_back(std::move(violation));
 }
@@ -232,6 +277,7 @@ bool DeadlineWatchdog::Check(std::int64_t tick, double seconds,
   if (timer_ != nullptr) timer_->Record(seconds);
   if (seconds <= config_.tick_deadline) return true;
   ++misses_;
+  Counters().deadline_misses->Add();
   std::ostringstream msg;
   msg << "tick overran its deadline: " << seconds << " s > "
       << config_.tick_deadline << " s";

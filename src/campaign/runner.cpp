@@ -3,11 +3,13 @@
 #include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <optional>
 #include <sstream>
 
 #include "ad/pipeline.h"
 #include "campaign/baseline.h"
 #include "campaign/mutation.h"
+#include "obs/metrics.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
 
@@ -66,16 +68,25 @@ EvalResult CampaignRunner::Evaluate(const Candidate& candidate) {
 
   EvalResult result;
   cov::ThreadCapture capture;
-  ApolloPilot pilot(cfg);
-  FaultInjector injector(fault_cfg);
-  pilot.SetFaultInjector(&injector);
-  std::vector<TickReport> reports;
-  reports.reserve(static_cast<std::size_t>(candidate.ticks));
-  for (int t = 0; t < candidate.ticks; ++t) {
-    reports.push_back(pilot.Tick());
+  // Span capture mirrors the coverage capture: thread-local, so this
+  // worker's spans are exactly this candidate's spans, with a logical clock
+  // starting at 0 — the trace track is a pure function of the candidate.
+  std::optional<obs::SpanCapture> trace_capture;
+  if (obs::TracingEnabled()) trace_capture.emplace();
+  {
+    obs::Span candidate_span("candidate", "campaign");
+    ApolloPilot pilot(cfg);
+    FaultInjector injector(fault_cfg);
+    pilot.SetFaultInjector(&injector);
+    std::vector<TickReport> reports;
+    reports.reserve(static_cast<std::size_t>(candidate.ticks));
+    for (int t = 0; t < candidate.ticks; ++t) {
+      reports.push_back(pilot.Tick());
+    }
+    result.verdict = Judge(pilot, reports);
   }
-  result.verdict = Judge(pilot, reports);
   result.cover = capture.Take();
+  if (trace_capture.has_value()) result.spans = trace_capture->Take();
   return result;
 }
 
@@ -83,6 +94,25 @@ CampaignResult CampaignRunner::Run() {
   const auto t_start = std::chrono::steady_clock::now();
   CampaignResult result;
   result.config = config_;
+
+  // Fleet observability. The control capture records the serial skeleton
+  // (one "generation" span per generation) on this thread; candidate spans
+  // land in the workers' own captures and are merged below in candidate
+  // order, so the trace is byte-identical for any --jobs. The queue-depth
+  // gauge is the *logical* fleet queue — candidates enqueued at each
+  // fan-out — not a scheduler sample, precisely so it stays deterministic.
+  const bool tracing = obs::TracingEnabled();
+  auto& metrics = obs::MetricsRegistry::Instance();
+  obs::Counter& evaluated_counter = metrics.GetCounter("campaign/evaluated");
+  obs::Counter& kept_counter = metrics.GetCounter("campaign/kept");
+  obs::Counter& facts_counter = metrics.GetCounter("campaign/new_facts");
+  obs::Gauge& queue_gauge = metrics.GetGauge("campaign/fleet/queue_depth");
+  if (config_.include_timing) {
+    metrics.GetGauge("campaign/fleet/jobs")
+        .Set(static_cast<double>(config_.jobs));
+  }
+  std::optional<obs::SpanCapture> control_capture;
+  if (tracing) control_capture.emplace();
 
   MutationScheduler scheduler(config_.seed, config_.ticks);
   // Parent selection draws from its own serial stream so adding mutation
@@ -100,6 +130,7 @@ CampaignResult CampaignRunner::Run() {
 
   for (int gen = 0; gen < config_.generations; ++gen) {
     const auto t_gen = std::chrono::steady_clock::now();
+    obs::Span gen_span("generation", "campaign");
     // --- breed (serial, seeded) ---
     std::vector<Candidate> batch;
     batch.reserve(static_cast<std::size_t>(config_.population));
@@ -115,9 +146,11 @@ CampaignResult CampaignRunner::Run() {
     }
 
     // --- evaluate (parallel; slot i holds candidate i's result) ---
+    queue_gauge.Set(static_cast<double>(batch.size()));
     std::vector<EvalResult> evals = support::ParallelMap<EvalResult>(
         pool, batch.size(),
         [&batch](std::size_t i) { return Evaluate(batch[i]); });
+    queue_gauge.Set(0.0);
 
     // --- merge (serial, stable candidate order) ---
     GenerationStats stats;
@@ -131,13 +164,28 @@ CampaignResult CampaignRunner::Run() {
         result.corpus.push_back(batch[i]);
         ++stats.kept;
       }
+      if (tracing) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "campaign g%d/c%02d", gen,
+                      static_cast<int>(i));
+        obs::TraceRecorder::Instance().AddTrack(label,
+                                                std::move(evals[i].spans));
+      }
     }
+    evaluated_counter.Add(stats.evaluated);
+    kept_counter.Add(stats.kept);
+    facts_counter.Add(stats.new_facts);
     result.evaluated_total += stats.evaluated;
     stats.distinct_outcomes = oracle.distinct_outcomes();
     stats.rows = cover_map.Rows(config_.unit_prefix);
     stats.average = cov::Average(stats.rows);
     stats.seconds = Elapsed(t_gen);
     result.generations.push_back(std::move(stats));
+  }
+
+  if (control_capture.has_value()) {
+    obs::TraceRecorder::Instance().AddTrack("campaign control",
+                                            control_capture->Take());
   }
 
   result.distinct_outcomes = oracle.distinct_outcomes();

@@ -25,6 +25,7 @@
 #include "campaign/coverage_map.h"
 #include "campaign/oracle.h"
 #include "coverage/coverage.h"
+#include "obs/trace.h"
 
 namespace certkit::campaign {
 
@@ -42,10 +43,13 @@ struct CampaignConfig {
   bool seed_with_fig5 = false;
 };
 
-// A candidate's evaluation: its captured cover and oracle verdict.
+// A candidate's evaluation: its captured cover, oracle verdict, and (when
+// tracing is enabled) the spans its pilot run fired — captured thread-
+// locally like the cover, so they are a pure function of the candidate.
 struct EvalResult {
   cov::CoverSet cover;
   OracleVerdict verdict;
+  std::vector<obs::SpanEvent> spans;
 };
 
 struct GenerationStats {

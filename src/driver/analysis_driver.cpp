@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <filesystem>
 #include <map>
+#include <optional>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rules/defensive.h"
 #include "support/io.h"
 #include "support/strings.h"
@@ -28,43 +31,73 @@ struct WorkerResult {
   bool ok = false;
   FileAnalysis analysis;
   ast::SourceFileModel model;
+  // Spans this file's analysis fired (tracing enabled only) — captured on
+  // the worker thread, merged into the TraceRecorder in stable path order.
+  std::vector<obs::SpanEvent> spans;
 };
 
 // The per-file map step: parse + every per-file pass, computed exactly once.
 WorkerResult AnalyzeOneFile(std::string path, std::string module,
                             std::string text, const DriverOptions& options) {
   WorkerResult out;
-  ast::ParseOptions parse_opts;
-  parse_opts.lex_options.keep_comments = options.keep_comments;
-  auto model = ast::ParseSource(path, text, parse_opts);
-  if (!model.ok()) {
-    out.analysis.path = std::move(path);
-    return out;  // ok == false -> skipped
-  }
-  out.model = std::move(model).value();
+  std::optional<obs::SpanCapture> trace_capture;
+  if (obs::TracingEnabled()) trace_capture.emplace();
+  {
+    obs::Span file_span("analyze_file", "driver");
+    ast::ParseOptions parse_opts;
+    parse_opts.lex_options.keep_comments = options.keep_comments;
+    auto model = [&] {
+      obs::Span span("parse", "driver");
+      return ast::ParseSource(path, text, parse_opts);
+    }();
+    if (!model.ok()) {
+      out.analysis.path = std::move(path);
+      obs::MetricsRegistry::Instance()
+          .GetCounter("driver/files_skipped")
+          .Add();
+    } else {
+      out.model = std::move(model).value();
 
-  FileAnalysis& fa = out.analysis;
-  fa.path = std::move(path);
-  fa.module = std::move(module);
-  fa.functions = metrics::ComputeFileFunctionMetrics(out.model);
-  fa.trace = rules::AnalyzeTraceability(out.model);
-  fa.misra = rules::CheckMisra(out.model, options.misra);
-  rules::StyleOptions style_opts;
-  style_opts.max_line_length = options.style_max_line_length;
-  style_opts.is_header = IsHeaderPath(fa.path);
-  fa.style = rules::CheckStyle(out.model, text, style_opts);
-  for (const auto& f : fa.style.report.findings) {
-    if (support::StartsWith(f.rule_id, "STYLE-") &&
-        support::Contains(f.rule_id, "NAME")) {
-      ++fa.naming_violations;
+      FileAnalysis& fa = out.analysis;
+      fa.path = std::move(path);
+      fa.module = std::move(module);
+      {
+        obs::Span span("metrics", "driver");
+        fa.functions = metrics::ComputeFileFunctionMetrics(out.model);
+      }
+      {
+        obs::Span span("traceability", "driver");
+        fa.trace = rules::AnalyzeTraceability(out.model);
+      }
+      {
+        obs::Span span("misra", "driver");
+        fa.misra = rules::CheckMisra(out.model, options.misra);
+      }
+      {
+        obs::Span span("style", "driver");
+        rules::StyleOptions style_opts;
+        style_opts.max_line_length = options.style_max_line_length;
+        style_opts.is_header = IsHeaderPath(fa.path);
+        fa.style = rules::CheckStyle(out.model, text, style_opts);
+      }
+      for (const auto& f : fa.style.report.findings) {
+        if (support::StartsWith(f.rule_id, "STYLE-") &&
+            support::Contains(f.rule_id, "NAME")) {
+          ++fa.naming_violations;
+        }
+      }
+      fa.naming_entities = static_cast<std::int64_t>(
+          out.model.types.size() + out.model.functions.size() +
+          out.model.globals.size() + out.model.macros.size());
+      fa.explicit_casts = static_cast<std::int64_t>(out.model.casts.size());
+      fa.text = std::move(text);
+      out.ok = true;
+      obs::MetricsRegistry::Instance()
+          .GetCounter("driver/files_analyzed")
+          .Add();
     }
   }
-  fa.naming_entities = static_cast<std::int64_t>(
-      out.model.types.size() + out.model.functions.size() +
-      out.model.globals.size() + out.model.macros.size());
-  fa.explicit_casts = static_cast<std::int64_t>(out.model.casts.size());
-  fa.text = std::move(text);
-  out.ok = true;
+  if (trace_capture.has_value()) out.spans = trace_capture->Take();
   return out;
 }
 
@@ -74,6 +107,18 @@ WorkerResult AnalyzeOneFile(std::string path, std::string module,
 CodebaseAnalysis MergeResults(std::vector<WorkerResult> results,
                               support::ThreadPool& pool) {
   CodebaseAnalysis out;
+
+  // Results arrive in sorted path order, so registering each file's span
+  // track here (serially, before grouping) keeps the trace byte-identical
+  // for any --jobs count.
+  if (obs::TracingEnabled()) {
+    for (WorkerResult& r : results) {
+      if (!r.spans.empty()) {
+        obs::TraceRecorder::Instance().AddTrack(r.analysis.path,
+                                                std::move(r.spans));
+      }
+    }
+  }
 
   // Group by module key; std::map gives stable name order.
   std::map<std::string, std::vector<std::size_t>> by_module;

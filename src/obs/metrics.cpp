@@ -1,0 +1,217 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.h"
+#include "timing/timing.h"
+
+namespace certkit::obs {
+
+namespace {
+
+// Fixed-width double rendering so exports are byte-stable across platforms
+// with identical inputs (no locale, no %g exponent-form ambiguity for the
+// magnitudes metrics take).
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Gauge::Set(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  value_ = v;
+}
+
+double Gauge::value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return value_;
+}
+
+void Gauge::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  value_ = 0.0;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  CERTKIT_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  CERTKIT_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                    "histogram bounds must be ascending");
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Record(double v) {
+  if (!std::isfinite(v)) return;
+  // First bucket whose inclusive upper bound covers v; overflow otherwise.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t index = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[index];
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+}
+
+std::vector<std::int64_t> Histogram::BucketCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
+
+std::int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.assign(bounds_.size() + 1, 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>(bounds)).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.bounds = h->bounds();
+    row.buckets = h->BucketCounts();
+    row.count = h->count();
+    row.sum = h->sum();
+    row.min = h->min();
+    row.max = h->max();
+    snap.histograms.push_back(std::move(row));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsJson(const MetricsSnapshot& snapshot,
+                        bool include_timing) {
+  std::ostringstream out;
+  out << "{\"metrics\":{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << snapshot.counters[i].first
+        << "\":" << snapshot.counters[i].second;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << snapshot.gauges[i].first
+        << "\":" << Num(snapshot.gauges[i].second);
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i > 0) out << ",";
+    out << "\"" << h.name << "\":{\"count\":" << h.count << ",\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out << ",";
+      out << Num(h.bounds[b]);
+    }
+    out << "]";
+    if (include_timing) {
+      out << ",\"buckets\":[";
+      for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        if (b > 0) out << ",";
+        out << h.buckets[b];
+      }
+      out << "],\"sum\":" << Num(h.sum) << ",\"min\":" << Num(h.min)
+          << ",\"max\":" << Num(h.max);
+    }
+    out << "}";
+  }
+  // Timers come from the same instrumentation (obs::Span feeds the
+  // ExecutionTimer the WCET estimates read); sample counts are
+  // deterministic, the statistics are wall clock.
+  out << "},\"timers\":{";
+  const auto stats = timing::TimerRegistry::Instance().SnapshotStats();
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << stats[i].first << "\":{\"count\":" << stats[i].second.count;
+    if (include_timing && stats[i].second.count > 0) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    ",\"mean_us\":%.3f,\"p95_us\":%.3f,\"p99_us\":%.3f,"
+                    "\"max_us\":%.3f",
+                    stats[i].second.mean * 1e6, stats[i].second.p95 * 1e6,
+                    stats[i].second.p99 * 1e6, stats[i].second.max * 1e6);
+      out << buf;
+    }
+    out << "}";
+  }
+  out << "}}}";
+  return out.str();
+}
+
+}  // namespace certkit::obs

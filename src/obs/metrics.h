@@ -1,0 +1,139 @@
+// certkit obs: a registry of named counters, gauges, and fixed-bucket
+// histograms — the queryable side of the observability layer.
+//
+// The ISO 26262 assessment needs monitor activity (violations, deadline
+// misses, degradation transitions) and fleet behavior (queue depth,
+// candidates evaluated) as *numbers a tool can read*, not lines in a log.
+// Every metric here is designed so that its exported value is a pure
+// function of the workload and the seed:
+//
+//  * Counter   — monotonically increasing int64; increments commute, so
+//                concurrent fleet workers produce the same total for any
+//                --jobs count;
+//  * Gauge     — last-set double; set only from serial sections (the
+//                campaign's breed/merge phases) to stay deterministic;
+//  * Histogram — fixed upper-bound buckets. Sample *counts* are
+//                deterministic (one sample per stage per tick); the bucket
+//                occupancy of duration histograms is wall-clock-derived, so
+//                the JSON export gates bucket/sum/min/max fields behind
+//                include_timing, matching the campaign-JSON convention.
+//
+// MetricsJson(Snapshot(), ...) is the export; schema in DESIGN.md.
+#ifndef CERTKIT_OBS_METRICS_H_
+#define CERTKIT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace certkit::obs {
+
+class Counter {
+ public:
+  void Add(std::int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v);
+  double value() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0.0;
+};
+
+// Fixed-bucket histogram. `bounds` are ascending inclusive upper bounds:
+// sample v lands in the first bucket with v <= bounds[i]; samples above the
+// last bound land in the implicit overflow bucket (index bounds.size()).
+// Non-finite samples are dropped (recorded nowhere, not even the count) —
+// a NaN duration is an instrumentation bug, not a tail observation.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket occupancy, length bounds().size() + 1 (overflow last).
+  std::vector<std::int64_t> BucketCounts() const;
+  std::int64_t count() const;
+  double sum() const;
+  double min() const;  // 0.0 when empty
+  double max() const;  // 0.0 when empty
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<std::int64_t> buckets_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// A point-in-time copy of every registered metric, in name order.
+struct MetricsSnapshot {
+  struct HistogramRow {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::int64_t> buckets;  // overflow last
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramRow> histograms;
+};
+
+// Process-wide metric registry. Get* registers on first use and returns a
+// stable reference afterwards (ResetAll zeroes values but never invalidates
+// references, so instrumentation sites may cache them).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  // `bounds` is consulted on first registration only; later calls return
+  // the existing histogram regardless.
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  MetricsSnapshot Snapshot() const;
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Renders a snapshot (plus the timing::TimerRegistry's sample counts) as
+// the metrics JSON document. Deterministic for a fixed seed and workload;
+// `include_timing` adds the wall-clock-derived fields (histogram buckets,
+// sums, extrema, and timer statistics). Schema in DESIGN.md.
+std::string MetricsJson(const MetricsSnapshot& snapshot, bool include_timing);
+
+}  // namespace certkit::obs
+
+#endif  // CERTKIT_OBS_METRICS_H_

@@ -153,6 +153,17 @@ std::vector<const ExecutionTimer*> TimerRegistry::Timers() const {
   return out;
 }
 
+std::vector<std::pair<std::string, TimingStats>>
+TimerRegistry::SnapshotStats() const {
+  std::vector<const ExecutionTimer*> timers = Timers();
+  std::vector<std::pair<std::string, TimingStats>> out;
+  out.reserve(timers.size());
+  for (const ExecutionTimer* timer : timers) {
+    out.emplace_back(timer->name(), timer->GetStats());
+  }
+  return out;
+}
+
 void TimerRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, timer] : timers_) timer->Reset();

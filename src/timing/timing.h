@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/status.h"
@@ -78,6 +79,10 @@ class TimerRegistry {
   static TimerRegistry& Instance();
   ExecutionTimer& GetOrCreate(const std::string& name);
   std::vector<const ExecutionTimer*> Timers() const;
+  // (name, stats) for every timer, in name order — the form the obs-layer
+  // metrics export consumes. Sample counts are deterministic for a fixed
+  // workload; the statistics themselves are wall clock.
+  std::vector<std::pair<std::string, TimingStats>> SnapshotStats() const;
   void ResetAll();
 
  private:

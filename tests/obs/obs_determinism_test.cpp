@@ -1,0 +1,119 @@
+// The observability determinism contract, end to end: the Chrome trace and
+// metrics JSON exports produced by a campaign (and by the analysis driver)
+// must be byte-identical for --jobs 1 and --jobs 4 at a fixed seed. This is
+// the obs-layer extension of the fleet-determinism test, and it carries the
+// `concurrency` label so the TSan tree races span capture, the metrics
+// registry, and the trace recorder under a real parallel fleet.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "driver/analysis_driver.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_validate.h"
+#include "timing/timing.h"
+
+namespace {
+
+// The exports are process-cumulative; each run starts from a clean slate so
+// two runs are comparable.
+void ResetObservability() {
+  certkit::obs::TraceRecorder::Instance().Clear();
+  certkit::obs::MetricsRegistry::Instance().ResetAll();
+  certkit::timing::TimerRegistry::Instance().ResetAll();
+}
+
+struct Exports {
+  std::string trace;
+  std::string metrics;
+};
+
+Exports RunCampaign(int jobs) {
+  ResetObservability();
+  certkit::obs::SetTracingEnabled(true);
+  certkit::campaign::CampaignConfig config;
+  config.seed = 42;
+  config.jobs = jobs;
+  config.population = 3;
+  config.generations = 2;
+  config.ticks = 5;
+  certkit::campaign::CampaignRunner runner(config);
+  runner.Run();
+  certkit::obs::SetTracingEnabled(false);
+  Exports out;
+  out.trace = certkit::obs::ChromeTraceJson(
+      certkit::obs::TraceRecorder::Instance().Snapshot(),
+      /*include_timing=*/false);
+  out.metrics = certkit::obs::MetricsJson(
+      certkit::obs::MetricsRegistry::Instance().Snapshot(),
+      /*include_timing=*/false);
+  return out;
+}
+
+TEST(ObsDeterminismTest, CampaignExportsAreJobsInvariant) {
+  const Exports serial = RunCampaign(1);
+  const Exports fleet = RunCampaign(4);
+  EXPECT_EQ(serial.trace, fleet.trace);
+  EXPECT_EQ(serial.metrics, fleet.metrics);
+  std::string error;
+  EXPECT_TRUE(certkit::obs::ValidateChromeTrace(serial.trace, &error))
+      << error;
+  // One track per candidate (3 x 2 generations) plus the control track.
+  EXPECT_NE(serial.trace.find("campaign g0/c00"), std::string::npos);
+  EXPECT_NE(serial.trace.find("campaign g1/c02"), std::string::npos);
+  EXPECT_NE(serial.trace.find("campaign control"), std::string::npos);
+}
+
+TEST(ObsDeterminismTest, CampaignRepeatedRunIsByteStable) {
+  const Exports first = RunCampaign(4);
+  const Exports second = RunCampaign(4);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.metrics, second.metrics);
+}
+
+std::string RunDriver(int jobs) {
+  ResetObservability();
+  certkit::obs::SetTracingEnabled(true);
+  certkit::driver::DriverOptions options;
+  options.jobs = jobs;
+  certkit::driver::AnalysisDriver driver(options);
+  std::vector<certkit::driver::SourceInput> sources;
+  sources.push_back({"mod_a/one.cc",
+                     "// REQ-1\nint Add(int a, int b) { return a + b; }\n"});
+  sources.push_back({"mod_a/two.cc",
+                     "int Sub(int a, int b) { return a - b; }\n"});
+  sources.push_back({"mod_b/three.cc",
+                     "int Mul(int a, int b) { return a * b; }\n"});
+  auto analysis = driver.AnalyzeSources(std::move(sources));
+  EXPECT_TRUE(analysis.ok());
+  certkit::obs::SetTracingEnabled(false);
+  return certkit::obs::ChromeTraceJson(
+      certkit::obs::TraceRecorder::Instance().Snapshot(),
+      /*include_timing=*/false);
+}
+
+TEST(ObsDeterminismTest, DriverTraceIsJobsInvariant) {
+  const std::string serial = RunDriver(1);
+  const std::string fleet = RunDriver(4);
+  EXPECT_EQ(serial, fleet);
+  std::string error;
+  EXPECT_TRUE(certkit::obs::ValidateChromeTrace(serial, &error)) << error;
+  // One track per file, labeled by path, in sorted path order.
+  const auto a = serial.find("mod_a/one.cc");
+  const auto b = serial.find("mod_a/two.cc");
+  const auto c = serial.find("mod_b/three.cc");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(c, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  // Per-file sub-spans are present.
+  EXPECT_NE(serial.find("\"analyze_file\""), std::string::npos);
+  EXPECT_NE(serial.find("\"parse\""), std::string::npos);
+  EXPECT_NE(serial.find("\"misra\""), std::string::npos);
+}
+
+}  // namespace

@@ -5,26 +5,36 @@
 //   certkit style <dir> [--max N]          style-guide findings
 //   certkit assess <dir> [--asil D]        the three ISO 26262-6 tables +
 //                                          gap list at the target ASIL
-//   certkit trace <dir>                    requirement traceability
+//   certkit traceability <dir>             requirement traceability
 //   certkit campaign [--seed N] [--jobs N] coverage-guided scenario campaign
+//   certkit trace [--trace-out F]          instrumented pilot drive + mini
+//                                          campaign; Chrome trace + metrics
 //
 // All commands accept --jobs N to set the worker count (default: hardware
 // concurrency). Output is bit-identical for every N — analysis merges
 // per-file artifacts in stable path order, and the campaign merges
-// candidate results in stable seed order.
+// candidate results in stable seed order. `trace` extends the contract to
+// its exports: span timestamps are logical sequence numbers, so the trace
+// and metrics files are byte-identical for any --jobs at a fixed --seed
+// (wall-clock fields appear only under --timing).
 //
 // Exit status: 0 on success; 1 on usage/input errors; for `assess`, 2 when
 // the codebase does not meet the target ASIL (CI-friendly).
 #include <cstdio>
 #include <string>
 
+#include "ad/pipeline.h"
 #include "campaign/runner.h"
 #include "driver/analysis_driver.h"
 #include "metrics/halstead.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_validate.h"
 #include "report/renderers.h"
 #include "report/table.h"
 #include "rules/assessor.h"
 #include "support/flags.h"
+#include "support/io.h"
 #include "support/strings.h"
 
 namespace {
@@ -43,9 +53,13 @@ int Usage() {
       "  misra <dir> [--max N]   MISRA-subset findings (default N=25)\n"
       "  style <dir> [--max N]   style-guide findings\n"
       "  assess <dir> [--asil X] ISO 26262-6 tables + ASIL gap list\n"
-      "  trace <dir>             requirement-to-code traceability\n"
+      "  traceability <dir>      requirement-to-code traceability\n"
       "  campaign [--seed N] [--population N] [--generations N] [--timing]\n"
       "                          coverage-guided scenario campaign (JSON)\n"
+      "  trace [--trace-out F] [--metrics-out F] [--seed N] [--ticks N]\n"
+      "        [--population N] [--generations N] [--timing]\n"
+      "                          traced pilot drive + mini campaign; writes\n"
+      "                          Chrome trace-event JSON (chrome://tracing)\n"
       "common flags:\n"
       "  --jobs N                analysis threads (default: all cores)\n");
   return 1;
@@ -241,7 +255,7 @@ int CmdAssess(const FlagParser& flags) {
   return gaps == 0 ? 0 : 2;
 }
 
-int CmdTrace(const FlagParser& flags) {
+int CmdTraceability(const FlagParser& flags) {
   auto analysis = Load(flags);
   if (!analysis.ok()) {
     std::printf("error: %s\n", analysis.status().ToString().c_str());
@@ -286,6 +300,86 @@ int CmdCampaign(const FlagParser& flags) {
   return 0;
 }
 
+// Observability demo: run a traced pilot drive (covering every pipeline
+// stage plus the safety block) and a small traced campaign, then export the
+// Chrome trace-event file and a metrics snapshot. Exports are validated
+// before they are written, and — the core contract — byte-identical for any
+// --jobs at a fixed --seed; --timing opts into wall-clock fields.
+int CmdObsTrace(const FlagParser& flags) {
+  namespace obs = certkit::obs;
+  const auto seed = flags.GetInt("seed", 1);
+  const auto jobs = flags.GetInt("jobs", 1);
+  const auto ticks = flags.GetInt("ticks", 40);
+  const auto population = flags.GetInt("population", 4);
+  const auto generations = flags.GetInt("generations", 2);
+  if (!seed || !jobs || !ticks || !population || !generations) {
+    std::printf("error: trace flags must be integers\n");
+    return 1;
+  }
+  const bool timing = flags.GetBool("timing");
+  const std::string trace_out = flags.GetOr("trace-out", "certkit_trace.json");
+  const std::string metrics_out = flags.GetOr("metrics-out", "");
+
+  obs::SetTracingEnabled(true);
+
+  // Solo pilot drive on this thread: one track with every stage span.
+  {
+    obs::SpanCapture capture;
+    adpilot::PilotConfig cfg;
+    cfg.safety.tick_deadline = 5.0;
+    adpilot::ApolloPilot pilot(cfg);
+    for (int t = 0; t < static_cast<int>(*ticks); ++t) pilot.Tick();
+    obs::TraceRecorder::Instance().AddTrack("pilot drive", capture.Take());
+  }
+
+  // Mini campaign: fleet candidate tracks + the control track.
+  certkit::campaign::CampaignConfig config;
+  config.seed = static_cast<std::uint64_t>(*seed);
+  config.jobs = static_cast<int>(*jobs);
+  config.population = static_cast<int>(*population);
+  config.generations = static_cast<int>(*generations);
+  config.ticks = static_cast<int>(*ticks);
+  config.include_timing = timing;
+  certkit::campaign::CampaignRunner runner(config);
+  const auto campaign_result = runner.Run();
+
+  const std::string trace_json =
+      obs::ChromeTraceJson(obs::TraceRecorder::Instance().Snapshot(), timing);
+  std::string error;
+  if (!obs::ValidateChromeTrace(trace_json, &error)) {
+    std::printf("error: generated trace failed validation: %s\n",
+                error.c_str());
+    return 1;
+  }
+  auto status = certkit::support::WriteFile(trace_out, trace_json);
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("trace: %s (%lld tracks, %zu bytes) — load in "
+              "chrome://tracing or Perfetto\n",
+              trace_out.c_str(),
+              static_cast<long long>(
+                  obs::TraceRecorder::Instance().track_count()),
+              trace_json.size());
+
+  if (!metrics_out.empty()) {
+    const std::string metrics_json = obs::MetricsJson(
+        obs::MetricsRegistry::Instance().Snapshot(), timing);
+    status = certkit::support::WriteFile(metrics_out, metrics_json);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics: %s (%zu bytes)\n", metrics_out.c_str(),
+                metrics_json.size());
+  }
+  std::printf("campaign: evaluated %lld candidates over %d generations\n",
+              static_cast<long long>(campaign_result.evaluated_total),
+              config.generations);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -298,7 +392,8 @@ int main(int argc, char** argv) {
   if (command == "misra") return CmdMisra(flags);
   if (command == "style") return CmdStyle(flags);
   if (command == "assess") return CmdAssess(flags);
-  if (command == "trace") return CmdTrace(flags);
+  if (command == "traceability") return CmdTraceability(flags);
+  if (command == "trace") return CmdObsTrace(flags);
   std::printf("unknown command '%s'\n", command.c_str());
   return Usage();
 }

@@ -1,0 +1,45 @@
+// trace_lint — standalone validator for certkit's Chrome trace-event
+// exports.
+//
+//   trace_lint <trace.json> [more.json ...]
+//
+// Checks each file against the subset of the trace-event format certkit
+// emits (see DESIGN.md): a {"traceEvents": [...]} document whose events are
+// either "X" (complete, with integer ts >= 0 and dur >= 1) or "M"
+// (metadata), plus the structural invariant the logical clock guarantees —
+// within one tid, span intervals either nest or are disjoint; a partial
+// overlap means the exporter's sequence clock is broken.
+//
+// The validator is an independent re-implementation (its own JSON parser,
+// its own interval check) so exporter bugs cannot hide behind shared code.
+//
+// Exit status: 0 when every file validates, 1 otherwise (CI-friendly).
+#include <cstdio>
+
+#include "obs/trace_validate.h"
+#include "support/io.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: trace_lint <trace.json> [more.json ...]\n");
+    return 1;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    auto content = certkit::support::ReadFile(argv[i]);
+    if (!content.ok()) {
+      std::printf("%s: error: %s\n", argv[i],
+                  content.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::string error;
+    if (certkit::obs::ValidateChromeTrace(content.value(), &error)) {
+      std::printf("%s: OK (%zu bytes)\n", argv[i], content.value().size());
+    } else {
+      std::printf("%s: INVALID: %s\n", argv[i], error.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
