@@ -6,6 +6,7 @@
 // vendor-style convolution.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <vector>
 
 #include <functional>
@@ -78,6 +79,21 @@ BENCHMARK(BM_ConvIsaacSim)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --timing re-measures the tile candidates on the live input (the
+  // original wall-clock auto-tune) instead of ranking them with the
+  // deterministic cost model. Stripped before google-benchmark parses.
+  bool timing = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--timing") == 0) {
+      timing = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  kernels::isaac_sim::SetTimingTuning(timing);
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -20,20 +20,32 @@ Perception::Perception(const PerceptionConfig& config)
 // across consecutive frames (track gating).
 std::vector<Obstacle> Perception::Process(const nn::Tensor& frame,
                                           const Pose& ego_pose, double dt) {
-  const std::vector<nn::Detection> detections = detector_->Detect(frame);
+  // Route through the batch engine as a batch of one: same forward math,
+  // same probes, and a single code path to qualify for both entry points.
+  return ProcessBatch({frame}, ego_pose, dt);
+}
+
+std::vector<Obstacle> Perception::ProcessBatch(
+    const std::vector<nn::Tensor>& frames, const Pose& ego_pose, double dt) {
+  // Inline batch (no pool): perception runs on the caller's thread so
+  // campaign per-candidate coverage/trace attribution stays intact.
+  const std::vector<std::vector<nn::Detection>> per_frame =
+      detector_->DetectBatch(frames);
 
   last_detections_.clear();
-  for (const nn::Detection& d : detections) {
-    // Back-project the box center from pixels to the ego frame, then world.
-    const Vec2 ego = CameraModel::PixelToEgo(d.x, d.y);
-    Obstacle o;
-    o.id = -1;  // assigned by the tracker
-    o.cls = d.cls == 0 ? ObstacleClass::kVehicle : ObstacleClass::kPedestrian;
-    o.position = ego_pose.EgoToWorld(ego);
-    o.length = d.h * CameraModel::kMetersPerPixel;  // rows are longitudinal
-    o.width = d.w * CameraModel::kMetersPerPixel;
-    o.confidence = d.score;
-    last_detections_.push_back(o);
+  for (const std::vector<nn::Detection>& detections : per_frame) {
+    for (const nn::Detection& d : detections) {
+      // Back-project the box center from pixels to the ego frame, then world.
+      const Vec2 ego = CameraModel::PixelToEgo(d.x, d.y);
+      Obstacle o;
+      o.id = -1;  // assigned by the tracker
+      o.cls = d.cls == 0 ? ObstacleClass::kVehicle : ObstacleClass::kPedestrian;
+      o.position = ego_pose.EgoToWorld(ego);
+      o.length = d.h * CameraModel::kMetersPerPixel;  // rows are longitudinal
+      o.width = d.w * CameraModel::kMetersPerPixel;
+      o.confidence = d.score;
+      last_detections_.push_back(o);
+    }
   }
   return tracker_.Update(last_detections_, dt);
 }

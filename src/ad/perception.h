@@ -35,6 +35,13 @@ class Perception {
   std::vector<Obstacle> Process(const nn::Tensor& frame,
                                 const Pose& ego_pose, double dt);
 
+  // Multi-camera perception cycle: runs the detector ONCE over all frames
+  // (one batched forward pass), merges the back-projected detections, then
+  // performs a single tracker update. With one frame this is bit-identical
+  // to Process(). Frames must all be rendered at `ego_pose`.
+  std::vector<Obstacle> ProcessBatch(const std::vector<nn::Tensor>& frames,
+                                     const Pose& ego_pose, double dt);
+
   // Instantaneous detections of the last cycle (world frame), pre-tracking.
   const std::vector<Obstacle>& last_detections() const {
     return last_detections_;

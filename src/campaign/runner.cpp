@@ -9,6 +9,7 @@
 #include "ad/pipeline.h"
 #include "campaign/baseline.h"
 #include "campaign/mutation.h"
+#include "kernels/conv.h"
 #include "obs/metrics.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
@@ -50,7 +51,15 @@ CampaignRunner::CampaignRunner(const CampaignConfig& config)
 EvalResult CampaignRunner::Evaluate(const Candidate& candidate) {
   using namespace adpilot;
   std::unique_lock<std::mutex> accel_lock(g_accel_mu, std::defer_lock);
-  if (candidate.backend != nn::Backend::kCpuNaive) accel_lock.lock();
+  if (candidate.backend != nn::Backend::kCpuNaive) {
+    accel_lock.lock();
+    // Every candidate starts from a cold tuner: the cached conv configs
+    // must not leak across candidates, or evaluation ORDER (which varies
+    // with --jobs scheduling) would change what each candidate executes.
+    // The cost model is deterministic, so each candidate re-derives the
+    // same configs every time, in any order, at any job count.
+    kernels::isaac_sim::ResetTuningCache();
+  }
 
   PilotConfig cfg;
   cfg.scenario = candidate.scenario;

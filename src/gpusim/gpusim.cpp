@@ -133,6 +133,8 @@ void Device::ResetTimers() {
   std::lock_guard<std::mutex> lock(time_mu_);
   simulated_seconds_ = 0.0;
   wall_seconds_ = 0.0;
+  launch_count_ = 0;
+  blocks_launched_ = 0;
 }
 
 double Device::simulated_seconds() const {
@@ -151,6 +153,18 @@ void Device::RecordLaunch(double wall_seconds, std::uint64_t blocks) {
   const double occupancy = static_cast<double>(
       blocks < sm_count_ ? blocks : sm_count_);
   simulated_seconds_ += wall_seconds / occupancy;
+  ++launch_count_;
+  blocks_launched_ += blocks;
+}
+
+std::uint64_t Device::launch_count() const {
+  std::lock_guard<std::mutex> lock(time_mu_);
+  return launch_count_;
+}
+
+std::uint64_t Device::blocks_launched() const {
+  std::lock_guard<std::mutex> lock(time_mu_);
+  return blocks_launched_;
 }
 
 std::size_t Device::allocation_count() const {

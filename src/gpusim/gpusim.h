@@ -105,9 +105,16 @@ class Device {
   // --- simulated device clock ---
   void set_sm_count(unsigned sms);
   unsigned sm_count() const;
-  void ResetTimers();
+  void ResetTimers();  // clears clocks AND the launch/block counters
   double simulated_seconds() const;  // device-model time of all launches
   double wall_seconds() const;       // host wall time of all launches
+  // Deterministic launch accounting (unlike the clocks above, these are
+  // pure functions of the submitted work): kernel launches and grid blocks
+  // since construction / the last ResetTimers. The isaac_sim cost-model
+  // tuner and the batch-inference benches rank work by these, not by wall
+  // time.
+  std::uint64_t launch_count() const;
+  std::uint64_t blocks_launched() const;
 
   // --- raw memory API (cudaMalloc-shaped; used by kernel libraries) ---
   void* Malloc(std::size_t bytes);
@@ -161,6 +168,8 @@ class Device {
   unsigned sm_count_ = 16;
   double simulated_seconds_ = 0.0;
   double wall_seconds_ = 0.0;
+  std::uint64_t launch_count_ = 0;
+  std::uint64_t blocks_launched_ = 0;
 };
 
 // RAII device buffer used by library code.

@@ -1,6 +1,7 @@
 #include "kernels/conv.h"
 
 #include <chrono>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -138,11 +139,18 @@ ShapeKey KeyOf(const ConvShape& s) {
 
 std::mutex g_cache_mu;
 std::map<ShapeKey, int> g_tuned;
+bool g_timing_tuning = false;
 
 // Candidate GEMM tile configurations the auto-tuner explores.
 using GemmFn = void (*)(const float*, const float*, float*, GemmShape,
                         gpusim::Device&);
 constexpr int kNumCandidates = 4;
+
+struct TileDims {
+  int tm, tn;
+};
+constexpr TileDims kCandidateTiles[kNumCandidates] = {
+    {32, 32}, {64, 64}, {16, 128}, {128, 16}};
 
 void GemmCand0(const float* a, const float* b, float* c, GemmShape s,
                gpusim::Device& d) {
@@ -174,22 +182,45 @@ GemmFn Candidate(int index) {
   }
 }
 
-// im2col: expands input patches into a [Cin*KH*KW, OH*OW] matrix per image.
-// Runs as a device kernel (one block per patch row) so that its cost is part
-// of the device-side time, as it is for the real ISAAC pipeline.
-void Im2Col(const float* input, const ConvShape& s, int n, float* cols,
-            gpusim::Device& device) {
+// Per-thread im2col/GEMM scratch arena. Conv2d is called per layer per
+// frame on hot paths (detector inference, campaign candidates); reusing the
+// buffers across calls on the same thread removes a fresh heap allocation
+// per Conv2d call. Thread-local, so concurrent candidates on a worker
+// fleet never share scratch.
+struct Arena {
+  std::vector<float> cols;   // im2col matrix [K, batch*OH*OW]
+  std::vector<float> fused;  // batched GEMM output [M, batch*OH*OW]
+  std::vector<float> best;   // timing-mode best-candidate output copy
+};
+
+Arena& LocalArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+// im2col over the whole batch: expands input patches into one
+// [Cin*KH*KW, N*OH*OW] matrix (image n occupies columns [n*OH*OW,
+// (n+1)*OH*OW)). One device launch with a (patch_rows, batch) grid, so its
+// cost is part of the device-side time — as it is for the real ISAAC
+// pipeline — and an N-batch fills the SMs N times better than per-image
+// launches.
+void Im2ColBatched(const float* input, const ConvShape& s, float* cols,
+                   gpusim::Device& device) {
   const int oh = s.OutH(), ow = s.OutW();
   const int patch_rows = s.in_channels * s.kernel_h * s.kernel_w;
-  gpusim::Dim3 grid{static_cast<unsigned>(patch_rows), 1, 1};
+  const std::size_t row_stride =
+      static_cast<std::size_t>(s.batch) * oh * ow;
+  gpusim::Dim3 grid{static_cast<unsigned>(patch_rows),
+                    static_cast<unsigned>(s.batch), 1};
   device.Launch(grid, gpusim::Dim3{1, 1, 1},
                 [=](const gpusim::KernelContext& ctx) {
     const int row = static_cast<int>(ctx.block_idx.x);
+    const int n = static_cast<int>(ctx.block_idx.y);
     const int kx = row % s.kernel_w;
     const int ky = (row / s.kernel_w) % s.kernel_h;
     const int ic = row / (s.kernel_w * s.kernel_h);
-    float* out_row =
-        cols + static_cast<std::size_t>(row) * oh * ow;
+    float* out_row = cols + static_cast<std::size_t>(row) * row_stride +
+                     static_cast<std::size_t>(n) * oh * ow;
     std::size_t idx = 0;
     for (int y = 0; y < oh; ++y) {
       const int iy = y * s.stride - s.pad + ky;
@@ -201,27 +232,59 @@ void Im2Col(const float* input, const ConvShape& s, int n, float* cols,
   });
 }
 
+// One full convolution with candidate `config`: batched im2col + a single
+// fused GEMM over all images. Every output element is the K-ordered dot
+// product w[oc,:] . cols[:,j] for any tile size and any batch, so the
+// result is bit-identical to per-image batch-1 calls.
 void RunWithConfig(const float* input, const float* weights,
                    const float* bias, float* output, const ConvShape& s,
-                   int config, gpusim::Device& device,
-                   std::vector<float>* cols_storage) {
+                   int config, gpusim::Device& device) {
+  Arena& arena = LocalArena();
   const int oh = s.OutH(), ow = s.OutW();
+  const int plane = oh * ow;
   const int patch = s.in_channels * s.kernel_h * s.kernel_w;
-  cols_storage->resize(static_cast<std::size_t>(patch) * oh * ow);
-  GemmShape gs{s.out_channels, oh * ow, patch};
-  for (int n = 0; n < s.batch; ++n) {
-    Im2Col(input, s, n, cols_storage->data(), device);
-    float* out_image =
-        output + static_cast<std::size_t>(n) * s.out_channels * oh * ow;
-    Candidate(config)(weights, cols_storage->data(), out_image, gs, device);
-    if (bias != nullptr) {
+  const std::size_t cols_n = static_cast<std::size_t>(s.batch) * plane;
+  arena.cols.resize(static_cast<std::size_t>(patch) * cols_n);
+  Im2ColBatched(input, s, arena.cols.data(), device);
+
+  GemmShape gs{s.out_channels, s.batch * plane, patch};
+  float* gemm_out = output;
+  if (s.batch > 1) {
+    // The fused GEMM emits [oc, n*plane]; NCHW wants [n, oc, plane].
+    arena.fused.resize(static_cast<std::size_t>(s.out_channels) * cols_n);
+    gemm_out = arena.fused.data();
+  }
+  Candidate(config)(weights, arena.cols.data(), gemm_out, gs, device);
+
+  if (s.batch > 1) {
+    for (int n = 0; n < s.batch; ++n) {
       for (int oc = 0; oc < s.out_channels; ++oc) {
-        float* plane = out_image + static_cast<std::size_t>(oc) * oh * ow;
-        for (int i = 0; i < oh * ow; ++i) plane[i] += bias[oc];
+        const float* src = arena.fused.data() +
+                           static_cast<std::size_t>(oc) * cols_n +
+                           static_cast<std::size_t>(n) * plane;
+        float* dst = output +
+                     (static_cast<std::size_t>(n) * s.out_channels + oc) *
+                         plane;
+        const float b = bias != nullptr ? bias[oc] : 0.0f;
+        for (int i = 0; i < plane; ++i) dst[i] = src[i] + b;
       }
+    }
+  } else if (bias != nullptr) {
+    for (int oc = 0; oc < s.out_channels; ++oc) {
+      float* out_plane = output + static_cast<std::size_t>(oc) * plane;
+      for (int i = 0; i < plane; ++i) out_plane[i] += bias[oc];
     }
   }
 }
+
+std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Fixed per-launch cost in op units (fork-join on the block pool). Shared
+// by all candidates, but kept in the model so costs stay comparable to the
+// device's own launch accounting.
+constexpr std::uint64_t kLaunchOverheadOps = 4096;
 
 }  // namespace
 
@@ -238,37 +301,105 @@ void ResetTuningCache() {
   g_tuned.clear();
 }
 
+void SetTimingTuning(bool enabled) {
+  std::lock_guard<std::mutex> lock(g_cache_mu);
+  g_timing_tuning = enabled;
+}
+
+bool TimingTuningEnabled() {
+  std::lock_guard<std::mutex> lock(g_cache_mu);
+  return g_timing_tuning;
+}
+
+std::uint64_t ModeledConfigCost(const ConvShape& shape, int config,
+                                unsigned sm_count) {
+  CERTKIT_CHECK(config >= 0 && config < kNumCandidates);
+  CERTKIT_CHECK(sm_count >= 1);
+  const TileDims tile = kCandidateTiles[config];
+  const auto m = static_cast<std::uint64_t>(shape.out_channels);
+  const auto n = static_cast<std::uint64_t>(shape.batch) * shape.OutH() *
+                 shape.OutW();
+  const auto k = static_cast<std::uint64_t>(shape.in_channels) *
+                 shape.kernel_h * shape.kernel_w;
+  const std::uint64_t blocks =
+      CeilDiv(m, static_cast<std::uint64_t>(tile.tm)) *
+      CeilDiv(n, static_cast<std::uint64_t>(tile.tn));
+  // Same occupancy law as Device::RecordLaunch: whole blocks schedule onto
+  // SMs in waves, and a partially-filled tile still pays for its full
+  // footprint — that is what penalizes oversized tiles on small GEMMs and
+  // undersized tiles (too many waves) on large ones.
+  const std::uint64_t waves =
+      CeilDiv(blocks, static_cast<std::uint64_t>(sm_count));
+  return waves * static_cast<std::uint64_t>(tile.tm) * tile.tn * k +
+         kLaunchOverheadOps;
+}
+
+int PickConfig(const ConvShape& shape, unsigned sm_count) {
+  int best = 0;
+  std::uint64_t best_cost = ModeledConfigCost(shape, 0, sm_count);
+  for (int cand = 1; cand < kNumCandidates; ++cand) {
+    const std::uint64_t cost = ModeledConfigCost(shape, cand, sm_count);
+    if (cost < best_cost) {  // strict: ties keep the lowest index
+      best_cost = cost;
+      best = cand;
+    }
+  }
+  return best;
+}
+
 void Conv2d(const float* input, const float* weights, const float* bias,
             float* output, const ConvShape& s, gpusim::Device& device) {
   CERTKIT_CHECK(s.in_h > 0 && s.in_w > 0 && s.stride > 0);
   int config = -1;
+  bool timing = false;
   {
     std::lock_guard<std::mutex> lock(g_cache_mu);
     auto it = g_tuned.find(KeyOf(s));
     if (it != g_tuned.end()) config = it->second;
+    timing = g_timing_tuning;
   }
-  std::vector<float> cols;
-  if (config < 0) {
-    // Input-aware auto-tuning: measure every candidate on the live input.
-    double best_time = 0.0;
-    int best = 0;
-    for (int cand = 0; cand < kNumCandidates; ++cand) {
-      const auto t0 = std::chrono::steady_clock::now();
-      RunWithConfig(input, weights, bias, output, s, cand, device, &cols);
-      const auto t1 = std::chrono::steady_clock::now();
-      const double dt = std::chrono::duration<double>(t1 - t0).count();
-      if (cand == 0 || dt < best_time) {
-        best_time = dt;
-        best = cand;
-      }
-    }
+  if (config >= 0) {
+    RunWithConfig(input, weights, bias, output, s, config, device);
+    return;
+  }
+  if (!timing) {
+    // Deterministic cold path: rank candidates by the occupancy cost model
+    // and run only the winner — one pass, same config on every run.
+    config = PickConfig(s, device.sm_count());
     {
       std::lock_guard<std::mutex> lock(g_cache_mu);
-      g_tuned[KeyOf(s)] = best;
+      g_tuned[KeyOf(s)] = config;
     }
-    config = best;
+    RunWithConfig(input, weights, bias, output, s, config, device);
+    return;
   }
-  RunWithConfig(input, weights, bias, output, s, config, device, &cols);
+  // Timing mode (fig8 benches): measure every candidate on the live input,
+  // keeping a copy of the best candidate's output so the winner is never
+  // re-run.
+  Arena& arena = LocalArena();
+  double best_time = 0.0;
+  int best = 0;
+  for (int cand = 0; cand < kNumCandidates; ++cand) {
+    const auto t0 = std::chrono::steady_clock::now();
+    RunWithConfig(input, weights, bias, output, s, cand, device);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(t1 - t0).count();
+    if (cand == 0 || dt < best_time) {
+      best_time = dt;
+      best = cand;
+      if (cand < kNumCandidates - 1) {
+        arena.best.assign(output, output + s.OutputSize());
+      }
+    }
+  }
+  if (best < kNumCandidates - 1) {
+    std::memcpy(output, arena.best.data(),
+                s.OutputSize() * sizeof(float));
+  }
+  {
+    std::lock_guard<std::mutex> lock(g_cache_mu);
+    g_tuned[KeyOf(s)] = best;
+  }
 }
 
 }  // namespace isaac_sim

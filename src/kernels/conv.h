@@ -13,6 +13,7 @@
 #define KERNELS_CONV_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "gpusim/gpusim.h"
 
@@ -54,9 +55,14 @@ void Conv2d(const float* input, const float* weights, const float* bias,
 }  // namespace cudnn_sim
 
 namespace isaac_sim {
-// im2col + auto-tuned GEMM. The first call for a given shape measures the
-// candidate tile configurations on the live input and caches the fastest
-// (input-aware auto-tuning); subsequent calls use the cached winner.
+// im2col + auto-tuned GEMM. The first call for a given shape ranks the
+// candidate tile configurations with a deterministic cost model (the static
+// mirror of gpusim::Device's launch/occupancy accounting) and caches the
+// winner; subsequent calls use the cached configuration. The batch
+// dimension is fused into a single wide GEMM, so an N-batch call issues the
+// same number of device launches as a single image and its outputs are
+// bit-identical to N separate batch-1 calls (every output element is the
+// same K-ordered dot product regardless of tiling).
 void Conv2d(const float* input, const float* weights, const float* bias,
             float* output, const ConvShape& shape,
             gpusim::Device& device = gpusim::Device::Instance());
@@ -66,8 +72,26 @@ void Conv2d(const float* input, const float* weights, const float* bias,
 int TunedConfigIndex(const ConvShape& shape);
 // Number of candidate configurations the tuner explores.
 int CandidateCount();
-// Clears the tuning cache (tests).
+// Clears the tuning cache (tests, campaign candidate setup).
 void ResetTuningCache();
+
+// The deterministic ranking signal: modeled cost (integer op units) of
+// running `shape`'s GEMM with candidate `config` on a device with
+// `sm_count` SMs. waves(blocks, sm) * padded-tile work + per-launch
+// overhead — no wall clock, no floating point, so the ranking is identical
+// on every run, machine, and thread count.
+std::uint64_t ModeledConfigCost(const ConvShape& shape, int config,
+                                unsigned sm_count);
+// The tuner's pure selection function: argmin of ModeledConfigCost with
+// lowest-index tie-break.
+int PickConfig(const ConvShape& shape, unsigned sm_count);
+
+// Re-measure mode for the Figure 8 benches: when enabled, cold shapes are
+// timed on the live input (wall clock; every candidate runs once and the
+// best candidate's already-computed output is kept — never a final re-run).
+// Off by default: tuning is then the deterministic cost model above.
+void SetTimingTuning(bool enabled);
+bool TimingTuningEnabled();
 }  // namespace isaac_sim
 
 }  // namespace kernels

@@ -9,6 +9,7 @@
 
 #include "nn/layers.h"
 #include "nn/tensor.h"
+#include "support/thread_pool.h"
 
 namespace nn {
 
@@ -47,6 +48,11 @@ class Network {
 // class scores.
 std::vector<Detection> DecodeDetections(const Tensor& head,
                                         const DetectorConfig& config);
+// Same decode, but an N-batch head yields one detection list per image
+// (slot n holds image n's detections, bit-identical to decoding image n
+// alone).
+std::vector<std::vector<Detection>> DecodeDetectionsBatch(
+    const Tensor& head, const DetectorConfig& config);
 
 // Greedy IoU-based non-maximum suppression (class-aware).
 std::vector<Detection> Nms(std::vector<Detection> detections,
@@ -61,6 +67,22 @@ class TinyYoloDetector {
 
   // Runs detection on a raw frame (any size; values 0..255).
   std::vector<Detection> Detect(const Tensor& frame);
+
+  // Batched inference: preprocesses every frame (frames may differ in
+  // size), stacks them into one N-batch tensor, runs a single forward pass
+  // — the open-sim backend fuses the batch into one wide GEMM per conv, so
+  // an N-batch costs the same number of device launches as one frame —
+  // and decodes per image. Slot i of the result is bit-identical to
+  // Detect(frames[i]) for every backend, any batch size, and any `pool`.
+  //
+  // `pool` (optional) shards the per-frame preprocess/stack/decode stages
+  // across its workers. Pass nullptr to run inline on the calling thread —
+  // required wherever per-thread attribution matters (cov::ThreadCapture /
+  // obs::SpanCapture, e.g. campaign candidate evaluation), since probes
+  // fired on pool workers land outside the caller's capture.
+  std::vector<std::vector<Detection>> DetectBatch(
+      const std::vector<Tensor>& frames,
+      certkit::support::ThreadPool* pool = nullptr);
 
   const DetectorConfig& config() const { return config_; }
   Network& network() { return network_; }

@@ -1,6 +1,9 @@
 // Sequential network container and the TinyYolo detector assembly.
+#include <cstring>
+
 #include "coverage/coverage.h"
 #include "nn/detector.h"
+#include "obs/trace.h"
 
 namespace nn {
 
@@ -95,6 +98,66 @@ std::vector<Detection> TinyYoloDetector::Detect(const Tensor& frame) {
   Tensor head = network_.Forward(input);
   std::vector<Detection> dets = DecodeDetections(head, config_);
   return Nms(std::move(dets), config_.nms_iou_threshold);
+}
+
+std::vector<std::vector<Detection>> TinyYoloDetector::DetectBatch(
+    const std::vector<Tensor>& frames, certkit::support::ThreadPool* pool) {
+  NetProbes& p = P();
+  if (frames.empty()) return {};
+  p.u->Stmt(NetProbes::kSDetect);
+  const std::size_t count = frames.size();
+  // Host-side per-frame stages go through here: pool workers when a pool is
+  // given, a plain loop otherwise. Result slot i always belongs to frame i,
+  // so scheduling cannot reorder outputs.
+  const auto shard = [&](const std::function<void(std::size_t)>& fn) {
+    if (pool != nullptr) {
+      pool->ParallelFor(count, fn);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+    }
+  };
+
+  std::vector<Tensor> inputs(count);
+  {
+    certkit::obs::Span span("batch_preprocess", "nn");
+    shard([&](std::size_t i) {
+      CERTKIT_CHECK_MSG(frames[i].n() == 1,
+                        "DetectBatch frames must be single-image tensors");
+      inputs[i] = Preprocess(frames[i], config_.input_h, config_.input_w);
+    });
+  }
+
+  Tensor batch(static_cast<int>(count), inputs[0].c(), config_.input_h,
+               config_.input_w);
+  {
+    certkit::obs::Span span("batch_stack", "nn");
+    const std::size_t plane = inputs[0].size();
+    shard([&](std::size_t i) {
+      CERTKIT_CHECK(inputs[i].size() == plane);
+      std::memcpy(batch.data() + i * plane, inputs[i].data(),
+                  plane * sizeof(float));
+    });
+  }
+
+  Tensor head;
+  {
+    certkit::obs::Span span("batch_forward", "nn");
+    head = network_.Forward(batch);
+  }
+
+  std::vector<std::vector<Detection>> decoded;
+  {
+    certkit::obs::Span span("batch_decode", "nn");
+    decoded = DecodeDetectionsBatch(head, config_);
+  }
+
+  {
+    certkit::obs::Span span("batch_nms", "nn");
+    shard([&](std::size_t i) {
+      decoded[i] = Nms(std::move(decoded[i]), config_.nms_iou_threshold);
+    });
+  }
+  return decoded;
 }
 
 }  // namespace nn

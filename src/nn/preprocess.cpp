@@ -1,5 +1,6 @@
 // Frame preprocessing: normalization, resize, and letterboxing.
 #include <algorithm>
+#include <cmath>
 
 #include "coverage/coverage.h"
 #include "nn/layers.h"
@@ -33,10 +34,14 @@ PreProbes& P() {
   return p;
 }
 
-// Nearest-neighbour sample of channel c at fractional position.
+// Nearest-neighbour sample of channel c at fractional position. The
+// fractional coordinate must be floored, not truncated: positions just
+// below zero (top/left border under letterboxing, where (y - off) / scale
+// can round a hair negative) must map to the border pixel via the clamp,
+// not be pulled toward it by trunc-toward-zero.
 float Sample(const Tensor& t, int n, int c, float fy, float fx) {
-  int y = static_cast<int>(fy);
-  int x = static_cast<int>(fx);
+  int y = static_cast<int>(std::floor(fy));
+  int x = static_cast<int>(std::floor(fx));
   y = std::clamp(y, 0, t.h() - 1);
   x = std::clamp(x, 0, t.w() - 1);
   return t.At(n, c, y, x);

@@ -1,6 +1,7 @@
 // Property tests for detection decoding and non-maximum suppression.
 #include <gtest/gtest.h>
 
+#include "coverage/coverage.h"
 #include "nn/detector.h"
 #include "support/rng.h"
 
@@ -104,6 +105,63 @@ TEST(DecodePropertyTest, AllDetectionsWithinImageAfterClamp) {
     ASSERT_GE(d.cls, 0);
     ASSERT_LT(d.cls, cfg.num_classes);
   }
+}
+
+// MC/DC boundary of the class-argmax decision (d_class_better, the third
+// decision declared by yolo/detection.cc, id 2). Its loop runs for
+// c in [1, num_classes): with num_classes == 1 the body is DEAD — the
+// decision must record no outcome at all, making its MC/DC obligation
+// vacuous rather than unsatisfied. One extra class makes the same decision
+// observable, which pins the boundary from both sides.
+TEST(DecodeMcdcTest, SingleClassNeverEvaluatesClassArgmax) {
+  DetectorConfig cfg;
+  cfg.num_classes = 1;
+  cfg.score_threshold = 0.0f;  // accept every cell: the argmax is reached
+  Xoshiro256 rng(12);
+  Tensor head(1, 6, 4, 4);
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    head.data()[i] = static_cast<float>(rng.Gaussian(0.0, 2.0));
+  }
+
+  certkit::cov::ThreadCapture capture;
+  const auto dets = DecodeDetections(head, cfg);
+  const certkit::cov::CoverSet cover = capture.Take();
+
+  ASSERT_FALSE(dets.empty());
+  for (const auto& d : dets) EXPECT_EQ(d.cls, 0);
+  const auto unit = cover.find("yolo/detection.cc");
+  ASSERT_NE(unit, cover.end());
+  const auto dec = unit->second.decisions.find(2);
+  if (dec != unit->second.decisions.end()) {
+    EXPECT_FALSE(dec->second.seen_true);
+    EXPECT_FALSE(dec->second.seen_false);
+    EXPECT_TRUE(dec->second.vectors.empty());
+  }
+}
+
+TEST(DecodeMcdcTest, TwoClassesEvaluateClassArgmax) {
+  DetectorConfig cfg;
+  cfg.num_classes = 2;
+  cfg.score_threshold = 0.0f;
+  Xoshiro256 rng(13);
+  Tensor head(1, 7, 4, 4);
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    head.data()[i] = static_cast<float>(rng.Gaussian(0.0, 2.0));
+  }
+
+  certkit::cov::ThreadCapture capture;
+  const auto dets = DecodeDetections(head, cfg);
+  const certkit::cov::CoverSet cover = capture.Take();
+
+  ASSERT_FALSE(dets.empty());
+  const auto unit = cover.find("yolo/detection.cc");
+  ASSERT_NE(unit, cover.end());
+  const auto dec = unit->second.decisions.find(2);
+  ASSERT_NE(dec, unit->second.decisions.end());
+  // 16 cells of Gaussian scores: both orderings of the two classes occur.
+  EXPECT_TRUE(dec->second.seen_true);
+  EXPECT_TRUE(dec->second.seen_false);
+  EXPECT_FALSE(dec->second.vectors.empty());
 }
 
 TEST(DecodePropertyTest, HigherThresholdIsSubset) {

@@ -1,0 +1,131 @@
+// Property tests for the batched detector engine: DetectBatch must be a
+// pure batching of Detect — slot i bit-identical to the serial result for
+// every backend, every batch size, and any host pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "nn/detector.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace nn {
+namespace {
+
+using certkit::support::Xoshiro256;
+
+bool BitsEqual(float a, float b) {
+  std::uint32_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+::testing::AssertionResult SameDetections(
+    const std::vector<Detection>& a, const std::vector<Detection>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "count " << a.size() << " vs " << b.size();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!BitsEqual(a[i].x, b[i].x) || !BitsEqual(a[i].y, b[i].y) ||
+        !BitsEqual(a[i].w, b[i].w) || !BitsEqual(a[i].h, b[i].h) ||
+        !BitsEqual(a[i].score, b[i].score) || a[i].cls != b[i].cls) {
+      return ::testing::AssertionFailure() << "detection " << i << " differs";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Random frames with integer pixel values (exact in float), square 64x64
+// plus one odd size to exercise the resize front end inside the batch.
+std::vector<Tensor> RandomFrames(int count, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Tensor> frames;
+  for (int i = 0; i < count; ++i) {
+    const int hw = (i % 3 == 2) ? 96 : 64;
+    Tensor f(1, 3, hw, hw);
+    for (std::size_t j = 0; j < f.size(); ++j) {
+      f.data()[j] = static_cast<float>(rng.UniformInt(0, 255));
+    }
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+class DetectorBatchTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(DetectorBatchTest, BatchedMatchesSerialBitExactly) {
+  DetectorConfig cfg;
+  cfg.backend = GetParam();
+  cfg.score_threshold = 0.3f;  // low bar: plenty of detections to compare
+  TinyYoloDetector det(cfg);
+  InitRandomWeights(&det, 77);
+
+  const std::vector<Tensor> frames = RandomFrames(8, 123);
+  std::vector<std::vector<Detection>> serial;
+  for (const Tensor& f : frames) serial.push_back(det.Detect(f));
+
+  for (const int batch : {1, 3, 8}) {
+    std::size_t next = 0;
+    while (next < frames.size()) {
+      const std::size_t end =
+          std::min(frames.size(), next + static_cast<std::size_t>(batch));
+      const std::vector<Tensor> chunk(frames.begin() + next,
+                                      frames.begin() + end);
+      const auto batched = det.DetectBatch(chunk);
+      ASSERT_EQ(batched.size(), chunk.size());
+      for (std::size_t i = 0; i < batched.size(); ++i) {
+        EXPECT_TRUE(SameDetections(batched[i], serial[next + i]))
+            << "batch=" << batch << " frame=" << next + i;
+      }
+      next = end;
+    }
+  }
+}
+
+TEST_P(DetectorBatchTest, PooledBatchMatchesInlineBatch) {
+  DetectorConfig cfg;
+  cfg.backend = GetParam();
+  cfg.score_threshold = 0.3f;
+  TinyYoloDetector det(cfg);
+  InitRandomWeights(&det, 78);
+
+  const std::vector<Tensor> frames = RandomFrames(8, 456);
+  const auto inline_result = det.DetectBatch(frames, nullptr);
+  certkit::support::ThreadPool pool(4);
+  const auto pooled_result = det.DetectBatch(frames, &pool);
+  ASSERT_EQ(inline_result.size(), pooled_result.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_TRUE(SameDetections(inline_result[i], pooled_result[i]))
+        << "frame " << i;
+  }
+}
+
+TEST_P(DetectorBatchTest, EmptyBatchYieldsEmptyResult) {
+  DetectorConfig cfg;
+  cfg.backend = GetParam();
+  TinyYoloDetector det(cfg);
+  InitRandomWeights(&det, 79);
+  EXPECT_TRUE(det.DetectBatch({}).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, DetectorBatchTest,
+                         ::testing::Values(Backend::kCpuNaive,
+                                           Backend::kClosedSim,
+                                           Backend::kOpenSim),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Backend::kCpuNaive:
+                               return "CpuNaive";
+                             case Backend::kClosedSim:
+                               return "ClosedSim";
+                             default:
+                               return "OpenSim";
+                           }
+                         });
+
+}  // namespace
+}  // namespace nn
