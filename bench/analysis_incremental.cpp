@@ -1,0 +1,166 @@
+// Experiment — incremental front-end analysis via the content-hash
+// artifact cache (see src/driver/artifact_cache.h).
+//
+// Runs the AnalysisDriver over the calibrated ~220k-LOC Apollo-like corpus
+// in four configurations and reports, as JSON on stdout:
+//
+//   cold        empty cache: every file lexed, parsed, analyzed, stored;
+//   warm        same cache, unchanged corpus: every file must hit — the
+//               lexer must not run at all (lexer/bytes_lexed delta == 0);
+//   warm_jobs4  warm again at --jobs 4: the merged analysis must digest
+//               identical to --jobs 1 (scheduling independence);
+//   dirty_one   one file's bytes changed: exactly that file misses.
+//
+// Not a google-benchmark target: the bit-identity assertions are the point,
+// and the JSON must stay byte-stable apart from the wall-clock fields. Any
+// violated invariant aborts via CERTKIT_CHECK (nonzero exit, CI-friendly).
+//
+//   $ ./analysis_incremental        # JSON to stdout
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "corpus/analyze.h"
+#include "corpus/generator.h"
+#include "driver/artifact_cache.h"
+#include "obs/metrics.h"
+#include "support/check.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using certkit::corpus::CorpusAnalysis;
+using certkit::corpus::GeneratedModule;
+
+std::int64_t CounterValue(const char* name) {
+  return certkit::obs::MetricsRegistry::Instance().GetCounter(name).value();
+}
+
+struct Run {
+  double seconds = 0.0;
+  std::int64_t bytes_lexed = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::uint64_t digest = 0;
+  std::size_t files = 0;
+};
+
+Run Analyze(const std::vector<GeneratedModule>& corpus, int jobs,
+            const std::string& cache_dir) {
+  Run run;
+  const std::int64_t lexed0 = CounterValue("lexer/bytes_lexed");
+  const std::int64_t hits0 = CounterValue("driver/cache_hits");
+  const std::int64_t misses0 = CounterValue("driver/cache_misses");
+  const auto t0 = std::chrono::steady_clock::now();
+  auto analyzed =
+      certkit::corpus::AnalyzeGeneratedCorpus(corpus, jobs, cache_dir);
+  const auto t1 = std::chrono::steady_clock::now();
+  CERTKIT_CHECK_MSG(analyzed.ok(), analyzed.status().ToString());
+  run.seconds = std::chrono::duration<double>(t1 - t0).count();
+  run.bytes_lexed = CounterValue("lexer/bytes_lexed") - lexed0;
+  run.cache_hits = CounterValue("driver/cache_hits") - hits0;
+  run.cache_misses = CounterValue("driver/cache_misses") - misses0;
+  run.digest = certkit::driver::DigestAnalysis(analyzed.value());
+  run.files = analyzed.value().files.size();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  auto corpus = certkit::corpus::GenerateCorpus(
+      certkit::corpus::ApolloLikeSpec(), benchutil::kCorpusSeed);
+  std::size_t total_files = 0;
+  std::int64_t total_bytes = 0;
+  for (const auto& mod : corpus) {
+    total_files += mod.files.size();
+    for (const auto& f : mod.files) {
+      total_bytes += static_cast<std::int64_t>(f.content.size());
+    }
+  }
+
+  const fs::path cache_dir =
+      fs::temp_directory_path() / "certkit_analysis_incremental_cache";
+  std::error_code ec;
+  fs::remove_all(cache_dir, ec);  // start cold
+
+  // Cold: every file is analyzed and stored; the whole corpus is lexed.
+  const Run cold = Analyze(corpus, 1, cache_dir.string());
+  CERTKIT_CHECK(cold.files == total_files);
+  CERTKIT_CHECK(cold.cache_hits == 0);
+  CERTKIT_CHECK(cold.cache_misses == static_cast<std::int64_t>(total_files));
+  CERTKIT_CHECK(cold.bytes_lexed >= total_bytes);
+
+  // Warm: nothing changed, so nothing is re-lexed — zero bytes through the
+  // lexer — and the merged result is bit-identical to the cold run.
+  const Run warm = Analyze(corpus, 1, cache_dir.string());
+  CERTKIT_CHECK(warm.cache_hits == static_cast<std::int64_t>(total_files));
+  CERTKIT_CHECK(warm.cache_misses == 0);
+  CERTKIT_CHECK_MSG(warm.bytes_lexed == 0,
+                    "warm run re-lexed " + std::to_string(warm.bytes_lexed) +
+                        " bytes");
+  CERTKIT_CHECK(warm.digest == cold.digest);
+
+  // Warm at --jobs 4: scheduling must not leak into the merged artifact.
+  const Run warm4 = Analyze(corpus, 4, cache_dir.string());
+  CERTKIT_CHECK(warm4.cache_hits == static_cast<std::int64_t>(total_files));
+  CERTKIT_CHECK(warm4.digest == cold.digest);
+
+  // Dirty one file: exactly that file misses (and is re-stored); every
+  // other artifact is reused untouched.
+  CERTKIT_CHECK(!corpus.empty() && !corpus.front().files.empty());
+  corpus.front().files.front().content += "\n// touched\n";
+  const Run dirty = Analyze(corpus, 1, cache_dir.string());
+  CERTKIT_CHECK_MSG(dirty.cache_misses == 1,
+                    "expected exactly 1 miss after touching 1 file, got " +
+                        std::to_string(dirty.cache_misses));
+  CERTKIT_CHECK(dirty.cache_hits ==
+                static_cast<std::int64_t>(total_files) - 1);
+  CERTKIT_CHECK(dirty.digest != cold.digest);
+
+  const double warm_speedup =
+      warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0;
+  std::printf(
+      "{\n"
+      "  \"benchmark\": \"analysis_incremental\",\n"
+      "  \"files\": %zu,\n"
+      "  \"corpus_bytes\": %lld,\n"
+      "  \"invariants\": [\"warm bytes_lexed == 0\", "
+      "\"warm digest == cold digest\", \"jobs-4 digest == jobs-1 digest\", "
+      "\"1 dirty file == 1 miss\"],\n"
+      "  \"runs\": [\n"
+      "    {\"phase\": \"cold\", \"seconds\": %.4f, \"hits\": %lld, "
+      "\"misses\": %lld, \"bytes_lexed\": %lld},\n"
+      "    {\"phase\": \"warm\", \"seconds\": %.4f, \"hits\": %lld, "
+      "\"misses\": %lld, \"bytes_lexed\": %lld},\n"
+      "    {\"phase\": \"warm_jobs4\", \"seconds\": %.4f, \"hits\": %lld, "
+      "\"misses\": %lld, \"bytes_lexed\": %lld},\n"
+      "    {\"phase\": \"dirty_one\", \"seconds\": %.4f, \"hits\": %lld, "
+      "\"misses\": %lld, \"bytes_lexed\": %lld}\n"
+      "  ],\n"
+      "  \"warm_speedup\": %.2f\n"
+      "}\n",
+      total_files, static_cast<long long>(total_bytes),
+      cold.seconds, static_cast<long long>(cold.cache_hits),
+      static_cast<long long>(cold.cache_misses),
+      static_cast<long long>(cold.bytes_lexed),
+      warm.seconds, static_cast<long long>(warm.cache_hits),
+      static_cast<long long>(warm.cache_misses),
+      static_cast<long long>(warm.bytes_lexed),
+      warm4.seconds, static_cast<long long>(warm4.cache_hits),
+      static_cast<long long>(warm4.cache_misses),
+      static_cast<long long>(warm4.bytes_lexed),
+      dirty.seconds, static_cast<long long>(dirty.cache_hits),
+      static_cast<long long>(dirty.cache_misses),
+      static_cast<long long>(dirty.bytes_lexed),
+      warm_speedup);
+
+  fs::remove_all(cache_dir, ec);
+  return 0;
+}

@@ -694,7 +694,7 @@ class Parser {
           continue;
         }
         if (t.IsIdentifier()) {
-          parts.push_back(t.text);
+          parts.push_back(t.str());
           if (j > decl_begin && toks_[j - 1].IsPunct("~")) {
             parts.back() = "~" + parts.back();
             --j;

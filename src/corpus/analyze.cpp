@@ -28,9 +28,11 @@ std::vector<driver::SourceInput> CorpusSourceInputs(
 }
 
 support::Result<CorpusAnalysis> AnalyzeGeneratedCorpus(
-    const std::vector<GeneratedModule>& corpus, int jobs) {
+    const std::vector<GeneratedModule>& corpus, int jobs,
+    const std::string& cache_dir) {
   driver::DriverOptions opts;
   opts.jobs = jobs;
+  opts.cache_dir = cache_dir;
   driver::AnalysisDriver d(opts);
   auto analyzed = d.AnalyzeSources(CorpusSourceInputs(corpus));
   if (!analyzed.ok()) return analyzed.status();

@@ -2,6 +2,7 @@
 #ifndef CERTKIT_CORPUS_ANALYZE_H_
 #define CERTKIT_CORPUS_ANALYZE_H_
 
+#include <string>
 #include <vector>
 
 #include "corpus/generator.h"
@@ -18,10 +19,13 @@ support::Result<metrics::ModuleAnalysis> AnalyzeGeneratedModule(
 
 // Analyzes the whole corpus through the shared AnalysisDriver — one
 // FileAnalysis per generated file, merged in stable path order. `jobs` <= 0
-// selects the hardware concurrency.
+// selects the hardware concurrency. A non-empty `cache_dir` enables the
+// content-hash artifact cache, so repeated analyses of an unchanged corpus
+// skip the lex/parse/rule passes entirely.
 using CorpusAnalysis = driver::CodebaseAnalysis;
 support::Result<CorpusAnalysis> AnalyzeGeneratedCorpus(
-    const std::vector<GeneratedModule>& corpus, int jobs = 0);
+    const std::vector<GeneratedModule>& corpus, int jobs = 0,
+    const std::string& cache_dir = "");
 
 // The generated corpus flattened into driver inputs (sorted by path).
 std::vector<driver::SourceInput> CorpusSourceInputs(

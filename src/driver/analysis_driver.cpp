@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "driver/artifact_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rules/defensive.h"
@@ -31,15 +32,30 @@ struct WorkerResult {
   bool ok = false;
   FileAnalysis analysis;
   ast::SourceFileModel model;
+  // FNV-1a/64 of the file bytes — computed once per file when the artifact
+  // cache is enabled, reused for the per-module phase key.
+  std::uint64_t content_hash = 0;
   // Spans this file's analysis fired (tracing enabled only) — captured on
   // the worker thread, merged into the TraceRecorder in stable path order.
   std::vector<obs::SpanEvent> spans;
 };
 
-// The per-file map step: parse + every per-file pass, computed exactly once.
+// The per-file map step: parse + every per-file pass, computed exactly once
+// per (content, options) thanks to the artifact cache — a hit skips the lex,
+// parse, and every rule pass, returning the stored result bit-identically.
 WorkerResult AnalyzeOneFile(std::string path, std::string module,
-                            std::string text, const DriverOptions& options) {
+                            std::string text, const DriverOptions& options,
+                            const ArtifactCache& cache) {
   WorkerResult out;
+  if (cache.enabled()) {
+    out.content_hash = HashBytes(text);
+    if (cache.Load(path, module, text, out.content_hash, &out.analysis,
+                   &out.model)) {
+      out.ok = true;
+      obs::MetricsRegistry::Instance().GetCounter("driver/cache_hits").Add();
+      return out;
+    }
+  }
   std::optional<obs::SpanCapture> trace_capture;
   if (obs::TracingEnabled()) trace_capture.emplace();
   {
@@ -95,6 +111,12 @@ WorkerResult AnalyzeOneFile(std::string path, std::string module,
       obs::MetricsRegistry::Instance()
           .GetCounter("driver/files_analyzed")
           .Add();
+      if (cache.enabled()) {
+        obs::MetricsRegistry::Instance()
+            .GetCounter("driver/cache_misses")
+            .Add();
+        cache.Store(fa.text, out.analysis, out.model);
+      }
     }
   }
   if (trace_capture.has_value()) out.spans = trace_capture->Take();
@@ -105,7 +127,8 @@ WorkerResult AnalyzeOneFile(std::string path, std::string module,
 // order) into the merged artifact, then runs the per-module phase on the
 // pool. Deterministic for any pool size: every output slot is indexed.
 CodebaseAnalysis MergeResults(std::vector<WorkerResult> results,
-                              support::ThreadPool& pool) {
+                              support::ThreadPool& pool,
+                              const ArtifactCache& cache) {
   CodebaseAnalysis out;
 
   // Results arrive in sorted path order, so registering each file's span
@@ -130,11 +153,16 @@ CodebaseAnalysis MergeResults(std::vector<WorkerResult> results,
     by_module[results[i].analysis.module].push_back(i);
   }
 
+  // Per-module (path, content-hash) lists, in merge order — the key inputs
+  // of the cached per-module phase (cache enabled only).
+  std::vector<std::vector<std::pair<std::string, std::uint64_t>>>
+      module_file_hashes;
   for (auto& [module, indices] : by_module) {
     const std::size_t module_index = out.modules.size();
     std::vector<ast::SourceFileModel> models;
     std::vector<std::vector<metrics::FunctionMetrics>> file_functions;
     std::vector<std::size_t> file_ids;
+    std::vector<std::pair<std::string, std::uint64_t>> file_hashes;
     models.reserve(indices.size());
     file_functions.reserve(indices.size());
     for (std::size_t file_index = 0; file_index < indices.size();
@@ -147,20 +175,37 @@ CodebaseAnalysis MergeResults(std::vector<WorkerResult> results,
       // of `files`); FileAnalysis keeps the per-file view.
       file_functions.push_back(r.analysis.functions);
       file_ids.push_back(out.files.size());
+      if (cache.enabled()) {
+        file_hashes.emplace_back(r.analysis.path, r.content_hash);
+      }
       out.files.push_back(std::move(r.analysis));
     }
     out.modules.push_back(metrics::MergeModule(module, std::move(models),
                                                std::move(file_functions)));
     out.files_by_module.push_back(std::move(file_ids));
+    module_file_hashes.push_back(std::move(file_hashes));
   }
 
   // Per-module phase: unit design and defensive analysis, in parallel,
-  // stored by module index (stable regardless of scheduling).
+  // stored by module index (stable regardless of scheduling). With the
+  // artifact cache enabled the phase result itself is cached, keyed by the
+  // member files' content hashes — on a warm run nothing walks the tokens.
   out.unit_design.resize(out.modules.size());
   out.defensive.resize(out.modules.size());
   pool.ParallelFor(out.modules.size(), [&](std::size_t m) {
+    std::uint64_t key = 0;
+    if (cache.enabled()) {
+      key = cache.ModulePhaseKey(out.modules[m].name, module_file_hashes[m]);
+      if (cache.LoadModulePhase(key, &out.unit_design[m],
+                                &out.defensive[m])) {
+        return;
+      }
+    }
     out.unit_design[m] = rules::AnalyzeUnitDesign(out.modules[m]);
     out.defensive[m] = rules::AnalyzeDefensive(out.modules[m].files);
+    if (cache.enabled()) {
+      cache.StoreModulePhase(key, out.unit_design[m], out.defensive[m]);
+    }
   });
   return out;
 }
@@ -215,6 +260,7 @@ support::Result<CodebaseAnalysis> AnalysisDriver::AnalyzeSources(
               return a.path < b.path;
             });
   support::ThreadPool pool(support::ThreadPool::ResolveJobs(options_.jobs));
+  const ArtifactCache cache(options_.cache_dir, OptionsFingerprint(options_));
   std::vector<WorkerResult> results(sources.size());
   pool.ParallelFor(sources.size(), [&](std::size_t i) {
     const fs::path p(sources[i].path);
@@ -222,9 +268,10 @@ support::Result<CodebaseAnalysis> AnalysisDriver::AnalyzeSources(
                                    ? p.begin()->string()
                                    : options_.default_module;
     results[i] = AnalyzeOneFile(sources[i].path, module,
-                                std::move(sources[i].content), options_);
+                                std::move(sources[i].content), options_,
+                                cache);
   });
-  return MergeResults(std::move(results), pool);
+  return MergeResults(std::move(results), pool, cache);
 }
 
 support::Result<CodebaseAnalysis> AnalysisDriver::AnalyzeTree(
@@ -234,6 +281,7 @@ support::Result<CodebaseAnalysis> AnalysisDriver::AnalyzeTree(
   const std::vector<std::string>& paths = files.value();
 
   support::ThreadPool pool(support::ThreadPool::ResolveJobs(options_.jobs));
+  const ArtifactCache cache(options_.cache_dir, OptionsFingerprint(options_));
   std::vector<WorkerResult> results(paths.size());
   pool.ParallelFor(paths.size(), [&](std::size_t i) {
     const fs::path rel = fs::relative(paths[i], root);
@@ -246,9 +294,10 @@ support::Result<CodebaseAnalysis> AnalysisDriver::AnalyzeTree(
       return;
     }
     results[i] = AnalyzeOneFile(paths[i], module,
-                                std::move(content).value(), options_);
+                                std::move(content).value(), options_,
+                                cache);
   });
-  return MergeResults(std::move(results), pool);
+  return MergeResults(std::move(results), pool, cache);
 }
 
 }  // namespace certkit::driver

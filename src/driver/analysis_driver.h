@@ -46,6 +46,11 @@ struct DriverOptions {
   std::string default_module = "main";
   rules::MisraOptions misra;
   int style_max_line_length = 80;
+  // Directory for the content-hash artifact cache (see artifact_cache.h).
+  // Empty disables caching; otherwise files whose bytes, module key, and
+  // options fingerprint match a stored artifact are not re-lexed or
+  // re-analyzed — the artifact is loaded and merged as if freshly computed.
+  std::string cache_dir;
 };
 
 // One file's complete analysis — produced by exactly one worker thread,

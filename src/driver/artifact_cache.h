@@ -1,0 +1,137 @@
+// certkit driver: content-hash artifact cache for per-file analysis.
+//
+// Every FileAnalysis is a pure function of (path, module, file bytes,
+// analysis options). The cache exploits that: an FNV-1a/64 digest over those
+// four inputs keys a serialized artifact on disk, so a re-run only pays for
+// files whose bytes (or options) changed — the merge layer cannot tell a
+// cached artifact from a freshly computed one, keeping the CodebaseAnalysis
+// bit-identical for any cached/fresh mix and any --jobs count.
+//
+// Entry format (binary, little-endian, fixed-width fields memcpy'd and
+// counts/positions LEB128-varint encoded — warm runs are IO + decode bound,
+// so the token stream is kept compact):
+//   magic "CKA1" | u32 schema | u64 options_fingerprint | u64 content_hash
+//   | FileAnalysis payload | SourceFileModel payload
+// Tokens are stored as (kind+tag byte, line, column, source-offset, length)
+// views into the file text — stored once — with an inline-bytes escape for
+// the rare lexemes that are not a contiguous source slice (spliced string
+// literals / line comments).
+//
+// A second entry kind ("CKM1", *.ckmod) caches the per-module phase
+// (rules::AnalyzeUnitDesign + rules::AnalyzeDefensive), keyed by the module
+// name and the member files' (path, content-hash) list in merge order — the
+// phase is a pure function of those inputs, and on a warm run it would
+// otherwise dominate the wall time by re-walking every token.
+//
+// Invalidation is implicit: any change to the file bytes, the path, the
+// module key, or the options fingerprint selects a different entry name; a
+// bump of kArtifactSchemaVersion orphans every old entry. Unreadable,
+// truncated, or corrupt entries fail Load() and are silently recomputed —
+// the cache is an accelerator, never a source of truth.
+#ifndef CERTKIT_DRIVER_ARTIFACT_CACHE_H_
+#define CERTKIT_DRIVER_ARTIFACT_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ast/source_model.h"
+#include "driver/analysis_driver.h"
+
+namespace certkit::driver {
+
+// Bump when the serialized layout of any payload struct changes.
+inline constexpr std::uint32_t kArtifactSchemaVersion = 1;
+
+// FNV-1a/64 over `bytes`, continuing from `seed` (chainable).
+std::uint64_t HashBytes(std::string_view bytes,
+                        std::uint64_t seed = 1469598103934665603ull);
+
+// Digest of the per-file analysis options — part of every cache key, so a
+// changed MISRA/style/lex configuration never resurrects stale artifacts.
+std::uint64_t OptionsFingerprint(const DriverOptions& options);
+
+// Serializes one file's complete analysis (public artifact + parsed model).
+// `model.lexed` must be the model the artifact was computed from. The
+// source text itself is NOT stored — only its (hash, size) — because every
+// load site already holds the bytes (it just hashed them to find the
+// entry); re-shipping ~half the blob would double warm-run IO.
+std::string SerializeArtifact(const FileAnalysis& analysis,
+                              const ast::SourceFileModel& model);
+
+// Parses `bytes` into (*analysis, *model), rebuilding FileAnalysis::text
+// and the zero-copy token buffer from `content` — which must be the exact
+// bytes the artifact was serialized from (the cache verifies this via the
+// entry-header content hash before calling). Returns false on any
+// truncation, overrun, or structural inconsistency; outputs are
+// unspecified on failure.
+bool DeserializeArtifact(std::string_view bytes, std::string_view content,
+                         FileAnalysis* analysis, ast::SourceFileModel* model);
+
+// Order-independent digest of a merged analysis: hashes every per-file
+// artifact plus the module-phase reports and the skipped list. Two
+// CodebaseAnalysis values digest equal iff the analysis output is the same —
+// the bit-identity check used by the cache tests and the incremental bench.
+std::uint64_t DigestAnalysis(const CodebaseAnalysis& analysis);
+
+class ArtifactCache {
+ public:
+  // `dir` is created on first Store. An empty dir disables the cache
+  // (Load always misses, Store is a no-op).
+  ArtifactCache(std::string dir, std::uint64_t options_fingerprint);
+
+  bool enabled() const { return !dir_.empty(); }
+
+  // Looks up the artifact for (path, module, content). On a hit, fills
+  // *analysis / *model (module_index/file_index are left for the merge to
+  // assign) and returns true. Any miss, version skew, or corruption returns
+  // false. The overload taking `content_hash` (== HashBytes(content)) lets
+  // a caller that already hashed the bytes skip the second pass.
+  bool Load(const std::string& path, const std::string& module,
+            const std::string& content, FileAnalysis* analysis,
+            ast::SourceFileModel* model) const;
+  bool Load(const std::string& path, const std::string& module,
+            const std::string& content, std::uint64_t content_hash,
+            FileAnalysis* analysis, ast::SourceFileModel* model) const;
+
+  // Writes the artifact for later runs. Best-effort: IO failures are
+  // swallowed (the run already has its result). Atomic via temp + rename so
+  // concurrent workers and concurrent processes never observe torn entries.
+  void Store(const std::string& content, const FileAnalysis& analysis,
+             const ast::SourceFileModel& model) const;
+
+  // The on-disk entry file for (path, module, content) under this cache's
+  // options fingerprint. Exposed for tests.
+  std::string EntryPath(const std::string& path, const std::string& module,
+                        const std::string& content) const;
+
+  // --- per-module phase entries ---------------------------------------
+
+  // Key of the module phase for `module` over `files`, a (path,
+  // content-hash) list in merge (path) order. Includes the options
+  // fingerprint, so the same invalidation rules apply.
+  std::uint64_t ModulePhaseKey(
+      const std::string& module,
+      const std::vector<std::pair<std::string, std::uint64_t>>& files) const;
+
+  // Load/store of the cached module phase under `key`. Same contract as the
+  // per-file entries: corrupt or mismatched entries miss and are recomputed.
+  bool LoadModulePhase(std::uint64_t key, rules::UnitDesignResult* unit_design,
+                       rules::DefensiveResult* defensive) const;
+  void StoreModulePhase(std::uint64_t key,
+                        const rules::UnitDesignResult& unit_design,
+                        const rules::DefensiveResult& defensive) const;
+
+ private:
+  std::string EntryFile(std::uint64_t key, const char* extension) const;
+  void StoreBlob(const std::string& entry, std::string blob) const;
+
+  std::string dir_;
+  std::uint64_t options_fingerprint_ = 0;
+};
+
+}  // namespace certkit::driver
+
+#endif  // CERTKIT_DRIVER_ARTIFACT_CACHE_H_

@@ -1,7 +1,6 @@
 #include "lex/token.h"
 
-#include <string_view>
-#include <unordered_set>
+#include "lex/dfa_tables.h"
 
 namespace certkit::lex {
 
@@ -23,48 +22,12 @@ const char* TokenKindName(TokenKind kind) {
   return "unknown";
 }
 
-namespace {
-
-const std::unordered_set<std::string_view>& CppKeywords() {
-  static const std::unordered_set<std::string_view> kKeywords = {
-      // C++20 keyword set.
-      "alignas", "alignof", "and", "and_eq", "asm", "auto", "bitand", "bitor",
-      "bool", "break", "case", "catch", "char", "char8_t", "char16_t",
-      "char32_t", "class", "compl", "concept", "const", "consteval",
-      "constexpr", "constinit", "const_cast", "continue", "co_await",
-      "co_return", "co_yield", "decltype", "default", "delete", "do",
-      "double", "dynamic_cast", "else", "enum", "explicit", "export",
-      "extern", "false", "float", "for", "friend", "goto", "if", "inline",
-      "int", "long", "mutable", "namespace", "new", "noexcept", "not",
-      "not_eq", "nullptr", "operator", "or", "or_eq", "private", "protected",
-      "public", "register", "reinterpret_cast", "requires", "return", "short",
-      "signed", "sizeof", "static", "static_assert", "static_cast", "struct",
-      "switch", "template", "this", "thread_local", "throw", "true", "try",
-      "typedef", "typeid", "typename", "union", "unsigned", "using",
-      "virtual", "void", "volatile", "wchar_t", "while",
-      // C99/C11 spellings that appear in mixed C/C++ automotive codebases.
-      "restrict", "_Bool", "_Static_assert",
-  };
-  return kKeywords;
-}
-
-const std::unordered_set<std::string_view>& CudaKeywords() {
-  static const std::unordered_set<std::string_view> kKeywords = {
-      "__global__",   "__device__",  "__host__",     "__shared__",
-      "__constant__", "__managed__", "__restrict__", "__forceinline__",
-      "__launch_bounds__",
-  };
-  return kKeywords;
-}
-
-}  // namespace
-
 bool IsCppKeyword(std::string_view word) {
-  return CppKeywords().contains(word);
+  return tables::CppKeywordTableContains(word);
 }
 
 bool IsCudaKeyword(std::string_view word) {
-  return CudaKeywords().contains(word);
+  return tables::CudaKeywordTableContains(word);
 }
 
 }  // namespace certkit::lex

@@ -4,11 +4,22 @@
 // the paper's tooling (Lizard, style checkers) does. Preprocessor directives
 // are lexed but kept out of the main token stream so the fuzzy parser sees a
 // directive-free token sequence.
+//
+// Tokens are ZERO-COPY: Token::text and Comment::text are string_views into
+// storage owned by the enclosing LexedFile — `buffer` holds the exact source
+// bytes, and `owned_lexemes` holds the rare lexemes whose text differs from
+// the raw bytes (string literals and line comments interrupted by a
+// backslash-newline splice). Both are shared_ptrs, so copying or moving a
+// LexedFile never invalidates a view. Code that keeps a token's text beyond
+// the LexedFile's lifetime must copy it explicitly via Token::str().
 #ifndef CERTKIT_LEX_TOKEN_H_
 #define CERTKIT_LEX_TOKEN_H_
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace certkit::lex {
@@ -26,9 +37,14 @@ const char* TokenKindName(TokenKind kind);
 
 struct Token {
   TokenKind kind = TokenKind::kPunct;
-  std::string text;
+  // View into the owning LexedFile's buffer (or owned_lexemes). Valid for
+  // the lifetime of that LexedFile and of any copy of it.
+  std::string_view text;
   std::int32_t line = 0;    // 1-based
   std::int32_t column = 0;  // 1-based byte column
+
+  // Explicit owning copy, for text that must outlive the LexedFile.
+  std::string str() const { return std::string(text); }
 
   bool Is(TokenKind k, std::string_view t) const {
     return kind == k && text == t;
@@ -59,7 +75,9 @@ struct LineStats {
 
 // A retained comment (populated only with LexOptions::keep_comments).
 struct Comment {
-  std::string text;       // raw text including the // or /* */ markers
+  // Raw text including the // or /* */ markers; views into the owning
+  // LexedFile's storage, like Token::text.
+  std::string_view text;
   std::int32_t line = 0;  // line the comment starts on
 };
 
@@ -70,6 +88,19 @@ struct LexedFile {
   std::vector<Comment> comments;     // only with LexOptions::keep_comments
   LineStats lines;
   std::int64_t comment_count = 0;    // number of comments (// or /*...*/)
+
+  // Zero-copy backing storage. `buffer` owns the exact source bytes that
+  // were lexed; almost every Token::text is a slice of it. `owned_lexemes`
+  // (usually null) owns the synthesized lexemes — string literals and line
+  // comments whose backslash-newline splices were removed — in a deque so
+  // growth never moves an element. shared_ptr ownership means copies of a
+  // LexedFile share storage and all views stay valid.
+  std::shared_ptr<const std::string> buffer;
+  std::shared_ptr<std::deque<std::string>> owned_lexemes;
+
+  std::string_view source() const {
+    return buffer ? std::string_view(*buffer) : std::string_view();
+  }
 };
 
 // True for C/C++/CUDA keywords in the dialect the toolkit analyzes.

@@ -41,7 +41,8 @@ FunctionMetrics ComputeFunctionMetrics(const ast::SourceFileModel& file,
   m.token_count =
       static_cast<std::int32_t>(fn.body_end - fn.sig_begin + 1);
 
-  std::unordered_set<std::string> callees;
+  // Views into the file's token storage; valid for this function's scope.
+  std::unordered_set<std::string_view> callees;
   std::int32_t last_code_line = -1;
   int depth = 0;
 
@@ -73,7 +74,8 @@ FunctionMetrics ComputeFunctionMetrics(const ast::SourceFileModel& file,
     }
   }
 
-  m.callees.assign(callees.begin(), callees.end());
+  m.callees.reserve(callees.size());
+  for (std::string_view callee : callees) m.callees.emplace_back(callee);
   std::sort(m.callees.begin(), m.callees.end());
   return m;
 }

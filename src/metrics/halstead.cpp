@@ -29,8 +29,8 @@ HalsteadMetrics ComputeHalstead(const ast::SourceFileModel& file,
   CERTKIT_CHECK(fn.body_begin <= fn.body_end && fn.body_end < toks.size());
 
   HalsteadMetrics m;
-  std::unordered_set<std::string> operators;
-  std::unordered_set<std::string> operands;
+  std::unordered_set<std::string_view> operators;
+  std::unordered_set<std::string_view> operands;
   for (std::size_t i = fn.body_begin; i <= fn.body_end; ++i) {
     const lex::Token& t = toks[i];
     switch (t.kind) {

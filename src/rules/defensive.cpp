@@ -24,7 +24,7 @@ bool IsAssertLikeName(std::string_view name) {
 // True if any token in (open, close) is an identifier naming a parameter.
 bool SpanMentionsParam(const std::vector<Token>& toks, std::size_t open,
                        std::size_t close,
-                       const std::unordered_set<std::string>& params) {
+                       const std::unordered_set<std::string_view>& params) {
   for (std::size_t i = open + 1; i < close; ++i) {
     if (toks[i].IsIdentifier() && params.contains(toks[i].text)) return true;
   }
@@ -53,9 +53,10 @@ DefensiveResult AnalyzeDefensive(
   DefensiveStats& s = result.stats;
   CheckReport& rep = result.report;
 
-  // Known non-void functions (by name) across the file set.
-  std::unordered_set<std::string> nonvoid;
-  std::unordered_set<std::string> known;
+  // Known non-void functions (by name) across the file set. Views into the
+  // FunctionModel names, which outlive this analysis.
+  std::unordered_set<std::string_view> nonvoid;
+  std::unordered_set<std::string_view> known;
   for (const auto& file : files) {
     for (const auto& fn : file.functions) {
       known.insert(fn.name);
@@ -67,7 +68,7 @@ DefensiveResult AnalyzeDefensive(
     const auto& toks = file.lexed.tokens;
     for (const auto& fn : file.functions) {
       ++rep.entities_checked;
-      std::unordered_set<std::string> params;
+      std::unordered_set<std::string_view> params;
       for (const auto& p : fn.params) {
         if (!p.name.empty() && p.name != "...") params.insert(p.name);
       }
@@ -125,7 +126,7 @@ DefensiveResult AnalyzeDefensive(
         if (nonvoid.contains(t.text)) {
           ++s.discarded_results;
           rep.Add("DEF-RESULT", Severity::kWarning, file.path, t.line,
-                  "result of non-void '" + t.text + "' is discarded in '" +
+                  "result of non-void '" + t.str() + "' is discarded in '" +
                       fn.name + "'");
         }
       }

@@ -22,7 +22,7 @@ bool IsAssertName(std::string_view name) {
   return kSet.contains(name);
 }
 
-bool ContainsInsensitive(const std::string& haystack, const char* needle) {
+bool ContainsInsensitive(std::string_view haystack, const char* needle) {
   return support::Contains(support::ToLower(haystack), needle);
 }
 

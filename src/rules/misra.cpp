@@ -36,7 +36,7 @@ const std::unordered_set<std::string_view>& StdioNames() {
 }
 
 // Octal iff it starts with 0, has more digits, and is not hex/binary/float.
-bool IsOctalConstant(const std::string& text) {
+bool IsOctalConstant(std::string_view text) {
   if (text.size() < 2 || text[0] != '0') return false;
   const char second = text[1];
   if (second == 'x' || second == 'X' || second == 'b' || second == 'B') {
@@ -53,16 +53,16 @@ bool IsOctalConstant(const std::string& text) {
 // A number token that is clearly floating (has '.', exponent, or f suffix).
 bool IsFloatLiteral(const Token& t) {
   if (t.kind != TokenKind::kNumber) return false;
-  const std::string& s = t.text;
+  const std::string_view s = t.text;
   if (s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
-    return s.find('p') != std::string::npos ||
-           s.find('P') != std::string::npos;
+    return s.find('p') != std::string_view::npos ||
+           s.find('P') != std::string_view::npos;
   }
-  return s.find('.') != std::string::npos ||
-         s.find('e') != std::string::npos ||
-         s.find('E') != std::string::npos ||
-         s.find('f') != std::string::npos ||
-         s.find('F') != std::string::npos;
+  return s.find('.') != std::string_view::npos ||
+         s.find('e') != std::string_view::npos ||
+         s.find('E') != std::string_view::npos ||
+         s.find('f') != std::string_view::npos ||
+         s.find('F') != std::string_view::npos;
 }
 
 // Finds the index of the token matching `open` at `start` (which must be the
@@ -134,7 +134,7 @@ class MisraChecker {
       }
       if (t.kind == TokenKind::kNumber && IsOctalConstant(t.text)) {
         report_->Add("MISRA-7.1", Severity::kWarning, file_.path, t.line,
-                     "octal constant '" + t.text + "'");
+                     "octal constant '" + t.str() + "'");
       }
       if ((t.IsPunct("==") || t.IsPunct("!=")) && i > 0 &&
           i + 1 < toks_.size() &&
@@ -196,11 +196,11 @@ class MisraChecker {
           toks_[i + 1].IsPunct("(")) {
         if (StdlibAllocNames().contains(t.text)) {
           report_->Add("MISRA-21.3", Severity::kRequired, file_.path, t.line,
-                       "dynamic memory via '" + t.text + "'");
+                       "dynamic memory via '" + t.str() + "'");
         } else if (options_.include_dialect_analogues &&
                    CudaAllocNames().contains(t.text)) {
           report_->Add("MISRA-21.3", Severity::kRequired, file_.path, t.line,
-                       "CUDA dynamic device memory via '" + t.text + "'");
+                       "CUDA dynamic device memory via '" + t.str() + "'");
         }
       }
       if (options_.include_dialect_analogues &&
@@ -209,7 +209,7 @@ class MisraChecker {
         // position (previous token not `operator`).
         if (i > fn.body_begin && toks_[i - 1].IsKeyword("operator")) continue;
         report_->Add("MISRA-21.3", Severity::kRequired, file_.path, t.line,
-                     std::string("dynamic memory via '") + t.text + "'");
+                     std::string("dynamic memory via '") + t.str() + "'");
       }
     }
   }
@@ -221,7 +221,7 @@ class MisraChecker {
           i + 1 <= fn.body_end && toks_[i + 1].IsPunct("(")) {
         // Qualified std::printf also matches — the rule targets the call.
         report_->Add("MISRA-21.6", Severity::kWarning, file_.path, t.line,
-                     "standard I/O function '" + t.text + "' used");
+                     "standard I/O function '" + t.str() + "' used");
       }
     }
   }
@@ -247,7 +247,7 @@ class MisraChecker {
       if (t.IsKeyword("else") && b.IsKeyword("if")) continue;  // else-if
       if (!b.IsPunct("{")) {
         report_->Add("MISRA-15.6", Severity::kWarning, file_.path, t.line,
-                     "body of '" + t.text + "' is not a compound statement");
+                     "body of '" + t.str() + "' is not a compound statement");
       }
     }
   }
@@ -372,7 +372,7 @@ CudaDialectStats AnalyzeCudaDialect(const ast::SourceFileModel& file) {
   }
   for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
     if (!toks[i].IsIdentifier() || !toks[i + 1].IsPunct("(")) continue;
-    const std::string& name = toks[i].text;
+    const std::string_view name = toks[i].text;
     if (name == "cudaMalloc" || name == "cudaMallocManaged" ||
         name == "cudaMallocHost") {
       ++stats.cuda_malloc_calls;

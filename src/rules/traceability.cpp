@@ -6,10 +6,10 @@
 
 namespace certkit::rules {
 
-std::vector<std::string> ExtractRequirementTags(const std::string& text) {
+std::vector<std::string> ExtractRequirementTags(std::string_view text) {
   std::vector<std::string> tags;
   std::size_t pos = 0;
-  while ((pos = text.find("REQ-", pos)) != std::string::npos) {
+  while ((pos = text.find("REQ-", pos)) != std::string_view::npos) {
     // The tag must not be a suffix of a longer identifier (e.g. FOO_REQ-).
     if (pos > 0) {
       const char before = text[pos - 1];
@@ -30,7 +30,7 @@ std::vector<std::string> ExtractRequirementTags(const std::string& text) {
     std::size_t trimmed = end;
     while (trimmed > pos + 4 && text[trimmed - 1] == '-') --trimmed;
     if (trimmed > pos + 4) {
-      tags.push_back(text.substr(pos, trimmed - pos));
+      tags.emplace_back(text.substr(pos, trimmed - pos));
     }
     pos = end;
   }

@@ -15,6 +15,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ast/source_model.h"
@@ -45,7 +46,7 @@ struct TraceReport {
 
 // Extracts all `REQ-...` tags from `text` (uppercase letters, digits,
 // dashes; at least one character after "REQ-").
-std::vector<std::string> ExtractRequirementTags(const std::string& text);
+std::vector<std::string> ExtractRequirementTags(std::string_view text);
 
 // Analyzes one parsed file. The file must have been lexed with
 // LexOptions::keep_comments = true; otherwise every function is untraced.

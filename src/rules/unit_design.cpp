@@ -109,12 +109,12 @@ class TarjanScc {
 // scalar locals and names that shadow file-scope variables or parameters.
 void ScanLocals(const ast::SourceFileModel& file,
                 const ast::FunctionModel& fn,
-                const std::unordered_set<std::string>& global_names,
+                const std::unordered_set<std::string_view>& global_names,
                 UnitDesignStats* stats, CheckReport* report) {
   const auto& toks = file.lexed.tokens;
-  std::unordered_set<std::string> param_names;
+  std::unordered_set<std::string_view> param_names;
   for (const auto& p : fn.params) param_names.insert(p.name);
-  std::unordered_set<std::string> seen_locals;
+  std::unordered_set<std::string_view> seen_locals;
 
   // Statement starts are tokens following ';', '{', or '}'.
   bool at_stmt_start = true;
@@ -149,7 +149,7 @@ void ScanLocals(const ast::SourceFileModel& file,
         ++j;
       }
       if (j >= fn.body_end || !toks[j].IsIdentifier()) break;
-      const std::string name = toks[j].text;
+      const std::string_view name = toks[j].text;
       const std::int32_t line = toks[j].line;
       ++j;
       // Array extents.
@@ -180,7 +180,7 @@ void ScanLocals(const ast::SourceFileModel& file,
       if (!initialized && !is_const) {
         ++stats->uninitialized_locals;
         report->Add("UNIT-3", Severity::kRequired, file.path, line,
-                    std::string("local '") + name + "' in '" + fn.name +
+                    "local '" + std::string(name) + "' in '" + fn.name +
                         (is_array ? "' (array) is not initialized"
                                   : "' is not initialized"));
       }
@@ -188,7 +188,7 @@ void ScanLocals(const ast::SourceFileModel& file,
           seen_locals.contains(name)) {
         ++stats->shadowing_decls;
         report->Add("UNIT-4", Severity::kWarning, file.path, line,
-                    "local '" + name + "' in '" + fn.name +
+                    "local '" + std::string(name) + "' in '" + fn.name +
                         "' reuses an existing variable name");
       }
       seen_locals.insert(name);
@@ -263,7 +263,7 @@ UnitDesignResult AnalyzeUnitDesign(const metrics::ModuleAnalysis& module) {
   CheckReport& rep = result.report;
 
   // Global-name set for shadowing and global-write detection.
-  std::unordered_set<std::string> global_names;
+  std::unordered_set<std::string_view> global_names;
   for (const auto& file : module.files) {
     for (const auto& g : file.globals) {
       if (g.is_const) {
@@ -310,7 +310,7 @@ UnitDesignResult AnalyzeUnitDesign(const metrics::ModuleAnalysis& module) {
             i + 1 <= fn.body_end && toks[i + 1].IsPunct("(")) {
           ++s.dynamic_alloc_sites;
           rep.Add("UNIT-2", Severity::kWarning, file.path, toks[i].line,
-                  "dynamic allocation via '" + toks[i].text + "' in '" +
+                  "dynamic allocation via '" + toks[i].str() + "' in '" +
                       fn.name + "'");
         }
         // Row 8: global writes (global name followed by an assignment op).
@@ -322,7 +322,7 @@ UnitDesignResult AnalyzeUnitDesign(const metrics::ModuleAnalysis& module) {
               nx.IsPunct("--")) {
             ++s.global_write_sites;
             rep.Add("UNIT-8", Severity::kWarning, file.path, toks[i].line,
-                    "write to file-scope variable '" + toks[i].text +
+                    "write to file-scope variable '" + toks[i].str() +
                         "' in '" + fn.name + "'");
           }
         }

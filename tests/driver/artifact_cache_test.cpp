@@ -1,0 +1,259 @@
+// Correctness tests for the content-hash artifact cache: a warm run must be
+// bit-identical to a cold run (any cached/fresh mix, any --jobs count), a
+// changed byte must invalidate exactly its own artifact, and damaged or
+// mismatched entries must silently recompute — the cache can only ever make
+// analysis faster, never different.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "driver/analysis_driver.h"
+#include "driver/artifact_cache.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace certkit::driver {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::int64_t Counter(const char* name) {
+  return obs::MetricsRegistry::Instance().GetCounter(name).value();
+}
+
+// A small three-module codebase exercising every serialized payload:
+// functions, types, globals, casts, macros, directives, comments with REQ
+// tags (traceability), MISRA/style findings, and a spliced string literal
+// (owned lexeme storage).
+std::vector<SourceInput> TestSources() {
+  return {
+      {"alpha/a.cc",
+       "// REQ-001: alpha entry\n"
+       "#include \"alpha/a.h\"\n"
+       "#define ALPHA_MAX 10\n"
+       "int g_alpha_count = 0;\n"
+       "static const char* kSpliced = \"ab\\\ncd\";\n"
+       "int AlphaWork(int x) {\n"
+       "  if (x > ALPHA_MAX) { return x; }\n"
+       "  int y = (int)x + static_cast<int>(x);\n"
+       "  return y;\n"
+       "}\n"},
+      {"alpha/b.cc",
+       "// REQ-002: alpha helper\n"
+       "struct AlphaState { int a; int b; };\n"
+       "void AlphaReset(AlphaState* s) {\n"
+       "  if (s) { s->a = 0; s->b = 0; }\n"
+       "  goto done;\n"
+       "done:\n"
+       "  return;\n"
+       "}\n"},
+      {"beta/c.cc",
+       "namespace beta {\n"
+       "int Twice(int v) { return v + v; }\n"
+       "int Use() { Twice(2); return Twice(3); }\n"
+       "}  // namespace beta\n"},
+  };
+}
+
+class ArtifactCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("certkit_cache_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  CodebaseAnalysis Analyze(int jobs, const std::string& cache_dir) {
+    DriverOptions options;
+    options.jobs = jobs;
+    options.cache_dir = cache_dir;
+    AnalysisDriver driver(options);
+    auto analysis = driver.AnalyzeSources(TestSources());
+    EXPECT_TRUE(analysis.ok()) << analysis.status().ToString();
+    return std::move(analysis).value();
+  }
+
+  std::vector<fs::path> CacheEntries(const char* extension) const {
+    std::vector<fs::path> entries;
+    if (!fs::exists(dir_)) return entries;
+    for (const auto& e : fs::directory_iterator(dir_)) {
+      if (e.path().extension() == extension) entries.push_back(e.path());
+    }
+    return entries;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ArtifactCacheTest, WarmRunIsBitIdenticalToColdRun) {
+  const std::int64_t hits0 = Counter("driver/cache_hits");
+  const std::int64_t misses0 = Counter("driver/cache_misses");
+
+  const CodebaseAnalysis cold = Analyze(1, dir_);
+  EXPECT_EQ(Counter("driver/cache_hits") - hits0, 0);
+  EXPECT_EQ(Counter("driver/cache_misses") - misses0, 3);
+  EXPECT_EQ(CacheEntries(".ckart").size(), 3u);
+  EXPECT_EQ(CacheEntries(".ckmod").size(), 2u);  // alpha, beta
+
+  const CodebaseAnalysis warm = Analyze(1, dir_);
+  EXPECT_EQ(Counter("driver/cache_hits") - hits0, 3);
+  EXPECT_EQ(Counter("driver/cache_misses") - misses0, 3);
+  EXPECT_EQ(DigestAnalysis(warm), DigestAnalysis(cold));
+}
+
+TEST_F(ArtifactCacheTest, UncachedAndCachedAnalysesAgree) {
+  const CodebaseAnalysis plain = Analyze(1, "");
+  const CodebaseAnalysis cold = Analyze(1, dir_);
+  const CodebaseAnalysis warm = Analyze(1, dir_);
+  EXPECT_EQ(DigestAnalysis(cold), DigestAnalysis(plain));
+  EXPECT_EQ(DigestAnalysis(warm), DigestAnalysis(plain));
+}
+
+TEST_F(ArtifactCacheTest, JobCountDoesNotAffectCachedResults) {
+  const CodebaseAnalysis cold = Analyze(1, dir_);
+  const CodebaseAnalysis warm4 = Analyze(4, dir_);
+  const CodebaseAnalysis warm2 = Analyze(2, dir_);
+  EXPECT_EQ(DigestAnalysis(warm4), DigestAnalysis(cold));
+  EXPECT_EQ(DigestAnalysis(warm2), DigestAnalysis(cold));
+}
+
+TEST_F(ArtifactCacheTest, OneByteFlipInvalidatesExactlyOneArtifact) {
+  Analyze(1, dir_);
+  const std::int64_t hits0 = Counter("driver/cache_hits");
+  const std::int64_t misses0 = Counter("driver/cache_misses");
+
+  auto sources = TestSources();
+  sources[1].content[sources[1].content.size() - 2] = ';';  // flip one byte
+  DriverOptions options;
+  options.jobs = 1;
+  options.cache_dir = dir_;
+  AnalysisDriver driver(options);
+  auto analysis = driver.AnalyzeSources(sources);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+
+  EXPECT_EQ(Counter("driver/cache_hits") - hits0, 2);
+  EXPECT_EQ(Counter("driver/cache_misses") - misses0, 1);
+  // The changed file selects a new entry name; the stale one stays orphaned.
+  EXPECT_EQ(CacheEntries(".ckart").size(), 4u);
+}
+
+TEST_F(ArtifactCacheTest, CorruptEntriesAreSilentlyRecomputed) {
+  const CodebaseAnalysis cold = Analyze(1, dir_);
+  const std::int64_t misses0 = Counter("driver/cache_misses");
+
+  // Damage every file entry a different way: truncation, garbage bytes,
+  // and emptiness. Every one must miss and recompute, and the result must
+  // still be bit-identical.
+  auto entries = CacheEntries(".ckart");
+  ASSERT_EQ(entries.size(), 3u);
+  {
+    std::error_code ec;
+    fs::resize_file(entries[0], fs::file_size(entries[0]) / 2, ec);
+    ASSERT_FALSE(ec);
+    std::FILE* f = std::fopen(entries[1].string().c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fputs("garbage-overwrite", f);
+    std::fclose(f);
+    fs::resize_file(entries[2], 0, ec);
+    ASSERT_FALSE(ec);
+  }
+
+  const CodebaseAnalysis recomputed = Analyze(1, dir_);
+  EXPECT_EQ(Counter("driver/cache_misses") - misses0, 3);
+  EXPECT_EQ(DigestAnalysis(recomputed), DigestAnalysis(cold));
+
+  // The recompute repaired the entries: a third run is all hits again.
+  const std::int64_t hits1 = Counter("driver/cache_hits");
+  const CodebaseAnalysis warm = Analyze(1, dir_);
+  EXPECT_EQ(Counter("driver/cache_hits") - hits1, 3);
+  EXPECT_EQ(DigestAnalysis(warm), DigestAnalysis(cold));
+}
+
+TEST_F(ArtifactCacheTest, CorruptModuleEntriesAreSilentlyRecomputed) {
+  const CodebaseAnalysis cold = Analyze(1, dir_);
+  for (const auto& e : CacheEntries(".ckmod")) {
+    std::error_code ec;
+    fs::resize_file(e, 3, ec);
+    ASSERT_FALSE(ec);
+  }
+  const CodebaseAnalysis warm = Analyze(1, dir_);
+  EXPECT_EQ(DigestAnalysis(warm), DigestAnalysis(cold));
+}
+
+TEST_F(ArtifactCacheTest, ChangedOptionsDoNotReuseStaleArtifacts) {
+  Analyze(1, dir_);
+  const std::int64_t hits0 = Counter("driver/cache_hits");
+  const std::int64_t misses0 = Counter("driver/cache_misses");
+
+  DriverOptions options;
+  options.jobs = 1;
+  options.cache_dir = dir_;
+  options.style_max_line_length = 100;  // different options fingerprint
+  AnalysisDriver driver(options);
+  auto analysis = driver.AnalyzeSources(TestSources());
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(Counter("driver/cache_hits") - hits0, 0);
+  EXPECT_EQ(Counter("driver/cache_misses") - misses0, 3);
+}
+
+TEST_F(ArtifactCacheTest, SerializeRoundTripsExactly) {
+  const CodebaseAnalysis cold = Analyze(1, dir_);
+  for (const FileAnalysis& fa : cold.files) {
+    const ast::SourceFileModel& model =
+        cold.modules[fa.module_index].files[fa.file_index];
+    const std::string bytes = SerializeArtifact(fa, model);
+    FileAnalysis fa2;
+    ast::SourceFileModel model2;
+    ASSERT_TRUE(DeserializeArtifact(bytes, fa.text, &fa2, &model2))
+        << fa.path;
+    // module/file indices are merge-assigned, not serialized.
+    fa2.module_index = fa.module_index;
+    fa2.file_index = fa.file_index;
+    EXPECT_EQ(SerializeArtifact(fa2, model2), bytes) << fa.path;
+    EXPECT_EQ(fa2.text, fa.text);
+    ASSERT_EQ(model2.lexed.tokens.size(), model.lexed.tokens.size());
+    for (std::size_t i = 0; i < model2.lexed.tokens.size(); ++i) {
+      EXPECT_EQ(model2.lexed.tokens[i].text, model.lexed.tokens[i].text);
+      EXPECT_EQ(model2.lexed.tokens[i].kind, model.lexed.tokens[i].kind);
+    }
+  }
+}
+
+TEST_F(ArtifactCacheTest, DeserializeRejectsTruncationAtEveryLength) {
+  const CodebaseAnalysis cold = Analyze(1, dir_);
+  const FileAnalysis& fa = cold.files.front();
+  const ast::SourceFileModel& model =
+      cold.modules[fa.module_index].files[fa.file_index];
+  const std::string bytes = SerializeArtifact(fa, model);
+  // Every strict prefix must fail cleanly (no crash, no partial success).
+  for (std::size_t len = 0; len < bytes.size();
+       len += std::max<std::size_t>(1, bytes.size() / 257)) {
+    FileAnalysis fa2;
+    ast::SourceFileModel model2;
+    EXPECT_FALSE(DeserializeArtifact(std::string_view(bytes).substr(0, len),
+                                     fa.text, &fa2, &model2))
+        << "prefix length " << len;
+  }
+}
+
+TEST_F(ArtifactCacheTest, DisabledCacheNeverTouchesDisk) {
+  const std::int64_t hits0 = Counter("driver/cache_hits");
+  const std::int64_t misses0 = Counter("driver/cache_misses");
+  Analyze(1, "");
+  EXPECT_EQ(Counter("driver/cache_hits") - hits0, 0);
+  EXPECT_EQ(Counter("driver/cache_misses") - misses0, 0);
+  EXPECT_FALSE(fs::exists(dir_));
+}
+
+}  // namespace
+}  // namespace certkit::driver

@@ -17,7 +17,7 @@ LexedFile MustLex(std::string_view src, const LexOptions& opts = {}) {
 
 std::vector<std::string> Texts(const LexedFile& f) {
   std::vector<std::string> out;
-  for (const auto& t : f.tokens) out.push_back(t.text);
+  for (const auto& t : f.tokens) out.push_back(t.str());
   return out;
 }
 
@@ -126,7 +126,7 @@ TEST(LexerTest, NumberFormats) {
       "auto e = .5; auto g = 0x1.8p3;");
   std::vector<std::string> nums;
   for (const auto& t : f.tokens) {
-    if (t.kind == TokenKind::kNumber) nums.push_back(t.text);
+    if (t.kind == TokenKind::kNumber) nums.push_back(t.str());
   }
   EXPECT_EQ(nums, (std::vector<std::string>{"0x1Fu", "0b1010", "1'000'000",
                                             "3.5e-2f", ".5", "0x1.8p3"}));
@@ -136,7 +136,7 @@ TEST(LexerTest, MaximalMunchOperators) {
   LexedFile f = MustLex("a <<= b; c ->* d; e <=> g; h >>= i; j ... k;");
   std::vector<std::string> ops;
   for (const auto& t : f.tokens) {
-    if (t.kind == TokenKind::kPunct && t.text != ";") ops.push_back(t.text);
+    if (t.kind == TokenKind::kPunct && t.text != ";") ops.push_back(t.str());
   }
   EXPECT_EQ(ops, (std::vector<std::string>{"<<=", "->*", "<=>", ">>=", "..."}));
 }

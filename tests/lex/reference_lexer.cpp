@@ -1,38 +1,42 @@
-// certkit lexer: table-driven DFA scanner with zero-copy tokens.
-//
-// Identifier and number recognition run as bulk loops over the static
-// transition table in lex/dfa_tables.h; multi-character punctuators resolve
-// through a per-lead-character candidate table; keywords hit a frozen
-// constexpr hash set. Token text is a string_view into the source buffer the
-// LexedFile owns — the only lexemes that need their own storage are string
-// literals and line comments interrupted by a backslash-newline splice,
-// which land in LexedFile::owned_lexemes.
-//
-// The observable contract (token streams, line stats, directive structure,
-// error messages) is byte-for-byte that of the original hand-rolled scanner;
-// tests/lex/lexer_differential_test.cpp holds this implementation to the
-// reference copy kept under tests/lex/reference_lexer.*.
-#include "lex/lexer.h"
+// The seed repository's hand-rolled scanner, kept as the behavioral oracle
+// for the table-driven production lexer. Logic is byte-for-byte the original
+// Scanner; only the type names differ (Ref* owning types).
+#include "tests/lex/reference_lexer.h"
 
 #include <array>
-#include <cstdint>
-#include <deque>
-#include <memory>
+#include <cctype>
 #include <string>
 #include <vector>
 
-#include "lex/dfa_tables.h"
-#include "obs/metrics.h"
 #include "support/check.h"
 
-namespace certkit::lex {
+namespace certkit::lex::reference {
 
 namespace {
 
 using support::ParseError;
 using support::Result;
 
-namespace tb = certkit::lex::tables;
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+bool IsHexDigit(char c) {
+  return std::isxdigit(static_cast<unsigned char>(c));
+}
+
+// Multi-character punctuators, longest first for maximal munch.
+constexpr std::array<std::string_view, 38> kMultiPunct = {
+    "<<=", ">>=", "...", "->*", "<=>",                                   // 3
+    "::",  "->",  "++",  "--",  "<<",  ">>", "<=", ">=", "==", "!=",     // 2
+    "&&",  "||",  "+=",  "-=",  "*=",  "/=", "%=", "&=", "|=", "^=",
+    "##",  ".*",
+    // single chars fall through
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "=",
+};
 
 // Per-line classification flags accumulated during the scan.
 struct LineFlags {
@@ -43,12 +47,8 @@ struct LineFlags {
 
 class Scanner {
  public:
-  Scanner(std::string path, std::shared_ptr<const std::string> buffer,
-          const LexOptions& options)
-      : path_(std::move(path)),
-        buffer_(std::move(buffer)),
-        src_(*buffer_),
-        options_(options) {
+  Scanner(std::string path, std::string_view src, const LexOptions& options)
+      : path_(std::move(path)), src_(src), options_(options) {
     // Pre-size line table: one entry per physical line.
     std::size_t lines = 1;
     for (char c : src_) {
@@ -58,7 +58,7 @@ class Scanner {
     line_flags_.resize(lines);
   }
 
-  Result<LexedFile> Run() {
+  Result<RefLexedFile> Run() {
     while (!AtEnd()) {
       if (auto st = SkipWhitespaceAndComments(/*stop_at_newline=*/false);
           !st.ok()) {
@@ -69,15 +69,13 @@ class Scanner {
         if (auto st = ScanDirective(); !st.ok()) return st;
         continue;
       }
-      Token tok;
+      RefToken tok;
       if (auto st = ScanToken(&tok); !st.ok()) return st;
       MarkCode(tok.line);
-      out_.tokens.push_back(tok);
+      out_.tokens.push_back(std::move(tok));
     }
     FinalizeLineStats();
     out_.path = path_;
-    out_.buffer = buffer_;
-    out_.owned_lexemes = owned_;
     return std::move(out_);
   }
 
@@ -86,41 +84,26 @@ class Scanner {
   char Peek(std::size_t ahead = 0) const {
     return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
   }
-  static std::uint8_t ClassOf(char c) {
-    return tb::kCharClass[static_cast<unsigned char>(c)];
-  }
 
   void Advance() {
     CERTKIT_CHECK(!AtEnd());
-    const char c = src_[pos_];
-    if (c == '\n') {
+    if (src_[pos_] == '\n') {
       ++line_;
       col_ = 1;
       at_line_start_ = true;
     } else {
       ++col_;
-      if (ClassOf(c) != tb::kClWs) at_line_start_ = false;
+      if (!std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        at_line_start_ = false;
+      }
     }
     ++pos_;
   }
 
-  // Consumes `n` bytes known to contain neither newlines nor whitespace
-  // (identifier, number, and punctuator bodies), updating position state in
-  // one step instead of per character.
-  void AdvanceFlat(std::size_t n) {
-    pos_ += n;
-    col_ += static_cast<std::int32_t>(n);
-    at_line_start_ = false;
-  }
-
-  bool SpliceAhead() const {
-    return Peek() == '\\' &&
-           (Peek(1) == '\n' || (Peek(1) == '\r' && Peek(2) == '\n'));
-  }
-
   // Consumes a backslash-newline splice if present at the cursor.
   bool ConsumeSplice() {
-    if (SpliceAhead()) {
+    if (Peek() == '\\' && (Peek(1) == '\n' ||
+                           (Peek(1) == '\r' && Peek(2) == '\n'))) {
       const bool saved_line_start = at_line_start_;
       Advance();  // backslash
       if (Peek() == '\r') Advance();
@@ -129,19 +112,6 @@ class Scanner {
       return true;
     }
     return false;
-  }
-
-  // A view of src_[begin, end).
-  std::string_view Slice(std::size_t begin, std::size_t end) const {
-    return src_.substr(begin, end - begin);
-  }
-
-  // Moves a synthesized lexeme (text that differs from the raw source
-  // bytes) into the owned-lexeme store and returns a stable view of it.
-  std::string_view Own(std::string text) {
-    if (!owned_) owned_ = std::make_shared<std::deque<std::string>>();
-    owned_->push_back(std::move(text));
-    return owned_->back();
   }
 
   void MarkCode(std::int32_t line) {
@@ -166,13 +136,8 @@ class Scanner {
     while (!AtEnd()) {
       if (ConsumeSplice()) continue;
       const char c = Peek();
-      const std::uint8_t cls = ClassOf(c);
-      if (cls == tb::kClNl) {
-        if (stop_at_newline) return support::Status::Ok();
-        Advance();
-        continue;
-      }
-      if (cls == tb::kClWs) {
+      if (c == '\n' && stop_at_newline) return support::Status::Ok();
+      if (std::isspace(static_cast<unsigned char>(c))) {
         Advance();
         continue;
       }
@@ -180,42 +145,25 @@ class Scanner {
         ++out_.comment_count;
         MarkComment(line_);
         const std::int32_t start_line = line_;
-        // The lexeme runs from the first '/' to the newline, minus any
-        // splice bytes. Raw segments between splices are appended lazily so
-        // the common (splice-free) case stays a pure slice.
-        const std::size_t start = pos_;
-        std::size_t seg_start = pos_;
-        std::string pending;
-        bool spliced = false;
+        std::string text;
         while (!AtEnd() && Peek() != '\n') {
-          if (SpliceAhead()) {  // line comment continued by splice
-            if (options_.keep_comments) {
-              pending.append(src_, seg_start, pos_ - seg_start);
-            }
-            spliced = true;
-            ConsumeSplice();
-            seg_start = pos_;
+          if (ConsumeSplice()) {  // line comment continued by splice
             MarkComment(line_);
             continue;
           }
+          if (options_.keep_comments) text.push_back(Peek());
           Advance();
         }
         if (options_.keep_comments) {
-          std::string_view text;
-          if (spliced) {
-            pending.append(src_, seg_start, pos_ - seg_start);
-            text = Own(std::move(pending));
-          } else {
-            text = Slice(start, pos_);
-          }
-          out_.comments.push_back(lex::Comment{text, start_line});
+          out_.comments.push_back(RefComment{std::move(text), start_line});
         }
         continue;
       }
       if (c == '/' && Peek(1) == '*') {
         ++out_.comment_count;
         const std::int32_t start_line = line_;
-        const std::size_t start = pos_;
+        std::string text;
+        if (options_.keep_comments) text = "/*";
         Advance();
         Advance();
         MarkComment(start_line);
@@ -225,9 +173,11 @@ class Scanner {
             Advance();
             Advance();
             closed = true;
+            if (options_.keep_comments) text += "*/";
             break;
           }
           MarkComment(line_);
+          if (options_.keep_comments) text.push_back(Peek());
           Advance();
         }
         if (!closed) {
@@ -236,10 +186,7 @@ class Scanner {
         }
         MarkComment(line_);
         if (options_.keep_comments) {
-          // Block comment text is the raw byte range including markers
-          // (splices inside block comments are kept verbatim).
-          out_.comments.push_back(
-              lex::Comment{Slice(start, pos_), start_line});
+          out_.comments.push_back(RefComment{std::move(text), start_line});
         }
         continue;
       }
@@ -248,28 +195,27 @@ class Scanner {
     return support::Status::Ok();
   }
 
-  support::Status ScanToken(Token* tok) {
+  support::Status ScanToken(RefToken* tok) {
     tok->line = line_;
     tok->column = col_;
     const char c = Peek();
-    const std::uint8_t cls = ClassOf(c);
 
     // String/char literals, including encoding prefixes and raw strings.
-    if (cls == tb::kClDquote) return ScanString(tok, /*raw=*/false, pos_);
-    if (cls == tb::kClSquote) return ScanCharLiteral(tok, pos_);
-    if (tb::IsIdentStartClass(cls)) {
+    if (c == '"') return ScanString(tok, /*raw=*/false);
+    if (c == '\'') return ScanCharLiteral(tok);
+    if (IsIdentStart(c)) {
       // Peek for literal prefixes: R" L" u" U" u8" uR" u8R" LR" UR".
       if (auto prefix = MatchLiteralPrefix(); !prefix.empty()) {
         const bool raw = prefix.back() == 'R';
-        const std::size_t tok_start = pos_;
-        AdvanceFlat(prefix.size());
-        if (Peek() == '\'' && !raw) return ScanCharLiteral(tok, tok_start);
-        return ScanString(tok, raw, tok_start);
+        for (std::size_t i = 0; i < prefix.size(); ++i) Advance();
+        if (Peek() == '\'' && !raw) {
+          return ScanCharLiteral(tok, std::string(prefix));
+        }
+        return ScanString(tok, raw, std::string(prefix));
       }
       return ScanIdentifier(tok);
     }
-    if (tb::IsDigitClass(cls) ||
-        (cls == tb::kClDot && tb::IsDigitClass(ClassOf(Peek(1))))) {
+    if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
       return ScanNumber(tok);
     }
     return ScanPunct(tok);
@@ -295,24 +241,13 @@ class Scanner {
     return {};
   }
 
-  // Runs the token DFA from `state` at the cursor and returns the number of
-  // bytes it accepts. The accepted run never contains whitespace, so the
-  // caller can consume it with AdvanceFlat.
-  std::size_t RunDfa(std::uint8_t state) const {
-    std::size_t p = pos_;
-    while (p < src_.size()) {
-      const std::uint8_t next = tb::kTokenDfa[state][ClassOf(src_[p])];
-      if (next == tb::kStEnd) break;
-      state = next;
-      ++p;
+  support::Status ScanIdentifier(RefToken* tok) {
+    std::string text;
+    while (!AtEnd() && IsIdentCont(Peek())) {
+      text.push_back(Peek());
+      Advance();
     }
-    return p - pos_;
-  }
-
-  support::Status ScanIdentifier(Token* tok) {
-    const std::size_t start = pos_;
-    AdvanceFlat(RunDfa(tb::kStIdent));
-    tok->text = Slice(start, pos_);
+    tok->text = std::move(text);
     const bool keyword =
         IsCppKeyword(tok->text) ||
         (options_.cuda_dialect && IsCudaKeyword(tok->text));
@@ -320,38 +255,81 @@ class Scanner {
     return support::Status::Ok();
   }
 
-  support::Status ScanNumber(Token* tok) {
-    const std::size_t start = pos_;
-    std::uint8_t state = tb::kStDec;
+  support::Status ScanNumber(RefToken* tok) {
+    std::string text;
+    auto take = [&] {
+      text.push_back(Peek());
+      Advance();
+    };
+    bool hex = false;
     if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
-      AdvanceFlat(2);
-      state = tb::kStHex;
+      hex = true;
+      take();
+      take();
+      while (!AtEnd() && (IsHexDigit(Peek()) || Peek() == '\'' ||
+                          Peek() == '.')) {
+        take();
+      }
+      // Hex float exponent.
+      if (Peek() == 'p' || Peek() == 'P') {
+        take();
+        if (Peek() == '+' || Peek() == '-') take();
+        while (!AtEnd() && IsDigit(Peek())) take();
+      }
     } else if (Peek() == '0' && (Peek(1) == 'b' || Peek(1) == 'B')) {
-      AdvanceFlat(2);
-      state = tb::kStBin;
+      take();
+      take();
+      while (!AtEnd() && (Peek() == '0' || Peek() == '1' || Peek() == '\'')) {
+        take();
+      }
+    } else {
+      while (!AtEnd() && (IsDigit(Peek()) || Peek() == '\'')) take();
+      if (Peek() == '.') {
+        take();
+        while (!AtEnd() && (IsDigit(Peek()) || Peek() == '\'')) take();
+      }
+      if (Peek() == 'e' || Peek() == 'E') {
+        take();
+        if (Peek() == '+' || Peek() == '-') take();
+        while (!AtEnd() && IsDigit(Peek())) take();
+      }
     }
-    AdvanceFlat(RunDfa(state));
+    // Suffixes: u U l L f F z Z (and combinations).
+    while (!AtEnd() && !hex &&
+           (Peek() == 'u' || Peek() == 'U' || Peek() == 'l' || Peek() == 'L' ||
+            Peek() == 'f' || Peek() == 'F' || Peek() == 'z' || Peek() == 'Z')) {
+      take();
+    }
+    while (!AtEnd() && hex &&
+           (Peek() == 'u' || Peek() == 'U' || Peek() == 'l' || Peek() == 'L' ||
+            Peek() == 'f' || Peek() == 'F')) {
+      take();
+    }
     tok->kind = TokenKind::kNumber;
-    tok->text = Slice(start, pos_);
+    tok->text = std::move(text);
     return support::Status::Ok();
   }
 
-  support::Status ScanString(Token* tok, bool raw, std::size_t tok_start) {
+  support::Status ScanString(RefToken* tok, bool raw,
+                             std::string prefix = "") {
+    std::string text = std::move(prefix);
     const std::int32_t start_line = line_;
     if (raw) {
-      // R"delim( ... )delim" — raw bytes verbatim, splices included, so the
-      // lexeme is always a pure slice.
+      // R"delim( ... )delim"
       CERTKIT_CHECK(Peek() == '"');
+      text.push_back('"');
       Advance();
       std::string delim;
       while (!AtEnd() && Peek() != '(') {
         delim.push_back(Peek());
+        text.push_back(Peek());
         Advance();
       }
       if (AtEnd()) {
         return ParseError(path_ + ":" + std::to_string(start_line) +
                           ": malformed raw string delimiter");
       }
+      text.push_back('(');
       Advance();
       const std::string closer = ")" + delim + "\"";
       while (!AtEnd()) {
@@ -363,50 +341,44 @@ class Scanner {
           }
         }
         if (match) {
-          for (std::size_t i = 0; i < closer.size(); ++i) Advance();
+          for (std::size_t i = 0; i < closer.size(); ++i) {
+            text.push_back(Peek());
+            Advance();
+          }
           tok->kind = TokenKind::kString;
-          tok->text = Slice(tok_start, pos_);
+          tok->text = std::move(text);
           return support::Status::Ok();
         }
+        text.push_back(Peek());
         Advance();
       }
       return ParseError(path_ + ":" + std::to_string(start_line) +
                         ": unterminated raw string");
     }
     CERTKIT_CHECK(Peek() == '"');
+    text.push_back('"');
     Advance();
-    // Splice bytes are dropped from the lexeme; raw segments between them
-    // accumulate in `pending` only when a splice actually occurs.
-    std::size_t seg_start = tok_start;
-    std::string pending;
-    bool spliced = false;
     while (!AtEnd()) {
-      if (SpliceAhead()) {
-        pending.append(src_, seg_start, pos_ - seg_start);
-        spliced = true;
-        ConsumeSplice();
-        seg_start = pos_;
-        continue;
-      }
+      if (ConsumeSplice()) continue;
       const char c = Peek();
       if (c == '\n') {
         return ParseError(path_ + ":" + std::to_string(start_line) +
                           ": unterminated string literal");
       }
       if (c == '\\') {
+        text.push_back(c);
         Advance();
-        if (!AtEnd()) Advance();
+        if (!AtEnd()) {
+          text.push_back(Peek());
+          Advance();
+        }
         continue;
       }
+      text.push_back(c);
       Advance();
       if (c == '"') {
         tok->kind = TokenKind::kString;
-        if (spliced) {
-          pending.append(src_, seg_start, pos_ - seg_start);
-          tok->text = Own(std::move(pending));
-        } else {
-          tok->text = Slice(tok_start, pos_);
-        }
+        tok->text = std::move(text);
         return support::Status::Ok();
       }
     }
@@ -414,22 +386,29 @@ class Scanner {
                       ": unterminated string literal");
   }
 
-  support::Status ScanCharLiteral(Token* tok, std::size_t tok_start) {
+  support::Status ScanCharLiteral(RefToken* tok, std::string prefix = "") {
+    std::string text = std::move(prefix);
     const std::int32_t start_line = line_;
     CERTKIT_CHECK(Peek() == '\'');
+    text.push_back('\'');
     Advance();
     while (!AtEnd()) {
       const char c = Peek();
       if (c == '\n') break;
       if (c == '\\') {
+        text.push_back(c);
         Advance();
-        if (!AtEnd()) Advance();
+        if (!AtEnd()) {
+          text.push_back(Peek());
+          Advance();
+        }
         continue;
       }
+      text.push_back(c);
       Advance();
       if (c == '\'') {
         tok->kind = TokenKind::kChar;
-        tok->text = Slice(tok_start, pos_);
+        tok->text = std::move(text);
         return support::Status::Ok();
       }
     }
@@ -437,24 +416,25 @@ class Scanner {
                       ": unterminated character literal");
   }
 
-  support::Status ScanPunct(Token* tok) {
-    const auto rest = src_.substr(pos_);
-    const tb::PunctGroup group =
-        tb::kPunctIndex[static_cast<unsigned char>(Peek())];
-    for (std::uint8_t i = 0; i < group.count; ++i) {
-      const std::string_view p = tb::kPunctTable[group.offset + i];
-      if (rest.starts_with(p)) {
+  support::Status ScanPunct(RefToken* tok) {
+    for (std::string_view p : kMultiPunct) {
+      bool match = true;
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        if (Peek(i) != p[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
         tok->kind = TokenKind::kPunct;
-        const std::size_t start = pos_;
-        AdvanceFlat(p.size());
-        tok->text = Slice(start, pos_);
+        tok->text = std::string(p);
+        for (std::size_t i = 0; i < p.size(); ++i) Advance();
         return support::Status::Ok();
       }
     }
     tok->kind = TokenKind::kPunct;
-    const std::size_t start = pos_;
-    AdvanceFlat(1);
-    tok->text = Slice(start, pos_);
+    tok->text = std::string(1, Peek());
+    Advance();
     return support::Status::Ok();
   }
 
@@ -466,10 +446,10 @@ class Scanner {
         !st.ok()) {
       return st;
     }
-    Directive dir;
+    RefDirective dir;
     dir.line = start_line;
-    if (!AtEnd() && tb::IsIdentStartClass(ClassOf(Peek()))) {
-      Token name_tok;
+    if (!AtEnd() && IsIdentStart(Peek())) {
+      RefToken name_tok;
       if (auto st = ScanIdentifier(&name_tok); !st.ok()) return st;
       dir.name = name_tok.text;
     }
@@ -481,10 +461,10 @@ class Scanner {
       }
       if (AtEnd() || Peek() == '\n') break;
       MarkPreprocessor(line_);
-      Token tok;
+      RefToken tok;
       if (auto st = ScanToken(&tok); !st.ok()) return st;
       MarkPreprocessor(tok.line);
-      dir.tokens.push_back(tok);
+      dir.tokens.push_back(std::move(tok));
     }
     out_.directives.push_back(std::move(dir));
     return support::Status::Ok();
@@ -507,7 +487,6 @@ class Scanner {
   }
 
   std::string path_;
-  std::shared_ptr<const std::string> buffer_;
   std::string_view src_;
   LexOptions options_;
   std::size_t pos_ = 0;
@@ -515,20 +494,15 @@ class Scanner {
   std::int32_t col_ = 1;
   bool at_line_start_ = true;
   std::vector<LineFlags> line_flags_;
-  std::shared_ptr<std::deque<std::string>> owned_;
-  LexedFile out_;
+  RefLexedFile out_;
 };
 
 }  // namespace
 
-Result<LexedFile> Lex(std::string path, std::string_view source,
-                      const LexOptions& options) {
-  obs::MetricsRegistry::Instance()
-      .GetCounter("lexer/bytes_lexed")
-      .Add(static_cast<std::int64_t>(source.size()));
-  auto buffer = std::make_shared<const std::string>(source);
-  Scanner scanner(std::move(path), std::move(buffer), options);
+Result<RefLexedFile> ReferenceLex(std::string path, std::string_view source,
+                                  const LexOptions& options) {
+  Scanner scanner(std::move(path), source, options);
   return scanner.Run();
 }
 
-}  // namespace certkit::lex
+}  // namespace certkit::lex::reference

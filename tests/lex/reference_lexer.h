@@ -1,0 +1,54 @@
+// Test-only reference lexer: the pre-DFA hand-rolled scanner, preserved
+// verbatim (modulo namespace and owning-string tokens) so the differential
+// test in lexer_differential_test.cpp can hold the table-driven production
+// lexer to the original's exact observable behavior. Not linked into any
+// production target.
+#ifndef CERTKIT_TESTS_LEX_REFERENCE_LEXER_H_
+#define CERTKIT_TESTS_LEX_REFERENCE_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lex/lexer.h"
+#include "support/status.h"
+
+namespace certkit::lex::reference {
+
+// Owning-token mirror of the production types, as they looked before the
+// zero-copy refactor.
+struct RefToken {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  std::int32_t line = 0;
+  std::int32_t column = 0;
+};
+
+struct RefDirective {
+  std::string name;
+  std::int32_t line = 0;
+  std::vector<RefToken> tokens;
+};
+
+struct RefComment {
+  std::string text;
+  std::int32_t line = 0;
+};
+
+struct RefLexedFile {
+  std::string path;
+  std::vector<RefToken> tokens;
+  std::vector<RefDirective> directives;
+  std::vector<RefComment> comments;
+  LineStats lines;
+  std::int64_t comment_count = 0;
+};
+
+support::Result<RefLexedFile> ReferenceLex(std::string path,
+                                           std::string_view source,
+                                           const LexOptions& options);
+
+}  // namespace certkit::lex::reference
+
+#endif  // CERTKIT_TESTS_LEX_REFERENCE_LEXER_H_

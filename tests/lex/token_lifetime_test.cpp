@@ -1,0 +1,105 @@
+// Lifetime regression tests for the zero-copy token representation.
+//
+// Token::text is a std::string_view into LexedFile::buffer (or, for spliced
+// lexemes, into LexedFile::owned_lexemes). Both stores are shared_ptr-owned,
+// so every copy or move of a LexedFile shares them and the views stay valid
+// for the lifetime of ANY LexedFile (or buffer reference) derived from the
+// original — including after the original is destroyed. These tests pin
+// that contract; they are what makes handing tokens around by value safe.
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lex/lexer.h"
+
+namespace certkit::lex {
+namespace {
+
+LexedFile MustLex(std::string_view source) {
+  LexOptions options;
+  options.keep_comments = true;
+  auto lexed = Lex("lifetime.cc", source, options);
+  EXPECT_TRUE(lexed.ok()) << lexed.status().ToString();
+  return std::move(lexed).value();
+}
+
+TEST(TokenLifetimeTest, ViewsPointIntoSharedBuffer) {
+  const LexedFile lexed = MustLex("int answer = 42;");
+  ASSERT_NE(lexed.buffer, nullptr);
+  for (const Token& t : lexed.tokens) {
+    const char* base = lexed.buffer->data();
+    EXPECT_GE(t.text.data(), base);
+    EXPECT_LE(t.text.data() + t.text.size(), base + lexed.buffer->size());
+  }
+  EXPECT_EQ(lexed.source(), "int answer = 42;");
+}
+
+TEST(TokenLifetimeTest, CopySurvivesOriginalDestruction) {
+  LexedFile copy;
+  {
+    LexedFile original = MustLex("float pi = 3.14f; // note\n");
+    copy = original;
+  }  // original destroyed; buffer kept alive by copy's shared_ptr
+  ASSERT_GE(copy.tokens.size(), 5u);
+  EXPECT_EQ(copy.tokens[0].text, "float");
+  EXPECT_EQ(copy.tokens[1].text, "pi");
+  EXPECT_EQ(copy.tokens[3].text, "3.14f");
+  ASSERT_EQ(copy.comments.size(), 1u);
+  EXPECT_EQ(copy.comments[0].text, "// note");
+}
+
+TEST(TokenLifetimeTest, MoveSurvivesAndOriginalIsEmpty) {
+  LexedFile original = MustLex("return x + y;");
+  const std::string first(original.tokens[0].text);
+  LexedFile moved = std::move(original);
+  EXPECT_EQ(moved.tokens[0].text, first);
+  EXPECT_EQ(moved.tokens[0].str(), "return");
+}
+
+TEST(TokenLifetimeTest, SplicedLexemesLiveInOwnedStorage) {
+  // A line continuation inside a string literal forces an owned (spliced)
+  // lexeme; it must live in owned_lexemes, not the buffer, and must survive
+  // copies just the same.
+  LexedFile copy;
+  {
+    LexedFile original = MustLex("const char* s = \"ab\\\ncd\";");
+    ASSERT_NE(original.owned_lexemes, nullptr);
+    EXPECT_FALSE(original.owned_lexemes->empty());
+    copy = original;
+  }
+  bool found = false;
+  for (const Token& t : copy.tokens) {
+    if (t.kind == TokenKind::kString) {
+      EXPECT_EQ(t.text, "\"abcd\"");  // splice removed, quotes kept
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TokenLifetimeTest, StrReturnsOwnedCopy) {
+  std::string detached;
+  {
+    const LexedFile lexed = MustLex("identifier_one");
+    detached = lexed.tokens[0].str();
+  }  // everything destroyed; detached must be an independent string
+  EXPECT_EQ(detached, "identifier_one");
+}
+
+TEST(TokenLifetimeTest, VectorGrowthDoesNotInvalidateViews) {
+  // Views point into the heap buffer, not into the LexedFile object, so
+  // relocating LexedFiles inside a growing vector must not invalidate them.
+  std::vector<LexedFile> files;
+  for (int i = 0; i < 64; ++i) {
+    files.push_back(MustLex("int v" + std::to_string(i) + ";"));
+  }
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(files[i].tokens.size(), 3u);
+    EXPECT_EQ(files[i].tokens[1].text, "v" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace certkit::lex

@@ -61,7 +61,11 @@ int Usage() {
       "                          traced pilot drive + mini campaign; writes\n"
       "                          Chrome trace-event JSON (chrome://tracing)\n"
       "common flags:\n"
-      "  --jobs N                analysis threads (default: all cores)\n");
+      "  --jobs N                analysis threads (default: all cores)\n"
+      "  --cache-dir DIR         reuse per-file analysis artifacts across\n"
+      "                          runs; only changed files are re-analyzed\n"
+      "  --no-cache              ignore --cache-dir for this run\n"
+      "  --cache-stats           print cache hit/miss counts to stderr\n");
   return 1;
 }
 
@@ -75,8 +79,22 @@ certkit::support::Result<CodebaseAnalysis> Load(const FlagParser& flags) {
   }
   DriverOptions options;
   options.jobs = static_cast<int>(*jobs);
+  if (!flags.GetBool("no-cache")) {
+    options.cache_dir = flags.GetOr("cache-dir", "");
+  }
   AnalysisDriver driver(options);
-  return driver.AnalyzeTree(flags.positional()[1]);
+  auto analysis = driver.AnalyzeTree(flags.positional()[1]);
+  if (flags.GetBool("cache-stats")) {
+    // stderr so every command's stdout stays byte-identical with and
+    // without the cache.
+    auto& reg = certkit::obs::MetricsRegistry::Instance();
+    std::fprintf(stderr, "cache: %lld hits, %lld misses\n",
+                 static_cast<long long>(
+                     reg.GetCounter("driver/cache_hits").value()),
+                 static_cast<long long>(
+                     reg.GetCounter("driver/cache_misses").value()));
+  }
+  return analysis;
 }
 
 int CmdMetrics(const FlagParser& flags) {
