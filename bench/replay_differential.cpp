@@ -1,0 +1,133 @@
+// Replay/differential driver — the end-to-end contract of the replay
+// subsystem, runnable as one self-checking binary.
+//
+// For each seed candidate it (1) evaluates and exports a replay artifact,
+// (2) re-executes from the parsed artifact ALONE and asserts bit-identity
+// (TickReport digest, per-tick stream digests, verdict signature, and
+// emit -> parse -> emit byte-identity of the artifact itself), (3) runs the
+// differential oracle across the other two backends plus the quantized arm,
+// and (4) delta-debugs every divergence down to a minimized candidate that
+// must still reproduce it at strictly lower cost. Any broken contract
+// prints a diagnosis to stderr and exits nonzero — CI treats this binary
+// like a test. Output is one JSON document, byte-identical for a fixed
+// --seed (there is no timing in it by design).
+//
+// Usage:
+//   replay_differential [--seed N] [--candidates N] [--ticks N]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/minimize.h"
+#include "campaign/mutation.h"
+#include "campaign/replay.h"
+#include "campaign/runner.h"
+#include "support/flags.h"
+
+namespace campaign = certkit::campaign;
+
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "replay_differential: CONTRACT FAILURE: %s\n",
+                 what.c_str());
+    ++g_failures;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  certkit::support::FlagParser flags(argc, argv);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(*flags.GetInt("seed", 2026));
+  const int candidates = static_cast<int>(*flags.GetInt("candidates", 6));
+  const int ticks = static_cast<int>(*flags.GetInt("ticks", 10));
+
+  campaign::MutationScheduler scheduler(seed, ticks);
+  std::string rows;
+  std::string minimized;
+  int divergent = 0;
+  int shrunk = 0;
+
+  for (int i = 0; i < candidates; ++i) {
+    const campaign::Candidate candidate = scheduler.SeedCandidate(i);
+    const std::string tag = "candidate " + std::to_string(i);
+
+    // --- replay bit-identity ---------------------------------------------
+    const campaign::EvalResult eval =
+        campaign::CampaignRunner::Evaluate(candidate);
+    const campaign::ReplayArtifact artifact =
+        campaign::MakeArtifact(candidate, eval);
+    const std::string json = campaign::ReplayArtifactJson(artifact);
+    campaign::ReplayArtifact parsed;
+    std::string error;
+    Check(campaign::ParseReplayArtifact(json, &parsed, &error),
+          tag + ": artifact does not parse: " + error);
+    Check(campaign::ReplayArtifactJson(parsed) == json,
+          tag + ": emit -> parse -> emit is not byte-identical");
+    const campaign::ReplayOutcome replay = campaign::ExecuteReplay(parsed);
+    Check(replay.digest_matches,
+          tag + ": replay digest " + campaign::HexU64(replay.report_digest) +
+              " != recorded " + campaign::HexU64(artifact.report_digest));
+    Check(!replay.divergence.diverged,
+          tag + ": replay diverged at tick " +
+              std::to_string(replay.divergence.tick) + " stream " +
+              replay.divergence.stream);
+    Check(replay.verdict_matches, tag + ": replay verdict drifted");
+
+    // --- differential oracle ---------------------------------------------
+    const campaign::DifferentialReport diff =
+        campaign::RunDifferential(candidate);
+    Check(campaign::DifferentialReportJson(
+              campaign::RunDifferential(candidate)) ==
+              campaign::DifferentialReportJson(diff),
+          tag + ": differential report is not stable across runs");
+    if (diff.divergent) ++divergent;
+
+    if (!rows.empty()) rows += ",";
+    rows += "{\"id\":" + std::to_string(candidate.id) +
+            ",\"report_digest\":\"" + campaign::HexU64(eval.report_digest) +
+            "\",\"divergent\":" + (diff.divergent ? "true" : "false") +
+            ",\"arms\":" + campaign::DifferentialReportJson(diff) + "}";
+
+    // --- minimize every divergence ---------------------------------------
+    for (const campaign::DifferentialArm& arm : diff.arms) {
+      if (!arm.divergence.diverged) continue;
+      const campaign::MinimizeResult result = campaign::Minimize(
+          candidate, campaign::DivergencePredicate(arm.spec));
+      Check(result.final_cost <= result.initial_cost,
+            tag + ": minimizer increased cost");
+      Check(campaign::VariantDiverges(result.candidate, arm.spec),
+            tag + ": minimized candidate no longer reproduces arm " +
+                arm.spec.name);
+      if (result.accepted_moves > 0) {
+        Check(result.final_cost < result.initial_cost,
+              tag + ": accepted moves without a cost reduction");
+        ++shrunk;
+      }
+      if (!minimized.empty()) minimized += ",";
+      minimized += "{\"candidate\":" + std::to_string(candidate.id) +
+                   ",\"arm\":\"" + arm.spec.name +
+                   "\",\"tick\":" + std::to_string(arm.divergence.tick) +
+                   ",\"stream\":\"" + arm.divergence.stream +
+                   "\",\"initial_cost\":" +
+                   std::to_string(result.initial_cost) +
+                   ",\"final_cost\":" + std::to_string(result.final_cost) +
+                   ",\"accepted_moves\":" +
+                   std::to_string(result.accepted_moves) +
+                   ",\"probes\":" + std::to_string(result.probes) + "}";
+    }
+  }
+
+  std::printf(
+      "{\"bench\":\"replay_differential\",\"seed\":%llu,"
+      "\"candidates\":%d,\"ticks\":%d,\"divergent\":%d,\"shrunk\":%d,"
+      "\"rows\":[%s],\"minimized\":[%s],\"contract_failures\":%d}\n",
+      static_cast<unsigned long long>(seed), candidates, ticks, divergent,
+      shrunk, rows.c_str(), minimized.c_str(), g_failures);
+  return g_failures == 0 ? 0 : 1;
+}

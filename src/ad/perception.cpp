@@ -14,6 +14,9 @@ Perception::Perception(const PerceptionConfig& config)
   det_config.backend = config.backend;
   detector_ = std::make_unique<nn::TinyYoloDetector>(det_config);
   nn::InitBlobDetectorWeights(detector_.get());
+  if (config.quantized_weights) {
+    nn::QuantizeDetectorWeights(detector_.get());
+  }
 }
 
 // REQ-PERC-001: obstacles shall only be reported after confirmation

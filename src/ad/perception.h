@@ -21,6 +21,11 @@ struct PerceptionConfig {
   // the campaign engine mutates these to reach those branches.
   int detector_input_h = 0;
   int detector_input_w = 0;
+  // Fake-int8 detector inference (nn::QuantizeDetectorWeights). Only the
+  // replay differential oracle sets this — campaign breeding never mutates
+  // it — so fp32 remains the reference and the quantized variant the
+  // deliberately-perturbed diff arm.
+  bool quantized_weights = false;
   TrackerConfig tracker;
 };
 

@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/check.h"
+#include "support/fnv.h"
 #include "timing/timing.h"
 
 namespace adpilot {
@@ -153,6 +154,13 @@ TickReport ApolloPilot::Tick() {
   ++tick_index_;
   time_ += dt;
   report.time = time_;
+  // Replay capture (tap installed only): stream signatures accumulate as
+  // each pipeline point produces its data, and fire in one OnTick at the
+  // end. The digests hash exact bit patterns, so they cost a pass over the
+  // frame/lists and nothing else.
+  TickSignature tick_sig;
+  const bool tapped = tick_tap_ != nullptr;
+  tick_sig.tick = tick_index_;
   const std::int64_t log_at_tick_start = safety_log_.size();
 
   if (injector_ != nullptr) injector_->BeginTick(tick_index_);
@@ -174,6 +182,10 @@ TickReport ApolloPilot::Tick() {
   }
   last_published_est_ = est;
   report.localized = est;
+  if (tapped) {
+    tick_sig.state =
+        DigestVehicleState(est, certkit::support::kFnvOffsetBasis);
+  }
   if (safety_on) {
     plausibility_monitor_.Check(tick_index_, est, &safety_log_);
   }
@@ -188,6 +200,10 @@ TickReport ApolloPilot::Tick() {
     report.detections = 0;
   } else {
     const nn::Tensor frame = scenario_.RenderCameraFrame(est.pose);
+    if (tapped) {
+      tick_sig.frame =
+          DigestTensor(frame, certkit::support::kFnvOffsetBasis);
+    }
     P().u->EnterFunction(P().f_perception);
     P().u->CallSite(P().c_perception);
     control_flow_monitor_.Enter(TickStage::kPerception);
@@ -197,6 +213,10 @@ TickReport ApolloPilot::Tick() {
       tracked = perception_.Process(frame, est.pose, dt);
     }
     report.detections = perception_.last_detections().size();
+    if (tapped) {
+      tick_sig.detections = DigestObstacles(
+          perception_.last_detections(), certkit::support::kFnvOffsetBasis);
+    }
   }
   if (injector_ != nullptr) injector_->CorruptObstacles(&tracked);
   // Table 4 range check on the perception output; implausible obstacles are
@@ -207,6 +227,10 @@ TickReport ApolloPilot::Tick() {
   }
   last_tracked_ = tracked;
   report.tracked_obstacles = tracked.size();
+  if (tapped) {
+    tick_sig.tracked =
+        DigestObstacles(tracked, certkit::support::kFnvOffsetBasis);
+  }
 
   // 4. Prediction.
   P().u->EnterFunction(P().f_prediction);
@@ -276,6 +300,9 @@ TickReport ApolloPilot::Tick() {
   report.safety_state = degradation_.state();
   report.command = cmd;
   report.command_overridden = overridden;
+  if (tapped) {
+    tick_sig.command = DigestCommand(cmd, certkit::support::kFnvOffsetBasis);
+  }
 
   // 7. Actuation over the CAN bus; chassis feedback drives localization.
   P().u->EnterFunction(P().f_canbus);
@@ -343,6 +370,11 @@ TickReport ApolloPilot::Tick() {
   if (report.obstacle_in_range) {
     min_clearance_ = std::min(min_clearance_, report.min_obstacle_distance);
     clearance_sampled_ = true;
+  }
+  if (tapped) {
+    tick_sig.faults_injected =
+        injector_ != nullptr ? injector_->total_injected() : 0;
+    tick_tap_->OnTick(tick_sig);
   }
   return report;
 }

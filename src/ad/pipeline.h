@@ -16,6 +16,7 @@
 #include "ad/planning.h"
 #include "ad/prediction.h"
 #include "ad/routing.h"
+#include "ad/replay_tap.h"
 #include "ad/safety/degradation.h"
 #include "ad/safety/fault_injector.h"
 #include "ad/safety/monitors.h"
@@ -80,6 +81,14 @@ class ApolloPilot {
   // the safety monitors are expected to detect and contain the faults.
   void SetFaultInjector(FaultInjector* injector);
 
+  // Installs a per-tick signature observer (non-owning; nullptr to clear).
+  // When set, every Tick() computes FNV digests of its input/output streams
+  // (camera frame, detections, tracked obstacles, command, localization)
+  // and calls tap->OnTick — the capture hook of the replay artifact layer.
+  // Digesting only happens while a tap is installed, so untapped drives pay
+  // nothing.
+  void SetTickTap(TickTap* tap) { tick_tap_ = tap; }
+
   const SafetyLog& safety_log() const { return safety_log_; }
   SafetyState safety_state() const { return degradation_.state(); }
   const CanBus& canbus() const { return canbus_; }
@@ -107,6 +116,7 @@ class ApolloPilot {
   ControlFlowMonitor control_flow_monitor_;
   DegradationManager degradation_;
   FaultInjector* injector_ = nullptr;  // non-owning
+  TickTap* tick_tap_ = nullptr;        // non-owning
   std::int64_t violations_tallied_ = 0;
   VehicleState last_published_est_;
   std::vector<Obstacle> last_tracked_;

@@ -20,6 +20,17 @@ const char* FaultKindName(FaultKind kind) {
   return "unknown";
 }
 
+bool FaultKindFromName(std::string_view name, FaultKind* out) {
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    const FaultKind kind = static_cast<FaultKind>(k);
+    if (name == FaultKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 FaultInjector::FaultInjector(const FaultCampaignConfig& config)
     : config_(config), rng_(config.seed) {
   for (const FaultSpec& f : config_.faults) {

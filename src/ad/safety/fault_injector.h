@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "ad/canbus.h"
@@ -36,6 +37,9 @@ enum class FaultKind {
 };
 inline constexpr int kNumFaultKinds = 7;
 const char* FaultKindName(FaultKind kind);
+// Inverse of FaultKindName, for deserializing replay artifacts; false
+// (out untouched) on an unknown name.
+bool FaultKindFromName(std::string_view name, FaultKind* out);
 
 struct FaultSpec {
   FaultKind kind = FaultKind::kSensorDropout;

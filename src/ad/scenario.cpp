@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/check.h"
+#include "support/json.h"
 
 namespace adpilot {
 
@@ -56,17 +57,20 @@ ScenarioConfig ClampScenarioConfig(const ScenarioConfig& config) {
 }
 
 std::string ScenarioConfigJson(const ScenarioConfig& config) {
-  char buf[512];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"num_vehicles\":%d,\"num_pedestrians\":%d,\"road_length\":%.3f,"
-      "\"lane_width\":%.3f,\"num_lanes\":%d,\"vehicle_speed_min\":%.3f,"
-      "\"vehicle_speed_max\":%.3f,\"seed\":%llu}",
-      config.num_vehicles, config.num_pedestrians, config.road_length,
-      config.lane_width, config.num_lanes, config.vehicle_speed_min,
-      config.vehicle_speed_max,
-      static_cast<unsigned long long>(config.seed));
-  return buf;
+  // Doubles use the shortest round-trip form (support::JsonNumber): the
+  // campaign mutator produces full-precision values, and the replay
+  // deserializer must reconstruct them bit-exactly from this JSON.
+  using certkit::support::JsonNumber;
+  std::ostringstream out;
+  out << "{\"num_vehicles\":" << config.num_vehicles
+      << ",\"num_pedestrians\":" << config.num_pedestrians
+      << ",\"road_length\":" << JsonNumber(config.road_length)
+      << ",\"lane_width\":" << JsonNumber(config.lane_width)
+      << ",\"num_lanes\":" << config.num_lanes
+      << ",\"vehicle_speed_min\":" << JsonNumber(config.vehicle_speed_min)
+      << ",\"vehicle_speed_max\":" << JsonNumber(config.vehicle_speed_max)
+      << ",\"seed\":" << config.seed << "}";
+  return out.str();
 }
 
 bool CameraModel::EgoToPixel(const Vec2& ego, double* px, double* py) {

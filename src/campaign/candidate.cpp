@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/json.h"
+
 namespace certkit::campaign {
 
 const char* BackendTag(nn::Backend backend) {
@@ -16,12 +18,26 @@ const char* BackendTag(nn::Backend backend) {
   return "?";
 }
 
+bool BackendFromTag(std::string_view tag, nn::Backend* out) {
+  for (const nn::Backend b : {nn::Backend::kClosedSim, nn::Backend::kOpenSim,
+                              nn::Backend::kCpuNaive}) {
+    if (tag == BackendTag(b)) {
+      *out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string CandidateJson(const Candidate& candidate) {
+  using support::JsonEscape;
+  using support::JsonNumber;
   std::ostringstream out;
   out << "{\"id\":" << candidate.id << ",\"parent\":" << candidate.parent_id
       << ",\"generation\":" << candidate.generation
       << ",\"scenario\":" << adpilot::ScenarioConfigJson(candidate.scenario)
-      << ",\"backend\":\"" << BackendTag(candidate.backend) << "\""
+      << ",\"backend\":" << JsonEscape(BackendTag(candidate.backend))
+      << ",\"quantized\":" << (candidate.quantized ? "true" : "false")
       << ",\"detector_input\":[" << candidate.detector_input_h << ","
       << candidate.detector_input_w << "]"
       << ",\"ticks\":" << candidate.ticks << ",\"fault_seed\":"
@@ -29,9 +45,12 @@ std::string CandidateJson(const Candidate& candidate) {
   for (std::size_t i = 0; i < candidate.faults.size(); ++i) {
     const adpilot::FaultSpec& f = candidate.faults[i];
     if (i > 0) out << ",";
-    out << "{\"kind\":\"" << adpilot::FaultKindName(f.kind)
-        << "\",\"onset\":" << f.onset_tick << ",\"duration\":"
-        << f.duration_ticks << ",\"magnitude\":" << f.magnitude << "}";
+    // Magnitude is the one mutated double here; shortest round-trip form so
+    // the deserialized fault plan drives a bit-identical injector stream.
+    out << "{\"kind\":" << JsonEscape(adpilot::FaultKindName(f.kind))
+        << ",\"onset\":" << f.onset_tick << ",\"duration\":"
+        << f.duration_ticks << ",\"magnitude\":" << JsonNumber(f.magnitude)
+        << "}";
   }
   out << "]}";
   return out.str();

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ad/safety/fault_injector.h"
@@ -36,11 +37,19 @@ struct Candidate {
   int detector_input_h = 0;
   int detector_input_w = 0;
   int ticks = 25;  // closed-loop cycles to run
+  // Fake-int8 detector inference. Never mutated by the campaign breeder —
+  // fp32 stays the reference arm; the replay differential oracle flips this
+  // to diff quantized inference against it.
+  bool quantized = false;
 };
 
 const char* BackendTag(nn::Backend backend);
+// Inverse of BackendTag; false (out untouched) on an unknown tag.
+bool BackendFromTag(std::string_view tag, nn::Backend* out);
 
 // Single-line JSON of `candidate` (stable key order; no volatile fields).
+// Doubles use shortest round-trip form: ParseCandidate (campaign/replay.h)
+// reconstructs the candidate bit-exactly from this string.
 std::string CandidateJson(const Candidate& candidate);
 
 }  // namespace certkit::campaign

@@ -1,6 +1,9 @@
 #include "campaign/coverage_map.h"
 
+#include <cmath>
 #include <cstdio>
+
+#include "support/json.h"
 
 namespace certkit::campaign {
 
@@ -24,16 +27,21 @@ std::vector<cov::CoverageRow> CoverageMap::Rows(
   return rows;
 }
 
+std::string RatioJson(double ratio) {
+  if (!std::isfinite(ratio)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", ratio);
+  return buf;
+}
+
 std::string CoverageRowsJson(const std::vector<cov::CoverageRow>& rows) {
   std::string out = "[";
-  char buf[256];
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::snprintf(buf, sizeof(buf),
-                  "%s{\"unit\":\"%s\",\"statement\":%.4f,\"branch\":%.4f,"
-                  "\"mcdc\":%.4f}",
-                  i > 0 ? "," : "", rows[i].unit.c_str(), rows[i].statement,
-                  rows[i].branch, rows[i].mcdc);
-    out += buf;
+    if (i > 0) out += ",";
+    out += "{\"unit\":" + support::JsonEscape(rows[i].unit) +
+           ",\"statement\":" + RatioJson(rows[i].statement) +
+           ",\"branch\":" + RatioJson(rows[i].branch) +
+           ",\"mcdc\":" + RatioJson(rows[i].mcdc) + "}";
   }
   out += "]";
   return out;

@@ -36,7 +36,14 @@ class CoverageMap {
   std::int64_t total_facts_ = 0;
 };
 
-// Renders `rows` as a JSON array of per-unit objects (stable order/format).
+// Renders a coverage ratio as a JSON number: fixed 4-decimal form (the
+// historical report format), "null" when non-finite — coverage math never
+// produces Inf/NaN today, but a report that must parse back cannot emit
+// tokens JSON does not have.
+std::string RatioJson(double ratio);
+
+// Renders `rows` as a JSON array of per-unit objects (stable order/format,
+// unit names escaped).
 std::string CoverageRowsJson(const std::vector<cov::CoverageRow>& rows);
 
 }  // namespace certkit::campaign

@@ -1,0 +1,117 @@
+#include "campaign/minimize.h"
+
+#include <vector>
+
+namespace certkit::campaign {
+
+namespace {
+
+// Enumerates the move set for `c`. Rebuilt after every accepted move since
+// fault indices and sizes shift under the candidate.
+std::vector<Candidate> Shrinks(const Candidate& c) {
+  std::vector<Candidate> out;
+  // Drop each fault individually — the classic ddmin "remove one chunk".
+  for (std::size_t i = 0; i < c.faults.size(); ++i) {
+    Candidate s = c;
+    s.faults.erase(s.faults.begin() + static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(s));
+  }
+  // Cut the run length, biggest bites first.
+  for (const int t : {1, c.ticks / 2, (c.ticks * 3) / 4, c.ticks - 1}) {
+    if (t >= 1 && t < c.ticks) {
+      Candidate s = c;
+      s.ticks = t;
+      out.push_back(std::move(s));
+    }
+  }
+  // Thin the scenario.
+  for (const int n : {0, c.scenario.num_vehicles / 2,
+                      c.scenario.num_vehicles - 1}) {
+    if (n >= 0 && n < c.scenario.num_vehicles) {
+      Candidate s = c;
+      s.scenario.num_vehicles = n;
+      out.push_back(std::move(s));
+    }
+  }
+  for (const int n : {0, c.scenario.num_pedestrians / 2,
+                      c.scenario.num_pedestrians - 1}) {
+    if (n >= 0 && n < c.scenario.num_pedestrians) {
+      Candidate s = c;
+      s.scenario.num_pedestrians = n;
+      out.push_back(std::move(s));
+    }
+  }
+  // Drop the detector-size override back to camera-native.
+  if (c.detector_input_h != 0 || c.detector_input_w != 0) {
+    Candidate s = c;
+    s.detector_input_h = 0;
+    s.detector_input_w = 0;
+    out.push_back(std::move(s));
+  }
+  // Halve each fault's live window (duration must stay >= 1).
+  for (std::size_t i = 0; i < c.faults.size(); ++i) {
+    const std::int64_t half = c.faults[i].duration_ticks / 2;
+    if (half >= 1 && half < c.faults[i].duration_ticks) {
+      Candidate s = c;
+      s.faults[i].duration_ticks = half;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::int64_t CandidateCost(const Candidate& candidate) {
+  std::int64_t cost =
+      static_cast<std::int64_t>(candidate.faults.size()) * 10000 +
+      static_cast<std::int64_t>(candidate.ticks) * 100 +
+      static_cast<std::int64_t>(candidate.scenario.num_vehicles +
+                                candidate.scenario.num_pedestrians) *
+          10;
+  if (candidate.detector_input_h != 0 || candidate.detector_input_w != 0) {
+    cost += 5;
+  }
+  for (const adpilot::FaultSpec& f : candidate.faults) {
+    cost += f.duration_ticks;
+  }
+  return cost;
+}
+
+MinimizeResult Minimize(const Candidate& seed, const ReplayPredicate& keeps) {
+  MinimizeResult result;
+  result.candidate = seed;
+  result.initial_cost = CandidateCost(seed);
+  std::int64_t best_cost = result.initial_cost;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (Candidate& shrink : Shrinks(result.candidate)) {
+      const std::int64_t cost = CandidateCost(shrink);
+      // Strict decrease is the termination argument: cost is a positive
+      // integer, so at most initial_cost accepted moves can ever happen.
+      if (cost >= best_cost) continue;
+      ++result.probes;
+      if (!keeps(shrink)) continue;
+      result.candidate = std::move(shrink);
+      best_cost = cost;
+      ++result.accepted_moves;
+      improved = true;
+      break;  // restart the move scan from the new, smaller candidate
+    }
+  }
+  result.final_cost = best_cost;
+  return result;
+}
+
+ReplayPredicate DivergencePredicate(const VariantSpec& spec) {
+  return [spec](const Candidate& c) { return VariantDiverges(c, spec); };
+}
+
+ReplayPredicate OutcomePredicate(const std::string& outcome) {
+  return [outcome](const Candidate& c) {
+    return OutcomeSignature(CampaignRunner::Evaluate(c).verdict) == outcome;
+  };
+}
+
+}  // namespace certkit::campaign

@@ -1,0 +1,55 @@
+// certkit campaign: delta-debugging minimizer for replay artifacts.
+//
+// When a replay diverges (differential oracle, digest mismatch, or a
+// verdict worth keeping), the raw candidate is usually far larger than the
+// divergence needs — dozens of ticks, several faults, a crowded scenario.
+// Minimize() greedily shrinks the candidate through a fixed move set (drop
+// a fault, cut ticks, thin actors, drop the detector-size override, halve
+// fault durations), accepting any strictly cheaper candidate the caller's
+// predicate still accepts. Cost is a positive integer, every accepted move
+// strictly decreases it, and rejected moves leave the candidate unchanged —
+// so the loop terminates unconditionally.
+//
+// The predicate abstracts *what* must be preserved: "this variant still
+// diverges" (campaign/replay.h VariantDiverges) for differential findings,
+// "the oracle outcome signature is unchanged" for plain repro shrinking.
+#ifndef CERTKIT_CAMPAIGN_MINIMIZE_H_
+#define CERTKIT_CAMPAIGN_MINIMIZE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "campaign/replay.h"
+
+namespace certkit::campaign {
+
+// Returns true when a shrunken candidate still reproduces the property
+// being minimized. Must be deterministic (Evaluate is).
+using ReplayPredicate = std::function<bool(const Candidate&)>;
+
+// Integer size measure the minimizer drives down. Weighted so structurally
+// simpler repros (fewer faults) beat shorter ones (fewer ticks), which beat
+// emptier ones (fewer actors); fault durations are the tie-breaker tail.
+std::int64_t CandidateCost(const Candidate& candidate);
+
+struct MinimizeResult {
+  Candidate candidate;        // cheapest accepted candidate
+  std::int64_t initial_cost = 0;
+  std::int64_t final_cost = 0;
+  int accepted_moves = 0;
+  int probes = 0;             // predicate evaluations spent
+};
+
+// Greedy first-improvement descent from `seed`: re-scans the move list
+// after every accepted move, stops when no move is both cheaper and
+// accepted. `seed` itself is assumed to satisfy the predicate.
+MinimizeResult Minimize(const Candidate& seed, const ReplayPredicate& keeps);
+
+// The two stock predicates.
+ReplayPredicate DivergencePredicate(const VariantSpec& spec);
+ReplayPredicate OutcomePredicate(const std::string& outcome);
+
+}  // namespace certkit::campaign
+
+#endif  // CERTKIT_CAMPAIGN_MINIMIZE_H_

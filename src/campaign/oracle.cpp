@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "support/json.h"
+
 namespace certkit::campaign {
 
 namespace {
@@ -43,16 +45,18 @@ std::string OutcomeSignature(const OracleVerdict& verdict) {
 }
 
 std::string VerdictJson(const OracleVerdict& verdict) {
+  using support::JsonEscape;
   std::ostringstream out;
-  out << "{\"final_state\":\"" << adpilot::SafetyStateName(verdict.final_state)
-      << "\",\"violations\":" << verdict.safety.total
+  out << "{\"final_state\":"
+      << JsonEscape(adpilot::SafetyStateName(verdict.final_state))
+      << ",\"violations\":" << verdict.safety.total
       << ",\"warnings\":" << verdict.safety.warnings
       << ",\"criticals\":" << verdict.safety.criticals
       << ",\"handled\":" << verdict.safety.handled << ",\"by_monitor\":{";
   for (int m = 0; m < adpilot::kNumMonitors; ++m) {
     if (m > 0) out << ",";
-    out << "\"" << adpilot::MonitorName(static_cast<adpilot::MonitorId>(m))
-        << "\":" << verdict.safety.by_monitor[m];
+    out << JsonEscape(adpilot::MonitorName(static_cast<adpilot::MonitorId>(m)))
+        << ":" << verdict.safety.by_monitor[m];
   }
   out << "},\"collision\":" << (verdict.collision ? "true" : "false")
       << ",\"non_finite_command\":"

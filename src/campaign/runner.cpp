@@ -9,6 +9,7 @@
 #include "ad/pipeline.h"
 #include "campaign/baseline.h"
 #include "campaign/mutation.h"
+#include "campaign/replay.h"
 #include "kernels/conv.h"
 #include "obs/metrics.h"
 #include "support/check.h"
@@ -32,12 +33,12 @@ double Elapsed(std::chrono::steady_clock::time_point since) {
 }
 
 std::string RowJson(const cov::CoverageRow& row) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "{\"unit\":\"%s\",\"statement\":%.4f,\"branch\":%.4f,"
-                "\"mcdc\":%.4f}",
-                row.unit.c_str(), row.statement, row.branch, row.mcdc);
-  return buf;
+  std::ostringstream out;
+  out << "{\"unit\":" << support::JsonEscape(row.unit)
+      << ",\"statement\":" << RatioJson(row.statement)
+      << ",\"branch\":" << RatioJson(row.branch)
+      << ",\"mcdc\":" << RatioJson(row.mcdc) << "}";
+  return out.str();
 }
 
 }  // namespace
@@ -66,6 +67,7 @@ EvalResult CampaignRunner::Evaluate(const Candidate& candidate) {
   cfg.perception.backend = candidate.backend;
   cfg.perception.detector_input_h = candidate.detector_input_h;
   cfg.perception.detector_input_w = candidate.detector_input_w;
+  cfg.perception.quantized_weights = candidate.quantized;
   // Generous real-time budget: the watchdog must only trip on the fault
   // plan's synthetic overruns (magnitudes far above this), never on actual
   // execution time — otherwise sanitizer builds would change the verdict.
@@ -87,12 +89,20 @@ EvalResult CampaignRunner::Evaluate(const Candidate& candidate) {
     ApolloPilot pilot(cfg);
     FaultInjector injector(fault_cfg);
     pilot.SetFaultInjector(&injector);
+    // Replay capture rides along on every evaluation: per-tick stream
+    // signatures plus the whole-drive report digest. The recorder costs one
+    // digest pass per tick, and makes any kept candidate exportable as a
+    // replay artifact without re-running it.
+    TickSignatureRecorder recorder;
+    pilot.SetTickTap(&recorder);
     std::vector<TickReport> reports;
     reports.reserve(static_cast<std::size_t>(candidate.ticks));
     for (int t = 0; t < candidate.ticks; ++t) {
       reports.push_back(pilot.Tick());
     }
     result.verdict = Judge(pilot, reports);
+    result.report_digest = DigestTickReports(reports);
+    result.tick_signatures = recorder.Take();
   }
   result.cover = capture.Take();
   if (trace_capture.has_value()) result.spans = trace_capture->Take();
@@ -172,6 +182,9 @@ CampaignResult CampaignRunner::Run() {
       if (new_facts > 0 || novel_outcome) {
         result.corpus.push_back(batch[i]);
         ++stats.kept;
+        if (!config_.artifact_dir.empty()) {
+          WriteFindingArtifact(config_.artifact_dir, batch[i], evals[i]);
+        }
       }
       if (tracing) {
         char label[64];
@@ -215,7 +228,7 @@ std::string CampaignJson(const CampaignResult& result) {
   out << "{\"campaign\":{\"seed\":" << result.config.seed
       << ",\"population\":" << result.config.population
       << ",\"generations\":" << result.config.generations
-      << ",\"unit_prefix\":\"" << result.config.unit_prefix << "\"";
+      << ",\"unit_prefix\":" << support::JsonEscape(result.config.unit_prefix);
   if (timing) out << ",\"jobs\":" << result.config.jobs;
   out << "},\"generations\":[";
   for (std::size_t g = 0; g < result.generations.size(); ++g) {
@@ -249,8 +262,9 @@ std::string CampaignJson(const CampaignResult& result) {
       << ",\"by_monitor\":{";
   for (int m = 0; m < adpilot::kNumMonitors; ++m) {
     if (m > 0) out << ",";
-    out << "\"" << adpilot::MonitorName(static_cast<adpilot::MonitorId>(m))
-        << "\":" << result.safety_totals.by_monitor[m];
+    out << support::JsonEscape(
+               adpilot::MonitorName(static_cast<adpilot::MonitorId>(m)))
+        << ":" << result.safety_totals.by_monitor[m];
   }
   out << "},\"collisions\":" << result.collisions
       << ",\"non_finite_commands\":" << result.non_finite_commands

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "ad/replay_tap.h"
 #include "ad/safety/monitors.h"
 #include "campaign/candidate.h"
 #include "campaign/coverage_map.h"
@@ -41,15 +42,26 @@ struct CampaignConfig {
   // cover before generation 0, so the campaign explicitly hunts coverage
   // *beyond* the existing tests and its final numbers dominate the baseline.
   bool seed_with_fig5 = false;
+  // When non-empty, every corpus-kept candidate is exported to
+  // `<artifact_dir>/finding_<id>.json` — a versioned replay artifact
+  // (campaign/replay.h) that re-executes the finding bit-identically via
+  // `certkit replay`. The directory is created on first write.
+  std::string artifact_dir;
 };
 
-// A candidate's evaluation: its captured cover, oracle verdict, and (when
-// tracing is enabled) the spans its pilot run fired — captured thread-
-// locally like the cover, so they are a pure function of the candidate.
+// A candidate's evaluation: its captured cover, oracle verdict, replay
+// signatures, and (when tracing is enabled) the spans its pilot run fired —
+// captured thread-locally like the cover, so they are a pure function of
+// the candidate.
 struct EvalResult {
   cov::CoverSet cover;
   OracleVerdict verdict;
   std::vector<obs::SpanEvent> spans;
+  // Replay evidence: the FNV digest over every TickReport (the bit-identity
+  // gate of `certkit replay`) and the per-tick stream signatures that
+  // localize a divergence to (tick, stream).
+  std::uint64_t report_digest = 0;
+  std::vector<adpilot::TickSignature> tick_signatures;
 };
 
 struct GenerationStats {

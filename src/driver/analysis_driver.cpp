@@ -128,7 +128,7 @@ WorkerResult AnalyzeOneFile(std::string path, std::string module,
 // pool. Deterministic for any pool size: every output slot is indexed.
 CodebaseAnalysis MergeResults(std::vector<WorkerResult> results,
                               support::ThreadPool& pool,
-                              const ArtifactCache& cache) {
+                              const ArtifactCache& cache, bool cache_gc) {
   CodebaseAnalysis out;
 
   // Results arrive in sorted path order, so registering each file's span
@@ -192,10 +192,12 @@ CodebaseAnalysis MergeResults(std::vector<WorkerResult> results,
   // member files' content hashes — on a warm run nothing walks the tokens.
   out.unit_design.resize(out.modules.size());
   out.defensive.resize(out.modules.size());
+  std::vector<std::uint64_t> module_keys(out.modules.size(), 0);
   pool.ParallelFor(out.modules.size(), [&](std::size_t m) {
     std::uint64_t key = 0;
     if (cache.enabled()) {
       key = cache.ModulePhaseKey(out.modules[m].name, module_file_hashes[m]);
+      module_keys[m] = key;
       if (cache.LoadModulePhase(key, &out.unit_design[m],
                                 &out.defensive[m])) {
         return;
@@ -207,6 +209,25 @@ CodebaseAnalysis MergeResults(std::vector<WorkerResult> results,
       cache.StoreModulePhase(key, out.unit_design[m], out.defensive[m]);
     }
   });
+
+  // Optional cache pruning: this run's entries are exactly the live set —
+  // every (path, module, hash) that merged plus every module-phase key —
+  // so anything else in the directory is an orphan from an earlier state
+  // of the tree.
+  if (cache.enabled() && cache_gc) {
+    std::vector<std::string> live;
+    for (std::size_t m = 0; m < out.modules.size(); ++m) {
+      for (const auto& [path, hash] : module_file_hashes[m]) {
+        live.push_back(
+            cache.EntryPathForHash(path, out.modules[m].name, hash));
+      }
+      live.push_back(cache.ModulePhaseEntryPath(module_keys[m]));
+    }
+    const int removed = cache.GarbageCollect(live);
+    obs::MetricsRegistry::Instance()
+        .GetCounter("driver/cache_gc_removed")
+        .Add(removed);
+  }
   return out;
 }
 
@@ -271,7 +292,7 @@ support::Result<CodebaseAnalysis> AnalysisDriver::AnalyzeSources(
                                 std::move(sources[i].content), options_,
                                 cache);
   });
-  return MergeResults(std::move(results), pool, cache);
+  return MergeResults(std::move(results), pool, cache, options_.cache_gc);
 }
 
 support::Result<CodebaseAnalysis> AnalysisDriver::AnalyzeTree(
@@ -297,7 +318,7 @@ support::Result<CodebaseAnalysis> AnalysisDriver::AnalyzeTree(
                                 std::move(content).value(), options_,
                                 cache);
   });
-  return MergeResults(std::move(results), pool, cache);
+  return MergeResults(std::move(results), pool, cache, options_.cache_gc);
 }
 
 }  // namespace certkit::driver

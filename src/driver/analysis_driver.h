@@ -51,6 +51,10 @@ struct DriverOptions {
   // options fingerprint match a stored artifact are not re-lexed or
   // re-analyzed — the artifact is loaded and merged as if freshly computed.
   std::string cache_dir;
+  // Prune cache entries this run did not touch (ArtifactCache::
+  // GarbageCollect after the merge). Off by default: a cache shared by
+  // several checkouts or option sets would evict each other's entries.
+  bool cache_gc = false;
 };
 
 // One file's complete analysis — produced by exactly one worker thread,

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <functional>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -696,12 +697,44 @@ std::string ArtifactCache::EntryFile(std::uint64_t key,
 std::string ArtifactCache::EntryPath(const std::string& path,
                                      const std::string& module,
                                      const std::string& content) const {
+  return EntryPathForHash(path, module, HashBytes(content));
+}
+
+std::string ArtifactCache::EntryPathForHash(const std::string& path,
+                                            const std::string& module,
+                                            std::uint64_t content_hash) const {
   Writer w;
   w.U64(options_fingerprint_);
   w.Str(path);
   w.Str(module);
-  w.U64(HashBytes(content));
+  w.U64(content_hash);
   return EntryFile(HashBytes(w.Take()), ".ckart");
+}
+
+std::string ArtifactCache::ModulePhaseEntryPath(std::uint64_t key) const {
+  return EntryFile(key, ".ckmod");
+}
+
+int ArtifactCache::GarbageCollect(const std::vector<std::string>& live) const {
+  if (!enabled()) return 0;
+  // Compare by entry file name: the key hash is the name, and matching on
+  // names keeps the check independent of how the caller spelled the cache
+  // directory (relative vs absolute).
+  std::set<std::string> keep;
+  for (const std::string& path : live) {
+    keep.insert(fs::path(path).filename().string());
+  }
+  int removed = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".ckart" && ext != ".ckmod") continue;  // not ours
+    if (keep.count(name) != 0) continue;
+    if (fs::remove(entry.path(), ec)) ++removed;
+  }
+  return removed;
 }
 
 bool ArtifactCache::Load(const std::string& path, const std::string& module,

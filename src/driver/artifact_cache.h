@@ -106,6 +106,19 @@ class ArtifactCache {
   // options fingerprint. Exposed for tests.
   std::string EntryPath(const std::string& path, const std::string& module,
                         const std::string& content) const;
+  // Same entry with a precomputed content hash — the form the driver holds
+  // after a run, when the file bytes themselves are already consumed.
+  std::string EntryPathForHash(const std::string& path,
+                               const std::string& module,
+                               std::uint64_t content_hash) const;
+
+  // Removes every cache entry (*.ckart / *.ckmod) whose file is not named
+  // in `live` (entry paths as returned by EntryPath / EntryPathForHash /
+  // ModulePhaseEntryPath). Entries orphaned by edits, renames, deletions,
+  // or option changes otherwise accumulate forever — the entry name IS the
+  // content key, so nothing ever overwrites them. Returns the number of
+  // entries removed; foreign files in the directory are left alone.
+  int GarbageCollect(const std::vector<std::string>& live) const;
 
   // --- per-module phase entries ---------------------------------------
 
@@ -115,6 +128,10 @@ class ArtifactCache {
   std::uint64_t ModulePhaseKey(
       const std::string& module,
       const std::vector<std::pair<std::string, std::uint64_t>>& files) const;
+
+  // The on-disk entry file for a module-phase key; lets GC callers and
+  // tests name live module entries.
+  std::string ModulePhaseEntryPath(std::uint64_t key) const;
 
   // Load/store of the cached module phase under `key`. Same contract as the
   // per-file entries: corrupt or mismatched entries miss and are recomputed.

@@ -1,3 +1,4 @@
+#include <cmath>
 #include <string>
 
 #include "coverage/coverage.h"
@@ -65,10 +66,38 @@ ConvLayer::ConvLayer(int in_c, int out_c, int kernel, int stride, int pad,
                 bias_.size() == static_cast<std::size_t>(out_c));
 }
 
+void FakeQuantizeTensor(Tensor* t) {
+  float amax = 0.0f;
+  float* data = t->data();
+  const std::size_t size = t->size();
+  for (std::size_t i = 0; i < size; ++i) {
+    const float a = std::fabs(data[i]);
+    if (a > amax) amax = a;
+  }
+  if (amax == 0.0f) return;
+  const float scale = amax / 127.0f;
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = std::round(data[i] / scale) * scale;
+  }
+}
+
 Tensor ConvLayer::Forward(const Tensor& input) {
   Probes& p = P();
   p.u->Stmt(Probes::kSForward);
   CERTKIT_CHECK_MSG(input.c() == in_c_, "conv input channel mismatch");
+
+  // No coverage probe on this branch: the quantized path is a replay /
+  // differential-oracle mode, not part of the Figure-5 coverage subject, and
+  // declaring a decision here would shift every campaign coverage ratio.
+  if (quantize_inputs_) {
+    Tensor quantized = input;
+    FakeQuantizeTensor(&quantized);
+    const bool saved = quantize_inputs_;
+    quantize_inputs_ = false;
+    Tensor out = Forward(quantized);
+    quantize_inputs_ = saved;
+    return out;
+  }
 
   kernels::ConvShape shape;
   shape.batch = input.n();

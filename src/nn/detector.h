@@ -102,6 +102,13 @@ void InitRandomWeights(TinyYoloDetector* detector, std::uint64_t seed);
 // frames of the AD pipeline.
 void InitBlobDetectorWeights(TinyYoloDetector* detector);
 
+// Switches the detector to fake-int8 inference: every ConvLayer's weights
+// are snapped to a symmetric per-tensor int8 grid and input quantization is
+// enabled on each conv (see ConvLayer::SetInputQuantization). Deterministic
+// and idempotent. Call after the weight constructors above; used as the
+// quantized-vs-fp32 diff point of the replay differential oracle.
+void QuantizeDetectorWeights(TinyYoloDetector* detector);
+
 // Validated weight blob loading (versioned header + checksum), exercising
 // the error paths a deployed loader needs.
 struct WeightsBlob {

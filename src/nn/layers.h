@@ -45,12 +45,26 @@ class ConvLayer : public Layer {
   std::vector<float>& mutable_weights() { return weights_; }
   std::vector<float>& mutable_bias() { return bias_; }
 
+  // Fake-int8 inference mode: when enabled, Forward snaps its input tensor
+  // to a symmetric per-tensor int8 grid (scale = max|x| / 127) before the
+  // convolution. Deterministic — the grid is a pure function of the input —
+  // and backend-independent, so it serves as the quantized-vs-fp32
+  // differential diff point without touching the kernel libraries.
+  void SetInputQuantization(bool enabled) { quantize_inputs_ = enabled; }
+  bool input_quantization() const { return quantize_inputs_; }
+
  private:
   int in_c_, out_c_, kernel_, stride_, pad_;
   std::vector<float> weights_;
   std::vector<float> bias_;
   Backend backend_;
+  bool quantize_inputs_ = false;
 };
+
+// Snaps every value of `t` to the symmetric per-tensor int8 grid
+// (scale = max|x| / 127, round half away from zero). A no-op on an
+// all-zero tensor. Exposed for the quantization tests.
+void FakeQuantizeTensor(Tensor* t);
 
 class BatchNormLayer : public Layer {
  public:

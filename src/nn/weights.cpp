@@ -133,6 +133,23 @@ void InitBlobDetectorWeights(TinyYoloDetector* detector) {
   });
 }
 
+void QuantizeDetectorWeights(TinyYoloDetector* detector) {
+  ForEachConv(detector, [](int, ConvLayer* conv) {
+    float amax = 0.0f;
+    for (const float v : conv->mutable_weights()) {
+      const float a = std::fabs(v);
+      if (a > amax) amax = a;
+    }
+    if (amax > 0.0f) {
+      const float scale = amax / 127.0f;
+      for (float& v : conv->mutable_weights()) {
+        v = std::round(v / scale) * scale;
+      }
+    }
+    conv->SetInputQuantization(true);
+  });
+}
+
 bool SerializeWeights(const std::vector<float>& values, std::string* out) {
   WProbes& p = P();
   p.u->Stmt(WProbes::kSSerialize);

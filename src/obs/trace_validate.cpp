@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -225,13 +226,20 @@ class JsonParser {
       ++pos_;
     }
     if (pos_ == start) return Fail("expected a value");
-    try {
-      std::size_t used = 0;
-      out->number = std::stod(text_.substr(start, pos_ - start), &used);
-      if (used != pos_ - start) return Fail("malformed number");
-    } catch (...) {
+    // Exception-free conversion: from_chars neither throws nor inspects the
+    // locale, and it distinguishes a literal that is *syntactically* broken
+    // ("1e", "1.2.3") from one that is well-formed but does not fit a
+    // double ("1e999") — two different validator diagnostics.
+    double value = 0.0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (res.ec == std::errc::result_out_of_range) {
+      return Fail("numeric literal out of range");
+    }
+    if (res.ec != std::errc() || res.ptr != text_.data() + pos_) {
       return Fail("malformed number");
     }
+    out->number = value;
     out->kind = JsonValue::Kind::kNumber;
     return true;
   }

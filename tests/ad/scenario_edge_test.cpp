@@ -131,10 +131,13 @@ TEST(ScenarioEdgeTest, ClampProducesConstructibleConfigsFromGarbage) {
 
 TEST(ScenarioEdgeTest, ConfigJsonIsStable) {
   const ScenarioConfig cfg;  // defaults
+  // Doubles serialize in shortest round-trip form (support::JsonNumber), so
+  // integral values carry no padding zeros and mutated full-precision
+  // values survive the replay round trip bit-exactly.
   EXPECT_EQ(ScenarioConfigJson(cfg),
             "{\"num_vehicles\":3,\"num_pedestrians\":0,"
-            "\"road_length\":400.000,\"lane_width\":4.000,\"num_lanes\":2,"
-            "\"vehicle_speed_min\":2.000,\"vehicle_speed_max\":8.000,"
+            "\"road_length\":400,\"lane_width\":4,\"num_lanes\":2,"
+            "\"vehicle_speed_min\":2,\"vehicle_speed_max\":8,"
             "\"seed\":1234}");
 }
 

@@ -1,0 +1,140 @@
+// Delta-debugging minimizer: a seeded divergence must auto-shrink to a
+// strictly smaller candidate that still reproduces it. The seeded
+// divergence here is the real one the differential oracle hunts: quantized
+// (fake-int8) inference against the fp32 reference on the same backend —
+// the activation quantization perturbs detection confidences, which the
+// per-tick `detections` stream digest observes. The minimizer must (a)
+// terminate, (b) strictly reduce the integer cost, and (c) hand back a
+// candidate for which the divergence predicate still holds, so the written
+// minimized artifact is a working repro, not a souvenir.
+#include "campaign/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "campaign/mutation.h"
+
+namespace certkit::campaign {
+namespace {
+
+// The quantized-vs-fp32 arm for `c`'s own backend, as the differential
+// would build it.
+VariantSpec QuantizedArm(const Candidate& c) {
+  VariantSpec spec;
+  spec.name = "quantized";
+  spec.backend = c.backend;
+  spec.quantized = true;
+  return spec;
+}
+
+// Scans the seed pool for a candidate whose quantized arm diverges. The
+// fake-quantization snaps activations to 256 levels, so most candidates
+// with any detection activity diverge in the `detections` stream within a
+// few ticks; scanning keeps the test robust to seed-pool reshuffles.
+std::optional<Candidate> FindQuantizedDivergence() {
+  MutationScheduler scheduler(2026, /*default_ticks=*/12);
+  for (int i = 0; i < 12; ++i) {
+    Candidate c = scheduler.SeedCandidate(i);
+    c.quantized = false;  // fp32 reference arm
+    if (VariantDiverges(c, QuantizedArm(c))) return c;
+  }
+  return std::nullopt;
+}
+
+TEST(MinimizerTest, SeededQuantizedDivergenceShrinksAndStillReproduces) {
+  const auto seed = FindQuantizedDivergence();
+  ASSERT_TRUE(seed.has_value())
+      << "no seed candidate's quantized arm diverges — the differential "
+         "oracle has lost its diff point";
+  const VariantSpec arm = QuantizedArm(*seed);
+  const MinimizeResult result = Minimize(*seed, DivergencePredicate(arm));
+
+  // Strictly smaller…
+  EXPECT_LT(result.final_cost, result.initial_cost);
+  EXPECT_EQ(result.final_cost, CandidateCost(result.candidate));
+  // …and still a repro of the original divergence.
+  EXPECT_TRUE(VariantDiverges(result.candidate, arm));
+  // The inputs that define the divergence are untouched: the minimizer
+  // shrinks the scenario/fault plan, never the arms being diffed.
+  EXPECT_EQ(result.candidate.backend, seed->backend);
+  EXPECT_FALSE(result.candidate.quantized);
+}
+
+TEST(MinimizerTest, MinimizedArtifactRoundTripsAndReproduces) {
+  const auto seed = FindQuantizedDivergence();
+  ASSERT_TRUE(seed.has_value());
+  const VariantSpec arm = QuantizedArm(*seed);
+  const MinimizeResult result = Minimize(*seed, DivergencePredicate(arm));
+
+  // The end-to-end promise of `certkit replay --minimize --out F`: the
+  // written artifact re-executes bit-identically and still diverges.
+  const EvalResult eval = CampaignRunner::Evaluate(result.candidate);
+  const std::string json =
+      ReplayArtifactJson(MakeArtifact(result.candidate, eval));
+  ReplayArtifact parsed;
+  std::string error;
+  ASSERT_TRUE(ParseReplayArtifact(json, &parsed, &error)) << error;
+  const ReplayOutcome replay = ExecuteReplay(parsed);
+  EXPECT_TRUE(replay.digest_matches);
+  EXPECT_FALSE(replay.divergence.diverged);
+  EXPECT_TRUE(VariantDiverges(parsed.candidate, arm));
+}
+
+TEST(MinimizerTest, OutcomePreservingShrinkKeepsTheVerdictSignature) {
+  MutationScheduler scheduler(7, /*default_ticks=*/12);
+  const Candidate seed = scheduler.SeedCandidate(3);
+  const std::string outcome =
+      OutcomeSignature(CampaignRunner::Evaluate(seed).verdict);
+  const MinimizeResult result = Minimize(seed, OutcomePredicate(outcome));
+  EXPECT_LE(result.final_cost, result.initial_cost);
+  EXPECT_EQ(
+      OutcomeSignature(CampaignRunner::Evaluate(result.candidate).verdict),
+      outcome);
+}
+
+TEST(MinimizerTest, CostIsStrictlyMonotoneInEveryMoveAxis) {
+  Candidate c;
+  c.ticks = 20;
+  c.scenario.num_vehicles = 4;
+  c.detector_input_h = 64;
+  c.detector_input_w = 64;
+  adpilot::FaultSpec f;
+  f.duration_ticks = 8;
+  c.faults.push_back(f);
+  const std::int64_t base = CandidateCost(c);
+
+  Candidate fewer_faults = c;
+  fewer_faults.faults.clear();
+  EXPECT_LT(CandidateCost(fewer_faults), base);
+
+  Candidate fewer_ticks = c;
+  fewer_ticks.ticks = 10;
+  EXPECT_LT(CandidateCost(fewer_ticks), base);
+
+  Candidate fewer_actors = c;
+  fewer_actors.scenario.num_vehicles = 2;
+  EXPECT_LT(CandidateCost(fewer_actors), base);
+
+  Candidate native_input = c;
+  native_input.detector_input_h = 0;
+  native_input.detector_input_w = 0;
+  EXPECT_LT(CandidateCost(native_input), base);
+
+  Candidate shorter_fault = c;
+  shorter_fault.faults[0].duration_ticks = 4;
+  EXPECT_LT(CandidateCost(shorter_fault), base);
+}
+
+TEST(MinimizerTest, AcceptsNothingWhenPredicateRejectsAllShrinks) {
+  MutationScheduler scheduler(9, /*default_ticks=*/5);
+  const Candidate seed = scheduler.SeedCandidate(0);
+  const MinimizeResult result =
+      Minimize(seed, [](const Candidate&) { return false; });
+  EXPECT_EQ(result.final_cost, result.initial_cost);
+  EXPECT_EQ(result.accepted_moves, 0);
+  EXPECT_EQ(CandidateJson(result.candidate), CandidateJson(seed));
+}
+
+}  // namespace
+}  // namespace certkit::campaign

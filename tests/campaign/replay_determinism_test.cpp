@@ -1,0 +1,147 @@
+// Replay bit-identity: the property that makes a finding artifact evidence
+// rather than an anecdote. An artifact written by a --jobs 4 fleet must be
+// byte-identical to one written at --jobs 1 (artifact export inherits the
+// campaign determinism contract), re-executing an artifact must reproduce
+// its recorded TickReport digest exactly, and the digest must agree across
+// all three inference backends — the accelerator-simulating paths are
+// required to be numerically identical at the TickReport level, which is
+// precisely what makes the *stream-level* differential (detections digests)
+// informative when it does diverge. Runs under `replay` + `concurrency`
+// labels so the TSan tree races the artifact-exporting fleet.
+#include "campaign/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "campaign/mutation.h"
+
+namespace certkit::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const char* tag) {
+  const fs::path dir = fs::temp_directory_path() /
+                       (std::string("certkit_replay_") + tag + "_" +
+                        std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::map<std::string, std::string> SlurpDir(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ifstream in(entry.path());
+    std::ostringstream text;
+    text << in.rdbuf();
+    files[entry.path().filename().string()] = text.str();
+  }
+  return files;
+}
+
+CampaignConfig SmallConfig(int jobs, const std::string& artifact_dir) {
+  CampaignConfig config;
+  config.seed = 77;
+  config.jobs = jobs;
+  config.population = 4;
+  config.generations = 2;
+  config.ticks = 10;
+  config.artifact_dir = artifact_dir;
+  return config;
+}
+
+TEST(ReplayDeterminismTest, ArtifactsAreByteIdenticalAcrossJobCounts) {
+  const std::string serial_dir = TempDir("serial");
+  const std::string fleet_dir = TempDir("fleet");
+  CampaignRunner(SmallConfig(1, serial_dir)).Run();
+  CampaignRunner(SmallConfig(4, fleet_dir)).Run();
+  const auto serial = SlurpDir(serial_dir);
+  const auto fleet = SlurpDir(fleet_dir);
+  ASSERT_FALSE(serial.empty()) << "campaign kept no candidates";
+  ASSERT_EQ(serial.size(), fleet.size());
+  for (const auto& [name, text] : serial) {
+    ASSERT_TRUE(fleet.count(name)) << name << " missing from fleet run";
+    EXPECT_EQ(text, fleet.at(name)) << name << " differs across job counts";
+  }
+  fs::remove_all(serial_dir);
+  fs::remove_all(fleet_dir);
+}
+
+TEST(ReplayDeterminismTest, ArtifactAloneReExecutesBitIdentically) {
+  const std::string dir = TempDir("roundtrip");
+  CampaignRunner(SmallConfig(2, dir)).Run();
+  int replayed = 0;
+  for (const auto& [name, text] : SlurpDir(dir)) {
+    ReplayArtifact artifact;
+    std::string error;
+    ASSERT_TRUE(ParseReplayArtifact(text, &artifact, &error))
+        << name << ": " << error;
+    // The parsed artifact is the ONLY input: no scheduler, no corpus, no
+    // original Candidate object.
+    const ReplayOutcome replay = ExecuteReplay(artifact);
+    EXPECT_TRUE(replay.digest_matches)
+        << name << ": digest " << HexU64(artifact.report_digest) << " -> "
+        << HexU64(replay.report_digest);
+    EXPECT_FALSE(replay.divergence.diverged)
+        << name << ": tick " << replay.divergence.tick << " stream "
+        << replay.divergence.stream;
+    EXPECT_TRUE(replay.verdict_matches) << name;
+    ++replayed;
+  }
+  EXPECT_GT(replayed, 0);
+  fs::remove_all(dir);
+}
+
+TEST(ReplayDeterminismTest, TickReportDigestsAgreeAcrossAllBackends) {
+  MutationScheduler scheduler(2026, /*default_ticks=*/10);
+  for (int i = 0; i < 3; ++i) {
+    Candidate candidate = scheduler.SeedCandidate(i);
+    std::uint64_t digests[3] = {0, 0, 0};
+    int b = 0;
+    for (const nn::Backend backend :
+         {nn::Backend::kClosedSim, nn::Backend::kOpenSim,
+          nn::Backend::kCpuNaive}) {
+      candidate.backend = backend;
+      digests[b++] = CampaignRunner::Evaluate(candidate).report_digest;
+    }
+    EXPECT_EQ(digests[0], digests[1])
+        << "candidate " << i << ": closed vs open";
+    EXPECT_EQ(digests[0], digests[2])
+        << "candidate " << i << ": closed vs cpu";
+  }
+}
+
+TEST(ReplayDeterminismTest, QuantizedReplayIsDeterministicToo) {
+  // Quantized inference diverges from fp32 — that is its purpose — but it
+  // must be exactly as replayable: the fake-quantization is pure math on
+  // the activations, with no RNG and no schedule dependence.
+  MutationScheduler scheduler(2026, /*default_ticks=*/8);
+  Candidate candidate = scheduler.SeedCandidate(1);
+  candidate.quantized = true;
+  const EvalResult a = CampaignRunner::Evaluate(candidate);
+  const EvalResult b = CampaignRunner::Evaluate(candidate);
+  EXPECT_EQ(a.report_digest, b.report_digest);
+  EXPECT_FALSE(
+      DiffSignatures(a.tick_signatures, b.tick_signatures).diverged);
+}
+
+TEST(ReplayDeterminismTest, DifferentialReportIsStable) {
+  MutationScheduler scheduler(2026, /*default_ticks=*/6);
+  const Candidate candidate = scheduler.SeedCandidate(2);
+  const std::string first = DifferentialReportJson(RunDifferential(candidate));
+  const std::string second =
+      DifferentialReportJson(RunDifferential(candidate));
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace certkit::campaign

@@ -1,0 +1,239 @@
+// Replay artifact round-trip: emit -> parse -> emit must be byte-identical,
+// because the artifact is the *only* input `certkit replay` gets — any field
+// that loses precision (a %.3f double, a full-width u64 seed squeezed
+// through a JSON double) silently changes the drive being replayed and the
+// digest gate turns into noise. These tests pin the serialization layer:
+// the JSON primitives (escape / shortest-round-trip numbers / parser), the
+// Candidate, ScenarioConfig, FaultPlan and OracleVerdict (de)serializers,
+// and the artifact container itself.
+#include "campaign/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "campaign/mutation.h"
+#include "support/json.h"
+
+namespace certkit::campaign {
+namespace {
+
+using support::JsonEscape;
+using support::JsonNumber;
+using support::JsonValue;
+using support::ParseJson;
+
+// --- JSON primitives -----------------------------------------------------
+
+TEST(JsonPrimitivesTest, EscapeProducesParseableStrings) {
+  const std::string nasty =
+      "quote:\" backslash:\\ newline:\n tab:\t bell:\x07 del:\x1f";
+  const std::string doc = JsonEscape(nasty);
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(doc, &v, &error)) << error;
+  ASSERT_EQ(v.kind, JsonValue::Kind::kString);
+  EXPECT_EQ(v.string, nasty);
+}
+
+TEST(JsonPrimitivesTest, NumberRoundTripsExactDoubles) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          0.1,
+                          1.0 / 3.0,
+                          0.1 + 0.2,
+                          -123456.789,
+                          1e-300,
+                          1.7976931348623157e308,
+                          std::numeric_limits<double>::denorm_min()};
+  for (const double d : cases) {
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(ParseJson(JsonNumber(d), &v, &error)) << error;
+    ASSERT_EQ(v.kind, JsonValue::Kind::kNumber);
+    // Bit-pattern equality: the round trip must reproduce the exact double,
+    // not merely a close one (0.0 vs -0.0 included).
+    std::uint64_t want = 0, got = 0;
+    std::memcpy(&want, &d, sizeof(want));
+    std::memcpy(&got, &v.number, sizeof(got));
+    EXPECT_EQ(want, got) << "double " << d << " emitted as " << JsonNumber(d);
+  }
+}
+
+TEST(JsonPrimitivesTest, NonFiniteNumbersEmitNull) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonPrimitivesTest, ParserDistinguishesMalformedFromOutOfRange) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson("1e999", &v, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  EXPECT_FALSE(ParseJson("1.2.3", &v, &error));
+  EXPECT_NE(error.find("malformed number"), std::string::npos) << error;
+  EXPECT_FALSE(ParseJson("--1", &v, &error));
+  EXPECT_FALSE(ParseJson("{\"a\":}", &v, &error));
+}
+
+TEST(JsonPrimitivesTest, SixtyFourBitIntegersSurviveViaLiteral) {
+  // 2^64 - 1 does not fit a double; the raw token must be preserved for
+  // integer consumers to re-parse.
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson("18446744073709551615", &v, &error)) << error;
+  EXPECT_EQ(v.literal, "18446744073709551615");
+}
+
+TEST(HexU64Test, RoundTripsAndRejectsJunk) {
+  for (const std::uint64_t x :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0xDEADBEEF},
+        ~std::uint64_t{0}}) {
+    std::uint64_t back = 0;
+    ASSERT_TRUE(ParseHexU64(HexU64(x), &back));
+    EXPECT_EQ(back, x);
+  }
+  std::uint64_t out = 0;
+  EXPECT_FALSE(ParseHexU64("abc", &out));                 // too short
+  EXPECT_FALSE(ParseHexU64("00000000000000XY", &out));    // non-hex
+  EXPECT_FALSE(ParseHexU64("0000000000000000ff", &out));  // too long
+}
+
+// --- candidate / verdict round trips -------------------------------------
+
+Candidate AwkwardCandidate() {
+  Candidate c;
+  c.id = 42;
+  c.parent_id = 7;
+  c.generation = 3;
+  // Full-width u64 seeds — the exact values mutation.cpp assigns from
+  // rng_.Next(); these are what a double-typed parse would corrupt.
+  c.scenario.seed = 0xFFFFFFFFFFFFFFFFull;
+  c.fault_seed = 0x8000000000000001ull;
+  c.scenario.num_vehicles = 5;
+  c.scenario.num_pedestrians = 2;
+  c.scenario.road_length = 123.456789012345;
+  c.scenario.lane_width = 0.1 + 0.2;  // classic non-representable sum
+  c.scenario.vehicle_speed_min = 1.0 / 3.0;
+  c.scenario.vehicle_speed_max = 8.875;
+  c.backend = nn::Backend::kOpenSim;
+  c.quantized = true;
+  c.detector_input_h = 96;
+  c.detector_input_w = 128;
+  c.ticks = 17;
+  adpilot::FaultSpec f;
+  f.kind = adpilot::FaultKind::kTimingOverrun;
+  f.onset_tick = 3;
+  f.duration_ticks = 5;
+  f.magnitude = 0.30000000000000004;
+  c.faults.push_back(f);
+  f.kind = adpilot::FaultKind::kCanBitFlip;
+  f.magnitude = 2.0;
+  c.faults.push_back(f);
+  return c;
+}
+
+TEST(CandidateRoundTripTest, EmitParseEmitIsByteIdentical) {
+  const Candidate original = AwkwardCandidate();
+  const std::string first = CandidateJson(original);
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(first, &v, &error)) << error;
+  Candidate parsed;
+  ASSERT_TRUE(ParseCandidate(v, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.scenario.seed, original.scenario.seed);
+  EXPECT_EQ(parsed.fault_seed, original.fault_seed);
+  EXPECT_EQ(parsed.backend, original.backend);
+  EXPECT_EQ(parsed.quantized, original.quantized);
+  ASSERT_EQ(parsed.faults.size(), original.faults.size());
+  EXPECT_EQ(parsed.faults[0].magnitude, original.faults[0].magnitude);
+  EXPECT_EQ(CandidateJson(parsed), first);
+}
+
+TEST(CandidateRoundTripTest, RejectsUnknownBackendAndFaultKind) {
+  const std::string base = CandidateJson(AwkwardCandidate());
+  JsonValue v;
+  std::string error;
+  std::string bad = base;
+  bad.replace(bad.find("\"open\""), 6, "\"tpu9\"");
+  ASSERT_TRUE(ParseJson(bad, &v, &error)) << error;
+  Candidate parsed;
+  EXPECT_FALSE(ParseCandidate(v, &parsed, &error));
+  EXPECT_NE(error.find("backend"), std::string::npos) << error;
+
+  bad = base;
+  bad.replace(bad.find("timing_overrun"), 14, "quantum_tunnel");
+  ASSERT_TRUE(ParseJson(bad, &v, &error)) << error;
+  EXPECT_FALSE(ParseCandidate(v, &parsed, &error));
+  EXPECT_NE(error.find("kind"), std::string::npos) << error;
+}
+
+TEST(VerdictRoundTripTest, EmitParseEmitIsByteIdentical) {
+  OracleVerdict verdict;
+  verdict.final_state = adpilot::SafetyState::kSafeStop;
+  verdict.safety.total = 12;
+  verdict.safety.warnings = 9;
+  verdict.safety.criticals = 3;
+  verdict.safety.handled = 11;
+  for (int m = 0; m < adpilot::kNumMonitors; ++m) {
+    verdict.safety.by_monitor[m] = m * m;
+  }
+  verdict.collision = true;
+  verdict.non_finite_command = false;
+  verdict.reached_goal = false;
+  verdict.command_overrides = 4;
+  verdict.ticks = 25;
+  const std::string first = VerdictJson(verdict);
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(first, &v, &error)) << error;
+  OracleVerdict parsed;
+  ASSERT_TRUE(ParseVerdict(v, &parsed, &error)) << error;
+  EXPECT_EQ(VerdictJson(parsed), first);
+  EXPECT_EQ(OutcomeSignature(parsed), OutcomeSignature(verdict));
+}
+
+// --- artifact container --------------------------------------------------
+
+TEST(ArtifactRoundTripTest, RealEvaluationRoundTripsByteIdentically) {
+  MutationScheduler scheduler(2026, /*default_ticks=*/6);
+  const Candidate candidate = scheduler.SeedCandidate(0);
+  const EvalResult eval = CampaignRunner::Evaluate(candidate);
+  const ReplayArtifact artifact = MakeArtifact(candidate, eval);
+  ASSERT_EQ(artifact.ticks.size(), static_cast<std::size_t>(candidate.ticks));
+
+  const std::string first = ReplayArtifactJson(artifact);
+  ReplayArtifact parsed;
+  std::string error;
+  ASSERT_TRUE(ParseReplayArtifact(first, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.report_digest, artifact.report_digest);
+  EXPECT_EQ(parsed.outcome, artifact.outcome);
+  ASSERT_EQ(parsed.ticks.size(), artifact.ticks.size());
+  EXPECT_EQ(ReplayArtifactJson(parsed), first);
+}
+
+TEST(ArtifactRoundTripTest, RejectsWrongSchemaAndTruncation) {
+  MutationScheduler scheduler(2026, /*default_ticks=*/3);
+  const Candidate candidate = scheduler.SeedCandidate(0);
+  const std::string good = ReplayArtifactJson(
+      MakeArtifact(candidate, CampaignRunner::Evaluate(candidate)));
+
+  ReplayArtifact parsed;
+  std::string error;
+  std::string bad = good;
+  bad.replace(bad.find("\"schema\":1"), 10, "\"schema\":9");
+  EXPECT_FALSE(ParseReplayArtifact(bad, &parsed, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos) << error;
+
+  EXPECT_FALSE(ParseReplayArtifact(good.substr(0, good.size() / 2), &parsed,
+                                   &error));
+  EXPECT_FALSE(ParseReplayArtifact("", &parsed, &error));
+  EXPECT_FALSE(ParseReplayArtifact("[]", &parsed, &error));
+}
+
+}  // namespace
+}  // namespace certkit::campaign

@@ -73,10 +73,12 @@ class ArtifactCacheTest : public ::testing::Test {
     fs::remove_all(dir_, ec);
   }
 
-  CodebaseAnalysis Analyze(int jobs, const std::string& cache_dir) {
+  CodebaseAnalysis Analyze(int jobs, const std::string& cache_dir,
+                           bool cache_gc = false) {
     DriverOptions options;
     options.jobs = jobs;
     options.cache_dir = cache_dir;
+    options.cache_gc = cache_gc;
     AnalysisDriver driver(options);
     auto analysis = driver.AnalyzeSources(TestSources());
     EXPECT_TRUE(analysis.ok()) << analysis.status().ToString();
@@ -244,6 +246,67 @@ TEST_F(ArtifactCacheTest, DeserializeRejectsTruncationAtEveryLength) {
                                      fa.text, &fa2, &model2))
         << "prefix length " << len;
   }
+}
+
+// --- cache garbage collection --------------------------------------------
+// Entry names are content keys, so nothing ever overwrites a stale entry:
+// every edit, rename, or option change orphans the old one. --cache-gc
+// prunes exactly the entries the pruning run did not produce or reuse.
+
+TEST_F(ArtifactCacheTest, GcRemovesOrphanedEntriesAndKeepsLiveOnes) {
+  Analyze(1, dir_);
+  ASSERT_EQ(CacheEntries(".ckart").size(), 3u);
+  ASSERT_EQ(CacheEntries(".ckmod").size(), 2u);
+
+  // Edit one file: its old per-file entry and its module's old phase entry
+  // both go stale.
+  auto sources = TestSources();
+  sources[1].content += "// trailing comment\n";
+  DriverOptions options;
+  options.jobs = 1;
+  options.cache_dir = dir_;
+  AnalysisDriver driver(options);
+  ASSERT_TRUE(driver.AnalyzeSources(sources).ok());
+  EXPECT_EQ(CacheEntries(".ckart").size(), 4u);
+  EXPECT_EQ(CacheEntries(".ckmod").size(), 3u);
+
+  // A GC run over the ORIGINAL sources prunes the edited variant's entries
+  // and keeps every entry it used itself.
+  const std::int64_t removed0 = Counter("driver/cache_gc_removed");
+  const std::int64_t hits0 = Counter("driver/cache_hits");
+  const CodebaseAnalysis before = Analyze(1, dir_, /*cache_gc=*/true);
+  EXPECT_EQ(Counter("driver/cache_gc_removed") - removed0, 2);
+  EXPECT_EQ(Counter("driver/cache_hits") - hits0, 3);  // all live, all hit
+  EXPECT_EQ(CacheEntries(".ckart").size(), 3u);
+  EXPECT_EQ(CacheEntries(".ckmod").size(), 2u);
+
+  // The survivors are genuinely live: a warm re-run hits every file and
+  // produces the identical analysis.
+  const std::int64_t hits1 = Counter("driver/cache_hits");
+  const CodebaseAnalysis after = Analyze(1, dir_);
+  EXPECT_EQ(Counter("driver/cache_hits") - hits1, 3);
+  EXPECT_EQ(DigestAnalysis(after), DigestAnalysis(before));
+}
+
+TEST_F(ArtifactCacheTest, GcLeavesForeignFilesAlone) {
+  Analyze(1, dir_);
+  const fs::path foreign = fs::path(dir_) / "README.txt";
+  {
+    std::FILE* f = std::fopen(foreign.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a cache entry\n", f);
+    std::fclose(f);
+  }
+  Analyze(1, dir_, /*cache_gc=*/true);
+  EXPECT_TRUE(fs::exists(foreign));
+}
+
+TEST_F(ArtifactCacheTest, GcOnColdCacheRemovesNothing) {
+  const std::int64_t removed0 = Counter("driver/cache_gc_removed");
+  Analyze(1, dir_, /*cache_gc=*/true);
+  EXPECT_EQ(Counter("driver/cache_gc_removed") - removed0, 0);
+  EXPECT_EQ(CacheEntries(".ckart").size(), 3u);
+  EXPECT_EQ(CacheEntries(".ckmod").size(), 2u);
 }
 
 TEST_F(ArtifactCacheTest, DisabledCacheNeverTouchesDisk) {

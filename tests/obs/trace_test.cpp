@@ -278,6 +278,32 @@ TEST(TraceValidateTest, RejectsMalformedJson) {
   EXPECT_FALSE(ValidateChromeTrace("{\"noTraceEvents\":[]}", &error));
 }
 
+TEST(TraceValidateTest, DistinguishesMalformedNumbersFromOutOfRange) {
+  // Regression for the numeric-literal path: the validator converts with
+  // std::from_chars (no exceptions, no locale), and a syntactically broken
+  // literal must produce a different diagnosis than a well-formed one that
+  // overflows a double — "1.2.3" is a formatting bug in an exporter,
+  // "1e999" is a value bug, and a triager needs to know which.
+  std::string error;
+  EXPECT_FALSE(ValidateChromeTrace(
+      "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":1.2.3,"
+      "\"dur\":1,\"pid\":0,\"tid\":0}]}",
+      &error));
+  EXPECT_NE(error.find("malformed number"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(ValidateChromeTrace(
+      "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":1e999,"
+      "\"dur\":1,\"pid\":0,\"tid\":0}]}",
+      &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+
+  // Dangling exponents and double signs are malformed, not out of range.
+  error.clear();
+  EXPECT_FALSE(ValidateChromeTrace("{\"traceEvents\":[{\"ts\":1e}]}", &error));
+  EXPECT_NE(error.find("malformed number"), std::string::npos) << error;
+}
+
 TEST(TraceValidateTest, RejectsSchemaViolations) {
   std::string error;
   // Missing name.

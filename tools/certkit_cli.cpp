@@ -7,6 +7,9 @@
 //                                          gap list at the target ASIL
 //   certkit traceability <dir>             requirement traceability
 //   certkit campaign [--seed N] [--jobs N] coverage-guided scenario campaign
+//   certkit replay <artifact> [--diff]     re-execute a finding artifact
+//                                          bit-identically; differential
+//                                          oracle + ddmin repro shrinking
 //   certkit trace [--trace-out F]          instrumented pilot drive + mini
 //                                          campaign; Chrome trace + metrics
 //
@@ -19,11 +22,14 @@
 // (wall-clock fields appear only under --timing).
 //
 // Exit status: 0 on success; 1 on usage/input errors; for `assess`, 2 when
-// the codebase does not meet the target ASIL (CI-friendly).
+// the codebase does not meet the target ASIL (CI-friendly); for `replay`,
+// 2 when the re-execution or the differential oracle diverges.
 #include <cstdio>
 #include <string>
 
 #include "ad/pipeline.h"
+#include "campaign/minimize.h"
+#include "campaign/replay.h"
 #include "campaign/runner.h"
 #include "driver/analysis_driver.h"
 #include "metrics/halstead.h"
@@ -55,7 +61,17 @@ int Usage() {
       "  assess <dir> [--asil X] ISO 26262-6 tables + ASIL gap list\n"
       "  traceability <dir>      requirement-to-code traceability\n"
       "  campaign [--seed N] [--population N] [--generations N] [--timing]\n"
-      "                          coverage-guided scenario campaign (JSON)\n"
+      "           [--artifact-dir DIR]\n"
+      "                          coverage-guided scenario campaign (JSON);\n"
+      "                          --artifact-dir exports every kept finding\n"
+      "                          as a replay artifact\n"
+      "  replay <artifact.json> [--diff] [--minimize] [--out F]\n"
+      "                          re-execute a finding bit-identically (FNV\n"
+      "                          digest gate; exit 2 on divergence); --diff\n"
+      "                          re-runs it across all backends and\n"
+      "                          quantized-vs-fp32; --minimize shrinks the\n"
+      "                          repro via delta debugging and writes the\n"
+      "                          smallest artifact to F\n"
       "  trace [--trace-out F] [--metrics-out F] [--seed N] [--ticks N]\n"
       "        [--population N] [--generations N] [--timing]\n"
       "                          traced pilot drive + mini campaign; writes\n"
@@ -65,7 +81,8 @@ int Usage() {
       "  --cache-dir DIR         reuse per-file analysis artifacts across\n"
       "                          runs; only changed files are re-analyzed\n"
       "  --no-cache              ignore --cache-dir for this run\n"
-      "  --cache-stats           print cache hit/miss counts to stderr\n");
+      "  --cache-stats           print cache hit/miss counts to stderr\n"
+      "  --cache-gc              prune cache entries this run did not use\n");
   return 1;
 }
 
@@ -81,6 +98,7 @@ certkit::support::Result<CodebaseAnalysis> Load(const FlagParser& flags) {
   options.jobs = static_cast<int>(*jobs);
   if (!flags.GetBool("no-cache")) {
     options.cache_dir = flags.GetOr("cache-dir", "");
+    options.cache_gc = flags.GetBool("cache-gc");
   }
   AnalysisDriver driver(options);
   auto analysis = driver.AnalyzeTree(flags.positional()[1]);
@@ -93,6 +111,12 @@ certkit::support::Result<CodebaseAnalysis> Load(const FlagParser& flags) {
                      reg.GetCounter("driver/cache_hits").value()),
                  static_cast<long long>(
                      reg.GetCounter("driver/cache_misses").value()));
+    if (options.cache_gc) {
+      std::fprintf(
+          stderr, "cache-gc: %lld stale entries removed\n",
+          static_cast<long long>(
+              reg.GetCounter("driver/cache_gc_removed").value()));
+    }
   }
   return analysis;
 }
@@ -313,9 +337,110 @@ int CmdCampaign(const FlagParser& flags) {
   const auto ticks = flags.GetInt("ticks", 25);
   if (ticks) config.ticks = static_cast<int>(*ticks);
   config.include_timing = flags.GetBool("timing");
+  config.artifact_dir = flags.GetOr("artifact-dir", "");
   certkit::campaign::CampaignRunner runner(config);
   std::printf("%s\n", certkit::campaign::CampaignJson(runner.Run()).c_str());
   return 0;
+}
+
+// Replays a finding artifact: re-executes its candidate and gates on the
+// recorded TickReport digest. --diff adds the differential oracle (every
+// other backend + quantized-vs-fp32); --minimize delta-debugs the candidate
+// down to the smallest one that still reproduces the divergence (or, when
+// nothing diverges, the recorded oracle outcome) and writes it as a new
+// artifact. Exit 0 = bit-identical and no differential divergence; 2 = some
+// divergence; 1 = usage/parse errors.
+int CmdReplay(const FlagParser& flags) {
+  namespace campaign = certkit::campaign;
+  if (flags.positional().size() < 2) {
+    std::printf("error: replay needs an <artifact.json>\n");
+    return 1;
+  }
+  const std::string path = flags.positional()[1];
+  const auto text = certkit::support::ReadFile(path);
+  if (!text.ok()) {
+    std::printf("error: %s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  campaign::ReplayArtifact artifact;
+  std::string error;
+  if (!campaign::ParseReplayArtifact(text.value(), &artifact, &error)) {
+    std::printf("error: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+
+  const campaign::ReplayOutcome replay = campaign::ExecuteReplay(artifact);
+  std::printf("replay: candidate %lld (%d ticks, backend %s%s)\n",
+              static_cast<long long>(artifact.candidate.id),
+              artifact.candidate.ticks,
+              campaign::BackendTag(artifact.candidate.backend),
+              artifact.candidate.quantized ? ", quantized" : "");
+  std::printf("digest: recorded %s, replayed %s — %s\n",
+              campaign::HexU64(artifact.report_digest).c_str(),
+              campaign::HexU64(replay.report_digest).c_str(),
+              replay.digest_matches ? "bit-identical" : "DIVERGED");
+  if (!replay.digest_matches && replay.divergence.diverged) {
+    std::printf("divergence: first at tick %lld in stream '%s'\n",
+                static_cast<long long>(replay.divergence.tick),
+                replay.divergence.stream.c_str());
+  }
+  if (!replay.verdict_matches) {
+    std::printf("verdict: outcome changed (recorded %s)\n",
+                artifact.outcome.c_str());
+  }
+
+  bool diverged = !replay.digest_matches || !replay.verdict_matches;
+  // The divergence the minimizer should preserve, when one exists.
+  const campaign::VariantSpec* to_minimize = nullptr;
+  campaign::DifferentialReport diff;
+  if (flags.GetBool("diff") || flags.GetBool("minimize")) {
+    diff = campaign::RunDifferential(artifact.candidate);
+    if (flags.GetBool("diff")) {
+      std::printf("%s\n", campaign::DifferentialReportJson(diff).c_str());
+    }
+    for (const campaign::DifferentialArm& arm : diff.arms) {
+      if (arm.divergence.diverged || !arm.outcome_matches) {
+        if (to_minimize == nullptr) to_minimize = &arm.spec;
+        std::printf("differential: variant '%s' %s (tick %lld, stream %s)\n",
+                    arm.spec.name.c_str(),
+                    arm.outcome_matches ? "stream diverged"
+                                        : "outcome diverged",
+                    static_cast<long long>(arm.divergence.tick),
+                    arm.divergence.diverged ? arm.divergence.stream.c_str()
+                                            : "-");
+      }
+    }
+    if (diff.divergent > 0) diverged = true;
+  }
+
+  if (flags.GetBool("minimize")) {
+    const campaign::ReplayPredicate keeps =
+        to_minimize != nullptr
+            ? campaign::DivergencePredicate(*to_minimize)
+            : campaign::OutcomePredicate(artifact.outcome);
+    std::printf("minimize: preserving %s\n",
+                to_minimize != nullptr ? to_minimize->name.c_str()
+                                       : "oracle outcome");
+    const campaign::MinimizeResult shrunk =
+        campaign::Minimize(artifact.candidate, keeps);
+    std::printf("minimize: cost %lld -> %lld (%d moves, %d probes)\n",
+                static_cast<long long>(shrunk.initial_cost),
+                static_cast<long long>(shrunk.final_cost),
+                shrunk.accepted_moves, shrunk.probes);
+    const std::string out_path = flags.GetOr("out", path + ".min.json");
+    const campaign::EvalResult eval =
+        campaign::CampaignRunner::Evaluate(shrunk.candidate);
+    const std::string json = campaign::ReplayArtifactJson(
+        campaign::MakeArtifact(shrunk.candidate, eval));
+    const auto status = certkit::support::WriteFile(out_path, json + "\n");
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("minimize: wrote %s\n", out_path.c_str());
+  }
+
+  return diverged ? 2 : 0;
 }
 
 // Observability demo: run a traced pilot drive (covering every pipeline
@@ -405,6 +530,7 @@ int main(int argc, char** argv) {
   if (flags.positional().empty()) return Usage();
   const std::string command = flags.positional()[0];
   if (command == "campaign") return CmdCampaign(flags);
+  if (command == "replay") return CmdReplay(flags);
   if (command == "metrics") return CmdMetrics(flags);
   if (command == "functions") return CmdFunctions(flags);
   if (command == "misra") return CmdMisra(flags);
