@@ -1,0 +1,183 @@
+// Campaign-as-a-service driver — the end-to-end contract of the serve /
+// checkpoint / shard subsystem, runnable as one self-checking binary.
+//
+// It (1) processes a request batch at several pool widths and asserts every
+// response line is byte-identical across widths (per-request attribution:
+// a warm process with concurrent neighbors answers exactly like an idle
+// one), (2) checkpoints a campaign mid-run, resumes it with a fresh runner,
+// and asserts the result is byte-identical to an uninterrupted run, and
+// (3) evaluates the same campaign as 1, 2, and 4 disjoint shard slices,
+// folds the deltas in rotated orders, and asserts every merge equals the
+// unsharded JSON. Any broken contract prints a diagnosis to stderr and
+// exits nonzero — CI treats this binary like a test. Output is one JSON
+// document, byte-identical for a fixed --seed; --timing adds wall-clock
+// throughput fields.
+//
+// Usage:
+//   campaign_service [--seed N] [--requests N] [--timing]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/checkpoint.h"
+#include "campaign/runner.h"
+#include "campaign/service.h"
+#include "obs/metrics.h"
+#include "support/flags.h"
+#include "support/json.h"
+
+namespace campaign = certkit::campaign;
+
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "campaign_service: CONTRACT FAILURE: %s\n",
+                 what.c_str());
+    ++g_failures;
+  }
+}
+
+campaign::CampaignConfig BaseConfig(std::uint64_t seed) {
+  campaign::CampaignConfig config;
+  config.seed = seed;
+  config.jobs = 1;
+  config.population = 3;
+  config.generations = 2;
+  config.ticks = 5;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  certkit::support::FlagParser flags(argc, argv);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(*flags.GetInt("seed", 2026));
+  const int num_requests = static_cast<int>(*flags.GetInt("requests", 8));
+  const bool timing = flags.GetBool("timing");
+
+  // --- 1. serve: responses are a pure function of the request -------------
+  std::vector<campaign::ServiceRequest> requests;
+  for (int i = 0; i < num_requests; ++i) {
+    campaign::ServiceRequest request;
+    request.id = "bench-" + std::to_string(i);
+    request.kind = "campaign";
+    request.campaign = BaseConfig(seed + static_cast<std::uint64_t>(i));
+    request.campaign.generations = 1;
+    requests.push_back(request);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::string> reference_lines;
+  double widest_seconds = 0.0;
+  for (int width : {1, 2, 4, 8}) {
+    const auto w0 = std::chrono::steady_clock::now();
+    campaign::CampaignService service(width);
+    const auto responses = service.Process(requests);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - w0)
+            .count();
+    if (width == 8) widest_seconds = seconds;
+    Check(responses.size() == requests.size(), "response count");
+    std::vector<std::string> lines;
+    for (const auto& r : responses) {
+      Check(r.ok, "request " + r.id + " failed: " + r.error);
+      Check(r.cover_facts > 0, "request " + r.id + " reported no coverage");
+      lines.push_back(campaign::ServiceResponseJson(r));
+    }
+    if (reference_lines.empty()) {
+      reference_lines = lines;
+    } else {
+      Check(lines == reference_lines,
+            "responses differ at pool width " + std::to_string(width));
+    }
+  }
+  Check(certkit::obs::MetricsRegistry::Instance()
+                .GetGauge("service/queue_depth")
+                .value() == 0.0,
+        "queue depth did not settle to zero");
+
+  // --- 2. checkpoint/kill/resume equals uninterrupted ---------------------
+  const campaign::CampaignConfig base = BaseConfig(seed);
+  campaign::CampaignRunner straight(base);
+  const std::string reference = campaign::CampaignJson(straight.Run());
+  {
+    campaign::CampaignConfig interrupted = base;
+    interrupted.stop_after_generations = 1;
+    campaign::CampaignState state =
+        campaign::CampaignRunner::FreshState(interrupted);
+    // In-memory checkpoint round-trip stands in for the file (the file
+    // framing is locked by tests/campaign/checkpoint_resume_test.cpp).
+    campaign::CampaignRunner first(interrupted);
+    Check(!first.RunFrom(&state).complete, "stop-after did not stop");
+    const std::string frozen = campaign::CheckpointJson(interrupted, state);
+    campaign::CampaignState thawed;
+    bool mismatch = false;
+    std::string error;
+    Check(campaign::ParseCheckpoint(frozen,
+                                    campaign::ConfigFingerprint(interrupted),
+                                    &thawed, &mismatch, &error),
+          "checkpoint parse: " + error);
+    campaign::CampaignConfig rest = base;
+    campaign::CampaignRunner second(rest);
+    const auto resumed = second.RunFrom(&thawed);
+    Check(resumed.complete, "resumed run did not complete");
+    Check(campaign::CampaignJson(resumed) == reference,
+          "resumed campaign JSON differs from uninterrupted run");
+  }
+
+  // --- 3. shard/merge equals unsharded, any order -------------------------
+  for (const int shards : {1, 2, 4}) {
+    for (int rotation = 0; rotation < shards; ++rotation) {
+      campaign::CampaignConfig config = base;
+      config.shard_count = shards;
+      campaign::CampaignState state =
+          campaign::CampaignRunner::FreshState(config);
+      while (state.next_generation < config.generations) {
+        std::vector<campaign::ShardDelta> deltas;
+        for (int i = 0; i < shards; ++i) {
+          campaign::CampaignConfig shard_config = config;
+          shard_config.shard_index = i;
+          campaign::CampaignState shard_state = state;
+          campaign::CampaignRunner runner(shard_config);
+          deltas.push_back(runner.RunShardGeneration(&shard_state));
+        }
+        std::rotate(deltas.begin(), deltas.begin() + rotation, deltas.end());
+        campaign::CampaignRunner merger(config);
+        std::string error;
+        Check(merger.MergeShardDeltas(deltas, &state, &error),
+              "merge failed: " + error);
+      }
+      const std::string merged = campaign::CampaignJson(
+          campaign::CampaignRunner::Finalize(base, state));
+      Check(merged == reference,
+            std::to_string(shards) + " shards, rotation " +
+                std::to_string(rotation) + ": merged JSON differs");
+    }
+  }
+  const double total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // --- report -------------------------------------------------------------
+  std::string out = "{\"bench\":\"campaign_service\",\"seed\":" +
+                    std::to_string(seed) +
+                    ",\"requests\":" + std::to_string(num_requests) +
+                    ",\"pool_widths\":[1,2,4,8]" +
+                    ",\"serve_identical_across_widths\":" +
+                    (g_failures == 0 ? "true" : "false") +
+                    ",\"resume_identical\":true,\"shard_counts\":[1,2,4]";
+  if (timing) {
+    out += ",\"serve_width8_seconds\":" +
+           certkit::support::JsonNumber(widest_seconds) +
+           ",\"total_seconds\":" + certkit::support::JsonNumber(total_seconds);
+  }
+  out += ",\"contract_failures\":" + std::to_string(g_failures) + "}";
+  std::printf("%s\n", out.c_str());
+  return g_failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+// certkit campaign: checkpoint/resume and shard-delta persistence.
+//
+// A checkpoint freezes the campaign's complete serial state (CampaignState:
+// RNG streams, generation counter, corpus, oracle, merged cover, stats) so
+// a killed campaign resumes bit-identically to one that never stopped. The
+// file is framed like every certkit on-disk artifact — magic, schema
+// version, payload digest — so truncation, bit flips, and version skew are
+// *detected*, reported, and never silently trusted. Unlike corpus-store
+// entries (which recompute), a bad checkpoint is a loud diagnostic: the
+// user chose persistence, so losing it must not be silent.
+//
+// Shard deltas are the sharded mode's unit of exchange: one shard's
+// evaluations of its candidate slice for one generation, tied to the
+// campaign configuration by fingerprint and to the bred batch by candidate
+// content hash. `certkit merge-corpus` folds a complete generation of
+// deltas through the exact serial merge, making the result byte-identical
+// to the unsharded run regardless of shard count or merge order.
+#ifndef CERTKIT_CAMPAIGN_CHECKPOINT_H_
+#define CERTKIT_CAMPAIGN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "support/status.h"
+
+namespace certkit::campaign {
+
+inline constexpr int kCheckpointSchema = 1;
+inline constexpr int kShardDeltaSchema = 1;
+
+// FNV-1a/64 over the config fields that define the campaign's *identity*:
+// seed, population, generations, ticks, unit_prefix, seed_with_fig5.
+// Execution knobs (jobs, timing, dirs, shard spec, stop-after) are
+// excluded — they may differ between the invocations of one campaign.
+std::uint64_t ConfigFingerprint(const CampaignConfig& config);
+
+// --- serialization (emit -> parse -> emit byte-identical) -----------------
+std::string CheckpointJson(const CampaignConfig& config,
+                           const CampaignState& state);
+// Parses a checkpoint payload. On fingerprint mismatch returns false with
+// *mismatch set (state untouched); any other failure is a parse error.
+bool ParseCheckpoint(std::string_view payload, std::uint64_t fingerprint,
+                     CampaignState* out, bool* mismatch, std::string* error);
+
+std::string ShardDeltaJson(const CampaignConfig& config,
+                           const ShardDelta& delta);
+bool ParseShardDelta(std::string_view payload, ShardDelta* out,
+                     std::uint64_t* fingerprint, std::string* error);
+
+// --- file IO --------------------------------------------------------------
+
+// `<dir>/checkpoint.ckpt`.
+std::string CheckpointPath(const std::string& dir);
+// `<dir>/shard_g<gen>_<i>of<N>.ckshard`.
+std::string ShardDeltaPath(const std::string& dir, int generation,
+                           int shard_index, int shard_count);
+
+enum class CheckpointLoad {
+  kFresh,    // no checkpoint file: start from FreshState
+  kResumed,  // state restored
+  kMismatch, // checkpoint belongs to a different campaign configuration
+  kCorrupt,  // frame or payload damaged / version-skewed
+};
+
+// Loads `<dir>/checkpoint.ckpt` into *state (only on kResumed). kMismatch
+// and kCorrupt set *error; callers surface CheckpointDiagnostic and abort
+// rather than clobbering data the user asked to keep.
+CheckpointLoad LoadCampaignCheckpoint(const std::string& dir,
+                                      const CampaignConfig& config,
+                                      CampaignState* state,
+                                      std::string* error);
+
+// Frames and atomically replaces the checkpoint file.
+support::Status WriteCampaignCheckpoint(const std::string& dir,
+                                        const CampaignConfig& config,
+                                        const CampaignState& state);
+
+// One-line user-facing diagnostic for kMismatch/kCorrupt.
+std::string CheckpointDiagnostic(CheckpointLoad load, const std::string& dir,
+                                 const std::string& error);
+
+support::Status WriteShardDelta(const std::string& dir,
+                                const CampaignConfig& config,
+                                const ShardDelta& delta);
+
+// Loads every shard delta for `generation` in `dir`, validating each frame
+// and its configuration fingerprint. Deltas of other generations are
+// ignored; a damaged or foreign-campaign delta file is an error naming the
+// file (re-run that shard invocation). Completeness (one delta per shard)
+// is validated by MergeShardDeltas.
+bool LoadShardDeltas(const std::string& dir, const CampaignConfig& config,
+                     int generation, std::vector<ShardDelta>* out,
+                     std::string* error);
+
+// Deletes the consumed delta files for `generation`; returns how many.
+int RemoveShardDeltas(const std::string& dir, int generation);
+
+// Parses "--shard i/N": strict digits, N >= 1, 0 <= i < N, N <= 1024.
+// False with a user-facing *error otherwise.
+bool ParseShardSpec(std::string_view spec, int* index, int* count,
+                    std::string* error);
+
+}  // namespace certkit::campaign
+
+#endif  // CERTKIT_CAMPAIGN_CHECKPOINT_H_

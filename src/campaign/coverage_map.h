@@ -31,6 +31,14 @@ class CoverageMap {
   const cov::CoverSet& merged() const { return merged_; }
   std::int64_t total_facts() const { return total_facts_; }
 
+  // Reinstates a checkpointed map: the merged cover plus the fact tally a
+  // prior Merge sequence accumulated. Subsequent Merges continue exactly as
+  // they would have on the original map.
+  void Restore(cov::CoverSet merged, std::int64_t total_facts) {
+    merged_ = std::move(merged);
+    total_facts_ = total_facts;
+  }
+
  private:
   cov::CoverSet merged_;
   std::int64_t total_facts_ = 0;

@@ -17,8 +17,10 @@ constexpr nn::Backend kBackends[] = {
     nn::Backend::kCpuNaive, nn::Backend::kClosedSim, nn::Backend::kOpenSim};
 
 // Timing-overrun magnitudes are chosen far above any plausible deadline so
-// the watchdog verdict never depends on measured wall-clock time.
-constexpr double kOverrunSeconds = 30.0;
+// the watchdog verdict never depends on measured wall-clock time. The gap
+// to the campaign deadline (runner.cpp) must absorb sanitizer slowdowns
+// with many concurrent evaluations sharing one core.
+constexpr double kOverrunSeconds = 1.0e6;
 
 adpilot::FaultSpec MakeFault(adpilot::FaultKind kind, std::int64_t onset,
                              std::int64_t duration, double magnitude) {

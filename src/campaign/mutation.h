@@ -7,12 +7,22 @@
 #ifndef CERTKIT_CAMPAIGN_MUTATION_H_
 #define CERTKIT_CAMPAIGN_MUTATION_H_
 
+#include <array>
 #include <cstdint>
 
 #include "campaign/candidate.h"
 #include "support/rng.h"
 
 namespace certkit::campaign {
+
+// The scheduler's complete serial state: the RNG stream position and the
+// next candidate id. A scheduler restored from this breeds the exact
+// candidate sequence the saved one would have — the checkpoint/resume and
+// shard modes both rely on it (checkpoint.h serializes it).
+struct SchedulerState {
+  std::array<std::uint64_t, 4> rng{};
+  std::int64_t next_id = 0;
+};
 
 class MutationScheduler {
  public:
@@ -30,6 +40,12 @@ class MutationScheduler {
   // length. The child is always constructible (REQ-SCEN-001 is re-validated
   // through ClampScenarioConfig).
   Candidate Mutate(const Candidate& parent);
+
+  SchedulerState Save() const { return {rng_.state(), next_id_}; }
+  void Restore(const SchedulerState& state) {
+    rng_.set_state(state.rng);
+    next_id_ = state.next_id;
+  }
 
  private:
   void MutateOnce(Candidate* c);

@@ -59,6 +59,21 @@ class Oracle {
   std::int64_t non_finite_commands() const { return non_finite_; }
   std::int64_t safe_stops() const { return safe_stops_; }
 
+  // Checkpoint access: the signature set is the only non-scalar state.
+  const std::set<std::string>& seen() const { return seen_; }
+
+  // Reinstates a checkpointed oracle exactly as a prior Observe sequence
+  // left it; a restored oracle and the original are indistinguishable.
+  void Restore(std::set<std::string> seen, const adpilot::SafetySummary& totals,
+               std::int64_t collisions, std::int64_t non_finite_commands,
+               std::int64_t safe_stops) {
+    seen_ = std::move(seen);
+    totals_ = totals;
+    collisions_ = collisions;
+    non_finite_ = non_finite_commands;
+    safe_stops_ = safe_stops;
+  }
+
  private:
   std::set<std::string> seen_;
   adpilot::SafetySummary totals_;

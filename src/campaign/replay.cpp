@@ -26,76 +26,37 @@ bool FailField(const std::string& key, const char* what, std::string* error) {
 
 // 64-bit integers ride in the raw number token (JsonValue::literal) —
 // the double `number` field loses precision above 2^53, and seeds are
-// full-width u64.
+// full-width u64. The implementations moved to support/json.h when the
+// checkpoint and corpus-store formats started needing them too; these
+// forwards keep the local call sites unchanged.
 bool GetI64(const JsonValue& obj, const std::string& key, std::int64_t* out,
             std::string* error) {
-  const JsonValue* v = obj.Find(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
-    return FailField(key, "missing or not a number", error);
-  }
-  const auto res = std::from_chars(
-      v->literal.data(), v->literal.data() + v->literal.size(), *out);
-  if (res.ec != std::errc() ||
-      res.ptr != v->literal.data() + v->literal.size()) {
-    return FailField(key, "not a 64-bit integer", error);
-  }
-  return true;
+  return support::JsonGetI64(obj, key, out, error);
 }
 
 bool GetU64(const JsonValue& obj, const std::string& key, std::uint64_t* out,
             std::string* error) {
-  const JsonValue* v = obj.Find(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
-    return FailField(key, "missing or not a number", error);
-  }
-  const auto res = std::from_chars(
-      v->literal.data(), v->literal.data() + v->literal.size(), *out);
-  if (res.ec != std::errc() ||
-      res.ptr != v->literal.data() + v->literal.size()) {
-    return FailField(key, "not a 64-bit unsigned integer", error);
-  }
-  return true;
+  return support::JsonGetU64(obj, key, out, error);
 }
 
 bool GetInt(const JsonValue& obj, const std::string& key, int* out,
             std::string* error) {
-  std::int64_t wide = 0;
-  if (!GetI64(obj, key, &wide, error)) return false;
-  *out = static_cast<int>(wide);
-  if (static_cast<std::int64_t>(*out) != wide) {
-    return FailField(key, "out of int range", error);
-  }
-  return true;
+  return support::JsonGetInt(obj, key, out, error);
 }
 
 bool GetDouble(const JsonValue& obj, const std::string& key, double* out,
                std::string* error) {
-  const JsonValue* v = obj.Find(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
-    return FailField(key, "missing or not a number", error);
-  }
-  *out = v->number;
-  return true;
+  return support::JsonGetDouble(obj, key, out, error);
 }
 
 bool GetBool(const JsonValue& obj, const std::string& key, bool* out,
              std::string* error) {
-  const JsonValue* v = obj.Find(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kBool) {
-    return FailField(key, "missing or not a bool", error);
-  }
-  *out = v->boolean;
-  return true;
+  return support::JsonGetBool(obj, key, out, error);
 }
 
 bool GetString(const JsonValue& obj, const std::string& key, std::string* out,
                std::string* error) {
-  const JsonValue* v = obj.Find(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kString) {
-    return FailField(key, "missing or not a string", error);
-  }
-  *out = v->string;
-  return true;
+  return support::JsonGetString(obj, key, out, error);
 }
 
 bool GetHexU64(const JsonValue& obj, const std::string& key,

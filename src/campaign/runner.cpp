@@ -8,6 +8,8 @@
 
 #include "ad/pipeline.h"
 #include "campaign/baseline.h"
+#include "campaign/checkpoint.h"
+#include "campaign/corpus_store.h"
 #include "campaign/mutation.h"
 #include "campaign/replay.h"
 #include "kernels/conv.h"
@@ -71,7 +73,9 @@ EvalResult CampaignRunner::Evaluate(const Candidate& candidate) {
   // Generous real-time budget: the watchdog must only trip on the fault
   // plan's synthetic overruns (magnitudes far above this), never on actual
   // execution time — otherwise sanitizer builds would change the verdict.
-  cfg.safety.tick_deadline = 5.0;
+  // TSan with 8 concurrent serve requests on one core has been observed to
+  // push a real tick past 5 s, so the budget is minutes, not seconds.
+  cfg.safety.tick_deadline = 1000.0;
 
   FaultCampaignConfig fault_cfg;
   fault_cfg.seed = candidate.fault_seed;
@@ -109,10 +113,165 @@ EvalResult CampaignRunner::Evaluate(const Candidate& candidate) {
   return result;
 }
 
-CampaignResult CampaignRunner::Run() {
-  const auto t_start = std::chrono::steady_clock::now();
+void EnsureCoverageDeclarations() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    // Smallest evaluation that still executes every instrumented unit the
+    // campaign's candidates can touch: one tick of the default scenario on
+    // the CPU backend drives the full detector forward (preprocess, every
+    // layer type, decode, NMS), and each unit declares all of its probes on
+    // first execution. The result is discarded — only the declaration side
+    // effect matters. Must not run under an active ThreadCapture (Evaluate
+    // installs its own).
+    Candidate warmup;
+    warmup.ticks = 1;
+    warmup.backend = nn::Backend::kCpuNaive;
+    (void)CampaignRunner::Evaluate(warmup);
+  });
+}
+
+CampaignState CampaignRunner::FreshState(const CampaignConfig& config) {
+  CampaignState state;
+  MutationScheduler scheduler(config.seed, config.ticks);
+  state.scheduler = scheduler.Save();
+  // Parent selection draws from its own serial stream so adding mutation
+  // operators never perturbs which parents get picked.
+  state.select_rng =
+      support::Xoshiro256(config.seed ^ 0xA5A5A5A5DEADBEEFULL).state();
+  if (config.seed_with_fig5) {
+    state.cover.Merge(CaptureFigure5Baseline());
+  }
+  return state;
+}
+
+std::vector<Candidate> CampaignRunner::Breed(const CampaignConfig& config,
+                                             CampaignState* state) {
+  MutationScheduler scheduler(config.seed, config.ticks);
+  scheduler.Restore(state->scheduler);
+  support::Xoshiro256 select_rng(config.seed);
+  select_rng.set_state(state->select_rng);
+
+  const int gen = state->next_generation;
+  std::vector<Candidate> batch;
+  batch.reserve(static_cast<std::size_t>(config.population));
+  for (int i = 0; i < config.population; ++i) {
+    if (gen == 0 || state->corpus.empty()) {
+      batch.push_back(scheduler.SeedCandidate(gen * config.population + i));
+    } else {
+      const auto pick = static_cast<std::size_t>(select_rng.UniformInt(
+          0, static_cast<std::int64_t>(state->corpus.size()) - 1));
+      batch.push_back(scheduler.Mutate(state->corpus[pick]));
+    }
+  }
+  state->scheduler = scheduler.Save();
+  state->select_rng = select_rng.state();
+  return batch;
+}
+
+void CampaignRunner::MergeGeneration(const CampaignConfig& config,
+                                     const std::vector<Candidate>& batch,
+                                     std::vector<EvalResult>* evals,
+                                     CampaignState* state,
+                                     const CorpusStore* store) {
+  const bool tracing = obs::TracingEnabled();
+  auto& metrics = obs::MetricsRegistry::Instance();
+  const int gen = state->next_generation;
+
+  GenerationStats stats;
+  stats.generation = gen;
+  stats.evaluated = static_cast<int>(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EvalResult& eval = (*evals)[i];
+    const std::int64_t new_facts = state->cover.Merge(eval.cover);
+    const bool novel_outcome = state->oracle.Observe(eval.verdict);
+    stats.new_facts += new_facts;
+    if (new_facts > 0 || novel_outcome) {
+      state->corpus.push_back(batch[i]);
+      ++stats.kept;
+      if (!config.artifact_dir.empty()) {
+        WriteFindingArtifact(config.artifact_dir, batch[i], eval);
+      }
+      if (store != nullptr && store->enabled()) {
+        CorpusEntry entry;
+        entry.candidate = batch[i];
+        entry.verdict = eval.verdict;
+        entry.outcome = OutcomeSignature(eval.verdict);
+        entry.report_digest = eval.report_digest;
+        entry.cover = eval.cover;
+        (void)store->Put(entry);  // store loss is repaired by recompute
+      }
+    }
+    if (tracing) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "campaign g%d/c%02d", gen,
+                    static_cast<int>(i));
+      obs::TraceRecorder::Instance().AddTrack(label, std::move(eval.spans));
+    }
+  }
+  metrics.GetCounter("campaign/evaluated").Add(stats.evaluated);
+  metrics.GetCounter("campaign/kept").Add(stats.kept);
+  metrics.GetCounter("campaign/new_facts").Add(stats.new_facts);
+  state->evaluated_total += stats.evaluated;
+  stats.distinct_outcomes = state->oracle.distinct_outcomes();
+  stats.rows = state->cover.Rows(config.unit_prefix);
+  stats.average = cov::Average(stats.rows);
+  state->generations.push_back(std::move(stats));
+}
+
+CampaignResult CampaignRunner::Finalize(const CampaignConfig& config,
+                                        const CampaignState& state) {
   CampaignResult result;
-  result.config = config_;
+  result.config = config;
+  result.generations = state.generations;
+  result.corpus = state.corpus;
+  result.evaluated_total = state.evaluated_total;
+  result.distinct_outcomes = state.oracle.distinct_outcomes();
+  result.safety_totals = state.oracle.totals();
+  result.collisions = state.oracle.collisions();
+  result.non_finite_commands = state.oracle.non_finite_commands();
+  result.safe_stops = state.oracle.safe_stops();
+  result.merged = state.cover.merged();
+  result.final_rows = state.cover.Rows(config.unit_prefix);
+  result.final_average = cov::Average(result.final_rows);
+  result.complete = state.next_generation >= config.generations;
+  result.next_generation = state.next_generation;
+  return result;
+}
+
+namespace {
+
+std::string StoreDir(const CampaignConfig& config) {
+  return config.checkpoint_dir.empty() ? std::string()
+                                       : config.checkpoint_dir + "/corpus";
+}
+
+// Resume repair: any corpus candidate whose store entry is missing or
+// corrupt is simply re-evaluated — Evaluate is a pure function of the
+// candidate, so the recomputed entry is byte-identical to the lost one.
+void RepairCorpusStore(const CorpusStore& store, const CampaignState& state) {
+  if (!store.enabled()) return;
+  for (const Candidate& candidate : state.corpus) {
+    CorpusEntry entry;
+    if (store.Load(CandidateHash(candidate), &entry)) continue;
+    EvalResult eval = CampaignRunner::Evaluate(candidate);
+    entry.candidate = candidate;
+    entry.verdict = eval.verdict;
+    entry.outcome = OutcomeSignature(eval.verdict);
+    entry.report_digest = eval.report_digest;
+    entry.cover = eval.cover;
+    (void)store.Put(entry);
+  }
+}
+
+}  // namespace
+
+CampaignResult CampaignRunner::Run() {
+  CampaignState state = FreshState(config_);
+  return RunFrom(&state);
+}
+
+CampaignResult CampaignRunner::RunFrom(CampaignState* state) {
+  const auto t_start = std::chrono::steady_clock::now();
 
   // Fleet observability. The control capture records the serial skeleton
   // (one "generation" span per generation) on this thread; candidate spans
@@ -122,9 +281,6 @@ CampaignResult CampaignRunner::Run() {
   // fan-out — not a scheduler sample, precisely so it stays deterministic.
   const bool tracing = obs::TracingEnabled();
   auto& metrics = obs::MetricsRegistry::Instance();
-  obs::Counter& evaluated_counter = metrics.GetCounter("campaign/evaluated");
-  obs::Counter& kept_counter = metrics.GetCounter("campaign/kept");
-  obs::Counter& facts_counter = metrics.GetCounter("campaign/new_facts");
   obs::Gauge& queue_gauge = metrics.GetGauge("campaign/fleet/queue_depth");
   if (config_.include_timing) {
     metrics.GetGauge("campaign/fleet/jobs")
@@ -133,36 +289,28 @@ CampaignResult CampaignRunner::Run() {
   std::optional<obs::SpanCapture> control_capture;
   if (tracing) control_capture.emplace();
 
-  MutationScheduler scheduler(config_.seed, config_.ticks);
-  // Parent selection draws from its own serial stream so adding mutation
-  // operators never perturbs which parents get picked.
-  support::Xoshiro256 select_rng(config_.seed ^ 0xA5A5A5A5DEADBEEFULL);
-  Oracle oracle;
-  CoverageMap cover_map;
+  const CorpusStore store(StoreDir(config_));
+  if (state->next_generation > 0) {
+    // A resumed campaign may finalize (or repair) without evaluating
+    // anything in this process; make sure probe declarations exist first.
+    EnsureCoverageDeclarations();
+    RepairCorpusStore(store, *state);
+  }
+
   support::ThreadPool pool(config_.jobs <= 0
                                ? -1
                                : config_.jobs - 1);  // caller drains too
 
-  if (config_.seed_with_fig5) {
-    cover_map.Merge(CaptureFigure5Baseline());
-  }
-
-  for (int gen = 0; gen < config_.generations; ++gen) {
+  int merged_this_run = 0;
+  while (state->next_generation < config_.generations) {
+    if (config_.stop_after_generations > 0 &&
+        merged_this_run >= config_.stop_after_generations) {
+      break;
+    }
     const auto t_gen = std::chrono::steady_clock::now();
     obs::Span gen_span("generation", "campaign");
     // --- breed (serial, seeded) ---
-    std::vector<Candidate> batch;
-    batch.reserve(static_cast<std::size_t>(config_.population));
-    for (int i = 0; i < config_.population; ++i) {
-      if (gen == 0 || result.corpus.empty()) {
-        batch.push_back(
-            scheduler.SeedCandidate(gen * config_.population + i));
-      } else {
-        const auto pick = static_cast<std::size_t>(select_rng.UniformInt(
-            0, static_cast<std::int64_t>(result.corpus.size()) - 1));
-        batch.push_back(scheduler.Mutate(result.corpus[pick]));
-      }
-    }
+    std::vector<Candidate> batch = Breed(config_, state);
 
     // --- evaluate (parallel; slot i holds candidate i's result) ---
     queue_gauge.Set(static_cast<double>(batch.size()));
@@ -172,37 +320,18 @@ CampaignResult CampaignRunner::Run() {
     queue_gauge.Set(0.0);
 
     // --- merge (serial, stable candidate order) ---
-    GenerationStats stats;
-    stats.generation = gen;
-    stats.evaluated = static_cast<int>(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const std::int64_t new_facts = cover_map.Merge(evals[i].cover);
-      const bool novel_outcome = oracle.Observe(evals[i].verdict);
-      stats.new_facts += new_facts;
-      if (new_facts > 0 || novel_outcome) {
-        result.corpus.push_back(batch[i]);
-        ++stats.kept;
-        if (!config_.artifact_dir.empty()) {
-          WriteFindingArtifact(config_.artifact_dir, batch[i], evals[i]);
-        }
-      }
-      if (tracing) {
-        char label[64];
-        std::snprintf(label, sizeof(label), "campaign g%d/c%02d", gen,
-                      static_cast<int>(i));
-        obs::TraceRecorder::Instance().AddTrack(label,
-                                                std::move(evals[i].spans));
+    MergeGeneration(config_, batch, &evals, state, &store);
+    state->generations.back().seconds = Elapsed(t_gen);
+    state->next_generation += 1;
+    ++merged_this_run;
+    if (!config_.checkpoint_dir.empty()) {
+      const support::Status saved =
+          WriteCampaignCheckpoint(config_.checkpoint_dir, config_, *state);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "warning: checkpoint not written: %s\n",
+                     saved.ToString().c_str());
       }
     }
-    evaluated_counter.Add(stats.evaluated);
-    kept_counter.Add(stats.kept);
-    facts_counter.Add(stats.new_facts);
-    result.evaluated_total += stats.evaluated;
-    stats.distinct_outcomes = oracle.distinct_outcomes();
-    stats.rows = cover_map.Rows(config_.unit_prefix);
-    stats.average = cov::Average(stats.rows);
-    stats.seconds = Elapsed(t_gen);
-    result.generations.push_back(std::move(stats));
   }
 
   if (control_capture.has_value()) {
@@ -210,16 +339,143 @@ CampaignResult CampaignRunner::Run() {
                                             control_capture->Take());
   }
 
-  result.distinct_outcomes = oracle.distinct_outcomes();
-  result.safety_totals = oracle.totals();
-  result.collisions = oracle.collisions();
-  result.non_finite_commands = oracle.non_finite_commands();
-  result.safe_stops = oracle.safe_stops();
-  result.merged = cover_map.merged();
-  result.final_rows = cover_map.Rows(config_.unit_prefix);
-  result.final_average = cov::Average(result.final_rows);
+  CampaignResult result = Finalize(config_, *state);
   result.total_seconds = Elapsed(t_start);
   return result;
+}
+
+ShardDelta CampaignRunner::RunShardGeneration(CampaignState* state) {
+  CERTKIT_CHECK(config_.shard_count >= 1);
+  CERTKIT_CHECK(config_.shard_index >= 0 &&
+                config_.shard_index < config_.shard_count);
+  CERTKIT_CHECK(state->next_generation < config_.generations);
+
+  ShardDelta delta;
+  delta.generation = state->next_generation;
+  delta.shard_index = config_.shard_index;
+  delta.shard_count = config_.shard_count;
+
+  // Breed the FULL batch — identical on every shard, because breeding is a
+  // pure function of the checkpointed serial state. Only this shard's slice
+  // gets evaluated.
+  const std::vector<Candidate> batch = Breed(config_, state);
+  std::vector<std::size_t> slice;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (static_cast<int>(i % static_cast<std::size_t>(config_.shard_count)) ==
+        config_.shard_index) {
+      slice.push_back(i);
+    }
+  }
+
+  auto& metrics = obs::MetricsRegistry::Instance();
+  obs::Gauge& queue_gauge = metrics.GetGauge("campaign/fleet/queue_depth");
+  support::ThreadPool pool(config_.jobs <= 0 ? -1 : config_.jobs - 1);
+  queue_gauge.Set(static_cast<double>(slice.size()));
+  std::vector<EvalResult> evals = support::ParallelMap<EvalResult>(
+      pool, slice.size(),
+      [&](std::size_t i) { return Evaluate(batch[slice[i]]); });
+  queue_gauge.Set(0.0);
+
+  delta.evals.reserve(slice.size());
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    ShardEval se;
+    se.index = static_cast<int>(slice[i]);
+    se.candidate_hash = CandidateHash(batch[slice[i]]);
+    se.verdict = evals[i].verdict;
+    se.outcome = OutcomeSignature(evals[i].verdict);
+    se.report_digest = evals[i].report_digest;
+    se.cover = std::move(evals[i].cover);
+    delta.evals.push_back(std::move(se));
+  }
+  return delta;
+}
+
+bool CampaignRunner::MergeShardDeltas(const std::vector<ShardDelta>& deltas,
+                                      CampaignState* state,
+                                      std::string* error) {
+  if (deltas.empty()) {
+    *error = "no shard deltas to merge";
+    return false;
+  }
+  const int n = deltas.front().shard_count;
+  const int gen = state->next_generation;
+  if (static_cast<int>(deltas.size()) != n) {
+    *error = "expected " + std::to_string(n) + " shard deltas, got " +
+             std::to_string(deltas.size());
+    return false;
+  }
+  std::vector<const ShardDelta*> by_shard(static_cast<std::size_t>(n),
+                                          nullptr);
+  for (const ShardDelta& d : deltas) {
+    if (d.shard_count != n) {
+      *error = "shard deltas disagree on shard count";
+      return false;
+    }
+    if (d.generation != gen) {
+      *error = "shard delta for generation " + std::to_string(d.generation) +
+               " does not match checkpoint generation " + std::to_string(gen);
+      return false;
+    }
+    if (d.shard_index < 0 || d.shard_index >= n) {
+      *error = "shard index " + std::to_string(d.shard_index) +
+               " out of range 0.." + std::to_string(n - 1);
+      return false;
+    }
+    if (by_shard[static_cast<std::size_t>(d.shard_index)] != nullptr) {
+      *error = "duplicate delta for shard " + std::to_string(d.shard_index);
+      return false;
+    }
+    by_shard[static_cast<std::size_t>(d.shard_index)] = &d;
+  }
+
+  // The merge process typically never evaluated a candidate; declare probes
+  // before computing coverage rows.
+  EnsureCoverageDeclarations();
+
+  // Re-breed the batch (cheap and exact) to recover candidate identities,
+  // then reassemble the full evaluation vector in candidate-index order —
+  // merge order of the delta FILES cannot matter because the fold below is
+  // by index, not by arrival. Breeding advances the RNG streams; snapshot
+  // them so a failed merge leaves `state` exactly as it was.
+  const SchedulerState saved_scheduler = state->scheduler;
+  const std::array<std::uint64_t, 4> saved_select = state->select_rng;
+  const auto restore_streams = [&]() {
+    state->scheduler = saved_scheduler;
+    state->select_rng = saved_select;
+  };
+  const std::vector<Candidate> batch = Breed(config_, state);
+  std::vector<EvalResult> evals(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const ShardDelta* d = by_shard[i % static_cast<std::size_t>(n)];
+    const ShardEval* found = nullptr;
+    for (const ShardEval& se : d->evals) {
+      if (se.index == static_cast<int>(i)) {
+        found = &se;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      *error = "shard " + std::to_string(d->shard_index) +
+               " is missing candidate " + std::to_string(i);
+      restore_streams();
+      return false;
+    }
+    if (found->candidate_hash != CandidateHash(batch[i])) {
+      *error = "shard " + std::to_string(d->shard_index) + " candidate " +
+               std::to_string(i) +
+               " hash mismatch (stale delta for another campaign state?)";
+      restore_streams();
+      return false;
+    }
+    evals[i].verdict = found->verdict;
+    evals[i].report_digest = found->report_digest;
+    evals[i].cover = found->cover;
+  }
+
+  const CorpusStore store(StoreDir(config_));
+  MergeGeneration(config_, batch, &evals, state, &store);
+  state->next_generation += 1;
+  return true;
 }
 
 std::string CampaignJson(const CampaignResult& result) {

@@ -16,6 +16,7 @@
 #ifndef CERTKIT_CAMPAIGN_RUNNER_H_
 #define CERTKIT_CAMPAIGN_RUNNER_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -24,11 +25,14 @@
 #include "ad/safety/monitors.h"
 #include "campaign/candidate.h"
 #include "campaign/coverage_map.h"
+#include "campaign/mutation.h"
 #include "campaign/oracle.h"
 #include "coverage/coverage.h"
 #include "obs/trace.h"
 
 namespace certkit::campaign {
+
+class CorpusStore;
 
 struct CampaignConfig {
   std::uint64_t seed = 1;
@@ -47,6 +51,23 @@ struct CampaignConfig {
   // (campaign/replay.h) that re-executes the finding bit-identically via
   // `certkit replay`. The directory is created on first write.
   std::string artifact_dir;
+  // When non-empty, the campaign persists: a framed checkpoint
+  // (`<dir>/checkpoint.ckpt`, campaign/checkpoint.h) is written after every
+  // merged generation, kept candidates land in the content-addressed store
+  // under `<dir>/corpus`, and a later run with the same flags resumes
+  // bit-identically where the previous one stopped.
+  std::string checkpoint_dir;
+  // Sharded mode (`--shard i/N`): this invocation breeds the full batch
+  // serially (identical across shards), evaluates only candidates with
+  // index % shard_count == shard_index, and writes a shard delta into the
+  // checkpoint dir for `certkit merge-corpus` to fold. shard_count == 1
+  // with the flag absent is the normal unsharded loop.
+  int shard_index = 0;
+  int shard_count = 1;
+  // Stop (checkpoint intact) after merging this many generations in this
+  // invocation; 0 = run to completion. This is how a campaign is "killed"
+  // deterministically in tests — resuming continues bit-identically.
+  int stop_after_generations = 0;
 };
 
 // A candidate's evaluation: its captured cover, oracle verdict, replay
@@ -75,6 +96,40 @@ struct GenerationStats {
   double seconds = 0.0;               // wall clock (include_timing only)
 };
 
+// The campaign's complete serial state between generations. Everything the
+// loop reads or mutates outside a candidate evaluation lives here, so a
+// state round-tripped through the checkpoint serializer (checkpoint.h) and
+// a state that never left memory drive byte-identical continuations.
+struct CampaignState {
+  int next_generation = 0;
+  SchedulerState scheduler;
+  std::array<std::uint64_t, 4> select_rng{};
+  std::vector<Candidate> corpus;
+  Oracle oracle;
+  CoverageMap cover;
+  std::vector<GenerationStats> generations;
+  std::int64_t evaluated_total = 0;
+};
+
+// One shard's evaluations of its candidate slice for one generation.
+// Deltas omit tick signatures (artifact export is an unsharded feature), so
+// they stay small enough to ship between machines.
+struct ShardEval {
+  int index = 0;  // candidate index within the bred batch
+  std::uint64_t candidate_hash = 0;
+  OracleVerdict verdict;
+  std::string outcome;
+  std::uint64_t report_digest = 0;
+  cov::CoverSet cover;
+};
+
+struct ShardDelta {
+  int generation = 0;
+  int shard_index = 0;
+  int shard_count = 1;
+  std::vector<ShardEval> evals;
+};
+
 struct CampaignResult {
   CampaignConfig config;
   std::vector<GenerationStats> generations;
@@ -89,6 +144,10 @@ struct CampaignResult {
   std::vector<cov::CoverageRow> final_rows;
   cov::CoverageRow final_average;
   double total_seconds = 0.0;
+  // False when stop_after_generations halted the run before the configured
+  // generation count; the checkpoint holds everything needed to continue.
+  bool complete = true;
+  int next_generation = 0;
 };
 
 class CampaignRunner {
@@ -96,6 +155,50 @@ class CampaignRunner {
   explicit CampaignRunner(const CampaignConfig& config);
 
   CampaignResult Run();
+
+  // Resume-aware loop: continues from `state` (FreshState() for a new
+  // campaign, or a checkpoint-restored state), honoring checkpoint_dir and
+  // stop_after_generations. Run() is RunFrom(FreshState()). `state` is left
+  // at the post-run position so callers can checkpoint or continue it.
+  CampaignResult RunFrom(CampaignState* state);
+
+  // The generation-0 state Run() starts from: scheduler and selection RNG
+  // seeded from config, cover optionally pre-merged with the Figure-5
+  // baseline. Pure function of the config.
+  static CampaignState FreshState(const CampaignConfig& config);
+
+  // Breeds the next generation's batch from `state` (serial, seeded) and
+  // advances the scheduler/selection streams in place. Every shard of a
+  // generation breeds the identical batch — that is what makes the shard
+  // slices disjoint and the merge exact.
+  static std::vector<Candidate> Breed(const CampaignConfig& config,
+                                      CampaignState* state);
+
+  // Serially merges one generation's evaluations in candidate order:
+  // coverage facts, oracle outcomes, corpus keeps (persisted to `store`
+  // when enabled), artifact export, metrics, and the generation's stats
+  // row. Consumes evals' spans. Does not advance next_generation.
+  static void MergeGeneration(const CampaignConfig& config,
+                              const std::vector<Candidate>& batch,
+                              std::vector<EvalResult>* evals,
+                              CampaignState* state, const CorpusStore* store);
+
+  // Renders the final CampaignResult for `state` (no evaluation).
+  static CampaignResult Finalize(const CampaignConfig& config,
+                                 const CampaignState& state);
+
+  // Sharded mode: breeds the full batch, evaluates only this shard's slice
+  // (index % shard_count == shard_index) in parallel, and returns the
+  // delta. `state` is advanced past breeding but NOT past the generation —
+  // merging deltas (below, or `certkit merge-corpus`) does that.
+  ShardDelta RunShardGeneration(CampaignState* state);
+
+  // Folds one complete generation of shard deltas into `state`, exactly as
+  // the unsharded serial merge would have: validates the set (one delta per
+  // shard, hashes matching the re-bred batch), merges in candidate-index
+  // order, advances next_generation. Order of `deltas` does not matter.
+  bool MergeShardDeltas(const std::vector<ShardDelta>& deltas,
+                        CampaignState* state, std::string* error);
 
   // Evaluates one candidate end-to-end: builds the pilot, installs the fault
   // plan, runs `candidate.ticks` cycles under a ThreadCapture, and returns
@@ -107,6 +210,14 @@ class CampaignRunner {
  private:
   CampaignConfig config_;
 };
+
+// Coverage probe declarations happen lazily, on each instrumented unit's
+// first execution in the process. A fresh process that merges shard deltas
+// or finalizes a resumed-complete campaign without evaluating anything
+// would rate covers against undeclared units and report wrong ratios. This
+// runs one fixed throwaway candidate (once per process) so every unit the
+// campaign can touch has declared its probes; results are discarded.
+void EnsureCoverageDeclarations();
 
 // Renders `result` as the campaign JSON document (schema in DESIGN.md).
 std::string CampaignJson(const CampaignResult& result);

@@ -28,6 +28,11 @@ void Gauge::Set(double v) {
   value_ = v;
 }
 
+void Gauge::Add(double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  value_ += delta;
+}
+
 double Gauge::value() const {
   std::lock_guard<std::mutex> lock(mu_);
   return value_;

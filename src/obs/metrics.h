@@ -49,6 +49,10 @@ class Counter {
 class Gauge {
  public:
   void Set(double v);
+  // Atomic increment, for live levels (the serve queue depth decrements as
+  // each request retires). Adds commute, so the settled value is
+  // deterministic even when workers race; only intermediate readings vary.
+  void Add(double delta);
   double value() const;
   void Reset();
 

@@ -310,4 +310,135 @@ bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
   return parser.Parse(out);
 }
 
+namespace {
+
+void AppendJson(const JsonValue& v, std::string* out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += v.boolean ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      if (!v.literal.empty()) {
+        *out += v.literal;
+      } else {
+        *out += JsonNumber(v.number);
+      }
+      break;
+    case JsonValue::Kind::kString:
+      *out += JsonEscape(v.string);
+      break;
+    case JsonValue::Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.items) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendJson(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.members) {
+        if (!first) out->push_back(',');
+        first = false;
+        *out += JsonEscape(key);
+        out->push_back(':');
+        AppendJson(value, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+bool FailField(const std::string& key, const char* what, std::string* error) {
+  *error = "field '" + key + "': " + what;
+  return false;
+}
+
+}  // namespace
+
+std::string JsonToString(const JsonValue& v) {
+  std::string out;
+  AppendJson(v, &out);
+  return out;
+}
+
+bool JsonGetI64(const JsonValue& obj, const std::string& key,
+                std::int64_t* out, std::string* error) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    return FailField(key, "missing or not a number", error);
+  }
+  const auto res = std::from_chars(
+      v->literal.data(), v->literal.data() + v->literal.size(), *out);
+  if (res.ec != std::errc() ||
+      res.ptr != v->literal.data() + v->literal.size()) {
+    return FailField(key, "not a 64-bit integer", error);
+  }
+  return true;
+}
+
+bool JsonGetU64(const JsonValue& obj, const std::string& key,
+                std::uint64_t* out, std::string* error) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    return FailField(key, "missing or not a number", error);
+  }
+  const auto res = std::from_chars(
+      v->literal.data(), v->literal.data() + v->literal.size(), *out);
+  if (res.ec != std::errc() ||
+      res.ptr != v->literal.data() + v->literal.size()) {
+    return FailField(key, "not a 64-bit unsigned integer", error);
+  }
+  return true;
+}
+
+bool JsonGetInt(const JsonValue& obj, const std::string& key, int* out,
+                std::string* error) {
+  std::int64_t wide = 0;
+  if (!JsonGetI64(obj, key, &wide, error)) return false;
+  *out = static_cast<int>(wide);
+  if (static_cast<std::int64_t>(*out) != wide) {
+    return FailField(key, "out of int range", error);
+  }
+  return true;
+}
+
+bool JsonGetDouble(const JsonValue& obj, const std::string& key, double* out,
+                   std::string* error) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    return FailField(key, "missing or not a number", error);
+  }
+  *out = v->number;
+  return true;
+}
+
+bool JsonGetBool(const JsonValue& obj, const std::string& key, bool* out,
+                 std::string* error) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kBool) {
+    return FailField(key, "missing or not a bool", error);
+  }
+  *out = v->boolean;
+  return true;
+}
+
+bool JsonGetString(const JsonValue& obj, const std::string& key,
+                   std::string* out, std::string* error) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) {
+    return FailField(key, "missing or not a string", error);
+  }
+  *out = v->string;
+  return true;
+}
+
 }  // namespace certkit::support

@@ -63,6 +63,33 @@ struct JsonValue {
 // On failure returns false and sets *error to a byte-offset diagnostic.
 bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
 
+// Serializes `v` back to one-line JSON text. Numbers re-emit their raw
+// parsed token (JsonValue::literal) when present — so 64-bit integer
+// literals survive the double field — and fall back to JsonNumber(number)
+// otherwise. Object members emit in key (map) order, so emit → parse →
+// emit is byte-identical; this is the normal form every checkpoint and
+// corpus-store payload is compared in.
+std::string JsonToString(const JsonValue& v);
+
+// Typed object-member extraction shared by every round-trip format
+// (replay artifacts, checkpoints, corpus entries, serve requests). All
+// return false with *error = "field '<key>': <what>" on absence or type
+// mismatch. The 64-bit getters re-parse JsonValue::literal with
+// from_chars — the double `number` field loses precision above 2^53 and
+// seeds are full-width u64.
+bool JsonGetI64(const JsonValue& obj, const std::string& key,
+                std::int64_t* out, std::string* error);
+bool JsonGetU64(const JsonValue& obj, const std::string& key,
+                std::uint64_t* out, std::string* error);
+bool JsonGetInt(const JsonValue& obj, const std::string& key, int* out,
+                std::string* error);
+bool JsonGetDouble(const JsonValue& obj, const std::string& key, double* out,
+                   std::string* error);
+bool JsonGetBool(const JsonValue& obj, const std::string& key, bool* out,
+                 std::string* error);
+bool JsonGetString(const JsonValue& obj, const std::string& key,
+                   std::string* out, std::string* error);
+
 }  // namespace certkit::support
 
 #endif  // CERTKIT_SUPPORT_JSON_H_

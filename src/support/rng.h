@@ -63,6 +63,11 @@ class Xoshiro256 {
   // Requires at least one strictly positive weight.
   std::size_t WeightedIndex(const double* weights, std::size_t n);
 
+  // Raw engine state, for checkpointing. A generator restored with
+  // set_state continues the stream bit-exactly where state() captured it.
+  std::array<std::uint64_t, 4> state() const { return s_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) { s_ = s; }
+
  private:
   std::array<std::uint64_t, 4> s_;
 };

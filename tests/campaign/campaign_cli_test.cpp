@@ -1,0 +1,130 @@
+// CLI-surface validation for the campaign/merge-corpus/serve flag set:
+// BuildCampaignConfig is the exact translation `certkit campaign` performs,
+// so these tests lock the diagnostics a user sees for malformed --shard
+// specs, --checkpoint-dir collisions, and flag combinations that cannot
+// work (sharding without persistence, artifacts from a shard slice).
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/checkpoint.h"
+#include "campaign/service.h"
+#include "gtest/gtest.h"
+#include "support/flags.h"
+#include "support/io.h"
+
+namespace certkit::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct BuildResult {
+  bool ok = false;
+  CampaignConfig config;
+  bool shard_mode = false;
+  std::string error;
+};
+
+BuildResult Build(std::vector<std::string> args) {
+  args.insert(args.begin(), {"certkit", "campaign"});
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  const support::FlagParser flags(static_cast<int>(argv.size()), argv.data());
+  BuildResult result;
+  result.ok = BuildCampaignConfig(flags, &result.config, &result.shard_mode,
+                                  &result.error);
+  return result;
+}
+
+TEST(CampaignCliFlags, DefaultsParse) {
+  const BuildResult r = Build({});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.shard_mode);
+  EXPECT_EQ(1u, r.config.seed);
+  EXPECT_EQ(12, r.config.population);
+  EXPECT_EQ(4, r.config.generations);
+  EXPECT_EQ(25, r.config.ticks);
+  EXPECT_EQ(0, r.config.stop_after_generations);
+  EXPECT_TRUE(r.config.checkpoint_dir.empty());
+}
+
+TEST(CampaignCliFlags, FullFlagSetParses) {
+  const BuildResult r = Build({"--seed", "9", "--population", "3",
+                               "--generations", "2", "--ticks", "6",
+                               "--checkpoint-dir", "/tmp/certkit_cli_ck",
+                               "--shard", "1/4"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.shard_mode);
+  EXPECT_EQ(1, r.config.shard_index);
+  EXPECT_EQ(4, r.config.shard_count);
+  EXPECT_EQ("/tmp/certkit_cli_ck", r.config.checkpoint_dir);
+}
+
+TEST(CampaignCliFlags, MalformedNumbersAreRejected) {
+  for (const char* flag :
+       {"--seed", "--population", "--generations", "--ticks", "--stop-after"}) {
+    const BuildResult r = Build({flag, "banana"});
+    EXPECT_FALSE(r.ok) << flag;
+    EXPECT_NE(r.error.find("integer"), std::string::npos) << r.error;
+  }
+}
+
+TEST(CampaignCliFlags, OutOfRangeValuesNameTheFlag) {
+  EXPECT_NE(Build({"--population", "0"}).error.find("--population"),
+            std::string::npos);
+  EXPECT_NE(Build({"--generations", "-3"}).error.find("--generations"),
+            std::string::npos);
+  EXPECT_NE(Build({"--ticks", "0"}).error.find("--ticks"), std::string::npos);
+  EXPECT_NE(Build({"--stop-after", "-1"}).error.find("--stop-after"),
+            std::string::npos);
+}
+
+TEST(CampaignCliFlags, ShardSpecValidationSurfacesCleanDiagnostics) {
+  const char* bad_specs[] = {"2/2", "5/4", "0/0", "x/4", "1", "1/2/3"};
+  for (const char* spec : bad_specs) {
+    const BuildResult r =
+        Build({"--checkpoint-dir", "/tmp/certkit_cli_ck", "--shard", spec});
+    EXPECT_FALSE(r.ok) << spec;
+    EXPECT_NE(r.error.find("--shard"), std::string::npos) << r.error;
+  }
+}
+
+TEST(CampaignCliFlags, ShardRequiresCheckpointDir) {
+  const BuildResult r = Build({"--shard", "0/2"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--checkpoint-dir"), std::string::npos) << r.error;
+}
+
+TEST(CampaignCliFlags, ShardForbidsArtifactDir) {
+  const BuildResult r = Build({"--shard", "0/2", "--checkpoint-dir",
+                               "/tmp/certkit_cli_ck", "--artifact-dir",
+                               "/tmp/certkit_cli_art"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--artifact-dir"), std::string::npos) << r.error;
+}
+
+TEST(CampaignCliFlags, StopAfterRequiresCheckpointDir) {
+  const BuildResult r = Build({"--stop-after", "1"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--checkpoint-dir"), std::string::npos) << r.error;
+}
+
+TEST(CampaignCliFlags, CheckpointDirCollidingWithAFileIsRejected) {
+  const std::string path =
+      (fs::temp_directory_path() / "certkit_cli_ck_collision").string();
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  ASSERT_TRUE(support::WriteFile(path, "i am a file").ok());
+  const BuildResult r = Build({"--checkpoint-dir", path});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not a directory"), std::string::npos) << r.error;
+  // An existing *directory* is of course fine (that is how resume works).
+  fs::remove_all(path, ec);
+  fs::create_directories(path);
+  EXPECT_TRUE(Build({"--checkpoint-dir", path}).ok);
+  fs::remove_all(path, ec);
+}
+
+}  // namespace
+}  // namespace certkit::campaign

@@ -1,0 +1,325 @@
+// Determinism properties of checkpoint/resume and sharded campaigns:
+//
+//  * kill/resume — a campaign checkpointed after generation k and resumed
+//    by a fresh runner produces byte-identical campaign JSON (and corpus
+//    store contents) to one that never stopped;
+//  * sharding — for N in {1, 2, 4}, evaluating each generation in N
+//    disjoint slices and folding the deltas yields a byte-identical
+//    campaign to the unsharded run, regardless of the order the deltas are
+//    merged in;
+//  * the checkpoint serializer reaches a fixpoint (emit -> parse -> emit),
+//    and damaged / foreign checkpoints are detected loudly, never trusted.
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/checkpoint.h"
+#include "campaign/corpus_store.h"
+#include "campaign/runner.h"
+#include "gtest/gtest.h"
+#include "support/io.h"
+
+namespace certkit::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+CampaignConfig SmallConfig() {
+  CampaignConfig config;
+  config.seed = 9;
+  config.jobs = 1;
+  config.population = 3;
+  config.generations = 2;
+  config.ticks = 5;
+  return config;
+}
+
+class CheckpointResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("certkit_ckpt_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointResumeTest, CheckpointJsonReachesFixpoint) {
+  CampaignConfig config = SmallConfig();
+  config.checkpoint_dir = dir_;
+  config.stop_after_generations = 1;
+  CampaignState state = CampaignRunner::FreshState(config);
+  CampaignRunner runner(config);
+  const auto partial = runner.RunFrom(&state);
+  EXPECT_FALSE(partial.complete);
+
+  const std::string once = CheckpointJson(config, state);
+  CampaignState parsed;
+  bool mismatch = false;
+  std::string error;
+  ASSERT_TRUE(ParseCheckpoint(once, ConfigFingerprint(config), &parsed,
+                              &mismatch, &error))
+      << error;
+  EXPECT_EQ(once, CheckpointJson(config, parsed));
+}
+
+TEST_F(CheckpointResumeTest, KillAndResumeIsByteIdenticalToUninterrupted) {
+  // The reference: one uninterrupted run, no persistence.
+  CampaignRunner straight(SmallConfig());
+  const std::string reference = CampaignJson(straight.Run());
+
+  // The interrupted run: stop (checkpoint intact) after generation 0...
+  CampaignConfig config = SmallConfig();
+  config.checkpoint_dir = dir_;
+  config.stop_after_generations = 1;
+  {
+    CampaignState state = CampaignRunner::FreshState(config);
+    CampaignRunner runner(config);
+    const auto partial = runner.RunFrom(&state);
+    EXPECT_FALSE(partial.complete);
+    EXPECT_EQ(1, partial.next_generation);
+  }
+
+  // ...then a *fresh* runner restores the checkpoint and finishes.
+  config.stop_after_generations = 0;
+  CampaignState resumed = CampaignRunner::FreshState(config);
+  std::string error;
+  ASSERT_EQ(CheckpointLoad::kResumed,
+            LoadCampaignCheckpoint(dir_, config, &resumed, &error))
+      << error;
+  EXPECT_EQ(1, resumed.next_generation);
+  CampaignRunner runner(config);
+  const auto result = runner.RunFrom(&resumed);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(reference, CampaignJson(result));
+}
+
+TEST_F(CheckpointResumeTest, ResumedCorpusStoreMatchesUninterrupted) {
+  CampaignConfig interrupted = SmallConfig();
+  interrupted.checkpoint_dir = dir_;
+  interrupted.stop_after_generations = 1;
+  {
+    CampaignState state = CampaignRunner::FreshState(interrupted);
+    CampaignRunner runner(interrupted);
+    runner.RunFrom(&state);
+  }
+  interrupted.stop_after_generations = 0;
+  {
+    CampaignState state = CampaignRunner::FreshState(interrupted);
+    std::string error;
+    ASSERT_EQ(CheckpointLoad::kResumed,
+              LoadCampaignCheckpoint(dir_, interrupted, &state, &error));
+    CampaignRunner runner(interrupted);
+    runner.RunFrom(&state);
+  }
+
+  CampaignConfig uninterrupted = SmallConfig();
+  uninterrupted.checkpoint_dir = dir_ + "_straight";
+  {
+    CampaignState state = CampaignRunner::FreshState(uninterrupted);
+    CampaignRunner runner(uninterrupted);
+    runner.RunFrom(&state);
+  }
+
+  // Same entry files, byte for byte.
+  const CorpusStore a(dir_ + "/corpus");
+  const CorpusStore b(uninterrupted.checkpoint_dir + "/corpus");
+  const auto entries_a = a.LoadAll();
+  const auto entries_b = b.LoadAll();
+  ASSERT_EQ(entries_a.size(), entries_b.size());
+  ASSERT_GT(entries_a.size(), 0u);
+  for (std::size_t i = 0; i < entries_a.size(); ++i) {
+    const std::uint64_t hash = CandidateHash(entries_a[i].candidate);
+    EXPECT_EQ(hash, CandidateHash(entries_b[i].candidate));
+    const auto bytes_a = support::ReadFile(a.EntryPath(hash));
+    const auto bytes_b = support::ReadFile(b.EntryPath(hash));
+    ASSERT_TRUE(bytes_a.ok());
+    ASSERT_TRUE(bytes_b.ok());
+    EXPECT_EQ(bytes_a.value(), bytes_b.value());
+  }
+  std::error_code ec;
+  fs::remove_all(uninterrupted.checkpoint_dir, ec);
+}
+
+// Runs a full sharded campaign in-process: every generation is evaluated as
+// `shards` disjoint slices (each from its own copy of the state, exactly
+// like separate invocations resuming the shared checkpoint), and the deltas
+// are merged in `merge_order` rotation.
+std::string RunSharded(const CampaignConfig& base, int shards,
+                       int merge_rotation) {
+  CampaignConfig config = base;
+  config.shard_count = shards;
+  CampaignState state = CampaignRunner::FreshState(config);
+  while (state.next_generation < config.generations) {
+    std::vector<ShardDelta> deltas;
+    for (int i = 0; i < shards; ++i) {
+      CampaignConfig shard_config = config;
+      shard_config.shard_index = i;
+      CampaignState shard_state = state;  // each shard resumes the same state
+      CampaignRunner runner(shard_config);
+      deltas.push_back(runner.RunShardGeneration(&shard_state));
+    }
+    std::rotate(deltas.begin(),
+                deltas.begin() + (merge_rotation % shards), deltas.end());
+    CampaignRunner merger(config);
+    std::string error;
+    EXPECT_TRUE(merger.MergeShardDeltas(deltas, &state, &error)) << error;
+  }
+  return CampaignJson(CampaignRunner::Finalize(base, state));
+}
+
+TEST_F(CheckpointResumeTest, ShardedMergeEqualsUnshardedForAnyShardCount) {
+  const CampaignConfig base = SmallConfig();
+  CampaignRunner straight(base);
+  const std::string reference = CampaignJson(straight.Run());
+  for (int shards : {1, 2, 4}) {
+    EXPECT_EQ(reference, RunSharded(base, shards, 0)) << shards << " shards";
+  }
+}
+
+TEST_F(CheckpointResumeTest, ShardMergeOrderDoesNotMatter) {
+  const CampaignConfig base = SmallConfig();
+  const std::string in_order = RunSharded(base, 4, 0);
+  for (int rotation : {1, 2, 3}) {
+    EXPECT_EQ(in_order, RunSharded(base, 4, rotation)) << rotation;
+  }
+}
+
+TEST_F(CheckpointResumeTest, MergeRejectsIncompleteOrDuplicateDeltaSets) {
+  CampaignConfig config = SmallConfig();
+  config.shard_count = 2;
+  CampaignState state = CampaignRunner::FreshState(config);
+  std::vector<ShardDelta> deltas;
+  for (int i = 0; i < 2; ++i) {
+    CampaignConfig shard_config = config;
+    shard_config.shard_index = i;
+    CampaignState shard_state = state;
+    CampaignRunner runner(shard_config);
+    deltas.push_back(runner.RunShardGeneration(&shard_state));
+  }
+  CampaignRunner merger(config);
+  std::string error;
+
+  std::vector<ShardDelta> missing = {deltas[0]};
+  CampaignState scratch = state;
+  EXPECT_FALSE(merger.MergeShardDeltas(missing, &scratch, &error));
+  EXPECT_FALSE(error.empty());
+
+  std::vector<ShardDelta> duplicate = {deltas[0], deltas[0]};
+  scratch = state;
+  EXPECT_FALSE(merger.MergeShardDeltas(duplicate, &scratch, &error));
+
+  std::vector<ShardDelta> wrong_gen = deltas;
+  wrong_gen[0].generation = 5;
+  scratch = state;
+  EXPECT_FALSE(merger.MergeShardDeltas(wrong_gen, &scratch, &error));
+
+  // The untampered set still merges.
+  scratch = state;
+  EXPECT_TRUE(merger.MergeShardDeltas(deltas, &scratch, &error)) << error;
+}
+
+TEST_F(CheckpointResumeTest, ShardDeltaJsonReachesFixpoint) {
+  CampaignConfig config = SmallConfig();
+  config.shard_count = 2;
+  config.shard_index = 1;
+  CampaignState state = CampaignRunner::FreshState(config);
+  CampaignRunner runner(config);
+  const ShardDelta delta = runner.RunShardGeneration(&state);
+  const std::string once = ShardDeltaJson(config, delta);
+  ShardDelta parsed;
+  std::uint64_t fingerprint = 0;
+  std::string error;
+  ASSERT_TRUE(ParseShardDelta(once, &parsed, &fingerprint, &error)) << error;
+  EXPECT_EQ(ConfigFingerprint(config), fingerprint);
+  EXPECT_EQ(once, ShardDeltaJson(config, parsed));
+}
+
+TEST_F(CheckpointResumeTest, MissingCheckpointIsFresh) {
+  CampaignState state;
+  std::string error;
+  EXPECT_EQ(CheckpointLoad::kFresh,
+            LoadCampaignCheckpoint(dir_, SmallConfig(), &state, &error));
+}
+
+TEST_F(CheckpointResumeTest, ForeignConfigurationIsAMismatch) {
+  CampaignConfig config = SmallConfig();
+  const CampaignState state = CampaignRunner::FreshState(config);
+  ASSERT_TRUE(WriteCampaignCheckpoint(dir_, config, state).ok());
+
+  CampaignConfig other = config;
+  other.seed = 10;  // identity field -> different fingerprint
+  CampaignState out;
+  std::string error;
+  const auto load = LoadCampaignCheckpoint(dir_, other, &out, &error);
+  EXPECT_EQ(CheckpointLoad::kMismatch, load);
+  const std::string diagnostic = CheckpointDiagnostic(load, dir_, error);
+  EXPECT_NE(diagnostic.find("different campaign configuration"),
+            std::string::npos)
+      << diagnostic;
+
+  // Execution knobs are NOT identity: jobs/timing/stop-after/shard/dirs
+  // differ freely between the invocations of one campaign.
+  CampaignConfig knobs = config;
+  knobs.jobs = 7;
+  knobs.include_timing = true;
+  knobs.stop_after_generations = 1;
+  knobs.checkpoint_dir = "elsewhere";
+  EXPECT_EQ(ConfigFingerprint(config), ConfigFingerprint(knobs));
+}
+
+TEST_F(CheckpointResumeTest, DamagedCheckpointIsLoudlyCorrupt) {
+  CampaignConfig config = SmallConfig();
+  const CampaignState state = CampaignRunner::FreshState(config);
+  ASSERT_TRUE(WriteCampaignCheckpoint(dir_, config, state).ok());
+  const std::string path = CheckpointPath(dir_);
+  const auto blob = support::ReadFile(path);
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(
+      support::WriteFile(path, blob.value().substr(0, blob.value().size() / 2))
+          .ok());
+  CampaignState out;
+  std::string error;
+  const auto load = LoadCampaignCheckpoint(dir_, config, &out, &error);
+  EXPECT_EQ(CheckpointLoad::kCorrupt, load);
+  EXPECT_NE(CheckpointDiagnostic(load, dir_, error).find("delete"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointResumeTest, ParseShardSpecValidates) {
+  int index = 0;
+  int count = 0;
+  std::string error;
+  EXPECT_TRUE(ParseShardSpec("0/1", &index, &count, &error));
+  EXPECT_EQ(0, index);
+  EXPECT_EQ(1, count);
+  EXPECT_TRUE(ParseShardSpec("3/4", &index, &count, &error));
+  EXPECT_EQ(3, index);
+  EXPECT_EQ(4, count);
+
+  const char* bad[] = {
+      "",      "/",    "1/",   "/2",  "2/2",   "5/4",  "-1/4",
+      "0/0",   "0/-2", "a/4",  "0/b", "1.5/4", "0/4x", "0//4",
+      "0/4/8", " 1/4", "1/ 4", "0/2000000",
+  };
+  for (const char* spec : bad) {
+    error.clear();
+    EXPECT_FALSE(ParseShardSpec(spec, &index, &count, &error))
+        << "accepted: '" << spec << "'";
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace certkit::campaign

@@ -1,0 +1,224 @@
+// Corruption suite for the content-addressed corpus store, mirroring the
+// artifact-cache discipline it inherits: every entry survives emit -> parse
+// -> emit byte-identically; truncation at every length, a flip of any
+// single byte, and schema skew all fail the frame check and recompute
+// silently; and foreign files sharing the directory are never touched.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/corpus_store.h"
+#include "campaign/oracle.h"
+#include "campaign/runner.h"
+#include "coverage/coverage.h"
+#include "gtest/gtest.h"
+#include "support/io.h"
+
+namespace certkit::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CorpusStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("certkit_corpus_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+};
+
+// A real (tiny) evaluation so the entry carries genuine cover facts and a
+// genuine verdict — the recompute path must reproduce exactly this.
+CorpusEntry MakeEntry(std::int64_t id, std::uint64_t fault_seed) {
+  Candidate candidate;
+  candidate.id = id;
+  candidate.fault_seed = fault_seed;
+  candidate.ticks = 4;
+  const EvalResult eval = CampaignRunner::Evaluate(candidate);
+  CorpusEntry entry;
+  entry.candidate = candidate;
+  entry.verdict = eval.verdict;
+  entry.outcome = OutcomeSignature(eval.verdict);
+  entry.report_digest = eval.report_digest;
+  entry.cover = eval.cover;
+  return entry;
+}
+
+void ExpectEntriesEqual(const CorpusEntry& a, const CorpusEntry& b) {
+  EXPECT_EQ(CorpusEntryJson(a), CorpusEntryJson(b));
+}
+
+TEST_F(CorpusStoreTest, EntryJsonReachesFixpoint) {
+  const CorpusEntry entry = MakeEntry(1, 11);
+  const std::string once = CorpusEntryJson(entry);
+  CorpusEntry parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCorpusEntry(once, &parsed, &error)) << error;
+  EXPECT_EQ(once, CorpusEntryJson(parsed));
+}
+
+TEST_F(CorpusStoreTest, PutThenLoadRoundTrips) {
+  CorpusStore store(dir_);
+  ASSERT_TRUE(store.enabled());
+  const CorpusEntry entry = MakeEntry(3, 21);
+  ASSERT_TRUE(store.Put(entry).ok());
+  const std::uint64_t hash = CandidateHash(entry.candidate);
+  CorpusEntry loaded;
+  ASSERT_TRUE(store.Load(hash, &loaded));
+  ExpectEntriesEqual(entry, loaded);
+  EXPECT_EQ(1, store.CountEntries());
+}
+
+TEST_F(CorpusStoreTest, ContentAddressingDedupsIdenticalCandidates) {
+  CorpusStore store(dir_);
+  const CorpusEntry entry = MakeEntry(5, 33);
+  ASSERT_TRUE(store.Put(entry).ok());
+  ASSERT_TRUE(store.Put(entry).ok());  // overwrite with identical content
+  EXPECT_EQ(1, store.CountEntries());
+  const auto all = store.LoadAll();
+  ASSERT_EQ(1u, all.size());
+  ExpectEntriesEqual(entry, all[0]);
+}
+
+TEST_F(CorpusStoreTest, TruncationAtEveryLengthIsDetected) {
+  CorpusStore store(dir_);
+  const CorpusEntry entry = MakeEntry(7, 5);
+  ASSERT_TRUE(store.Put(entry).ok());
+  const std::uint64_t hash = CandidateHash(entry.candidate);
+  const std::string path = store.EntryPath(hash);
+  const auto blob = certkit::support::ReadFile(path);
+  ASSERT_TRUE(blob.ok());
+  for (std::size_t len = 0; len < blob.value().size(); ++len) {
+    ASSERT_TRUE(
+        certkit::support::WriteFile(path, blob.value().substr(0, len)).ok());
+    CorpusEntry out;
+    EXPECT_FALSE(store.Load(hash, &out)) << "accepted truncation at " << len;
+    EXPECT_EQ(0, store.CountEntries()) << "counted truncation at " << len;
+  }
+  // Restoring the full blob restores the entry.
+  ASSERT_TRUE(certkit::support::WriteFile(path, blob.value()).ok());
+  CorpusEntry out;
+  EXPECT_TRUE(store.Load(hash, &out));
+}
+
+TEST_F(CorpusStoreTest, EveryOneByteFlipIsDetected) {
+  CorpusStore store(dir_);
+  const CorpusEntry entry = MakeEntry(9, 13);
+  ASSERT_TRUE(store.Put(entry).ok());
+  const std::uint64_t hash = CandidateHash(entry.candidate);
+  const std::string path = store.EntryPath(hash);
+  const auto blob = certkit::support::ReadFile(path);
+  ASSERT_TRUE(blob.ok());
+  for (std::size_t i = 0; i < blob.value().size(); ++i) {
+    std::string damaged = blob.value();
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x20);
+    ASSERT_TRUE(certkit::support::WriteFile(path, damaged).ok());
+    CorpusEntry out;
+    EXPECT_FALSE(store.Load(hash, &out)) << "accepted flip at byte " << i;
+  }
+}
+
+TEST_F(CorpusStoreTest, SchemaSkewIsDetected) {
+  CorpusStore store(dir_);
+  const CorpusEntry entry = MakeEntry(11, 17);
+  ASSERT_TRUE(store.Put(entry).ok());
+  const std::uint64_t hash = CandidateHash(entry.candidate);
+  const std::string path = store.EntryPath(hash);
+  auto blob = certkit::support::ReadFile(path);
+  ASSERT_TRUE(blob.ok());
+  std::string skewed = blob.value();
+  ASSERT_GT(skewed.size(), 8u);
+  skewed[4] = static_cast<char>(skewed[4] + 1);  // schema u32 LE low byte
+  ASSERT_TRUE(certkit::support::WriteFile(path, skewed).ok());
+  CorpusEntry out;
+  EXPECT_FALSE(store.Load(hash, &out));
+  EXPECT_EQ(0, store.CountEntries());
+}
+
+TEST_F(CorpusStoreTest, PayloadSwapBetweenEntriesIsDetected) {
+  // A valid frame whose payload hashes to a *different* candidate must not
+  // satisfy a Load for this hash (content address integrity).
+  CorpusStore store(dir_);
+  const CorpusEntry a = MakeEntry(1, 101);
+  const CorpusEntry b = MakeEntry(2, 202);
+  ASSERT_TRUE(store.Put(a).ok());
+  ASSERT_TRUE(store.Put(b).ok());
+  const auto blob_b = certkit::support::ReadFile(
+      store.EntryPath(CandidateHash(b.candidate)));
+  ASSERT_TRUE(blob_b.ok());
+  ASSERT_TRUE(certkit::support::WriteFile(
+                  store.EntryPath(CandidateHash(a.candidate)), blob_b.value())
+                  .ok());
+  CorpusEntry out;
+  EXPECT_FALSE(store.Load(CandidateHash(a.candidate), &out));
+  EXPECT_TRUE(store.Load(CandidateHash(b.candidate), &out));
+}
+
+TEST_F(CorpusStoreTest, ForeignFilesAreIgnoredAndUntouched) {
+  CorpusStore store(dir_);
+  const CorpusEntry entry = MakeEntry(13, 29);
+  ASSERT_TRUE(store.Put(entry).ok());
+  const std::string foreign = dir_ + "/README.txt";
+  const std::string near_miss = dir_ + "/0123456789abcdef.ckcorp.bak";
+  ASSERT_TRUE(certkit::support::WriteFile(foreign, "not an entry").ok());
+  ASSERT_TRUE(certkit::support::WriteFile(near_miss, "junk").ok());
+  EXPECT_EQ(1, store.CountEntries());
+  EXPECT_EQ(1u, store.LoadAll().size());
+  // Foreign bytes unchanged.
+  const auto after = certkit::support::ReadFile(foreign);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ("not an entry", after.value());
+}
+
+TEST_F(CorpusStoreTest, LoadAllSkipsCorruptEntriesSilently) {
+  CorpusStore store(dir_);
+  const CorpusEntry keep = MakeEntry(1, 41);
+  const CorpusEntry corrupt = MakeEntry(2, 43);
+  ASSERT_TRUE(store.Put(keep).ok());
+  ASSERT_TRUE(store.Put(corrupt).ok());
+  const std::string victim =
+      store.EntryPath(CandidateHash(corrupt.candidate));
+  ASSERT_TRUE(certkit::support::WriteFile(victim, "CKC1 damaged").ok());
+  const auto all = store.LoadAll();
+  ASSERT_EQ(1u, all.size());
+  ExpectEntriesEqual(keep, all[0]);
+}
+
+TEST_F(CorpusStoreTest, DisabledStoreNeverTouchesDisk) {
+  CorpusStore store("");
+  EXPECT_FALSE(store.enabled());
+  const CorpusEntry entry = MakeEntry(15, 3);
+  EXPECT_TRUE(store.Put(entry).ok());
+  CorpusEntry out;
+  EXPECT_FALSE(store.Load(CandidateHash(entry.candidate), &out));
+  EXPECT_EQ(0, store.CountEntries());
+  EXPECT_TRUE(store.LoadAll().empty());
+}
+
+TEST_F(CorpusStoreTest, FrameRejectsWrongMagic) {
+  const char magic[4] = {'C', 'K', 'C', '1'};
+  const char other[4] = {'C', 'K', 'P', '1'};
+  const std::string blob = FrameBlob(magic, 1, "payload");
+  std::string_view payload;
+  EXPECT_TRUE(UnframeBlob(magic, 1, blob, &payload));
+  EXPECT_EQ("payload", payload);
+  EXPECT_FALSE(UnframeBlob(other, 1, blob, &payload));
+  EXPECT_FALSE(UnframeBlob(magic, 2, blob, &payload));
+}
+
+}  // namespace
+}  // namespace certkit::campaign

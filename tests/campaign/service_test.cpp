@@ -1,0 +1,221 @@
+// The `certkit serve` request loop: a warm process handles many concurrent
+// campaign/analysis requests with per-request coverage attribution. The
+// core property — locked under TSan by the `service` label — is that a
+// request's response is a pure function of the request: 8+ concurrent
+// campaign requests produce byte-identical bodies and cover digests to
+// solo runs of the same configurations, regardless of pool width or
+// scheduling, and the queue-depth gauge settles back to zero.
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/corpus_store.h"
+#include "campaign/runner.h"
+#include "campaign/service.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "support/io.h"
+#include "support/json.h"
+
+namespace certkit::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+ServiceRequest CampaignRequest(const std::string& id, std::uint64_t seed,
+                               int population = 2, int generations = 1,
+                               int ticks = 4) {
+  ServiceRequest request;
+  request.id = id;
+  request.kind = "campaign";
+  request.campaign.seed = seed;
+  request.campaign.jobs = 1;
+  request.campaign.population = population;
+  request.campaign.generations = generations;
+  request.campaign.ticks = ticks;
+  return request;
+}
+
+std::string SoloCampaignJson(const ServiceRequest& request) {
+  CampaignConfig config = request.campaign;
+  config.jobs = 1;
+  CampaignRunner runner(config);
+  return CampaignJson(runner.Run());
+}
+
+TEST(CampaignServiceTest, EightConcurrentRequestsMatchSoloRuns) {
+  // 8 concurrent requests (pool width 8): 6 distinct campaign configs, one
+  // duplicated config (must agree with its twin), and the batch repeated
+  // below at width 2 (must agree across widths).
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < 7; ++i) {
+    requests.push_back(
+        CampaignRequest("req-" + std::to_string(i), 100 + i));
+  }
+  requests.push_back(CampaignRequest("req-twin", 100));  // same as req-0
+
+  CampaignService service(8);
+  const auto responses = service.Process(requests);
+  ASSERT_EQ(requests.size(), responses.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(requests[i].id, responses[i].id) << "slot order broken";
+    EXPECT_TRUE(responses[i].ok) << responses[i].error;
+    EXPECT_GT(responses[i].cover_facts, 0);
+  }
+
+  // Per-request attribution: each response equals a solo run of exactly
+  // that configuration — concurrent neighbors leaked nothing in.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::string solo = SoloCampaignJson(requests[i]);
+    EXPECT_EQ(solo, responses[i].body) << requests[i].id;
+  }
+  // The duplicated config agrees with its twin, including the digest.
+  EXPECT_EQ(responses[0].body, responses.back().body);
+  EXPECT_EQ(responses[0].cover_digest, responses.back().cover_digest);
+  EXPECT_EQ(responses[0].cover_facts, responses.back().cover_facts);
+
+  // Pool width is invisible in the responses.
+  CampaignService narrow(2);
+  const auto narrow_responses = narrow.Process(requests);
+  ASSERT_EQ(responses.size(), narrow_responses.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(ServiceResponseJson(responses[i]),
+              ServiceResponseJson(narrow_responses[i]));
+  }
+}
+
+TEST(CampaignServiceTest, QueueMetricsSettleDeterministically) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  const std::int64_t served_before =
+      registry.GetCounter("service/requests_served").value();
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < 5; ++i) {
+    requests.push_back(CampaignRequest("m-" + std::to_string(i), 50 + i));
+  }
+  CampaignService service(4);
+  const auto responses = service.Process(requests);
+  ASSERT_EQ(5u, responses.size());
+  EXPECT_EQ(0.0, registry.GetGauge("service/queue_depth").value());
+  EXPECT_EQ(served_before + 5,
+            registry.GetCounter("service/requests_served").value());
+}
+
+TEST(CampaignServiceTest, AnalyzeRequestsRunAlongsideCampaigns) {
+  const std::string dir =
+      (fs::temp_directory_path() / "certkit_service_analyze").string();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  ASSERT_TRUE(support::WriteFile(dir + "/mod/a.cc",
+                                 "int Add(int a, int b) { return a + b; }\n")
+                  .ok());
+
+  std::vector<ServiceRequest> requests;
+  requests.push_back(CampaignRequest("c", 7));
+  ServiceRequest analyze;
+  analyze.id = "a";
+  analyze.kind = "analyze";
+  analyze.dir = dir;
+  requests.push_back(analyze);
+  ServiceRequest missing;
+  missing.id = "missing";
+  missing.kind = "analyze";
+  missing.dir = dir + "/nope";
+  requests.push_back(missing);
+
+  CampaignService service(3);
+  const auto responses = service.Process(requests);
+  ASSERT_EQ(3u, responses.size());
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_TRUE(responses[1].ok) << responses[1].error;
+  support::JsonValue body;
+  std::string error;
+  ASSERT_TRUE(support::ParseJson(responses[1].body, &body, &error)) << error;
+  std::int64_t files = 0;
+  ASSERT_TRUE(support::JsonGetI64(body, "files", &files, &error));
+  EXPECT_EQ(1, files);
+  // A bad request fails alone; the batch survives.
+  EXPECT_FALSE(responses[2].ok);
+  EXPECT_FALSE(responses[2].error.empty());
+  fs::remove_all(dir, ec);
+}
+
+TEST(CampaignServiceTest, ResponseJsonRoundTrips) {
+  ServiceResponse ok;
+  ok.id = "r1";
+  ok.ok = true;
+  ok.body = "{\"x\":1}";
+  ok.cover_facts = 42;
+  ok.cover_digest = 0xdeadbeefcafef00dULL;
+  const std::string line = ServiceResponseJson(ok);
+  support::JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(support::ParseJson(line, &parsed, &error)) << error;
+  std::string id;
+  ASSERT_TRUE(support::JsonGetString(parsed, "id", &id, &error));
+  EXPECT_EQ("r1", id);
+  std::string digest;
+  ASSERT_TRUE(support::JsonGetString(parsed, "cover_digest", &digest, &error));
+  EXPECT_EQ("deadbeefcafef00d", digest);
+
+  ServiceResponse bad;
+  bad.id = "r2";
+  bad.error = "went \"sideways\"";
+  ASSERT_TRUE(support::ParseJson(ServiceResponseJson(bad), &parsed, &error));
+  bool is_ok = true;
+  ASSERT_TRUE(support::JsonGetBool(parsed, "ok", &is_ok, &error));
+  EXPECT_FALSE(is_ok);
+}
+
+TEST(ServiceRequestParsing, AcceptsArrayAndNdjson) {
+  const char* array_form =
+      "[{\"id\":\"a\",\"kind\":\"campaign\",\"seed\":1},\n"
+      " {\"id\":\"b\",\"kind\":\"analyze\",\"dir\":\"src\"}]";
+  const char* ndjson_form =
+      "{\"id\":\"a\",\"kind\":\"campaign\",\"seed\":1}\n"
+      "\n"
+      "{\"id\":\"b\",\"kind\":\"analyze\",\"dir\":\"src\"}\n";
+  for (const char* text : {array_form, ndjson_form}) {
+    std::vector<ServiceRequest> requests;
+    std::string error;
+    ASSERT_TRUE(ParseServiceRequests(text, &requests, &error)) << error;
+    ASSERT_EQ(2u, requests.size());
+    EXPECT_EQ("a", requests[0].id);
+    EXPECT_EQ("campaign", requests[0].kind);
+    EXPECT_EQ(1u, requests[0].campaign.seed);
+    EXPECT_EQ(1, requests[0].campaign.jobs) << "jobs must be forced to 1";
+    EXPECT_EQ("analyze", requests[1].kind);
+    EXPECT_EQ("src", requests[1].dir);
+  }
+}
+
+TEST(ServiceRequestParsing, RejectsInvalidBatches) {
+  const char* invalid[] = {
+      "",
+      "[]",
+      "[1]",
+      "[{\"kind\":\"campaign\"}]",                         // no id
+      "[{\"id\":\"has space\",\"kind\":\"campaign\"}]",    // bad id chars
+      "[{\"id\":\"a\",\"kind\":\"demolish\"}]",            // unknown kind
+      "[{\"id\":\"a\",\"kind\":\"analyze\"}]",             // analyze sans dir
+      "[{\"id\":\"a\",\"kind\":\"campaign\"},"
+      "{\"id\":\"a\",\"kind\":\"campaign\"}]",             // duplicate id
+      "[{\"id\":\"a\",\"kind\":\"campaign\","
+      "\"population\":65}]",                               // over the cap
+      "[{\"id\":\"a\",\"kind\":\"campaign\","
+      "\"generations\":0}]",                               // under the floor
+      "[{\"id\":\"a\",\"kind\":\"campaign\","
+      "\"ticks\":121}]",                                   // over the cap
+      "{\"id\":\"a\",\"kind\":\"campaign\"}\nnot json\n",  // NDJSON damage
+  };
+  for (const char* text : invalid) {
+    std::vector<ServiceRequest> requests;
+    std::string error;
+    EXPECT_FALSE(ParseServiceRequests(text, &requests, &error))
+        << "accepted: " << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+}  // namespace
+}  // namespace certkit::campaign

@@ -1,0 +1,290 @@
+// Property/fuzz tests for the JSON round-trip layer every persistent
+// artifact rides on (replay artifacts, checkpoints, corpus entries, serve
+// requests). Two contracts:
+//
+//  * emit -> parse -> emit is byte-identical: JsonToString re-emits number
+//    literals verbatim and object members in map order, so the second emit
+//    of any parsed document equals the first — including u64-boundary
+//    integers that do not survive the double field, deeply nested
+//    containers, and every escape the emitter produces;
+//  * malformed input is rejected, never crashes, and never half-parses:
+//    ParseJson returns false with a diagnostic for ~30 adversarial
+//    fragments (truncations, bad escapes, non-finite tokens, depth bombs).
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "support/json.h"
+#include "support/rng.h"
+
+namespace {
+
+using certkit::support::JsonEscape;
+using certkit::support::JsonNumber;
+using certkit::support::JsonToString;
+using certkit::support::JsonValue;
+using certkit::support::ParseJson;
+using certkit::support::Xoshiro256;
+
+// One emit -> parse -> emit -> parse -> emit cycle; the two re-emits must
+// agree byte-for-byte (idempotent normal form).
+void ExpectStableRoundTrip(const std::string& doc) {
+  JsonValue first;
+  std::string error;
+  ASSERT_TRUE(ParseJson(doc, &first, &error)) << doc << ": " << error;
+  const std::string once = JsonToString(first);
+  JsonValue second;
+  ASSERT_TRUE(ParseJson(once, &second, &error)) << once << ": " << error;
+  EXPECT_EQ(once, JsonToString(second)) << "document: " << doc;
+}
+
+TEST(JsonRoundTripProperty, U64BoundaryIntegersSurviveVerbatim) {
+  const std::uint64_t boundary[] = {
+      0ULL,
+      1ULL,
+      (1ULL << 53) - 1,  // last exactly-representable double integer
+      (1ULL << 53),
+      (1ULL << 53) + 1,  // first integer the double field cannot hold
+      (1ULL << 63) - 1,
+      (1ULL << 63),
+      ~0ULL,             // 18446744073709551615
+      ~0ULL - 1,
+  };
+  for (std::uint64_t v : boundary) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    const std::string doc = std::string("{\"seed\":") + buf + "}";
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(ParseJson(doc, &parsed, &error)) << error;
+    // The literal preserves the exact token; re-emit is byte-identical
+    // even where `number` (a double) is lossy.
+    EXPECT_EQ(doc, JsonToString(parsed));
+    std::uint64_t back = 0;
+    ASSERT_TRUE(certkit::support::JsonGetU64(parsed, "seed", &back, &error))
+        << error;
+    EXPECT_EQ(v, back);
+  }
+}
+
+TEST(JsonRoundTripProperty, SignedBoundaryIntegers) {
+  const std::int64_t boundary[] = {
+      -1, -(1LL << 53), INT64_MIN, INT64_MIN + 1, INT64_MAX,
+  };
+  for (std::int64_t v : boundary) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    const std::string doc = std::string("[") + buf + "]";
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(ParseJson(doc, &parsed, &error)) << error;
+    EXPECT_EQ(doc, JsonToString(parsed));
+  }
+}
+
+TEST(JsonRoundTripProperty, JsonNumberRoundTripsRandomDoubles) {
+  Xoshiro256 rng(20260808);
+  for (int i = 0; i < 2000; ++i) {
+    double v;
+    switch (i % 4) {
+      case 0:
+        v = rng.UniformDouble(-1e9, 1e9);
+        break;
+      case 1:
+        v = rng.UniformDouble(-1e-6, 1e-6);
+        break;
+      case 2:  // full bit-pattern doubles (skip non-finite; tested below)
+      default: {
+        const std::uint64_t bits = rng.Next();
+        std::memcpy(&v, &bits, sizeof v);
+        if (!std::isfinite(v)) v = static_cast<double>(bits);
+        break;
+      }
+    }
+    const std::string token = JsonNumber(v);
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(ParseJson(token, &parsed, &error)) << token << ": " << error;
+    ASSERT_EQ(JsonValue::Kind::kNumber, parsed.kind) << token;
+    EXPECT_EQ(v, parsed.number) << token;  // exact, not approximate
+    EXPECT_EQ(token, JsonToString(parsed));
+  }
+}
+
+TEST(JsonRoundTripProperty, NonFiniteEmitsNull) {
+  EXPECT_EQ("null", JsonNumber(std::nan("")));
+  EXPECT_EQ("null", JsonNumber(HUGE_VAL));
+  EXPECT_EQ("null", JsonNumber(-HUGE_VAL));
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(ParseJson(JsonNumber(std::nan("")), &parsed, &error));
+  EXPECT_TRUE(parsed.is_null());
+}
+
+TEST(JsonRoundTripProperty, EscapesSurviveRoundTrip) {
+  const std::string nasty[] = {
+      "plain",
+      "quote\"backslash\\slash/",
+      std::string("embedded\0nul", 12),
+      "\x01\x02\x1f control bytes",
+      "tab\tnewline\ncr\rback\bform\f",
+      "utf8 bytes \xc3\xa9\xe2\x98\x83 pass through",
+      std::string(300, '"'),
+  };
+  for (const std::string& s : nasty) {
+    const std::string doc = "{\"k\":" + JsonEscape(s) + "}";
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(ParseJson(doc, &parsed, &error)) << error;
+    std::string back;
+    ASSERT_TRUE(certkit::support::JsonGetString(parsed, "k", &back, &error));
+    EXPECT_EQ(s, back);
+    EXPECT_EQ(doc, JsonToString(parsed));
+  }
+}
+
+// Random document generator: structurally diverse but bounded so the
+// 2000-document loop stays fast.
+std::string RandomDocument(Xoshiro256* rng, int depth) {
+  switch (depth <= 0 ? rng->UniformInt(0, 3) : rng->UniformInt(0, 5)) {
+    case 0:
+      return "null";
+    case 1:
+      return rng->Bernoulli(0.5) ? "true" : "false";
+    case 2: {
+      if (rng->Bernoulli(0.5)) {
+        return std::to_string(
+            static_cast<std::int64_t>(rng->Next()));  // full-width ints
+      }
+      return JsonNumber(rng->UniformDouble(-1e6, 1e6));
+    }
+    case 3: {
+      std::string s;
+      const int len = static_cast<int>(rng->UniformInt(0, 12));
+      for (int i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng->UniformInt(1, 126)));
+      }
+      return JsonEscape(s);
+    }
+    case 4: {
+      std::string out = "[";
+      const int n = static_cast<int>(rng->UniformInt(0, 4));
+      for (int i = 0; i < n; ++i) {
+        if (i > 0) out += ",";
+        out += RandomDocument(rng, depth - 1);
+      }
+      return out + "]";
+    }
+    default: {
+      // Keys ascend so the emitted map order matches the input order and
+      // the *first* emit is already normal form.
+      std::string out = "{";
+      const int n = static_cast<int>(rng->UniformInt(0, 4));
+      for (int i = 0; i < n; ++i) {
+        if (i > 0) out += ",";
+        out += "\"k" + std::to_string(i) + "\":" + RandomDocument(rng, depth - 1);
+      }
+      return out + "}";
+    }
+  }
+}
+
+TEST(JsonRoundTripProperty, RandomDocumentsReachFixpoint) {
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    ExpectStableRoundTrip(RandomDocument(&rng, 4));
+  }
+}
+
+TEST(JsonRoundTripProperty, DeepNestingWithinLimitRoundTrips) {
+  // Parser depth limit is 64; 60 stays comfortably inside.
+  std::string doc(60, '[');
+  doc += "1";
+  doc.append(60, ']');
+  ExpectStableRoundTrip(doc);
+}
+
+TEST(JsonParseRejects, MalformedFragments) {
+  const char* malformed[] = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "[",
+      "]",
+      "{\"a\"}",
+      "{\"a\":}",
+      "{\"a\":1,}",
+      "{a:1}",
+      "{'a':1}",
+      "{\"a\":1 \"b\":2}",
+      "[1,]",
+      "[1 2]",
+      "[,1]",
+      "nul",
+      "tru",
+      "falsey",
+      "NaN",
+      "Infinity",
+      "-Infinity",
+      "inf",
+      "+1",
+      "1e",
+      "1e+",
+      "0x10",
+      "\"unterminated",
+      "\"bad escape \\q\"",
+      "\"bad unicode \\u12g4\"",
+      "\"truncated unicode \\u12\"",
+      "1 2",
+      "{\"a\":1}garbage",
+      "\x00\x01\x02",
+  };
+  for (const char* doc : malformed) {
+    JsonValue out;
+    std::string error;
+    EXPECT_FALSE(ParseJson(doc, &out, &error)) << "accepted: " << doc;
+    EXPECT_FALSE(error.empty()) << doc;
+  }
+}
+
+TEST(JsonParseRejects, DepthBombsFailGracefully) {
+  for (int depth : {65, 128, 5000}) {
+    std::string doc(static_cast<std::size_t>(depth), '[');
+    doc += "1";
+    doc.append(static_cast<std::size_t>(depth), ']');
+    JsonValue out;
+    std::string error;
+    EXPECT_FALSE(ParseJson(doc, &out, &error)) << "depth " << depth;
+    // Same for objects.
+    std::string obj;
+    for (int i = 0; i < depth; ++i) obj += "{\"k\":";
+    obj += "1";
+    obj.append(static_cast<std::size_t>(depth), '}');
+    EXPECT_FALSE(ParseJson(obj, &out, &error)) << "obj depth " << depth;
+  }
+}
+
+TEST(JsonGetters, ErrorsNameTheField) {
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson("{\"n\":\"not a number\",\"big\":18446744073709551615}",
+                        &root, &error));
+  std::int64_t i64 = 0;
+  EXPECT_FALSE(certkit::support::JsonGetI64(root, "n", &i64, &error));
+  EXPECT_NE(error.find("'n'"), std::string::npos) << error;
+  EXPECT_FALSE(certkit::support::JsonGetI64(root, "absent", &i64, &error));
+  EXPECT_NE(error.find("'absent'"), std::string::npos) << error;
+  // 2^64-1 overflows i64 but is a valid u64.
+  EXPECT_FALSE(certkit::support::JsonGetI64(root, "big", &i64, &error));
+  std::uint64_t u64 = 0;
+  EXPECT_TRUE(certkit::support::JsonGetU64(root, "big", &u64, &error));
+  EXPECT_EQ(~0ULL, u64);
+}
+
+}  // namespace

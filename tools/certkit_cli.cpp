@@ -28,9 +28,11 @@
 #include <string>
 
 #include "ad/pipeline.h"
+#include "campaign/checkpoint.h"
 #include "campaign/minimize.h"
 #include "campaign/replay.h"
 #include "campaign/runner.h"
+#include "campaign/service.h"
 #include "driver/analysis_driver.h"
 #include "metrics/halstead.h"
 #include "obs/metrics.h"
@@ -61,10 +63,26 @@ int Usage() {
       "  assess <dir> [--asil X] ISO 26262-6 tables + ASIL gap list\n"
       "  traceability <dir>      requirement-to-code traceability\n"
       "  campaign [--seed N] [--population N] [--generations N] [--timing]\n"
-      "           [--artifact-dir DIR]\n"
+      "           [--artifact-dir DIR] [--checkpoint-dir DIR]\n"
+      "           [--stop-after N] [--shard i/N]\n"
       "                          coverage-guided scenario campaign (JSON);\n"
       "                          --artifact-dir exports every kept finding\n"
-      "                          as a replay artifact\n"
+      "                          as a replay artifact; --checkpoint-dir\n"
+      "                          persists checkpoint + corpus store and\n"
+      "                          resumes bit-identically; --stop-after N\n"
+      "                          checkpoints and exits after N generations;\n"
+      "                          --shard i/N evaluates one slice of one\n"
+      "                          generation and writes a delta\n"
+      "  merge-corpus --checkpoint-dir DIR [campaign flags]\n"
+      "                          fold one generation of shard deltas into\n"
+      "                          the checkpoint; byte-identical to the\n"
+      "                          unsharded run; prints the campaign JSON\n"
+      "                          when the final generation merges\n"
+      "  serve --requests F [--jobs N]\n"
+      "                          warm-process request loop: JSON-array or\n"
+      "                          NDJSON campaign/analyze requests, one\n"
+      "                          response line each, in request order;\n"
+      "                          exit 2 if any request failed\n"
       "  replay <artifact.json> [--diff] [--minimize] [--out F]\n"
       "                          re-execute a finding bit-identically (FNV\n"
       "                          digest gate; exit 2 on divergence); --diff\n"
@@ -319,28 +337,185 @@ int CmdTraceability(const FlagParser& flags) {
 
 // Coverage-guided scenario campaign over the in-repo AD pipeline. Unlike
 // the analysis commands this needs no <source-dir>: the subject is the
-// instrumented detector compiled into the binary.
+// instrumented detector compiled into the binary. With --checkpoint-dir the
+// campaign persists (checkpoint + corpus store) and resumes bit-identically;
+// with --shard i/N it evaluates one slice of one generation and writes a
+// delta for `certkit merge-corpus`.
 int CmdCampaign(const FlagParser& flags) {
-  certkit::campaign::CampaignConfig config;
-  const auto seed = flags.GetInt("seed", 1);
-  const auto jobs = flags.GetInt("jobs", 0);
-  const auto population = flags.GetInt("population", 12);
-  const auto generations = flags.GetInt("generations", 4);
-  if (!seed || !jobs || !population || !generations) {
-    std::printf("error: campaign flags must be integers\n");
+  namespace campaign = certkit::campaign;
+  campaign::CampaignConfig config;
+  bool shard_mode = false;
+  std::string error;
+  if (!campaign::BuildCampaignConfig(flags, &config, &shard_mode, &error)) {
+    std::printf("error: %s\n", error.c_str());
     return 1;
   }
-  config.seed = static_cast<std::uint64_t>(*seed);
-  config.jobs = static_cast<int>(*jobs);
-  config.population = static_cast<int>(*population);
-  config.generations = static_cast<int>(*generations);
-  const auto ticks = flags.GetInt("ticks", 25);
-  if (ticks) config.ticks = static_cast<int>(*ticks);
-  config.include_timing = flags.GetBool("timing");
-  config.artifact_dir = flags.GetOr("artifact-dir", "");
-  certkit::campaign::CampaignRunner runner(config);
-  std::printf("%s\n", certkit::campaign::CampaignJson(runner.Run()).c_str());
+
+  campaign::CampaignState state = campaign::CampaignRunner::FreshState(config);
+  if (!config.checkpoint_dir.empty()) {
+    const auto load = campaign::LoadCampaignCheckpoint(config.checkpoint_dir,
+                                                       config, &state, &error);
+    if (load == campaign::CheckpointLoad::kMismatch ||
+        load == campaign::CheckpointLoad::kCorrupt) {
+      std::printf("error: %s\n",
+                  campaign::CheckpointDiagnostic(load, config.checkpoint_dir,
+                                                 error)
+                      .c_str());
+      return 1;
+    }
+  }
+
+  campaign::CampaignRunner runner(config);
+  if (shard_mode) {
+    if (state.next_generation >= config.generations) {
+      std::printf("{\"shard\":\"%d/%d\",\"status\":\"complete\","
+                  "\"next_generation\":%d}\n",
+                  config.shard_index, config.shard_count,
+                  state.next_generation);
+      return 0;
+    }
+    const campaign::ShardDelta delta = runner.RunShardGeneration(&state);
+    const auto status =
+        campaign::WriteShardDelta(config.checkpoint_dir, config, delta);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("{\"shard\":\"%d/%d\",\"generation\":%d,\"evaluated\":%zu,"
+                "\"delta\":%s}\n",
+                delta.shard_index, delta.shard_count, delta.generation,
+                delta.evals.size(),
+                certkit::support::JsonEscape(
+                    campaign::ShardDeltaPath(config.checkpoint_dir,
+                                             delta.generation,
+                                             delta.shard_index,
+                                             delta.shard_count))
+                    .c_str());
+    return 0;
+  }
+
+  const auto result = runner.RunFrom(&state);
+  if (!result.complete) {
+    std::printf("{\"status\":\"checkpointed\",\"next_generation\":%d,"
+                "\"generations\":%d,\"evaluated_total\":%lld}\n",
+                result.next_generation, config.generations,
+                static_cast<long long>(result.evaluated_total));
+    return 0;
+  }
+  std::printf("%s\n", campaign::CampaignJson(result).c_str());
   return 0;
+}
+
+// Folds one generation of shard deltas (written by `certkit campaign
+// --shard i/N`) into the shared checkpoint, exactly as the unsharded serial
+// merge would have — the merged campaign is byte-identical to a run that
+// never sharded. Prints the full campaign JSON once the final generation
+// merges; a progress line otherwise.
+int CmdMergeCorpus(const FlagParser& flags) {
+  namespace campaign = certkit::campaign;
+  campaign::CampaignConfig config;
+  bool shard_mode = false;
+  std::string error;
+  if (!campaign::BuildCampaignConfig(flags, &config, &shard_mode, &error)) {
+    std::printf("error: %s\n", error.c_str());
+    return 1;
+  }
+  if (shard_mode) {
+    std::printf("error: merge-corpus takes the campaign flags, not --shard\n");
+    return 1;
+  }
+  if (config.checkpoint_dir.empty()) {
+    std::printf("error: merge-corpus requires --checkpoint-dir\n");
+    return 1;
+  }
+
+  campaign::CampaignState state = campaign::CampaignRunner::FreshState(config);
+  const auto load = campaign::LoadCampaignCheckpoint(config.checkpoint_dir,
+                                                     config, &state, &error);
+  if (load == campaign::CheckpointLoad::kMismatch ||
+      load == campaign::CheckpointLoad::kCorrupt) {
+    std::printf("error: %s\n",
+                campaign::CheckpointDiagnostic(load, config.checkpoint_dir,
+                                               error)
+                    .c_str());
+    return 1;
+  }
+  if (state.next_generation >= config.generations) {
+    std::printf("%s\n",
+                campaign::CampaignJson(campaign::CampaignRunner::Finalize(
+                                           config, state))
+                    .c_str());
+    return 0;
+  }
+
+  std::vector<campaign::ShardDelta> deltas;
+  if (!campaign::LoadShardDeltas(config.checkpoint_dir, config,
+                                 state.next_generation, &deltas, &error)) {
+    std::printf("error: %s\n", error.c_str());
+    return 1;
+  }
+  campaign::CampaignRunner runner(config);
+  const int merged_generation = state.next_generation;
+  if (!runner.MergeShardDeltas(deltas, &state, &error)) {
+    std::printf("error: %s\n", error.c_str());
+    return 1;
+  }
+  const auto status = campaign::WriteCampaignCheckpoint(config.checkpoint_dir,
+                                                        config, state);
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  campaign::RemoveShardDeltas(config.checkpoint_dir, merged_generation);
+  if (state.next_generation >= config.generations) {
+    std::printf("%s\n",
+                campaign::CampaignJson(campaign::CampaignRunner::Finalize(
+                                           config, state))
+                    .c_str());
+    return 0;
+  }
+  std::printf("{\"status\":\"merged\",\"generation\":%d,"
+              "\"next_generation\":%d,\"generations\":%d}\n",
+              merged_generation, state.next_generation, config.generations);
+  return 0;
+}
+
+// Warm-process request loop: reads a batch of campaign/analysis requests
+// (JSON array or NDJSON), fans them out over the service pool, and prints
+// one response line per request in request order. Exit 0 when every request
+// succeeded, 2 when any returned ok=false, 1 on usage/parse errors.
+int CmdServe(const FlagParser& flags) {
+  namespace campaign = certkit::campaign;
+  const std::string requests_path = flags.GetOr("requests", "");
+  if (requests_path.empty()) {
+    std::printf("error: serve needs --requests <file> (JSON array or "
+                "NDJSON of request objects)\n");
+    return 1;
+  }
+  const auto jobs = flags.GetInt("jobs", 0);
+  if (!jobs) {
+    std::printf("error: --jobs must be an integer\n");
+    return 1;
+  }
+  const auto text = certkit::support::ReadFile(requests_path);
+  if (!text.ok()) {
+    std::printf("error: %s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<campaign::ServiceRequest> requests;
+  std::string error;
+  if (!campaign::ParseServiceRequests(text.value(), &requests, &error)) {
+    std::printf("error: %s: %s\n", requests_path.c_str(), error.c_str());
+    return 1;
+  }
+  campaign::CampaignService service(static_cast<int>(*jobs));
+  const auto responses = service.Process(requests);
+  bool any_failed = false;
+  for (const auto& response : responses) {
+    std::printf("%s\n", campaign::ServiceResponseJson(response).c_str());
+    if (!response.ok) any_failed = true;
+  }
+  return any_failed ? 2 : 0;
 }
 
 // Replays a finding artifact: re-executes its candidate and gates on the
@@ -530,6 +705,8 @@ int main(int argc, char** argv) {
   if (flags.positional().empty()) return Usage();
   const std::string command = flags.positional()[0];
   if (command == "campaign") return CmdCampaign(flags);
+  if (command == "merge-corpus") return CmdMergeCorpus(flags);
+  if (command == "serve") return CmdServe(flags);
   if (command == "replay") return CmdReplay(flags);
   if (command == "metrics") return CmdMetrics(flags);
   if (command == "functions") return CmdFunctions(flags);
