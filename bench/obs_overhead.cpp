@@ -1,0 +1,135 @@
+// Flight-recorder overhead driver — the "cheap enough to leave on" claim,
+// runnable as one self-checking binary.
+//
+// It (1) runs the same small campaign with the recorder on and off and
+// asserts the campaign JSON is byte-identical — recording must be
+// invisible to every deterministic output — and (2) measures per-tick
+// pilot latency in alternating recorder-on/off blocks (alternation cancels
+// slow frequency/thermal drift), takes the median of each population, and
+// self-checks that the median overhead stays within --threshold percent
+// (default 5, the DESIGN.md budget). Any broken contract prints a
+// diagnosis to stderr and exits nonzero — CI treats this binary like a
+// test. Output is one JSON document; the wall-clock fields vary run to
+// run, so unlike campaign_coverage this file is *not* byte-stable (a
+// reference run is committed as bench/BENCH_obs_overhead.json).
+//
+// Usage:
+//   obs_overhead [--seed N] [--ticks N] [--threshold PCT]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ad/pipeline.h"
+#include "campaign/runner.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "support/flags.h"
+
+namespace campaign = certkit::campaign;
+namespace obs = certkit::obs;
+
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "obs_overhead: CONTRACT FAILURE: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+double MedianMicros(std::vector<double>* samples) {
+  std::sort(samples->begin(), samples->end());
+  return (*samples)[samples->size() / 2];
+}
+
+// One block of per-tick latency samples with the recorder in the given
+// state. A fresh pilot per block keeps the workload identical across
+// blocks (same scenario schedule from tick 0).
+void MeasureBlock(bool recorder_on, int ticks, std::vector<double>* out) {
+  obs::SetFlightRecorderEnabled(recorder_on);
+  adpilot::PilotConfig cfg;
+  cfg.safety.tick_deadline = 5.0;
+  adpilot::ApolloPilot pilot(cfg);
+  for (int t = 0; t < ticks; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    pilot.Tick();
+    const auto t1 = std::chrono::steady_clock::now();
+    out->push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+}
+
+std::string CampaignJsonWithRecorder(bool recorder_on, std::uint64_t seed) {
+  obs::SetFlightRecorderEnabled(recorder_on);
+  obs::ResetFlightRecorderForTesting();
+  obs::MetricsRegistry::Instance().ResetAll();
+  campaign::CampaignConfig config;
+  config.seed = seed;
+  config.jobs = 1;
+  config.population = 3;
+  config.generations = 1;
+  config.ticks = 6;
+  return campaign::CampaignJson(campaign::CampaignRunner(config).Run());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  certkit::support::FlagParser flags(argc, argv);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(*flags.GetInt("seed", 3));
+  const int ticks = static_cast<int>(*flags.GetInt("ticks", 60));
+  const double threshold =
+      static_cast<double>(*flags.GetInt("threshold", 5));
+
+  // --- 1. recording is invisible to deterministic outputs ----------------
+  const std::string json_on = CampaignJsonWithRecorder(true, seed);
+  const std::string json_off = CampaignJsonWithRecorder(false, seed);
+  const std::string json_on_again = CampaignJsonWithRecorder(true, seed);
+  Check(json_on == json_off,
+        "campaign JSON differs with the recorder on vs off");
+  Check(json_on == json_on_again, "campaign JSON not reproducible");
+  obs::SetFlightRecorderEnabled(true);
+  obs::ResetFlightRecorderForTesting();  // events_per_tick counts part 2 only
+
+  // --- 2. per-tick overhead ----------------------------------------------
+  {  // warmup: touch every stage/cache before timing anything
+    std::vector<double> sink;
+    MeasureBlock(true, 20, &sink);
+  }
+  std::vector<double> on_us, off_us;
+  constexpr int kBlocks = 5;
+  for (int b = 0; b < kBlocks; ++b) {
+    MeasureBlock(true, ticks, &on_us);
+    MeasureBlock(false, ticks, &off_us);
+  }
+  obs::SetFlightRecorderEnabled(true);
+  const double median_on = MedianMicros(&on_us);
+  const double median_off = MedianMicros(&off_us);
+  const double overhead_pct =
+      median_off > 0.0
+          ? std::max(0.0, (median_on - median_off) / median_off * 100.0)
+          : 0.0;
+  Check(overhead_pct <= threshold,
+        "recorder overhead " + std::to_string(overhead_pct) +
+            "% exceeds the " + std::to_string(threshold) + "% budget");
+
+  const auto stats = obs::GetFlightRecorderStats();
+  std::printf(
+      "{\"obs_overhead\":{\"seed\":%llu,\"ticks_per_block\":%d,"
+      "\"blocks\":%d,\"median_tick_on_us\":%.3f,"
+      "\"median_tick_off_us\":%.3f,\"overhead_pct\":%.3f,"
+      "\"threshold_pct\":%.1f,\"campaign_json_identical\":%s,"
+      "\"events_per_tick\":%.1f,\"checks_failed\":%d}}\n",
+      static_cast<unsigned long long>(seed), ticks, kBlocks, median_on,
+      median_off, overhead_pct, threshold,
+      json_on == json_off ? "true" : "false",
+      static_cast<double>(stats.events) /
+          static_cast<double>(kBlocks * ticks + 20),
+      g_failures);
+  return g_failures == 0 ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "coverage/coverage.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/check.h"
@@ -152,6 +153,11 @@ TickReport ApolloPilot::Tick() {
   const bool safety_on = config_.safety.enabled;
   TickReport report;
   ++tick_index_;
+  // Black-box journal entry for the whole tick; per-stage scopes below sit
+  // beside the obs::Span of each stage (the flight recorder is the
+  // crash-surviving counterpart of the post-run trace).
+  certkit::obs::FlightStageScope flight_tick(certkit::obs::FlightStage::kTick,
+                                             tick_index_);
   time_ += dt;
   report.time = time_;
   // Replay capture (tap installed only): stream signatures accumulate as
@@ -169,6 +175,8 @@ TickReport ApolloPilot::Tick() {
   // 1. World advances.
   {
     certkit::obs::Span span("scenario", "pipeline");
+    certkit::obs::FlightStageScope flight(
+        certkit::obs::FlightStage::kScenario, tick_index_);
     scenario_.Step(dt);
   }
 
@@ -210,6 +218,8 @@ TickReport ApolloPilot::Tick() {
     {
       certkit::obs::Span span("perception", "pipeline",
                               O().perception.timer, O().perception.hist);
+      certkit::obs::FlightStageScope flight(
+          certkit::obs::FlightStage::kPerception, tick_index_);
       tracked = perception_.Process(frame, est.pose, dt);
     }
     report.detections = perception_.last_detections().size();
@@ -240,6 +250,8 @@ TickReport ApolloPilot::Tick() {
   {
     certkit::obs::Span span("prediction", "pipeline", O().prediction.timer,
                             O().prediction.hist);
+    certkit::obs::FlightStageScope flight(
+        certkit::obs::FlightStage::kPrediction, tick_index_);
     predictions = PredictObstacles(tracked, config_.prediction);
   }
 
@@ -255,6 +267,8 @@ TickReport ApolloPilot::Tick() {
   {
     certkit::obs::Span span("planning", "pipeline", O().planning.timer,
                             O().planning.hist);
+    certkit::obs::FlightStageScope flight(
+        certkit::obs::FlightStage::kPlanning, tick_index_);
     plan = PlanTrajectory(est, route_,
                           predictions,
                           ApplyBehavior(config_.planner, decision));
@@ -269,6 +283,8 @@ TickReport ApolloPilot::Tick() {
   {
     certkit::obs::Span span("control", "pipeline", O().control.timer,
                             O().control.hist);
+    certkit::obs::FlightStageScope flight(
+        certkit::obs::FlightStage::kControl, tick_index_);
     cmd = controller_.Compute(est, plan.trajectory, dt);
   }
   bool overridden = false;
@@ -276,6 +292,8 @@ TickReport ApolloPilot::Tick() {
   if (safety_on) {
     certkit::obs::Span span("safety", "safety", O().safety.timer,
                             O().safety.hist);
+    certkit::obs::FlightStageScope flight(certkit::obs::FlightStage::kSafety,
+                                          tick_index_);
     // Table 4 range check on the actuation output (critical on failure).
     overridden |= range_monitor_.CheckCommand(tick_index_, &cmd, &safety_log_);
 
@@ -314,6 +332,8 @@ TickReport ApolloPilot::Tick() {
   {
     certkit::obs::Span span("canbus", "pipeline", O().canbus.timer,
                             O().canbus.hist);
+    certkit::obs::FlightStageScope flight(certkit::obs::FlightStage::kCanBus,
+                                          tick_index_);
     canbus_.SendCommand(cmd);
     fb = canbus_.Step(dt, config_.localization.gnss_noise,
                       config_.localization.speed_noise);
@@ -339,6 +359,8 @@ TickReport ApolloPilot::Tick() {
   {
     certkit::obs::Span span("localization", "pipeline",
                             O().localization.timer, O().localization.hist);
+    certkit::obs::FlightStageScope flight(
+        certkit::obs::FlightStage::kLocalization, tick_index_);
     localizer_->Predict(fb.state.acceleration, fb.state.yaw_rate, dt);
     localizer_->UpdatePosition(fb.gnss_position);
     localizer_->UpdateSpeed(fb.wheel_speed);

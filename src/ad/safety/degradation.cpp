@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "support/check.h"
 
@@ -26,8 +27,18 @@ DegradationManager::DegradationManager(const SafetyConfig& config)
 
 void DegradationManager::TransitionTo(SafetyState next) {
   if (next == state_) return;
+  const SafetyState previous = state_;
   state_ = next;
   ++transitions_;
+  certkit::obs::RecordFlightEvent(
+      certkit::obs::FlightEventType::kSafetyTransition,
+      static_cast<std::uint32_t>(next), static_cast<std::uint32_t>(previous),
+      transitions_);
+  // Entry into safe-stop is the run's oracle verdict; when a black box is
+  // armed for it, this is where the dump fires (once per process).
+  if (next == SafetyState::kSafeStop) {
+    certkit::obs::OnFlightOracleViolation();
+  }
   // Mirror the Table 5 evidence into the metrics registry: total degradation
   // transitions plus a per-target-state breakdown (transitions_to/safe_stop
   // counts every latched emergency stop across the process).

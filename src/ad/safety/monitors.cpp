@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "support/check.h"
 
@@ -86,6 +87,16 @@ void SafetyLog::Record(Violation violation) {
   if (violation.handled) counters.handled->Add();
   const int m = static_cast<int>(violation.monitor);
   if (m >= 0 && m < kNumMonitors) counters.by_monitor[m]->Add();
+  // Black-box journal entry: monitor id, severity, and handled flag travel
+  // in the packed b field (severity low byte, handled bit 8).
+  certkit::obs::RecordFlightEvent(
+      certkit::obs::FlightEventType::kMonitorVerdict,
+      static_cast<std::uint32_t>(m),
+      static_cast<std::uint32_t>(violation.severity == Severity::kCritical
+                                     ? 1u
+                                     : 0u) |
+          (violation.handled ? 1u << 8 : 0u),
+      violation.tick);
   std::lock_guard<std::mutex> lock(mu_);
   violations_.push_back(std::move(violation));
 }

@@ -13,6 +13,7 @@
 #include "campaign/mutation.h"
 #include "campaign/replay.h"
 #include "kernels/conv.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
@@ -82,6 +83,8 @@ EvalResult CampaignRunner::Evaluate(const Candidate& candidate) {
   fault_cfg.faults = candidate.faults;
 
   EvalResult result;
+  obs::RecordFlightEvent(obs::FlightEventType::kCandidateBegin, 0, 0,
+                         candidate.id);
   cov::ThreadCapture capture;
   // Span capture mirrors the coverage capture: thread-local, so this
   // worker's spans are exactly this candidate's spans, with a logical clock
@@ -110,6 +113,8 @@ EvalResult CampaignRunner::Evaluate(const Candidate& candidate) {
   }
   result.cover = capture.Take();
   if (trace_capture.has_value()) result.spans = trace_capture->Take();
+  obs::RecordFlightEvent(obs::FlightEventType::kCandidateEnd, 0, 0,
+                         candidate.id);
   return result;
 }
 
@@ -188,8 +193,14 @@ void CampaignRunner::MergeGeneration(const CampaignConfig& config,
     if (new_facts > 0 || novel_outcome) {
       state->corpus.push_back(batch[i]);
       ++stats.kept;
+      obs::RecordFlightEvent(obs::FlightEventType::kCandidateKept, 0, 0,
+                             batch[i].id);
       if (!config.artifact_dir.empty()) {
-        WriteFindingArtifact(config.artifact_dir, batch[i], eval);
+        const std::string artifact =
+            WriteFindingArtifact(config.artifact_dir, batch[i], eval);
+        // Point the black box at the newest repro so a later crash dump
+        // names an artifact that actually replays this run.
+        if (!artifact.empty()) obs::SetFlightArtifactPath(artifact);
       }
       if (store != nullptr && store->enabled()) {
         CorpusEntry entry;

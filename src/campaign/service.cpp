@@ -2,6 +2,8 @@
 
 #include <exception>
 #include <filesystem>
+#include <istream>
+#include <ostream>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -11,6 +13,7 @@
 #include "campaign/replay.h"
 #include "coverage/coverage.h"
 #include "driver/analysis_driver.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "support/json.h"
 
@@ -89,8 +92,11 @@ bool ParseOneRequest(const JsonValue& v, ServiceRequest* out,
     }
     return true;
   }
+  // Control kinds carry no payload beyond the id.
+  if (out->kind == "stats" || out->kind == "shutdown") return true;
   *error = "field 'kind': '" + out->kind +
-           "' is not a known request kind (campaign, analyze)";
+           "' is not a known request kind (campaign, analyze, stats, "
+           "shutdown)";
   return false;
 }
 
@@ -159,10 +165,32 @@ ServiceResponse HandleAnalyze(const ServiceRequest& request) {
   return response;
 }
 
-ServiceResponse HandleRequest(const ServiceRequest& request) {
+ServiceResponse HandleStats(const ServiceRequest& request,
+                            bool include_timing) {
+  ServiceResponse response;
+  response.id = request.id;
+  response.ok = true;
+  response.body = ServiceStatsJson(include_timing);
+  return response;
+}
+
+ServiceResponse HandleShutdown(const ServiceRequest& request) {
+  // The loop (RunServeLoop) ends after this response; in batch mode the
+  // acknowledgement is a no-op, documented as such.
+  ServiceResponse response;
+  response.id = request.id;
+  response.ok = true;
+  response.body = "{\"status\":\"shutdown\"}";
+  return response;
+}
+
+ServiceResponse HandleRequest(const ServiceRequest& request,
+                              bool include_timing) {
   try {
     if (request.kind == "campaign") return HandleCampaign(request);
     if (request.kind == "analyze") return HandleAnalyze(request);
+    if (request.kind == "stats") return HandleStats(request, include_timing);
+    if (request.kind == "shutdown") return HandleShutdown(request);
     ServiceResponse response;
     response.id = request.id;
     response.error = "unknown request kind '" + request.kind + "'";
@@ -236,8 +264,26 @@ std::string ServiceResponseJson(const ServiceResponse& response) {
   return out.str();
 }
 
-CampaignService::CampaignService(int jobs)
-    : pool_(jobs <= 0 ? -1 : jobs - 1) {}
+std::string ServiceStatsJson(bool include_timing) {
+  const obs::FlightRecorderStats recorder = obs::GetFlightRecorderStats();
+  std::ostringstream out;
+  out << "{\"stats\":{\"recorder\":{\"events\":" << recorder.events
+      << ",\"dropped\":" << recorder.dropped
+      << ",\"ring_capacity\":" << recorder.ring_capacity;
+  // The live ring count is a function of which pool threads have recorded
+  // so far — scheduling-derived, so gated like every wall-clock field.
+  if (include_timing) out << ",\"rings\":" << recorder.rings_in_use;
+  out << "},";
+  // Splice the MetricsJson inner content ("metrics":{...}) in as a sibling
+  // of "recorder", so stats and the post-run export share one schema.
+  const std::string metrics = obs::MetricsJson(
+      obs::MetricsRegistry::Instance().Snapshot(), include_timing);
+  out << metrics.substr(1, metrics.size() - 2) << "}}";
+  return out.str();
+}
+
+CampaignService::CampaignService(int jobs, bool include_timing)
+    : pool_(jobs <= 0 ? -1 : jobs - 1), include_timing_(include_timing) {}
 
 std::vector<ServiceResponse> CampaignService::Process(
     const std::vector<ServiceRequest>& requests) {
@@ -245,13 +291,47 @@ std::vector<ServiceResponse> CampaignService::Process(
   auto& queue_depth = registry.GetGauge("service/queue_depth");
   auto& requests_served = registry.GetCounter("service/requests_served");
   queue_depth.Set(static_cast<double>(requests.size()));
+  const bool include_timing = include_timing_;
   return support::ParallelMap<ServiceResponse>(
       pool_, requests.size(), [&](std::size_t i) {
-        ServiceResponse response = HandleRequest(requests[i]);
+        obs::RecordFlightEvent(obs::FlightEventType::kServeBegin, 0, 0,
+                               static_cast<std::int64_t>(i));
+        ServiceResponse response = HandleRequest(requests[i], include_timing);
+        obs::RecordFlightEvent(obs::FlightEventType::kServeEnd,
+                               response.ok ? 1u : 0u, 0,
+                               static_cast<std::int64_t>(i));
         queue_depth.Add(-1.0);
         requests_served.Add(1);
         return response;
       });
+}
+
+ServeLoopResult RunServeLoop(std::istream& in, std::ostream& out,
+                             CampaignService* service) {
+  ServeLoopResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::vector<ServiceRequest> batch;
+    std::string error;
+    ServiceResponse response;
+    if (!ParseServiceRequests(line, &batch, &error) || batch.size() != 1) {
+      response.id = "-";
+      response.error = error.empty()
+                           ? "expected exactly one request object per line"
+                           : error;
+    } else {
+      response = service->Process(batch)[0];
+    }
+    out << ServiceResponseJson(response) << "\n" << std::flush;
+    ++result.requests;
+    if (!response.ok) ++result.failed;
+    if (response.ok && !batch.empty() && batch[0].kind == "shutdown") {
+      result.shutdown = true;
+      break;
+    }
+  }
+  return result;
 }
 
 bool BuildCampaignConfig(const support::FlagParser& flags,

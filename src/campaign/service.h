@@ -20,10 +20,18 @@
 //   {"id":"r1","kind":"campaign","seed":7,"population":3,
 //    "generations":1,"ticks":6}
 //   {"id":"r2","kind":"analyze","dir":"src/nn"}
+//   {"id":"r3","kind":"stats"}       — live telemetry snapshot
+//   {"id":"r4","kind":"shutdown"}    — ends a --stdin loop (no-op in batch)
+//
+// Long-lived mode: `certkit serve --stdin` runs RunServeLoop — one request
+// line in, one response line out, until EOF or a `shutdown` request — so a
+// warm server can be observed (`stats`) and retired without SIGKILL. The
+// per-request caps are identical in both modes.
 #ifndef CERTKIT_CAMPAIGN_SERVICE_H_
 #define CERTKIT_CAMPAIGN_SERVICE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,7 +49,7 @@ inline constexpr int kServeMaxTicks = 120;
 
 struct ServiceRequest {
   std::string id;    // [A-Za-z0-9_.-]+, unique within a batch
-  std::string kind;  // "campaign" | "analyze"
+  std::string kind;  // "campaign" | "analyze" | "stats" | "shutdown"
   CampaignConfig campaign;  // kind == "campaign"; jobs forced to 1
   std::string dir;          // kind == "analyze": source tree to analyze
 };
@@ -67,12 +75,20 @@ bool ParseServiceRequests(std::string_view text,
 // One response line (stable key order, deterministic for fixed inputs).
 std::string ServiceResponseJson(const ServiceResponse& response);
 
+// The `stats` response body: flight-recorder occupancy plus the full
+// metrics snapshot (counters/gauges/histograms/timers, same inner schema
+// as MetricsJson). `include_timing` follows the --timing convention: it
+// adds histogram buckets/extrema/quantiles, timer statistics, and the
+// live ring count (all wall-clock- or scheduling-derived).
+std::string ServiceStatsJson(bool include_timing);
+
 class CampaignService {
  public:
   // `jobs` is the service fan-out (<= 0 selects hardware concurrency). The
   // calling thread drains the queue too, so jobs=N means N concurrent
-  // requests.
-  explicit CampaignService(int jobs);
+  // requests. `include_timing` applies to `stats` responses only; request
+  // bodies always run with timing off (determinism contract).
+  explicit CampaignService(int jobs, bool include_timing = false);
 
   // Fans the batch out over the pool; response i corresponds to request i
   // (ParallelMap's slot contract), so output order never depends on
@@ -83,7 +99,24 @@ class CampaignService {
 
  private:
   support::ThreadPool pool_;
+  bool include_timing_ = false;
 };
+
+struct ServeLoopResult {
+  std::int64_t requests = 0;  // lines answered (including malformed ones)
+  std::int64_t failed = 0;    // ok=false responses emitted
+  bool shutdown = false;      // loop ended by a shutdown request (vs EOF)
+};
+
+// The long-lived `certkit serve --stdin` loop: reads one request per line
+// (a single request object; a multi-request array on one line is rejected
+// as malformed), processes it through `service`, and writes one response,
+// flushed, before reading the next. Malformed lines produce an ok=false
+// response with id "-" and do not end the loop; a `shutdown` request is
+// answered and then ends it. Request ids only need to be unique per line
+// here — a long-lived client may reuse ids across lines.
+ServeLoopResult RunServeLoop(std::istream& in, std::ostream& out,
+                             CampaignService* service);
 
 // Shared CLI-flag -> CampaignConfig translation for `certkit campaign`:
 // parses/validates --seed/--jobs/--population/--generations/--ticks/

@@ -1,0 +1,35 @@
+// certkit obs: independent validator for flight-recorder dump JSON.
+//
+// Same contract as trace_validate.h: the validator shares *no* code with
+// the emitter (flight_recorder.cpp hand-rolls its JSON through an
+// async-signal-safe sink; this reads it back through support::ParseJson),
+// so a writer bug cannot validate itself. tools/trace_lint dispatches
+// here for any document containing a "flight_dump" root.
+//
+// Checks:
+//   * schema version is exactly 1;
+//   * trigger is well-formed (known kind; signal triggers carry
+//     signal/name);
+//   * last_completed_stage / safety_state are known names;
+//   * threads is an array of {ring, events}; within each thread the
+//     sequence clock is strictly increasing (per-ring merge order), every
+//     event has a known type, and each type carries its required fields;
+//   * the metrics snapshot is well-formed: counters/gauges/histograms
+//     objects present; each histogram has count >= 0, ascending bounds,
+//     and — when the wall-clock fields are present — buckets of length
+//     bounds+1 summing to count, and p50/p90/p99 that are numbers or the
+//     string "+inf".
+#ifndef CERTKIT_OBS_FLIGHT_VALIDATE_H_
+#define CERTKIT_OBS_FLIGHT_VALIDATE_H_
+
+#include <string>
+
+namespace certkit::obs {
+
+// Returns true when `json` is a structurally valid flight dump. On failure
+// returns false and, when `error` is non-null, sets it to a diagnostic.
+bool ValidateFlightDump(const std::string& json, std::string* error);
+
+}  // namespace certkit::obs
+
+#endif  // CERTKIT_OBS_FLIGHT_VALIDATE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "support/check.h"
@@ -21,33 +22,38 @@ std::string Num(double v) {
   return buf;
 }
 
+// Quantile fields render +inf (overflow bucket) as a JSON string, since
+// bare Infinity is not valid JSON.
+std::string QuantileNum(double v) {
+  if (std::isinf(v)) return "\"+inf\"";
+  return Num(v);
+}
+
+void AtomicMinDouble(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
-void Gauge::Set(double v) {
-  std::lock_guard<std::mutex> lock(mu_);
-  value_ = v;
-}
-
-void Gauge::Add(double delta) {
-  std::lock_guard<std::mutex> lock(mu_);
-  value_ += delta;
-}
-
-double Gauge::value() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return value_;
-}
-
-void Gauge::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  value_ = 0.0;
-}
-
-Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
   CERTKIT_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
   CERTKIT_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
                     "histogram bounds must be ascending");
-  buckets_.assign(bounds_.size() + 1, 0);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
 }
 
 void Histogram::Record(double v) {
@@ -55,46 +61,74 @@ void Histogram::Record(double v) {
   // First bucket whose inclusive upper bound covers v; overflow otherwise.
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const std::size_t index = static_cast<std::size_t>(it - bounds_.begin());
-  std::lock_guard<std::mutex> lock(mu_);
-  ++buckets_[index];
-  if (count_ == 0 || v < min_) min_ = v;
-  if (count_ == 0 || v > max_) max_ = v;
-  ++count_;
-  sum_ += v;
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  AtomicMinDouble(min_, v);
+  AtomicMaxDouble(max_, v);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  // Count last, with release order: a reader that sees count >= 1 also
+  // sees a finite min/max (not the ±inf sentinels).
+  count_.fetch_add(1, std::memory_order_release);
 }
 
 std::vector<std::int64_t> Histogram::BucketCounts() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return buckets_;
+  std::vector<std::int64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 std::int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_;
+  return count_.load(std::memory_order_acquire);
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return sum_;
+  return count() == 0 ? 0.0 : sum_.load(std::memory_order_relaxed);
 }
 
 double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return min_;
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
 }
 
 double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return max_;
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  return HistogramQuantile(bounds_, BucketCounts(), q);
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  buckets_.assign(bounds_.size() + 1, 0);
-  count_ = 0;
-  sum_ = 0.0;
-  min_ = 0.0;
-  max_ = 0.0;
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  count_.store(0, std::memory_order_release);
+}
+
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<std::int64_t>& buckets, double q) {
+  std::int64_t total = 0;
+  for (const std::int64_t b : buckets) total += b;
+  if (total <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest rank: the ceil(q*N)-th smallest sample, 1-based; q=0 maps to
+  // rank 1 — identical to timing::NearestRankQuantile over a sorted list.
+  std::int64_t rank =
+      static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      if (i < bounds.size()) return bounds[i];
+      return std::numeric_limits<double>::infinity();  // overflow bucket
+    }
+  }
+  return std::numeric_limits<double>::infinity();
 }
 
 MetricsRegistry& MetricsRegistry::Instance() {
@@ -102,11 +136,23 @@ MetricsRegistry& MetricsRegistry::Instance() {
   return *registry;
 }
 
+void MetricsRegistry::Publish(const std::string& name, MetricKind kind,
+                              const void* metric) {
+  // Called with mu_ held, so writers are serial; readers are lock-free.
+  const int n = published_count_.load(std::memory_order_relaxed);
+  if (n >= kMaxPublished) return;
+  published_[n].name = &name;
+  published_[n].kind = kind;
+  published_[n].metric = metric;
+  published_count_.store(n + 1, std::memory_order_release);
+}
+
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    Publish(it->first, MetricKind::kCounter, it->second.get());
   }
   return *it->second;
 }
@@ -116,6 +162,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+    Publish(it->first, MetricKind::kGauge, it->second.get());
   }
   return *it->second;
 }
@@ -126,6 +173,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(name, std::make_unique<Histogram>(bounds)).first;
+    Publish(it->first, MetricKind::kHistogram, it->second.get());
   }
   return *it->second;
 }
@@ -192,7 +240,10 @@ std::string MetricsJson(const MetricsSnapshot& snapshot,
         out << h.buckets[b];
       }
       out << "],\"sum\":" << Num(h.sum) << ",\"min\":" << Num(h.min)
-          << ",\"max\":" << Num(h.max);
+          << ",\"max\":" << Num(h.max)
+          << ",\"p50\":" << QuantileNum(HistogramQuantile(h.bounds, h.buckets, 0.50))
+          << ",\"p90\":" << QuantileNum(HistogramQuantile(h.bounds, h.buckets, 0.90))
+          << ",\"p99\":" << QuantileNum(HistogramQuantile(h.bounds, h.buckets, 0.99));
     }
     out << "}";
   }

@@ -15,14 +15,23 @@
 //  * Histogram — fixed upper-bound buckets. Sample *counts* are
 //                deterministic (one sample per stage per tick); the bucket
 //                occupancy of duration histograms is wall-clock-derived, so
-//                the JSON export gates bucket/sum/min/max fields behind
-//                include_timing, matching the campaign-JSON convention.
+//                the JSON export gates bucket/sum/min/max/quantile fields
+//                behind include_timing, matching the campaign-JSON
+//                convention.
+//
+// Every metric is readable without taking a lock: counters, gauges, and
+// histogram buckets are plain atomics, and the registry publishes a
+// fixed-capacity array of {name, kind, pointer} entries with a
+// release-stored count. That makes the whole registry safe to walk from
+// the flight recorder's fatal-signal dump path (flight_recorder.h), which
+// may fire while another thread holds no lock, one lock, or is mid-update.
 //
 // MetricsJson(Snapshot(), ...) is the export; schema in DESIGN.md.
 #ifndef CERTKIT_OBS_METRICS_H_
 #define CERTKIT_OBS_METRICS_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -48,17 +57,16 @@ class Counter {
 
 class Gauge {
  public:
-  void Set(double v);
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
   // Atomic increment, for live levels (the serve queue depth decrements as
   // each request retires). Adds commute, so the settled value is
   // deterministic even when workers race; only intermediate readings vary.
-  void Add(double delta);
-  double value() const;
-  void Reset();
+  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  mutable std::mutex mu_;
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 // Fixed-bucket histogram. `bounds` are ascending inclusive upper bounds:
@@ -66,6 +74,10 @@ class Gauge {
 // last bound land in the implicit overflow bucket (index bounds.size()).
 // Non-finite samples are dropped (recorded nowhere, not even the count) —
 // a NaN duration is an instrumentation bug, not a tail observation.
+//
+// Lock-free: Record touches only atomics (count_ is bumped last, with
+// release order, so a reader that observes count >= 1 also observes a real
+// min/max). Accessors are therefore safe from the signal-handler dump path.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -79,17 +91,34 @@ class Histogram {
   double sum() const;
   double min() const;  // 0.0 when empty
   double max() const;  // 0.0 when empty
+  // Nearest-rank quantile over bucket upper bounds: with N = count() and
+  // rank = ceil(q * N), returns the upper bound of the bucket containing
+  // the rank-th smallest sample. Overflow-bucket samples report +inf
+  // (their bound is unbounded); an empty histogram reports 0.0. Same rank
+  // law as timing::NearestRankQuantile, pinned by tests.
+  double Quantile(double q) const;
   void Reset();
+
+  // Raw lock-free bucket access for the async-signal-safe flight-dump
+  // writer (BucketCounts allocates; this does not).
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::int64_t bucket_value(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<double> bounds_;
-  mutable std::mutex mu_;
-  std::vector<std::int64_t> buckets_;
-  std::int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  std::vector<std::atomic<std::int64_t>> buckets_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
 };
+
+// The Histogram::Quantile law as a free function over snapshot rows (the
+// JSON exporter and the independent dump validator both use it).
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<std::int64_t>& buckets, double q);
 
 // A point-in-time copy of every registered metric, in name order.
 struct MetricsSnapshot {
@@ -107,11 +136,28 @@ struct MetricsSnapshot {
   std::vector<HistogramRow> histograms;
 };
 
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// One registry entry, published for lock-free iteration. `name` points at
+// the std::map node's key (node-stable for the process lifetime; the
+// registry never erases) and `metric` at the heap object behind the
+// unique_ptr, so both stay valid once the entry is visible.
+struct PublishedMetric {
+  const std::string* name = nullptr;
+  MetricKind kind = MetricKind::kCounter;
+  const void* metric = nullptr;
+};
+
 // Process-wide metric registry. Get* registers on first use and returns a
 // stable reference afterwards (ResetAll zeroes values but never invalidates
 // references, so instrumentation sites may cache them).
 class MetricsRegistry {
  public:
+  // Registrations beyond this many metrics still work (map-backed) but are
+  // invisible to the lock-free published view; the current codebase
+  // registers a few dozen.
+  static constexpr int kMaxPublished = 256;
+
   static MetricsRegistry& Instance();
 
   Counter& GetCounter(const std::string& name);
@@ -124,18 +170,32 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
   void ResetAll();
 
+  // Lock-free registry walk (registration order, not name order). The
+  // count is release-published after the entry fields are written, so a
+  // reader — including a signal handler — sees only complete entries.
+  int PublishedCount() const {
+    const int n = published_count_.load(std::memory_order_acquire);
+    return n < kMaxPublished ? n : kMaxPublished;
+  }
+  const PublishedMetric& PublishedAt(int i) const { return published_[i]; }
+
  private:
   MetricsRegistry() = default;
+  void Publish(const std::string& name, MetricKind kind, const void* metric);
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  PublishedMetric published_[kMaxPublished];
+  std::atomic<int> published_count_{0};
 };
 
 // Renders a snapshot (plus the timing::TimerRegistry's sample counts) as
 // the metrics JSON document. Deterministic for a fixed seed and workload;
 // `include_timing` adds the wall-clock-derived fields (histogram buckets,
-// sums, extrema, and timer statistics). Schema in DESIGN.md.
+// sums, extrema, p50/p90/p99 quantiles, and timer statistics). Schema in
+// DESIGN.md.
 std::string MetricsJson(const MetricsSnapshot& snapshot, bool include_timing);
 
 }  // namespace certkit::obs

@@ -10,12 +10,11 @@ namespace certkit::timing {
 
 namespace {
 
-// Nearest-rank quantile on a sorted vector: the smallest sample whose rank
-// ceil(q * N) covers at least fraction q of the distribution. q = 0 yields
-// the minimum, q = 1 the maximum. WCET percentiles must never interpolate
-// below an observed sample, so the returned value is always a member of the
-// sample set.
-double Quantile(const std::vector<double>& sorted, double q) {
+constexpr double kEulerMascheroni = 0.5772156649015329;
+
+}  // namespace
+
+double NearestRankQuantile(const std::vector<double>& sorted, double q) {
   CERTKIT_CHECK(!sorted.empty());
   CERTKIT_CHECK(q >= 0.0 && q <= 1.0);
   const std::size_t rank = static_cast<std::size_t>(
@@ -23,10 +22,6 @@ double Quantile(const std::vector<double>& sorted, double q) {
   const std::size_t index = rank == 0 ? 0 : rank - 1;
   return sorted[std::min(index, sorted.size() - 1)];
 }
-
-constexpr double kEulerMascheroni = 0.5772156649015329;
-
-}  // namespace
 
 ExecutionTimer::ExecutionTimer(std::string name) : name_(std::move(name)) {}
 
@@ -53,8 +48,8 @@ TimingStats ExecutionTimer::GetStats() const {
   double sum = 0.0;
   for (double v : sorted) sum += v;
   stats.mean = sum / static_cast<double>(sorted.size());
-  stats.p95 = Quantile(sorted, 0.95);
-  stats.p99 = Quantile(sorted, 0.99);
+  stats.p95 = NearestRankQuantile(sorted, 0.95);
+  stats.p99 = NearestRankQuantile(sorted, 0.99);
   return stats;
 }
 

@@ -33,6 +33,14 @@
 
 namespace certkit::timing {
 
+// Nearest-rank quantile on a sorted, non-empty sample vector: the smallest
+// sample whose rank ceil(q * N) covers at least fraction q of the
+// distribution. q = 0 yields the minimum, q = 1 the maximum. WCET
+// percentiles must never interpolate below an observed sample, so the
+// returned value is always a member of the sample set. This is the rank law
+// obs::Histogram::Quantile applies over bucket upper bounds.
+double NearestRankQuantile(const std::vector<double>& sorted, double q);
+
 struct TimingStats {
   std::int64_t count = 0;
   double min = 0.0;

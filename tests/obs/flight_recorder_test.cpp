@@ -1,0 +1,261 @@
+// Flight-recorder unit tests: ring wraparound/overwrite as a property over
+// the record count, headline extraction (last completed stage / safety
+// state), the artifact pointer, the name tables the dump schema depends
+// on, and the histogram quantile law pinned against the timing layer's
+// NearestRankQuantile (the pre-existing reference implementation).
+//
+// All tests run on the gtest main thread, so every dump drains exactly one
+// ring; each dump is additionally round-tripped through the independent
+// validator to keep emitter and checker honest against each other.
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.h"
+#include "obs/flight_validate.h"
+#include "obs/metrics.h"
+#include "support/json.h"
+#include "timing/timing.h"
+
+namespace obs = certkit::obs;
+namespace support = certkit::support;
+
+namespace {
+
+// Parses a dump and returns the events array of its single thread entry.
+const support::JsonValue* SingleThreadEvents(const support::JsonValue& root) {
+  const support::JsonValue* dump = root.Find("flight_dump");
+  if (dump == nullptr) return nullptr;
+  const support::JsonValue* threads = dump->Find("threads");
+  if (threads == nullptr || threads->items.size() != 1) return nullptr;
+  return threads->items[0].Find("events");
+}
+
+std::string ValidatedDump() {
+  const std::string dump =
+      obs::FlightDumpString(obs::FlightDumpTrigger::kExplicit);
+  std::string error;
+  EXPECT_TRUE(obs::ValidateFlightDump(dump, &error)) << error;
+  return dump;
+}
+
+TEST(FlightRecorder, WraparoundKeepsNewestRecordsForAnyCount) {
+  constexpr int kCap = obs::kFlightRingCapacity;
+  for (const int n : {1, kCap - 1, kCap, kCap + 1, 2 * kCap + 3}) {
+    obs::ResetFlightRecorderForTesting();
+    for (int i = 0; i < n; ++i) {
+      obs::RecordFlightEvent(obs::FlightEventType::kStageBegin,
+                             static_cast<std::uint32_t>(obs::FlightStage::kTick),
+                             0, /*c=*/i);
+    }
+    const auto stats = obs::GetFlightRecorderStats();
+    EXPECT_EQ(stats.events, n) << "n=" << n;
+    EXPECT_EQ(stats.dropped, 0) << "n=" << n;
+    EXPECT_EQ(stats.ring_capacity, kCap);
+
+    support::JsonValue root;
+    std::string error;
+    ASSERT_TRUE(support::ParseJson(ValidatedDump(), &root, &error)) << error;
+    const support::JsonValue* events = SingleThreadEvents(root);
+    ASSERT_NE(events, nullptr) << "n=" << n;
+
+    // The ring keeps exactly the newest min(n, capacity) records, in
+    // strictly increasing sequence order, ending at the global count.
+    const int expect = n < kCap ? n : kCap;
+    ASSERT_EQ(static_cast<int>(events->items.size()), expect) << "n=" << n;
+    std::uint64_t prev = 0;
+    for (const support::JsonValue& e : events->items) {
+      std::uint64_t seq = 0;
+      ASSERT_TRUE(support::JsonGetU64(e, "seq", &seq, &error)) << error;
+      EXPECT_GT(seq, prev);
+      prev = seq;
+    }
+    EXPECT_EQ(prev, static_cast<std::uint64_t>(n)) << "n=" << n;
+    // The oldest surviving record is n - expect events in: tick index c
+    // confirms overwrite discarded exactly the front of the stream.
+    std::int64_t first_tick = -1;
+    ASSERT_TRUE(support::JsonGetI64(events->items[0], "tick", &first_tick,
+                                    &error))
+        << error;
+    EXPECT_EQ(first_tick, n - expect) << "n=" << n;
+  }
+}
+
+TEST(FlightRecorder, HeadlineNamesLastCompletedNonTickStage) {
+  obs::ResetFlightRecorderForTesting();
+  const auto end = [](obs::FlightStage stage) {
+    obs::RecordFlightEvent(obs::FlightEventType::kStageEnd,
+                           static_cast<std::uint32_t>(stage), 0, 7);
+  };
+  end(obs::FlightStage::kScenario);
+  end(obs::FlightStage::kPlanning);
+  end(obs::FlightStage::kTick);  // excluded: "the tick ended" names nothing
+
+  support::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(support::ParseJson(ValidatedDump(), &root, &error)) << error;
+  const support::JsonValue* dump = root.Find("flight_dump");
+  std::string stage, state;
+  ASSERT_TRUE(support::JsonGetString(*dump, "last_completed_stage", &stage,
+                                     &error))
+      << error;
+  EXPECT_EQ(stage, "planning");
+  ASSERT_TRUE(support::JsonGetString(*dump, "safety_state", &state, &error))
+      << error;
+  EXPECT_EQ(state, "nominal");  // no transition recorded -> default
+}
+
+TEST(FlightRecorder, HeadlineTracksLatestSafetyTransition) {
+  obs::ResetFlightRecorderForTesting();
+  // nominal -> limp_home -> safe_stop -> (recovery) limp_home.
+  obs::RecordFlightEvent(obs::FlightEventType::kSafetyTransition, 1, 0, 1);
+  obs::RecordFlightEvent(obs::FlightEventType::kSafetyTransition, 2, 1, 2);
+  obs::RecordFlightEvent(obs::FlightEventType::kSafetyTransition, 1, 2, 3);
+
+  support::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(support::ParseJson(ValidatedDump(), &root, &error)) << error;
+  std::string state;
+  ASSERT_TRUE(support::JsonGetString(*root.Find("flight_dump"), "safety_state",
+                                     &state, &error))
+      << error;
+  EXPECT_EQ(state, "limp_home");
+}
+
+TEST(FlightRecorder, DumpCarriesArtifactPointer) {
+  obs::ResetFlightRecorderForTesting();
+  obs::RecordFlightEvent(obs::FlightEventType::kCandidateKept, 0, 0, 42);
+  obs::SetFlightArtifactPath("artifacts/candidate_42.json");
+
+  support::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(support::ParseJson(ValidatedDump(), &root, &error)) << error;
+  std::string artifact;
+  ASSERT_TRUE(support::JsonGetString(*root.Find("flight_dump"), "artifact",
+                                     &artifact, &error))
+      << error;
+  EXPECT_EQ(artifact, "artifacts/candidate_42.json");
+}
+
+TEST(FlightRecorder, DisabledRecorderDropsNothingAndCountsNothing) {
+  obs::ResetFlightRecorderForTesting();
+  obs::SetFlightRecorderEnabled(false);
+  obs::RecordFlightEvent(obs::FlightEventType::kStageBegin, 0, 0, 0);
+  EXPECT_EQ(obs::GetFlightRecorderStats().events, 0);
+  EXPECT_EQ(obs::GetFlightRecorderStats().dropped, 0);
+  obs::SetFlightRecorderEnabled(true);
+  EXPECT_TRUE(obs::FlightRecorderEnabled());
+  obs::RecordFlightEvent(obs::FlightEventType::kStageBegin, 0, 0, 0);
+  EXPECT_EQ(obs::GetFlightRecorderStats().events, 1);
+}
+
+// The stage/state/monitor name tables are duplicated from the adpilot layer
+// (obs cannot depend on it); these pins are what keeps the copies honest.
+TEST(FlightRecorder, NameTablesArePinned) {
+  EXPECT_STREQ(obs::FlightStageName(0), "tick");
+  EXPECT_STREQ(obs::FlightStageName(1), "scenario");
+  EXPECT_STREQ(obs::FlightStageName(2), "perception");
+  EXPECT_STREQ(obs::FlightStageName(3), "prediction");
+  EXPECT_STREQ(obs::FlightStageName(4), "planning");
+  EXPECT_STREQ(obs::FlightStageName(5), "control");
+  EXPECT_STREQ(obs::FlightStageName(6), "safety");
+  EXPECT_STREQ(obs::FlightStageName(7), "canbus");
+  EXPECT_STREQ(obs::FlightStageName(8), "localization");
+  EXPECT_STREQ(obs::FlightStageName(9), "unknown");
+
+  EXPECT_STREQ(obs::FlightSafetyStateName(0), "nominal");
+  EXPECT_STREQ(obs::FlightSafetyStateName(1), "limp_home");
+  EXPECT_STREQ(obs::FlightSafetyStateName(2), "safe_stop");
+  EXPECT_STREQ(obs::FlightSafetyStateName(3), "unknown");
+
+  EXPECT_STREQ(obs::FlightMonitorName(0), "range");
+  EXPECT_STREQ(obs::FlightMonitorName(1), "plausibility");
+  EXPECT_STREQ(obs::FlightMonitorName(2), "deadline");
+  EXPECT_STREQ(obs::FlightMonitorName(3), "control_flow");
+  EXPECT_STREQ(obs::FlightMonitorName(4), "command");
+  EXPECT_STREQ(obs::FlightMonitorName(5), "can_bus");
+  EXPECT_STREQ(obs::FlightMonitorName(6), "unknown");
+
+  EXPECT_STREQ(obs::FlightEventTypeName(1), "stage_begin");
+  EXPECT_STREQ(obs::FlightEventTypeName(4), "safety_state");
+  EXPECT_STREQ(obs::FlightEventTypeName(9), "serve_end");
+  EXPECT_STREQ(obs::FlightEventTypeName(0), "unknown");
+}
+
+// --- quantiles -----------------------------------------------------------
+
+// Histogram::Quantile obeys the same nearest-rank law as the timing
+// layer's NearestRankQuantile. When every recorded sample sits exactly on
+// a bucket upper bound, the bucketed quantile must equal the exact one.
+TEST(HistogramQuantile, MatchesNearestRankOnBucketBounds) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0, 8.0};
+  obs::Histogram h(bounds);
+  std::vector<double> samples;
+  // 3x 1.0, 2x 2.0, 4x 4.0, 1x 8.0 — uneven occupancy on purpose.
+  for (int i = 0; i < 3; ++i) samples.push_back(1.0);
+  for (int i = 0; i < 2; ++i) samples.push_back(2.0);
+  for (int i = 0; i < 4; ++i) samples.push_back(4.0);
+  samples.push_back(8.0);
+  for (double v : samples) h.Record(v);
+
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q),
+                     certkit::timing::NearestRankQuantile(samples, q))
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantile, OverflowBucketReportsInfinity) {
+  obs::Histogram h({1.0, 2.0});
+  h.Record(0.5);
+  h.Record(100.0);  // overflow: above the last bound
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.0);
+  EXPECT_TRUE(std::isinf(h.Quantile(1.0)));
+  EXPECT_GT(h.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramQuantile, EmptyHistogramReportsZero) {
+  obs::Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+// The free-function form (used by the JSON exporter and the dump writer)
+// agrees with the member form for identical bucket contents.
+TEST(HistogramQuantile, FreeFunctionMatchesMember) {
+  const std::vector<double> bounds = {0.5, 1.0, 2.0};
+  obs::Histogram h(bounds);
+  for (double v : {0.1, 0.6, 0.7, 1.5, 9.0}) h.Record(v);
+  const std::vector<std::int64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), bounds.size() + 1);
+  for (const double q : {0.01, 0.2, 0.5, 0.8, 1.0}) {
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(bounds, buckets, q), h.Quantile(q))
+        << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(bounds, {0, 0, 0, 0}, 0.5), 0.0);
+}
+
+// MetricsJson keeps quantiles behind include_timing: bucket occupancy of
+// duration histograms is wall-clock-derived, so a timing-off export must
+// not leak p50/p90/p99 (the determinism contract other tests diff against).
+TEST(HistogramQuantile, MetricsJsonGatesQuantilesBehindTiming) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.ResetAll();
+  registry.GetHistogram("flight_test/gating", {1.0, 2.0}).Record(1.5);
+
+  const std::string without = obs::MetricsJson(registry.Snapshot(), false);
+  EXPECT_EQ(without.find("\"p50\""), std::string::npos);
+  EXPECT_EQ(without.find("\"buckets\""), std::string::npos);
+
+  const std::string with = obs::MetricsJson(registry.Snapshot(), true);
+  EXPECT_NE(with.find("\"p50\""), std::string::npos);
+  EXPECT_NE(with.find("\"p90\""), std::string::npos);
+  EXPECT_NE(with.find("\"p99\""), std::string::npos);
+  EXPECT_NE(with.find("\"buckets\""), std::string::npos);
+}
+
+}  // namespace

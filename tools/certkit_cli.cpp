@@ -12,6 +12,8 @@
 //                                          oracle + ddmin repro shrinking
 //   certkit trace [--trace-out F]          instrumented pilot drive + mini
 //                                          campaign; Chrome trace + metrics
+//   certkit dump [--out F] [--ticks N]     instrumented pilot drive, then an
+//                                          explicit flight-recorder dump
 //
 // All commands accept --jobs N to set the worker count (default: hardware
 // concurrency). Output is bit-identical for every N — analysis merges
@@ -25,6 +27,7 @@
 // the codebase does not meet the target ASIL (CI-friendly); for `replay`,
 // 2 when the re-execution or the differential oracle diverges.
 #include <cstdio>
+#include <iostream>
 #include <string>
 
 #include "ad/pipeline.h"
@@ -35,6 +38,8 @@
 #include "campaign/service.h"
 #include "driver/analysis_driver.h"
 #include "metrics/halstead.h"
+#include "obs/flight_recorder.h"
+#include "obs/flight_validate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_validate.h"
@@ -78,11 +83,13 @@ int Usage() {
       "                          the checkpoint; byte-identical to the\n"
       "                          unsharded run; prints the campaign JSON\n"
       "                          when the final generation merges\n"
-      "  serve --requests F [--jobs N]\n"
+      "  serve --requests F | --stdin [--jobs N] [--timing]\n"
       "                          warm-process request loop: JSON-array or\n"
-      "                          NDJSON campaign/analyze requests, one\n"
-      "                          response line each, in request order;\n"
-      "                          exit 2 if any request failed\n"
+      "                          NDJSON campaign/analyze/stats requests,\n"
+      "                          one response line each, in request order;\n"
+      "                          --stdin answers one request per input line\n"
+      "                          until EOF or a shutdown request; exit 2 if\n"
+      "                          any request failed\n"
       "  replay <artifact.json> [--diff] [--minimize] [--out F]\n"
       "                          re-execute a finding bit-identically (FNV\n"
       "                          digest gate; exit 2 on divergence); --diff\n"
@@ -94,13 +101,21 @@ int Usage() {
       "        [--population N] [--generations N] [--timing]\n"
       "                          traced pilot drive + mini campaign; writes\n"
       "                          Chrome trace-event JSON (chrome://tracing)\n"
+      "  dump [--out F] [--ticks N] [--timing]\n"
+      "                          instrumented pilot drive, then an explicit\n"
+      "                          flight-recorder dump (validated before\n"
+      "                          writing; trace_lint checks it too)\n"
       "common flags:\n"
       "  --jobs N                analysis threads (default: all cores)\n"
       "  --cache-dir DIR         reuse per-file analysis artifacts across\n"
       "                          runs; only changed files are re-analyzed\n"
       "  --no-cache              ignore --cache-dir for this run\n"
       "  --cache-stats           print cache hit/miss counts to stderr\n"
-      "  --cache-gc              prune cache entries this run did not use\n");
+      "  --cache-gc              prune cache entries this run did not use\n"
+      "  --flight-dump F         black-box dump file for campaign/serve\n"
+      "                          (default certkit_flight_dump.json); when\n"
+      "                          given explicitly, also arms a dump on the\n"
+      "                          first safe-stop oracle verdict\n");
   return 1;
 }
 
@@ -351,6 +366,22 @@ int CmdCampaign(const FlagParser& flags) {
     return 1;
   }
 
+  // Arm the black box: a fatal signal mid-campaign dumps the flight
+  // recorder through a pre-opened fd, so `kill -ABRT` leaves a post-mortem
+  // naming the last completed tick stage and safety state. An explicit
+  // --flight-dump additionally arms the oracle trigger (first safe-stop).
+  const std::string flight_path =
+      flags.GetOr("flight-dump", "certkit_flight_dump.json");
+  certkit::obs::SetFlightWallClock(config.include_timing);
+  if (!certkit::obs::InstallFlightSignalHandlers(flight_path)) {
+    std::printf("error: cannot open --flight-dump '%s'\n",
+                flight_path.c_str());
+    return 1;
+  }
+  if (flags.Get("flight-dump").has_value()) {
+    certkit::obs::ArmFlightOracleDump(flight_path);
+  }
+
   campaign::CampaignState state = campaign::CampaignRunner::FreshState(config);
   if (!config.checkpoint_dir.empty()) {
     const auto load = campaign::LoadCampaignCheckpoint(config.checkpoint_dir,
@@ -487,15 +518,36 @@ int CmdMergeCorpus(const FlagParser& flags) {
 int CmdServe(const FlagParser& flags) {
   namespace campaign = certkit::campaign;
   const std::string requests_path = flags.GetOr("requests", "");
-  if (requests_path.empty()) {
+  const bool use_stdin = flags.GetBool("stdin");
+  if (requests_path.empty() && !use_stdin) {
     std::printf("error: serve needs --requests <file> (JSON array or "
-                "NDJSON of request objects)\n");
+                "NDJSON of request objects) or --stdin\n");
     return 1;
   }
   const auto jobs = flags.GetInt("jobs", 0);
   if (!jobs) {
     std::printf("error: --jobs must be an integer\n");
     return 1;
+  }
+  const bool timing = flags.GetBool("timing");
+  // Same black-box arming as `certkit campaign`: a long-lived server is
+  // exactly the process whose death needs a post-mortem.
+  const std::string flight_path =
+      flags.GetOr("flight-dump", "certkit_flight_dump.json");
+  certkit::obs::SetFlightWallClock(timing);
+  if (!certkit::obs::InstallFlightSignalHandlers(flight_path)) {
+    std::printf("error: cannot open --flight-dump '%s'\n",
+                flight_path.c_str());
+    return 1;
+  }
+  if (flags.Get("flight-dump").has_value()) {
+    certkit::obs::ArmFlightOracleDump(flight_path);
+  }
+  if (use_stdin) {
+    campaign::CampaignService service(static_cast<int>(*jobs), timing);
+    const campaign::ServeLoopResult result =
+        campaign::RunServeLoop(std::cin, std::cout, &service);
+    return result.failed > 0 ? 2 : 0;
   }
   const auto text = certkit::support::ReadFile(requests_path);
   if (!text.ok()) {
@@ -508,7 +560,7 @@ int CmdServe(const FlagParser& flags) {
     std::printf("error: %s: %s\n", requests_path.c_str(), error.c_str());
     return 1;
   }
-  campaign::CampaignService service(static_cast<int>(*jobs));
+  campaign::CampaignService service(static_cast<int>(*jobs), timing);
   const auto responses = service.Process(requests);
   bool any_failed = false;
   for (const auto& response : responses) {
@@ -698,6 +750,47 @@ int CmdObsTrace(const FlagParser& flags) {
   return 0;
 }
 
+// Explicit flight-recorder dump: run a short instrumented pilot drive (so
+// the rings hold real stage/safety events), then drain the black box into
+// one validated JSON document — the same writer the fatal-signal and
+// oracle triggers use.
+int CmdDump(const FlagParser& flags) {
+  namespace obs = certkit::obs;
+  const auto ticks = flags.GetInt("ticks", 25);
+  if (!ticks || *ticks < 1) {
+    std::printf("error: --ticks must be a positive integer\n");
+    return 1;
+  }
+  const bool timing = flags.GetBool("timing");
+  const std::string out = flags.GetOr("out", "certkit_flight_dump.json");
+  obs::SetFlightWallClock(timing);
+  {
+    adpilot::PilotConfig cfg;
+    cfg.safety.tick_deadline = 5.0;
+    adpilot::ApolloPilot pilot(cfg);
+    for (int t = 0; t < static_cast<int>(*ticks); ++t) pilot.Tick();
+  }
+  const std::string dump =
+      obs::FlightDumpString(obs::FlightDumpTrigger::kExplicit);
+  std::string error;
+  if (!obs::ValidateFlightDump(dump, &error)) {
+    std::printf("error: generated dump failed validation: %s\n",
+                error.c_str());
+    return 1;
+  }
+  const auto status = certkit::support::WriteFile(out, dump);
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const obs::FlightRecorderStats stats = obs::GetFlightRecorderStats();
+  std::printf("flight dump: %s (%lld events recorded, %lld dropped, "
+              "%zu bytes)\n",
+              out.c_str(), static_cast<long long>(stats.events),
+              static_cast<long long>(stats.dropped), dump.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -715,6 +808,7 @@ int main(int argc, char** argv) {
   if (command == "assess") return CmdAssess(flags);
   if (command == "traceability") return CmdTraceability(flags);
   if (command == "trace") return CmdObsTrace(flags);
+  if (command == "dump") return CmdDump(flags);
   std::printf("unknown command '%s'\n", command.c_str());
   return Usage();
 }

@@ -1,27 +1,36 @@
-// trace_lint — standalone validator for certkit's Chrome trace-event
-// exports.
+// trace_lint — standalone validator for certkit's observability exports.
 //
-//   trace_lint <trace.json> [more.json ...]
+//   trace_lint <file.json> [more.json ...]
 //
-// Checks each file against the subset of the trace-event format certkit
-// emits (see DESIGN.md): a {"traceEvents": [...]} document whose events are
-// either "X" (complete, with integer ts >= 0 and dur >= 1) or "M"
-// (metadata), plus the structural invariant the logical clock guarantees —
-// within one tid, span intervals either nest or are disjoint; a partial
-// overlap means the exporter's sequence clock is broken.
+// Two document kinds, dispatched on the root key:
 //
-// The validator is an independent re-implementation (its own JSON parser,
-// its own interval check) so exporter bugs cannot hide behind shared code.
+//  * Chrome trace-event exports ({"traceEvents": [...]}): checked against
+//    the subset certkit emits (see DESIGN.md) — events are either "X"
+//    (complete, with integer ts >= 0 and dur >= 1) or "M" (metadata), plus
+//    the structural invariant the logical clock guarantees — within one
+//    tid, span intervals either nest or are disjoint; a partial overlap
+//    means the exporter's sequence clock is broken.
+//
+//  * Flight-recorder dumps ({"flight_dump": {...}}): schema version,
+//    well-formed trigger, per-thread event ordering strictly monotone in
+//    the sequence clock, known event/stage/monitor/state vocabulary, and a
+//    well-formed metrics snapshot (bucket arrays of length bounds+1 that
+//    sum to the count; quantiles numeric or "+inf").
+//
+// Both validators are independent re-implementations (own JSON parsing,
+// own invariant checks) so emitter bugs cannot hide behind shared code.
 //
 // Exit status: 0 when every file validates, 1 otherwise (CI-friendly).
 #include <cstdio>
+#include <string>
 
+#include "obs/flight_validate.h"
 #include "obs/trace_validate.h"
 #include "support/io.h"
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::printf("usage: trace_lint <trace.json> [more.json ...]\n");
+    std::printf("usage: trace_lint <file.json> [more.json ...]\n");
     return 1;
   }
   int failures = 0;
@@ -33,9 +42,18 @@ int main(int argc, char** argv) {
       ++failures;
       continue;
     }
+    // Dispatch on the root key: a flight dump opens with "flight_dump",
+    // a trace with "traceEvents".
+    const bool is_flight =
+        content.value().find("\"flight_dump\"") != std::string::npos;
     std::string error;
-    if (certkit::obs::ValidateChromeTrace(content.value(), &error)) {
-      std::printf("%s: OK (%zu bytes)\n", argv[i], content.value().size());
+    const bool ok =
+        is_flight
+            ? certkit::obs::ValidateFlightDump(content.value(), &error)
+            : certkit::obs::ValidateChromeTrace(content.value(), &error);
+    if (ok) {
+      std::printf("%s: OK (%s, %zu bytes)\n", argv[i],
+                  is_flight ? "flight dump" : "trace", content.value().size());
     } else {
       std::printf("%s: INVALID: %s\n", argv[i], error.c_str());
       ++failures;
