@@ -101,28 +101,36 @@ BehaviorDecision BehaviorPlanner::Decide(
 
 PlannerConfig ApplyBehavior(const PlannerConfig& base,
                             const BehaviorDecision& decision) {
-  PlannerConfig out = base;
+  PlannerConfig out;
+  ApplyBehaviorInto(base, decision, &out);
+  return out;
+}
+
+void ApplyBehaviorInto(const PlannerConfig& base,
+                       const BehaviorDecision& decision, PlannerConfig* out) {
+  // Vector copy-assignment reuses the destination's capacity, so a warm
+  // *out takes no allocation here or in the overrides below.
+  *out = base;
   switch (decision.behavior) {
     case DrivingBehavior::kCruise:
-      out.cruise_speed = decision.target_speed;
+      out->cruise_speed = decision.target_speed;
       break;
     case DrivingBehavior::kFollow:
-      out.cruise_speed = std::max(0.1, decision.target_speed);
+      out->cruise_speed = std::max(0.1, decision.target_speed);
       // No lateral excursions while car-following.
-      out.lateral_offsets = {0.0};
+      out->lateral_offsets = {0.0};
       break;
     case DrivingBehavior::kOvertake:
-      out.cruise_speed = decision.target_speed;
+      out->cruise_speed = decision.target_speed;
       // Bias to the passing side: centerline stays available as fallback.
-      out.lateral_offsets = {4.0, 2.0, 0.0};
+      out->lateral_offsets = {4.0, 2.0, 0.0};
       break;
     case DrivingBehavior::kStop:
-      out.cruise_speed = std::max(0.1, base.cruise_speed);
-      out.speed_factors = {0.0};  // every candidate brakes to a halt
-      out.lateral_offsets = {0.0};
+      out->cruise_speed = std::max(0.1, base.cruise_speed);
+      out->speed_factors = {0.0};  // every candidate brakes to a halt
+      out->lateral_offsets = {0.0};
       break;
   }
-  return out;
 }
 
 }  // namespace adpilot

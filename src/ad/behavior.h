@@ -13,7 +13,6 @@
 #ifndef AD_BEHAVIOR_H_
 #define AD_BEHAVIOR_H_
 
-#include <string>
 #include <vector>
 
 #include "ad/common.h"
@@ -30,7 +29,10 @@ struct BehaviorDecision {
   double target_speed = 0.0;   // m/s the longitudinal profile should seek
   int lead_obstacle_id = -1;   // -1 when no lead
   double lead_gap = 0.0;       // longitudinal gap to the lead, meters
-  std::string reason;          // human-readable justification
+  // Human-readable justification. Always a string literal (static storage),
+  // so copying a decision never allocates — a std::string here exceeded the
+  // SSO limit for every reason text and cost one heap allocation per tick.
+  const char* reason = "";
 };
 
 struct BehaviorConfig {
@@ -67,6 +69,11 @@ class BehaviorPlanner {
 // (via cruise_speed and speed factors) and the admissible lateral offsets.
 PlannerConfig ApplyBehavior(const PlannerConfig& base,
                             const BehaviorDecision& decision);
+
+// Capacity-reusing variant: *out's offset/factor vectors are overwritten in
+// place (their capacities only ever grow to the largest set seen).
+void ApplyBehaviorInto(const PlannerConfig& base,
+                       const BehaviorDecision& decision, PlannerConfig* out);
 
 }  // namespace adpilot
 

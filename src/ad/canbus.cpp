@@ -132,9 +132,9 @@ void CanBus::SendCommand(const ControlCommand& command) {
 
 ChassisFeedback CanBus::Step(double dt, double gnss_noise,
                              double speed_noise) {
-  while (!queue_.empty()) {
-    CanFrame frame = queue_.front();
-    queue_.pop_front();
+  while (queue_head_ < queue_.size()) {
+    CanFrame frame = queue_[queue_head_];
+    ++queue_head_;
     if (frame_fault_ && !frame_fault_(&frame)) {
       continue;  // frame lost on the wire
     }
@@ -147,6 +147,8 @@ ChassisFeedback CanBus::Step(double dt, double gnss_noise,
     last_command_ = DecodeCommand(frame);
     ++frames_delivered_;
   }
+  queue_.clear();
+  queue_head_ = 0;
   vehicle_.Apply(last_command_, dt);
   return vehicle_.Feedback(gnss_noise, speed_noise);
 }

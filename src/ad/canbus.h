@@ -8,8 +8,8 @@
 #define AD_CANBUS_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <vector>
 
 #include "ad/common.h"
 #include "support/rng.h"
@@ -100,7 +100,12 @@ class CanBus {
 
  private:
   SimulatedVehicle vehicle_;
-  std::deque<CanFrame> queue_;
+  // FIFO as a flat vector plus a read cursor: Step drains everything each
+  // cycle and resets the cursor, so the buffer's capacity is reused forever
+  // (a deque walks its block map and re-allocates nodes as the cursor
+  // advances, which is not allocation-free in steady state).
+  std::vector<CanFrame> queue_;
+  std::size_t queue_head_ = 0;
   ControlCommand last_command_;
   FrameFault frame_fault_;
   std::int64_t frames_sent_ = 0;

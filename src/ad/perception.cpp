@@ -30,10 +30,19 @@ std::vector<Obstacle> Perception::Process(const nn::Tensor& frame,
 
 std::vector<Obstacle> Perception::ProcessBatch(
     const std::vector<nn::Tensor>& frames, const Pose& ego_pose, double dt) {
+  std::vector<Obstacle> out;
+  ProcessBatchInto(frames, ego_pose, dt, &out);
+  return out;
+}
+
+void Perception::ProcessBatchInto(const std::vector<nn::Tensor>& frames,
+                                  const Pose& ego_pose, double dt,
+                                  std::vector<Obstacle>* out) {
   // Inline batch (no pool): perception runs on the caller's thread so
   // campaign per-candidate coverage/trace attribution stays intact.
-  const std::vector<std::vector<nn::Detection>> per_frame =
-      detector_->DetectBatch(frames);
+  detector_->DetectBatchInto(frames, &per_frame_scratch_);
+  const std::vector<std::vector<nn::Detection>>& per_frame =
+      per_frame_scratch_;
 
   last_detections_.clear();
   for (const std::vector<nn::Detection>& detections : per_frame) {
@@ -50,7 +59,7 @@ std::vector<Obstacle> Perception::ProcessBatch(
       last_detections_.push_back(o);
     }
   }
-  return tracker_.Update(last_detections_, dt);
+  tracker_.UpdateInto(last_detections_, dt, out);
 }
 
 }  // namespace adpilot

@@ -47,6 +47,14 @@ class Perception {
   std::vector<Obstacle> ProcessBatch(const std::vector<nn::Tensor>& frames,
                                      const Pose& ego_pose, double dt);
 
+  // Capacity-reusing variant of ProcessBatch for the allocation-free tick
+  // path: confirmed obstacles are written into *out, all intermediate
+  // buffers (per-frame detections, association matrices) are members reused
+  // across cycles.
+  void ProcessBatchInto(const std::vector<nn::Tensor>& frames,
+                        const Pose& ego_pose, double dt,
+                        std::vector<Obstacle>* out);
+
   // Instantaneous detections of the last cycle (world frame), pre-tracking.
   const std::vector<Obstacle>& last_detections() const {
     return last_detections_;
@@ -57,6 +65,7 @@ class Perception {
   std::unique_ptr<nn::TinyYoloDetector> detector_;
   Tracker tracker_;
   std::vector<Obstacle> last_detections_;
+  std::vector<std::vector<nn::Detection>> per_frame_scratch_;
 };
 
 }  // namespace adpilot

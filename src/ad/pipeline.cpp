@@ -202,12 +202,14 @@ TickReport ApolloPilot::Tick() {
   // A sensor-dropout fault loses the frame: the perception stage does not
   // run (the control-flow monitor flags the missing stage) and the pipeline
   // coasts on the previous tick's tracks.
-  std::vector<Obstacle> tracked;
+  std::vector<Obstacle>& tracked = tracked_scratch_;
   if (injector_ != nullptr && injector_->SensorDropout()) {
     tracked = last_tracked_;
     report.detections = 0;
   } else {
-    const nn::Tensor frame = scenario_.RenderCameraFrame(est.pose);
+    if (frame_scratch_.empty()) frame_scratch_.resize(1);
+    scenario_.RenderCameraFrameInto(est.pose, &frame_scratch_[0]);
+    const nn::Tensor& frame = frame_scratch_[0];
     if (tapped) {
       tick_sig.frame =
           DigestTensor(frame, certkit::support::kFnvOffsetBasis);
@@ -220,7 +222,9 @@ TickReport ApolloPilot::Tick() {
                               O().perception.timer, O().perception.hist);
       certkit::obs::FlightStageScope flight(
           certkit::obs::FlightStage::kPerception, tick_index_);
-      tracked = perception_.Process(frame, est.pose, dt);
+      // Batch-of-one through the batch engine: bit-identical to the
+      // single-frame path, but every intermediate is member scratch.
+      perception_.ProcessBatchInto(frame_scratch_, est.pose, dt, &tracked);
     }
     report.detections = perception_.last_detections().size();
     if (tapped) {
@@ -246,13 +250,13 @@ TickReport ApolloPilot::Tick() {
   P().u->EnterFunction(P().f_prediction);
   P().u->CallSite(P().c_prediction);
   control_flow_monitor_.Enter(TickStage::kPrediction);
-  std::vector<PredictedObstacle> predictions;
+  std::vector<PredictedObstacle>& predictions = predictions_scratch_;
   {
     certkit::obs::Span span("prediction", "pipeline", O().prediction.timer,
                             O().prediction.hist);
     certkit::obs::FlightStageScope flight(
         certkit::obs::FlightStage::kPrediction, tick_index_);
-    predictions = PredictObstacles(tracked, config_.prediction);
+    PredictObstaclesInto(tracked, config_.prediction, &predictions);
   }
 
   // 5. Planning along the route.
@@ -263,15 +267,15 @@ TickReport ApolloPilot::Tick() {
   P().u->EnterFunction(P().f_planning);
   P().u->CallSite(P().c_planning);
   control_flow_monitor_.Enter(TickStage::kPlanning);
-  PlanResult plan;
+  PlanResult& plan = plan_scratch_;
   {
     certkit::obs::Span span("planning", "pipeline", O().planning.timer,
                             O().planning.hist);
     certkit::obs::FlightStageScope flight(
         certkit::obs::FlightStage::kPlanning, tick_index_);
-    plan = PlanTrajectory(est, route_,
-                          predictions,
-                          ApplyBehavior(config_.planner, decision));
+    ApplyBehaviorInto(config_.planner, decision, &planner_config_scratch_);
+    PlanTrajectoryInto(est, route_, predictions, planner_config_scratch_,
+                       &planner_scratch_, &plan);
   }
   report.plan_collision_free = plan.collision_free;
 

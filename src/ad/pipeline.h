@@ -120,6 +120,17 @@ class ApolloPilot {
   std::int64_t violations_tallied_ = 0;
   VehicleState last_published_est_;
   std::vector<Obstacle> last_tracked_;
+
+  // Steady-state tick scratch: every per-tick intermediate lives here so a
+  // warm Tick() performs zero heap allocations (enforced by the tickperf
+  // counting-allocator test). Buffers grow to their peak size on the first
+  // few ticks and are reused afterwards.
+  std::vector<nn::Tensor> frame_scratch_;  // batch-of-one camera frame
+  std::vector<Obstacle> tracked_scratch_;
+  std::vector<PredictedObstacle> predictions_scratch_;
+  PlannerConfig planner_config_scratch_;
+  PlannerScratch planner_scratch_;
+  PlanResult plan_scratch_;
 };
 
 }  // namespace adpilot

@@ -48,12 +48,16 @@ double QuinticPolynomial::SecondDerivative(double t) const {
 
 namespace {
 
-// Arc-length parameterized polyline over the route waypoints.
+// Arc-length parameterized polyline over the route waypoints. References
+// the waypoints in place and builds its station table into caller-owned
+// storage, so constructing one on a warm scratch buffer allocates nothing.
 class ReferenceLine {
  public:
-  explicit ReferenceLine(const std::vector<Vec2>& waypoints)
-      : points_(waypoints) {
+  ReferenceLine(const std::vector<Vec2>& waypoints,
+                std::vector<double>& station_storage)
+      : points_(waypoints), station_(station_storage) {
     CERTKIT_CHECK(points_.size() >= 2);
+    station_.clear();
     station_.push_back(0.0);
     for (std::size_t i = 1; i < points_.size(); ++i) {
       station_.push_back(station_.back() +
@@ -104,13 +108,14 @@ class ReferenceLine {
   }
 
  private:
-  std::vector<Vec2> points_;
-  std::vector<double> station_;
+  const std::vector<Vec2>& points_;
+  std::vector<double>& station_;
 };
 
-Trajectory EmergencyStop(const VehicleState& state,
-                         const PlannerConfig& config) {
-  Trajectory out;
+void EmergencyStopInto(const VehicleState& state, const PlannerConfig& config,
+                       Trajectory* out_traj) {
+  Trajectory& out = *out_traj;
+  out.clear();
   double v = state.speed;
   Vec2 pos = state.pose.position;
   const Vec2 dir = {std::cos(state.pose.heading),
@@ -128,7 +133,6 @@ Trajectory EmergencyStop(const VehicleState& state,
     pos = pos + dir * ((v + v_next) / 2.0 * config.step);
     v = v_next;
   }
-  return out;
 }
 
 // Minimum distance from trajectory sample k to any predicted obstacle at
@@ -168,18 +172,34 @@ bool CollidesAt(const TrajectoryPoint& pt,
 PlanResult PlanTrajectory(const VehicleState& state, const Route& route,
                           const std::vector<PredictedObstacle>& predictions,
                           const PlannerConfig& config) {
+  PlannerScratch scratch;
   PlanResult result;
+  PlanTrajectoryInto(state, route, predictions, config, &scratch, &result);
+  return result;
+}
+
+void PlanTrajectoryInto(const VehicleState& state, const Route& route,
+                        const std::vector<PredictedObstacle>& predictions,
+                        const PlannerConfig& config, PlannerScratch* scratch,
+                        PlanResult* result_out) {
+  PlanResult& result = *result_out;
+  result.trajectory.clear();
+  result.cost = 0.0;
+  result.collision_free = true;
+  result.candidates_evaluated = 0;
   if (route.waypoints.size() < 2) {
-    result.trajectory = EmergencyStop(state, config);
+    EmergencyStopInto(state, config, &result.trajectory);
     result.collision_free = false;
-    return result;
+    return;
   }
-  const ReferenceLine ref(route.waypoints);
+  const ReferenceLine ref(route.waypoints, scratch->ref_station);
   double s0 = 0.0, d0 = 0.0;
   ref.Project(state.pose.position, &s0, &d0);
 
   double best_cost = std::numeric_limits<double>::infinity();
-  Trajectory best;
+  Trajectory& best = scratch->best;
+  Trajectory& traj = scratch->candidate;
+  best.clear();
   bool found = false;
 
   for (double offset : config.lateral_offsets) {
@@ -191,7 +211,7 @@ PlanResult PlanTrajectory(const VehicleState& state, const Route& route,
       QuinticPolynomial lateral(d0, 0.0, 0.0, offset, 0.0, 0.0,
                                 config.horizon *
                                     config.lateral_horizon_factor);
-      Trajectory traj;
+      traj.clear();
       double s = s0;
       double v = state.speed;
       double accel_cost = 0.0;
@@ -234,22 +254,24 @@ PlanResult PlanTrajectory(const VehicleState& state, const Route& route,
           config.w_accel * accel_cost;
       if (cost < best_cost) {
         best_cost = cost;
-        best = std::move(traj);
+        // Swap instead of move: both buffers keep their capacity and ping-
+        // pong between "best so far" and "next candidate" roles.
+        std::swap(best, traj);
         found = true;
       }
     }
   }
 
   if (!found) {
-    result.trajectory = EmergencyStop(state, config);
+    EmergencyStopInto(state, config, &result.trajectory);
     result.collision_free = false;
     result.cost = config.w_collision;
-    return result;
+    return;
   }
-  result.trajectory = std::move(best);
+  // Copy-assign reuses result.trajectory's capacity.
+  result.trajectory = best;
   result.cost = best_cost;
   result.collision_free = true;
-  return result;
 }
 
 }  // namespace adpilot

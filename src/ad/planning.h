@@ -51,11 +51,27 @@ struct PlanResult {
   int candidates_evaluated = 0;
 };
 
+// Reusable working set for PlanTrajectoryInto: reference-line stations and
+// the candidate/best trajectory buffers. Warm after one call; subsequent
+// plans with the same horizon/step allocate nothing.
+struct PlannerScratch {
+  std::vector<double> ref_station;
+  Trajectory candidate;
+  Trajectory best;
+};
+
 // Plans a trajectory from `state` along `route` avoiding `predictions`.
 // Falls back to an emergency-stop trajectory when every candidate collides.
 PlanResult PlanTrajectory(const VehicleState& state, const Route& route,
                           const std::vector<PredictedObstacle>& predictions,
                           const PlannerConfig& config = {});
+
+// Capacity-reusing variant: *result's trajectory and *scratch's buffers are
+// overwritten in place. Identical output to PlanTrajectory.
+void PlanTrajectoryInto(const VehicleState& state, const Route& route,
+                        const std::vector<PredictedObstacle>& predictions,
+                        const PlannerConfig& config, PlannerScratch* scratch,
+                        PlanResult* result);
 
 }  // namespace adpilot
 

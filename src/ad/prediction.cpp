@@ -20,11 +20,19 @@ const char* ManeuverName(Maneuver maneuver) {
 
 std::vector<PredictedObstacle> PredictObstacles(
     const std::vector<Obstacle>& obstacles, const PredictionConfig& config) {
-  CERTKIT_CHECK(config.horizon > 0.0 && config.step > 0.0);
   std::vector<PredictedObstacle> out;
-  out.reserve(obstacles.size());
-  for (const Obstacle& o : obstacles) {
-    PredictedObstacle p;
+  PredictObstaclesInto(obstacles, config, &out);
+  return out;
+}
+
+void PredictObstaclesInto(const std::vector<Obstacle>& obstacles,
+                          const PredictionConfig& config,
+                          std::vector<PredictedObstacle>* out) {
+  CERTKIT_CHECK(config.horizon > 0.0 && config.step > 0.0);
+  out->resize(obstacles.size());
+  for (std::size_t i = 0; i < obstacles.size(); ++i) {
+    const Obstacle& o = obstacles[i];
+    PredictedObstacle& p = (*out)[i];
     p.obstacle = o;
 
     const double speed = o.velocity.Norm();
@@ -39,6 +47,7 @@ std::vector<PredictedObstacle> PredictObstacles(
     const Vec2 vel =
         p.maneuver == Maneuver::kStationary ? Vec2{0.0, 0.0} : o.velocity;
     const double heading = std::atan2(vel.y, vel.x);
+    p.trajectory.clear();
     for (double t = 0.0; t <= config.horizon + 1e-9; t += config.step) {
       TrajectoryPoint pt;
       pt.position = o.position + vel * t;
@@ -47,9 +56,7 @@ std::vector<PredictedObstacle> PredictObstacles(
       pt.t = t;
       p.trajectory.push_back(pt);
     }
-    out.push_back(std::move(p));
   }
-  return out;
 }
 
 }  // namespace adpilot

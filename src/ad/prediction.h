@@ -31,6 +31,12 @@ std::vector<PredictedObstacle> PredictObstacles(
     const std::vector<Obstacle>& obstacles,
     const PredictionConfig& config = {});
 
+// Capacity-reusing variant: resizes *out and refills each slot's trajectory
+// in place, so a steady obstacle count predicts without allocating.
+void PredictObstaclesInto(const std::vector<Obstacle>& obstacles,
+                          const PredictionConfig& config,
+                          std::vector<PredictedObstacle>* out);
+
 }  // namespace adpilot
 
 #endif  // AD_PREDICTION_H_

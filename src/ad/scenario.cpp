@@ -148,8 +148,17 @@ void Scenario::Step(double dt) {
 }
 
 nn::Tensor Scenario::RenderCameraFrame(const Pose& ego_pose) {
+  nn::Tensor frame;
+  RenderCameraFrameInto(ego_pose, &frame);
+  return frame;
+}
+
+void Scenario::RenderCameraFrameInto(const Pose& ego_pose,
+                                     nn::Tensor* frame_out) {
   constexpr int kSize = CameraModel::kImageSize;
-  nn::Tensor frame(1, 3, kSize, kSize);
+  // Every pixel is overwritten below, so reshaping without clearing is safe.
+  frame_out->Reshape(1, 3, kSize, kSize);
+  nn::Tensor& frame = *frame_out;
   // Road background with mild sensor noise.
   for (int c = 0; c < 3; ++c) {
     for (int y = 0; y < kSize; ++y) {
@@ -180,7 +189,6 @@ nn::Tensor Scenario::RenderCameraFrame(const Pose& ego_pose) {
       }
     }
   }
-  return frame;
 }
 
 }  // namespace adpilot

@@ -72,6 +72,10 @@ class Scenario {
 
   // Renders the camera frame for an ego at `ego_pose`.
   nn::Tensor RenderCameraFrame(const Pose& ego_pose);
+  // Capacity-reusing variant: reshapes *frame (64x64x3) and overwrites every
+  // pixel, so a warm frame buffer costs no allocation. Identical pixels and
+  // RNG consumption to RenderCameraFrame.
+  void RenderCameraFrameInto(const Pose& ego_pose, nn::Tensor* frame);
 
   const std::vector<Obstacle>& ground_truth() const { return agents_; }
   double time() const { return time_; }

@@ -16,29 +16,52 @@ std::vector<int> HungarianAssign(const std::vector<std::vector<double>>& cost,
     CERTKIT_CHECK_MSG(static_cast<int>(row.size()) == cols,
                       "cost matrix is ragged");
   }
-  if (cols == 0) return std::vector<int>(static_cast<std::size_t>(rows), -1);
+  std::vector<double> flat;
+  flat.reserve(static_cast<std::size_t>(rows) * cols);
+  for (const auto& row : cost) flat.insert(flat.end(), row.begin(), row.end());
+  AssignScratch scratch;
+  std::vector<int> assignment;
+  HungarianAssignInto(flat.data(), rows, cols, infeasible_cost, &scratch,
+                      &assignment);
+  return assignment;
+}
+
+void HungarianAssignInto(const double* cost, int rows, int cols,
+                         double infeasible_cost, AssignScratch* scratch,
+                         std::vector<int>* assignment) {
+  assignment->assign(static_cast<std::size_t>(rows), -1);
+  if (rows == 0 || cols == 0) return;
 
   // Pad to square with the infeasible cost (classic potentials algorithm,
   // 1-indexed internals).
   const int n = std::max(rows, cols);
   auto a = [&](int i, int j) -> double {
-    if (i <= rows && j <= cols) return cost[i - 1][j - 1];
+    if (i <= rows && j <= cols) {
+      return cost[static_cast<std::size_t>(i - 1) * cols + (j - 1)];
+    }
     return infeasible_cost;
   };
 
-  std::vector<double> u(static_cast<std::size_t>(n) + 1, 0.0);
-  std::vector<double> v(static_cast<std::size_t>(n) + 1, 0.0);
-  std::vector<int> p(static_cast<std::size_t>(n) + 1, 0);    // col -> row
-  std::vector<int> way(static_cast<std::size_t>(n) + 1, 0);  // col -> prev col
+  AssignScratch& sc = *scratch;
+  sc.u.assign(static_cast<std::size_t>(n) + 1, 0.0);
+  sc.v.assign(static_cast<std::size_t>(n) + 1, 0.0);
+  sc.p.assign(static_cast<std::size_t>(n) + 1, 0);    // col -> row
+  sc.way.assign(static_cast<std::size_t>(n) + 1, 0);  // col -> prev col
+  std::vector<double>& u = sc.u;
+  std::vector<double>& v = sc.v;
+  std::vector<int>& p = sc.p;
+  std::vector<int>& way = sc.way;
 
   for (int i = 1; i <= n; ++i) {
     p[0] = i;
     int j0 = 0;
-    std::vector<double> minv(static_cast<std::size_t>(n) + 1,
-                             std::numeric_limits<double>::infinity());
-    std::vector<bool> used(static_cast<std::size_t>(n) + 1, false);
+    sc.minv.assign(static_cast<std::size_t>(n) + 1,
+                   std::numeric_limits<double>::infinity());
+    sc.used.assign(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<double>& minv = sc.minv;
+    std::vector<char>& used = sc.used;
     do {
-      used[static_cast<std::size_t>(j0)] = true;
+      used[static_cast<std::size_t>(j0)] = 1;
       const int i0 = p[static_cast<std::size_t>(j0)];
       double delta = std::numeric_limits<double>::infinity();
       int j1 = 0;
@@ -74,39 +97,52 @@ std::vector<int> HungarianAssign(const std::vector<std::vector<double>>& cost,
     } while (j0 != 0);
   }
 
-  std::vector<int> assignment(static_cast<std::size_t>(rows), -1);
   for (int j = 1; j <= n; ++j) {
     const int i = p[static_cast<std::size_t>(j)];
     if (i >= 1 && i <= rows && j <= cols &&
-        cost[static_cast<std::size_t>(i - 1)][static_cast<std::size_t>(j - 1)] <
+        cost[static_cast<std::size_t>(i - 1) * cols + (j - 1)] <
             infeasible_cost) {
-      assignment[static_cast<std::size_t>(i - 1)] = j - 1;
+      (*assignment)[static_cast<std::size_t>(i - 1)] = j - 1;
     }
   }
-  return assignment;
 }
 
 std::vector<int> GreedyAssign(const std::vector<std::vector<double>>& cost,
                               double infeasible_cost) {
-  const std::size_t rows = cost.size();
-  std::vector<int> assignment(rows, -1);
+  const int rows = static_cast<int>(cost.size());
+  std::vector<int> assignment(static_cast<std::size_t>(rows), -1);
   if (rows == 0) return assignment;
-  const std::size_t cols = cost[0].size();
-  std::vector<bool> used(cols, false);
-  for (std::size_t i = 0; i < rows; ++i) {
+  const int cols = static_cast<int>(cost[0].size());
+  std::vector<double> flat;
+  flat.reserve(static_cast<std::size_t>(rows) * cols);
+  for (const auto& row : cost) flat.insert(flat.end(), row.begin(), row.end());
+  AssignScratch scratch;
+  GreedyAssignInto(flat.data(), rows, cols, infeasible_cost, &scratch,
+                   &assignment);
+  return assignment;
+}
+
+void GreedyAssignInto(const double* cost, int rows, int cols,
+                      double infeasible_cost, AssignScratch* scratch,
+                      std::vector<int>* assignment) {
+  assignment->assign(static_cast<std::size_t>(rows), -1);
+  if (rows == 0 || cols == 0) return;
+  scratch->used.assign(static_cast<std::size_t>(cols), 0);
+  std::vector<char>& used = scratch->used;
+  for (int i = 0; i < rows; ++i) {
+    const double* row = cost + static_cast<std::size_t>(i) * cols;
     int best = -1;
-    for (std::size_t j = 0; j < cols; ++j) {
-      if (used[j] || cost[i][j] >= infeasible_cost) continue;
-      if (best < 0 || cost[i][j] < cost[i][static_cast<std::size_t>(best)]) {
-        best = static_cast<int>(j);
+    for (int j = 0; j < cols; ++j) {
+      if (used[static_cast<std::size_t>(j)] || row[j] >= infeasible_cost) {
+        continue;
       }
+      if (best < 0 || row[j] < row[best]) best = j;
     }
     if (best >= 0) {
-      assignment[i] = best;
-      used[static_cast<std::size_t>(best)] = true;
+      (*assignment)[static_cast<std::size_t>(i)] = best;
+      used[static_cast<std::size_t>(best)] = 1;
     }
   }
-  return assignment;
 }
 
 KalmanCv2d::KalmanCv2d(const Vec2& position, double pos_var, double vel_var) {
@@ -187,35 +223,50 @@ Tracker::Tracker(const TrackerConfig& config) : config_(config) {}
 
 std::vector<Obstacle> Tracker::Update(const std::vector<Obstacle>& detections,
                                       double dt) {
+  std::vector<Obstacle> out;
+  UpdateInto(detections, dt, &out);
+  return out;
+}
+
+void Tracker::UpdateInto(const std::vector<Obstacle>& detections, double dt,
+                         std::vector<Obstacle>* out) {
   // 1. Predict all tracks forward.
   for (Track& t : tracks_) {
     t.filter.Predict(dt, config_.process_noise);
   }
 
-  // 2. Associate via Hungarian on gated Euclidean distance.
+  // 2. Associate on gated Euclidean distance (flat row-major cost matrix;
+  // all association buffers are members reused across frames).
   constexpr double kInfeasible = 1e8;
-  std::vector<std::vector<double>> cost(
-      tracks_.size(), std::vector<double>(detections.size(), kInfeasible));
+  const int rows = static_cast<int>(tracks_.size());
+  const int cols = static_cast<int>(detections.size());
+  cost_.assign(static_cast<std::size_t>(rows) * cols, kInfeasible);
   for (std::size_t ti = 0; ti < tracks_.size(); ++ti) {
     for (std::size_t di = 0; di < detections.size(); ++di) {
       const double d =
           tracks_[ti].filter.position().DistanceTo(detections[di].position);
       if (d <= config_.gate_distance &&
           tracks_[ti].cls == detections[di].cls) {
-        cost[ti][di] = d;
+        cost_[ti * detections.size() + di] = d;
       }
     }
   }
-  std::vector<int> assignment =
-      config_.use_greedy_association ? GreedyAssign(cost, kInfeasible)
-                                     : HungarianAssign(cost, kInfeasible);
+  if (config_.use_greedy_association) {
+    GreedyAssignInto(cost_.data(), rows, cols, kInfeasible, &assign_scratch_,
+                     &assignment_);
+  } else {
+    HungarianAssignInto(cost_.data(), rows, cols, kInfeasible,
+                        &assign_scratch_, &assignment_);
+  }
+  const std::vector<int>& assignment = assignment_;
 
   // 3. Update matched tracks; mark misses.
-  std::vector<bool> detection_used(detections.size(), false);
+  detection_used_.assign(detections.size(), 0);
+  std::vector<char>& detection_used = detection_used_;
   for (std::size_t ti = 0; ti < tracks_.size(); ++ti) {
     const int di = assignment[ti];
     if (di >= 0) {
-      detection_used[static_cast<std::size_t>(di)] = true;
+      detection_used[static_cast<std::size_t>(di)] = 1;
       tracks_[ti].filter.Update(detections[static_cast<std::size_t>(di)].position,
                                 config_.measurement_noise);
       tracks_[ti].hits += 1;
@@ -245,7 +296,7 @@ std::vector<Obstacle> Tracker::Update(const std::vector<Obstacle>& detections,
                 tracks_.end());
 
   // 6. Emit confirmed tracks.
-  std::vector<Obstacle> out;
+  out->clear();
   for (const Track& t : tracks_) {
     if (t.hits < config_.confirm_hits) continue;
     Obstacle o;
@@ -258,9 +309,8 @@ std::vector<Obstacle> Tracker::Update(const std::vector<Obstacle>& detections,
       o.length = 1.0;
       o.width = 1.0;
     }
-    out.push_back(o);
+    out->push_back(o);
   }
-  return out;
 }
 
 }  // namespace adpilot

@@ -16,6 +16,28 @@ std::vector<int> HungarianAssign(
     const std::vector<std::vector<double>>& cost,
     double infeasible_cost = 1e8);
 
+// Reusable working set for the *Into assignment variants: each buffer only
+// ever grows to the largest problem size seen, so a steady tracker
+// associates without allocating.
+struct AssignScratch {
+  std::vector<double> u, v, minv;
+  std::vector<int> p, way;
+  std::vector<char> used;
+};
+
+// Allocation-free core of HungarianAssign: `cost` is row-major rows x cols,
+// working storage lives in *scratch, the result is written into *assignment
+// (resized to `rows`). Produces exactly the same assignment as
+// HungarianAssign on the equivalent nested matrix.
+void HungarianAssignInto(const double* cost, int rows, int cols,
+                         double infeasible_cost, AssignScratch* scratch,
+                         std::vector<int>* assignment);
+
+// Flat, capacity-reusing form of GreedyAssign (same contract as above).
+void GreedyAssignInto(const double* cost, int rows, int cols,
+                      double infeasible_cost, AssignScratch* scratch,
+                      std::vector<int>* assignment);
+
 // Constant-velocity Kalman filter over state [x, y, vx, vy] with position
 // measurements.
 class KalmanCv2d {
@@ -70,12 +92,23 @@ class Tracker {
   std::vector<Obstacle> Update(const std::vector<Obstacle>& detections,
                                double dt);
 
+  // Capacity-reusing variant: confirmed tracks are written into *out. With a
+  // steady obstacle population this performs no heap allocation (new tracks
+  // may still grow tracks_ when the world changes).
+  void UpdateInto(const std::vector<Obstacle>& detections, double dt,
+                  std::vector<Obstacle>* out);
+
   const std::vector<Track>& tracks() const { return tracks_; }
 
  private:
   TrackerConfig config_;
   std::vector<Track> tracks_;
   int next_id_ = 0;
+  // Association working set, reused across frames.
+  std::vector<double> cost_;
+  std::vector<int> assignment_;
+  std::vector<char> detection_used_;
+  AssignScratch assign_scratch_;
 };
 
 }  // namespace adpilot

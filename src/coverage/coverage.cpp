@@ -29,6 +29,12 @@ struct PendingKeyHash {
   }
 };
 
+// Pending condition masks, keyed by (unit, decision). Entries are zeroed on
+// Dec, NOT erased: erase + re-insert cost one heap node per decision
+// evaluation, which put an allocation inside every probed hot loop (the
+// steady-state tick discipline forbids that, and the tickperf test counts
+// it). The map plateaus at one node per (unit, decision) a thread ever
+// evaluates — bounded by the declared probe set.
 thread_local std::unordered_map<PendingKey, std::uint64_t, PendingKeyHash>
     t_pending;
 
@@ -154,7 +160,7 @@ bool Unit::Dec(int decision_id, bool outcome) {
   auto it = t_pending.find(PendingKey{this, decision_id});
   if (it != t_pending.end()) {
     mask = it->second;
-    t_pending.erase(it);
+    it->second = 0;  // keep the node: see t_pending's comment
   }
   int num_conditions = 0;
   {

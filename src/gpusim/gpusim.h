@@ -23,6 +23,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -58,8 +59,19 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Runs `fn(i)` for i in [0, n), distributing across workers; blocks until
-  // all iterations complete.
+  // Runs `fn(ctx, i)` for i in [0, n), distributing across workers; blocks
+  // until all iterations complete. The raw-pointer form is the primitive:
+  // it builds no std::function, so a kernel launch costs zero heap
+  // allocations. Safe to call from multiple threads concurrently — whole
+  // jobs are serialized on a submission mutex, the way a real device
+  // serializes launch queues from independent streams. (Without that
+  // serialization, two concurrent callers clobber each other's job
+  // bookkeeping and one of them waits forever on a completion count that
+  // can no longer be reached — the two-stream hang.)
+  void ParallelFor(std::uint64_t n, void (*fn)(void*, std::uint64_t),
+                   void* ctx);
+
+  // Convenience wrapper over the raw form for std::function callers.
   void ParallelFor(std::uint64_t n,
                    const std::function<void(std::uint64_t)>& fn);
 
@@ -69,10 +81,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mu_;  // serializes whole ParallelFor jobs
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
-  const std::function<void(std::uint64_t)>* job_ = nullptr;
+  void (*job_fn_)(void*, std::uint64_t) = nullptr;
+  void* job_ctx_ = nullptr;
   std::uint64_t job_size_ = 0;
   std::uint64_t next_index_ = 0;
   std::uint64_t completed_ = 0;
@@ -129,26 +143,41 @@ class Device {
   // grid run in parallel (one pool task per block); threads within a block
   // run sequentially, which preserves intra-block ordering and keeps probes
   // race-free within a block.
+  // The launch context lives on this stack frame and reaches workers as a
+  // raw pointer through ParallelFor's primitive form, so a launch performs
+  // no heap allocation (a by-reference lambda here would exceed
+  // std::function's small-buffer size and allocate on every launch).
   template <typename Kernel>
   void Launch(Dim3 grid, Dim3 block, Kernel&& kernel) {
     CERTKIT_CHECK(grid.Count() > 0 && block.Count() > 0);
     const auto t0 = std::chrono::steady_clock::now();
-    pool_.ParallelFor(grid.Count(), [&](std::uint64_t b) {
-      KernelContext ctx;
-      ctx.grid_dim = grid;
-      ctx.block_dim = block;
-      ctx.block_idx.x = static_cast<unsigned>(b % grid.x);
-      ctx.block_idx.y = static_cast<unsigned>((b / grid.x) % grid.y);
-      ctx.block_idx.z = static_cast<unsigned>(b / (static_cast<std::uint64_t>(grid.x) * grid.y));
-      for (unsigned tz = 0; tz < block.z; ++tz) {
-        for (unsigned ty = 0; ty < block.y; ++ty) {
-          for (unsigned tx = 0; tx < block.x; ++tx) {
-            ctx.thread_idx = {tx, ty, tz};
-            kernel(ctx);
+    using K = typename std::remove_reference<Kernel>::type;
+    struct LaunchCtx {
+      Dim3 grid;
+      Dim3 block;
+      K* kernel;
+    } lctx{grid, block, &kernel};
+    pool_.ParallelFor(
+        grid.Count(),
+        [](void* p, std::uint64_t b) {
+          LaunchCtx& c = *static_cast<LaunchCtx*>(p);
+          KernelContext ctx;
+          ctx.grid_dim = c.grid;
+          ctx.block_dim = c.block;
+          ctx.block_idx.x = static_cast<unsigned>(b % c.grid.x);
+          ctx.block_idx.y = static_cast<unsigned>((b / c.grid.x) % c.grid.y);
+          ctx.block_idx.z = static_cast<unsigned>(
+              b / (static_cast<std::uint64_t>(c.grid.x) * c.grid.y));
+          for (unsigned tz = 0; tz < c.block.z; ++tz) {
+            for (unsigned ty = 0; ty < c.block.y; ++ty) {
+              for (unsigned tx = 0; tx < c.block.x; ++tx) {
+                ctx.thread_idx = {tx, ty, tz};
+                (*c.kernel)(ctx);
+              }
+            }
           }
-        }
-      }
-    });
+        },
+        &lctx);
     const auto t1 = std::chrono::steady_clock::now();
     RecordLaunch(std::chrono::duration<double>(t1 - t0).count(),
                  grid.Count());

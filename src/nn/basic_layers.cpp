@@ -35,11 +35,37 @@ BatchNormLayer::BatchNormLayer(std::vector<float> scale,
   CERTKIT_CHECK(!scale_.empty());
 }
 
-Tensor BatchNormLayer::Forward(const Tensor& input) {
+void BatchNormLayer::ForwardInto(const Tensor& input, Tensor* out_t) {
   BnProbes& p = BnP();
+  CERTKIT_CHECK(out_t != nullptr && out_t != &input);
   CERTKIT_CHECK_MSG(input.c() == static_cast<int>(scale_.size()),
                     "batchnorm channel mismatch");
-  Tensor out(input.n(), input.c(), input.h(), input.w());
+  out_t->Reshape(input.n(), input.c(), input.h(), input.w());
+  Tensor& out = *out_t;
+  if (!certkit::cov::ProbesEnabled()) {
+    // Release-flavor fast path: identical arithmetic with the probe calls
+    // compiled out of the loop (they are per-channel here, but the loop
+    // body must stay branch-free for the vectorizer). The probed loop
+    // below is the instrumented flavor.
+    const std::size_t hw =
+        static_cast<std::size_t>(input.h()) * input.w();
+    for (int n = 0; n < input.n(); ++n) {
+      for (int c = 0; c < input.c(); ++c) {
+        const float s = scale_[static_cast<std::size_t>(c)];
+        const float b = shift_[static_cast<std::size_t>(c)];
+        const float* in = input.data() +
+                          (static_cast<std::size_t>(n) * input.c() + c) * hw;
+        float* o = out.data() +
+                   (static_cast<std::size_t>(n) * input.c() + c) * hw;
+        if (s == 1.0f && b == 0.0f) {
+          for (std::size_t i = 0; i < hw; ++i) o[i] = in[i];
+        } else {
+          for (std::size_t i = 0; i < hw; ++i) o[i] = s * in[i] + b;
+        }
+      }
+    }
+    return;
+  }
   for (int n = 0; n < input.n(); ++n) {
     for (int c = 0; c < input.c(); ++c) {
       const float s = scale_[static_cast<std::size_t>(c)];
@@ -64,7 +90,6 @@ Tensor BatchNormLayer::Forward(const Tensor& input) {
       }
     }
   }
-  return out;
 }
 
 // --------------------------------------------------------------- activation
@@ -99,15 +124,40 @@ ActProbes& ActP() {
 ActivationLayer::ActivationLayer(Activation kind, float leaky_slope)
     : kind_(kind), leaky_slope_(leaky_slope) {}
 
-Tensor ActivationLayer::Forward(const Tensor& input) {
+void ActivationLayer::ForwardInto(const Tensor& input, Tensor* out_t) {
   ActProbes& p = ActP();
-  Tensor out(input.n(), input.c(), input.h(), input.w());
+  CERTKIT_CHECK(out_t != nullptr && out_t != &input);
+  out_t->Reshape(input.n(), input.c(), input.h(), input.w());
   const float* in = input.data();
-  float* o = out.data();
+  float* o = out_t->data();
+  if (!certkit::cov::ProbesEnabled()) {
+    // Release-flavor fast path: the probed loop below fires two probes per
+    // element, which dominates an elementwise layer once coverage is off.
+    // Same selects, same arithmetic, vectorizable.
+    const std::size_t size = input.size();
+    switch (kind_) {
+      case Activation::kLinear:
+        std::copy(in, in + size, o);
+        break;
+      case Activation::kRelu:
+        for (std::size_t i = 0; i < size; ++i) {
+          const float v = in[i];
+          o[i] = v < 0.0f ? 0.0f : v;
+        }
+        break;
+      case Activation::kLeakyRelu:
+        for (std::size_t i = 0; i < size; ++i) {
+          const float v = in[i];
+          o[i] = v < 0.0f ? leaky_slope_ * v : v;
+        }
+        break;
+    }
+    return;
+  }
   if (p.u->Branch(p.d_linear, kind_ == Activation::kLinear)) {
     p.u->Stmt(ActProbes::kSLinear);
     std::copy(in, in + input.size(), o);
-    return out;
+    return;
   }
   const bool is_relu =
       p.u->Branch(p.d_relu, kind_ == Activation::kRelu);
@@ -130,7 +180,6 @@ Tensor ActivationLayer::Forward(const Tensor& input) {
       o[i] = v;
     }
   }
-  return out;
 }
 
 // ------------------------------------------------------------------ maxpool
@@ -158,12 +207,73 @@ MaxPoolLayer::MaxPoolLayer(int size, int stride) : size_(size),
   CERTKIT_CHECK(size > 0 && stride > 0);
 }
 
-Tensor MaxPoolLayer::Forward(const Tensor& input) {
+void MaxPoolLayer::ForwardInto(const Tensor& input, Tensor* out_t) {
   PoolProbes& p = PoolP();
+  CERTKIT_CHECK(out_t != nullptr && out_t != &input);
   const int oh = (input.h() - size_) / stride_ + 1;
   const int ow = (input.w() - size_) / stride_ + 1;
   CERTKIT_CHECK_MSG(oh > 0 && ow > 0, "pool output would be empty");
-  Tensor out(input.n(), input.c(), oh, ow);
+  out_t->Reshape(input.n(), input.c(), oh, ow);
+  Tensor& out = *out_t;
+  if (!certkit::cov::ProbesEnabled()) {
+    // Release-flavor fast path: the probed loop fires four probes per
+    // window TAP (bounds conditions, decision, max-update branch), which
+    // makes pooling the most expensive layer of the whole detector once
+    // coverage is off. Same traversal order, same comparisons.
+    if (size_ == 2 && stride_ == 2 && input.h() % 2 == 0 &&
+        input.w() % 2 == 0) {
+      // Every pool in the detector is 2×2 stride 2 on even dims, so the
+      // window never rags off the edge and the per-tap bounds checks (and
+      // At()'s index arithmetic) can go. The max is folded in the probed
+      // path's exact tap order from the same -inf seed, so the `v > best`
+      // comparison chain — including its NaN behavior — is unchanged;
+      // that fold is the form the vectorizer maps to maxps.
+      const int iw = input.w();
+      const std::size_t planes =
+          static_cast<std::size_t>(input.n()) * input.c();
+      const float* src = input.data();
+      float* dst = out.data();
+      for (std::size_t pl = 0; pl < planes; ++pl) {
+        const float* in_plane = src + pl * static_cast<std::size_t>(input.h()) * iw;
+        float* out_plane = dst + pl * static_cast<std::size_t>(oh) * ow;
+        for (int y = 0; y < oh; ++y) {
+          const float* r0 = in_plane + static_cast<std::size_t>(2 * y) * iw;
+          const float* r1 = r0 + iw;
+          float* orow = out_plane + static_cast<std::size_t>(y) * ow;
+          for (int x = 0; x < ow; ++x) {
+            float best = -std::numeric_limits<float>::infinity();
+            best = r0[2 * x] > best ? r0[2 * x] : best;
+            best = r0[2 * x + 1] > best ? r0[2 * x + 1] : best;
+            best = r1[2 * x] > best ? r1[2 * x] : best;
+            best = r1[2 * x + 1] > best ? r1[2 * x + 1] : best;
+            orow[x] = best;
+          }
+        }
+      }
+      return;
+    }
+    for (int n = 0; n < input.n(); ++n) {
+      for (int c = 0; c < input.c(); ++c) {
+        for (int y = 0; y < oh; ++y) {
+          for (int x = 0; x < ow; ++x) {
+            float best = -std::numeric_limits<float>::infinity();
+            for (int ky = 0; ky < size_; ++ky) {
+              const int iy = y * stride_ + ky;
+              if (iy >= input.h()) continue;
+              for (int kx = 0; kx < size_; ++kx) {
+                const int ix = x * stride_ + kx;
+                if (ix >= input.w()) continue;
+                const float v = input.At(n, c, iy, ix);
+                if (v > best) best = v;
+              }
+            }
+            out.At(n, c, y, x) = best;
+          }
+        }
+      }
+    }
+    return;
+  }
   for (int n = 0; n < input.n(); ++n) {
     for (int c = 0; c < input.c(); ++c) {
       for (int y = 0; y < oh; ++y) {
@@ -193,7 +303,6 @@ Tensor MaxPoolLayer::Forward(const Tensor& input) {
       }
     }
   }
-  return out;
 }
 
 // ----------------------------------------------------------------- upsample
@@ -220,10 +329,12 @@ UpsampleLayer::UpsampleLayer(int factor) : factor_(factor) {
   CERTKIT_CHECK(factor >= 1);
 }
 
-Tensor UpsampleLayer::Forward(const Tensor& input) {
+void UpsampleLayer::ForwardInto(const Tensor& input, Tensor* out_t) {
   UpProbes& p = UpP();
-  Tensor out(input.n(), input.c(), input.h() * factor_,
-             input.w() * factor_);
+  CERTKIT_CHECK(out_t != nullptr && out_t != &input);
+  out_t->Reshape(input.n(), input.c(), input.h() * factor_,
+                 input.w() * factor_);
+  Tensor& out = *out_t;
   if (p.u->Branch(p.d_factor2, factor_ == 2)) {
     // Unrolled 2x fast path.
     p.u->Stmt(UpProbes::kSFast2x);
@@ -240,7 +351,7 @@ Tensor UpsampleLayer::Forward(const Tensor& input) {
         }
       }
     }
-    return out;
+    return;
   }
   p.u->Stmt(UpProbes::kSGeneric);
   for (int n = 0; n < input.n(); ++n) {
@@ -252,7 +363,6 @@ Tensor UpsampleLayer::Forward(const Tensor& input) {
       }
     }
   }
-  return out;
 }
 
 }  // namespace nn

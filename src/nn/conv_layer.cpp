@@ -71,6 +71,11 @@ void FakeQuantizeTensor(Tensor* t) {
   float* data = t->data();
   const std::size_t size = t->size();
   for (std::size_t i = 0; i < size; ++i) {
+    // A non-finite activation would make amax (and therefore the scale)
+    // undefined; per the containment policy in layers.h, quantization is
+    // skipped outright so the value reaches the safety layer's range
+    // monitor intact instead of turning the whole tensor into NaN.
+    if (!std::isfinite(data[i])) return;
     const float a = std::fabs(data[i]);
     if (a > amax) amax = a;
   }
@@ -81,22 +86,20 @@ void FakeQuantizeTensor(Tensor* t) {
   }
 }
 
-Tensor ConvLayer::Forward(const Tensor& input) {
+void ConvLayer::ForwardInto(const Tensor& input, Tensor* out) {
   Probes& p = P();
   p.u->Stmt(Probes::kSForward);
+  CERTKIT_CHECK(out != nullptr && out != &input);
   CERTKIT_CHECK_MSG(input.c() == in_c_, "conv input channel mismatch");
 
   // No coverage probe on this branch: the quantized path is a replay /
   // differential-oracle mode, not part of the Figure-5 coverage subject, and
   // declaring a decision here would shift every campaign coverage ratio.
+  // Quantization rides the call, not the member: nothing here mutates the
+  // layer, so concurrent ForwardInto calls on a shared layer are race-free.
   if (quantize_inputs_) {
-    Tensor quantized = input;
-    FakeQuantizeTensor(&quantized);
-    const bool saved = quantize_inputs_;
-    quantize_inputs_ = false;
-    Tensor out = Forward(quantized);
-    quantize_inputs_ = saved;
-    return out;
+    if (QuantizedForwardInto(input, out)) return;
+    // Skipped (non-finite input or zero scale): fall through to fp32.
   }
 
   kernels::ConvShape shape;
@@ -109,7 +112,7 @@ Tensor ConvLayer::Forward(const Tensor& input) {
   shape.stride = stride_;
   shape.pad = pad_;
 
-  Tensor output(input.n(), out_c_, shape.OutH(), shape.OutW());
+  out->Reshape(input.n(), out_c_, shape.OutH(), shape.OutW());
   const float* bias = nullptr;
   if (p.u->Branch(p.d_has_bias, !bias_.empty())) {
     p.u->Stmt(Probes::kSWithBias);
@@ -121,17 +124,16 @@ Tensor ConvLayer::Forward(const Tensor& input) {
   if (p.u->Branch(p.d_backend_closed, backend_ == Backend::kClosedSim)) {
     p.u->Stmt(Probes::kSClosed);
     kernels::cudnn_sim::Conv2d(input.data(), weights_.data(), bias,
-                               output.data(), shape);
+                               out->data(), shape);
   } else if (p.u->Branch(p.d_backend_open, backend_ == Backend::kOpenSim)) {
     p.u->Stmt(Probes::kSOpen);
     kernels::isaac_sim::Conv2d(input.data(), weights_.data(), bias,
-                               output.data(), shape);
+                               out->data(), shape);
   } else {
     p.u->Stmt(Probes::kSNaive);
-    kernels::Conv2dNaive(input.data(), weights_.data(), bias, output.data(),
+    kernels::Conv2dNaive(input.data(), weights_.data(), bias, out->data(),
                          shape);
   }
-  return output;
 }
 
 }  // namespace nn

@@ -113,23 +113,37 @@ void DecodeImage(const Tensor& head, const DetectorConfig& config, int n,
 
 std::vector<Detection> DecodeDetections(const Tensor& head,
                                         const DetectorConfig& config) {
+  std::vector<Detection> out;
+  DecodeDetectionsInto(head, config, &out);
+  return out;
+}
+
+void DecodeDetectionsInto(const Tensor& head, const DetectorConfig& config,
+                          std::vector<Detection>* out) {
   CERTKIT_CHECK_MSG(head.c() == 5 + config.num_classes,
                     "head channel count must be 5 + classes");
-  std::vector<Detection> out;
-  for (int n = 0; n < head.n(); ++n) DecodeImage(head, config, n, &out);
-  return out;
+  out->clear();
+  for (int n = 0; n < head.n(); ++n) DecodeImage(head, config, n, out);
 }
 
 std::vector<std::vector<Detection>> DecodeDetectionsBatch(
     const Tensor& head, const DetectorConfig& config) {
+  std::vector<std::vector<Detection>> out;
+  DecodeDetectionsBatchInto(head, config, &out);
+  return out;
+}
+
+void DecodeDetectionsBatchInto(const Tensor& head,
+                               const DetectorConfig& config,
+                               std::vector<std::vector<Detection>>* out) {
   CERTKIT_CHECK_MSG(head.c() == 5 + config.num_classes,
                     "head channel count must be 5 + classes");
-  std::vector<std::vector<Detection>> out(
-      static_cast<std::size_t>(head.n()));
+  out->resize(static_cast<std::size_t>(head.n()));
   for (int n = 0; n < head.n(); ++n) {
-    DecodeImage(head, config, n, &out[static_cast<std::size_t>(n)]);
+    auto& slot = (*out)[static_cast<std::size_t>(n)];
+    slot.clear();
+    DecodeImage(head, config, n, &slot);
   }
-  return out;
 }
 
 }  // namespace nn

@@ -36,11 +36,17 @@ class Network {
  public:
   void Add(std::unique_ptr<Layer> layer);
   Tensor Forward(const Tensor& input);
+  // Capacity-reusing forward: layers ping-pong between two member scratch
+  // tensors and the last layer writes straight into *out, so a warm network
+  // never allocates. `out` must not alias `input`. Bit-identical to
+  // Forward (same layer math, same probe sequence).
+  void ForwardInto(const Tensor& input, Tensor* out);
   std::size_t layer_count() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  Tensor scratch_[2];  // ping-pong activation buffers, warm after one call
 };
 
 // Decodes the head tensor (grid of [5 + classes] channels) into detections
@@ -48,15 +54,26 @@ class Network {
 // class scores.
 std::vector<Detection> DecodeDetections(const Tensor& head,
                                         const DetectorConfig& config);
+// Capacity-reusing variant: clears and refills *out.
+void DecodeDetectionsInto(const Tensor& head, const DetectorConfig& config,
+                          std::vector<Detection>* out);
 // Same decode, but an N-batch head yields one detection list per image
 // (slot n holds image n's detections, bit-identical to decoding image n
 // alone).
 std::vector<std::vector<Detection>> DecodeDetectionsBatch(
     const Tensor& head, const DetectorConfig& config);
+void DecodeDetectionsBatchInto(const Tensor& head,
+                               const DetectorConfig& config,
+                               std::vector<std::vector<Detection>>* out);
 
 // Greedy IoU-based non-maximum suppression (class-aware).
 std::vector<Detection> Nms(std::vector<Detection> detections,
                            float iou_threshold);
+// In-place NMS: sorts and compacts *detections without allocating (the
+// suppression flags live in thread_local scratch, so concurrent callers —
+// e.g. DetectBatch pool workers — each get their own). Bit-identical
+// results and probe sequence to Nms.
+void NmsInPlace(std::vector<Detection>* detections, float iou_threshold);
 // Intersection-over-union of two center-format boxes.
 float Iou(const Detection& a, const Detection& b);
 
@@ -67,6 +84,13 @@ class TinyYoloDetector {
 
   // Runs detection on a raw frame (any size; values 0..255).
   std::vector<Detection> Detect(const Tensor& frame);
+
+  // Allocation-free variant of Detect: all intermediates live in member
+  // scratch buffers and *out is cleared and refilled reusing its capacity.
+  // One warm-up call sizes everything; steady-state calls never touch the
+  // heap. Not safe for concurrent calls on the same detector (use one
+  // detector per thread, as the pipeline does).
+  void DetectInto(const Tensor& frame, std::vector<Detection>* out);
 
   // Batched inference: preprocesses every frame (frames may differ in
   // size), stacks them into one N-batch tensor, runs a single forward pass
@@ -84,12 +108,24 @@ class TinyYoloDetector {
       const std::vector<Tensor>& frames,
       certkit::support::ThreadPool* pool = nullptr);
 
+  // Allocation-free variant of DetectBatch (same contract); per-frame
+  // stages may still run on `pool` workers — the member scratch slots they
+  // touch are disjoint per frame.
+  void DetectBatchInto(const std::vector<Tensor>& frames,
+                       std::vector<std::vector<Detection>>* out,
+                       certkit::support::ThreadPool* pool = nullptr);
+
   const DetectorConfig& config() const { return config_; }
   Network& network() { return network_; }
 
  private:
   DetectorConfig config_;
   Network network_;
+  // Reused inference buffers (warm after the first call).
+  Tensor input_scratch_;
+  Tensor head_scratch_;
+  Tensor batch_scratch_;
+  std::vector<Tensor> inputs_scratch_;
 };
 
 // Weight constructors.
@@ -102,11 +138,13 @@ void InitRandomWeights(TinyYoloDetector* detector, std::uint64_t seed);
 // frames of the AD pipeline.
 void InitBlobDetectorWeights(TinyYoloDetector* detector);
 
-// Switches the detector to fake-int8 inference: every ConvLayer's weights
-// are snapped to a symmetric per-tensor int8 grid and input quantization is
-// enabled on each conv (see ConvLayer::SetInputQuantization). Deterministic
-// and idempotent. Call after the weight constructors above; used as the
-// quantized-vs-fp32 diff point of the replay differential oracle.
+// Switches the detector to int8 inference: every ConvLayer's weights are
+// snapped to a symmetric per-tensor int8 grid and input quantization is
+// enabled on each conv, which then runs the true int8 path (int8 im2col +
+// int32 micro-GEMM + per-layer-scale dequantize; see
+// ConvLayer::SetInputQuantization). Deterministic and idempotent. Call
+// after the weight constructors above; used as the quantized-vs-fp32 diff
+// point of the replay differential oracle.
 void QuantizeDetectorWeights(TinyYoloDetector* detector);
 
 // Validated weight blob loading (versioned header + checksum), exercising

@@ -8,6 +8,7 @@
 #ifndef NN_LAYERS_H_
 #define NN_LAYERS_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,7 +28,16 @@ const char* BackendName(Backend backend);
 class Layer {
  public:
   virtual ~Layer() = default;
-  virtual Tensor Forward(const Tensor& input) = 0;
+  // Writes the layer output into *out, reusing out's capacity — the
+  // steady-state tick path allocates nothing once every buffer has seen its
+  // peak size. `out` must not alias `input`.
+  virtual void ForwardInto(const Tensor& input, Tensor* out) = 0;
+  // Convenience wrapper for tests and one-shot callers (allocates).
+  Tensor Forward(const Tensor& input) {
+    Tensor out;
+    ForwardInto(input, &out);
+    return out;
+  }
   virtual std::string Name() const = 0;
 };
 
@@ -39,38 +49,68 @@ class ConvLayer : public Layer {
   ConvLayer(int in_c, int out_c, int kernel, int stride, int pad,
             std::vector<float> weights, std::vector<float> bias,
             Backend backend);
-  Tensor Forward(const Tensor& input) override;
+  void ForwardInto(const Tensor& input, Tensor* out) override;
   std::string Name() const override { return "conv"; }
   int out_channels() const { return out_c_; }
   std::vector<float>& mutable_weights() { return weights_; }
   std::vector<float>& mutable_bias() { return bias_; }
 
-  // Fake-int8 inference mode: when enabled, Forward snaps its input tensor
-  // to a symmetric per-tensor int8 grid (scale = max|x| / 127) before the
-  // convolution. Deterministic — the grid is a pure function of the input —
-  // and backend-independent, so it serves as the quantized-vs-fp32
-  // differential diff point without touching the kernel libraries.
-  void SetInputQuantization(bool enabled) { quantize_inputs_ = enabled; }
+  // Int8 inference mode: when enabled, ForwardInto runs a true int8 path —
+  // per-layer symmetric scales (weight scale = max|w| / 127 for this layer,
+  // activation scale = max|x| / 127 per input tensor), int8 im2col, an
+  // int32-accumulating micro-GEMM, and a combined-scale dequantize. Integer
+  // accumulation is exact, so the path is deterministic and
+  // backend-independent; it serves as the quantized arm of the replay
+  // differential oracle, with the fp32 path kept as the bit-exact reference.
+  // Quantization is threaded through as an argument, never by mutating
+  // state, so a layer shared across ThreadPool threads is race-free.
+  //
+  // Non-finite containment: if the input holds any non-finite value (or is
+  // all-zero), quantization is SKIPPED for that call and the fp32 path runs
+  // instead — NaN/inf then propagate to the safety layer's range monitor,
+  // which owns non-finite rejection, rather than being laundered through an
+  // undefined int8 grid.
+  // Enabling snapshots the layer's weights onto the int8 grid (widened to
+  // int16 for the PMADDWD dot-product kernel) along with the per-layer
+  // scale, so steady-state forwards never re-quantize the constant operand.
+  // Call it AFTER the weights are final; re-call it to refresh the snapshot
+  // if mutable_weights() changed. Defined in quantized.cpp.
+  void SetInputQuantization(bool enabled);
   bool input_quantization() const { return quantize_inputs_; }
 
  private:
+  // The int8 path. Returns false (leaving *out untouched) when quantization
+  // must be skipped — non-finite input or an all-zero scale — in which case
+  // the caller runs the fp32 path.
+  bool QuantizedForwardInto(const Tensor& input, Tensor* out) const;
+
   int in_c_, out_c_, kernel_, stride_, pad_;
   std::vector<float> weights_;
   std::vector<float> bias_;
   Backend backend_;
   bool quantize_inputs_ = false;
+  // Int8-mode weight snapshot (set by SetInputQuantization, const during
+  // forwards — reentrancy depends on that): weights snapped to the int8
+  // grid, stored widened as [out_c, in_c*k*k] int16; w_scale_ == 0 marks
+  // "no usable grid" (all-zero or non-finite weights), which quantizes the
+  // weight operand to zero exactly like the pre-snapshot path did.
+  std::vector<std::int16_t> q_weights_;
+  float w_scale_ = 0.0f;
 };
 
 // Snaps every value of `t` to the symmetric per-tensor int8 grid
 // (scale = max|x| / 127, round half away from zero). A no-op on an
-// all-zero tensor. Exposed for the quantization tests.
+// all-zero tensor AND on any tensor containing a non-finite value: the
+// undefined-scale bug class (amax = inf → scale = inf → NaN everywhere) is
+// excluded by skipping quantization, matching the conv layer's containment
+// policy above. Exposed for the quantization tests.
 void FakeQuantizeTensor(Tensor* t);
 
 class BatchNormLayer : public Layer {
  public:
   // Folded form: y = scale[c] * x + shift[c].
   BatchNormLayer(std::vector<float> scale, std::vector<float> shift);
-  Tensor Forward(const Tensor& input) override;
+  void ForwardInto(const Tensor& input, Tensor* out) override;
   std::string Name() const override { return "batchnorm"; }
   std::vector<float>& mutable_scale() { return scale_; }
   std::vector<float>& mutable_shift() { return shift_; }
@@ -83,7 +123,7 @@ class BatchNormLayer : public Layer {
 class ActivationLayer : public Layer {
  public:
   explicit ActivationLayer(Activation kind, float leaky_slope = 0.1f);
-  Tensor Forward(const Tensor& input) override;
+  void ForwardInto(const Tensor& input, Tensor* out) override;
   std::string Name() const override { return "activation"; }
 
  private:
@@ -94,7 +134,7 @@ class ActivationLayer : public Layer {
 class MaxPoolLayer : public Layer {
  public:
   MaxPoolLayer(int size, int stride);
-  Tensor Forward(const Tensor& input) override;
+  void ForwardInto(const Tensor& input, Tensor* out) override;
   std::string Name() const override { return "maxpool"; }
 
  private:
@@ -104,7 +144,7 @@ class MaxPoolLayer : public Layer {
 class UpsampleLayer : public Layer {
  public:
   explicit UpsampleLayer(int factor);
-  Tensor Forward(const Tensor& input) override;
+  void ForwardInto(const Tensor& input, Tensor* out) override;
   std::string Name() const override { return "upsample"; }
 
  private:
@@ -115,6 +155,11 @@ class UpsampleLayer : public Layer {
 // aspect ratio differs from the target (a path typical square scenarios
 // never exercise — one of the Figure 5 coverage gaps).
 Tensor Preprocess(const Tensor& frame, int target_h, int target_w);
+
+// Capacity-reusing variant of Preprocess for the allocation-free tick path.
+// `out` must not alias `frame`.
+void PreprocessInto(const Tensor& frame, int target_h, int target_w,
+                    Tensor* out);
 
 }  // namespace nn
 

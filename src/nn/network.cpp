@@ -32,18 +32,31 @@ void Network::Add(std::unique_ptr<Layer> layer) {
 }
 
 Tensor Network::Forward(const Tensor& input) {
+  Tensor out;
+  ForwardInto(input, &out);
+  return out;
+}
+
+void Network::ForwardInto(const Tensor& input, Tensor* out) {
   NetProbes& p = P();
+  CERTKIT_CHECK(out != nullptr && out != &input);
   if (p.u->Branch(p.d_empty, layers_.empty())) {
     // Degenerate configuration: identity. Never reached by a real detector.
     p.u->Stmt(NetProbes::kSEmptyNetwork);
-    return input;
+    *out = input;
+    return;
   }
-  Tensor t = input;
-  for (auto& layer : layers_) {
+  // Layers ping-pong between the two scratch activations; the final layer
+  // writes straight into the caller's buffer. Every hop reuses capacity, so
+  // a warm network allocates nothing.
+  const Tensor* cur = &input;
+  const std::size_t last = layers_.size() - 1;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
     p.u->Stmt(NetProbes::kSForwardLayer);
-    t = layer->Forward(t);
+    Tensor* dst = (i == last) ? out : &scratch_[i % 2];
+    layers_[i]->ForwardInto(*cur, dst);
+    cur = dst;
   }
-  return t;
 }
 
 TinyYoloDetector::TinyYoloDetector(const DetectorConfig& config)
@@ -92,24 +105,48 @@ TinyYoloDetector::TinyYoloDetector(const DetectorConfig& config)
 }
 
 std::vector<Detection> TinyYoloDetector::Detect(const Tensor& frame) {
+  std::vector<Detection> out;
+  DetectInto(frame, &out);
+  return out;
+}
+
+void TinyYoloDetector::DetectInto(const Tensor& frame,
+                                  std::vector<Detection>* out) {
   NetProbes& p = P();
   p.u->Stmt(NetProbes::kSDetect);
-  Tensor input = Preprocess(frame, config_.input_h, config_.input_w);
-  Tensor head = network_.Forward(input);
-  std::vector<Detection> dets = DecodeDetections(head, config_);
-  return Nms(std::move(dets), config_.nms_iou_threshold);
+  PreprocessInto(frame, config_.input_h, config_.input_w, &input_scratch_);
+  network_.ForwardInto(input_scratch_, &head_scratch_);
+  DecodeDetectionsInto(head_scratch_, config_, out);
+  NmsInPlace(out, config_.nms_iou_threshold);
 }
 
 std::vector<std::vector<Detection>> TinyYoloDetector::DetectBatch(
     const std::vector<Tensor>& frames, certkit::support::ThreadPool* pool) {
+  std::vector<std::vector<Detection>> out;
+  DetectBatchInto(frames, &out, pool);
+  return out;
+}
+
+void TinyYoloDetector::DetectBatchInto(
+    const std::vector<Tensor>& frames,
+    std::vector<std::vector<Detection>>* out,
+    certkit::support::ThreadPool* pool) {
   NetProbes& p = P();
-  if (frames.empty()) return {};
+  // No out->clear() here: clearing would destroy the inner vectors and
+  // forfeit their capacity every call. DecodeDetectionsBatchInto resizes
+  // the outer vector and clears each slot in place.
+  if (frames.empty()) {
+    out->clear();
+    return;
+  }
   p.u->Stmt(NetProbes::kSDetect);
   const std::size_t count = frames.size();
   // Host-side per-frame stages go through here: pool workers when a pool is
   // given, a plain loop otherwise. Result slot i always belongs to frame i,
-  // so scheduling cannot reorder outputs.
-  const auto shard = [&](const std::function<void(std::size_t)>& fn) {
+  // so scheduling cannot reorder outputs. The generic lambda means the
+  // pool-less path (the steady-state tick) never materializes a
+  // std::function, so sharding itself is allocation-free.
+  const auto shard = [&](auto&& fn) {
     if (pool != nullptr) {
       pool->ParallelFor(count, fn);
     } else {
@@ -117,18 +154,20 @@ std::vector<std::vector<Detection>> TinyYoloDetector::DetectBatch(
     }
   };
 
-  std::vector<Tensor> inputs(count);
+  inputs_scratch_.resize(count);
+  std::vector<Tensor>& inputs = inputs_scratch_;
   {
     certkit::obs::Span span("batch_preprocess", "nn");
     shard([&](std::size_t i) {
       CERTKIT_CHECK_MSG(frames[i].n() == 1,
                         "DetectBatch frames must be single-image tensors");
-      inputs[i] = Preprocess(frames[i], config_.input_h, config_.input_w);
+      PreprocessInto(frames[i], config_.input_h, config_.input_w, &inputs[i]);
     });
   }
 
-  Tensor batch(static_cast<int>(count), inputs[0].c(), config_.input_h,
-               config_.input_w);
+  batch_scratch_.Reshape(static_cast<int>(count), inputs[0].c(),
+                         config_.input_h, config_.input_w);
+  Tensor& batch = batch_scratch_;
   {
     certkit::obs::Span span("batch_stack", "nn");
     const std::size_t plane = inputs[0].size();
@@ -139,25 +178,22 @@ std::vector<std::vector<Detection>> TinyYoloDetector::DetectBatch(
     });
   }
 
-  Tensor head;
   {
     certkit::obs::Span span("batch_forward", "nn");
-    head = network_.Forward(batch);
+    network_.ForwardInto(batch, &head_scratch_);
   }
 
-  std::vector<std::vector<Detection>> decoded;
   {
     certkit::obs::Span span("batch_decode", "nn");
-    decoded = DecodeDetectionsBatch(head, config_);
+    DecodeDetectionsBatchInto(head_scratch_, config_, out);
   }
 
   {
     certkit::obs::Span span("batch_nms", "nn");
     shard([&](std::size_t i) {
-      decoded[i] = Nms(std::move(decoded[i]), config_.nms_iou_threshold);
+      NmsInPlace(&(*out)[i], config_.nms_iou_threshold);
     });
   }
-  return decoded;
 }
 
 }  // namespace nn

@@ -30,9 +30,26 @@ NmsProbes& P() {
   }();
   return p;
 }
+// Release-flavor IoU: the same arithmetic as Iou below with the probe
+// calls compiled out — NMS evaluates O(n²) candidate pairs, so the ~8
+// probe calls per pair dominate the stage once coverage is off.
+inline float IouFast(const Detection& a, const Detection& b) {
+  const float ax0 = a.x - a.w / 2, ax1 = a.x + a.w / 2;
+  const float ay0 = a.y - a.h / 2, ay1 = a.y + a.h / 2;
+  const float bx0 = b.x - b.w / 2, bx1 = b.x + b.w / 2;
+  const float by0 = b.y - b.h / 2, by1 = b.y + b.h / 2;
+  const float dx = std::min(ax1, bx1) - std::max(ax0, bx0);
+  const float dy = std::min(ay1, by1) - std::max(ay0, by0);
+  if (dx <= 0.0f || dy <= 0.0f) return 0.0f;
+  const float inter = dx * dy;
+  const float uni = a.w * a.h + b.w * b.h - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
 }  // namespace
 
 float Iou(const Detection& a, const Detection& b) {
+  if (!certkit::cov::ProbesEnabled()) return IouFast(a, b);
   NmsProbes& p = P();
   const float ax0 = a.x - a.w / 2, ax1 = a.x + a.w / 2;
   const float ay0 = a.y - a.h / 2, ay1 = a.y + a.h / 2;
@@ -56,35 +73,65 @@ float Iou(const Detection& a, const Detection& b) {
 
 std::vector<Detection> Nms(std::vector<Detection> detections,
                            float iou_threshold) {
+  NmsInPlace(&detections, iou_threshold);
+  return detections;
+}
+
+void NmsInPlace(std::vector<Detection>* detections, float iou_threshold) {
   NmsProbes& p = P();
+  std::vector<Detection>& d = *detections;
   // Score-descending with a positional tie-break so that equal-score
   // detections are ordered deterministically regardless of backend.
-  std::sort(detections.begin(), detections.end(),
+  std::sort(d.begin(), d.end(),
             [](const Detection& a, const Detection& b) {
               if (a.score != b.score) return a.score > b.score;
               if (a.y != b.y) return a.y < b.y;
               if (a.x != b.x) return a.x < b.x;
               return a.cls < b.cls;
             });
-  std::vector<Detection> kept;
-  std::vector<bool> suppressed(detections.size(), false);
-  for (std::size_t i = 0; i < detections.size(); ++i) {
+  // Suppression flags live in thread_local scratch so pool workers running
+  // per-frame NMS never contend or allocate once warm. Survivors are
+  // compacted in place: the write cursor trails i, and the inner loop only
+  // reads slots > i, so no live element is overwritten before it is read.
+  thread_local std::vector<char> suppressed;
+  suppressed.assign(d.size(), 0);
+  std::size_t kept = 0;
+  if (!certkit::cov::ProbesEnabled()) {
+    // Release flavor: the identical suppress/compact loop with the probe
+    // calls compiled out. A dense decode (hundreds of candidates) makes the
+    // O(n²) pair loop the whole NMS cost when every pair fires probes.
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (suppressed[i]) continue;
+      const Detection det = d[i];
+      for (std::size_t j = i + 1; j < d.size(); ++j) {
+        if (suppressed[j]) continue;
+        if (det.cls == d[j].cls && IouFast(det, d[j]) > iou_threshold) {
+          suppressed[j] = 1;
+        }
+      }
+      d[kept++] = det;
+    }
+    d.resize(kept);
+    return;
+  }
+  for (std::size_t i = 0; i < d.size(); ++i) {
     if (suppressed[i]) continue;
     p.u->Stmt(NmsProbes::kSKeep);
-    kept.push_back(detections[i]);
-    for (std::size_t j = i + 1; j < detections.size(); ++j) {
+    const Detection det = d[i];
+    for (std::size_t j = i + 1; j < d.size(); ++j) {
       if (suppressed[j]) continue;
       const bool same_cls =
-          p.u->Cond(p.d_suppress, 0, detections[i].cls == detections[j].cls);
+          p.u->Cond(p.d_suppress, 0, det.cls == d[j].cls);
       const bool over = p.u->Cond(
-          p.d_suppress, 1, Iou(detections[i], detections[j]) > iou_threshold);
+          p.d_suppress, 1, Iou(det, d[j]) > iou_threshold);
       if (p.u->Dec(p.d_suppress, same_cls && over)) {
         p.u->Stmt(NmsProbes::kSSuppress);
-        suppressed[j] = true;
+        suppressed[j] = 1;
       }
     }
+    d[kept++] = det;
   }
-  return kept;
+  d.resize(kept);
 }
 
 }  // namespace nn

@@ -50,27 +50,36 @@ float Sample(const Tensor& t, int n, int c, float fy, float fx) {
 }  // namespace
 
 Tensor Preprocess(const Tensor& frame, int target_h, int target_w) {
+  Tensor out;
+  PreprocessInto(frame, target_h, target_w, &out);
+  return out;
+}
+
+void PreprocessInto(const Tensor& frame, int target_h, int target_w,
+                    Tensor* out_t) {
   PreProbes& p = P();
   CERTKIT_CHECK(target_h > 0 && target_w > 0);
+  CERTKIT_CHECK(out_t != nullptr && out_t != &frame);
   constexpr float kScale = 1.0f / 255.0f;
 
   const bool hm = p.u->Cond(p.d_same_size, 0, frame.h() == target_h);
   const bool wm = p.u->Cond(p.d_same_size, 1, frame.w() == target_w);
   if (p.u->Dec(p.d_same_size, hm && wm)) {
-    // Already the right size: normalize in place.
+    // Already the right size: normalize into the reused buffer.
     p.u->Stmt(PreProbes::kSNormalizeOnly);
-    Tensor out(frame.n(), frame.c(), target_h, target_w);
+    out_t->Reshape(frame.n(), frame.c(), target_h, target_w);
     const float* in = frame.data();
-    float* o = out.data();
+    float* o = out_t->data();
     for (std::size_t i = 0; i < frame.size(); ++i) o[i] = in[i] * kScale;
-    return out;
+    return;
   }
 
   const float frame_aspect =
       static_cast<float>(frame.w()) / static_cast<float>(frame.h());
   const float target_aspect =
       static_cast<float>(target_w) / static_cast<float>(target_h);
-  Tensor out(frame.n(), frame.c(), target_h, target_w);
+  out_t->Reshape(frame.n(), frame.c(), target_h, target_w);
+  Tensor& out = *out_t;
 
   if (p.u->Branch(p.d_aspect_match,
                   std::abs(frame_aspect - target_aspect) < 1e-6f)) {
@@ -88,7 +97,7 @@ Tensor Preprocess(const Tensor& frame, int target_h, int target_w) {
         }
       }
     }
-    return out;
+    return;
   }
 
   // Letterbox: preserve aspect, pad with mid-grey. Typical square scenario
@@ -122,7 +131,6 @@ Tensor Preprocess(const Tensor& frame, int target_h, int target_w) {
       }
     }
   }
-  return out;
 }
 
 }  // namespace nn

@@ -18,6 +18,20 @@ class Tensor {
     CERTKIT_CHECK(n > 0 && c > 0 && h > 0 && w > 0);
   }
 
+  // Reshapes in place, reusing the existing capacity: the steady-state tick
+  // path never reallocates once its buffers are warm (std::vector::resize
+  // only allocates when growing past capacity and never shrinks it).
+  // Existing element values are NOT cleared — every producer in the layer
+  // stack overwrites its full output.
+  void Reshape(int n, int c, int h, int w) {
+    CERTKIT_CHECK(n > 0 && c > 0 && h > 0 && w > 0);
+    n_ = n;
+    c_ = c;
+    h_ = h;
+    w_ = w;
+    data_.resize(static_cast<std::size_t>(n) * c * h * w);
+  }
+
   int n() const { return n_; }
   int c() const { return c_; }
   int h() const { return h_; }

@@ -1,0 +1,71 @@
+#include "support/alloc_counter.h"
+
+#include <atomic>
+
+namespace certkit {
+namespace support {
+
+namespace {
+
+// Plain function-local statics would themselves allocate nothing, but
+// namespace-scope atomics with constant initialization are guaranteed
+// ready before any other static initializer can call operator new.
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_deallocs{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<bool> g_hooks_linked{false};
+
+}  // namespace
+
+bool AllocCountingActive() {
+  return g_hooks_linked.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TotalAllocations() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TotalDeallocations() {
+  return g_deallocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TotalAllocatedBytes() {
+  return g_bytes.load(std::memory_order_relaxed);
+}
+
+AllocScope::AllocScope()
+    : start_allocs_(TotalAllocations()),
+      start_deallocs_(TotalDeallocations()),
+      start_bytes_(TotalAllocatedBytes()) {}
+
+std::uint64_t AllocScope::allocations() const {
+  return TotalAllocations() - start_allocs_;
+}
+
+std::uint64_t AllocScope::deallocations() const {
+  return TotalDeallocations() - start_deallocs_;
+}
+
+std::uint64_t AllocScope::bytes() const {
+  return TotalAllocatedBytes() - start_bytes_;
+}
+
+namespace alloc_internal {
+
+void RecordAlloc(std::uint64_t bytes) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void RecordDealloc() {
+  g_deallocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MarkHooksLinked() {
+  g_hooks_linked.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace alloc_internal
+
+}  // namespace support
+}  // namespace certkit

@@ -1,0 +1,58 @@
+// support: process-wide heap-allocation counters, the measurement side of
+// the allocation-free tick discipline (ISO 26262-6 Table 3 recommends
+// avoiding dynamic objects in safety-related software; this harness turns
+// that guideline into an enforced, countable property).
+//
+// The counters are only live in binaries that also compile in
+// alloc_hooks.cpp (global operator new/delete replacements). The hooks are
+// deliberately NOT part of the support library: replacing operator new is a
+// whole-program decision, so each target that wants counting adds the hook
+// translation unit explicitly via target_sources. In binaries without the
+// hooks, every counter reads zero and AllocCountingActive() is false.
+#ifndef SUPPORT_ALLOC_COUNTER_H_
+#define SUPPORT_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace certkit {
+namespace support {
+
+// True when the counting operator new/delete replacements are linked into
+// this binary (set by alloc_hooks.cpp at static-init time). Tests use this
+// to fail fast on a miswired target instead of vacuously passing on zeros.
+bool AllocCountingActive();
+
+// Total allocations / deallocations observed so far in this binary, across
+// all threads. Monotonic; never reset.
+std::uint64_t TotalAllocations();
+std::uint64_t TotalDeallocations();
+// Total bytes requested from operator new so far.
+std::uint64_t TotalAllocatedBytes();
+
+// Scoped delta reader: captures the counters at construction;
+// allocations()/bytes() report the growth since then. Allocation-free
+// itself (plain loads of atomics).
+class AllocScope {
+ public:
+  AllocScope();
+  std::uint64_t allocations() const;
+  std::uint64_t deallocations() const;
+  std::uint64_t bytes() const;
+
+ private:
+  std::uint64_t start_allocs_;
+  std::uint64_t start_deallocs_;
+  std::uint64_t start_bytes_;
+};
+
+// Internal: called by the operator new/delete replacements.
+namespace alloc_internal {
+void RecordAlloc(std::uint64_t bytes);
+void RecordDealloc();
+void MarkHooksLinked();
+}  // namespace alloc_internal
+
+}  // namespace support
+}  // namespace certkit
+
+#endif  // SUPPORT_ALLOC_COUNTER_H_

@@ -25,6 +25,13 @@ double NearestRankQuantile(const std::vector<double>& sorted, double q) {
 
 ExecutionTimer::ExecutionTimer(std::string name) : name_(std::move(name)) {}
 
+void ExecutionTimer::Reserve(std::size_t samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.capacity() < samples_.size() + samples) {
+    samples_.reserve(samples_.size() + samples);
+  }
+}
+
 void ExecutionTimer::Record(double seconds) {
   CERTKIT_CHECK_MSG(seconds >= 0.0, "negative execution time");
   std::lock_guard<std::mutex> lock(mu_);

@@ -55,6 +55,10 @@ class ExecutionTimer {
   explicit ExecutionTimer(std::string name);
 
   void Record(double seconds);
+  // Pre-grows the sample buffer so the next `samples` Record calls perform
+  // no heap allocation — the tick path reserves its stage timers up front
+  // and then records allocation-free.
+  void Reserve(std::size_t samples);
   std::int64_t sample_count() const;
   const std::string& name() const { return name_; }
 

@@ -1,0 +1,152 @@
+// Exhaustive small-shape GEMM differencing (ISSUE 10 satellite).
+//
+// Every GEMM variant in the tree — the textbook cpublas reference, the
+// cublas_sim 2×2 register-blocked tile (whose odd-m/odd-n remainder rows had
+// no dedicated coverage), every cutlass_sim tile instantiation, and the new
+// micro kernel under every candidate block config and pool width — must be
+// BIT-IDENTICAL on every shape with m, n, k in [1, 9].
+//
+// The contract that makes bit-for-bit (not epsilon) the right check: every
+// implementation accumulates each output element as the same K-ordered
+// mul-then-add sequence; register tiling spans M and N only. PR 7's stream
+// digests already showed that any FP reassociation is observable, so this
+// test pins the absence of reassociation at the kernel layer, including all
+// tail paths (tile remainders, fringe rectangles, stripe splits).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "kernels/gemm.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace kernels {
+namespace {
+
+using certkit::support::ThreadPool;
+using certkit::support::Xoshiro256;
+
+std::vector<float> RandomVec(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+  return v;
+}
+
+void ExpectBitIdentical(const std::vector<float>& got,
+                        const std::vector<float>& ref, GemmShape s,
+                        const char* variant) {
+  ASSERT_EQ(got.size(), ref.size());
+  EXPECT_EQ(0, std::memcmp(got.data(), ref.data(),
+                           ref.size() * sizeof(float)))
+      << variant << " diverges at m=" << s.m << " n=" << s.n << " k=" << s.k;
+}
+
+TEST(GemmExhaustiveProperty, AllVariantsBitIdenticalOnSmallShapes) {
+  ThreadPool pool(2);
+  for (int m = 1; m <= 9; ++m) {
+    for (int n = 1; n <= 9; ++n) {
+      for (int k = 1; k <= 9; ++k) {
+        const GemmShape s{m, n, k};
+        const std::uint64_t seed =
+            static_cast<std::uint64_t>((m * 100 + n * 10 + k));
+        const auto a = RandomVec(static_cast<std::size_t>(m) * k, seed);
+        const auto b = RandomVec(static_cast<std::size_t>(k) * n, seed + 7);
+        std::vector<float> ref(static_cast<std::size_t>(m) * n);
+        cpublas::Sgemm(a.data(), b.data(), ref.data(), s);
+
+        std::vector<float> out(ref.size());
+
+        cublas_sim::Sgemm(a.data(), b.data(), out.data(), s);
+        ExpectBitIdentical(out, ref, s, "cublas_sim (64x64 tail paths)");
+
+        cutlass_sim::Sgemm<>(a.data(), b.data(), out.data(), s);
+        ExpectBitIdentical(out, ref, s, "cutlass_sim<64,64>");
+        cutlass_sim::Sgemm<2, 2>(a.data(), b.data(), out.data(), s);
+        ExpectBitIdentical(out, ref, s, "cutlass_sim<2,2>");
+        cutlass_sim::Sgemm<3, 5>(a.data(), b.data(), out.data(), s);
+        ExpectBitIdentical(out, ref, s, "cutlass_sim<3,5>");
+
+        micro::Sgemm(a.data(), b.data(), out.data(), s);
+        ExpectBitIdentical(out, ref, s, "micro (model-picked, inline)");
+        micro::Sgemm(a.data(), b.data(), out.data(), s, &pool);
+        ExpectBitIdentical(out, ref, s, "micro (model-picked, 2+1 stripes)");
+        for (int ci = 0; ci < micro::CandidateCount(); ++ci) {
+          micro::SgemmWithConfig(a.data(), b.data(), out.data(), s,
+                                 micro::Candidate(ci));
+          ExpectBitIdentical(out, ref, s, "micro (forced candidate)");
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmExhaustiveProperty, Int8KernelExactOnSmallShapes) {
+  for (int m = 1; m <= 9; ++m) {
+    for (int n = 1; n <= 9; ++n) {
+      for (int k = 1; k <= 9; ++k) {
+        const GemmShape s{m, n, k};
+        Xoshiro256 rng(static_cast<std::uint64_t>(m * 961 + n * 31 + k));
+        std::vector<std::int8_t> a(static_cast<std::size_t>(m) * k);
+        std::vector<std::int8_t> b(static_cast<std::size_t>(k) * n);
+        for (auto& x : a) {
+          x = static_cast<std::int8_t>(
+              static_cast<int>(rng.UniformDouble(-128.0, 128.0)));
+        }
+        for (auto& x : b) {
+          x = static_cast<std::int8_t>(
+              static_cast<int>(rng.UniformDouble(-128.0, 128.0)));
+        }
+        std::vector<std::int32_t> ref(static_cast<std::size_t>(m) * n, 0);
+        for (int i = 0; i < m; ++i) {
+          for (int j = 0; j < n; ++j) {
+            std::int32_t acc = 0;
+            for (int kk = 0; kk < k; ++kk) {
+              acc += static_cast<std::int32_t>(
+                         a[static_cast<std::size_t>(i) * k + kk]) *
+                     static_cast<std::int32_t>(
+                         b[static_cast<std::size_t>(kk) * n + j]);
+            }
+            ref[static_cast<std::size_t>(i) * n + j] = acc;
+          }
+        }
+        std::vector<std::int32_t> out(ref.size());
+        micro::GemmS8S32(a.data(), b.data(), out.data(), s);
+        ASSERT_EQ(out, ref) << "m=" << m << " n=" << n << " k=" << k;
+        for (int ci = 0; ci < micro::CandidateCount(); ++ci) {
+          micro::GemmS8S32WithConfig(a.data(), b.data(), out.data(), s,
+                                     micro::Candidate(ci));
+          ASSERT_EQ(out, ref)
+              << "candidate " << ci << " m=" << m << " n=" << n << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+// The block pick is a pure function of (shape, stripes): re-picking must
+// never waver, and every pick must come from the candidate table.
+TEST(GemmExhaustiveProperty, BlockPickIsDeterministic) {
+  for (int m = 1; m <= 9; m += 2) {
+    for (int n = 1; n <= 9; n += 2) {
+      for (int k = 1; k <= 9; k += 2) {
+        for (int stripes : {1, 2, 4}) {
+          const GemmShape s{m * 16, n * 16, k * 16};
+          const micro::BlockConfig first = micro::PickBlockConfig(s, stripes);
+          for (int rep = 0; rep < 10; ++rep) {
+            EXPECT_EQ(first, micro::PickBlockConfig(s, stripes));
+          }
+          bool in_table = false;
+          for (int ci = 0; ci < micro::CandidateCount(); ++ci) {
+            if (micro::Candidate(ci) == first) in_table = true;
+          }
+          EXPECT_TRUE(in_table);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kernels

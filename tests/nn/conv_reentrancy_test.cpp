@@ -1,0 +1,87 @@
+// Regression for the quantized-path reentrancy bug: ConvLayer's int8 mode
+// must be safe to call concurrently on a SHARED layer. The original
+// implementation flipped a member flag and recursed (disable quantization →
+// call fp32 forward → restore flag), so two threads interleaving on one
+// layer could run fp32 where int8 was requested, or vice versa, and TSan
+// flagged the unsynchronized member writes. The fix threads quantization
+// through the call: nothing in ForwardInto mutates the layer, and all int8
+// scratch is thread_local.
+//
+// Labeled `concurrency` so the TSan tree (-DCERTKIT_SANITIZE=thread) races
+// it with real instrumentation; in normal trees it is a determinism check
+// (every thread must produce bit-identical output to the serial call).
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/layers.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace {
+
+nn::Tensor MakeInput(int batch, int c, int h, int w, std::uint64_t seed) {
+  nn::Tensor t(batch, c, h, w);
+  certkit::support::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng.UniformDouble(-4.0, 4.0));
+  }
+  return t;
+}
+
+TEST(ConvReentrancy, SharedQuantizedLayerIsRaceFreeAndDeterministic) {
+  const int in_c = 3, out_c = 8, k = 3;
+  std::vector<float> weights(static_cast<std::size_t>(out_c) * in_c * k * k);
+  std::vector<float> bias(out_c);
+  certkit::support::Xoshiro256 rng(0x5eedu);
+  for (float& w : weights) w = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+  for (float& b : bias) b = static_cast<float>(rng.UniformDouble(-0.5, 0.5));
+
+  nn::ConvLayer shared(in_c, out_c, k, /*stride=*/1, /*pad=*/1, weights,
+                       bias, nn::Backend::kCpuNaive);
+  shared.SetInputQuantization(true);
+
+  // Distinct inputs per worker: each thread must get ITS input's quantized
+  // result, not a neighbor's mode or scale.
+  constexpr int kWorkers = 8;
+  constexpr int kRounds = 25;
+  std::vector<nn::Tensor> inputs;
+  std::vector<nn::Tensor> expected(kWorkers);
+  for (int i = 0; i < kWorkers; ++i) {
+    inputs.push_back(MakeInput(1, in_c, 16, 16, 1000u + i));
+    shared.ForwardInto(inputs.back(), &expected[static_cast<std::size_t>(i)]);
+  }
+
+  std::atomic<int> mismatches{0};
+  certkit::support::ThreadPool pool(kWorkers);
+  pool.ParallelFor(kWorkers * kRounds, [&](std::size_t job) {
+    const std::size_t worker = job % kWorkers;
+    nn::Tensor out;
+    shared.ForwardInto(inputs[worker], &out);
+    const nn::Tensor& want = expected[worker];
+    if (out.size() != want.size() ||
+        std::memcmp(out.data(), want.data(),
+                    out.size() * sizeof(float)) != 0) {
+      mismatches.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0)
+      << "concurrent quantized forwards diverged from the serial result";
+}
+
+TEST(ConvReentrancy, QuantizationModeIsNotMutatedByForward) {
+  const int in_c = 2, out_c = 4, k = 3;
+  std::vector<float> weights(static_cast<std::size_t>(out_c) * in_c * k * k,
+                             0.25f);
+  nn::ConvLayer layer(in_c, out_c, k, 1, 1, weights, {},
+                      nn::Backend::kCpuNaive);
+  layer.SetInputQuantization(true);
+  const nn::Tensor input = MakeInput(1, in_c, 8, 8, 7u);
+  nn::Tensor out;
+  layer.ForwardInto(input, &out);
+  // The old implementation left a window where this read false.
+  EXPECT_TRUE(layer.input_quantization());
+}
+
+}  // namespace
